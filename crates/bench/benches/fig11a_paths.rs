@@ -1,0 +1,54 @@
+//! Figure 11a: paths per state, with and without pruning, for each of the
+//! 13 third-party benchmarks.
+//!
+//! The paper's bar chart shows pruning collapsing hundreds-to-thousands of
+//! modeled paths to a fraction. This bench prints the same series and then
+//! measures the cost of computing the pruned encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rehearsal::benchmarks::SUITE;
+use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::{lower, options_full, options_no_pruning};
+
+fn print_table() {
+    println!("\n=== Figure 11a: paths per state (pruned vs not) ===");
+    println!("{:<18} {:>12} {:>12}", "benchmark", "unpruned", "pruned");
+    for b in SUITE {
+        let graph = lower(b.source);
+        // Disable elimination in both configurations so the path counts
+        // reflect pruning alone (as in the paper's figure, which varies
+        // only the pruning axis).
+        let mut no_prune = options_no_pruning();
+        no_prune.elimination = false;
+        let mut prune = options_full();
+        prune.elimination = false;
+        let unpruned = check_determinism(&graph, &no_prune)
+            .map(|r| r.stats().tracked_paths)
+            .unwrap_or(0);
+        let pruned = check_determinism(&graph, &prune)
+            .map(|r| r.stats().tracked_paths)
+            .unwrap_or(0);
+        println!("{:<18} {:>12} {:>12}", b.name, unpruned, pruned);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig11a_encoding");
+    group.sample_size(10);
+    for name in ["ntp-nondet", "nginx", "amavis"] {
+        let b = rehearsal::benchmarks::by_name(name).unwrap();
+        let graph = lower(b.source);
+        group.bench_function(format!("{name}/pruned"), |bench| {
+            bench.iter(|| check_determinism(&graph, &options_full()).unwrap())
+        });
+        group.bench_function(format!("{name}/unpruned"), |bench| {
+            bench.iter(|| check_determinism(&graph, &options_no_pruning()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 11b: determinacy-analysis time with and without pruning
+//! (commutativity checking enabled in both configurations).
+//!
+//! Paper claim: with commutativity + pruning, every benchmark completes in
+//! under two seconds; without pruning, some exceed the budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rehearsal::benchmarks::SUITE;
+use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::{cell, lower, options_full, options_no_pruning, timed_check};
+use std::time::Duration;
+
+fn print_table() {
+    println!("\n=== Figure 11b: determinism-check time (pruning ablation) ===");
+    println!(
+        "{:<18} {:>12} {:>12}  verdict",
+        "benchmark", "no pruning", "pruning"
+    );
+    let budget = Duration::from_secs(600);
+    for b in SUITE {
+        let graph = lower(b.source);
+        let without = timed_check(&graph, &options_no_pruning(), budget);
+        let with = timed_check(&graph, &options_full(), budget);
+        let verdict = match &with {
+            Ok((_, r)) if r.is_deterministic() => "deterministic",
+            Ok(_) => "nondeterministic",
+            Err(_) => "-",
+        };
+        println!(
+            "{:<18} {:>12} {:>12}  {verdict}",
+            b.name,
+            cell(&without),
+            cell(&with)
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig11b");
+    group.sample_size(10);
+    for b in SUITE {
+        let graph = lower(b.source);
+        group.bench_function(format!("{}/pruning", b.name), |bench| {
+            bench.iter(|| check_determinism(&graph, &options_full()).unwrap())
+        });
+        group.bench_function(format!("{}/no-pruning", b.name), |bench| {
+            bench.iter(|| check_determinism(&graph, &options_no_pruning()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

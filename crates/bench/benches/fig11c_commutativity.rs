@@ -1,0 +1,52 @@
+//! Figure 11c: determinacy-analysis time with and without the
+//! commutativity check (pruning disabled in both, as in the paper).
+//!
+//! Paper claim: without commutativity, four benchmarks exceed ten minutes
+//! and one takes more than two minutes — the permutation space explodes.
+//! We use a 30-second budget per run and report `Timeout` the same way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rehearsal::benchmarks::SUITE;
+use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::{
+    cell, lower, options_commutativity_only, options_no_commutativity, timed_check,
+};
+use std::time::Duration;
+
+fn print_table() {
+    println!("\n=== Figure 11c: determinism-check time (commutativity ablation) ===");
+    println!(
+        "{:<18} {:>16} {:>16}",
+        "benchmark", "no commutativity", "commutativity"
+    );
+    let budget = Duration::from_secs(30);
+    for b in SUITE {
+        let graph = lower(b.source);
+        let without = timed_check(&graph, &options_no_commutativity(), budget);
+        let with = timed_check(&graph, &options_commutativity_only(), budget);
+        println!("{:<18} {:>16} {:>16}", b.name, cell(&without), cell(&with));
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig11c");
+    group.sample_size(10);
+    // Criterion-measure only benchmarks that stay feasible without the
+    // commutativity check (the rest time out, which the table above shows).
+    for name in ["monit", "ntp-nondet", "bind", "dns-nondet", "nginx"] {
+        let b = rehearsal::benchmarks::by_name(name).unwrap();
+        let graph = lower(b.source);
+        group.bench_function(format!("{name}/commutativity"), |bench| {
+            bench.iter(|| check_determinism(&graph, &options_commutativity_only()).unwrap())
+        });
+        group.bench_function(format!("{name}/naive"), |bench| {
+            bench.iter(|| check_determinism(&graph, &options_no_commutativity()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

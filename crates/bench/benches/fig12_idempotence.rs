@@ -1,0 +1,47 @@
+//! Figure 12: idempotence-check time on all 13 benchmarks (the fixed
+//! versions of the six buggy ones, as in the paper).
+//!
+//! Paper claim: under one second for every benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rehearsal::benchmarks::FIXED_SUITE;
+use rehearsal::core::idempotence::check_idempotence;
+use rehearsal_bench::{lower, options_full};
+use std::time::Instant;
+
+fn print_table() {
+    println!("\n=== Figure 12: idempotence-check time ===");
+    println!("{:<18} {:>12}  verdict", "benchmark", "time");
+    for b in FIXED_SUITE {
+        let graph = lower(b.source);
+        let start = Instant::now();
+        let report = check_idempotence(&graph, &options_full()).expect("no abort");
+        println!(
+            "{:<18} {:>11.3}s  {}",
+            b.name,
+            start.elapsed().as_secs_f64(),
+            if report.is_idempotent() {
+                "idempotent"
+            } else {
+                "NOT idempotent"
+            }
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for b in FIXED_SUITE {
+        let graph = lower(b.source);
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| check_idempotence(&graph, &options_full()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

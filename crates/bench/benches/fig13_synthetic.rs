@@ -1,0 +1,75 @@
+//! Figure 13: scalability with `n` interfering resources.
+//!
+//! Two synthetic workloads from §6:
+//!
+//! * `n` unordered file resources writing the same path — the
+//!   commutativity check is useless, the file cannot be pruned, and the
+//!   checker explores all `n!` orders. Time grows super-linearly (the
+//!   paper exceeds two minutes at `n = 6`).
+//! * `n` conflicting *packages* ordered before one final `file` resource —
+//!   deterministic, so the solver must construct an unsatisfiability
+//!   proof instead of stopping at the first model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::{
+    cell, conflicting_packages_manifest, conflicting_writers, options_full, timed_check,
+};
+use std::time::Duration;
+
+fn print_table() {
+    println!("\n=== Figure 13: n unordered writers to one path ===");
+    println!(
+        "{:<4} {:>12} {:>14} {:>16}",
+        "n", "sequences", "nondet time", "det (packages)"
+    );
+    let budget = Duration::from_secs(480);
+    for n in 2..=6 {
+        let g = conflicting_writers(n);
+        let nondet = timed_check(&g, &options_full(), budget);
+        let sequences = nondet
+            .as_ref()
+            .map(|(_, r)| r.stats().sequences_explored.to_string())
+            .unwrap_or_else(|_| "-".to_string());
+
+        let (src, tool) = conflicting_packages_manifest(n);
+        let graph = tool.lower(&src).expect("lowering");
+        let det = timed_check(&graph, &options_full(), budget);
+
+        println!(
+            "{:<4} {:>12} {:>14} {:>16}",
+            n,
+            sequences,
+            cell(&nondet),
+            cell(&det)
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig13_writers");
+    group.sample_size(10);
+    for n in 2..=5usize {
+        let g = conflicting_writers(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bench, g| {
+            bench.iter(|| check_determinism(g, &options_full()).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig13_packages_unsat");
+    group.sample_size(10);
+    for n in 2..=4usize {
+        let (src, tool) = conflicting_packages_manifest(n);
+        let graph = tool.lower(&src).expect("lowering");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |bench, g| {
+            bench.iter(|| check_determinism(g, &options_full()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Every bench prints the corresponding paper table/series to stdout
+//! (`cargo bench` output) and then takes Criterion measurements of the
+//! feasible configurations. `EXPERIMENTS.md` records paper-vs-measured.
+
+use rehearsal::core::determinism::{
+    check_determinism, AnalysisAborted, AnalysisOptions, DeterminismReport, FsGraph,
+};
+use rehearsal::fs::{Content, Expr, FsPath, Pred};
+use rehearsal::{Platform, Rehearsal};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// All reductions on (the paper's default configuration).
+pub fn options_full() -> AnalysisOptions {
+    AnalysisOptions::default()
+}
+
+/// Commutativity on, both §4.4 reductions (shrinking *and* elimination)
+/// off — fig. 11b's "No" bars ("Shrinking and eliminating resources").
+pub fn options_no_pruning() -> AnalysisOptions {
+    AnalysisOptions {
+        pruning: false,
+        elimination: false,
+        ..AnalysisOptions::default()
+    }
+}
+
+/// Pruning off, commutativity off (fig. 11c's "No" bars; elimination is
+/// commutativity-based so it is off implicitly).
+pub fn options_no_commutativity() -> AnalysisOptions {
+    AnalysisOptions {
+        pruning: false,
+        commutativity: false,
+        elimination: false,
+        ..AnalysisOptions::default()
+    }
+}
+
+/// Commutativity on, pruning off (fig. 11c's "Yes" bars).
+pub fn options_commutativity_only() -> AnalysisOptions {
+    options_no_pruning()
+}
+
+/// Lowers a benchmark manifest to an [`FsGraph`] on Ubuntu.
+pub fn lower(source: &str) -> FsGraph {
+    Rehearsal::new(Platform::Ubuntu)
+        .lower(source)
+        .expect("benchmark manifests lower cleanly")
+}
+
+/// Runs one determinism check with a wall-clock budget, returning elapsed
+/// time (or the abort).
+pub fn timed_check(
+    graph: &FsGraph,
+    options: &AnalysisOptions,
+    budget: Duration,
+) -> Result<(Duration, DeterminismReport), AnalysisAborted> {
+    let mut options = options.clone();
+    options.timeout = Some(budget);
+    let start = Instant::now();
+    let report = check_determinism(graph, &options)?;
+    Ok((start.elapsed(), report))
+}
+
+/// Formats a timing cell, using the paper's "Timeout" convention.
+pub fn cell(result: &Result<(Duration, DeterminismReport), AnalysisAborted>) -> String {
+    match result {
+        Ok((t, _)) => format!("{:.3}s", t.as_secs_f64()),
+        Err(_) => "Timeout".to_string(),
+    }
+}
+
+/// The fig. 13 workload: `n` unordered file resources that all write the
+/// same path (expressed directly in FS, as the paper notes it is not valid
+/// Puppet).
+pub fn conflicting_writers(n: usize) -> FsGraph {
+    let f = FsPath::parse("/conflict/file").expect("static path");
+    let parent = FsPath::parse("/conflict").expect("static path");
+    let exprs: Vec<Expr> = (0..n)
+        .map(|i| {
+            let c = Content::intern(&format!("writer-{i}"));
+            let ensure_parent = Expr::if_then(Pred::IsDir(parent).not(), Expr::Mkdir(parent));
+            ensure_parent.seq(Expr::if_(
+                Pred::DoesNotExist(f),
+                Expr::CreateFile(f, c),
+                Expr::if_(
+                    Pred::IsFile(f),
+                    Expr::Rm(f).seq(Expr::CreateFile(f, c)),
+                    Expr::Error,
+                ),
+            ))
+        })
+        .collect();
+    let names = (0..n).map(|i| format!("File[w{i}]")).collect();
+    FsGraph::new(exprs, BTreeSet::new(), names)
+}
+
+/// The fig. 13 deterministic variant: `n` conflicting packages that all
+/// create the same file, each ordered before a final `file` resource that
+/// fixes the content — forcing the solver to prove unsatisfiability.
+pub fn conflicting_packages_manifest(n: usize) -> (String, Rehearsal) {
+    let mut src = String::new();
+    for i in 1..=n {
+        src.push_str(&format!(
+            "package {{ 'A-{i}': ensure => present, before => File['/software/a'] }}\n"
+        ));
+    }
+    src.push_str("file { '/software/a': content => 'x' }\n");
+    let tool = Rehearsal::new(Platform::Ubuntu).with_db(rehearsal_pkgdb::conflict_db(n));
+    (src, tool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicting_writers_explode_without_order() {
+        let g = conflicting_writers(3);
+        let r = check_determinism(&g, &options_full()).unwrap();
+        assert!(!r.is_deterministic());
+        assert!(r.stats().sequences_explored >= 6, "3! orders explored");
+    }
+
+    #[test]
+    fn conflicting_packages_become_deterministic() {
+        let (src, tool) = conflicting_packages_manifest(3);
+        let graph = tool.lower(&src).unwrap();
+        let r = check_determinism(&graph, &options_full()).unwrap();
+        assert!(
+            r.is_deterministic(),
+            "final file resource fixes the content"
+        );
+        assert!(r.stats().sequences_explored > 1, "solver proves UNSAT");
+    }
+
+    #[test]
+    fn option_presets_differ() {
+        assert!(options_full().pruning);
+        assert!(!options_no_pruning().pruning);
+        assert!(!options_no_commutativity().commutativity);
+    }
+}

@@ -1,0 +1,709 @@
+//! The determinacy analysis (paper §4): explore the resource graph's
+//! permutations with partial-order reduction, encode the outcomes as
+//! formulas, and decide determinism with one SAT query (Theorem 1).
+
+use crate::commutativity::{accesses, commutes, AccessSummary};
+use crate::domain::Domain;
+use crate::elimination::surviving_nodes;
+use crate::encoder::{Encoder, SymState};
+use crate::prune::prune_graph;
+use rehearsal_fs::{eval as concrete_eval, Expr, FileSystem};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the analysis; the defaults enable everything the paper
+/// describes. Disabling individual reductions reproduces the ablations of
+/// fig. 11.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Partial-order reduction via the commutativity check (§4.3).
+    pub commutativity: bool,
+    /// Resource elimination (§4.4).
+    pub elimination: bool,
+    /// Path pruning / shrinking (§4.4).
+    pub pruning: bool,
+    /// Abort the analysis after this much wall-clock time.
+    pub timeout: Option<Duration>,
+    /// Abort after exploring this many distinct sequences (a memory
+    /// safety-valve for the factorial worst case, fig. 13).
+    pub max_sequences: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions {
+            commutativity: true,
+            elimination: true,
+            pruning: true,
+            timeout: None,
+            max_sequences: 100_000,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// All reductions off (the naive baseline of fig. 11).
+    pub fn naive() -> AnalysisOptions {
+        AnalysisOptions {
+            commutativity: false,
+            elimination: false,
+            pruning: false,
+            ..AnalysisOptions::default()
+        }
+    }
+
+    /// Sets a timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> AnalysisOptions {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// The analysis gave up (timeout or sequence explosion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisAborted {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for AnalysisAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis aborted: {}", self.reason)
+    }
+}
+
+impl std::error::Error for AnalysisAborted {}
+
+/// Size statistics from a determinism check, reported by the benchmark
+/// harness (fig. 11a counts paths per state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeterminismStats {
+    /// Resources in the input graph.
+    pub resources: usize,
+    /// Resources remaining after elimination.
+    pub resources_after_elimination: usize,
+    /// Paths in the bounded domain.
+    pub paths: usize,
+    /// Paths still tracked read-write after pruning (fig. 11a's metric).
+    pub tracked_paths: usize,
+    /// Distinct sequences explored by ΦG.
+    pub sequences_explored: usize,
+    /// Formula nodes allocated.
+    pub formula_nodes: usize,
+}
+
+/// A counterexample to determinism: one initial state, two valid orders,
+/// two different outcomes.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The initial filesystem (restricted to the analysis domain).
+    pub initial: FileSystem,
+    /// The first resource order (indices into the graph's resources).
+    pub order_a: Vec<usize>,
+    /// The second resource order.
+    pub order_b: Vec<usize>,
+    /// Concrete outcome of replaying order A.
+    pub outcome_a: Result<FileSystem, rehearsal_fs::ExecError>,
+    /// Concrete outcome of replaying order B.
+    pub outcome_b: Result<FileSystem, rehearsal_fs::ExecError>,
+}
+
+/// The verdict of the determinacy analysis.
+#[derive(Debug, Clone)]
+pub enum DeterminismReport {
+    /// Every valid order produces the same outcome on every input.
+    Deterministic(DeterminismStats),
+    /// Two orders can differ; a replayed counterexample is attached.
+    NonDeterministic(Box<Counterexample>, DeterminismStats),
+}
+
+impl DeterminismReport {
+    /// Whether the verdict is "deterministic".
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, DeterminismReport::Deterministic(_))
+    }
+
+    /// The statistics either way.
+    pub fn stats(&self) -> DeterminismStats {
+        match self {
+            DeterminismReport::Deterministic(s) => *s,
+            DeterminismReport::NonDeterministic(_, s) => *s,
+        }
+    }
+}
+
+/// A resource graph lowered to FS programs: expressions plus dependency
+/// edges (`(before, after)` index pairs) and display names.
+#[derive(Debug, Clone, Default)]
+pub struct FsGraph {
+    /// One FS program per resource.
+    pub exprs: Vec<Expr>,
+    /// Dependency edges between indices.
+    pub edges: BTreeSet<(usize, usize)>,
+    /// Human-readable resource names (e.g. `Package[vim]`).
+    pub names: Vec<String>,
+}
+
+impl FsGraph {
+    /// Builds a graph, checking edge bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or names/exprs lengths
+    /// differ.
+    pub fn new(exprs: Vec<Expr>, edges: BTreeSet<(usize, usize)>, names: Vec<String>) -> FsGraph {
+        assert_eq!(exprs.len(), names.len());
+        for &(a, b) in &edges {
+            assert!(a < exprs.len() && b < exprs.len());
+        }
+        FsGraph {
+            exprs,
+            edges,
+            names,
+        }
+    }
+
+    fn successors(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.exprs.len()];
+        for &(a, b) in &self.edges {
+            out[a].push(b);
+        }
+        out
+    }
+
+    fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.exprs.len()];
+        for &(a, b) in &self.edges {
+            out[b].push(a);
+        }
+        out
+    }
+
+    fn ancestor_sets(&self) -> Vec<BTreeSet<usize>> {
+        let preds = self.predecessors();
+        let n = self.exprs.len();
+        let mut out = vec![BTreeSet::new(); n];
+        // Process in topological order so ancestor sets accumulate.
+        let mut indeg: Vec<usize> = (0..n).map(|i| preds[i].len()).collect();
+        let succs = self.successors();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::new();
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &j in &succs[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        for &i in &order {
+            let mut set = BTreeSet::new();
+            for &p in &preds[i] {
+                set.insert(p);
+                set.extend(out[p].iter().copied());
+            }
+            out[i] = set;
+        }
+        out
+    }
+
+    /// Descendant sets (everything that must run after each node).
+    fn descendant_sets(&self) -> Vec<BTreeSet<usize>> {
+        let n = self.exprs.len();
+        let anc = self.ancestor_sets();
+        let mut out = vec![BTreeSet::new(); n];
+        for (i, set) in anc.iter().enumerate() {
+            for &a in set {
+                out[a].insert(i);
+            }
+        }
+        out
+    }
+
+    /// One valid topological order.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let preds = self.predecessors();
+        let succs = self.successors();
+        let n = self.exprs.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| preds[i].len()).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::new();
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            order.push(i);
+            for &j in &succs[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.insert(j);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "FsGraph must be acyclic");
+        order
+    }
+}
+
+struct Explorer<'a> {
+    graph: &'a FsGraph,
+    summaries: Vec<AccessSummary>,
+    descendants: Vec<BTreeSet<usize>>,
+    options: &'a AnalysisOptions,
+    deadline: Option<Instant>,
+    /// (sequence of node indices, final state) per explored order.
+    outputs: Vec<(Vec<usize>, SymState)>,
+}
+
+impl<'a> Explorer<'a> {
+    fn check_budget(&self) -> Result<(), AnalysisAborted> {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(AnalysisAborted {
+                    reason: "timeout during permutation exploration".to_string(),
+                });
+            }
+        }
+        if self.outputs.len() > self.options.max_sequences {
+            return Err(AnalysisAborted {
+                reason: format!(
+                    "more than {} sequences explored",
+                    self.options.max_sequences
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// ΦG with partial-order reduction (fig. 9a): if some fringe node
+    /// commutes with every node that may run concurrently with it, commit
+    /// to evaluating it first; otherwise branch over the fringe.
+    fn explore(
+        &mut self,
+        enc: &mut Encoder,
+        remaining: &BTreeSet<usize>,
+        prefix: &mut Vec<usize>,
+        state: SymState,
+    ) -> Result<(), AnalysisAborted> {
+        self.check_budget()?;
+        if remaining.is_empty() {
+            self.outputs.push((prefix.clone(), state));
+            return Ok(());
+        }
+        let preds = self.graph.predecessors();
+        let fringe: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| preds[i].iter().all(|p| !remaining.contains(p)))
+            .collect();
+        debug_assert!(!fringe.is_empty(), "acyclic graph always has a fringe");
+
+        if self.options.commutativity {
+            for &e in &fringe {
+                // e must commute with every remaining node that could run
+                // before or after it concurrently — i.e. every remaining
+                // node that is not a descendant of e (its ancestors are
+                // gone: e is on the fringe).
+                let all_commute = remaining.iter().all(|&other| {
+                    other == e
+                        || self.descendants[e].contains(&other)
+                        || commutes(&self.summaries[e], &self.summaries[other])
+                });
+                if all_commute {
+                    let next = enc.eval_expr(&self.graph.exprs[e], &state);
+                    let mut rest = remaining.clone();
+                    rest.remove(&e);
+                    prefix.push(e);
+                    let r = self.explore(enc, &rest, prefix, next);
+                    prefix.pop();
+                    return r;
+                }
+            }
+        }
+        for &e in &fringe {
+            let next = enc.eval_expr(&self.graph.exprs[e], &state);
+            let mut rest = remaining.clone();
+            rest.remove(&e);
+            prefix.push(e);
+            let r = self.explore(enc, &rest, prefix, next);
+            prefix.pop();
+            r?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks whether an [`FsGraph`] is deterministic (Theorem 1).
+///
+/// # Errors
+///
+/// Returns [`AnalysisAborted`] on timeout or sequence explosion.
+pub fn check_determinism(
+    graph: &FsGraph,
+    options: &AnalysisOptions,
+) -> Result<DeterminismReport, AnalysisAborted> {
+    let deadline = options.timeout.map(|t| Instant::now() + t);
+    let n = graph.exprs.len();
+    let summaries: Vec<AccessSummary> = graph.exprs.iter().map(accesses).collect();
+
+    // 1. Resource elimination (§4.4). Elimination is justified by the
+    //    commutativity check, so disabling commutativity disables it too.
+    let alive: BTreeSet<usize> = if options.elimination && options.commutativity {
+        surviving_nodes(&summaries, &graph.successors(), &graph.ancestor_sets())
+    } else {
+        (0..n).collect()
+    };
+    let sub = subgraph(graph, &alive);
+
+    // 2. Path pruning (§4.4): definitive writes by exactly one resource,
+    //    unobserved by the rest, become read-only residues.
+    let (pruned, read_only) = if options.pruning {
+        prune_graph(&sub)
+    } else {
+        (sub.clone(), BTreeSet::new())
+    };
+
+    // 3. Encode and explore.
+    let domain = Domain::of_exprs(pruned.exprs.iter());
+    let mut enc = Encoder::new(domain);
+    for &p in &read_only {
+        enc.mark_read_only(p);
+    }
+    let initial = enc.initial_state();
+    let mut explorer = Explorer {
+        graph: &pruned,
+        summaries: pruned.exprs.iter().map(accesses).collect(),
+        descendants: pruned.descendant_sets(),
+        options,
+        deadline,
+        outputs: Vec::new(),
+    };
+    let all: BTreeSet<usize> = (0..pruned.exprs.len()).collect();
+    explorer.explore(&mut enc, &all, &mut Vec::new(), initial.clone())?;
+    let outputs = explorer.outputs;
+
+    let mut stats = DeterminismStats {
+        resources: n,
+        resources_after_elimination: alive.len(),
+        paths: enc.domain.len(),
+        tracked_paths: enc.tracked_paths(),
+        sequences_explored: outputs.len(),
+        formula_nodes: 0,
+    };
+
+    // 4. All sequences equal to the first ⟺ deterministic.
+    if outputs.len() <= 1 {
+        stats.formula_nodes = enc.ctx.stats().formula_nodes;
+        return Ok(DeterminismReport::Deterministic(stats));
+    }
+    let (first_seq, first_state) = &outputs[0];
+    let mut disjuncts = Vec::new();
+    for (_, other_state) in &outputs[1..] {
+        let d = enc.states_differ(first_state, other_state);
+        disjuncts.push(d);
+    }
+    let any_diff = enc.ctx.or(disjuncts.clone());
+    stats.formula_nodes = enc.ctx.stats().formula_nodes;
+
+    let solved = enc
+        .ctx
+        .solve_with_deadline(any_diff, deadline)
+        .map_err(|_| AnalysisAborted {
+            reason: "timeout during SAT solving".to_string(),
+        })?;
+    match solved {
+        None => Ok(DeterminismReport::Deterministic(stats)),
+        Some(model) => {
+            // Find which alternative differed and replay concretely.
+            let mut which = 1;
+            for (k, d) in disjuncts.iter().enumerate() {
+                if model.formula_value_in(&enc.ctx, *d) {
+                    which = k + 1;
+                    break;
+                }
+            }
+            let init_fs = enc.decode_state(&model, &initial);
+            // Map pruned-graph indices back to original indices and append
+            // the eliminated resources (which form an upward-closed set of
+            // sinks) in one fixed topological order. Elimination's
+            // `e1; e ≡ e2; e ⟺ e1 ≡ e2` argument can be fooled when `e`
+            // errs on every distinguishing state, so a NONDET verdict on
+            // the reduced graph must be validated against the full graph.
+            let back: Vec<usize> = alive.iter().copied().collect();
+            let eliminated: Vec<usize> = eliminated_topo_order(graph, &alive);
+            let full_order = |seq: &[usize]| -> Vec<usize> {
+                seq.iter()
+                    .map(|&i| back[i])
+                    .chain(eliminated.iter().copied())
+                    .collect()
+            };
+            let order_a = full_order(first_seq);
+            let order_b = full_order(&outputs[which].0);
+            let outcome_a = replay(graph, &order_a, &init_fs);
+            let outcome_b = replay(graph, &order_b, &init_fs);
+            if outcome_a == outcome_b && alive.len() != n {
+                // The divergence was masked by an eliminated resource:
+                // re-run exactly, without elimination.
+                let mut exact = options.clone();
+                exact.elimination = false;
+                if let Some(d) = deadline {
+                    exact.timeout = Some(d.saturating_duration_since(Instant::now()));
+                }
+                return check_determinism(graph, &exact);
+            }
+            let cex = Counterexample {
+                initial: init_fs,
+                order_a,
+                order_b,
+                outcome_a,
+                outcome_b,
+            };
+            Ok(DeterminismReport::NonDeterministic(Box::new(cex), stats))
+        }
+    }
+}
+
+/// Topological order of the eliminated (non-alive) nodes in the full
+/// graph. Elimination only ever removes nodes whose surviving successors
+/// are all eliminated too, so appending this order after any valid order
+/// of the alive nodes yields a valid full order.
+fn eliminated_topo_order(graph: &FsGraph, alive: &BTreeSet<usize>) -> Vec<usize> {
+    graph
+        .topological_order()
+        .into_iter()
+        .filter(|i| !alive.contains(i))
+        .collect()
+}
+
+/// Runs the (pruned) programs concretely in the given order.
+fn replay(
+    graph: &FsGraph,
+    order: &[usize],
+    init: &FileSystem,
+) -> Result<FileSystem, rehearsal_fs::ExecError> {
+    let mut fs = init.clone();
+    for &i in order {
+        fs = concrete_eval(&graph.exprs[i], &fs)?;
+    }
+    Ok(fs)
+}
+
+/// The induced subgraph on `alive`, with indices renumbered.
+fn subgraph(graph: &FsGraph, alive: &BTreeSet<usize>) -> FsGraph {
+    let index: Vec<usize> = alive.iter().copied().collect();
+    let renumber: std::collections::HashMap<usize, usize> = index
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    FsGraph {
+        exprs: index.iter().map(|&i| graph.exprs[i].clone()).collect(),
+        names: index.iter().map(|&i| graph.names[i].clone()).collect(),
+        edges: graph
+            .edges
+            .iter()
+            .filter(|(a, b)| alive.contains(a) && alive.contains(b))
+            .map(|&(a, b)| (renumber[&a], renumber[&b]))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::{Content, FsPath, Pred};
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    fn file(path: &str, content: &str) -> Expr {
+        Expr::CreateFile(p(path), Content::intern(content))
+    }
+
+    fn graph(exprs: Vec<Expr>, edges: &[(usize, usize)]) -> FsGraph {
+        let names = (0..exprs.len()).map(|i| format!("r{i}")).collect();
+        FsGraph::new(exprs, edges.iter().copied().collect(), names)
+    }
+
+    #[test]
+    fn empty_graph_is_deterministic() {
+        let g = graph(vec![], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_deterministic());
+    }
+
+    #[test]
+    fn single_resource_is_deterministic() {
+        let g = graph(vec![file("/a", "x")], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_deterministic());
+    }
+
+    #[test]
+    fn unordered_conflicting_writes_are_nondeterministic() {
+        // Two unguarded writes to the same file: one errors depending on
+        // order... both orders err on every input where either errs; on an
+        // input where /f is absent, first succeeds and second always errs.
+        // So every order errs — deterministic! Use overwrite-style writes
+        // to create a genuine divergence.
+        let w = |c: &str| {
+            Expr::if_(
+                Pred::DoesNotExist(p("/f")),
+                Expr::CreateFile(p("/f"), Content::intern(c)),
+                Expr::Skip,
+            )
+        };
+        let g = graph(vec![w("one"), w("two")], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        match r {
+            DeterminismReport::NonDeterministic(cex, _) => {
+                assert_ne!(cex.outcome_a, cex.outcome_b, "replay confirms divergence");
+                assert_ne!(cex.order_a, cex.order_b);
+            }
+            DeterminismReport::Deterministic(_) => panic!("should be nondeterministic"),
+        }
+    }
+
+    #[test]
+    fn ordering_edge_fixes_nondeterminism() {
+        let w = |c: &str| {
+            Expr::if_(
+                Pred::DoesNotExist(p("/f")),
+                Expr::CreateFile(p("/f"), Content::intern(c)),
+                Expr::Skip,
+            )
+        };
+        let g = graph(vec![w("one"), w("two")], &[(0, 1)]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_deterministic(), "total order leaves one permutation");
+    }
+
+    #[test]
+    fn error_nondeterminism_is_detected() {
+        // Resource A: creates /dir; resource B: creates /dir/f (needs the
+        // dir). Unordered: B-first errs, A-first then B succeeds.
+        let a = Expr::Mkdir(p("/dir"));
+        let b = file("/dir/f", "x");
+        let g = graph(vec![a, b], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        assert!(!r.is_deterministic());
+        if let DeterminismReport::NonDeterministic(cex, _) = r {
+            assert_ne!(
+                cex.outcome_a.is_ok(),
+                cex.outcome_b.is_ok(),
+                "one order errs, the other succeeds"
+            );
+        }
+    }
+
+    #[test]
+    fn commuting_resources_explore_one_sequence() {
+        let g = graph(vec![file("/a", "1"), file("/b", "2"), file("/c", "3")], &[]);
+        let opts = AnalysisOptions {
+            elimination: false, // keep them all so exploration runs
+            ..AnalysisOptions::default()
+        };
+        let r = check_determinism(&g, &opts).unwrap();
+        assert!(r.is_deterministic());
+        assert_eq!(
+            r.stats().sequences_explored,
+            1,
+            "POR collapses to one order"
+        );
+    }
+
+    #[test]
+    fn naive_mode_explores_all_permutations() {
+        let g = graph(vec![file("/a", "1"), file("/b", "2"), file("/c", "3")], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::naive()).unwrap();
+        assert!(r.is_deterministic());
+        assert_eq!(r.stats().sequences_explored, 6, "3! permutations");
+    }
+
+    #[test]
+    fn elimination_removes_isolated_resources() {
+        let g = graph(vec![file("/a", "1"), file("/b", "2")], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_deterministic());
+        assert_eq!(r.stats().resources_after_elimination, 0);
+    }
+
+    #[test]
+    fn diamond_dependencies_respected() {
+        // a -> b, a -> c, b -> d, c -> d; b and c both write /shared with
+        // different contents — nondeterministic.
+        let a = Expr::Mkdir(p("/d"));
+        let b = Expr::if_(
+            Pred::DoesNotExist(p("/d/shared")),
+            Expr::CreateFile(p("/d/shared"), Content::intern("from-b")),
+            Expr::Skip,
+        );
+        let c = Expr::if_(
+            Pred::DoesNotExist(p("/d/shared")),
+            Expr::CreateFile(p("/d/shared"), Content::intern("from-c")),
+            Expr::Skip,
+        );
+        let d = Expr::if_(Pred::IsFile(p("/d/shared")), Expr::Skip, Expr::Error);
+        let g = graph(vec![a, b, c, d], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        assert!(!r.is_deterministic());
+    }
+
+    #[test]
+    fn sequence_cap_aborts() {
+        let exprs: Vec<Expr> = (0..6)
+            .map(|i| {
+                Expr::if_(
+                    Pred::DoesNotExist(p("/f")),
+                    Expr::CreateFile(p("/f"), Content::intern(&format!("w{i}"))),
+                    Expr::Skip,
+                )
+            })
+            .collect();
+        let g = graph(exprs, &[]);
+        let opts = AnalysisOptions {
+            max_sequences: 10,
+            ..AnalysisOptions::naive()
+        };
+        let err = check_determinism(&g, &opts).unwrap_err();
+        assert!(err.reason.contains("sequences"));
+    }
+
+    #[test]
+    fn timeout_aborts() {
+        let exprs: Vec<Expr> = (0..7)
+            .map(|i| {
+                Expr::if_(
+                    Pred::DoesNotExist(p("/f")),
+                    Expr::CreateFile(p("/f"), Content::intern(&format!("t{i}"))),
+                    Expr::Skip,
+                )
+            })
+            .collect();
+        let g = graph(exprs, &[]);
+        let opts = AnalysisOptions::naive().with_timeout(Duration::from_millis(1));
+        // Either it finishes impossibly fast or it reports a timeout; with
+        // 7! = 5040 sequences the timeout fires in practice.
+        if let Err(e) = check_determinism(&g, &opts) {
+            assert!(e.reason.contains("timeout"));
+        } // an Ok on an extremely fast machine is not a failure
+    }
+
+    #[test]
+    fn counterexample_replay_is_confirmed() {
+        let a = Expr::Mkdir(p("/dir"));
+        let b = file("/dir/f", "x");
+        let g = graph(vec![a, b], &[]);
+        if let DeterminismReport::NonDeterministic(cex, _) =
+            check_determinism(&g, &AnalysisOptions::default()).unwrap()
+        {
+            // The initial state plus the two orders must genuinely diverge
+            // when run through the concrete evaluator.
+            assert_ne!(cex.outcome_a, cex.outcome_b);
+        } else {
+            panic!("expected nondeterminism");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Domain bounding (paper fig. 8) and the finite value encoding.
+//!
+//! FS programs manipulate a statically-known set of paths, but the result
+//! of `rm(p)` and `emptydir?(p)` depends on *children* of `p` that may not
+//! appear in the program text. Following fig. 8, the analysis domain adds a
+//! fresh child below every such path so that the symbolic encoding can find
+//! every counterexample (completeness, Lemma 2).
+//!
+//! Path states are encoded as codes in a [`ValueTable`]:
+//! `DNE`, `Dir`, `File(c)` for each program-written content `c`, and
+//! `File(init_p)` — the *provenance tag* for "whatever file content path
+//! `p` held initially". Because FS has no content-reading operations,
+//! provenance tags are an exact representation for Rehearsal's
+//! difference-seeking queries (see `DESIGN.md` §4.1).
+
+use rehearsal_fs::{Content, Expr, FsPath, Pred};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The reserved path component used for fresh children (cannot appear in
+/// parsed manifests because `FsPath::parse` would need a `/`-free name and
+/// manifests never contain control characters).
+const FRESH_COMPONENT: &str = "\u{1}fresh";
+
+/// Whether `p` is a fresh child introduced by domain bounding.
+pub fn is_fresh_path(p: FsPath) -> bool {
+    p.basename().as_deref() == Some(FRESH_COMPONENT)
+}
+
+/// The semantic meaning of a value code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathValue {
+    /// The path does not exist.
+    Dne,
+    /// The path is a directory.
+    Dir,
+    /// The path is a file with a program-written content.
+    File(Content),
+    /// The path is a file with whatever content the named path held in the
+    /// initial state (a provenance tag).
+    FileInit(FsPath),
+}
+
+/// Bidirectional map between [`PathValue`]s and the `u32` codes used by the
+/// finite-domain solver.
+#[derive(Debug, Default)]
+pub struct ValueTable {
+    values: Vec<PathValue>,
+    lookup: HashMap<PathValue, u32>,
+}
+
+/// Code for [`PathValue::Dne`] (always 0).
+pub const CODE_DNE: u32 = 0;
+/// Code for [`PathValue::Dir`] (always 1).
+pub const CODE_DIR: u32 = 1;
+
+impl ValueTable {
+    /// Creates a table pre-seeded with `Dne` and `Dir`.
+    pub fn new() -> ValueTable {
+        let mut t = ValueTable::default();
+        assert_eq!(t.code(PathValue::Dne), CODE_DNE);
+        assert_eq!(t.code(PathValue::Dir), CODE_DIR);
+        t
+    }
+
+    /// The code for a value, allocating if needed.
+    pub fn code(&mut self, v: PathValue) -> u32 {
+        if let Some(&c) = self.lookup.get(&v) {
+            return c;
+        }
+        let c = self.values.len() as u32;
+        self.values.push(v);
+        self.lookup.insert(v, c);
+        c
+    }
+
+    /// The value for a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code was never allocated.
+    pub fn value(&self, code: u32) -> PathValue {
+        self.values[code as usize]
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether only the seed values exist.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 2
+    }
+}
+
+/// The bounded analysis domain for a set of FS programs.
+#[derive(Debug, Clone, Default)]
+pub struct Domain {
+    /// Every path the encoding models, including parents and fresh
+    /// children.
+    pub paths: BTreeSet<FsPath>,
+    /// `children[p]` = modeled paths whose parent is `p`.
+    pub children: BTreeMap<FsPath, Vec<FsPath>>,
+}
+
+impl Domain {
+    /// Computes `dom` over a collection of expressions (paper fig. 8):
+    /// program paths, parents of created/copied paths, and a fresh child
+    /// for every `rm`'d or `emptydir?`-tested path.
+    pub fn of_exprs<'a>(exprs: impl IntoIterator<Item = &'a Expr>) -> Domain {
+        let mut paths: BTreeSet<FsPath> = BTreeSet::new();
+        paths.insert(FsPath::root());
+        for e in exprs {
+            collect_expr(e, &mut paths);
+        }
+        // Close under parents so every modeled path's parent is modeled
+        // (mkdir/creat/cp read the parent's state).
+        let snapshot: Vec<FsPath> = paths.iter().copied().collect();
+        for p in snapshot {
+            for a in p.ancestors() {
+                paths.insert(a);
+            }
+        }
+        let mut children: BTreeMap<FsPath, Vec<FsPath>> = BTreeMap::new();
+        for &p in &paths {
+            if let Some(parent) = p.parent() {
+                children.entry(parent).or_default().push(p);
+            }
+        }
+        Domain { paths, children }
+    }
+
+    /// The modeled children of `p`.
+    pub fn children_of(&self, p: FsPath) -> &[FsPath] {
+        self.children.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of modeled paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+fn fresh_child(p: FsPath) -> FsPath {
+    p.join(FRESH_COMPONENT)
+}
+
+fn collect_pred(pred: &Pred, out: &mut BTreeSet<FsPath>) {
+    match pred {
+        Pred::True | Pred::False => {}
+        Pred::DoesNotExist(p) | Pred::IsFile(p) | Pred::IsDir(p) => {
+            out.insert(*p);
+        }
+        Pred::IsEmptyDir(p) => {
+            out.insert(*p);
+            out.insert(fresh_child(*p));
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            collect_pred(a, out);
+            collect_pred(b, out);
+        }
+        Pred::Not(a) => collect_pred(a, out),
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut BTreeSet<FsPath>) {
+    match e {
+        Expr::Skip | Expr::Error => {}
+        Expr::Mkdir(p) | Expr::CreateFile(p, _) => {
+            out.insert(*p);
+            if let Some(parent) = p.parent() {
+                out.insert(parent);
+            }
+        }
+        Expr::Rm(p) => {
+            out.insert(*p);
+            out.insert(fresh_child(*p));
+        }
+        Expr::Cp(p1, p2) => {
+            out.insert(*p1);
+            out.insert(*p2);
+            if let Some(parent) = p2.parent() {
+                out.insert(parent);
+            }
+        }
+        Expr::Seq(a, b) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+        Expr::If(pred, a, b) => {
+            collect_pred(pred, out);
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn domain_includes_parents() {
+        let e = Expr::CreateFile(p("/a/b/c"), Content::intern("x"));
+        let d = Domain::of_exprs([&e]);
+        assert!(d.paths.contains(&p("/a/b/c")));
+        assert!(d.paths.contains(&p("/a/b")));
+        assert!(d.paths.contains(&p("/a")));
+        assert!(d.paths.contains(&FsPath::root()));
+    }
+
+    #[test]
+    fn rm_gets_fresh_child() {
+        let e = Expr::Rm(p("/d"));
+        let d = Domain::of_exprs([&e]);
+        let kids = d.children_of(p("/d"));
+        assert_eq!(kids.len(), 1);
+        assert!(is_fresh_path(kids[0]));
+    }
+
+    #[test]
+    fn emptydir_gets_fresh_child() {
+        // The paper's §4.1 example: emptydir?(/a) vs dir?(/a) differ only on
+        // states with something inside /a — the fresh child makes that state
+        // expressible.
+        let e = Expr::if_(Pred::IsEmptyDir(p("/a")), Expr::Skip, Expr::Error);
+        let d = Domain::of_exprs([&e]);
+        assert!(d.children_of(p("/a")).iter().any(|&c| is_fresh_path(c)));
+    }
+
+    #[test]
+    fn children_index_is_complete() {
+        let e1 = Expr::Mkdir(p("/x/y"));
+        let e2 = Expr::CreateFile(p("/x/z"), Content::intern("c"));
+        let d = Domain::of_exprs([&e1, &e2]);
+        let kids = d.children_of(p("/x"));
+        assert!(kids.contains(&p("/x/y")));
+        assert!(kids.contains(&p("/x/z")));
+    }
+
+    #[test]
+    fn value_table_codes_are_stable() {
+        let mut t = ValueTable::new();
+        let c = Content::intern("hello");
+        let f1 = t.code(PathValue::File(c));
+        let f2 = t.code(PathValue::File(c));
+        assert_eq!(f1, f2);
+        assert_ne!(f1, CODE_DNE);
+        assert_ne!(f1, CODE_DIR);
+        assert_eq!(t.value(f1), PathValue::File(c));
+        let i = t.code(PathValue::FileInit(p("/q")));
+        assert_ne!(i, f1);
+        assert_eq!(t.len(), 4);
+    }
+}

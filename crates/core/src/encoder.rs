@@ -1,0 +1,479 @@
+//! The symbolic evaluator Φ (paper fig. 7): FS programs to logical states.
+//!
+//! A logical state `Σ = ⟨ok, fs⟩` pairs an error-freedom formula with a map
+//! from modeled paths to finite-domain terms. Expressions update the map
+//! unconditionally and accumulate preconditions into `ok`, exactly as in
+//! the paper's figure; conditionals merge branches with if-then-else terms.
+
+use crate::domain::{Domain, PathValue, ValueTable, CODE_DIR, CODE_DNE};
+use rehearsal_fs::{Content, Expr, FileState, FileSystem, FsPath, Pred};
+use rehearsal_solver::{Ctx, Formula, ModelView, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A logical state `Σ` (paper fig. 7).
+#[derive(Debug, Clone)]
+pub struct SymState {
+    /// True iff no operation has failed.
+    pub ok: Formula,
+    /// The symbolic state of every modeled path.
+    pub fs: BTreeMap<FsPath, Term>,
+}
+
+/// The symbolic encoder: a solver context plus the value table and domain
+/// shared by every formula in one analysis.
+#[derive(Debug)]
+pub struct Encoder {
+    /// The underlying formula/term context.
+    pub ctx: Ctx,
+    /// Meaning of value codes.
+    pub values: ValueTable,
+    /// The bounded path domain.
+    pub domain: Domain,
+    /// Paths encoded as read-only (pruned paths, paper §4.4): their initial
+    /// variable is reused and never overwritten.
+    read_only: BTreeSet<FsPath>,
+}
+
+impl Encoder {
+    /// Creates an encoder for the given domain.
+    pub fn new(domain: Domain) -> Encoder {
+        Encoder {
+            ctx: Ctx::new(),
+            values: ValueTable::new(),
+            domain,
+            read_only: BTreeSet::new(),
+        }
+    }
+
+    /// Marks a path as read-only (its writes have been pruned away).
+    pub fn mark_read_only(&mut self, p: FsPath) {
+        self.read_only.insert(p);
+    }
+
+    /// Whether `p` is encoded read-only.
+    pub fn is_read_only(&self, p: FsPath) -> bool {
+        self.read_only.contains(&p)
+    }
+
+    /// Number of read-write (state-tracked) paths.
+    pub fn tracked_paths(&self) -> usize {
+        self.domain.paths.len() - self.read_only.len()
+    }
+
+    /// Builds the initial symbolic state: one finite-domain variable per
+    /// path over `{DNE, Dir, File(init_p)}`, with the root fixed to `Dir`.
+    ///
+    /// Initial states are constrained to be *tree-consistent*: a path may
+    /// only exist when its parent is a directory. Real filesystems satisfy
+    /// this, and every FS operation preserves it (`mkdir`/`creat`/`cp`
+    /// require the parent directory; `rm` requires emptiness), so
+    /// restricting the search is sound and necessary — without it the
+    /// checker reports divergences on impossible states such as
+    /// `/etc/ntp.conf` existing inside a missing `/etc`.
+    pub fn initial_state(&mut self) -> SymState {
+        let mut fs = BTreeMap::new();
+        for &p in &self.domain.paths.clone() {
+            let term = if p == FsPath::root() {
+                let dir = self.values.code(PathValue::Dir);
+                self.ctx.val(dir)
+            } else {
+                let dne = self.values.code(PathValue::Dne);
+                let dir = self.values.code(PathValue::Dir);
+                let init = self.values.code(PathValue::FileInit(p));
+                self.ctx.fd_var(&[dne, dir, init])
+            };
+            fs.insert(p, term);
+        }
+        // Tree consistency: exists(p) → dir?(parent(p)).
+        for (&p, &t) in &fs {
+            let Some(parent) = p.parent() else { continue };
+            let Some(&pt) = fs.get(&parent) else { continue };
+            let exists = {
+                let dne = self.ctx.bit(t, CODE_DNE);
+                self.ctx.not(dne)
+            };
+            let parent_dir = self.ctx.bit(pt, CODE_DIR);
+            let implication = self.ctx.implies(exists, parent_dir);
+            self.ctx.assert_background(implication);
+        }
+        SymState {
+            ok: self.ctx.tt(),
+            fs,
+        }
+    }
+
+    fn term_for(&self, state: &SymState, p: FsPath) -> Term {
+        *state
+            .fs
+            .get(&p)
+            .unwrap_or_else(|| panic!("path {p} not in the analysis domain"))
+    }
+
+    /// `dir?(p)` as a formula.
+    pub fn is_dir(&mut self, state: &SymState, p: FsPath) -> Formula {
+        let t = self.term_for(state, p);
+        self.ctx.bit(t, CODE_DIR)
+    }
+
+    /// `none?(p)` as a formula.
+    pub fn is_dne(&mut self, state: &SymState, p: FsPath) -> Formula {
+        let t = self.term_for(state, p);
+        self.ctx.bit(t, CODE_DNE)
+    }
+
+    /// `file?(p)` as a formula (not absent and not a directory).
+    pub fn is_file(&mut self, state: &SymState, p: FsPath) -> Formula {
+        let dne = self.is_dne(state, p);
+        let dir = self.is_dir(state, p);
+        let ndne = self.ctx.not(dne);
+        let ndir = self.ctx.not(dir);
+        self.ctx.and2(ndne, ndir)
+    }
+
+    /// `emptydir?(p)`: a directory whose modeled children are all absent.
+    ///
+    /// Completeness relies on the fresh children added by
+    /// [`Domain::of_exprs`] (paper fig. 8).
+    pub fn is_empty_dir(&mut self, state: &SymState, p: FsPath) -> Formula {
+        let mut conj = vec![self.is_dir(state, p)];
+        for &c in self.domain.children_of(p).to_vec().iter() {
+            conj.push(self.is_dne(state, c));
+        }
+        self.ctx.and(conj)
+    }
+
+    /// Encodes a predicate against a symbolic state.
+    pub fn eval_pred(&mut self, pred: &Pred, state: &SymState) -> Formula {
+        match pred {
+            Pred::True => self.ctx.tt(),
+            Pred::False => self.ctx.ff(),
+            Pred::DoesNotExist(p) => self.is_dne(state, *p),
+            Pred::IsFile(p) => self.is_file(state, *p),
+            Pred::IsDir(p) => self.is_dir(state, *p),
+            Pred::IsEmptyDir(p) => self.is_empty_dir(state, *p),
+            Pred::And(a, b) => {
+                let fa = self.eval_pred(a, state);
+                let fb = self.eval_pred(b, state);
+                self.ctx.and2(fa, fb)
+            }
+            Pred::Or(a, b) => {
+                let fa = self.eval_pred(a, state);
+                let fb = self.eval_pred(b, state);
+                self.ctx.or2(fa, fb)
+            }
+            Pred::Not(a) => {
+                let fa = self.eval_pred(a, state);
+                self.ctx.not(fa)
+            }
+        }
+    }
+
+    fn set_path(&mut self, state: &mut SymState, p: FsPath, value: Term) {
+        debug_assert!(
+            !self.read_only.contains(&p),
+            "write to pruned (read-only) path {p}"
+        );
+        state.fs.insert(p, value);
+    }
+
+    /// Φ(e): evaluates an expression symbolically (paper fig. 7).
+    pub fn eval_expr(&mut self, e: &Expr, state: &SymState) -> SymState {
+        match e {
+            Expr::Skip => state.clone(),
+            Expr::Error => SymState {
+                ok: self.ctx.ff(),
+                fs: state.fs.clone(),
+            },
+            Expr::Mkdir(p) => {
+                let parent = p.parent().expect("mkdir of root is rejected upstream");
+                let pre_parent = self.is_dir(state, parent);
+                let pre_self = self.is_dne(state, *p);
+                let pre = self.ctx.and2(pre_parent, pre_self);
+                let ok = self.ctx.and2(state.ok, pre);
+                let mut out = SymState {
+                    ok,
+                    fs: state.fs.clone(),
+                };
+                let dir = self.values.code(PathValue::Dir);
+                let dir_t = self.ctx.val(dir);
+                self.set_path(&mut out, *p, dir_t);
+                out
+            }
+            Expr::CreateFile(p, content) => {
+                let parent = p.parent().expect("creat at root is rejected upstream");
+                let pre_parent = self.is_dir(state, parent);
+                let pre_self = self.is_dne(state, *p);
+                let pre = self.ctx.and2(pre_parent, pre_self);
+                let ok = self.ctx.and2(state.ok, pre);
+                let mut out = SymState {
+                    ok,
+                    fs: state.fs.clone(),
+                };
+                let code = self.values.code(PathValue::File(*content));
+                let t = self.ctx.val(code);
+                self.set_path(&mut out, *p, t);
+                out
+            }
+            Expr::Rm(p) => {
+                let is_f = self.is_file(state, *p);
+                let is_ed = self.is_empty_dir(state, *p);
+                let pre = self.ctx.or2(is_f, is_ed);
+                let ok = self.ctx.and2(state.ok, pre);
+                let mut out = SymState {
+                    ok,
+                    fs: state.fs.clone(),
+                };
+                let dne = self.values.code(PathValue::Dne);
+                let t = self.ctx.val(dne);
+                self.set_path(&mut out, *p, t);
+                out
+            }
+            Expr::Cp(src, dst) => {
+                let dst_parent = dst.parent().expect("cp to root is rejected upstream");
+                let pre_src = self.is_file(state, *src);
+                let pre_parent = self.is_dir(state, dst_parent);
+                let pre_dst = self.is_dne(state, *dst);
+                let pre = self.ctx.and([pre_src, pre_parent, pre_dst]);
+                let ok = self.ctx.and2(state.ok, pre);
+                let mut out = SymState {
+                    ok,
+                    fs: state.fs.clone(),
+                };
+                // The destination takes the source's (file) value; non-file
+                // cases are excluded by `ok`, so junk values are harmless.
+                let src_t = self.term_for(state, *src);
+                self.set_path(&mut out, *dst, src_t);
+                out
+            }
+            Expr::Seq(a, b) => {
+                let mid = self.eval_expr(a, state);
+                self.eval_expr(b, &mid)
+            }
+            Expr::If(pred, then_, else_) => {
+                let cond = self.eval_pred(pred, state);
+                if self.ctx.is_true(cond) {
+                    return self.eval_expr(then_, state);
+                }
+                if self.ctx.is_false(cond) {
+                    return self.eval_expr(else_, state);
+                }
+                let st = self.eval_expr(then_, state);
+                let se = self.eval_expr(else_, state);
+                let ok = self.ctx.ite(cond, st.ok, se.ok);
+                let mut fs = state.fs.clone();
+                // Only merge paths that changed in at least one branch.
+                for (&p, &orig) in &state.fs {
+                    let tt = *st.fs.get(&p).unwrap_or(&orig);
+                    let te = *se.fs.get(&p).unwrap_or(&orig);
+                    if tt != te {
+                        let merged = self.ctx.tite(cond, tt, te);
+                        fs.insert(p, merged);
+                    } else if tt != orig {
+                        fs.insert(p, tt);
+                    }
+                }
+                SymState { ok, fs }
+            }
+        }
+    }
+
+    /// The formula "states `a` and `b` are observably different": their
+    /// error status differs, or both succeed and some path differs.
+    pub fn states_differ(&mut self, a: &SymState, b: &SymState) -> Formula {
+        let ok_differs = {
+            let iff = self.ctx.iff(a.ok, b.ok);
+            self.ctx.not(iff)
+        };
+        let mut some_path_differs = Vec::new();
+        for (&p, &ta) in &a.fs {
+            let tb = *b.fs.get(&p).expect("states share a domain");
+            if ta != tb {
+                some_path_differs.push(self.ctx.neq_terms(ta, tb));
+            }
+        }
+        let any = self.ctx.or(some_path_differs);
+        let both_ok = self.ctx.and2(a.ok, b.ok);
+        let diff_ok = self.ctx.and2(both_ok, any);
+        self.ctx.or2(ok_differs, diff_ok)
+    }
+
+    /// Decodes a model into a concrete filesystem over the domain,
+    /// interpreting the given symbolic state (typically the initial one).
+    pub fn decode_state(&mut self, model: &ModelView, state: &SymState) -> FileSystem {
+        let mut out = FileSystem::new();
+        for (&p, &t) in &state.fs {
+            let code = model.term_value_in(&self.ctx, t);
+            match self.values.value(code) {
+                PathValue::Dne => {}
+                PathValue::Dir => out.insert(p, FileState::Dir),
+                PathValue::File(c) => out.insert(p, FileState::File(c)),
+                PathValue::FileInit(q) => {
+                    // A provenance tag: materialize a content unique to q.
+                    let c = Content::intern(&format!("<initial content of {q}>"));
+                    out.insert(p, FileState::File(c));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::eval as concrete_eval;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    fn encoder_for(exprs: &[&Expr]) -> Encoder {
+        Encoder::new(Domain::of_exprs(exprs.iter().copied()))
+    }
+
+    #[test]
+    fn mkdir_success_needs_parent() {
+        let e = Expr::Mkdir(p("/a/b"));
+        let mut enc = encoder_for(&[&e]);
+        let s0 = enc.initial_state();
+        let s1 = enc.eval_expr(&e, &s0);
+        // Satisfiable: /a is a dir, /a/b absent.
+        let m = enc.ctx.solve(s1.ok).expect("mkdir can succeed");
+        let init = enc.decode_state(&m, &s0);
+        assert!(init.is_dir(p("/a")));
+        assert!(init.not_exists(p("/a/b")));
+    }
+
+    #[test]
+    fn mkdir_then_mkdir_same_path_always_fails() {
+        let e = Expr::Mkdir(p("/a")).seq(Expr::Mkdir(p("/a")));
+        let mut enc = encoder_for(&[&e]);
+        let s0 = enc.initial_state();
+        let s1 = enc.eval_expr(&e, &s0);
+        assert!(enc.ctx.solve(s1.ok).is_none(), "second mkdir must fail");
+    }
+
+    #[test]
+    fn conditional_merges_branches() {
+        let a = p("/a");
+        let e = Expr::if_(Pred::DoesNotExist(a), Expr::Mkdir(a), Expr::Skip);
+        let mut enc = encoder_for(&[&e]);
+        let s0 = enc.initial_state();
+        let s1 = enc.eval_expr(&e, &s0);
+        // The program fails only when /a exists as a file... actually when
+        // /a is absent it creates it (root is a dir), when /a is a dir it
+        // skips, when /a is a file it skips. It never fails.
+        let nok = enc.ctx.not(s1.ok);
+        assert!(enc.ctx.solve(nok).is_none(), "program never errs");
+        // But the final state of /a is not always Dir: a file stays a file.
+        let t = s1.fs[&a];
+        let dne = enc.ctx.bit(t, CODE_DNE);
+        assert!(enc.ctx.solve(dne).is_none(), "/a always exists afterwards");
+        let dir = enc.ctx.bit(t, CODE_DIR);
+        let ndir = enc.ctx.not(dir);
+        assert!(enc.ctx.solve(ndir).is_some(), "/a may remain a file");
+    }
+
+    #[test]
+    fn emptydir_distinguishes_from_dir() {
+        // Paper §4.1: these two programs differ, but only on a state with a
+        // child inside /a — found thanks to the fresh child.
+        let a = p("/a");
+        let e1 = Expr::if_(Pred::IsEmptyDir(a), Expr::Skip, Expr::Error);
+        let e2 = Expr::if_(Pred::IsDir(a), Expr::Skip, Expr::Error);
+        let mut enc = encoder_for(&[&e1, &e2]);
+        let s0 = enc.initial_state();
+        let o1 = enc.eval_expr(&e1, &s0);
+        let o2 = enc.eval_expr(&e2, &s0);
+        let diff = enc.states_differ(&o1, &o2);
+        let m = enc.ctx.solve(diff).expect("the programs differ");
+        let init = enc.decode_state(&m, &s0);
+        assert!(init.is_dir(a), "counterexample: /a is a non-empty dir");
+        let has_child = init.iter().any(|(q, _)| a.is_parent_of(q));
+        assert!(has_child, "counterexample must populate /a: {init}");
+    }
+
+    #[test]
+    fn equivalent_programs_have_unsat_difference() {
+        // Guarded mkdir ≡ its three-way expansion (paper §4.3).
+        let a = p("/a");
+        let e1 = Expr::if_then(Pred::IsDir(a).not(), Expr::Mkdir(a));
+        let e2 = Expr::if_(
+            Pred::DoesNotExist(a),
+            Expr::Mkdir(a),
+            Expr::if_(Pred::IsFile(a), Expr::Error, Expr::Skip),
+        );
+        let mut enc = encoder_for(&[&e1, &e2]);
+        let s0 = enc.initial_state();
+        let o1 = enc.eval_expr(&e1, &s0);
+        let o2 = enc.eval_expr(&e2, &s0);
+        let diff = enc.states_differ(&o1, &o2);
+        assert!(enc.ctx.solve(diff).is_none(), "programs are equivalent");
+    }
+
+    #[test]
+    fn cp_copies_symbolic_content() {
+        let e = Expr::Cp(p("/src"), p("/dst"));
+        let mut enc = encoder_for(&[&e]);
+        let s0 = enc.initial_state();
+        let s1 = enc.eval_expr(&e, &s0);
+        // After success, dst equals src's initial content.
+        let eq = enc.ctx.eq_terms(s1.fs[&p("/dst")], s0.fs[&p("/src")]);
+        let neq = enc.ctx.not(eq);
+        let bad = enc.ctx.and2(s1.ok, neq);
+        assert!(enc.ctx.solve(bad).is_none());
+    }
+
+    /// Cross-validation: on random-ish small programs, the symbolic
+    /// encoding's model decodes to an initial state on which the concrete
+    /// evaluator reproduces the symbolic verdict.
+    #[test]
+    fn symbolic_and_concrete_agree_on_error_behavior() {
+        let cases = vec![
+            Expr::Mkdir(p("/a")).seq(Expr::CreateFile(p("/a/f"), Content::intern("x"))),
+            Expr::Rm(p("/a")),
+            Expr::Cp(p("/a"), p("/b")).seq(Expr::Rm(p("/a"))),
+            Expr::if_(
+                Pred::IsFile(p("/a")),
+                Expr::Rm(p("/a")),
+                Expr::Mkdir(p("/a")),
+            ),
+        ];
+        for e in &cases {
+            let mut enc = encoder_for(&[e]);
+            let s0 = enc.initial_state();
+            let s1 = enc.eval_expr(e, &s0);
+            // If a success state exists, the decoded initial state must make
+            // the concrete evaluator succeed.
+            if let Some(m) = enc.ctx.solve(s1.ok) {
+                let init = enc.decode_state(&m, &s0);
+                assert!(
+                    concrete_eval(e, &init).is_ok(),
+                    "symbolic success must replay concretely: {e} on {init}"
+                );
+            }
+            // If a failure state exists, the decoded initial state must make
+            // the concrete evaluator fail.
+            let nok = enc.ctx.not(s1.ok);
+            if let Some(m) = enc.ctx.solve(nok) {
+                let init = enc.decode_state(&m, &s0);
+                assert!(
+                    concrete_eval(e, &init).is_err(),
+                    "symbolic failure must replay concretely: {e} on {init}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_paths_are_guarded() {
+        let e = Expr::if_(Pred::IsFile(p("/ro")), Expr::Skip, Expr::Error);
+        let mut enc = encoder_for(&[&e]);
+        enc.mark_read_only(p("/ro"));
+        assert!(enc.is_read_only(p("/ro")));
+        assert_eq!(enc.tracked_paths(), enc.domain.len() - 1);
+        let s0 = enc.initial_state();
+        let s1 = enc.eval_expr(&e, &s0);
+        assert!(enc.ctx.solve(s1.ok).is_some());
+    }
+}

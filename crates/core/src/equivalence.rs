@@ -1,0 +1,171 @@
+//! Semantic equivalence of FS programs (paper §4.2): `e1 ≡ e2` iff they
+//! produce the same outcome on every (tree-consistent) input filesystem.
+//!
+//! Equivalence checking is the primitive underneath both the determinacy
+//! check (all permutations pairwise equivalent) and the idempotence check
+//! (`e ≡ e; e`); exposing it directly makes the library usable for
+//! manifest-refactoring workflows ("is my rewritten module observably the
+//! same?").
+
+use crate::determinism::{AnalysisAborted, AnalysisOptions};
+use crate::domain::Domain;
+use crate::encoder::Encoder;
+use rehearsal_fs::{eval as concrete_eval, Expr, FileSystem};
+use std::time::Instant;
+
+/// The verdict of an equivalence query.
+#[derive(Debug, Clone)]
+pub enum EquivalenceReport {
+    /// The programs agree on every input.
+    Equivalent,
+    /// A witness input on which they differ, with both replayed outcomes.
+    Inequivalent {
+        /// The distinguishing initial filesystem.
+        witness: FileSystem,
+        /// Concrete outcome of the first program.
+        outcome_1: Result<FileSystem, rehearsal_fs::ExecError>,
+        /// Concrete outcome of the second program.
+        outcome_2: Result<FileSystem, rehearsal_fs::ExecError>,
+    },
+}
+
+impl EquivalenceReport {
+    /// Whether the programs are equivalent.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivalenceReport::Equivalent)
+    }
+}
+
+/// Decides `e1 ≡ e2` (over tree-consistent inputs, compared on the bounded
+/// domain of both programs — complete by the paper's Lemma 2 thanks to
+/// fresh-child domain bounding).
+///
+/// # Errors
+///
+/// Returns [`AnalysisAborted`] on timeout.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_core::{check_expr_equivalence, AnalysisOptions};
+/// use rehearsal_fs::{Expr, FsPath, Pred};
+///
+/// // The paper's §4.3 equivalence: a guarded mkdir and its expansion.
+/// let p = FsPath::parse("/a")?;
+/// let e1 = Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p));
+/// let e2 = Expr::if_(
+///     Pred::DoesNotExist(p),
+///     Expr::Mkdir(p),
+///     Expr::if_(Pred::IsFile(p), Expr::Error, Expr::Skip),
+/// );
+/// let report = check_expr_equivalence(&e1, &e2, &AnalysisOptions::default())?;
+/// assert!(report.is_equivalent());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_expr_equivalence(
+    e1: &Expr,
+    e2: &Expr,
+    options: &AnalysisOptions,
+) -> Result<EquivalenceReport, AnalysisAborted> {
+    let deadline = options.timeout.map(|t| Instant::now() + t);
+    let domain = Domain::of_exprs([e1, e2]);
+    let mut enc = Encoder::new(domain);
+    let s0 = enc.initial_state();
+    let o1 = enc.eval_expr(e1, &s0);
+    let o2 = enc.eval_expr(e2, &s0);
+    let diff = enc.states_differ(&o1, &o2);
+    let solved = enc
+        .ctx
+        .solve_with_deadline(diff, deadline)
+        .map_err(|_| AnalysisAborted {
+            reason: "timeout during SAT solving".to_string(),
+        })?;
+    match solved {
+        None => Ok(EquivalenceReport::Equivalent),
+        Some(model) => {
+            let witness = enc.decode_state(&model, &s0);
+            let outcome_1 = concrete_eval(e1, &witness);
+            let outcome_2 = concrete_eval(e2, &witness);
+            Ok(EquivalenceReport::Inequivalent {
+                witness,
+                outcome_1,
+                outcome_2,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::{Content, FsPath, Pred};
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    fn opts() -> AnalysisOptions {
+        AnalysisOptions::default()
+    }
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let e = Expr::Mkdir(p("/a"));
+        assert!(check_expr_equivalence(&e, &e, &opts())
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn paper_emptydir_vs_dir_witness_populates_directory() {
+        // §4.1's completeness example.
+        let e1 = Expr::if_(Pred::IsEmptyDir(p("/a")), Expr::Skip, Expr::Error);
+        let e2 = Expr::if_(Pred::IsDir(p("/a")), Expr::Skip, Expr::Error);
+        match check_expr_equivalence(&e1, &e2, &opts()).unwrap() {
+            EquivalenceReport::Inequivalent {
+                witness,
+                outcome_1,
+                outcome_2,
+            } => {
+                assert!(witness.is_dir(p("/a")));
+                assert!(
+                    witness.iter().any(|(q, _)| p("/a").is_parent_of(q)),
+                    "witness must place something inside /a"
+                );
+                assert_ne!(outcome_1, outcome_2);
+            }
+            EquivalenceReport::Equivalent => panic!("must differ"),
+        }
+    }
+
+    #[test]
+    fn commuting_writes_make_equal_sequences() {
+        let a = Expr::CreateFile(p("/x"), Content::intern("1"));
+        let b = Expr::CreateFile(p("/y"), Content::intern("2"));
+        let ab = a.clone().seq(b.clone());
+        let ba = b.seq(a);
+        assert!(check_expr_equivalence(&ab, &ba, &opts())
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn content_difference_is_detected() {
+        let e1 = Expr::CreateFile(p("/x"), Content::intern("one"));
+        let e2 = Expr::CreateFile(p("/x"), Content::intern("two"));
+        let report = check_expr_equivalence(&e1, &e2, &opts()).unwrap();
+        assert!(!report.is_equivalent());
+    }
+
+    #[test]
+    fn skip_vs_error_guard() {
+        let e1 = Expr::Skip;
+        let e2 = Expr::if_(Pred::IsFile(p("/f")), Expr::Error, Expr::Skip);
+        match check_expr_equivalence(&e1, &e2, &opts()).unwrap() {
+            EquivalenceReport::Inequivalent { witness, .. } => {
+                assert!(witness.is_file(p("/f")));
+            }
+            EquivalenceReport::Equivalent => panic!("must differ when /f is a file"),
+        }
+    }
+}

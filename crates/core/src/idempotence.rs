@@ -1,0 +1,197 @@
+//! Idempotence checking (paper §5): once a manifest is deterministic, any
+//! topological order gives *the* semantics as a single expression `e`, and
+//! idempotence is the equivalence `e ≡ e; e` — one more symbolic query.
+//!
+//! Applying these checks to a non-deterministic manifest would be unsound
+//! (the paper stresses this), so the driver runs the determinacy analysis
+//! first.
+
+use crate::determinism::{AnalysisAborted, AnalysisOptions, FsGraph};
+use crate::domain::Domain;
+use crate::encoder::Encoder;
+use rehearsal_fs::{eval as concrete_eval, Expr, FileSystem};
+use std::time::Instant;
+
+/// A counterexample to idempotence: an initial state where applying the
+/// manifest twice differs from applying it once.
+#[derive(Debug, Clone)]
+pub struct IdempotenceCounterexample {
+    /// The initial filesystem.
+    pub initial: FileSystem,
+    /// Concrete outcome after one application.
+    pub after_once: Result<FileSystem, rehearsal_fs::ExecError>,
+    /// Concrete outcome after two applications.
+    pub after_twice: Result<FileSystem, rehearsal_fs::ExecError>,
+}
+
+/// The verdict of the idempotence check.
+#[derive(Debug, Clone)]
+pub enum IdempotenceReport {
+    /// `e ≡ e; e`.
+    Idempotent,
+    /// Applying twice can differ from applying once.
+    NotIdempotent(Box<IdempotenceCounterexample>),
+}
+
+impl IdempotenceReport {
+    /// Whether the manifest is idempotent.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(self, IdempotenceReport::Idempotent)
+    }
+}
+
+/// Checks `e ≡ e; e` for a single expression.
+///
+/// # Errors
+///
+/// Returns [`AnalysisAborted`] on timeout.
+pub fn check_expr_idempotence(
+    e: &Expr,
+    options: &AnalysisOptions,
+) -> Result<IdempotenceReport, AnalysisAborted> {
+    let deadline = options.timeout.map(|t| Instant::now() + t);
+    let domain = Domain::of_exprs([e]);
+    let mut enc = Encoder::new(domain);
+    let s0 = enc.initial_state();
+    let once = enc.eval_expr(e, &s0);
+    let twice = enc.eval_expr(e, &once);
+    let diff = enc.states_differ(&once, &twice);
+    let solved = enc
+        .ctx
+        .solve_with_deadline(diff, deadline)
+        .map_err(|_| AnalysisAborted {
+            reason: "timeout during SAT solving".to_string(),
+        })?;
+    match solved {
+        None => Ok(IdempotenceReport::Idempotent),
+        Some(model) => {
+            let initial = enc.decode_state(&model, &s0);
+            let after_once = concrete_eval(e, &initial);
+            let after_twice = after_once.clone().and_then(|mid| concrete_eval(e, &mid));
+            Ok(IdempotenceReport::NotIdempotent(Box::new(
+                IdempotenceCounterexample {
+                    initial,
+                    after_once,
+                    after_twice,
+                },
+            )))
+        }
+    }
+}
+
+/// Checks idempotence of a (deterministic) resource graph by sequencing
+/// one topological order.
+///
+/// # Errors
+///
+/// Returns [`AnalysisAborted`] on timeout.
+pub fn check_idempotence(
+    graph: &FsGraph,
+    options: &AnalysisOptions,
+) -> Result<IdempotenceReport, AnalysisAborted> {
+    let order = graph.topological_order();
+    let seq = Expr::seq_all(order.into_iter().map(|i| graph.exprs[i].clone()));
+    check_expr_idempotence(&seq, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::{Content, FsPath, Pred};
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn skip_is_idempotent() {
+        let r = check_expr_idempotence(&Expr::Skip, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_idempotent());
+    }
+
+    #[test]
+    fn raw_mkdir_is_not_idempotent() {
+        // mkdir(/a); mkdir(/a) always fails the second time when the first
+        // succeeded.
+        let e = Expr::Mkdir(p("/a"));
+        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        match r {
+            IdempotenceReport::NotIdempotent(cex) => {
+                assert!(cex.after_once.is_ok());
+                assert!(cex.after_twice.is_err());
+            }
+            IdempotenceReport::Idempotent => panic!("raw mkdir is not idempotent"),
+        }
+    }
+
+    #[test]
+    fn guarded_mkdir_is_idempotent() {
+        let e = Expr::if_then(Pred::IsDir(p("/a")).not(), Expr::Mkdir(p("/a")));
+        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_idempotent());
+    }
+
+    #[test]
+    fn paper_fig3d_copy_then_delete() {
+        // file{/dst: source => /src}; file{/src: ensure => absent} with the
+        // dependency File[/dst] -> File[/src]: deterministic but NOT
+        // idempotent (the second run has no /src to copy).
+        let copy = Expr::if_(
+            Pred::DoesNotExist(p("/dst")),
+            Expr::Cp(p("/src"), p("/dst")),
+            Expr::if_(
+                Pred::IsFile(p("/dst")),
+                Expr::Rm(p("/dst")).seq(Expr::Cp(p("/src"), p("/dst"))),
+                Expr::Error,
+            ),
+        );
+        let delete = Expr::if_(
+            Pred::IsFile(p("/src")),
+            Expr::Rm(p("/src")),
+            Expr::if_(Pred::DoesNotExist(p("/src")), Expr::Skip, Expr::Error),
+        );
+        let e = copy.seq(delete);
+        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        match r {
+            IdempotenceReport::NotIdempotent(cex) => {
+                assert!(cex.after_once.is_ok(), "first run succeeds");
+                assert!(cex.after_twice.is_err(), "second run fails: /src gone");
+            }
+            IdempotenceReport::Idempotent => panic!("fig 3d is not idempotent"),
+        }
+    }
+
+    #[test]
+    fn overwrite_is_idempotent() {
+        let c = Content::intern("v");
+        let f = p("/f");
+        let e = Expr::if_(
+            Pred::DoesNotExist(f),
+            Expr::CreateFile(f, c),
+            Expr::if_(
+                Pred::IsFile(f),
+                Expr::Rm(f).seq(Expr::CreateFile(f, c)),
+                Expr::Error,
+            ),
+        );
+        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_idempotent());
+    }
+
+    #[test]
+    fn graph_level_check_uses_topological_order() {
+        let a = Expr::if_then(Pred::IsDir(p("/d")).not(), Expr::Mkdir(p("/d")));
+        let b = Expr::if_(
+            Pred::DoesNotExist(p("/d/f")),
+            Expr::CreateFile(p("/d/f"), Content::intern("x")),
+            Expr::if_(Pred::IsFile(p("/d/f")), Expr::Skip, Expr::Error),
+        );
+        let g = FsGraph::new(
+            vec![a, b],
+            [(0usize, 1usize)].into_iter().collect(),
+            vec!["dir".into(), "file".into()],
+        );
+        let r = check_idempotence(&g, &AnalysisOptions::default()).unwrap();
+        assert!(r.is_idempotent());
+    }
+}

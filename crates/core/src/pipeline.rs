@@ -1,0 +1,449 @@
+//! The end-to-end Rehearsal pipeline: Puppet source → parse → evaluate →
+//! resource graph → resource compiler → determinacy and idempotency
+//! analyses.
+
+use crate::determinism::{
+    check_determinism, AnalysisAborted, AnalysisOptions, DeterminismReport, FsGraph,
+};
+use crate::idempotence::{check_idempotence, IdempotenceReport};
+use crate::invariants::{check_invariant, Invariant, InvariantReport};
+use rehearsal_pkgdb::{PackageDb, Platform};
+use rehearsal_puppet::{
+    evaluate, parse, Catalog, CycleError, EvalError, Facts, ParseError, ResourceGraph,
+};
+use rehearsal_resources::{compile, CompileCtx, CompileError};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Any error on the road from manifest text to a verdict.
+#[derive(Debug)]
+pub enum RehearsalError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Catalog compilation failed.
+    Eval(EvalError),
+    /// The dependency graph has a cycle (e.g. the paper's fig. 3b
+    /// composition).
+    Cycle(CycleError),
+    /// A resource could not be modeled as an FS program.
+    Compile(CompileError),
+    /// The analysis ran out of time or space.
+    Aborted(AnalysisAborted),
+}
+
+impl fmt::Display for RehearsalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RehearsalError::Parse(e) => write!(f, "{e}"),
+            RehearsalError::Eval(e) => write!(f, "{e}"),
+            RehearsalError::Cycle(e) => write!(f, "{e}"),
+            RehearsalError::Compile(e) => write!(f, "{e}"),
+            RehearsalError::Aborted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RehearsalError {}
+
+impl From<ParseError> for RehearsalError {
+    fn from(e: ParseError) -> Self {
+        RehearsalError::Parse(e)
+    }
+}
+impl From<EvalError> for RehearsalError {
+    fn from(e: EvalError) -> Self {
+        RehearsalError::Eval(e)
+    }
+}
+impl From<CycleError> for RehearsalError {
+    fn from(e: CycleError) -> Self {
+        RehearsalError::Cycle(e)
+    }
+}
+impl From<CompileError> for RehearsalError {
+    fn from(e: CompileError) -> Self {
+        RehearsalError::Compile(e)
+    }
+}
+impl From<AnalysisAborted> for RehearsalError {
+    fn from(e: AnalysisAborted) -> Self {
+        RehearsalError::Aborted(e)
+    }
+}
+
+/// The combined verdict of [`Rehearsal::verify`].
+#[derive(Debug)]
+pub struct VerificationReport {
+    /// The determinacy verdict.
+    pub determinism: DeterminismReport,
+    /// The idempotency verdict; only checked when deterministic (applying
+    /// the idempotence check to a non-deterministic manifest would be
+    /// unsound, paper §5).
+    pub idempotence: Option<IdempotenceReport>,
+}
+
+impl VerificationReport {
+    /// Whether the manifest passed both checks.
+    pub fn is_correct(&self) -> bool {
+        self.determinism.is_deterministic()
+            && self
+                .idempotence
+                .as_ref()
+                .map(IdempotenceReport::is_idempotent)
+                .unwrap_or(false)
+    }
+}
+
+/// The top-level verification tool: platform + options + package database.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_core::Rehearsal;
+/// use rehearsal_pkgdb::Platform;
+///
+/// let tool = Rehearsal::new(Platform::Ubuntu);
+/// let report = tool.verify(
+///     "file { '/etc/motd': content => 'welcome' }",
+/// )?;
+/// assert!(report.is_correct());
+/// # Ok::<(), rehearsal_core::RehearsalError>(())
+/// ```
+#[derive(Debug)]
+pub struct Rehearsal {
+    facts: Facts,
+    db: PackageDb,
+    options: AnalysisOptions,
+    dependency_closures: bool,
+}
+
+impl Rehearsal {
+    /// A tool instance for the given platform with the built-in package
+    /// database and default options.
+    pub fn new(platform: Platform) -> Rehearsal {
+        let facts = match platform {
+            Platform::Ubuntu => Facts::ubuntu(),
+            Platform::Centos => Facts::centos(),
+        };
+        Rehearsal {
+            facts,
+            db: PackageDb::builtin(platform),
+            options: AnalysisOptions::default(),
+            dependency_closures: false,
+        }
+    }
+
+    /// Enables dependency-closure modeling for packages: installs pull in
+    /// dependencies, removals pull in reverse-dependents, as `apt` does.
+    /// This is our implementation of the paper's §8 future-work suggestion
+    /// (Opium-style metadata) and is what detects the golang-go/perl silent
+    /// failure (fig. 3c). Off by default to match the original tool.
+    #[must_use]
+    pub fn with_dependency_closures(mut self, on: bool) -> Rehearsal {
+        self.dependency_closures = on;
+        self
+    }
+
+    /// Replaces the analysis options.
+    #[must_use]
+    pub fn with_options(mut self, options: AnalysisOptions) -> Rehearsal {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the node facts.
+    #[must_use]
+    pub fn with_facts(mut self, facts: Facts) -> Rehearsal {
+        self.facts = facts;
+        self
+    }
+
+    /// Replaces the package database.
+    #[must_use]
+    pub fn with_db(mut self, db: PackageDb) -> Rehearsal {
+        self.db = db;
+        self
+    }
+
+    /// The current analysis options.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Parses and evaluates a manifest to a catalog.
+    ///
+    /// # Errors
+    ///
+    /// Parse or evaluation errors.
+    pub fn catalog(&self, source: &str) -> Result<Catalog, RehearsalError> {
+        let manifest = parse(source)?;
+        Ok(evaluate(&manifest, &self.facts)?)
+    }
+
+    /// Lowers a manifest all the way to an [`FsGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Parse, evaluation, cycle, or resource-compilation errors.
+    pub fn lower(&self, source: &str) -> Result<FsGraph, RehearsalError> {
+        let catalog = self.catalog(source)?;
+        self.lower_catalog(&catalog)
+    }
+
+    /// Lowers an already-evaluated catalog to an [`FsGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Cycle or resource-compilation errors.
+    pub fn lower_catalog(&self, catalog: &Catalog) -> Result<FsGraph, RehearsalError> {
+        let graph = ResourceGraph::from_catalog(catalog)?;
+        let ctx = CompileCtx::new(&self.db).with_dependency_closures(self.dependency_closures);
+        let mut exprs = Vec::with_capacity(graph.len());
+        let mut names = Vec::with_capacity(graph.len());
+        for r in graph.resources() {
+            exprs.push(compile(r, &ctx)?);
+            names.push(r.display_name());
+        }
+        let edges: BTreeSet<(usize, usize)> = graph.edges().iter().copied().collect();
+        Ok(FsGraph::new(exprs, edges, names))
+    }
+
+    /// Runs the determinacy analysis on a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors or [`AnalysisAborted`].
+    pub fn check_determinism(&self, source: &str) -> Result<DeterminismReport, RehearsalError> {
+        let graph = self.lower(source)?;
+        Ok(check_determinism(&graph, &self.options)?)
+    }
+
+    /// Runs the idempotence check on a manifest (callers should establish
+    /// determinism first; [`Rehearsal::verify`] does).
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors or [`AnalysisAborted`].
+    pub fn check_idempotence(&self, source: &str) -> Result<IdempotenceReport, RehearsalError> {
+        let graph = self.lower(source)?;
+        Ok(check_idempotence(&graph, &self.options)?)
+    }
+
+    /// Checks a post-state invariant (callers should establish determinism
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors or [`AnalysisAborted`].
+    pub fn check_invariant(
+        &self,
+        source: &str,
+        invariant: &Invariant,
+    ) -> Result<InvariantReport, RehearsalError> {
+        let graph = self.lower(source)?;
+        Ok(check_invariant(&graph, invariant, &self.options)?)
+    }
+
+    /// The full verification: determinism, then (if deterministic)
+    /// idempotence.
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors or [`AnalysisAborted`].
+    pub fn verify(&self, source: &str) -> Result<VerificationReport, RehearsalError> {
+        let graph = self.lower(source)?;
+        let determinism = check_determinism(&graph, &self.options)?;
+        let idempotence = if determinism.is_deterministic() {
+            Some(check_idempotence(&graph, &self.options)?)
+        } else {
+            None
+        };
+        Ok(VerificationReport {
+            determinism,
+            idempotence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tool() -> Rehearsal {
+        Rehearsal::new(Platform::Ubuntu)
+    }
+
+    #[test]
+    fn trivial_manifest_verifies() {
+        let r = tool()
+            .verify("file { '/etc/motd': content => 'hi' }")
+            .unwrap();
+        assert!(r.is_correct());
+    }
+
+    #[test]
+    fn paper_intro_example_is_nondeterministic() {
+        // §1: vim + carol's .vimrc + carol, with no dependency between the
+        // user and the file.
+        let src = r#"
+            package { 'vim': ensure => present }
+            file { '/home/carol/.vimrc': content => 'syntax on' }
+            user { 'carol': ensure => present, managehome => true }
+        "#;
+        let r = tool().check_determinism(src).unwrap();
+        assert!(!r.is_deterministic(), "missing User -> File dependency");
+    }
+
+    #[test]
+    fn paper_intro_example_fixed() {
+        let src = r#"
+            package { 'vim': ensure => present }
+            file { '/home/carol/.vimrc': content => 'syntax on' }
+            user { 'carol': ensure => present, managehome => true }
+            User['carol'] -> File['/home/carol/.vimrc']
+        "#;
+        let r = tool().verify(src).unwrap();
+        assert!(r.determinism.is_deterministic());
+        assert!(r.idempotence.unwrap().is_idempotent());
+    }
+
+    #[test]
+    fn fig3a_apache_missing_dependency() {
+        let src = r#"
+            file { '/etc/apache2/sites-available/000-default.conf':
+              content => 'my site',
+            }
+            package { 'apache2': ensure => present }
+        "#;
+        let r = tool().check_determinism(src).unwrap();
+        assert!(!r.is_deterministic());
+    }
+
+    #[test]
+    fn fig3a_apache_fixed() {
+        let src = r#"
+            file { '/etc/apache2/sites-available/000-default.conf':
+              content => 'my site',
+              require => Package['apache2'],
+            }
+            package { 'apache2': ensure => present }
+        "#;
+        let r = tool().verify(src).unwrap();
+        assert!(r.is_correct());
+    }
+
+    #[test]
+    fn fig3b_false_dependencies_cycle() {
+        let src = r#"
+            define cpp() {
+              if !defined(Package['m4']) { package { 'm4': ensure => present } }
+              if !defined(Package['make']) { package { 'make': ensure => present } }
+              package { 'gcc': ensure => present }
+              Package['m4'] -> Package['make']
+              Package['make'] -> Package['gcc']
+            }
+            define ocaml() {
+              if !defined(Package['make']) { package { 'make': ensure => present } }
+              if !defined(Package['m4']) { package { 'm4': ensure => present } }
+              package { 'ocaml': ensure => present }
+              Package['make'] -> Package['m4']
+              Package['m4'] -> Package['ocaml']
+            }
+            cpp { 'dev': }
+            ocaml { 'dev': }
+        "#;
+        let err = tool().check_determinism(src).unwrap_err();
+        assert!(matches!(err, RehearsalError::Cycle(_)), "got: {err}");
+    }
+
+    #[test]
+    fn fig3c_silent_failure_two_success_states() {
+        // Requires dependency-closure modeling (our §8 extension).
+        let src = r#"
+            package { 'golang-go': ensure => present }
+            package { 'perl': ensure => absent }
+        "#;
+        let r = tool()
+            .with_dependency_closures(true)
+            .check_determinism(src)
+            .unwrap();
+        match r {
+            DeterminismReport::NonDeterministic(cex, _) => {
+                // Both orders *succeed* but reach different states — the
+                // "silent failure".
+                assert!(cex.outcome_a.is_ok());
+                assert!(cex.outcome_b.is_ok());
+                assert_ne!(cex.outcome_a, cex.outcome_b);
+            }
+            DeterminismReport::Deterministic(_) => panic!("fig 3c is nondeterministic"),
+        }
+    }
+
+    #[test]
+    fn fig3d_not_idempotent() {
+        let src = r#"
+            file { '/dst': source => '/src' }
+            file { '/src': ensure => absent }
+            File['/dst'] -> File['/src']
+        "#;
+        let r = tool().verify(src).unwrap();
+        assert!(r.determinism.is_deterministic());
+        assert!(!r.idempotence.unwrap().is_idempotent());
+    }
+
+    #[test]
+    fn exec_resources_are_rejected() {
+        let err = tool()
+            .check_determinism("exec { 'apt-get update': }")
+            .unwrap_err();
+        assert!(matches!(err, RehearsalError::Compile(_)));
+    }
+
+    #[test]
+    fn invariant_checking_through_pipeline() {
+        let src = "file { '/etc/motd': content => 'welcome' }";
+        let inv = Invariant::FileWithContent(
+            rehearsal_fs::FsPath::parse("/etc/motd").unwrap(),
+            rehearsal_fs::Content::intern("welcome"),
+        );
+        let r = tool().check_invariant(src, &inv).unwrap();
+        assert!(r.holds());
+    }
+
+    #[test]
+    fn ssh_key_requires_user() {
+        // One of the paper's found bug classes: ssh key without its user.
+        let src = r#"
+            user { 'carol': ensure => present, managehome => true }
+            ssh_authorized_key { 'carol@laptop': user => 'carol', key => 'AAAA' }
+        "#;
+        let r = tool().check_determinism(src).unwrap();
+        assert!(!r.is_deterministic(), "missing User -> Ssh_authorized_key");
+
+        let fixed = r#"
+            user { 'carol': ensure => present, managehome => true }
+            ssh_authorized_key { 'carol@laptop':
+              user => 'carol', key => 'AAAA', require => User['carol'],
+            }
+        "#;
+        let r = tool().check_determinism(fixed).unwrap();
+        assert!(r.is_deterministic());
+    }
+
+    #[test]
+    fn package_service_file_stack() {
+        let src = r#"
+            package { 'nginx': ensure => present }
+            file { '/etc/nginx/nginx.conf':
+              content => 'worker_processes 4;',
+              require => Package['nginx'],
+            }
+            service { 'nginx':
+              ensure  => running,
+              require => [Package['nginx'], File['/etc/nginx/nginx.conf']],
+            }
+        "#;
+        let r = tool().verify(src).unwrap();
+        assert!(r.is_correct(), "the canonical package/file/service stack");
+    }
+}

@@ -1,0 +1,216 @@
+//! Manifest repair (an extension; the paper's conclusion names repair as
+//! a tool its semantics enables): when a manifest is non-deterministic,
+//! propose missing dependency edges that make it deterministic.
+//!
+//! The repair loop is counterexample-guided: each counterexample exhibits
+//! two orders that disagree; some unordered, non-commuting pair of
+//! resources appears in opposite relative order in them. Ordering that
+//! pair (in the direction of the succeeding/first order) removes this
+//! counterexample; iterate until deterministic or out of candidates.
+
+use crate::commutativity::{accesses, commutes, AccessSummary};
+use crate::determinism::{
+    check_determinism, AnalysisAborted, AnalysisOptions, DeterminismReport, FsGraph,
+};
+
+/// The outcome of a repair attempt.
+#[derive(Debug, Clone)]
+pub enum RepairReport {
+    /// The manifest was already deterministic.
+    AlreadyDeterministic,
+    /// Adding these edges (in order) makes the manifest deterministic.
+    Repaired {
+        /// `(before, after)` pairs, as indices into the graph's resources.
+        added_edges: Vec<(usize, usize)>,
+    },
+    /// No set of ordering edges fixes it (e.g. the divergence is a
+    /// fundamental conflict such as fig. 3c) within the iteration budget.
+    NotRepairable {
+        /// Edges that were tried before giving up.
+        attempted: Vec<(usize, usize)>,
+    },
+}
+
+impl RepairReport {
+    /// Whether the repair (or the original) is deterministic.
+    pub fn is_success(&self) -> bool {
+        !matches!(self, RepairReport::NotRepairable { .. })
+    }
+}
+
+/// Proposes dependency edges that make `graph` deterministic.
+///
+/// # Errors
+///
+/// Returns [`AnalysisAborted`] if an underlying determinism check aborts.
+pub fn suggest_repair(
+    graph: &FsGraph,
+    options: &AnalysisOptions,
+) -> Result<RepairReport, AnalysisAborted> {
+    let summaries: Vec<AccessSummary> = graph.exprs.iter().map(accesses).collect();
+    let mut work = graph.clone();
+    let mut added: Vec<(usize, usize)> = Vec::new();
+    // Each round adds one edge; n² bounds the rounds.
+    let budget = graph.exprs.len() * graph.exprs.len() + 1;
+    for _ in 0..budget {
+        match check_determinism(&work, options)? {
+            DeterminismReport::Deterministic(_) => {
+                return Ok(if added.is_empty() {
+                    RepairReport::AlreadyDeterministic
+                } else {
+                    RepairReport::Repaired { added_edges: added }
+                });
+            }
+            DeterminismReport::NonDeterministic(cex, _) => {
+                let Some((a, b)) = pick_edge(&work, &summaries, &cex.order_a, &cex.order_b) else {
+                    return Ok(RepairReport::NotRepairable { attempted: added });
+                };
+                work.edges.insert((a, b));
+                added.push((a, b));
+            }
+        }
+    }
+    Ok(RepairReport::NotRepairable { attempted: added })
+}
+
+/// Finds an unordered, non-commuting pair that appears in opposite orders
+/// in the two counterexample sequences; proposes ordering it as in
+/// `order_a` (the representative order), provided that keeps the graph
+/// acyclic.
+fn pick_edge(
+    graph: &FsGraph,
+    summaries: &[AccessSummary],
+    order_a: &[usize],
+    order_b: &[usize],
+) -> Option<(usize, usize)> {
+    let pos = |order: &[usize], x: usize| order.iter().position(|&i| i == x);
+    let reachable = |from: usize, to: usize| -> bool {
+        // DFS over existing edges.
+        let mut stack = vec![from];
+        let mut seen = vec![false; graph.exprs.len()];
+        while let Some(i) = stack.pop() {
+            if i == to {
+                return true;
+            }
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            for &(x, y) in &graph.edges {
+                if x == i {
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    };
+    for (ia, &x) in order_a.iter().enumerate() {
+        for &y in order_a.iter().skip(ia + 1) {
+            // x before y in A; is it y before x in B?
+            let (Some(px), Some(py)) = (pos(order_b, x), pos(order_b, y)) else {
+                continue;
+            };
+            if px < py {
+                continue; // same relative order in both
+            }
+            if commutes(&summaries[x], &summaries[y]) {
+                continue; // ordering them cannot matter
+            }
+            if reachable(y, x) {
+                continue; // adding x→y would close a cycle
+            }
+            return Some((x, y));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::{Content, Expr, FsPath, Pred};
+    use std::collections::BTreeSet;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    fn graph(exprs: Vec<Expr>, edges: &[(usize, usize)]) -> FsGraph {
+        let names = (0..exprs.len()).map(|i| format!("r{i}")).collect();
+        FsGraph::new(exprs, edges.iter().copied().collect(), names)
+    }
+
+    #[test]
+    fn deterministic_graph_needs_no_repair() {
+        let g = graph(vec![Expr::Skip, Expr::Skip], &[]);
+        let r = suggest_repair(&g, &AnalysisOptions::default()).unwrap();
+        assert!(matches!(r, RepairReport::AlreadyDeterministic));
+    }
+
+    #[test]
+    fn missing_dependency_is_repaired() {
+        // mkdir /d unordered with creat /d/f: the classic missing edge.
+        let a = Expr::if_then(Pred::IsDir(p("/d")).not(), Expr::Mkdir(p("/d")));
+        let b = Expr::if_(
+            Pred::DoesNotExist(p("/d/f")),
+            Expr::CreateFile(p("/d/f"), Content::intern("x")),
+            Expr::if_(Pred::IsFile(p("/d/f")), Expr::Skip, Expr::Error),
+        );
+        let g = graph(vec![a, b], &[]);
+        let r = suggest_repair(&g, &AnalysisOptions::default()).unwrap();
+        match r {
+            RepairReport::Repaired { added_edges } => {
+                assert_eq!(added_edges.len(), 1);
+            }
+            other => panic!("expected a repair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repaired_graph_verifies() {
+        let a = Expr::if_then(Pred::IsDir(p("/d")).not(), Expr::Mkdir(p("/d")));
+        let b = Expr::if_(
+            Pred::DoesNotExist(p("/d/f")),
+            Expr::CreateFile(p("/d/f"), Content::intern("x")),
+            Expr::if_(Pred::IsFile(p("/d/f")), Expr::Skip, Expr::Error),
+        );
+        let mut g = graph(vec![a, b], &[]);
+        if let RepairReport::Repaired { added_edges } =
+            suggest_repair(&g, &AnalysisOptions::default()).unwrap()
+        {
+            let edges: BTreeSet<(usize, usize)> = added_edges.into_iter().collect();
+            g.edges.extend(edges);
+            let verdict = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+            assert!(verdict.is_deterministic(), "repair must verify");
+        } else {
+            panic!("expected repair");
+        }
+    }
+
+    #[test]
+    fn multiple_conflicts_need_multiple_edges() {
+        let w = |path: &str, c: &str| {
+            Expr::if_(
+                Pred::DoesNotExist(p(path)),
+                Expr::CreateFile(p(path), Content::intern(c)),
+                Expr::if_(
+                    Pred::IsFile(p(path)),
+                    Expr::Rm(p(path)).seq(Expr::CreateFile(p(path), Content::intern(c))),
+                    Expr::Error,
+                ),
+            )
+        };
+        // Two independent conflicting pairs.
+        let g = graph(
+            vec![w("/x", "a"), w("/x", "b"), w("/y", "c"), w("/y", "d")],
+            &[],
+        );
+        let r = suggest_repair(&g, &AnalysisOptions::default()).unwrap();
+        match r {
+            RepairReport::Repaired { added_edges } => {
+                assert_eq!(added_edges.len(), 2, "one edge per conflicting pair");
+            }
+            other => panic!("expected repair, got {other:?}"),
+        }
+    }
+}

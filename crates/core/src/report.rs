@@ -1,0 +1,184 @@
+//! Human-readable rendering of analysis reports.
+//!
+//! Counterexamples reference resources by index; rendering pairs them with
+//! the graph's display names and formats the initial filesystem, the two
+//! orders, and the replayed outcomes the way the `rehearsal` CLI prints
+//! them.
+
+use crate::determinism::{Counterexample, DeterminismReport, FsGraph};
+use crate::idempotence::IdempotenceReport;
+use rehearsal_fs::{ExecError, FileSystem};
+use std::fmt::Write;
+
+fn describe_outcome(o: &Result<FileSystem, ExecError>) -> String {
+    match o {
+        Ok(fs) => format!("success ({} populated paths)", fs.len()),
+        Err(_) => "error".to_string(),
+    }
+}
+
+fn render_state(fs: &FileSystem, indent: &str, out: &mut String) {
+    if fs.is_empty() {
+        let _ = writeln!(out, "{indent}(empty filesystem)");
+        return;
+    }
+    for (p, s) in fs.iter() {
+        let _ = writeln!(out, "{indent}{p} = {s}");
+    }
+}
+
+fn render_order(cex_order: &[usize], graph: &FsGraph) -> String {
+    cex_order
+        .iter()
+        .map(|&i| graph.names[i].as_str())
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// Renders a determinism counterexample against its graph.
+pub fn render_counterexample(cex: &Counterexample, graph: &FsGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "counterexample initial state:");
+    render_state(&cex.initial, "  ", &mut out);
+    let _ = writeln!(out, "order A: {}", render_order(&cex.order_a, graph));
+    let _ = writeln!(out, "  outcome: {}", describe_outcome(&cex.outcome_a));
+    let _ = writeln!(out, "order B: {}", render_order(&cex.order_b, graph));
+    let _ = writeln!(out, "  outcome: {}", describe_outcome(&cex.outcome_b));
+    // When both orders succeed, show the paths on which they disagree.
+    if let (Ok(a), Ok(b)) = (&cex.outcome_a, &cex.outcome_b) {
+        let mut diffs = Vec::new();
+        for (p, s) in a.iter() {
+            match b.get(p) {
+                Some(t) if t == s => {}
+                Some(t) => diffs.push(format!("  {p}: {s} (A) vs {t} (B)")),
+                None => diffs.push(format!("  {p}: {s} (A) vs absent (B)")),
+            }
+        }
+        for (p, t) in b.iter() {
+            if a.get(p).is_none() {
+                diffs.push(format!("  {p}: absent (A) vs {t} (B)"));
+            }
+        }
+        if !diffs.is_empty() {
+            let _ = writeln!(out, "states differ at:");
+            for d in diffs {
+                let _ = writeln!(out, "{d}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders a full determinism report.
+pub fn render_determinism(report: &DeterminismReport, graph: &FsGraph) -> String {
+    match report {
+        DeterminismReport::Deterministic(stats) => format!(
+            "deterministic ({} resources, {} after elimination, {} paths, \
+             {} tracked, {} sequence(s) explored)\n",
+            stats.resources,
+            stats.resources_after_elimination,
+            stats.paths,
+            stats.tracked_paths,
+            stats.sequences_explored
+        ),
+        DeterminismReport::NonDeterministic(cex, stats) => {
+            let mut out = format!(
+                "NON-DETERMINISTIC ({} resources, {} paths, {} sequences explored)\n",
+                stats.resources, stats.paths, stats.sequences_explored
+            );
+            out.push_str(&render_counterexample(cex, graph));
+            out
+        }
+    }
+}
+
+/// Renders an idempotence report.
+pub fn render_idempotence(report: &IdempotenceReport) -> String {
+    match report {
+        IdempotenceReport::Idempotent => "idempotent\n".to_string(),
+        IdempotenceReport::NotIdempotent(cex) => {
+            let mut out = String::from("NOT IDEMPOTENT\ninitial state:\n");
+            render_state(&cex.initial, "  ", &mut out);
+            let _ = writeln!(
+                out,
+                "after one application: {}",
+                describe_outcome(&cex.after_once)
+            );
+            let _ = writeln!(
+                out,
+                "after two applications: {}",
+                describe_outcome(&cex.after_twice)
+            );
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinism::{check_determinism, AnalysisOptions};
+    use crate::idempotence::check_expr_idempotence;
+    use rehearsal_fs::{Content, Expr, FsPath, Pred};
+    use std::collections::BTreeSet;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn renders_nondeterministic_report() {
+        let a = Expr::Mkdir(p("/dir"));
+        let b = Expr::CreateFile(p("/dir/f"), Content::intern("x"));
+        let g = FsGraph::new(
+            vec![a, b],
+            BTreeSet::new(),
+            vec!["File[/dir]".into(), "File[/dir/f]".into()],
+        );
+        let report = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        let text = render_determinism(&report, &g);
+        assert!(text.contains("NON-DETERMINISTIC"), "{text}");
+        assert!(text.contains("order A: "), "{text}");
+        assert!(text.contains("File[/dir]"), "{text}");
+        assert!(text.contains("outcome"), "{text}");
+    }
+
+    #[test]
+    fn renders_deterministic_report() {
+        let g = FsGraph::new(vec![Expr::Skip], BTreeSet::new(), vec!["Notify[x]".into()]);
+        let report = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        let text = render_determinism(&report, &g);
+        assert!(text.starts_with("deterministic"), "{text}");
+    }
+
+    #[test]
+    fn renders_divergent_success_states() {
+        let w = |c: &str| {
+            Expr::if_(
+                Pred::DoesNotExist(p("/f")),
+                Expr::CreateFile(p("/f"), Content::intern(c)),
+                Expr::Skip,
+            )
+        };
+        let g = FsGraph::new(
+            vec![w("one"), w("two")],
+            BTreeSet::new(),
+            vec!["r1".into(), "r2".into()],
+        );
+        let report = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        let text = render_determinism(&report, &g);
+        assert!(text.contains("states differ at:"), "{text}");
+        assert!(text.contains("/f"), "{text}");
+    }
+
+    #[test]
+    fn renders_idempotence_counterexample() {
+        let report =
+            check_expr_idempotence(&Expr::Mkdir(p("/a")), &AnalysisOptions::default()).unwrap();
+        let text = render_idempotence(&report);
+        assert!(text.contains("NOT IDEMPOTENT"), "{text}");
+        assert!(text.contains("after two applications: error"), "{text}");
+        let ok = render_idempotence(&IdempotenceReport::Idempotent);
+        assert_eq!(ok, "idempotent\n");
+    }
+}

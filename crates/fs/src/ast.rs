@@ -1,0 +1,347 @@
+//! The FS language (paper fig. 5): a loop-free imperative language of
+//! filesystem operations.
+//!
+//! Expressions denote partial functions from filesystems to filesystems;
+//! predicates denote filesystem observations. Resources compiled from Puppet
+//! manifests are FS programs, and all of Rehearsal's analyses operate on
+//! this language.
+
+use crate::path::{Content, FsPath};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A predicate over filesystem states (paper fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// `none?(p)` — the path does not exist.
+    DoesNotExist(FsPath),
+    /// `file?(p)` — the path is a regular file.
+    IsFile(FsPath),
+    /// `dir?(p)` — the path is a directory.
+    IsDir(FsPath),
+    /// `emptydir?(p)` — the path is a directory with no children.
+    IsEmptyDir(FsPath),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// Conjunction with constant folding.
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::True, p) | (p, Pred::True) => p,
+            (Pred::False, _) | (_, Pred::False) => Pred::False,
+            (a, b) => Pred::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction with constant folding.
+    pub fn or(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::False, p) | (p, Pred::False) => p,
+            (Pred::True, _) | (_, Pred::True) => Pred::True,
+            (a, b) => Pred::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Negation with constant folding and double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Pred {
+        match self {
+            Pred::True => Pred::False,
+            Pred::False => Pred::True,
+            Pred::Not(inner) => *inner,
+            p => Pred::Not(Box::new(p)),
+        }
+    }
+
+    /// All paths mentioned by this predicate.
+    pub fn paths(&self) -> BTreeSet<FsPath> {
+        let mut out = BTreeSet::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths(&self, out: &mut BTreeSet<FsPath>) {
+        match self {
+            Pred::True | Pred::False => {}
+            Pred::DoesNotExist(p) | Pred::IsFile(p) | Pred::IsDir(p) | Pred::IsEmptyDir(p) => {
+                out.insert(*p);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_paths(out);
+                b.collect_paths(out);
+            }
+            Pred::Not(a) => a.collect_paths(out),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Pred::True
+            | Pred::False
+            | Pred::DoesNotExist(_)
+            | Pred::IsFile(_)
+            | Pred::IsDir(_)
+            | Pred::IsEmptyDir(_) => 1,
+            Pred::And(a, b) | Pred::Or(a, b) => 1 + a.size() + b.size(),
+            Pred::Not(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::False => write!(f, "false"),
+            Pred::DoesNotExist(p) => write!(f, "none?({p})"),
+            Pred::IsFile(p) => write!(f, "file?({p})"),
+            Pred::IsDir(p) => write!(f, "dir?({p})"),
+            Pred::IsEmptyDir(p) => write!(f, "emptydir?({p})"),
+            Pred::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Pred::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Pred::Not(a) => write!(f, "¬{a}"),
+        }
+    }
+}
+
+/// An FS expression (paper fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_fs::{Expr, FsPath, Content, Pred};
+/// let vimrc = FsPath::parse("/home/carol/.vimrc")?;
+/// let e = Expr::If(
+///     Pred::IsDir(vimrc.parent().unwrap()),
+///     Box::new(Expr::CreateFile(vimrc, Content::intern("syntax on"))),
+///     Box::new(Expr::Error),
+/// );
+/// assert!(e.paths().contains(&vimrc));
+/// # Ok::<(), rehearsal_fs::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// `id` — no-op.
+    Skip,
+    /// `err` — halt with an error.
+    Error,
+    /// `mkdir(p)` — create a directory; the parent must be a directory and
+    /// `p` must not exist.
+    Mkdir(FsPath),
+    /// `creat(p, c)` — create a file with content `c`; the parent must be a
+    /// directory and `p` must not exist.
+    CreateFile(FsPath, Content),
+    /// `rm(p)` — remove a file or empty directory.
+    Rm(FsPath),
+    /// `cp(src, dst)` — copy file `src` to `dst`; `src` must be a file, the
+    /// parent of `dst` must be a directory, and `dst` must not exist.
+    Cp(FsPath, FsPath),
+    /// Sequencing.
+    Seq(Box<Expr>, Box<Expr>),
+    /// Conditional.
+    If(Pred, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Sequencing with unit and error short-circuiting.
+    pub fn seq(self, other: Expr) -> Expr {
+        match (self, other) {
+            (Expr::Skip, e) | (e, Expr::Skip) => e,
+            (Expr::Error, _) => Expr::Error,
+            (a, b) => Expr::Seq(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Sequences an iterator of expressions.
+    pub fn seq_all(es: impl IntoIterator<Item = Expr>) -> Expr {
+        es.into_iter().fold(Expr::Skip, Expr::seq)
+    }
+
+    /// Conditional with constant folding of the guard.
+    pub fn if_(pred: Pred, then_: Expr, else_: Expr) -> Expr {
+        match pred {
+            Pred::True => then_,
+            Pred::False => else_,
+            p => {
+                if then_ == else_ {
+                    then_
+                } else {
+                    Expr::If(p, Box::new(then_), Box::new(else_))
+                }
+            }
+        }
+    }
+
+    /// `if (pred) then_ else id` (the paper's shorthand).
+    pub fn if_then(pred: Pred, then_: Expr) -> Expr {
+        Expr::if_(pred, then_, Expr::Skip)
+    }
+
+    /// All paths that appear in the program text.
+    pub fn paths(&self) -> BTreeSet<FsPath> {
+        let mut out = BTreeSet::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths(&self, out: &mut BTreeSet<FsPath>) {
+        match self {
+            Expr::Skip | Expr::Error => {}
+            Expr::Mkdir(p) | Expr::CreateFile(p, _) | Expr::Rm(p) => {
+                out.insert(*p);
+            }
+            Expr::Cp(p1, p2) => {
+                out.insert(*p1);
+                out.insert(*p2);
+            }
+            Expr::Seq(a, b) => {
+                a.collect_paths(out);
+                b.collect_paths(out);
+            }
+            Expr::If(p, a, b) => {
+                p.collect_paths(out);
+                a.collect_paths(out);
+                b.collect_paths(out);
+            }
+        }
+    }
+
+    /// All file contents that appear in the program text.
+    pub fn contents(&self) -> BTreeSet<Content> {
+        let mut out = BTreeSet::new();
+        self.collect_contents(&mut out);
+        out
+    }
+
+    fn collect_contents(&self, out: &mut BTreeSet<Content>) {
+        match self {
+            Expr::CreateFile(_, c) => {
+                out.insert(*c);
+            }
+            Expr::Seq(a, b) => {
+                a.collect_contents(out);
+                b.collect_contents(out);
+            }
+            Expr::If(_, a, b) => {
+                a.collect_contents(out);
+                b.collect_contents(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Skip | Expr::Error | Expr::Mkdir(_) | Expr::CreateFile(_, _) | Expr::Rm(_) => 1,
+            Expr::Cp(_, _) => 1,
+            Expr::Seq(a, b) => 1 + a.size() + b.size(),
+            Expr::If(p, a, b) => 1 + p.size() + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Skip => write!(f, "id"),
+            Expr::Error => write!(f, "err"),
+            Expr::Mkdir(p) => write!(f, "mkdir({p})"),
+            Expr::CreateFile(p, c) => write!(f, "creat({p}, {:?})", c.as_string()),
+            Expr::Rm(p) => write!(f, "rm({p})"),
+            Expr::Cp(p1, p2) => write!(f, "cp({p1}, {p2})"),
+            Expr::Seq(a, b) => write!(f, "{a}; {b}"),
+            Expr::If(p, a, b) => {
+                if **b == Expr::Skip {
+                    write!(f, "if ({p}) {{{a}}}")
+                } else {
+                    write!(f, "if ({p}) {{{a}}} else {{{b}}}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn smart_seq() {
+        let e = Expr::Mkdir(p("/a"));
+        assert_eq!(Expr::Skip.seq(e.clone()), e);
+        assert_eq!(e.clone().seq(Expr::Skip), e);
+        assert_eq!(Expr::Error.seq(e.clone()), Expr::Error);
+        let s = e.clone().seq(Expr::Rm(p("/b")));
+        assert!(matches!(s, Expr::Seq(_, _)));
+    }
+
+    #[test]
+    fn smart_if() {
+        let e = Expr::Mkdir(p("/a"));
+        assert_eq!(Expr::if_(Pred::True, e.clone(), Expr::Error), e);
+        assert_eq!(Expr::if_(Pred::False, e.clone(), Expr::Error), Expr::Error);
+        assert_eq!(
+            Expr::if_(Pred::IsDir(p("/x")), e.clone(), e.clone()),
+            e,
+            "identical branches collapse"
+        );
+    }
+
+    #[test]
+    fn pred_folding() {
+        assert_eq!(Pred::True.and(Pred::IsDir(p("/a"))), Pred::IsDir(p("/a")));
+        assert_eq!(Pred::False.and(Pred::IsDir(p("/a"))), Pred::False);
+        assert_eq!(Pred::False.or(Pred::IsDir(p("/a"))), Pred::IsDir(p("/a")));
+        assert_eq!(Pred::IsDir(p("/a")).not().not(), Pred::IsDir(p("/a")));
+    }
+
+    #[test]
+    fn paths_collected() {
+        let e = Expr::Cp(p("/src"), p("/dst")).seq(Expr::if_then(
+            Pred::IsFile(p("/marker")),
+            Expr::Rm(p("/src")),
+        ));
+        let paths = e.paths();
+        assert!(paths.contains(&p("/src")));
+        assert!(paths.contains(&p("/dst")));
+        assert!(paths.contains(&p("/marker")));
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn contents_collected() {
+        let c1 = Content::intern("a");
+        let c2 = Content::intern("b");
+        let e = Expr::CreateFile(p("/x"), c1).seq(Expr::CreateFile(p("/y"), c2));
+        let cs = e.contents();
+        assert!(cs.contains(&c1) && cs.contains(&c2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::if_then(Pred::IsDir(p("/a")), Expr::Mkdir(p("/a/b")));
+        assert_eq!(e.to_string(), "if (dir?(/a)) {mkdir(/a/b)}");
+    }
+
+    #[test]
+    fn seq_all_folds() {
+        let es = vec![Expr::Skip, Expr::Mkdir(p("/a")), Expr::Skip];
+        assert_eq!(Expr::seq_all(es), Expr::Mkdir(p("/a")));
+    }
+}

@@ -1,0 +1,74 @@
+//! Process-global interners for paths and file contents.
+//!
+//! FS programs mention a statically-known, finite set of paths and contents.
+//! Interning makes both `Copy`-able `u32` handles, so filesystem states and
+//! analyses can use cheap maps and comparisons. The interner is append-only
+//! and shared process-wide, which keeps handles valid across all analysis
+//! sessions in a run.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Debug)]
+pub(crate) struct PathData {
+    pub(crate) parent: Option<u32>,
+    pub(crate) name: Box<str>,
+    pub(crate) depth: u32,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    pub(crate) paths: Vec<PathData>,
+    pub(crate) path_lookup: HashMap<(Option<u32>, Box<str>), u32>,
+    pub(crate) strings: Vec<Box<str>>,
+    pub(crate) string_lookup: HashMap<Box<str>, u32>,
+}
+
+impl Store {
+    fn new() -> Store {
+        let mut s = Store::default();
+        // Path id 0 is always the root "/".
+        s.paths.push(PathData {
+            parent: None,
+            name: "".into(),
+            depth: 0,
+        });
+        s
+    }
+
+    pub(crate) fn intern_string(&mut self, text: &str) -> u32 {
+        if let Some(&id) = self.string_lookup.get(text) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(text.into());
+        self.string_lookup.insert(text.into(), id);
+        id
+    }
+
+    pub(crate) fn intern_child(&mut self, parent: u32, name: &str) -> u32 {
+        let key = (Some(parent), Box::from(name));
+        if let Some(&id) = self.path_lookup.get(&key) {
+            return id;
+        }
+        let depth = self.paths[parent as usize].depth + 1;
+        let id = self.paths.len() as u32;
+        self.paths.push(PathData {
+            parent: Some(parent),
+            name: name.into(),
+            depth,
+        });
+        self.path_lookup.insert(key, id);
+        id
+    }
+}
+
+pub(crate) fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::new()))
+}
+
+pub(crate) fn with_store<R>(f: impl FnOnce(&mut Store) -> R) -> R {
+    let mut guard = store().lock().expect("interner poisoned");
+    f(&mut guard)
+}

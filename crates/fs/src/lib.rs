@@ -1,0 +1,46 @@
+//! **FS** — the small imperative language of filesystem operations at the
+//! heart of Rehearsal (paper §3.2, fig. 5).
+//!
+//! Puppet resources are compiled (by `rehearsal-resources`) into FS
+//! programs; all analyses in `rehearsal-core` operate on FS. The language is
+//! loop-free and manipulates a statically known, finite set of paths, which
+//! is what makes Rehearsal's determinacy analysis decidable.
+//!
+//! * [`FsPath`], [`Content`] — interned paths and file contents;
+//! * [`Pred`], [`Expr`] — the syntax of predicates and expressions;
+//! * [`FileSystem`], [`FileState`] — concrete states `σ`;
+//! * [`eval`], [`eval_pred`] — the concrete big-step semantics;
+//! * [`enumerate_filesystems`], [`check_equiv_brute_force`] — exhaustive
+//!   oracles used for testing and baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_fs::{eval, Content, Expr, FileSystem, FsPath, Pred};
+//!
+//! // if (¬dir?(/a)) mkdir(/a); creat(/a/f, "hi")
+//! let a = FsPath::parse("/a")?;
+//! let f = a.join("f");
+//! let prog = Expr::if_then(Pred::IsDir(a).not(), Expr::Mkdir(a))
+//!     .seq(Expr::CreateFile(f, Content::intern("hi")));
+//! let out = eval(&prog, &FileSystem::with_root()).expect("succeeds");
+//! assert!(out.is_file(f));
+//! # Ok::<(), rehearsal_fs::ParsePathError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod enumerate;
+mod eval;
+mod intern;
+mod path;
+mod state;
+mod statefile;
+
+pub use ast::{Expr, Pred};
+pub use enumerate::{check_equiv_brute_force, enumerate_filesystems, observe, Outcome};
+pub use eval::{eval, eval_pred, ExecError};
+pub use path::{Content, FsPath, ParsePathError};
+pub use state::{FileState, FileSystem};
+pub use statefile::{parse_state, render_state, StateParseError};

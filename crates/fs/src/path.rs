@@ -1,0 +1,297 @@
+//! Interned filesystem paths.
+//!
+//! Paths form the trie rooted at `/`. Every path is an interned handle, so
+//! equality, hashing, parent lookup, and ancestor tests are cheap — these
+//! operations dominate the determinacy analysis.
+
+use crate::intern::with_store;
+use std::fmt;
+
+/// An interned absolute filesystem path.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_fs::FsPath;
+/// let etc = FsPath::parse("/etc").unwrap();
+/// let conf = etc.join("apache2").join("apache2.conf");
+/// assert_eq!(conf.to_string(), "/etc/apache2/apache2.conf");
+/// assert!(etc.is_ancestor_of(conf));
+/// assert_eq!(conf.parent().unwrap().to_string(), "/etc/apache2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FsPath(u32);
+
+/// An error from [`FsPath::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    input: String,
+    message: &'static str,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path {:?}: {}", self.input, self.message)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl FsPath {
+    /// The root path `/`.
+    pub fn root() -> FsPath {
+        FsPath(0)
+    }
+
+    /// Parses an absolute path such as `/etc/hosts`.
+    ///
+    /// Consecutive and trailing slashes are rejected, as are relative paths,
+    /// `.`/`..` segments, and empty input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePathError`] on malformed input.
+    pub fn parse(text: &str) -> Result<FsPath, ParsePathError> {
+        let err = |message| ParsePathError {
+            input: text.to_string(),
+            message,
+        };
+        if text.is_empty() {
+            return Err(err("empty path"));
+        }
+        if !text.starts_with('/') {
+            return Err(err("path must be absolute"));
+        }
+        if text == "/" {
+            return Ok(FsPath::root());
+        }
+        let mut current = FsPath::root();
+        for segment in text[1..].split('/') {
+            if segment.is_empty() {
+                return Err(err("empty path segment"));
+            }
+            if segment == "." || segment == ".." {
+                return Err(err("'.' and '..' segments are not supported"));
+            }
+            current = current.join(segment);
+        }
+        Ok(current)
+    }
+
+    /// Appends one component to this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or contains `/`.
+    pub fn join(self, name: &str) -> FsPath {
+        assert!(
+            !name.is_empty() && !name.contains('/'),
+            "path component must be a non-empty segment without '/': {name:?}"
+        );
+        FsPath(with_store(|s| s.intern_child(self.0, name)))
+    }
+
+    /// The parent directory, or `None` for the root.
+    pub fn parent(self) -> Option<FsPath> {
+        with_store(|s| s.paths[self.0 as usize].parent.map(FsPath))
+    }
+
+    /// The last component, or `None` for the root.
+    pub fn basename(self) -> Option<String> {
+        if self == FsPath::root() {
+            return None;
+        }
+        Some(with_store(|s| s.paths[self.0 as usize].name.to_string()))
+    }
+
+    /// The number of components (0 for the root).
+    pub fn depth(self) -> usize {
+        with_store(|s| s.paths[self.0 as usize].depth as usize)
+    }
+
+    /// Whether `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(self, other: FsPath) -> bool {
+        if self == other {
+            return false;
+        }
+        with_store(|s| {
+            let mut cur = s.paths[other.0 as usize].parent;
+            while let Some(p) = cur {
+                if p == self.0 {
+                    return true;
+                }
+                cur = s.paths[p as usize].parent;
+            }
+            false
+        })
+    }
+
+    /// Whether `self` is the immediate parent of `other`.
+    pub fn is_parent_of(self, other: FsPath) -> bool {
+        other.parent() == Some(self)
+    }
+
+    /// All strict ancestors from the immediate parent up to the root.
+    pub fn ancestors(self) -> Vec<FsPath> {
+        let mut out = Vec::new();
+        let mut cur = self.parent();
+        while let Some(p) = cur {
+            out.push(p);
+            cur = p.parent();
+        }
+        out
+    }
+
+    /// The components of this path from the root down.
+    pub fn components(self) -> Vec<String> {
+        let mut out = Vec::new();
+        with_store(|s| {
+            let mut cur = self.0;
+            while let Some(parent) = s.paths[cur as usize].parent {
+                out.push(s.paths[cur as usize].name.to_string());
+                cur = parent;
+            }
+        });
+        out.reverse();
+        out
+    }
+
+    /// The raw interned index (stable for the process lifetime).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == FsPath::root() {
+            return write!(f, "/");
+        }
+        for c in self.components() {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FsPath {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<FsPath, ParsePathError> {
+        FsPath::parse(s)
+    }
+}
+
+/// Interned file contents (a string).
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_fs::Content;
+/// let a = Content::intern("syntax on");
+/// let b = Content::intern("syntax on");
+/// assert_eq!(a, b);
+/// assert_eq!(a.to_string(), "syntax on");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Content(u32);
+
+impl Content {
+    /// Interns a content string.
+    pub fn intern(text: &str) -> Content {
+        Content(with_store(|s| s.intern_string(text)))
+    }
+
+    /// The raw interned index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Recovers the string.
+    pub fn as_string(self) -> String {
+        with_store(|s| s.strings[self.0 as usize].to_string())
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let r = FsPath::root();
+        assert_eq!(r.to_string(), "/");
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.basename(), None);
+        assert_eq!(r.depth(), 0);
+        assert!(r.ancestors().is_empty());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let p = FsPath::parse("/usr/bin/vim").unwrap();
+        assert_eq!(p.to_string(), "/usr/bin/vim");
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.basename().as_deref(), Some("vim"));
+        assert_eq!(p.parent().unwrap().to_string(), "/usr/bin");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FsPath::parse("").is_err());
+        assert!(FsPath::parse("etc/hosts").is_err());
+        assert!(FsPath::parse("/etc//hosts").is_err());
+        assert!(FsPath::parse("/etc/").is_err());
+        assert!(FsPath::parse("/a/../b").is_err());
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = FsPath::parse("/etc/hosts").unwrap();
+        let b = FsPath::root().join("etc").join("hosts");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ancestor_relations() {
+        let etc = FsPath::parse("/etc").unwrap();
+        let apache = FsPath::parse("/etc/apache2").unwrap();
+        let conf = FsPath::parse("/etc/apache2/apache2.conf").unwrap();
+        assert!(etc.is_ancestor_of(conf));
+        assert!(apache.is_ancestor_of(conf));
+        assert!(!conf.is_ancestor_of(etc));
+        assert!(!etc.is_ancestor_of(etc));
+        assert!(apache.is_parent_of(conf));
+        assert!(!etc.is_parent_of(conf));
+        assert!(FsPath::root().is_ancestor_of(etc));
+        assert_eq!(conf.ancestors(), vec![apache, etc, FsPath::root()]);
+    }
+
+    #[test]
+    fn components_roundtrip() {
+        let p = FsPath::parse("/home/carol/.vimrc").unwrap();
+        assert_eq!(p.components(), vec!["home", "carol", ".vimrc"]);
+    }
+
+    #[test]
+    fn content_interning() {
+        let a = Content::intern("x");
+        let b = Content::intern("x");
+        let c = Content::intern("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(c.as_string(), "y");
+    }
+
+    #[test]
+    #[should_panic]
+    fn join_rejects_slash() {
+        FsPath::root().join("a/b");
+    }
+}

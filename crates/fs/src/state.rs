@@ -1,0 +1,202 @@
+//! Concrete filesystem states.
+//!
+//! A filesystem (`σ` in the paper) is a finite map from paths to file
+//! states. Absent paths "do not exist"; present paths are directories or
+//! files with interned content.
+
+use crate::path::{Content, FsPath};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The state of one path: a directory or a file with contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FileState {
+    /// A directory.
+    Dir,
+    /// A regular file with the given content.
+    File(Content),
+}
+
+impl fmt::Display for FileState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileState::Dir => write!(f, "dir"),
+            FileState::File(c) => write!(f, "file({:?})", c.as_string()),
+        }
+    }
+}
+
+/// A concrete filesystem: a finite map from paths to [`FileState`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_fs::{FileSystem, FileState, FsPath, Content};
+/// let etc = FsPath::parse("/etc")?;
+/// let fs = FileSystem::with_root().set(etc, FileState::Dir);
+/// assert!(fs.is_dir(etc));
+/// assert!(fs.is_empty_dir(etc));
+/// assert!(fs.not_exists(etc.join("hosts")));
+/// # Ok::<(), rehearsal_fs::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileSystem {
+    entries: BTreeMap<FsPath, FileState>,
+}
+
+impl FileSystem {
+    /// An empty filesystem — even the root is absent.
+    pub fn new() -> FileSystem {
+        FileSystem::default()
+    }
+
+    /// A filesystem containing only the root directory.
+    pub fn with_root() -> FileSystem {
+        FileSystem::new().set(FsPath::root(), FileState::Dir)
+    }
+
+    /// Returns a copy with `path` set to `state` (builder style).
+    #[must_use]
+    pub fn set(mut self, path: FsPath, state: FileState) -> FileSystem {
+        self.entries.insert(path, state);
+        self
+    }
+
+    /// In-place insert.
+    pub fn insert(&mut self, path: FsPath, state: FileState) {
+        self.entries.insert(path, state);
+    }
+
+    /// In-place removal.
+    pub fn remove(&mut self, path: FsPath) {
+        self.entries.remove(&path);
+    }
+
+    /// The state of `path`, if present.
+    pub fn get(&self, path: FsPath) -> Option<FileState> {
+        self.entries.get(&path).copied()
+    }
+
+    /// `file?(p)`.
+    pub fn is_file(&self, path: FsPath) -> bool {
+        matches!(self.get(path), Some(FileState::File(_)))
+    }
+
+    /// `dir?(p)`.
+    pub fn is_dir(&self, path: FsPath) -> bool {
+        matches!(self.get(path), Some(FileState::Dir))
+    }
+
+    /// `none?(p)`.
+    pub fn not_exists(&self, path: FsPath) -> bool {
+        self.get(path).is_none()
+    }
+
+    /// `emptydir?(p)`: a directory with no children anywhere in the map.
+    pub fn is_empty_dir(&self, path: FsPath) -> bool {
+        self.is_dir(path) && !self.entries.keys().any(|&q| path.is_parent_of(q))
+    }
+
+    /// Iterates over `(path, state)` entries in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (FsPath, FileState)> + '_ {
+        self.entries.iter().map(|(&p, &s)| (p, s))
+    }
+
+    /// Number of present paths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no path is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Restricts this filesystem to the given set of paths (used when
+    /// comparing states over a bounded domain).
+    #[must_use]
+    pub fn restrict(&self, paths: &std::collections::BTreeSet<FsPath>) -> FileSystem {
+        FileSystem {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(p, _)| paths.contains(p))
+                .map(|(&p, &s)| (p, s))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(FsPath, FileState)> for FileSystem {
+    fn from_iter<T: IntoIterator<Item = (FsPath, FileState)>>(iter: T) -> FileSystem {
+        FileSystem {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(FsPath, FileState)> for FileSystem {
+    fn extend<T: IntoIterator<Item = (FsPath, FileState)>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl fmt::Display for FileSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "⟨")?;
+        for (p, s) in &self.entries {
+            writeln!(f, "  {p} = {s}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn basic_queries() {
+        let fs = FileSystem::with_root()
+            .set(p("/etc"), FileState::Dir)
+            .set(p("/etc/hosts"), FileState::File(Content::intern("hosts")));
+        assert!(fs.is_dir(p("/etc")));
+        assert!(fs.is_file(p("/etc/hosts")));
+        assert!(fs.not_exists(p("/usr")));
+        assert!(!fs.is_empty_dir(p("/etc")));
+        assert!(!fs.is_empty_dir(p("/etc/hosts")));
+    }
+
+    #[test]
+    fn empty_dir_detection() {
+        let fs = FileSystem::with_root().set(p("/tmp"), FileState::Dir);
+        assert!(fs.is_empty_dir(p("/tmp")));
+        let fs2 = fs.set(p("/tmp/x"), FileState::Dir);
+        assert!(!fs2.is_empty_dir(p("/tmp")));
+        // A grandchild alone does not affect emptiness of the grandparent's
+        // *immediate* children check, but /tmp still has child /tmp/x.
+        assert!(fs2.is_empty_dir(p("/tmp/x")));
+    }
+
+    #[test]
+    fn restrict_drops_other_paths() {
+        let fs = FileSystem::with_root()
+            .set(p("/a"), FileState::Dir)
+            .set(p("/b"), FileState::Dir);
+        let keep: std::collections::BTreeSet<FsPath> = [p("/a")].into_iter().collect();
+        let r = fs.restrict(&keep);
+        assert_eq!(r.len(), 1);
+        assert!(r.is_dir(p("/a")));
+        assert!(r.not_exists(p("/b")));
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let fs = FileSystem::with_root();
+        assert!(fs.to_string().contains("/ = dir"));
+    }
+}

@@ -1,0 +1,158 @@
+//! A simple textual format for filesystem states, used by the CLI's
+//! simulation mode to load initial machine states and print results.
+//!
+//! ```text
+//! # comment
+//! /etc          dir
+//! /etc/hosts    file 127.0.0.1 localhost
+//! ```
+//!
+//! One entry per line: an absolute path, whitespace, `dir` or
+//! `file <content…>` (content runs to end of line; `\n` and `\\` escapes).
+
+use crate::path::{Content, FsPath};
+use crate::state::{FileState, FileSystem};
+use std::fmt;
+
+/// An error from [`parse_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateParseError {
+    line: usize,
+    message: String,
+}
+
+impl StateParseError {
+    /// 1-based line of the malformed entry.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for StateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for StateParseError {}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
+/// Parses a state file.
+///
+/// # Errors
+///
+/// Returns [`StateParseError`] on malformed lines or paths.
+pub fn parse_state(text: &str) -> Result<FileSystem, StateParseError> {
+    let mut fs = FileSystem::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| StateParseError {
+            line: i + 1,
+            message,
+        };
+        let (path_text, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err("expected '<path> dir' or '<path> file <content>'".into()))?;
+        let path = FsPath::parse(path_text).map_err(|e| err(e.to_string()))?;
+        let rest = rest.trim_start();
+        if rest == "dir" {
+            fs.insert(path, FileState::Dir);
+        } else if let Some(content) = rest.strip_prefix("file") {
+            let content = content.strip_prefix(' ').unwrap_or(content);
+            fs.insert(path, FileState::File(Content::intern(&unescape(content))));
+        } else {
+            return Err(err(format!("expected 'dir' or 'file …', found {rest:?}")));
+        }
+    }
+    Ok(fs)
+}
+
+/// Renders a filesystem in the state-file format ([`parse_state`] inverse).
+pub fn render_state(fs: &FileSystem) -> String {
+    let mut out = String::new();
+    for (p, s) in fs.iter() {
+        match s {
+            FileState::Dir => out.push_str(&format!("{p}\tdir\n")),
+            FileState::File(c) => {
+                out.push_str(&format!("{p}\tfile {}\n", escape(&c.as_string())));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let fs =
+            parse_state("# machine state\n/ dir\n/etc dir\n/etc/hosts file 127.0.0.1\n").unwrap();
+        assert!(fs.is_dir(p("/etc")));
+        assert_eq!(
+            fs.get(p("/etc/hosts")),
+            Some(FileState::File(Content::intern("127.0.0.1")))
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = FileSystem::with_root()
+            .set(p("/a"), FileState::Dir)
+            .set(p("/a/f"), FileState::File(Content::intern("two\nlines")));
+        let text = render_state(&fs);
+        let back = parse_state(&text).unwrap();
+        assert_eq!(fs, back);
+    }
+
+    #[test]
+    fn empty_file_content() {
+        let fs = parse_state("/f file\n").unwrap();
+        assert_eq!(fs.get(p("/f")), Some(FileState::File(Content::intern(""))));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_state("/ dir\nrelative dir\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        let e = parse_state("/x blob\n").unwrap_err();
+        assert!(e.to_string().contains("expected 'dir' or 'file"));
+        let e = parse_state("/lonely\n").unwrap_err();
+        assert_eq!(e.line(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the FS language: smart constructors preserve
+//! semantics, evaluation is a function, and the semantics maintains
+//! filesystem tree-consistency.
+
+use proptest::prelude::*;
+use rehearsal_fs::{
+    enumerate_filesystems, eval, eval_pred, Content, Expr, FileState, FileSystem, FsPath, Pred,
+};
+
+fn paths() -> Vec<FsPath> {
+    vec![
+        FsPath::parse("/p0").unwrap(),
+        FsPath::parse("/p0/q").unwrap(),
+        FsPath::parse("/p1").unwrap(),
+    ]
+}
+
+fn contents() -> Vec<Content> {
+    vec![Content::intern("k1"), Content::intern("k2")]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let path = (0..3usize).prop_map(|i| paths()[i]);
+    let leaf = prop_oneof![
+        Just(Pred::True),
+        Just(Pred::False),
+        path.clone().prop_map(Pred::DoesNotExist),
+        path.clone().prop_map(Pred::IsFile),
+        path.clone().prop_map(Pred::IsDir),
+        path.prop_map(Pred::IsEmptyDir),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Pred::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let path = (0..3usize).prop_map(|i| paths()[i]);
+    let content = (0..2usize).prop_map(|i| contents()[i]);
+    let leaf = prop_oneof![
+        Just(Expr::Skip),
+        Just(Expr::Error),
+        path.clone().prop_map(Expr::Mkdir),
+        (path.clone(), content).prop_map(|(p, c)| Expr::CreateFile(p, c)),
+        path.clone().prop_map(Expr::Rm),
+        (path.clone(), path.clone()).prop_map(|(a, b)| Expr::Cp(a, b)),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
+            (arb_pred(), inner.clone(), inner).prop_map(|(p, a, b)| Expr::If(
+                p,
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+/// A handful of representative states (full enumeration is too large for
+/// per-case testing).
+fn states() -> Vec<FileSystem> {
+    let mut out = vec![FileSystem::new(), FileSystem::with_root()];
+    let all = enumerate_filesystems(&paths(), &contents()[..1]);
+    for (i, fs) in all.into_iter().enumerate() {
+        if i % 7 == 0 {
+            out.push(fs.set(FsPath::root(), FileState::Dir));
+        }
+    }
+    out
+}
+
+fn consistent(fs: &FileSystem) -> bool {
+    fs.iter().all(|(p, _)| match p.parent() {
+        None => true,
+        Some(parent) => fs.is_dir(parent),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The smart constructors (`seq`, `if_`, `and`, `or`, `not`) preserve
+    /// semantics relative to the raw constructors.
+    #[test]
+    fn smart_constructors_preserve_semantics(a in arb_expr(), b in arb_expr(), p in arb_pred()) {
+        for fs in states() {
+            let smart_seq = a.clone().seq(b.clone());
+            let raw_seq = Expr::Seq(Box::new(a.clone()), Box::new(b.clone()));
+            prop_assert_eq!(eval(&smart_seq, &fs), eval(&raw_seq, &fs));
+
+            let smart_if = Expr::if_(p.clone(), a.clone(), b.clone());
+            let raw_if = Expr::If(p.clone(), Box::new(a.clone()), Box::new(b.clone()));
+            prop_assert_eq!(eval(&smart_if, &fs), eval(&raw_if, &fs));
+        }
+    }
+
+    /// Predicate smart constructors agree with raw connectives.
+    #[test]
+    fn pred_constructors_preserve_semantics(a in arb_pred(), b in arb_pred()) {
+        for fs in states() {
+            let smart = a.clone().and(b.clone());
+            let raw = Pred::And(Box::new(a.clone()), Box::new(b.clone()));
+            prop_assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+            let smart = a.clone().or(b.clone());
+            let raw = Pred::Or(Box::new(a.clone()), Box::new(b.clone()));
+            prop_assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+            let smart = a.clone().not();
+            let raw = Pred::Not(Box::new(a.clone()));
+            prop_assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+        }
+    }
+
+    /// Evaluation preserves tree consistency: a consistent input never
+    /// produces an inconsistent output.
+    #[test]
+    fn eval_preserves_consistency(e in arb_expr()) {
+        for fs in states() {
+            if !consistent(&fs) {
+                continue;
+            }
+            if let Ok(out) = eval(&e, &fs) {
+                prop_assert!(consistent(&out), "{} broke consistency: {}", e, out);
+            }
+        }
+    }
+
+    /// Evaluation never mutates its input (functional semantics).
+    #[test]
+    fn eval_is_pure(e in arb_expr()) {
+        let fs = FileSystem::with_root();
+        let snapshot = fs.clone();
+        let _ = eval(&e, &fs);
+        prop_assert_eq!(fs, snapshot);
+    }
+
+    /// `size` and `paths` are consistent under sequencing.
+    #[test]
+    fn structural_accessors(a in arb_expr(), b in arb_expr()) {
+        let s = Expr::Seq(Box::new(a.clone()), Box::new(b.clone()));
+        prop_assert_eq!(s.size(), 1 + a.size() + b.size());
+        let mut union = a.paths();
+        union.extend(b.paths());
+        prop_assert_eq!(s.paths(), union);
+    }
+}

@@ -1,0 +1,664 @@
+//! Built-in package listings.
+//!
+//! Real Rehearsal queries a web service wrapping `apt-file` (Ubuntu) and
+//! `repoquery` (CentOS). These tables are a deterministic stand-in: each
+//! package gets its real-world key files (configuration files, binaries,
+//! service units — the files manifests actually interact with) plus
+//! programmatically generated filler files (documentation, libraries,
+//! locale data) so that package sizes and the shared-directory false-sharing
+//! phenomenon (paper §4.3) are realistic.
+
+use crate::spec::{PackageDb, PackageSpec, Platform};
+use rehearsal_fs::FsPath;
+
+/// Describes one built-in package compactly.
+struct Entry {
+    name: &'static str,
+    key_files: &'static [&'static str],
+    depends: &'static [&'static str],
+    /// Number of filler files under `/usr/share/doc/<name>/`.
+    doc_files: usize,
+    /// Number of filler files under `/usr/lib/<name>/`.
+    lib_files: usize,
+}
+
+fn build(entry: &Entry) -> PackageSpec {
+    let mut files: Vec<FsPath> = Vec::new();
+    for f in entry.key_files {
+        files.push(FsPath::parse(f).unwrap_or_else(|e| panic!("builtin table: {e}")));
+    }
+    let doc_dir = FsPath::parse("/usr/share/doc")
+        .expect("static path")
+        .join(entry.name);
+    for i in 0..entry.doc_files {
+        files.push(doc_dir.join(&format!("doc{i}")));
+    }
+    let lib_dir = FsPath::parse("/usr/lib")
+        .expect("static path")
+        .join(entry.name);
+    for i in 0..entry.lib_files {
+        files.push(lib_dir.join(&format!("lib{i}.so")));
+    }
+    PackageSpec::new(
+        entry.name,
+        files,
+        entry.depends.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+/// The Ubuntu (apt) table. Key files reflect the real packages' layouts on
+/// Ubuntu 14.04, which is the platform the paper evaluates on.
+const UBUNTU: &[Entry] = &[
+    Entry {
+        name: "libc6",
+        key_files: &[
+            "/lib/x86_64-linux-gnu/libc.so.6",
+            "/etc/ld.so.conf.d/x86_64-linux-gnu.conf",
+        ],
+        depends: &[],
+        doc_files: 6,
+        lib_files: 20,
+    },
+    Entry {
+        name: "perl",
+        key_files: &[
+            "/usr/bin/perl",
+            "/usr/bin/perldoc",
+            "/etc/perl/sitecustomize.pl",
+        ],
+        depends: &["libc6"],
+        doc_files: 12,
+        lib_files: 40,
+    },
+    Entry {
+        name: "python2.7",
+        key_files: &["/usr/bin/python2.7", "/etc/python2.7/sitecustomize.py"],
+        depends: &["libc6"],
+        doc_files: 10,
+        lib_files: 40,
+    },
+    Entry {
+        name: "vim",
+        key_files: &["/usr/bin/vim", "/usr/bin/vimdiff", "/etc/vim/vimrc"],
+        depends: &["libc6"],
+        doc_files: 8,
+        lib_files: 10,
+    },
+    Entry {
+        name: "git",
+        key_files: &[
+            "/usr/bin/git",
+            "/usr/bin/git-upload-pack",
+            "/etc/bash_completion.d/git-prompt",
+        ],
+        depends: &["perl", "libc6"],
+        doc_files: 40,
+        lib_files: 160,
+    },
+    Entry {
+        name: "curl",
+        key_files: &["/usr/bin/curl"],
+        depends: &["libc6"],
+        doc_files: 4,
+        lib_files: 6,
+    },
+    Entry {
+        name: "wget",
+        key_files: &["/usr/bin/wget", "/etc/wgetrc"],
+        depends: &["libc6"],
+        doc_files: 4,
+        lib_files: 2,
+    },
+    Entry {
+        name: "m4",
+        key_files: &["/usr/bin/m4"],
+        depends: &["libc6"],
+        doc_files: 3,
+        lib_files: 2,
+    },
+    Entry {
+        name: "make",
+        key_files: &["/usr/bin/make"],
+        depends: &["libc6"],
+        doc_files: 3,
+        lib_files: 2,
+    },
+    Entry {
+        name: "gcc",
+        key_files: &["/usr/bin/gcc", "/usr/bin/cc"],
+        depends: &["libc6", "make"],
+        doc_files: 10,
+        lib_files: 50,
+    },
+    Entry {
+        name: "ocaml",
+        key_files: &["/usr/bin/ocaml", "/usr/bin/ocamlc"],
+        depends: &["libc6", "m4"],
+        doc_files: 10,
+        lib_files: 40,
+    },
+    Entry {
+        // On Ubuntu 14.04 golang-go pulls in perl (paper §2.2, fig. 3c).
+        name: "golang-go",
+        key_files: &["/usr/bin/go", "/usr/bin/gofmt", "/usr/share/go/api/go1.txt"],
+        depends: &["perl", "libc6"],
+        doc_files: 10,
+        lib_files: 30,
+    },
+    Entry {
+        name: "apache2",
+        key_files: &[
+            "/usr/sbin/apache2",
+            "/usr/sbin/apachectl",
+            "/etc/apache2/apache2.conf",
+            "/etc/apache2/ports.conf",
+            "/etc/apache2/envvars",
+            "/etc/apache2/sites-available/000-default.conf",
+            "/etc/apache2/sites-enabled/000-default.conf",
+            "/etc/apache2/mods-available/mpm_event.conf",
+            "/etc/apache2/mods-available/ssl.conf",
+            "/etc/apache2/conf-available/charset.conf",
+            "/etc/init.d/apache2",
+            "/var/www/html/index.html",
+        ],
+        depends: &["libc6", "perl"],
+        doc_files: 30,
+        lib_files: 80,
+    },
+    Entry {
+        name: "nginx",
+        key_files: &[
+            "/usr/sbin/nginx",
+            "/etc/nginx/nginx.conf",
+            "/etc/nginx/mime.types",
+            "/etc/nginx/fastcgi_params",
+            "/etc/nginx/sites-available/default",
+            "/etc/nginx/sites-enabled/default",
+            "/etc/init.d/nginx",
+            "/usr/share/nginx/html/index.html",
+        ],
+        depends: &["libc6"],
+        doc_files: 10,
+        lib_files: 20,
+    },
+    Entry {
+        name: "php5",
+        key_files: &[
+            "/usr/bin/php5",
+            "/etc/php5/cli/php.ini",
+            "/etc/php5/apache2/php.ini",
+        ],
+        depends: &["libc6", "apache2"],
+        doc_files: 12,
+        lib_files: 40,
+    },
+    Entry {
+        name: "mysql-server",
+        key_files: &[
+            "/usr/sbin/mysqld",
+            "/etc/mysql/my.cnf",
+            "/etc/init.d/mysql",
+            "/usr/bin/mysql",
+        ],
+        depends: &["libc6"],
+        doc_files: 16,
+        lib_files: 60,
+    },
+    Entry {
+        name: "bind9",
+        key_files: &[
+            "/usr/sbin/named",
+            "/etc/bind/named.conf",
+            "/etc/bind/named.conf.options",
+            "/etc/bind/named.conf.local",
+            "/etc/bind/named.conf.default-zones",
+            "/etc/bind/db.root",
+            "/etc/bind/db.local",
+            "/etc/bind/rndc.key",
+            "/etc/init.d/bind9",
+        ],
+        depends: &["libc6"],
+        doc_files: 10,
+        lib_files: 24,
+    },
+    Entry {
+        name: "bind9utils",
+        key_files: &["/usr/sbin/rndc", "/usr/bin/dnssec-keygen"],
+        depends: &["libc6", "bind9"],
+        doc_files: 4,
+        lib_files: 4,
+    },
+    Entry {
+        name: "dnsmasq",
+        key_files: &[
+            "/usr/sbin/dnsmasq",
+            "/etc/dnsmasq.conf",
+            "/etc/init.d/dnsmasq",
+            "/etc/default/dnsmasq",
+        ],
+        depends: &["libc6"],
+        doc_files: 6,
+        lib_files: 4,
+    },
+    Entry {
+        name: "clamav",
+        key_files: &[
+            "/usr/bin/clamscan",
+            "/usr/bin/sigtool",
+            "/etc/clamav/clamd.conf",
+        ],
+        depends: &["libc6", "clamav-freshclam"],
+        doc_files: 10,
+        lib_files: 30,
+    },
+    Entry {
+        name: "clamav-daemon",
+        key_files: &["/usr/sbin/clamd", "/etc/init.d/clamav-daemon"],
+        depends: &["clamav"],
+        doc_files: 6,
+        lib_files: 8,
+    },
+    Entry {
+        name: "clamav-freshclam",
+        key_files: &[
+            "/usr/bin/freshclam",
+            "/etc/clamav/freshclam.conf",
+            "/etc/init.d/clamav-freshclam",
+        ],
+        depends: &["libc6"],
+        doc_files: 4,
+        lib_files: 4,
+    },
+    Entry {
+        name: "spamassassin",
+        key_files: &[
+            "/usr/bin/spamassassin",
+            "/usr/bin/spamd",
+            "/etc/spamassassin/local.cf",
+            "/etc/spamassassin/init.pre",
+            "/etc/default/spamassassin",
+            "/etc/init.d/spamassassin",
+        ],
+        depends: &["perl"],
+        doc_files: 10,
+        lib_files: 30,
+    },
+    Entry {
+        name: "postfix",
+        key_files: &[
+            "/usr/sbin/postfix",
+            "/etc/postfix/main.cf",
+            "/etc/postfix/master.cf",
+            "/etc/init.d/postfix",
+            "/usr/lib/sendmail",
+        ],
+        depends: &["libc6"],
+        doc_files: 14,
+        lib_files: 40,
+    },
+    Entry {
+        name: "amavisd-new",
+        key_files: &[
+            "/usr/sbin/amavisd-new",
+            "/etc/amavis/conf.d/05-node_id",
+            "/etc/amavis/conf.d/15-content_filter_mode",
+            "/etc/amavis/conf.d/20-debian_defaults",
+            "/etc/amavis/conf.d/50-user",
+            "/etc/init.d/amavis",
+        ],
+        depends: &["perl", "spamassassin", "clamav"],
+        doc_files: 12,
+        lib_files: 30,
+    },
+    Entry {
+        name: "ntp",
+        key_files: &[
+            "/usr/sbin/ntpd",
+            "/etc/ntp.conf",
+            "/etc/init.d/ntp",
+            "/etc/default/ntp",
+            "/usr/bin/ntpq",
+        ],
+        depends: &["libc6"],
+        doc_files: 6,
+        lib_files: 6,
+    },
+    Entry {
+        name: "ntpdate",
+        key_files: &["/usr/sbin/ntpdate", "/etc/default/ntpdate"],
+        depends: &["libc6"],
+        doc_files: 2,
+        lib_files: 1,
+    },
+    Entry {
+        name: "rsyslog",
+        key_files: &[
+            "/usr/sbin/rsyslogd",
+            "/etc/rsyslog.conf",
+            "/etc/rsyslog.d/50-default.conf",
+            "/etc/init.d/rsyslog",
+            "/etc/default/rsyslog",
+            "/etc/logrotate.d/rsyslog",
+        ],
+        depends: &["libc6"],
+        doc_files: 8,
+        lib_files: 20,
+    },
+    Entry {
+        name: "xinetd",
+        key_files: &[
+            "/usr/sbin/xinetd",
+            "/etc/xinetd.conf",
+            "/etc/xinetd.d/daytime",
+            "/etc/xinetd.d/echo",
+            "/etc/init.d/xinetd",
+            "/etc/default/xinetd",
+        ],
+        depends: &["libc6"],
+        doc_files: 4,
+        lib_files: 4,
+    },
+    Entry {
+        name: "monit",
+        key_files: &[
+            "/usr/bin/monit",
+            "/etc/monit/monitrc",
+            "/etc/monit/conf.d/README",
+            "/etc/init.d/monit",
+            "/etc/default/monit",
+        ],
+        depends: &["libc6"],
+        doc_files: 6,
+        lib_files: 6,
+    },
+    Entry {
+        name: "openjdk-7-jre-headless",
+        key_files: &[
+            "/usr/lib/jvm/java-7-openjdk-amd64/bin/java",
+            "/usr/lib/jvm/java-7-openjdk-amd64/lib/rt.jar",
+            "/etc/java-7-openjdk/net.properties",
+        ],
+        depends: &["libc6"],
+        doc_files: 14,
+        lib_files: 80,
+    },
+    Entry {
+        name: "openjdk-7-jdk",
+        key_files: &[
+            "/usr/lib/jvm/java-7-openjdk-amd64/bin/javac",
+            "/usr/lib/jvm/java-7-openjdk-amd64/bin/jar",
+        ],
+        depends: &["openjdk-7-jre-headless"],
+        doc_files: 10,
+        lib_files: 50,
+    },
+    Entry {
+        name: "maven",
+        key_files: &["/usr/bin/mvn", "/etc/maven/settings.xml"],
+        depends: &["openjdk-7-jdk"],
+        doc_files: 6,
+        lib_files: 30,
+    },
+    Entry {
+        name: "tomcat7",
+        key_files: &[
+            "/usr/share/tomcat7/bin/catalina.sh",
+            "/etc/tomcat7/server.xml",
+            "/etc/tomcat7/tomcat-users.xml",
+            "/etc/init.d/tomcat7",
+            "/etc/default/tomcat7",
+        ],
+        depends: &["openjdk-7-jre-headless"],
+        doc_files: 10,
+        lib_files: 40,
+    },
+    Entry {
+        name: "logstash",
+        key_files: &[
+            "/opt/logstash/bin/logstash",
+            "/etc/logstash/conf.d/README",
+            "/etc/init.d/logstash",
+            "/etc/default/logstash",
+        ],
+        depends: &["openjdk-7-jre-headless"],
+        doc_files: 10,
+        lib_files: 60,
+    },
+    Entry {
+        name: "elasticsearch",
+        key_files: &[
+            "/usr/share/elasticsearch/bin/elasticsearch",
+            "/etc/elasticsearch/elasticsearch.yml",
+            "/etc/elasticsearch/logging.yml",
+            "/etc/init.d/elasticsearch",
+        ],
+        depends: &["openjdk-7-jre-headless"],
+        doc_files: 8,
+        lib_files: 50,
+    },
+    Entry {
+        name: "redis-server",
+        key_files: &[
+            "/usr/bin/redis-server",
+            "/etc/redis/redis.conf",
+            "/etc/init.d/redis-server",
+        ],
+        depends: &["libc6"],
+        doc_files: 6,
+        lib_files: 8,
+    },
+    Entry {
+        name: "ircd-hybrid",
+        key_files: &[
+            "/usr/sbin/ircd-hybrid",
+            "/etc/ircd-hybrid/ircd.conf",
+            "/etc/ircd-hybrid/ircd.motd",
+            "/etc/init.d/ircd-hybrid",
+            "/etc/default/ircd-hybrid",
+        ],
+        depends: &["libc6"],
+        doc_files: 6,
+        lib_files: 10,
+    },
+    Entry {
+        name: "openssh-server",
+        key_files: &[
+            "/usr/sbin/sshd",
+            "/etc/ssh/sshd_config",
+            "/etc/init.d/ssh",
+            "/etc/default/ssh",
+        ],
+        depends: &["libc6"],
+        doc_files: 6,
+        lib_files: 10,
+    },
+    Entry {
+        name: "openssh-client",
+        key_files: &["/usr/bin/ssh", "/usr/bin/ssh-keygen", "/etc/ssh/ssh_config"],
+        depends: &["libc6"],
+        doc_files: 4,
+        lib_files: 6,
+    },
+    Entry {
+        name: "cron",
+        key_files: &["/usr/sbin/cron", "/etc/crontab", "/etc/init.d/cron"],
+        depends: &["libc6"],
+        doc_files: 3,
+        lib_files: 2,
+    },
+];
+
+/// The CentOS (yum) table. Smaller, but realistic enough to demonstrate the
+/// platform flag: different package names and layouts for the same roles.
+const CENTOS: &[Entry] = &[
+    Entry {
+        name: "glibc",
+        key_files: &["/lib64/libc.so.6"],
+        depends: &[],
+        doc_files: 6,
+        lib_files: 20,
+    },
+    Entry {
+        name: "perl",
+        key_files: &["/usr/bin/perl"],
+        depends: &["glibc"],
+        doc_files: 12,
+        lib_files: 40,
+    },
+    Entry {
+        name: "httpd",
+        key_files: &[
+            "/usr/sbin/httpd",
+            "/etc/httpd/conf/httpd.conf",
+            "/etc/httpd/conf.d/welcome.conf",
+            "/etc/init.d/httpd",
+            "/var/www/html/index.html",
+        ],
+        depends: &["glibc"],
+        doc_files: 20,
+        lib_files: 60,
+    },
+    Entry {
+        name: "nginx",
+        key_files: &[
+            "/usr/sbin/nginx",
+            "/etc/nginx/nginx.conf",
+            "/etc/nginx/conf.d/default.conf",
+            "/etc/init.d/nginx",
+        ],
+        depends: &["glibc"],
+        doc_files: 8,
+        lib_files: 16,
+    },
+    Entry {
+        name: "bind",
+        key_files: &[
+            "/usr/sbin/named",
+            "/etc/named.conf",
+            "/var/named/named.ca",
+            "/etc/init.d/named",
+        ],
+        depends: &["glibc"],
+        doc_files: 10,
+        lib_files: 24,
+    },
+    Entry {
+        name: "ntp",
+        key_files: &["/usr/sbin/ntpd", "/etc/ntp.conf", "/etc/init.d/ntpd"],
+        depends: &["glibc"],
+        doc_files: 6,
+        lib_files: 6,
+    },
+    Entry {
+        name: "rsyslog",
+        key_files: &[
+            "/usr/sbin/rsyslogd",
+            "/etc/rsyslog.conf",
+            "/etc/init.d/rsyslog",
+        ],
+        depends: &["glibc"],
+        doc_files: 8,
+        lib_files: 20,
+    },
+    Entry {
+        name: "xinetd",
+        key_files: &["/usr/sbin/xinetd", "/etc/xinetd.conf", "/etc/init.d/xinetd"],
+        depends: &["glibc"],
+        doc_files: 4,
+        lib_files: 4,
+    },
+    Entry {
+        name: "monit",
+        key_files: &["/usr/bin/monit", "/etc/monitrc", "/etc/init.d/monit"],
+        depends: &["glibc"],
+        doc_files: 6,
+        lib_files: 6,
+    },
+    Entry {
+        name: "openssh-server",
+        key_files: &["/usr/sbin/sshd", "/etc/ssh/sshd_config", "/etc/init.d/sshd"],
+        depends: &["glibc"],
+        doc_files: 6,
+        lib_files: 10,
+    },
+];
+
+/// Builds the built-in database for `platform`.
+pub fn builtin_db(platform: Platform) -> PackageDb {
+    let table = match platform {
+        Platform::Ubuntu => UBUNTU,
+        Platform::Centos => CENTOS,
+    };
+    let mut db = PackageDb::new(platform);
+    for e in table {
+        db.insert(build(e));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubuntu_db_is_closed_under_dependencies() {
+        let db = builtin_db(Platform::Ubuntu);
+        for name in db.names() {
+            let spec = db.package(name).unwrap();
+            for d in spec.depends() {
+                assert!(db.contains(d), "{name} depends on missing {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn centos_db_is_closed_under_dependencies() {
+        let db = builtin_db(Platform::Centos);
+        for name in db.names() {
+            for d in db.package(name).unwrap().depends() {
+                assert!(db.contains(d), "{name} depends on missing {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn golang_depends_on_perl_on_ubuntu() {
+        // The paper's silent-failure example requires this edge (fig. 3c).
+        let db = builtin_db(Platform::Ubuntu);
+        let closure = db.install_closure("golang-go").unwrap();
+        assert!(closure.iter().any(|s| s.name() == "perl"));
+        let removal = db.remove_closure("perl").unwrap();
+        assert!(removal.iter().any(|s| s.name() == "golang-go"));
+    }
+
+    #[test]
+    fn apache2_has_default_site() {
+        let db = builtin_db(Platform::Ubuntu);
+        let apache = db.package("apache2").unwrap();
+        let expect = FsPath::parse("/etc/apache2/sites-available/000-default.conf").unwrap();
+        assert!(apache.files().contains(&expect));
+        assert!(
+            apache.files().len() > 100,
+            "apache2 should be a large package"
+        );
+    }
+
+    #[test]
+    fn packages_share_usr_prefix() {
+        // False sharing of /usr, /etc drives the commutativity story.
+        let db = builtin_db(Platform::Ubuntu);
+        let usr = FsPath::parse("/usr").unwrap();
+        let vim = db.package("vim").unwrap();
+        let git = db.package("git").unwrap();
+        assert!(vim.directories().contains(&usr));
+        assert!(git.directories().contains(&usr));
+    }
+
+    #[test]
+    fn platform_tables_differ() {
+        let ubuntu = builtin_db(Platform::Ubuntu);
+        let centos = builtin_db(Platform::Centos);
+        assert!(ubuntu.contains("apache2") && !centos.contains("apache2"));
+        assert!(centos.contains("httpd") && !ubuntu.contains("httpd"));
+    }
+}

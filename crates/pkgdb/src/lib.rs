@@ -1,0 +1,35 @@
+//! Package listings for Rehearsal's package-resource model.
+//!
+//! The paper models a `package` resource as an FS program that creates the
+//! package's directory tree and files (§3.3), obtained from `apt-file` or
+//! `repoquery` through a caching web service. This crate substitutes a
+//! deterministic, in-memory database with the same interface surface:
+//!
+//! * [`PackageDb::builtin`] — realistic listings for the packages used by
+//!   the paper's examples and our reconstructed benchmarks, for
+//!   [`Platform::Ubuntu`] and [`Platform::Centos`];
+//! * [`conflict_db`], [`random_db`] — synthetic generators for the scaling
+//!   experiments;
+//! * [`PackageDb::install_closure`] / [`PackageDb::remove_closure`] —
+//!   dependency semantics mirroring `apt install` / `apt remove`, which the
+//!   paper's golang-go/perl silent-failure example (fig. 3c) relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_pkgdb::{PackageDb, Platform};
+//!
+//! let db = PackageDb::builtin(Platform::Ubuntu);
+//! let closure = db.install_closure("golang-go")?;
+//! assert!(closure.iter().any(|p| p.name() == "perl"));
+//! # Ok::<(), rehearsal_pkgdb::UnknownPackageError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub(crate) mod builtin;
+mod spec;
+mod synthetic;
+
+pub use spec::{PackageDb, PackageSpec, Platform, UnknownPackageError, UnknownPlatformError};
+pub use synthetic::{conflict_db, random_db};

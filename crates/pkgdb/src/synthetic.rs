@@ -1,0 +1,98 @@
+//! Synthetic package generation for scaling experiments (paper §6,
+//! fig. 13) and fuzzing.
+
+use crate::spec::{PackageDb, PackageSpec, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rehearsal_fs::FsPath;
+
+/// Builds the paper's fig. 13 conflict workload: `n` packages `A-1 … A-n`
+/// that all create the *same* file (`/software/a`) plus a few unique files
+/// each. Installing all of them unordered is non-deterministic; adding a
+/// final `file` resource ordered after all of them makes it deterministic
+/// (and forces the solver to prove unsatisfiability).
+pub fn conflict_db(n: usize) -> PackageDb {
+    let mut db = PackageDb::new(Platform::Ubuntu);
+    let shared = FsPath::parse("/software/a").expect("static path");
+    for i in 1..=n {
+        let name = format!("A-{i}");
+        let own_dir = FsPath::parse("/software").expect("static path");
+        let files = vec![
+            shared,
+            own_dir.join(&format!("{name}.bin")),
+            own_dir.join(&format!("{name}.dat")),
+        ];
+        db.insert(PackageSpec::new(name, files, vec![]));
+    }
+    db
+}
+
+/// Generates a random database of `n_packages` packages with
+/// `files_per_package` files each, drawn from a pool of shared directories;
+/// dependencies form a random DAG. Deterministic in `seed`.
+pub fn random_db(seed: u64, n_packages: usize, files_per_package: usize) -> PackageDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = PackageDb::new(Platform::Ubuntu);
+    let dirs = ["/usr/bin", "/usr/lib", "/etc", "/usr/share", "/opt"];
+    for i in 0..n_packages {
+        let name = format!("pkg{i}");
+        let mut files = Vec::with_capacity(files_per_package);
+        for j in 0..files_per_package {
+            let dir = dirs[rng.gen_range(0..dirs.len())];
+            let base = FsPath::parse(dir).expect("static path");
+            files.push(base.join(&format!("{name}-f{j}")));
+        }
+        // Depend on a random subset of earlier packages (keeps it a DAG).
+        let mut depends = Vec::new();
+        for j in 0..i {
+            if rng.gen_bool(0.15) {
+                depends.push(format!("pkg{j}"));
+            }
+        }
+        db.insert(PackageSpec::new(name, files, depends));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_db_shares_one_file() {
+        let db = conflict_db(4);
+        assert_eq!(db.len(), 4);
+        let shared = FsPath::parse("/software/a").unwrap();
+        for name in ["A-1", "A-2", "A-3", "A-4"] {
+            assert!(db.package(name).unwrap().files().contains(&shared));
+        }
+    }
+
+    #[test]
+    fn random_db_is_deterministic_in_seed() {
+        let a = random_db(7, 10, 5);
+        let b = random_db(7, 10, 5);
+        for name in a.names() {
+            assert_eq!(
+                a.package(name).unwrap().files(),
+                b.package(name).unwrap().files()
+            );
+        }
+        let c = random_db(8, 10, 5);
+        let differs = a
+            .names()
+            .any(|n| a.package(n).unwrap().files() != c.package(n).unwrap().files());
+        assert!(differs, "different seeds should give different layouts");
+    }
+
+    #[test]
+    fn random_db_dependencies_form_a_dag() {
+        let db = random_db(42, 20, 3);
+        // pkg_i only depends on pkg_j with j < i, so install closures
+        // terminate and are acyclic by construction.
+        for name in db.names() {
+            let closure = db.install_closure(name).unwrap();
+            assert!(!closure.is_empty());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Abstract syntax for the supported Puppet fragment (paper fig. 1, plus
+//! the conveniences real manifests use: classes, conditionals, selectors,
+//! collectors, stages, and resource defaults).
+
+use crate::lexer::StrPart;
+
+/// An expression (attribute values, titles, conditions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// Double-quoted string with interpolation parts.
+    Interp(Vec<StrPart>),
+    /// Single-quoted (literal) string or bareword.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `undef`.
+    Undef,
+    /// `default` (in case/selector arms).
+    Default,
+    /// Variable reference.
+    Var(String),
+    /// Array literal.
+    Array(Vec<Expression>),
+    /// Hash literal.
+    Hash(Vec<(Expression, Expression)>),
+    /// Resource reference `Type[title1, title2]`.
+    ResourceRef(String, Vec<Expression>),
+    /// Function call (e.g. `defined(File['/x'])`).
+    Call(String, Vec<Expression>),
+    /// `!e`.
+    Not(Box<Expression>),
+    /// `e and e`.
+    And(Box<Expression>, Box<Expression>),
+    /// `e or e`.
+    Or(Box<Expression>, Box<Expression>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expression>, Box<Expression>),
+    /// `e in e`.
+    In(Box<Expression>, Box<Expression>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expression>, Box<Expression>),
+    /// Selector `e ? { match => value, ... }`.
+    Selector(Box<Expression>, Vec<(Expression, Expression)>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// One attribute `name => value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: Expression,
+}
+
+/// One body of a resource declaration: `title: attrs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceBody {
+    /// The title expression (may be an array for multi-title declarations).
+    pub title: Expression,
+    /// The attributes.
+    pub attrs: Vec<Attribute>,
+}
+
+/// A resource declaration `type { title: attrs; title2: attrs2 }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDecl {
+    /// Lower-cased resource type name (`file`, `package`, a defined type,
+    /// or `class` for resource-style class declarations).
+    pub type_name: String,
+    /// The bodies.
+    pub bodies: Vec<ResourceBody>,
+    /// Whether the resource is virtual (`@type { ... }`). Virtual resources
+    /// are only realized by collectors. (Parsed for completeness.)
+    pub virtual_: bool,
+}
+
+/// A parameter of a defined type or class, with optional default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (without `$`).
+    pub name: String,
+    /// Default value, if any.
+    pub default: Option<Expression>,
+}
+
+/// `define name(params) { body }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefineDecl {
+    /// The new type's name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Statement>,
+}
+
+/// `class name(params) { body }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Parent class (`inherits`), if any.
+    pub inherits: Option<String>,
+    /// Body statements.
+    pub body: Vec<Statement>,
+}
+
+/// The kind of a chaining arrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrowKind {
+    /// `->` ordering edge.
+    Before,
+    /// `~>` ordering edge with refresh (treated as ordering by Rehearsal).
+    Notify,
+}
+
+/// An operand of a chain statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainOperand {
+    /// One or more resource references.
+    Refs(Vec<Expression>),
+    /// An inline resource declaration.
+    Resource(ResourceDecl),
+    /// An inline collector (e.g. `File <| tag == web |>`).
+    Collector(Collector),
+}
+
+/// `operand -> operand -> ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainStatement {
+    /// The operands, in source order.
+    pub operands: Vec<ChainOperand>,
+    /// The arrows between consecutive operands (`operands.len() - 1`).
+    pub arrows: Vec<ArrowKind>,
+}
+
+/// A collector query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Matches every resource of the collector's type.
+    All,
+    /// `attr == value`.
+    Eq(String, Expression),
+    /// `attr != value`.
+    Ne(String, Expression),
+    /// Conjunction.
+    And(Box<Query>, Box<Query>),
+    /// Disjunction.
+    Or(Box<Query>, Box<Query>),
+}
+
+/// `Type <| query |> { overrides }` — realizes virtual resources and/or
+/// overrides attributes of matching resources (a *global*, non-modular
+/// operation; see paper §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collector {
+    /// Lower-cased resource type name.
+    pub type_name: String,
+    /// The query.
+    pub query: Query,
+    /// Attribute overrides applied to matches.
+    pub overrides: Vec<Attribute>,
+}
+
+/// `Type { attrs }` — resource defaults for a type in the current scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDefault {
+    /// Lower-cased resource type name.
+    pub type_name: String,
+    /// Default attributes.
+    pub attrs: Vec<Attribute>,
+}
+
+/// A case statement arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    /// Match values (`default` uses [`Expression::Default`]).
+    pub values: Vec<Expression>,
+    /// Arm body.
+    pub body: Vec<Statement>,
+}
+
+/// A top-level or nested statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Resource declaration.
+    Resource(ResourceDecl),
+    /// Defined type declaration.
+    Define(DefineDecl),
+    /// Class declaration.
+    Class(ClassDecl),
+    /// `include a, b`.
+    Include(Vec<String>),
+    /// `$x = expr`.
+    Assign(String, Expression),
+    /// Dependency chain.
+    Chain(ChainStatement),
+    /// Collector statement.
+    Collector(Collector),
+    /// Resource defaults.
+    ResourceDefault(ResourceDefault),
+    /// `if` / `elsif` / `else`. Arms are `(condition, body)`; the final
+    /// `else` is a `true` arm.
+    If(Vec<(Expression, Vec<Statement>)>),
+    /// `case expr { arms }`.
+    Case(Expression, Vec<CaseArm>),
+    /// `node 'name' { body }`.
+    Node(Vec<String>, Vec<Statement>),
+    /// A bare function call statement (e.g. `fail("message")`).
+    Call(String, Vec<Expression>),
+}
+
+/// A parsed manifest: a sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// Top-level statements in source order.
+    pub statements: Vec<Statement>,
+}

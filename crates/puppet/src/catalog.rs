@@ -1,0 +1,197 @@
+//! Catalogs: the output of manifest evaluation.
+//!
+//! A catalog is the set of *primitive* resources (all abstractions
+//! eliminated, paper §3.1) plus explicit dependency edges.
+
+use crate::value::{capitalize, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a resource: lower-cased type name and title.
+pub type ResourceId = (String, String);
+
+/// One primitive resource with evaluated attributes.
+///
+/// Metaparameters (`before`, `require`, `notify`, `subscribe`, `stage`) are
+/// extracted into edges during evaluation and do not appear here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogResource {
+    type_name: String,
+    title: String,
+    attrs: BTreeMap<String, Value>,
+}
+
+impl CatalogResource {
+    /// Creates a resource.
+    pub fn new(
+        type_name: impl Into<String>,
+        title: impl Into<String>,
+        attrs: BTreeMap<String, Value>,
+    ) -> CatalogResource {
+        CatalogResource {
+            type_name: type_name.into(),
+            title: title.into(),
+            attrs,
+        }
+    }
+
+    /// Lower-cased resource type name (e.g. `file`).
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// The resource title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The evaluated attributes.
+    pub fn attrs(&self) -> &BTreeMap<String, Value> {
+        &self.attrs
+    }
+
+    /// Mutable access to the attributes (used by collector overrides).
+    pub fn attrs_mut(&mut self) -> &mut BTreeMap<String, Value> {
+        &mut self.attrs
+    }
+
+    /// One attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    /// The attribute as a coerced string, if present.
+    pub fn attr_str(&self, name: &str) -> Option<String> {
+        self.attrs.get(name).map(Value::coerce_string)
+    }
+
+    /// This resource's identifier.
+    pub fn id(&self) -> ResourceId {
+        (self.type_name.clone(), self.title.clone())
+    }
+
+    /// Display name like `File[/etc/hosts]`.
+    pub fn display_name(&self) -> String {
+        format!("{}[{}]", capitalize(&self.type_name), self.title)
+    }
+}
+
+impl fmt::Display for CatalogResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_name())
+    }
+}
+
+/// The result of evaluating a manifest: primitive resources and dependency
+/// edges between them (edge `(a, b)` means `a` must be applied before `b`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    resources: Vec<CatalogResource>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Catalog {
+    /// Creates a catalog from parts. Edges must index into `resources`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of bounds.
+    pub fn new(resources: Vec<CatalogResource>, mut edges: Vec<(usize, usize)>) -> Catalog {
+        for &(a, b) in &edges {
+            assert!(
+                a < resources.len() && b < resources.len(),
+                "edge out of bounds"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Catalog { resources, edges }
+    }
+
+    /// The resources, in declaration order.
+    pub fn resources(&self) -> &[CatalogResource] {
+        &self.resources
+    }
+
+    /// Dependency edges `(before, after)` as indices into
+    /// [`resources`](Catalog::resources).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether the catalog has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Finds a resource index by type and title.
+    pub fn find(&self, type_name: &str, title: &str) -> Option<usize> {
+        self.resources
+            .iter()
+            .position(|r| r.type_name() == type_name && r.title() == title)
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "catalog with {} resources:", self.resources.len())?;
+        for r in &self.resources {
+            writeln!(f, "  {r}")?;
+        }
+        for &(a, b) in &self.edges {
+            writeln!(
+                f,
+                "  {} -> {}",
+                self.resources[a].display_name(),
+                self.resources[b].display_name()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(t: &str, title: &str) -> CatalogResource {
+        CatalogResource::new(t, title, BTreeMap::new())
+    }
+
+    #[test]
+    fn catalog_basics() {
+        let c = Catalog::new(vec![res("package", "vim"), res("file", "/x")], vec![(0, 1)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.find("file", "/x"), Some(1));
+        assert_eq!(c.find("file", "/y"), None);
+        assert_eq!(c.edges(), &[(0, 1)]);
+        assert!(c.to_string().contains("Package[vim] -> "));
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let c = Catalog::new(vec![res("a", "1"), res("b", "2")], vec![(0, 1), (0, 1)]);
+        assert_eq!(c.edges().len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_edge_panics() {
+        Catalog::new(vec![res("a", "1")], vec![(0, 5)]);
+    }
+
+    #[test]
+    fn resource_accessors() {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("ensure".to_string(), Value::Str("present".into()));
+        let r = CatalogResource::new("package", "vim", attrs);
+        assert_eq!(r.attr_str("ensure").as_deref(), Some("present"));
+        assert_eq!(r.display_name(), "Package[vim]");
+        assert_eq!(r.id(), ("package".to_string(), "vim".to_string()));
+    }
+}

@@ -1,0 +1,146 @@
+//! Error types for the Puppet frontend.
+
+use std::fmt;
+
+/// A position in manifest source (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexing or parsing error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pos: Pos,
+    message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// The position at which parsing failed.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// The error message (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error during manifest evaluation (catalog compilation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was referenced before assignment.
+    UndefinedVariable(String),
+    /// `include`/class reference to an unknown class.
+    UnknownClass(String),
+    /// A resource declaration used a type that is neither primitive nor
+    /// user-defined.
+    UnknownResourceType(String),
+    /// The same resource (type + title) was declared twice.
+    DuplicateResource(String, String),
+    /// A dependency referenced a resource that is not in the catalog.
+    UnknownReference(String, String),
+    /// A referenced stage does not exist.
+    UnknownStage(String),
+    /// A required parameter of a defined type or class was not supplied.
+    MissingParameter(String, String),
+    /// An unexpected parameter was supplied to a defined type or class.
+    UnexpectedParameter(String, String),
+    /// A class was both `include`d and declared resource-style (or declared
+    /// resource-style twice).
+    DuplicateClassDeclaration(String),
+    /// Arbitrary semantic error (e.g. `fail()` was called).
+    Message(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
+            EvalError::UnknownClass(c) => write!(f, "unknown class {c:?}"),
+            EvalError::UnknownResourceType(t) => write!(f, "unknown resource type {t:?}"),
+            EvalError::DuplicateResource(t, title) => {
+                write!(f, "duplicate declaration of {t}[{title}]")
+            }
+            EvalError::UnknownReference(t, title) => {
+                write!(f, "dependency references undeclared resource {t}[{title}]")
+            }
+            EvalError::UnknownStage(s) => write!(f, "unknown stage {s:?}"),
+            EvalError::MissingParameter(ty, p) => {
+                write!(f, "missing required parameter {p:?} for {ty}")
+            }
+            EvalError::UnexpectedParameter(ty, p) => {
+                write!(f, "unexpected parameter {p:?} for {ty}")
+            }
+            EvalError::DuplicateClassDeclaration(c) => {
+                write!(f, "class {c:?} declared more than once")
+            }
+            EvalError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The resource graph contains a dependency cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Human-readable names of resources on a cycle.
+    pub members: Vec<String>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency cycle involving: {}",
+            self.members.join(" -> ")
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ParseError::new(Pos { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
+        assert_eq!(
+            EvalError::DuplicateResource("file".into(), "/a".into()).to_string(),
+            "duplicate declaration of file[/a]"
+        );
+        let c = CycleError {
+            members: vec!["Package[m4]".into(), "Package[make]".into()],
+        };
+        assert!(c.to_string().contains("Package[m4] -> Package[make]"));
+    }
+}

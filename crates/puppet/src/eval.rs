@@ -1,0 +1,1478 @@
+//! Manifest evaluation: from AST to a catalog of primitive resources.
+//!
+//! This implements the compilation passes of paper §3.1: user-defined type
+//! and class expansion (substituting definitions until only primitive
+//! resources remain), metaparameter and chaining edges, resource collectors
+//! (global attribute overrides), stage elimination, resource defaults, and
+//! Puppet's file auto-require rule.
+
+use crate::ast::*;
+use crate::catalog::{Catalog, CatalogResource, ResourceId};
+use crate::error::EvalError;
+use crate::lexer::StrPart;
+use crate::value::{capitalize, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Node facts visible to manifests as top-scope variables.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_puppet::Facts;
+/// let f = Facts::ubuntu();
+/// assert_eq!(f.get("osfamily"), Some("Debian"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Facts {
+    map: BTreeMap<String, String>,
+}
+
+impl Facts {
+    /// Facts for an Ubuntu node (the paper's evaluation platform).
+    pub fn ubuntu() -> Facts {
+        let mut map = BTreeMap::new();
+        map.insert("operatingsystem".to_string(), "Ubuntu".to_string());
+        map.insert("osfamily".to_string(), "Debian".to_string());
+        map.insert("kernel".to_string(), "Linux".to_string());
+        map.insert("hostname".to_string(), "testhost".to_string());
+        map.insert("fqdn".to_string(), "testhost.example.com".to_string());
+        Facts { map }
+    }
+
+    /// Facts for a CentOS node.
+    pub fn centos() -> Facts {
+        let mut map = BTreeMap::new();
+        map.insert("operatingsystem".to_string(), "CentOS".to_string());
+        map.insert("osfamily".to_string(), "RedHat".to_string());
+        map.insert("kernel".to_string(), "Linux".to_string());
+        map.insert("hostname".to_string(), "testhost".to_string());
+        map.insert("fqdn".to_string(), "testhost.example.com".to_string());
+        Facts { map }
+    }
+
+    /// Adds or overrides a fact.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<String>) -> Facts {
+        self.map.insert(name.into(), value.into());
+        self
+    }
+
+    /// Looks up a fact.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Iterates over all facts.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// Metaparameters that turn into edges rather than attributes.
+const META_EDGE_PARAMS: [&str; 4] = ["before", "require", "notify", "subscribe"];
+
+/// A collector captured during evaluation: type name, query, and evaluated
+/// attribute overrides.
+type CollectorSpec = (String, Query, Vec<(String, Value)>);
+
+/// Evaluates a manifest into a catalog of primitive resources.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for undefined variables, unknown classes/types,
+/// duplicate resources, dangling references, and `fail()` calls.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_puppet::{evaluate, parse, Facts};
+/// let m = parse("package { 'vim': ensure => present }")?;
+/// let catalog = evaluate(&m, &Facts::ubuntu())?;
+/// assert_eq!(catalog.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(manifest: &Manifest, facts: &Facts) -> Result<Catalog, EvalError> {
+    let mut ev = Evaluator::new(facts);
+    ev.collect_declarations(&manifest.statements);
+    ev.exec_top_level(&manifest.statements)?;
+    ev.finalize()
+}
+
+#[derive(Debug, Clone)]
+struct PendingEdge {
+    before: ResourceId,
+    after: ResourceId,
+}
+
+#[derive(Debug, Clone)]
+struct VirtualResource {
+    resource: CatalogResource,
+    stage: String,
+    group_stack: Vec<ResourceId>,
+    realized: bool,
+}
+
+struct Evaluator {
+    defines: HashMap<String, DefineDecl>,
+    classes: HashMap<String, ClassDecl>,
+    declared_classes: HashSet<String>,
+    resources: Vec<CatalogResource>,
+    index: HashMap<ResourceId, usize>,
+    stage_of: Vec<String>,
+    pending_edges: Vec<PendingEdge>,
+    groups: HashMap<ResourceId, Vec<ResourceId>>,
+    group_stack: Vec<ResourceId>,
+    scopes: Vec<HashMap<String, Value>>,
+    defaults: Vec<(String, String, Value)>,
+    collectors: Vec<CollectorSpec>,
+    virtuals: Vec<VirtualResource>,
+    realize_requests: Vec<ResourceId>,
+    /// Stage ordering edges `(before, after)` between stage titles.
+    stage_edges: BTreeSet<(String, String)>,
+    stage_titles: BTreeSet<String>,
+    current_stage: Vec<String>,
+}
+
+impl Evaluator {
+    fn new(facts: &Facts) -> Evaluator {
+        let mut top = HashMap::new();
+        for (k, v) in facts.iter() {
+            top.insert(k.to_string(), Value::Str(v.to_string()));
+        }
+        Evaluator {
+            defines: HashMap::new(),
+            classes: HashMap::new(),
+            declared_classes: HashSet::new(),
+            resources: Vec::new(),
+            index: HashMap::new(),
+            stage_of: Vec::new(),
+            pending_edges: Vec::new(),
+            groups: HashMap::new(),
+            group_stack: Vec::new(),
+            scopes: vec![top],
+            defaults: Vec::new(),
+            collectors: Vec::new(),
+            virtuals: Vec::new(),
+            realize_requests: Vec::new(),
+            stage_edges: BTreeSet::new(),
+            stage_titles: ["main".to_string()].into_iter().collect(),
+            current_stage: vec!["main".to_string()],
+        }
+    }
+
+    /// Hoists all `define` and `class` declarations (Puppet treats them as
+    /// global regardless of nesting).
+    fn collect_declarations(&mut self, statements: &[Statement]) {
+        for s in statements {
+            match s {
+                Statement::Define(d) => {
+                    self.defines.insert(d.name.clone(), d.clone());
+                }
+                Statement::Class(c) => {
+                    self.classes.insert(c.name.clone(), c.clone());
+                    self.collect_declarations(&c.body);
+                }
+                Statement::If(arms) => {
+                    for (_, body) in arms {
+                        self.collect_declarations(body);
+                    }
+                }
+                Statement::Case(_, arms) => {
+                    for arm in arms {
+                        self.collect_declarations(&arm.body);
+                    }
+                }
+                Statement::Node(_, body) => self.collect_declarations(body),
+                _ => {}
+            }
+        }
+        // Also hoist declarations nested in defines.
+        let bodies: Vec<Vec<Statement>> = self.defines.values().map(|d| d.body.clone()).collect();
+        for b in &bodies {
+            for s in b {
+                if let Statement::Define(d) = s {
+                    self.defines
+                        .entry(d.name.clone())
+                        .or_insert_with(|| d.clone());
+                }
+            }
+        }
+    }
+
+    fn exec_top_level(&mut self, statements: &[Statement]) -> Result<(), EvalError> {
+        let hostname = self
+            .lookup_var("hostname")
+            .map(|v| v.coerce_string())
+            .unwrap_or_default();
+        // Execute non-node statements, remembering node blocks.
+        let mut default_node: Option<&[Statement]> = None;
+        let mut matching_node: Option<&[Statement]> = None;
+        for s in statements {
+            if let Statement::Node(names, body) = s {
+                for n in names {
+                    if n == "default" && default_node.is_none() {
+                        default_node = Some(body);
+                    } else if *n == hostname && matching_node.is_none() {
+                        matching_node = Some(body);
+                    }
+                }
+            } else {
+                self.exec_statement(s)?;
+            }
+        }
+        if let Some(body) = matching_node.or(default_node) {
+            let body = body.to_vec();
+            for s in &body {
+                self.exec_statement(s)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_statements(&mut self, statements: &[Statement]) -> Result<(), EvalError> {
+        for s in statements {
+            self.exec_statement(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec_statement(&mut self, s: &Statement) -> Result<(), EvalError> {
+        match s {
+            Statement::Define(_) | Statement::Class(_) => Ok(()), // hoisted
+            Statement::Node(_, _) => Ok(()),                      // handled at top level
+            Statement::Assign(name, expr) => {
+                let v = self.eval_expr(expr)?;
+                let scope = self.scopes.last_mut().expect("scope stack non-empty");
+                if scope.contains_key(name) {
+                    return Err(EvalError::Message(format!(
+                        "variable ${name} is already assigned in this scope"
+                    )));
+                }
+                scope.insert(name.clone(), v);
+                Ok(())
+            }
+            Statement::Include(names) => {
+                for n in names {
+                    self.declare_class(n, &BTreeMap::new(), false)?;
+                }
+                Ok(())
+            }
+            Statement::Resource(decl) => {
+                self.instantiate_resource_decl(decl)?;
+                Ok(())
+            }
+            Statement::Chain(chain) => self.exec_chain(chain),
+            Statement::Collector(c) => self.exec_collector(c),
+            Statement::ResourceDefault(d) => {
+                for a in &d.attrs {
+                    let v = self.eval_expr(&a.value)?;
+                    self.defaults.push((d.type_name.clone(), a.name.clone(), v));
+                }
+                Ok(())
+            }
+            Statement::If(arms) => {
+                for (cond, body) in arms {
+                    if self.eval_expr(cond)?.truthy() {
+                        return self.exec_statements(body);
+                    }
+                }
+                Ok(())
+            }
+            Statement::Case(scrutinee, arms) => {
+                let v = self.eval_expr(scrutinee)?;
+                let mut default_arm: Option<&CaseArm> = None;
+                for arm in arms {
+                    for val in &arm.values {
+                        if matches!(val, Expression::Default) {
+                            default_arm = Some(arm);
+                            continue;
+                        }
+                        let mv = self.eval_expr(val)?;
+                        if v.puppet_eq(&mv) {
+                            return self.exec_statements(&arm.body);
+                        }
+                    }
+                }
+                if let Some(arm) = default_arm {
+                    let body = arm.body.clone();
+                    return self.exec_statements(&body);
+                }
+                Ok(())
+            }
+            Statement::Call(name, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval_expr(a))
+                    .collect::<Result<_, _>>()?;
+                match name.as_str() {
+                    "fail" => Err(EvalError::Message(format!(
+                        "fail(): {}",
+                        vals.iter()
+                            .map(Value::coerce_string)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    ))),
+                    "notice" | "warning" | "info" | "debug" => Ok(()),
+                    "realize" => {
+                        for v in vals {
+                            if let Value::Ref(t, titles) = v {
+                                for title in titles {
+                                    self.realize_requests.push((t.clone(), title));
+                                }
+                            }
+                        }
+                        Ok(())
+                    }
+                    other => Err(EvalError::Message(format!("unknown function {other:?}"))),
+                }
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn lookup_var(&self, name: &str) -> Option<&Value> {
+        if let Some(stripped) = name.strip_prefix("::") {
+            return self.scopes.first().and_then(|s| s.get(stripped));
+        }
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn eval_expr(&mut self, e: &Expression) -> Result<Value, EvalError> {
+        match e {
+            Expression::Str(s) => Ok(Value::Str(s.clone())),
+            Expression::Int(n) => Ok(Value::Int(*n)),
+            Expression::Bool(b) => Ok(Value::Bool(*b)),
+            Expression::Undef => Ok(Value::Undef),
+            Expression::Default => Ok(Value::Str("default".to_string())),
+            Expression::Var(name) => self
+                .lookup_var(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UndefinedVariable(name.clone())),
+            Expression::Interp(parts) => {
+                let mut out = String::new();
+                for p in parts {
+                    match p {
+                        StrPart::Lit(l) => out.push_str(l),
+                        StrPart::Var(v) => {
+                            let val = self
+                                .lookup_var(v)
+                                .cloned()
+                                .ok_or_else(|| EvalError::UndefinedVariable(v.clone()))?;
+                            out.push_str(&val.coerce_string());
+                        }
+                    }
+                }
+                Ok(Value::Str(out))
+            }
+            Expression::Array(items) => Ok(Value::Array(
+                items
+                    .iter()
+                    .map(|i| self.eval_expr(i))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expression::Hash(items) => {
+                let mut out = Vec::new();
+                for (k, v) in items {
+                    out.push((self.eval_expr(k)?, self.eval_expr(v)?));
+                }
+                Ok(Value::Hash(out))
+            }
+            Expression::ResourceRef(type_name, titles) => {
+                let t = type_name.to_lowercase();
+                let ts: Vec<String> = titles
+                    .iter()
+                    .map(|e| self.eval_expr(e).map(|v| v.coerce_string()))
+                    .collect::<Result<_, _>>()?;
+                Ok(Value::Ref(t, ts))
+            }
+            Expression::Call(name, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval_expr(a))
+                    .collect::<Result<_, _>>()?;
+                match name.as_str() {
+                    "defined" => {
+                        let mut all = true;
+                        for v in &vals {
+                            all &= match v {
+                                Value::Ref(t, titles) => titles.iter().all(|title| {
+                                    self.index.contains_key(&(t.clone(), title.clone()))
+                                        || self.groups.contains_key(&(t.clone(), title.clone()))
+                                        || self.virtuals.iter().any(|vr| {
+                                            vr.resource.type_name() == t
+                                                && vr.resource.title() == title
+                                        })
+                                }),
+                                Value::Str(s) => {
+                                    self.declared_classes.contains(s)
+                                        || self.classes.contains_key(s)
+                                        || self.defines.contains_key(s)
+                                }
+                                _ => false,
+                            };
+                        }
+                        Ok(Value::Bool(all))
+                    }
+                    other => Err(EvalError::Message(format!("unknown function {other:?}"))),
+                }
+            }
+            Expression::Not(inner) => Ok(Value::Bool(!self.eval_expr(inner)?.truthy())),
+            Expression::And(a, b) => {
+                let va = self.eval_expr(a)?;
+                if !va.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(self.eval_expr(b)?.truthy()))
+            }
+            Expression::Or(a, b) => {
+                let va = self.eval_expr(a)?;
+                if va.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(self.eval_expr(b)?.truthy()))
+            }
+            Expression::Cmp(op, a, b) => {
+                let va = self.eval_expr(a)?;
+                let vb = self.eval_expr(b)?;
+                let out = match op {
+                    CmpOp::Eq => va.puppet_eq(&vb),
+                    CmpOp::Ne => !va.puppet_eq(&vb),
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                        let (x, y) = (coerce_int(&va)?, coerce_int(&vb)?);
+                        match op {
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                            _ => unreachable!(),
+                        }
+                    }
+                };
+                Ok(Value::Bool(out))
+            }
+            Expression::In(a, b) => {
+                let va = self.eval_expr(a)?;
+                let vb = self.eval_expr(b)?;
+                Ok(Value::Bool(va.contained_in(&vb)))
+            }
+            Expression::Arith(op, a, b) => {
+                let x = coerce_int(&self.eval_expr(a)?)?;
+                let y = coerce_int(&self.eval_expr(b)?)?;
+                let out = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0 {
+                            return Err(EvalError::Message("division by zero".to_string()));
+                        }
+                        x / y
+                    }
+                };
+                Ok(Value::Int(out))
+            }
+            Expression::Selector(scrutinee, arms) => {
+                let v = self.eval_expr(scrutinee)?;
+                let mut default_value: Option<&Expression> = None;
+                for (m, out) in arms {
+                    if matches!(m, Expression::Default) {
+                        default_value = Some(out);
+                        continue;
+                    }
+                    let mv = self.eval_expr(m)?;
+                    if v.puppet_eq(&mv) {
+                        return self.eval_expr(out);
+                    }
+                }
+                match default_value {
+                    Some(out) => {
+                        let out = out.clone();
+                        self.eval_expr(&out)
+                    }
+                    None => Err(EvalError::Message(format!(
+                        "selector has no match for {v} and no default"
+                    ))),
+                }
+            }
+        }
+    }
+
+    // ---- resources ----
+
+    fn instantiate_resource_decl(
+        &mut self,
+        decl: &ResourceDecl,
+    ) -> Result<Vec<ResourceId>, EvalError> {
+        let mut created = Vec::new();
+        for body in &decl.bodies {
+            let title_value = self.eval_expr(&body.title)?;
+            let titles: Vec<String> = match title_value {
+                Value::Array(items) => items.iter().map(Value::coerce_string).collect(),
+                other => vec![other.coerce_string()],
+            };
+            let mut attrs: BTreeMap<String, Value> = BTreeMap::new();
+            for a in &body.attrs {
+                let v = self.eval_expr(&a.value)?;
+                attrs.insert(a.name.clone(), v);
+            }
+            for title in titles {
+                let id = self.instantiate_one(decl, &title, attrs.clone())?;
+                created.push(id);
+            }
+        }
+        Ok(created)
+    }
+
+    fn instantiate_one(
+        &mut self,
+        decl: &ResourceDecl,
+        title: &str,
+        mut attrs: BTreeMap<String, Value>,
+    ) -> Result<ResourceId, EvalError> {
+        let type_name = decl.type_name.to_lowercase();
+        // Extract edge metaparameters.
+        let mut edges_out: Vec<(String, Value)> = Vec::new();
+        for meta in META_EDGE_PARAMS {
+            if let Some(v) = attrs.remove(meta) {
+                edges_out.push((meta.to_string(), v));
+            }
+        }
+        let stage_param = attrs.remove("stage").map(|v| v.coerce_string());
+
+        let id: ResourceId = (type_name.clone(), title.to_string());
+
+        if type_name == "class" {
+            let class_name = title.to_string();
+            self.declare_class(&class_name, &attrs, true)?;
+            if let Some(stage) = &stage_param {
+                self.assign_class_stage(&class_name, stage)?;
+            }
+            let gid = ("class".to_string(), class_name);
+            self.record_meta_edges(&gid, &edges_out);
+            return Ok(gid);
+        }
+
+        if type_name == "stage" {
+            self.stage_titles.insert(title.to_string());
+            for (meta, v) in &edges_out {
+                for (t, other) in ref_titles(v) {
+                    if t != "stage" {
+                        return Err(EvalError::Message(format!(
+                            "stage {title:?} has a non-stage dependency {}",
+                            capitalize(&t)
+                        )));
+                    }
+                    self.stage_titles.insert(other.clone());
+                    match meta.as_str() {
+                        "before" | "notify" => {
+                            self.stage_edges.insert((title.to_string(), other));
+                        }
+                        _ => {
+                            self.stage_edges.insert((other, title.to_string()));
+                        }
+                    }
+                }
+            }
+            return Ok(id);
+        }
+
+        if self.defines.contains_key(&type_name) {
+            self.expand_define(&type_name, title, &attrs)?;
+            self.record_meta_edges(&id, &edges_out);
+            if let Some(g) = self.group_stack.last().cloned() {
+                self.groups.entry(g).or_default().push(id.clone());
+            }
+            return Ok(id);
+        }
+
+        // A primitive resource.
+        if self.index.contains_key(&id) || self.virtuals.iter().any(|v| v.resource.id() == id) {
+            return Err(EvalError::DuplicateResource(type_name, title.to_string()));
+        }
+        let resource = CatalogResource::new(type_name.clone(), title, attrs);
+        if decl.virtual_ {
+            self.virtuals.push(VirtualResource {
+                resource,
+                stage: self.current_stage.last().cloned().unwrap_or_default(),
+                group_stack: self.group_stack.clone(),
+                realized: false,
+            });
+        } else {
+            self.push_resource(resource);
+        }
+        self.record_meta_edges(&id, &edges_out);
+        Ok(id)
+    }
+
+    fn push_resource(&mut self, resource: CatalogResource) {
+        let id = resource.id();
+        let idx = self.resources.len();
+        self.resources.push(resource);
+        self.stage_of
+            .push(self.current_stage.last().cloned().unwrap_or_default());
+        self.index.insert(id.clone(), idx);
+        if let Some(g) = self.group_stack.last().cloned() {
+            self.groups.entry(g).or_default().push(id);
+        }
+    }
+
+    fn record_meta_edges(&mut self, id: &ResourceId, metas: &[(String, Value)]) {
+        for (meta, v) in metas {
+            for target in ref_titles(v) {
+                match meta.as_str() {
+                    "before" | "notify" => self.pending_edges.push(PendingEdge {
+                        before: id.clone(),
+                        after: target,
+                    }),
+                    _ => self.pending_edges.push(PendingEdge {
+                        before: target,
+                        after: id.clone(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn expand_define(
+        &mut self,
+        type_name: &str,
+        title: &str,
+        args: &BTreeMap<String, Value>,
+    ) -> Result<(), EvalError> {
+        let def = self
+            .defines
+            .get(type_name)
+            .expect("checked by caller")
+            .clone();
+        let gid: ResourceId = (type_name.to_string(), title.to_string());
+        if self.groups.contains_key(&gid) {
+            return Err(EvalError::DuplicateResource(
+                type_name.to_string(),
+                title.to_string(),
+            ));
+        }
+        self.groups.insert(gid.clone(), Vec::new());
+        let scope = self.bind_params(type_name, &def.params, args, title)?;
+        self.scopes.push(scope);
+        self.group_stack.push(gid);
+        let result = self.exec_statements(&def.body);
+        self.group_stack.pop();
+        self.scopes.pop();
+        result
+    }
+
+    fn declare_class(
+        &mut self,
+        name: &str,
+        args: &BTreeMap<String, Value>,
+        resource_style: bool,
+    ) -> Result<(), EvalError> {
+        if self.declared_classes.contains(name) {
+            if resource_style {
+                return Err(EvalError::DuplicateClassDeclaration(name.to_string()));
+            }
+            return Ok(()); // include is idempotent
+        }
+        let class = self
+            .classes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownClass(name.to_string()))?;
+        self.declared_classes.insert(name.to_string());
+        // `inherits` parent is declared first.
+        if let Some(parent) = &class.inherits {
+            self.declare_class(parent, &BTreeMap::new(), false)?;
+        }
+        let gid: ResourceId = ("class".to_string(), name.to_string());
+        self.groups.entry(gid.clone()).or_default();
+        if let Some(g) = self.group_stack.last().cloned() {
+            self.groups.entry(g).or_default().push(gid.clone());
+        }
+        let scope = self.bind_params(name, &class.params, args, name)?;
+        self.scopes.push(scope);
+        self.group_stack.push(gid);
+        let result = self.exec_statements(&class.body);
+        self.group_stack.pop();
+        self.scopes.pop();
+        result
+    }
+
+    fn assign_class_stage(&mut self, class_name: &str, stage: &str) -> Result<(), EvalError> {
+        if !self.stage_titles.contains(stage) {
+            return Err(EvalError::UnknownStage(stage.to_string()));
+        }
+        // Move every member of the class (recursively) into the stage.
+        let gid = ("class".to_string(), class_name.to_string());
+        let members = self.resolve_group(&gid)?;
+        for m in members {
+            if let Some(&idx) = self.index.get(&m) {
+                self.stage_of[idx] = stage.to_string();
+            }
+        }
+        Ok(())
+    }
+
+    fn bind_params(
+        &mut self,
+        owner: &str,
+        params: &[Param],
+        args: &BTreeMap<String, Value>,
+        title: &str,
+    ) -> Result<HashMap<String, Value>, EvalError> {
+        let mut scope = HashMap::new();
+        scope.insert("title".to_string(), Value::Str(title.to_string()));
+        scope.insert("name".to_string(), Value::Str(title.to_string()));
+        let param_names: HashSet<&str> = params.iter().map(|p| p.name.as_str()).collect();
+        for given in args.keys() {
+            if !param_names.contains(given.as_str()) && given != "title" && given != "name" {
+                return Err(EvalError::UnexpectedParameter(
+                    owner.to_string(),
+                    given.clone(),
+                ));
+            }
+        }
+        for p in params {
+            if let Some(v) = args.get(&p.name) {
+                scope.insert(p.name.clone(), v.clone());
+            } else if let Some(default) = &p.default {
+                // Defaults are evaluated in a scope where $title/$name and
+                // earlier parameters are visible.
+                self.scopes.push(scope);
+                let v = self.eval_expr(default);
+                scope = self.scopes.pop().expect("pushed above");
+                scope.insert(p.name.clone(), v?);
+            } else {
+                return Err(EvalError::MissingParameter(
+                    owner.to_string(),
+                    p.name.clone(),
+                ));
+            }
+        }
+        Ok(scope)
+    }
+
+    // ---- chains and collectors ----
+
+    fn exec_chain(&mut self, chain: &ChainStatement) -> Result<(), EvalError> {
+        let mut operand_ids: Vec<Vec<ResourceId>> = Vec::new();
+        for op in &chain.operands {
+            let ids = match op {
+                ChainOperand::Refs(refs) => {
+                    let mut ids = Vec::new();
+                    for r in refs {
+                        let v = self.eval_expr(r)?;
+                        ids.extend(ref_titles(&v));
+                    }
+                    ids
+                }
+                ChainOperand::Resource(decl) => self.instantiate_resource_decl(decl)?,
+                ChainOperand::Collector(c) => {
+                    self.exec_collector(c)?;
+                    // A collector in a chain orders against everything it
+                    // matches; we resolve this at finalize time via a group
+                    // pseudo-id.
+                    let key = (
+                        "\u{0}collector".to_string(),
+                        format!("{}", self.collectors.len() - 1),
+                    );
+                    vec![key]
+                }
+            };
+            operand_ids.push(ids);
+        }
+        for (k, _arrow) in chain.arrows.iter().enumerate() {
+            for b in &operand_ids[k] {
+                for a in &operand_ids[k + 1] {
+                    self.pending_edges.push(PendingEdge {
+                        before: b.clone(),
+                        after: a.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_collector(&mut self, c: &Collector) -> Result<(), EvalError> {
+        let mut overrides = Vec::new();
+        for a in &c.overrides {
+            let v = self.eval_expr(&a.value)?;
+            overrides.push((a.name.clone(), v));
+        }
+        self.collectors
+            .push((c.type_name.clone(), c.query.clone(), overrides));
+        Ok(())
+    }
+
+    fn query_matches(&self, q: &Query, r: &CatalogResource) -> bool {
+        match q {
+            Query::All => true,
+            Query::Eq(attr, e) => {
+                let want = literal_value(e);
+                if attr == "title" {
+                    return Value::Str(r.title().to_string()).puppet_eq(&want);
+                }
+                r.attr(attr).map(|v| v.puppet_eq(&want)).unwrap_or(false)
+            }
+            Query::Ne(attr, e) => {
+                let want = literal_value(e);
+                if attr == "title" {
+                    return !Value::Str(r.title().to_string()).puppet_eq(&want);
+                }
+                r.attr(attr).map(|v| !v.puppet_eq(&want)).unwrap_or(true)
+            }
+            Query::And(a, b) => self.query_matches(a, r) && self.query_matches(b, r),
+            Query::Or(a, b) => self.query_matches(a, r) || self.query_matches(b, r),
+        }
+    }
+
+    // ---- finalize ----
+
+    fn resolve_group(&self, id: &ResourceId) -> Result<Vec<ResourceId>, EvalError> {
+        let mut out = Vec::new();
+        let mut stack = vec![id.clone()];
+        let mut seen = HashSet::new();
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if self.index.contains_key(&cur) {
+                out.push(cur);
+            } else if let Some(members) = self.groups.get(&cur) {
+                stack.extend(members.iter().cloned());
+            } else if cur.0 == "class" && self.declared_classes.contains(&cur.1) {
+                // An empty class: fine, no members.
+            } else {
+                return Err(EvalError::UnknownReference(cur.0.clone(), cur.1.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    fn finalize(mut self) -> Result<Catalog, EvalError> {
+        // 1. Realize virtual resources requested by realize() or matched by
+        //    a collector.
+        let realize_requests = std::mem::take(&mut self.realize_requests);
+        let collectors = std::mem::take(&mut self.collectors);
+        let mut virtuals = std::mem::take(&mut self.virtuals);
+        for vr in virtuals.iter_mut() {
+            let requested = realize_requests.iter().any(|id| *id == vr.resource.id());
+            let collected = collectors.iter().any(|(t, q, _)| {
+                *t == vr.resource.type_name() && self.query_matches(q, &vr.resource)
+            });
+            if requested || collected {
+                vr.realized = true;
+            }
+        }
+        for vr in &virtuals {
+            if vr.realized {
+                let saved_stage = self.current_stage.clone();
+                let saved_groups = self.group_stack.clone();
+                self.current_stage = vec![vr.stage.clone()];
+                self.group_stack = vr.group_stack.clone();
+                self.push_resource(vr.resource.clone());
+                self.current_stage = saved_stage;
+                self.group_stack = saved_groups;
+            }
+        }
+
+        // 2. Apply resource defaults (attributes only present if not set).
+        let defaults = std::mem::take(&mut self.defaults);
+        for (ty, attr, v) in &defaults {
+            if META_EDGE_PARAMS.contains(&attr.as_str()) {
+                // Metaparameter default: becomes edges for every resource of
+                // the type.
+                let ids: Vec<ResourceId> = self
+                    .resources
+                    .iter()
+                    .filter(|r| r.type_name() == ty)
+                    .map(|r| r.id())
+                    .collect();
+                for id in ids {
+                    self.record_meta_edges(&id, &[(attr.clone(), v.clone())]);
+                }
+                continue;
+            }
+            for r in self.resources.iter_mut().filter(|r| r.type_name() == *ty) {
+                r.attrs_mut()
+                    .entry(attr.clone())
+                    .or_insert_with(|| v.clone());
+            }
+        }
+
+        // 3. Apply collector overrides (global, non-modular: paper §3.1).
+        for (ty, query, overrides) in &collectors {
+            for r in self.resources.iter_mut() {
+                if r.type_name() == *ty {
+                    // Borrow dance: query_matches needs &self.
+                    let matches = {
+                        let q = query;
+                        // Inline the matching to avoid double borrow.
+                        fn matches_inline(ev_query: &Query, r: &CatalogResource) -> bool {
+                            match ev_query {
+                                Query::All => true,
+                                Query::Eq(attr, e) => {
+                                    let want = literal_value(e);
+                                    if attr == "title" {
+                                        Value::Str(r.title().to_string()).puppet_eq(&want)
+                                    } else {
+                                        r.attr(attr).map(|v| v.puppet_eq(&want)).unwrap_or(false)
+                                    }
+                                }
+                                Query::Ne(attr, e) => {
+                                    let want = literal_value(e);
+                                    if attr == "title" {
+                                        !Value::Str(r.title().to_string()).puppet_eq(&want)
+                                    } else {
+                                        r.attr(attr).map(|v| !v.puppet_eq(&want)).unwrap_or(true)
+                                    }
+                                }
+                                Query::And(a, b) => matches_inline(a, r) && matches_inline(b, r),
+                                Query::Or(a, b) => matches_inline(a, r) || matches_inline(b, r),
+                            }
+                        }
+                        matches_inline(q, r)
+                    };
+                    if matches {
+                        for (k, v) in overrides {
+                            r.attrs_mut().insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Resolve pending edges to primitive-resource index pairs.
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let pending = std::mem::take(&mut self.pending_edges);
+        for e in &pending {
+            let before = self.resolve_edge_endpoint(&e.before, &collectors)?;
+            let after = self.resolve_edge_endpoint(&e.after, &collectors)?;
+            for &b in &before {
+                for &a in &after {
+                    if b != a {
+                        edges.insert((b, a));
+                    }
+                }
+            }
+        }
+
+        // 5. File auto-require: a file depends on the file resource managing
+        //    its parent directory (paper §1 footnote).
+        let path_of: HashMap<String, usize> = self
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.type_name() == "file")
+            .map(|(i, r)| {
+                let path = r.attr_str("path").unwrap_or_else(|| r.title().to_string());
+                (path, i)
+            })
+            .collect();
+        for (path, &i) in &path_of {
+            if let Some(parent) = parent_path(path) {
+                if let Some(&j) = path_of.get(&parent) {
+                    if i != j {
+                        edges.insert((j, i));
+                    }
+                }
+            }
+        }
+
+        // 6. Stage elimination: expand stage ordering into resource edges
+        //    (paper §3.1). Uses the transitive closure of the stage DAG.
+        let stage_pairs = transitive_closure(&self.stage_edges);
+        for (s1, s2) in &stage_pairs {
+            for i in 0..self.resources.len() {
+                if self.stage_of[i] != *s1 {
+                    continue;
+                }
+                for j in 0..self.resources.len() {
+                    if self.stage_of[j] == *s2 && i != j {
+                        edges.insert((i, j));
+                    }
+                }
+            }
+        }
+
+        Ok(Catalog::new(self.resources, edges.into_iter().collect()))
+    }
+
+    fn resolve_edge_endpoint(
+        &self,
+        id: &ResourceId,
+        collectors: &[CollectorSpec],
+    ) -> Result<Vec<usize>, EvalError> {
+        if id.0 == "\u{0}collector" {
+            let k: usize = id.1.parse().expect("collector pseudo-id");
+            let (ty, query, _) = &collectors[k];
+            return Ok(self
+                .resources
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.type_name() == *ty && self.query_matches(query, r))
+                .map(|(i, _)| i)
+                .collect());
+        }
+        let ids = self.resolve_group(id)?;
+        Ok(ids
+            .iter()
+            .map(|rid| *self.index.get(rid).expect("resolved ids are primitive"))
+            .collect())
+    }
+}
+
+/// Extracts `(type, title)` pairs from a reference-ish value.
+fn ref_titles(v: &Value) -> Vec<ResourceId> {
+    match v {
+        Value::Ref(t, titles) => titles.iter().map(|x| (t.clone(), x.clone())).collect(),
+        Value::Array(items) => items.iter().flat_map(ref_titles).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Evaluates a literal expression in a collector query (queries cannot
+/// reference variables in our fragment).
+fn literal_value(e: &Expression) -> Value {
+    match e {
+        Expression::Str(s) => Value::Str(s.clone()),
+        Expression::Int(n) => Value::Int(*n),
+        Expression::Bool(b) => Value::Bool(*b),
+        Expression::Interp(parts) => {
+            let mut s = String::new();
+            for p in parts {
+                if let StrPart::Lit(l) = p {
+                    s.push_str(l);
+                }
+            }
+            Value::Str(s)
+        }
+        _ => Value::Undef,
+    }
+}
+
+fn coerce_int(v: &Value) -> Result<i64, EvalError> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        Value::Str(s) => s
+            .parse()
+            .map_err(|_| EvalError::Message(format!("cannot treat {s:?} as a number"))),
+        other => Err(EvalError::Message(format!(
+            "cannot treat {other} as a number"
+        ))),
+    }
+}
+
+fn parent_path(path: &str) -> Option<String> {
+    let trimmed = path.trim_end_matches('/');
+    let idx = trimmed.rfind('/')?;
+    if idx == 0 {
+        if trimmed.len() > 1 {
+            return Some("/".to_string());
+        }
+        return None;
+    }
+    Some(trimmed[..idx].to_string())
+}
+
+fn transitive_closure(edges: &BTreeSet<(String, String)>) -> BTreeSet<(String, String)> {
+    let mut closure = edges.clone();
+    loop {
+        let mut added = false;
+        let snapshot: Vec<(String, String)> = closure.iter().cloned().collect();
+        for (a, b) in &snapshot {
+            for (c, d) in &snapshot {
+                if b == c && closure.insert((a.clone(), d.clone())) {
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            return closure;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eval_src(src: &str) -> Catalog {
+        evaluate(&parse(src).unwrap(), &Facts::ubuntu()).unwrap()
+    }
+
+    fn eval_err(src: &str) -> EvalError {
+        evaluate(&parse(src).unwrap(), &Facts::ubuntu()).unwrap_err()
+    }
+
+    #[test]
+    fn simple_resources() {
+        let c = eval_src(
+            "package { 'vim': ensure => present }\n\
+             file { '/home/carol/.vimrc': content => 'syntax on' }",
+        );
+        assert_eq!(c.len(), 2);
+        assert!(c.find("package", "vim").is_some());
+        assert!(c.find("file", "/home/carol/.vimrc").is_some());
+    }
+
+    #[test]
+    fn chain_edges() {
+        let c = eval_src(
+            "user { 'carol': ensure => present }\n\
+             file { '/home/carol/.vimrc': content => 'syntax on' }\n\
+             User['carol'] -> File['/home/carol/.vimrc']",
+        );
+        let u = c.find("user", "carol").unwrap();
+        let f = c.find("file", "/home/carol/.vimrc").unwrap();
+        assert!(c.edges().contains(&(u, f)));
+    }
+
+    #[test]
+    fn require_metaparameter() {
+        let c = eval_src(
+            "package { 'apache2': ensure => present }\n\
+             file { '/etc/apache2/sites-available/000-default.conf':\n\
+               content => 'x', require => Package['apache2'] }",
+        );
+        let p = c.find("package", "apache2").unwrap();
+        let f = c
+            .find("file", "/etc/apache2/sites-available/000-default.conf")
+            .unwrap();
+        assert_eq!(c.edges(), &[(p, f)]);
+    }
+
+    #[test]
+    fn before_and_notify() {
+        let c = eval_src(
+            "package { 'nginx': before => Service['nginx'] }\n\
+             service { 'nginx': subscribe => File['/etc/nginx/nginx.conf'] }\n\
+             file { '/etc/nginx/nginx.conf': content => 'c', notify => Service['nginx'] }",
+        );
+        let p = c.find("package", "nginx").unwrap();
+        let s = c.find("service", "nginx").unwrap();
+        let f = c.find("file", "/etc/nginx/nginx.conf").unwrap();
+        assert!(c.edges().contains(&(p, s)));
+        assert!(c.edges().contains(&(f, s)));
+    }
+
+    #[test]
+    fn paper_figure_2_defined_type() {
+        let src = r#"
+            define myuser() {
+              user { "$title": ensure => present, managehome => true }
+              file { "/home/${title}/.vimrc": content => "syntax on" }
+              User["$title"] -> File["/home/${title}/.vimrc"]
+            }
+            myuser { 'alice': }
+            myuser { 'carol': }
+        "#;
+        let c = eval_src(src);
+        assert_eq!(c.len(), 4);
+        for who in ["alice", "carol"] {
+            let u = c.find("user", who).unwrap();
+            let f = c.find("file", &format!("/home/{who}/.vimrc")).unwrap();
+            assert!(c.edges().contains(&(u, f)), "edge for {who}");
+        }
+    }
+
+    #[test]
+    fn define_params_with_defaults() {
+        let src = r#"
+            define greeter($greeting = "hello ${title}") {
+              file { "/tmp/$title": content => $greeting }
+            }
+            greeter { 'world': }
+            greeter { 'bob': greeting => 'hi' }
+        "#;
+        let c = eval_src(src);
+        let w = c.find("file", "/tmp/world").unwrap();
+        assert_eq!(
+            c.resources()[w].attr_str("content").as_deref(),
+            Some("hello world")
+        );
+        let b = c.find("file", "/tmp/bob").unwrap();
+        assert_eq!(c.resources()[b].attr_str("content").as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn unknown_param_rejected() {
+        let err = eval_err(
+            "define d($x = 1) { }\n\
+             d { 't': y => 2 }",
+        );
+        assert!(matches!(err, EvalError::UnexpectedParameter(_, _)));
+    }
+
+    #[test]
+    fn missing_param_rejected() {
+        let err = eval_err(
+            "define d($x) { }\n\
+             d { 't': }",
+        );
+        assert!(matches!(err, EvalError::MissingParameter(_, _)));
+    }
+
+    #[test]
+    fn classes_include_once() {
+        let src = r#"
+            class web { package { 'nginx': } }
+            include web
+            include web
+        "#;
+        let c = eval_src(src);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_resource_rejected() {
+        let err = eval_err("package { 'vim': }\npackage { 'vim': }");
+        assert!(matches!(err, EvalError::DuplicateResource(_, _)));
+    }
+
+    #[test]
+    fn class_edges_expand_to_members() {
+        let src = r#"
+            class a { package { 'p1': } package { 'p2': } }
+            class b { package { 'p3': } }
+            include a
+            include b
+            Class['a'] -> Class['b']
+        "#;
+        let c = eval_src(src);
+        let p1 = c.find("package", "p1").unwrap();
+        let p2 = c.find("package", "p2").unwrap();
+        let p3 = c.find("package", "p3").unwrap();
+        assert!(c.edges().contains(&(p1, p3)));
+        assert!(c.edges().contains(&(p2, p3)));
+    }
+
+    #[test]
+    fn define_instance_edges_expand_to_members() {
+        let src = r#"
+            define pair() {
+              file { "/tmp/${title}-a": }
+              file { "/tmp/${title}-b": }
+            }
+            pair { 'x': }
+            package { 'zip': }
+            Pair['x'] -> Package['zip']
+        "#;
+        let c = eval_src(src);
+        let z = c.find("package", "zip").unwrap();
+        let a = c.find("file", "/tmp/x-a").unwrap();
+        let b = c.find("file", "/tmp/x-b").unwrap();
+        assert!(c.edges().contains(&(a, z)));
+        assert!(c.edges().contains(&(b, z)));
+    }
+
+    #[test]
+    fn conditionals_and_facts() {
+        let src = r#"
+            if $osfamily == 'Debian' {
+              package { 'apache2': }
+            } else {
+              package { 'httpd': }
+            }
+        "#;
+        let c = evaluate(&parse(src).unwrap(), &Facts::ubuntu()).unwrap();
+        assert!(c.find("package", "apache2").is_some());
+        let c2 = evaluate(&parse(src).unwrap(), &Facts::centos()).unwrap();
+        assert!(c2.find("package", "httpd").is_some());
+    }
+
+    #[test]
+    fn case_and_selector() {
+        let src = r#"
+            $pkg = $osfamily ? { 'Debian' => 'apache2', default => 'httpd' }
+            case $osfamily {
+              'Debian': { $svc = 'apache2' }
+              default: { $svc = 'httpd' }
+            }
+            package { $pkg: }
+            service { $svc: }
+        "#;
+        let c = eval_src(src);
+        assert!(c.find("package", "apache2").is_some());
+        assert!(c.find("service", "apache2").is_some());
+    }
+
+    #[test]
+    fn collector_overrides_attributes() {
+        let src = r#"
+            file { '/home/carol/a': owner => 'carol', mode => 'rw' }
+            file { '/home/dave/b': owner => 'dave', mode => 'rw' }
+            File<| owner == 'carol' |> { mode => 'go-rwx' }
+        "#;
+        let c = eval_src(src);
+        let a = c.find("file", "/home/carol/a").unwrap();
+        let b = c.find("file", "/home/dave/b").unwrap();
+        assert_eq!(c.resources()[a].attr_str("mode").as_deref(), Some("go-rwx"));
+        assert_eq!(c.resources()[b].attr_str("mode").as_deref(), Some("rw"));
+    }
+
+    #[test]
+    fn virtual_resources_realized_by_collector() {
+        let src = r#"
+            @user { 'carol': ensure => present }
+            @user { 'dave': ensure => present }
+            User <| title == 'carol' |>
+        "#;
+        let c = eval_src(src);
+        assert!(c.find("user", "carol").is_some());
+        assert!(c.find("user", "dave").is_none());
+    }
+
+    #[test]
+    fn virtual_resources_realized_by_realize() {
+        let src = r#"
+            @user { 'carol': ensure => present }
+            realize(User['carol'])
+        "#;
+        let c = eval_src(src);
+        assert!(c.find("user", "carol").is_some());
+    }
+
+    #[test]
+    fn resource_defaults_fill_missing_attrs() {
+        let src = r#"
+            File { owner => 'root' }
+            file { '/a': content => 'c' }
+            file { '/b': owner => 'carol' }
+        "#;
+        let c = eval_src(src);
+        let a = c.find("file", "/a").unwrap();
+        let b = c.find("file", "/b").unwrap();
+        assert_eq!(c.resources()[a].attr_str("owner").as_deref(), Some("root"));
+        assert_eq!(c.resources()[b].attr_str("owner").as_deref(), Some("carol"));
+    }
+
+    #[test]
+    fn file_autorequire_parent_directory() {
+        let src = r#"
+            file { '/etc/apache2': ensure => directory }
+            file { '/etc/apache2/apache2.conf': content => 'c' }
+        "#;
+        let c = eval_src(src);
+        let d = c.find("file", "/etc/apache2").unwrap();
+        let f = c.find("file", "/etc/apache2/apache2.conf").unwrap();
+        assert!(c.edges().contains(&(d, f)));
+    }
+
+    #[test]
+    fn stages_order_resources() {
+        let src = r#"
+            stage { 'pre': before => Stage['main'] }
+            class setup { package { 'base': } }
+            class app { package { 'web': } }
+            class { 'setup': stage => 'pre' }
+            include app
+        "#;
+        let c = eval_src(src);
+        let base = c.find("package", "base").unwrap();
+        let web = c.find("package", "web").unwrap();
+        assert!(c.edges().contains(&(base, web)));
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let err = eval_err("file { '/x': content => $nope }");
+        assert!(matches!(err, EvalError::UndefinedVariable(_)));
+    }
+
+    #[test]
+    fn unknown_reference_errors() {
+        let err = eval_err("Package['ghost'] -> Package['also-ghost']");
+        assert!(matches!(err, EvalError::UnknownReference(_, _)));
+    }
+
+    #[test]
+    fn fail_function() {
+        let err = eval_err("fail('nope')");
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn defined_function_guards_duplicates() {
+        // The paper notes 1/3 of Forge modules use this idiom (§2.2 fn. 4).
+        let src = r#"
+            define cpp() {
+              if !defined(Package['m4']) { package { 'm4': } }
+            }
+            define ocaml() {
+              if !defined(Package['m4']) { package { 'm4': } }
+            }
+            cpp { 'c': }
+            ocaml { 'o': }
+        "#;
+        let c = eval_src(src);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn chained_declarations_create_edges() {
+        let c = eval_src("package { 'a': } -> file { '/b': content => 'x' }");
+        let p = c.find("package", "a").unwrap();
+        let f = c.find("file", "/b").unwrap();
+        assert!(c.edges().contains(&(p, f)));
+    }
+
+    #[test]
+    fn array_titles_create_multiple_resources() {
+        let c = eval_src("package { ['m4', 'make', 'gcc']: ensure => present }");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn interpolation_uses_facts() {
+        let c = eval_src(r#"file { '/etc/issue': content => "Welcome to ${operatingsystem}" }"#);
+        let f = c.find("file", "/etc/issue").unwrap();
+        assert_eq!(
+            c.resources()[f].attr_str("content").as_deref(),
+            Some("Welcome to Ubuntu")
+        );
+    }
+
+    #[test]
+    fn node_blocks_match_hostname_or_default() {
+        let src = r#"
+            node 'testhost' { package { 'matched': } }
+            node default { package { 'fallback': } }
+        "#;
+        let c = eval_src(src);
+        assert!(c.find("package", "matched").is_some());
+        assert!(c.find("package", "fallback").is_none());
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let err = eval_err("include ghost");
+        assert!(matches!(err, EvalError::UnknownClass(_)));
+    }
+
+    #[test]
+    fn class_inherits_declares_parent() {
+        let src = r#"
+            class base { package { 'core': } }
+            class app inherits base { package { 'web': } }
+            include app
+        "#;
+        let c = eval_src(src);
+        assert!(c.find("package", "core").is_some());
+        assert!(c.find("package", "web").is_some());
+    }
+
+    #[test]
+    fn parent_path_helper() {
+        assert_eq!(parent_path("/a/b"), Some("/a".to_string()));
+        assert_eq!(parent_path("/a"), Some("/".to_string()));
+        assert_eq!(parent_path("/"), None);
+    }
+}

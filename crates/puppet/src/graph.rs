@@ -1,0 +1,244 @@
+//! Resource graphs (paper §3.1, fig. 4): DAGs of primitive resources.
+
+use crate::catalog::{Catalog, CatalogResource};
+use crate::error::CycleError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A directed acyclic graph of primitive resources. An edge `a → b` means
+/// `b` depends on `a` (`a` is applied first).
+///
+/// Construction validates acyclicity, so holders of a `ResourceGraph` can
+/// rely on topological sorts existing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceGraph {
+    resources: Vec<CatalogResource>,
+    edges: BTreeSet<(usize, usize)>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl ResourceGraph {
+    /// Builds a graph from a catalog, rejecting dependency cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] naming resources on a cycle.
+    pub fn from_catalog(catalog: &Catalog) -> Result<ResourceGraph, CycleError> {
+        let resources = catalog.resources().to_vec();
+        let edges: BTreeSet<(usize, usize)> = catalog
+            .edges()
+            .iter()
+            .copied()
+            .filter(|(a, b)| a != b)
+            .collect();
+        let n = resources.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            succs[a].push(b);
+            preds[b].push(a);
+        }
+        let g = ResourceGraph {
+            resources,
+            edges,
+            succs,
+            preds,
+        };
+        g.topological_sort()?;
+        Ok(g)
+    }
+
+    /// The resources (graph vertices).
+    pub fn resources(&self) -> &[CatalogResource] {
+        &self.resources
+    }
+
+    /// One resource by index.
+    pub fn resource(&self, i: usize) -> &CatalogResource {
+        &self.resources[i]
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// All edges `(before, after)`.
+    pub fn edges(&self) -> &BTreeSet<(usize, usize)> {
+        &self.edges
+    }
+
+    /// Direct successors (dependents) of `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Direct predecessors (dependencies) of `i`.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// One topological order (Kahn's algorithm, smallest index first for
+    /// determinism).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the edges contain a cycle.
+    pub fn topological_sort(&self) -> Result<Vec<usize>, CycleError> {
+        let n = self.resources.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            out.push(i);
+            for &j in &self.succs[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.insert(j);
+                }
+            }
+        }
+        if out.len() == n {
+            Ok(out)
+        } else {
+            let members = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.resources[i].display_name())
+                .collect();
+            Err(CycleError { members })
+        }
+    }
+
+    /// All strict ancestors of `i` (everything that must run before it).
+    pub fn ancestors(&self, i: usize) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<usize> = self.preds[i].clone();
+        while let Some(j) = stack.pop() {
+            if out.insert(j) {
+                stack.extend(self.preds[j].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All strict descendants of `i` (everything that must run after it).
+    pub fn descendants(&self, i: usize) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<usize> = self.succs[i].clone();
+        while let Some(j) = stack.pop() {
+            if out.insert(j) {
+                stack.extend(self.succs[j].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Counts the number of distinct topological orders (valid permutations
+    /// of the resource graph). Exponential; only for small graphs and
+    /// benchmark reporting.
+    pub fn count_linear_extensions(&self) -> u128 {
+        fn rec(g: &ResourceGraph, placed: &mut Vec<bool>, remaining: usize) -> u128 {
+            if remaining == 0 {
+                return 1;
+            }
+            let mut total = 0u128;
+            for i in 0..g.len() {
+                if !placed[i] && g.preds[i].iter().all(|&p| placed[p]) {
+                    placed[i] = true;
+                    total += rec(g, placed, remaining - 1);
+                    placed[i] = false;
+                }
+            }
+            total
+        }
+        rec(self, &mut vec![false; self.len()], self.len())
+    }
+}
+
+impl fmt::Display for ResourceGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "resource graph ({} nodes):", self.len())?;
+        for (i, r) in self.resources.iter().enumerate() {
+            write!(f, "  [{i}] {}", r.display_name())?;
+            if !self.succs[i].is_empty() {
+                let names: Vec<String> = self.succs[i]
+                    .iter()
+                    .map(|&j| self.resources[j].display_name())
+                    .collect();
+                write!(f, " -> {}", names.join(", "))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn res(t: &str, title: &str) -> CatalogResource {
+        CatalogResource::new(t, title, BTreeMap::new())
+    }
+
+    fn diamond() -> ResourceGraph {
+        // a -> b, a -> c, b -> d, c -> d
+        let c = Catalog::new(
+            vec![res("x", "a"), res("x", "b"), res("x", "c"), res("x", "d")],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        );
+        ResourceGraph::from_catalog(&c).unwrap()
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let g = diamond();
+        let order = g.topological_sort().unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let c = Catalog::new(
+            vec![res("package", "m4"), res("package", "make")],
+            vec![(0, 1), (1, 0)],
+        );
+        let err = ResourceGraph::from_catalog(&c).unwrap_err();
+        assert_eq!(err.members.len(), 2);
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let g = diamond();
+        assert_eq!(g.ancestors(3), [0, 1, 2].into_iter().collect());
+        assert_eq!(g.descendants(0), [1, 2, 3].into_iter().collect());
+        assert!(g.ancestors(0).is_empty());
+        assert!(g.descendants(3).is_empty());
+    }
+
+    #[test]
+    fn linear_extension_counts() {
+        let g = diamond();
+        assert_eq!(g.count_linear_extensions(), 2); // abc d / acb d
+        let free = Catalog::new(vec![res("x", "a"), res("x", "b"), res("x", "c")], vec![]);
+        let g2 = ResourceGraph::from_catalog(&free).unwrap();
+        assert_eq!(g2.count_linear_extensions(), 6);
+    }
+
+    #[test]
+    fn self_edges_are_dropped() {
+        let c = Catalog::new(vec![res("x", "a")], vec![(0, 0)]);
+        let g = ResourceGraph::from_catalog(&c).unwrap();
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,735 @@
+//! Lexer for the Puppet DSL fragment Rehearsal supports.
+//!
+//! Produces a token stream with source positions. Double-quoted strings are
+//! tokenized into interpolation parts (`"a $x b ${y}"` becomes literal and
+//! variable parts), which is how Puppet manifests splice variables into
+//! paths and contents.
+
+use crate::error::{ParseError, Pos};
+use std::fmt;
+
+/// One part of a double-quoted string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrPart {
+    /// Literal text.
+    Lit(String),
+    /// An interpolated variable (`$name` or `${name}`).
+    Var(String),
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Lower-case bareword (identifier or keyword), possibly `::`-qualified.
+    Ident(String),
+    /// Capitalized bareword (resource type reference), possibly qualified.
+    TypeName(String),
+    /// `$variable` (the `$` is stripped; leading `::` is preserved).
+    Var(String),
+    /// Double-quoted string with interpolation parts.
+    Str(Vec<StrPart>),
+    /// Single-quoted literal string.
+    RawStr(String),
+    /// Integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=>`
+    FatArrow,
+    /// `->`
+    Arrow,
+    /// `~>`
+    TildeArrow,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `<|`
+    CollectStart,
+    /// `|>`
+    CollectEnd,
+    /// `.`
+    Dot,
+    /// `@` (virtual resource marker)
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::TypeName(s) => write!(f, "{s}"),
+            Token::Var(s) => write!(f, "${s}"),
+            Token::Str(_) => write!(f, "string"),
+            Token::RawStr(s) => write!(f, "{s:?}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Colon => write!(f, ":"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::FatArrow => write!(f, "=>"),
+            Token::Arrow => write!(f, "->"),
+            Token::TildeArrow => write!(f, "~>"),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Bang => write!(f, "!"),
+            Token::Question => write!(f, "?"),
+            Token::CollectStart => write!(f, "<|"),
+            Token::CollectEnd => write!(f, "|>"),
+            Token::Dot => write!(f, "."),
+            Token::At => write!(f, "@"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            src: text.as_bytes(),
+            text,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos(), message)
+    }
+}
+
+fn is_word_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_word(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+/// Consumes word characters; a `-` is only part of the word when followed by
+/// another word character (so `foo->bar` lexes as `foo`, `->`, `bar`).
+fn scan_word(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if c == b'-' {
+            if cur.peek2().map(is_word_start).unwrap_or(false)
+                || cur.peek2().map(|d| d.is_ascii_digit()).unwrap_or(false)
+            {
+                cur.bump();
+                cur.bump();
+                continue;
+            }
+            break;
+        }
+        if is_word(c) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Tokenizes Puppet source.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings or comments and on
+/// characters outside the supported fragment.
+pub fn lex(text: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut cur = Cursor::new(text);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match cur.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    cur.bump();
+                }
+                Some(b'#') => {
+                    while let Some(c) = cur.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                }
+                Some(b'/') if cur.peek2() == Some(b'*') => {
+                    let start = cur.pos();
+                    cur.bump();
+                    cur.bump();
+                    loop {
+                        match (cur.peek(), cur.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                cur.bump();
+                                cur.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                cur.bump();
+                            }
+                            (None, _) => {
+                                return Err(ParseError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let pos = cur.pos();
+        let Some(c) = cur.peek() else {
+            out.push(Spanned {
+                token: Token::Eof,
+                pos,
+            });
+            return Ok(out);
+        };
+        let token = match c {
+            b'{' => {
+                cur.bump();
+                Token::LBrace
+            }
+            b'}' => {
+                cur.bump();
+                Token::RBrace
+            }
+            b'[' => {
+                cur.bump();
+                Token::LBracket
+            }
+            b']' => {
+                cur.bump();
+                Token::RBracket
+            }
+            b'(' => {
+                cur.bump();
+                Token::LParen
+            }
+            b')' => {
+                cur.bump();
+                Token::RParen
+            }
+            b':' => {
+                cur.bump();
+                Token::Colon
+            }
+            b',' => {
+                cur.bump();
+                Token::Comma
+            }
+            b';' => {
+                cur.bump();
+                Token::Semi
+            }
+            b'.' => {
+                cur.bump();
+                Token::Dot
+            }
+            b'@' => {
+                cur.bump();
+                Token::At
+            }
+            b'+' => {
+                cur.bump();
+                Token::Plus
+            }
+            b'*' => {
+                cur.bump();
+                Token::Star
+            }
+            b'/' => {
+                cur.bump();
+                Token::Slash
+            }
+            b'?' => {
+                cur.bump();
+                Token::Question
+            }
+            b'=' => {
+                cur.bump();
+                match cur.peek() {
+                    Some(b'>') => {
+                        cur.bump();
+                        Token::FatArrow
+                    }
+                    Some(b'=') => {
+                        cur.bump();
+                        Token::EqEq
+                    }
+                    _ => Token::Assign,
+                }
+            }
+            b'!' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    Token::NotEq
+                } else {
+                    Token::Bang
+                }
+            }
+            b'-' => {
+                cur.bump();
+                if cur.peek() == Some(b'>') {
+                    cur.bump();
+                    Token::Arrow
+                } else {
+                    Token::Minus
+                }
+            }
+            b'~' => {
+                cur.bump();
+                if cur.peek() == Some(b'>') {
+                    cur.bump();
+                    Token::TildeArrow
+                } else {
+                    return Err(cur.err("expected '>' after '~'"));
+                }
+            }
+            b'<' => {
+                cur.bump();
+                match cur.peek() {
+                    Some(b'|') => {
+                        cur.bump();
+                        Token::CollectStart
+                    }
+                    Some(b'=') => {
+                        cur.bump();
+                        Token::Le
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            b'>' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                }
+            }
+            b'|' => {
+                cur.bump();
+                if cur.peek() == Some(b'>') {
+                    cur.bump();
+                    Token::CollectEnd
+                } else {
+                    return Err(cur.err("expected '>' after '|'"));
+                }
+            }
+            b'\'' => {
+                cur.bump();
+                let mut s = String::new();
+                loop {
+                    match cur.bump() {
+                        Some(b'\'') => break,
+                        Some(b'\\') => match cur.bump() {
+                            Some(b'\'') => s.push('\''),
+                            Some(b'\\') => s.push('\\'),
+                            Some(other) => {
+                                s.push('\\');
+                                s.push(other as char);
+                            }
+                            None => return Err(ParseError::new(pos, "unterminated string")),
+                        },
+                        Some(other) => s.push(other as char),
+                        None => return Err(ParseError::new(pos, "unterminated string")),
+                    }
+                }
+                Token::RawStr(s)
+            }
+            b'"' => {
+                cur.bump();
+                Token::Str(lex_interpolated(&mut cur, pos)?)
+            }
+            b'$' => {
+                cur.bump();
+                let mut name = String::new();
+                // Optional top-scope prefix `::`.
+                while cur.peek() == Some(b':') && cur.peek2() == Some(b':') {
+                    cur.bump();
+                    cur.bump();
+                    name.push_str("::");
+                }
+                if !cur.peek().map(is_word_start).unwrap_or(false) {
+                    return Err(cur.err("expected variable name after '$'"));
+                }
+                while cur.peek().map(is_word).unwrap_or(false) {
+                    name.push(cur.bump().expect("peeked") as char);
+                }
+                Token::Var(name)
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(d) = cur.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    n = n * 10 + i64::from(d - b'0');
+                    cur.bump();
+                }
+                Token::Int(n)
+            }
+            c if is_word_start(c) => {
+                let start = cur.i;
+                scan_word(&mut cur);
+                // Qualified names: foo::bar or Foo::Bar.
+                while cur.peek() == Some(b':')
+                    && cur.peek2() == Some(b':')
+                    && cur
+                        .src
+                        .get(cur.i + 2)
+                        .copied()
+                        .map(is_word_start)
+                        .unwrap_or(false)
+                {
+                    cur.bump();
+                    cur.bump();
+                    scan_word(&mut cur);
+                }
+                let word = &cur.text[start..cur.i];
+                if word.chars().next().expect("non-empty").is_ascii_uppercase() {
+                    Token::TypeName(word.to_string())
+                } else {
+                    Token::Ident(word.to_string())
+                }
+            }
+            other => {
+                return Err(cur.err(format!("unexpected character {:?}", other as char)));
+            }
+        };
+        out.push(Spanned { token, pos });
+    }
+}
+
+/// Lexes the inside of a double-quoted string (after the opening quote).
+fn lex_interpolated(cur: &mut Cursor<'_>, start: Pos) -> Result<Vec<StrPart>, ParseError> {
+    let mut parts = Vec::new();
+    let mut lit = String::new();
+    loop {
+        match cur.bump() {
+            Some(b'"') => break,
+            Some(b'\\') => match cur.bump() {
+                Some(b'n') => lit.push('\n'),
+                Some(b't') => lit.push('\t'),
+                Some(b'"') => lit.push('"'),
+                Some(b'\\') => lit.push('\\'),
+                Some(b'$') => lit.push('$'),
+                Some(other) => {
+                    lit.push('\\');
+                    lit.push(other as char);
+                }
+                None => return Err(ParseError::new(start, "unterminated string")),
+            },
+            Some(b'$') => {
+                let braced = cur.peek() == Some(b'{');
+                if braced {
+                    cur.bump();
+                }
+                let mut name = String::new();
+                while cur.peek() == Some(b':') && cur.peek2() == Some(b':') {
+                    cur.bump();
+                    cur.bump();
+                    name.push_str("::");
+                }
+                while cur.peek().map(is_word).unwrap_or(false) {
+                    name.push(cur.bump().expect("peeked") as char);
+                }
+                if braced {
+                    if cur.peek() == Some(b'}') {
+                        cur.bump();
+                    } else {
+                        return Err(cur.err("expected '}' to close interpolation"));
+                    }
+                }
+                if name.is_empty() {
+                    // A lone '$' is literal.
+                    lit.push('$');
+                    if braced {
+                        lit.push('{');
+                    }
+                } else {
+                    if !lit.is_empty() {
+                        parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                    }
+                    parts.push(StrPart::Var(name));
+                }
+            }
+            Some(other) => lit.push(other as char),
+            None => return Err(ParseError::new(start, "unterminated string")),
+        }
+    }
+    if !lit.is_empty() || parts.is_empty() {
+        parts.push(StrPart::Lit(lit));
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .filter(|t| *t != Token::Eof)
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            toks("{ } [ ] ( ) : , ; => -> ~> = == != < > <= >= <| |>"),
+            vec![
+                Token::LBrace,
+                Token::RBrace,
+                Token::LBracket,
+                Token::RBracket,
+                Token::LParen,
+                Token::RParen,
+                Token::Colon,
+                Token::Comma,
+                Token::Semi,
+                Token::FatArrow,
+                Token::Arrow,
+                Token::TildeArrow,
+                Token::Assign,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Le,
+                Token::Ge,
+                Token::CollectStart,
+                Token::CollectEnd,
+            ]
+        );
+    }
+
+    #[test]
+    fn barewords_and_typenames() {
+        assert_eq!(
+            toks("package File apache::vhost Apache::Vhost"),
+            vec![
+                Token::Ident("package".into()),
+                Token::TypeName("File".into()),
+                Token::Ident("apache::vhost".into()),
+                Token::TypeName("Apache::Vhost".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(
+            toks("$x $foo_bar $::osfamily"),
+            vec![
+                Token::Var("x".into()),
+                Token::Var("foo_bar".into()),
+                Token::Var("::osfamily".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings() {
+        assert_eq!(
+            toks(r"'hello' 'a\'b'"),
+            vec![Token::RawStr("hello".into()), Token::RawStr("a'b".into())]
+        );
+    }
+
+    #[test]
+    fn interpolated_strings() {
+        let t = toks(r#""pre $x mid ${y} post""#);
+        assert_eq!(
+            t,
+            vec![Token::Str(vec![
+                StrPart::Lit("pre ".into()),
+                StrPart::Var("x".into()),
+                StrPart::Lit(" mid ".into()),
+                StrPart::Var("y".into()),
+                StrPart::Lit(" post".into()),
+            ])]
+        );
+    }
+
+    #[test]
+    fn interpolation_with_topscope() {
+        let t = toks(r#""${::osfamily}""#);
+        assert_eq!(t, vec![Token::Str(vec![StrPart::Var("::osfamily".into())])]);
+    }
+
+    #[test]
+    fn plain_double_quoted() {
+        assert_eq!(
+            toks(r#""syntax on""#),
+            vec![Token::Str(vec![StrPart::Lit("syntax on".into())])]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("# comment\nfoo /* block\ncomment */ bar"),
+            vec![Token::Ident("foo".into()), Token::Ident("bar".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 755"),
+            vec![Token::Int(0), Token::Int(42), Token::Int(755)]
+        );
+    }
+
+    #[test]
+    fn positions_reported() {
+        let spanned = lex("foo\n  bar").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("\"oops").is_err());
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_chars() {
+        assert!(lex("%%%").is_err());
+        assert!(lex("$ x").is_err());
+    }
+
+    #[test]
+    fn at_sign_for_virtual_resources() {
+        assert_eq!(toks("@user"), vec![Token::At, Token::Ident("user".into())]);
+    }
+
+    #[test]
+    fn hyphenated_words() {
+        assert_eq!(
+            toks("amavisd-new golang-go"),
+            vec![
+                Token::Ident("amavisd-new".into()),
+                Token::Ident("golang-go".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_after_bareword_without_space() {
+        assert_eq!(
+            toks("foo->bar"),
+            vec![
+                Token::Ident("foo".into()),
+                Token::Arrow,
+                Token::Ident("bar".into()),
+            ]
+        );
+    }
+}

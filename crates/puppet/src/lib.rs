@@ -1,0 +1,48 @@
+//! The Puppet DSL frontend for Rehearsal.
+//!
+//! Parses and evaluates the fragment of Puppet described in the paper
+//! (fig. 1) plus the conveniences real manifests rely on — classes,
+//! conditionals, selectors, collectors, virtual resources, stages, resource
+//! defaults, and `defined()` — and compiles manifests down to a *resource
+//! graph* of primitive resources (paper §3.1).
+//!
+//! The pipeline is [`parse`] → [`evaluate`] → [`ResourceGraph::from_catalog`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_puppet::{evaluate, parse, Facts, ResourceGraph};
+//!
+//! let manifest = parse(r#"
+//!     package { 'vim': ensure => present }
+//!     file { '/home/carol/.vimrc': content => 'syntax on' }
+//!     user { 'carol': ensure => present, managehome => true }
+//!     User['carol'] -> File['/home/carol/.vimrc']
+//! "#)?;
+//! let catalog = evaluate(&manifest, &Facts::ubuntu())?;
+//! let graph = ResourceGraph::from_catalog(&catalog)?;
+//! assert_eq!(graph.len(), 3);
+//! assert_eq!(graph.edges().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod catalog;
+mod error;
+mod eval;
+mod graph;
+mod lexer;
+mod parser;
+mod printer;
+mod value;
+
+pub use catalog::{Catalog, CatalogResource, ResourceId};
+pub use error::{CycleError, EvalError, ParseError, Pos};
+pub use eval::{evaluate, Facts};
+pub use graph::ResourceGraph;
+pub use lexer::{lex, Spanned, StrPart, Token};
+pub use parser::parse;
+pub use printer::{print_expr, print_manifest};
+pub use value::{capitalize, Value};

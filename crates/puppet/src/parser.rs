@@ -1,0 +1,995 @@
+//! Recursive-descent parser for the supported Puppet fragment.
+
+use crate::ast::*;
+use crate::error::{ParseError, Pos};
+use crate::lexer::{lex, Spanned, StrPart, Token};
+
+/// Parses a manifest from source text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a source position on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_puppet::parse;
+/// let m = parse("package { 'vim': ensure => present }")?;
+/// assert_eq!(m.statements.len(), 1);
+/// # Ok::<(), rehearsal_puppet::ParseError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Manifest, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, i: 0 };
+    let statements = p.parse_statements_until_eof()?;
+    Ok(Manifest { statements })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i.min(self.tokens.len() - 1)].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.i + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i.min(self.tokens.len() - 1)].pos
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].token.clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos(), message.into())
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{want}', found '{}'", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if self.peek() == want {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    fn parse_statements_until_eof(&mut self) -> Result<Vec<Statement>, ParseError> {
+        let mut out = Vec::new();
+        while *self.peek() != Token::Eof {
+            out.push(self.parse_statement()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Statement>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut out = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if *self.peek() == Token::Eof {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            out.push(self.parse_statement()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(out)
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(kw) if kw == "define" => self.parse_define(),
+            Token::Ident(kw) if kw == "class" && matches!(self.peek2(), Token::Ident(_)) => {
+                self.parse_class_decl()
+            }
+            Token::Ident(kw) if kw == "if" => self.parse_if(),
+            Token::Ident(kw) if kw == "unless" => self.parse_unless(),
+            Token::Ident(kw) if kw == "case" => self.parse_case(),
+            Token::Ident(kw) if kw == "node" => self.parse_node(),
+            Token::Ident(kw) if kw == "include" => self.parse_include(),
+            Token::Var(name) => {
+                self.next();
+                self.expect(&Token::Assign)?;
+                let value = self.parse_expr()?;
+                Ok(Statement::Assign(name, value))
+            }
+            Token::Ident(name) if matches!(self.peek2(), Token::LParen) => {
+                self.next();
+                let args = self.parse_call_args()?;
+                Ok(Statement::Call(name, args))
+            }
+            Token::At => {
+                self.next();
+                let decl = self.parse_resource_decl(true)?;
+                Ok(Statement::Resource(decl))
+            }
+            Token::TypeName(_) if *self.peek2() == Token::LBrace => {
+                let d = self.parse_resource_default()?;
+                Ok(Statement::ResourceDefault(d))
+            }
+            Token::Ident(_) | Token::TypeName(_) | Token::LBracket => self.parse_chain(),
+            other => Err(self.err(format!("unexpected token '{other}'"))),
+        }
+    }
+
+    fn parse_define(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // define
+        let name = self.expect_ident()?;
+        let params = if *self.peek() == Token::LParen {
+            self.parse_params()?
+        } else {
+            Vec::new()
+        };
+        let body = self.parse_block()?;
+        Ok(Statement::Define(DefineDecl { name, params, body }))
+    }
+
+    fn parse_class_decl(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // class
+        let name = self.expect_ident()?;
+        let params = if *self.peek() == Token::LParen {
+            self.parse_params()?
+        } else {
+            Vec::new()
+        };
+        let inherits = if self.is_kw("inherits") {
+            self.next();
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        let body = self.parse_block()?;
+        Ok(Statement::Class(ClassDecl {
+            name,
+            params,
+            inherits,
+            body,
+        }))
+    }
+
+    fn parse_params(&mut self) -> Result<Vec<Param>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Token::RParen {
+            let name = match self.next() {
+                Token::Var(v) => v,
+                other => return Err(self.err(format!("expected parameter, found '{other}'"))),
+            };
+            let default = if self.eat(&Token::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            params.push(Param { name, default });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(params)
+    }
+
+    fn parse_if(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // if
+        let mut arms = Vec::new();
+        let cond = self.parse_expr()?;
+        let body = self.parse_block()?;
+        arms.push((cond, body));
+        loop {
+            if self.is_kw("elsif") {
+                self.next();
+                let cond = self.parse_expr()?;
+                let body = self.parse_block()?;
+                arms.push((cond, body));
+            } else if self.is_kw("else") {
+                self.next();
+                let body = self.parse_block()?;
+                arms.push((Expression::Bool(true), body));
+                break;
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::If(arms))
+    }
+
+    fn parse_unless(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // unless
+        let cond = self.parse_expr()?;
+        let body = self.parse_block()?;
+        let mut arms = vec![(Expression::Not(Box::new(cond)), body)];
+        if self.is_kw("else") {
+            self.next();
+            let body = self.parse_block()?;
+            arms.push((Expression::Bool(true), body));
+        }
+        Ok(Statement::If(arms))
+    }
+
+    fn parse_case(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // case
+        let scrutinee = self.parse_expr()?;
+        self.expect(&Token::LBrace)?;
+        let mut arms = Vec::new();
+        while *self.peek() != Token::RBrace {
+            let mut values = vec![self.parse_case_value()?];
+            while self.eat(&Token::Comma) {
+                values.push(self.parse_case_value()?);
+            }
+            self.expect(&Token::Colon)?;
+            let body = self.parse_block()?;
+            arms.push(CaseArm { values, body });
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Statement::Case(scrutinee, arms))
+    }
+
+    fn parse_case_value(&mut self) -> Result<Expression, ParseError> {
+        if self.is_kw("default") {
+            self.next();
+            Ok(Expression::Default)
+        } else {
+            self.parse_expr()
+        }
+    }
+
+    fn parse_node(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // node
+        let mut names = vec![self.parse_node_name()?];
+        while self.eat(&Token::Comma) {
+            names.push(self.parse_node_name()?);
+        }
+        let body = self.parse_block()?;
+        Ok(Statement::Node(names, body))
+    }
+
+    fn parse_node_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::RawStr(s) => Ok(s),
+            Token::Str(parts) => {
+                let mut s = String::new();
+                for p in parts {
+                    match p {
+                        StrPart::Lit(l) => s.push_str(&l),
+                        StrPart::Var(_) => {
+                            return Err(self.err("node names cannot interpolate variables"))
+                        }
+                    }
+                }
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected node name, found '{other}'"))),
+        }
+    }
+
+    fn parse_include(&mut self) -> Result<Statement, ParseError> {
+        self.next(); // include
+        let mut names = vec![self.parse_class_name()?];
+        while self.eat(&Token::Comma) {
+            names.push(self.parse_class_name()?);
+        }
+        Ok(Statement::Include(names))
+    }
+
+    fn parse_class_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::RawStr(s) => Ok(s),
+            other => Err(self.err(format!("expected class name, found '{other}'"))),
+        }
+    }
+
+    /// Parses a chain statement; single operands degrade to their natural
+    /// statement form.
+    fn parse_chain(&mut self) -> Result<Statement, ParseError> {
+        let first = self.parse_chain_operand()?;
+        let mut operands = vec![first];
+        let mut arrows = Vec::new();
+        loop {
+            let kind = match self.peek() {
+                Token::Arrow => ArrowKind::Before,
+                Token::TildeArrow => ArrowKind::Notify,
+                _ => break,
+            };
+            self.next();
+            arrows.push(kind);
+            operands.push(self.parse_chain_operand()?);
+        }
+        if operands.len() == 1 {
+            // Not actually a chain.
+            return Ok(match operands.pop().expect("one operand") {
+                ChainOperand::Resource(r) => Statement::Resource(r),
+                ChainOperand::Collector(c) => Statement::Collector(c),
+                ChainOperand::Refs(_) => {
+                    return Err(self.err("dangling resource reference is not a statement"))
+                }
+            });
+        }
+        Ok(Statement::Chain(ChainStatement { operands, arrows }))
+    }
+
+    fn parse_chain_operand(&mut self) -> Result<ChainOperand, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(_) => {
+                let decl = self.parse_resource_decl(false)?;
+                Ok(ChainOperand::Resource(decl))
+            }
+            Token::LBracket => {
+                // Array of references.
+                self.next();
+                let mut refs = Vec::new();
+                while *self.peek() != Token::RBracket {
+                    refs.push(self.parse_resource_ref()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(ChainOperand::Refs(refs))
+            }
+            Token::TypeName(_) => match self.peek2() {
+                Token::LBracket => {
+                    let r = self.parse_resource_ref()?;
+                    Ok(ChainOperand::Refs(vec![r]))
+                }
+                Token::CollectStart => {
+                    let c = self.parse_collector()?;
+                    Ok(ChainOperand::Collector(c))
+                }
+                other => Err(self.err(format!(
+                    "expected '[' or '<|' after type name, found '{other}'"
+                ))),
+            },
+            other => Err(self.err(format!("unexpected token '{other}'"))),
+        }
+    }
+
+    fn parse_resource_ref(&mut self) -> Result<Expression, ParseError> {
+        let type_name = match self.next() {
+            Token::TypeName(t) => t,
+            other => return Err(self.err(format!("expected type name, found '{other}'"))),
+        };
+        self.expect(&Token::LBracket)?;
+        let mut titles = vec![self.parse_expr()?];
+        while self.eat(&Token::Comma) {
+            if *self.peek() == Token::RBracket {
+                break;
+            }
+            titles.push(self.parse_expr()?);
+        }
+        self.expect(&Token::RBracket)?;
+        Ok(Expression::ResourceRef(type_name, titles))
+    }
+
+    fn parse_collector(&mut self) -> Result<Collector, ParseError> {
+        let type_name = match self.next() {
+            Token::TypeName(t) => t.to_lowercase(),
+            other => return Err(self.err(format!("expected type name, found '{other}'"))),
+        };
+        self.expect(&Token::CollectStart)?;
+        let query = if *self.peek() == Token::CollectEnd {
+            Query::All
+        } else {
+            self.parse_query()?
+        };
+        self.expect(&Token::CollectEnd)?;
+        let overrides = if *self.peek() == Token::LBrace {
+            self.next();
+            let attrs = self.parse_attributes()?;
+            self.expect(&Token::RBrace)?;
+            attrs
+        } else {
+            Vec::new()
+        };
+        Ok(Collector {
+            type_name,
+            query,
+            overrides,
+        })
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.parse_query_atom()?;
+        loop {
+            if self.is_kw("and") {
+                self.next();
+                let r = self.parse_query_atom()?;
+                q = Query::And(Box::new(q), Box::new(r));
+            } else if self.is_kw("or") {
+                self.next();
+                let r = self.parse_query_atom()?;
+                q = Query::Or(Box::new(q), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(q)
+    }
+
+    fn parse_query_atom(&mut self) -> Result<Query, ParseError> {
+        if self.eat(&Token::LParen) {
+            let q = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(q);
+        }
+        let attr = self.expect_ident()?;
+        match self.next() {
+            Token::EqEq => Ok(Query::Eq(attr, self.parse_primary()?)),
+            Token::NotEq => Ok(Query::Ne(attr, self.parse_primary()?)),
+            other => Err(self.err(format!("expected '==' or '!=', found '{other}'"))),
+        }
+    }
+
+    fn parse_resource_default(&mut self) -> Result<ResourceDefault, ParseError> {
+        let type_name = match self.next() {
+            Token::TypeName(t) => t.to_lowercase(),
+            other => return Err(self.err(format!("expected type name, found '{other}'"))),
+        };
+        self.expect(&Token::LBrace)?;
+        let attrs = self.parse_attributes()?;
+        self.expect(&Token::RBrace)?;
+        Ok(ResourceDefault { type_name, attrs })
+    }
+
+    fn parse_resource_decl(&mut self, virtual_: bool) -> Result<ResourceDecl, ParseError> {
+        let type_name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut bodies = Vec::new();
+        loop {
+            let title = self.parse_expr()?;
+            self.expect(&Token::Colon)?;
+            let attrs = self.parse_attributes()?;
+            bodies.push(ResourceBody { title, attrs });
+            if self.eat(&Token::Semi) {
+                if *self.peek() == Token::RBrace {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(ResourceDecl {
+            type_name,
+            bodies,
+            virtual_,
+        })
+    }
+
+    fn parse_attributes(&mut self) -> Result<Vec<Attribute>, ParseError> {
+        let mut attrs = Vec::new();
+        while let Token::Ident(name) = self.peek() {
+            let name = name.clone();
+            if *self.peek2() != Token::FatArrow {
+                break;
+            }
+            self.next();
+            self.next();
+            let value = self.parse_expr()?;
+            attrs.push(Attribute { name, value });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(attrs)
+    }
+
+    fn parse_call_args(&mut self) -> Result<Vec<Expression>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        while *self.peek() != Token::RParen {
+            args.push(self.parse_expr()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(args)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn parse_expr(&mut self) -> Result<Expression, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expression, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.is_kw("or") {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expression::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expression, ParseError> {
+        let mut lhs = self.parse_comparison()?;
+        while self.is_kw("and") {
+            self.next();
+            let rhs = self.parse_comparison()?;
+            lhs = Expression::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expression, ParseError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::EqEq => Some(CmpOp::Eq),
+            Token::NotEq => Some(CmpOp::Ne),
+            Token::Lt => Some(CmpOp::Lt),
+            Token::Le => Some(CmpOp::Le),
+            Token::Gt => Some(CmpOp::Gt),
+            Token::Ge => Some(CmpOp::Ge),
+            Token::Ident(s) if s == "in" => {
+                self.next();
+                let rhs = self.parse_additive()?;
+                return Ok(Expression::In(Box::new(lhs), Box::new(rhs)));
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.parse_additive()?;
+            Ok(Expression::Cmp(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expression, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => ArithOp::Add,
+                Token::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expression::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expression, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => ArithOp::Mul,
+                Token::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expression::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expression, ParseError> {
+        if self.eat(&Token::Bang) {
+            let e = self.parse_unary()?;
+            return Ok(Expression::Not(Box::new(e)));
+        }
+        if self.eat(&Token::Minus) {
+            let e = self.parse_unary()?;
+            return Ok(Expression::Arith(
+                ArithOp::Sub,
+                Box::new(Expression::Int(0)),
+                Box::new(e),
+            ));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expression, ParseError> {
+        let mut e = self.parse_primary()?;
+        // Selector: expr ? { match => value, ... }
+        while *self.peek() == Token::Question {
+            self.next();
+            self.expect(&Token::LBrace)?;
+            let mut arms = Vec::new();
+            while *self.peek() != Token::RBrace {
+                let m = self.parse_case_value()?;
+                self.expect(&Token::FatArrow)?;
+                let v = self.parse_expr()?;
+                arms.push((m, v));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RBrace)?;
+            e = Expression::Selector(Box::new(e), arms);
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expression, ParseError> {
+        match self.peek().clone() {
+            Token::RawStr(s) => {
+                self.next();
+                Ok(Expression::Str(s))
+            }
+            Token::Str(parts) => {
+                self.next();
+                Ok(Expression::Interp(parts))
+            }
+            Token::Int(n) => {
+                self.next();
+                Ok(Expression::Int(n))
+            }
+            Token::Var(v) => {
+                self.next();
+                Ok(Expression::Var(v))
+            }
+            Token::LBracket => {
+                self.next();
+                let mut items = Vec::new();
+                while *self.peek() != Token::RBracket {
+                    items.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(Expression::Array(items))
+            }
+            Token::LBrace => {
+                self.next();
+                let mut items = Vec::new();
+                while *self.peek() != Token::RBrace {
+                    let k = self.parse_expr()?;
+                    self.expect(&Token::FatArrow)?;
+                    let v = self.parse_expr()?;
+                    items.push((k, v));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(Expression::Hash(items))
+            }
+            Token::LParen => {
+                self.next();
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::TypeName(_) => self.parse_resource_ref(),
+            Token::Ident(word) => {
+                self.next();
+                match word.as_str() {
+                    "true" => Ok(Expression::Bool(true)),
+                    "false" => Ok(Expression::Bool(false)),
+                    "undef" => Ok(Expression::Undef),
+                    "default" => Ok(Expression::Default),
+                    _ => {
+                        if *self.peek() == Token::LParen {
+                            let args = self.parse_call_args()?;
+                            Ok(Expression::Call(word, args))
+                        } else {
+                            // Bareword: treated as a string (Puppet style).
+                            Ok(Expression::Str(word))
+                        }
+                    }
+                }
+            }
+            other => Err(self.err(format!("expected expression, found '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_resource() {
+        let m = parse("package { 'vim': ensure => present }").unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => {
+                assert_eq!(r.type_name, "package");
+                assert_eq!(r.bodies.len(), 1);
+                assert_eq!(r.bodies[0].title, Expression::Str("vim".into()));
+                assert_eq!(r.bodies[0].attrs[0].name, "ensure");
+                assert_eq!(
+                    r.bodies[0].attrs[0].value,
+                    Expression::Str("present".into())
+                );
+            }
+            other => panic!("expected resource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_body_resource() {
+        let m = parse("file { '/a': ensure => file; '/b': ensure => directory }").unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => assert_eq!(r.bodies.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_title() {
+        let m = parse("package { ['m4', 'make']: ensure => present }").unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => {
+                assert!(matches!(r.bodies[0].title, Expression::Array(_)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependency_chain() {
+        let m = parse("User['carol'] -> File['/home/carol/.vimrc']").unwrap();
+        match &m.statements[0] {
+            Statement::Chain(c) => {
+                assert_eq!(c.operands.len(), 2);
+                assert_eq!(c.arrows, vec![ArrowKind::Before]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_of_declarations() {
+        let m = parse("package { 'a': } -> file { '/b': }").unwrap();
+        match &m.statements[0] {
+            Statement::Chain(c) => {
+                assert!(matches!(c.operands[0], ChainOperand::Resource(_)));
+                assert!(matches!(c.operands[1], ChainOperand::Resource(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn notify_chain() {
+        let m = parse("Package['nginx'] ~> Service['nginx']").unwrap();
+        match &m.statements[0] {
+            Statement::Chain(c) => assert_eq!(c.arrows, vec![ArrowKind::Notify]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn define_with_params() {
+        let src = r#"
+            define myuser($title, $shell = '/bin/bash') {
+              user { "$title": ensure => present }
+            }
+            myuser { 'alice': }
+        "#;
+        let m = parse(src).unwrap();
+        match &m.statements[0] {
+            Statement::Define(d) => {
+                assert_eq!(d.name, "myuser");
+                assert_eq!(d.params.len(), 2);
+                assert!(d.params[1].default.is_some());
+                assert_eq!(d.body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&m.statements[1], Statement::Resource(_)));
+    }
+
+    #[test]
+    fn class_and_include() {
+        let src = "class web { package { 'nginx': } }\ninclude web";
+        let m = parse(src).unwrap();
+        assert!(matches!(&m.statements[0], Statement::Class(_)));
+        assert_eq!(m.statements[1], Statement::Include(vec!["web".to_string()]));
+    }
+
+    #[test]
+    fn resource_style_class_decl() {
+        let m = parse("class { 'web': port => 80 }").unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => assert_eq!(r.type_name, "class"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elsif_else() {
+        let src = r#"
+            if $osfamily == 'Debian' {
+              package { 'apache2': }
+            } elsif $osfamily == 'RedHat' {
+              package { 'httpd': }
+            } else {
+              package { 'other': }
+            }
+        "#;
+        let m = parse(src).unwrap();
+        match &m.statements[0] {
+            Statement::If(arms) => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[2].0, Expression::Bool(true));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_statement() {
+        let src = r#"
+            case $osfamily {
+              'Debian', 'Ubuntu': { package { 'apache2': } }
+              default: { package { 'httpd': } }
+            }
+        "#;
+        let m = parse(src).unwrap();
+        match &m.statements[0] {
+            Statement::Case(_, arms) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].values.len(), 2);
+                assert_eq!(arms[1].values[0], Expression::Default);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn selector_expression() {
+        let src = "$pkg = $osfamily ? { 'Debian' => 'apache2', default => 'httpd' }";
+        let m = parse(src).unwrap();
+        match &m.statements[0] {
+            Statement::Assign(name, Expression::Selector(_, arms)) => {
+                assert_eq!(name, "pkg");
+                assert_eq!(arms.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn collector_with_override() {
+        let m = parse("File <| owner == 'carol' |> { mode => 'go-rwx' }").unwrap();
+        match &m.statements[0] {
+            Statement::Collector(c) => {
+                assert_eq!(c.type_name, "file");
+                assert_eq!(
+                    c.query,
+                    Query::Eq("owner".into(), Expression::Str("carol".into()))
+                );
+                assert_eq!(c.overrides.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_collector() {
+        let m = parse("User <| |>").unwrap();
+        match &m.statements[0] {
+            Statement::Collector(c) => assert_eq!(c.query, Query::All),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_resource() {
+        let m = parse("@user { 'carol': ensure => present }").unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => assert!(r.virtual_),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn metaparameters_parse_as_attributes() {
+        let src =
+            "file { '/x': require => Package['apache2'], before => [File['/y'], File['/z']] }";
+        let m = parse(src).unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => {
+                assert_eq!(r.bodies[0].attrs.len(), 2);
+                assert!(matches!(
+                    r.bodies[0].attrs[0].value,
+                    Expression::ResourceRef(_, _)
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_call_statement_and_expression() {
+        let m = parse("if defined(Package['m4']) { } else { package { 'm4': } }").unwrap();
+        assert!(matches!(&m.statements[0], Statement::If(_)));
+        let m2 = parse("fail('bad')").unwrap();
+        assert!(matches!(&m2.statements[0], Statement::Call(_, _)));
+    }
+
+    #[test]
+    fn chain_with_ref_arrays() {
+        let m = parse("[Package['a'], Package['b']] -> File['/c']").unwrap();
+        match &m.statements[0] {
+            Statement::Chain(c) => match &c.operands[0] {
+                ChainOperand::Refs(refs) => assert_eq!(refs.len(), 2),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_blocks() {
+        let m = parse("node default { package { 'ntp': } }").unwrap();
+        match &m.statements[0] {
+            Statement::Node(names, body) => {
+                assert_eq!(names, &vec!["default".to_string()]);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse("package { 'x' ensure => present }").unwrap_err();
+        assert!(err.pos().line >= 1);
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn empty_attribute_list_ok() {
+        let m = parse("package { 'vim': }").unwrap();
+        match &m.statements[0] {
+            Statement::Resource(r) => assert!(r.bodies[0].attrs.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_comma_in_attrs() {
+        parse("file { '/x': content => 'c', }").unwrap();
+    }
+
+    #[test]
+    fn resource_default_statement() {
+        let m = parse("File { owner => 'root' }").unwrap();
+        match &m.statements[0] {
+            Statement::ResourceDefault(d) => {
+                assert_eq!(d.type_name, "file");
+                assert_eq!(d.attrs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

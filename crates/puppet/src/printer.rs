@@ -1,0 +1,417 @@
+//! Pretty-printer for the Puppet AST.
+//!
+//! Emits parseable manifest source; `parse ∘ print` is the identity on
+//! ASTs (enforced by round-trip property tests). Useful for tooling that
+//! rewrites manifests — e.g. emitting the repaired manifest after the
+//! dependency-repair analysis.
+
+use crate::ast::*;
+use crate::lexer::StrPart;
+use std::fmt::Write;
+
+/// Renders a manifest as Puppet source.
+pub fn print_manifest(m: &Manifest) -> String {
+    let mut out = String::new();
+    for s in &m.statements {
+        print_statement(s, 0, &mut out);
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_statements(body: &[Statement], level: usize, out: &mut String) {
+    for s in body {
+        print_statement(s, level, out);
+    }
+}
+
+fn print_statement(s: &Statement, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Statement::Resource(decl) => {
+            print_resource(decl, level, out);
+            out.push('\n');
+        }
+        Statement::Define(d) => {
+            write!(out, "define {}", d.name).expect("write to string");
+            print_params(&d.params, out);
+            out.push_str(" {\n");
+            print_statements(&d.body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Statement::Class(c) => {
+            write!(out, "class {}", c.name).expect("write to string");
+            if !c.params.is_empty() {
+                print_params(&c.params, out);
+            }
+            if let Some(parent) = &c.inherits {
+                write!(out, " inherits {parent}").expect("write to string");
+            }
+            out.push_str(" {\n");
+            print_statements(&c.body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Statement::Include(names) => {
+            writeln!(out, "include {}", names.join(", ")).expect("write to string");
+        }
+        Statement::Assign(name, e) => {
+            writeln!(out, "${name} = {}", print_expr(e)).expect("write to string");
+        }
+        Statement::Chain(chain) => {
+            for (i, op) in chain.operands.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(match chain.arrows[i - 1] {
+                        ArrowKind::Before => " -> ",
+                        ArrowKind::Notify => " ~> ",
+                    });
+                }
+                match op {
+                    ChainOperand::Refs(refs) => {
+                        if refs.len() == 1 {
+                            out.push_str(&print_expr(&refs[0]));
+                        } else {
+                            out.push('[');
+                            let parts: Vec<String> = refs.iter().map(print_expr).collect();
+                            out.push_str(&parts.join(", "));
+                            out.push(']');
+                        }
+                    }
+                    ChainOperand::Resource(decl) => print_resource(decl, level, out),
+                    ChainOperand::Collector(c) => print_collector(c, out),
+                }
+            }
+            out.push('\n');
+        }
+        Statement::Collector(c) => {
+            print_collector(c, out);
+            out.push('\n');
+        }
+        Statement::ResourceDefault(d) => {
+            write!(out, "{} {{ ", capitalize_type(&d.type_name)).expect("write to string");
+            print_attrs_inline(&d.attrs, out);
+            out.push_str(" }\n");
+        }
+        Statement::If(arms) => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                let is_else = i + 1 == arms.len() && *cond == Expression::Bool(true) && i > 0;
+                if i == 0 {
+                    writeln!(out, "if {} {{", print_expr(cond)).expect("write to string");
+                } else if is_else {
+                    indent(level, out);
+                    out.push_str("} else {\n");
+                } else {
+                    indent(level, out);
+                    writeln!(out, "}} elsif {} {{", print_expr(cond)).expect("write to string");
+                }
+                print_statements(body, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Statement::Case(scrutinee, arms) => {
+            writeln!(out, "case {} {{", print_expr(scrutinee)).expect("write to string");
+            for arm in arms {
+                indent(level + 1, out);
+                let vals: Vec<String> = arm.values.iter().map(print_expr).collect();
+                writeln!(out, "{}: {{", vals.join(", ")).expect("write to string");
+                print_statements(&arm.body, level + 2, out);
+                indent(level + 1, out);
+                out.push_str("}\n");
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Statement::Node(names, body) => {
+            let rendered: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    if n == "default" {
+                        n.clone()
+                    } else {
+                        format!("'{}'", escape_single(n))
+                    }
+                })
+                .collect();
+            writeln!(out, "node {} {{", rendered.join(", ")).expect("write to string");
+            print_statements(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Statement::Call(name, args) => {
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            writeln!(out, "{name}({})", rendered.join(", ")).expect("write to string");
+        }
+    }
+}
+
+fn print_resource(decl: &ResourceDecl, level: usize, out: &mut String) {
+    if decl.virtual_ {
+        out.push('@');
+    }
+    write!(out, "{} {{ ", decl.type_name).expect("write to string");
+    for (i, body) in decl.bodies.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        write!(out, "{}: ", print_expr(&body.title)).expect("write to string");
+        let _ = level;
+        print_attrs_inline(&body.attrs, out);
+    }
+    out.push_str(" }");
+}
+
+fn print_collector(c: &Collector, out: &mut String) {
+    write!(out, "{} <| ", capitalize_type(&c.type_name)).expect("write to string");
+    print_query(&c.query, out);
+    out.push_str(" |>");
+    if !c.overrides.is_empty() {
+        out.push_str(" { ");
+        print_attrs_inline(&c.overrides, out);
+        out.push_str(" }");
+    }
+}
+
+fn print_query(q: &Query, out: &mut String) {
+    match q {
+        Query::All => {}
+        Query::Eq(attr, e) => {
+            write!(out, "{attr} == {}", print_expr(e)).expect("write to string");
+        }
+        Query::Ne(attr, e) => {
+            write!(out, "{attr} != {}", print_expr(e)).expect("write to string");
+        }
+        Query::And(a, b) => {
+            out.push('(');
+            print_query(a, out);
+            out.push_str(" and ");
+            print_query(b, out);
+            out.push(')');
+        }
+        Query::Or(a, b) => {
+            out.push('(');
+            print_query(a, out);
+            out.push_str(" or ");
+            print_query(b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn print_attrs_inline(attrs: &[Attribute], out: &mut String) {
+    let parts: Vec<String> = attrs
+        .iter()
+        .map(|a| format!("{} => {}", a.name, print_expr(&a.value)))
+        .collect();
+    out.push_str(&parts.join(", "));
+}
+
+fn print_params(params: &[Param], out: &mut String) {
+    out.push('(');
+    let parts: Vec<String> = params
+        .iter()
+        .map(|p| match &p.default {
+            Some(d) => format!("${} = {}", p.name, print_expr(d)),
+            None => format!("${}", p.name),
+        })
+        .collect();
+    out.push_str(&parts.join(", "));
+    out.push(')');
+}
+
+fn escape_single(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\'', "\\'")
+}
+
+fn escape_double(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('$', "\\$")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
+fn capitalize_type(t: &str) -> String {
+    crate::value::capitalize(t)
+}
+
+/// Renders an expression as Puppet source.
+pub fn print_expr(e: &Expression) -> String {
+    match e {
+        Expression::Str(s) => format!("'{}'", escape_single(s)),
+        Expression::Interp(parts) => {
+            let mut out = String::from("\"");
+            for p in parts {
+                match p {
+                    StrPart::Lit(l) => out.push_str(&escape_double(l)),
+                    StrPart::Var(v) => {
+                        out.push_str("${");
+                        out.push_str(v);
+                        out.push('}');
+                    }
+                }
+            }
+            out.push('"');
+            out
+        }
+        Expression::Int(n) => n.to_string(),
+        Expression::Bool(b) => b.to_string(),
+        Expression::Undef => "undef".to_string(),
+        Expression::Default => "default".to_string(),
+        Expression::Var(v) => format!("${v}"),
+        Expression::Array(items) => {
+            let parts: Vec<String> = items.iter().map(print_expr).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        Expression::Hash(items) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|(k, v)| format!("{} => {}", print_expr(k), print_expr(v)))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+        Expression::ResourceRef(t, titles) => {
+            let parts: Vec<String> = titles.iter().map(print_expr).collect();
+            format!(
+                "{}[{}]",
+                capitalize_type(&t.to_lowercase()),
+                parts.join(", ")
+            )
+        }
+        Expression::Call(name, args) => {
+            let parts: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+        Expression::Not(a) => format!("!({})", print_expr(a)),
+        Expression::And(a, b) => format!("({} and {})", print_expr(a), print_expr(b)),
+        Expression::Or(a, b) => format!("({} or {})", print_expr(a), print_expr(b)),
+        Expression::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({} {} {})", print_expr(a), sym, print_expr(b))
+        }
+        Expression::In(a, b) => format!("({} in {})", print_expr(a), print_expr(b)),
+        Expression::Arith(op, a, b) => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            format!("({} {} {})", print_expr(a), sym, print_expr(b))
+        }
+        Expression::Selector(scrutinee, arms) => {
+            let parts: Vec<String> = arms
+                .iter()
+                .map(|(m, v)| format!("{} => {}", print_expr(m), print_expr(v)))
+                .collect();
+            format!("{} ? {{ {} }}", print_expr(scrutinee), parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let m1 = parse(src).unwrap_or_else(|e| panic!("original parse: {e}\n{src}"));
+        let printed = print_manifest(&m1);
+        let m2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(m1, m2, "round-trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_resources() {
+        roundtrip("package { 'vim': ensure => present }");
+        roundtrip("file { '/a': content => 'hello', mode => '0644' }");
+        roundtrip("file { '/a': ensure => file; '/b': ensure => directory }");
+        roundtrip("package { ['m4', 'make']: ensure => present }");
+        roundtrip("@user { 'carol': ensure => present }");
+    }
+
+    #[test]
+    fn roundtrip_interpolation() {
+        roundtrip(r#"file { "/home/${user}/.vimrc": content => "set $mode\n" }"#);
+    }
+
+    #[test]
+    fn roundtrip_defines_and_classes() {
+        roundtrip(
+            "define myuser($shell = '/bin/bash') {\n\
+               user { \"$title\": shell => $shell }\n\
+             }\n\
+             myuser { 'alice': }",
+        );
+        roundtrip("class web($port = 80) inherits base { package { 'nginx': } }\ninclude web");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "if $osfamily == 'Debian' {\n\
+               package { 'apache2': }\n\
+             } elsif $osfamily == 'RedHat' {\n\
+               package { 'httpd': }\n\
+             } else {\n\
+               notify { 'unsupported': }\n\
+             }",
+        );
+        roundtrip(
+            "case $os {\n\
+               'a', 'b': { package { 'x': } }\n\
+               default: { package { 'y': } }\n\
+             }",
+        );
+        roundtrip("$pkg = $os ? { 'Debian' => 'apache2', default => 'httpd' }");
+    }
+
+    #[test]
+    fn roundtrip_chains_and_collectors() {
+        roundtrip("User['carol'] -> File['/home/carol/.vimrc']");
+        roundtrip("Package['a'] ~> Service['b'] -> File['/c']");
+        roundtrip("File <| owner == 'carol' |> { mode => 'go-rwx' }");
+        roundtrip("User <| |>");
+        roundtrip("[Package['a'], Package['b']] -> File['/c']");
+    }
+
+    #[test]
+    fn roundtrip_misc() {
+        roundtrip("node 'web01', default { package { 'ntp': } }");
+        roundtrip("File { owner => 'root' }");
+        roundtrip("fail('nope')");
+        roundtrip("$x = [1, 2, 3]");
+        roundtrip("$y = {'k' => 'v'}");
+        roundtrip("$z = (1 + 2) * 3");
+        roundtrip("if !defined(Package['m4']) { package { 'm4': } }");
+        roundtrip("if $a and ($b or !$c) { }");
+    }
+
+    #[test]
+    fn roundtrip_benchmarks() {
+        // Every shipped benchmark must round-trip.
+        for file in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks"))
+            .expect("benchmarks directory")
+        {
+            let path = file.expect("dir entry").path();
+            if path.extension().map(|e| e == "pp").unwrap_or(false) {
+                let src = std::fs::read_to_string(&path).expect("readable");
+                roundtrip(&src);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Runtime values produced by manifest evaluation.
+
+use std::fmt;
+
+/// A Puppet runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// `undef`.
+    Undef,
+    /// An array.
+    Array(Vec<Value>),
+    /// A hash (association list, insertion-ordered).
+    Hash(Vec<(Value, Value)>),
+    /// A resource reference: lower-cased type name and titles.
+    Ref(String, Vec<String>),
+}
+
+impl Value {
+    /// Puppet truthiness: only `false` and `undef` are false.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false) | Value::Undef)
+    }
+
+    /// Coerces to a string the way Puppet interpolation does.
+    pub fn coerce_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Undef => String::new(),
+            Value::Array(items) => items
+                .iter()
+                .map(Value::coerce_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+            Value::Hash(_) => "{...}".to_string(),
+            Value::Ref(t, titles) => format!("{}[{}]", capitalize(t), titles.join(", ")),
+        }
+    }
+
+    /// Puppet `==`: string comparison is case-insensitive; other values are
+    /// structural.
+    pub fn puppet_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.eq_ignore_ascii_case(b),
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Int(a), Value::Str(b)) | (Value::Str(b), Value::Int(a)) => {
+                b.parse::<i64>().map(|n| n == *a).unwrap_or(false)
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Whether `self` is a member of `container` (Puppet `in`).
+    pub fn contained_in(&self, container: &Value) -> bool {
+        match container {
+            Value::Array(items) => items.iter().any(|i| self.puppet_eq(i)),
+            Value::Hash(items) => items.iter().any(|(k, _)| self.puppet_eq(k)),
+            Value::Str(s) => {
+                let needle = self.coerce_string().to_ascii_lowercase();
+                s.to_ascii_lowercase().contains(&needle)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Capitalizes each `::`-separated segment (for resource-reference display).
+pub fn capitalize(type_name: &str) -> String {
+    type_name
+        .split("::")
+        .map(|seg| {
+            let mut cs = seg.chars();
+            match cs.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("::")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Undef => write!(f, "undef"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Hash(items) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} => {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Ref(t, titles) => {
+                write!(f, "{}[{}]", capitalize(t), titles.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Str(String::new()).truthy(), "empty string is truthy");
+        assert!(Value::Int(0).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Undef.truthy());
+    }
+
+    #[test]
+    fn case_insensitive_string_eq() {
+        assert!(Value::Str("Debian".into()).puppet_eq(&Value::Str("debian".into())));
+        assert!(!Value::Str("Debian".into()).puppet_eq(&Value::Str("RedHat".into())));
+    }
+
+    #[test]
+    fn int_string_eq() {
+        assert!(Value::Int(80).puppet_eq(&Value::Str("80".into())));
+    }
+
+    #[test]
+    fn in_operator() {
+        let arr = Value::Array(vec![Value::Str("a".into()), Value::Str("b".into())]);
+        assert!(Value::Str("A".into()).contained_in(&arr));
+        assert!(!Value::Str("c".into()).contained_in(&arr));
+        assert!(Value::Str("ell".into()).contained_in(&Value::Str("hello".into())));
+    }
+
+    #[test]
+    fn coercion_and_display() {
+        assert_eq!(Value::Int(42).coerce_string(), "42");
+        assert_eq!(Value::Undef.coerce_string(), "");
+        assert_eq!(
+            Value::Ref("file".into(), vec!["/x".into()]).to_string(),
+            "File[/x]"
+        );
+        assert_eq!(capitalize("apache::vhost"), "Apache::Vhost");
+    }
+}

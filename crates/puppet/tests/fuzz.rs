@@ -1,0 +1,48 @@
+//! Robustness: the lexer/parser/evaluator never panic — they return
+//! errors on malformed input.
+
+use proptest::prelude::*;
+use rehearsal_puppet::{evaluate, parse, print_manifest, Facts};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the pipeline.
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC{0,200}") {
+        if let Ok(manifest) = parse(&src) {
+            // Whatever parses may still fail to evaluate — but not panic.
+            let _ = evaluate(&manifest, &Facts::ubuntu());
+        }
+    }
+
+    /// Puppet-looking fragments never panic either.
+    #[test]
+    fn puppet_shaped_input_never_panics(
+        ty in "[a-z]{1,8}",
+        title in "[a-zA-Z0-9/_.-]{0,20}",
+        attr in "[a-z]{1,8}",
+        value in "[a-zA-Z0-9/_. -]{0,20}",
+    ) {
+        let src = format!("{ty} {{ '{title}': {attr} => '{value}' }}");
+        if let Ok(manifest) = parse(&src) {
+            let _ = evaluate(&manifest, &Facts::ubuntu());
+        }
+    }
+
+    /// Anything that parses round-trips through the printer.
+    #[test]
+    fn parsed_input_roundtrips(
+        ty in "[a-z]{1,8}",
+        title in "[a-zA-Z0-9_.-]{1,20}",
+        attr in "[a-z]{1,8}",
+        value in "[a-zA-Z0-9_. -]{0,20}",
+    ) {
+        let src = format!("{ty} {{ '{title}': {attr} => '{value}' }}");
+        if let Ok(m1) = parse(&src) {
+            let printed = print_manifest(&m1);
+            let m2 = parse(&printed).expect("printer output parses");
+            prop_assert_eq!(m1, m2);
+        }
+    }
+}

@@ -1,0 +1,1074 @@
+//! The resource compiler `C : R → e` (paper §3.3): models each primitive
+//! Puppet resource as an FS program.
+//!
+//! The models validate attributes, fill in defaults, and emit programs that
+//! check their preconditions before acting, so that each resource is
+//! individually idempotent (the paper's observation that "resources are
+//! mostly idempotent" is what makes the commutativity check of §4.3
+//! effective).
+
+use crate::error::CompileError;
+use crate::helpers::{
+    create_if_absent, ensure_dir, ensure_parent_dirs, overwrite, remove_file_if_present,
+};
+use rehearsal_fs::{Content, Expr, FsPath, Pred};
+use rehearsal_pkgdb::{PackageDb, PackageSpec};
+use rehearsal_puppet::{CatalogResource, Value};
+use std::collections::BTreeSet;
+
+/// The resource types this compiler models.
+///
+/// `exec` is deliberately absent (paper §8); `notify` is modeled as a
+/// no-op.
+pub const SUPPORTED_TYPES: &[&str] = &[
+    "file",
+    "package",
+    "user",
+    "group",
+    "ssh_authorized_key",
+    "service",
+    "cron",
+    "host",
+    "notify",
+];
+
+/// Compilation context: the package database (which also fixes the
+/// platform) and modeling options.
+#[derive(Debug, Clone)]
+pub struct CompileCtx<'a> {
+    db: &'a PackageDb,
+    /// When true, package resources install/remove their full dependency
+    /// closure (mirroring `apt`), enabling detection of cross-package
+    /// inconsistencies like the paper's golang-go/perl example (fig. 3c).
+    /// Off by default: the original Rehearsal does not consume dependency
+    /// metadata (paper §8 lists this as future work).
+    dependency_closures: bool,
+}
+
+impl<'a> CompileCtx<'a> {
+    /// Creates a context over a package database.
+    pub fn new(db: &'a PackageDb) -> CompileCtx<'a> {
+        CompileCtx {
+            db,
+            dependency_closures: false,
+        }
+    }
+
+    /// Enables or disables dependency-closure modeling (see the field
+    /// documentation).
+    #[must_use]
+    pub fn with_dependency_closures(mut self, on: bool) -> CompileCtx<'a> {
+        self.dependency_closures = on;
+        self
+    }
+
+    /// The package database.
+    pub fn db(&self) -> &PackageDb {
+        self.db
+    }
+}
+
+/// Compiles one catalog resource into an FS program.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unmodeled types (including `exec`),
+/// missing/invalid attributes, bad paths, and unknown packages.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_pkgdb::{PackageDb, Platform};
+/// use rehearsal_puppet::CatalogResource;
+/// use rehearsal_resources::{compile, CompileCtx};
+/// use std::collections::BTreeMap;
+///
+/// let db = PackageDb::builtin(Platform::Ubuntu);
+/// let ctx = CompileCtx::new(&db);
+/// let mut attrs = BTreeMap::new();
+/// attrs.insert("content".to_string(), rehearsal_puppet::Value::Str("x".into()));
+/// let r = CatalogResource::new("file", "/etc/motd", attrs);
+/// let program = compile(&r, &ctx)?;
+/// assert!(program.paths().iter().any(|p| p.to_string() == "/etc/motd"));
+/// # Ok::<(), rehearsal_resources::CompileError>(())
+/// ```
+pub fn compile(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
+    match resource.type_name() {
+        "file" => compile_file(resource),
+        "package" => compile_package(resource, ctx),
+        "user" => compile_user(resource),
+        "group" => compile_group(resource),
+        "ssh_authorized_key" => compile_ssh_key(resource),
+        "service" => compile_service(resource),
+        "cron" => compile_cron(resource),
+        "host" => compile_host(resource),
+        "notify" => compile_notify(resource),
+        "exec" => Err(CompileError::ExecUnsupported(resource.title().to_string())),
+        other => Err(CompileError::UnknownResourceType(other.to_string())),
+    }
+}
+
+// ---- attribute plumbing ----
+
+struct Attrs<'a> {
+    resource: &'a CatalogResource,
+    /// Attributes consumed so far, for final unknown-attribute validation.
+    used: BTreeSet<&'static str>,
+}
+
+impl<'a> Attrs<'a> {
+    fn new(resource: &'a CatalogResource) -> Attrs<'a> {
+        Attrs {
+            resource,
+            used: BTreeSet::new(),
+        }
+    }
+
+    fn display(&self) -> String {
+        self.resource.display_name()
+    }
+
+    fn opt_str(&mut self, name: &'static str) -> Option<String> {
+        self.used.insert(name);
+        self.resource.attr(name).map(Value::coerce_string)
+    }
+
+    fn str_or(&mut self, name: &'static str, default: &str) -> String {
+        self.opt_str(name).unwrap_or_else(|| default.to_string())
+    }
+
+    fn required_str(&mut self, name: &'static str) -> Result<String, CompileError> {
+        self.opt_str(name)
+            .ok_or_else(|| CompileError::MissingAttribute {
+                resource: self.display(),
+                attribute: name.to_string(),
+            })
+    }
+
+    fn bool_or(&mut self, name: &'static str, default: bool) -> Result<bool, CompileError> {
+        self.used.insert(name);
+        match self.resource.attr(name) {
+            None => Ok(default),
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(Value::Str(s)) if s.eq_ignore_ascii_case("true") => Ok(true),
+            Some(Value::Str(s)) if s.eq_ignore_ascii_case("false") => Ok(false),
+            Some(other) => Err(CompileError::InvalidAttribute {
+                resource: self.display(),
+                attribute: name.to_string(),
+                reason: format!("expected a boolean, got {other}"),
+            }),
+        }
+    }
+
+    fn ignore(&mut self, names: &[&'static str]) {
+        for n in names {
+            self.used.insert(n);
+        }
+    }
+
+    /// Rejects attributes nothing consumed or ignored. Universal
+    /// metaparameters that don't affect the filesystem model are always
+    /// allowed.
+    fn finish(mut self) -> Result<(), CompileError> {
+        self.ignore(&["alias", "loglevel", "noop", "schedule", "tag", "audit"]);
+        for name in self.resource.attrs().keys() {
+            if !self.used.contains(name.as_str()) {
+                return Err(CompileError::InvalidAttribute {
+                    resource: self.resource.display_name(),
+                    attribute: name.clone(),
+                    reason: "unknown attribute for this resource type".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_path(resource: &CatalogResource, text: &str) -> Result<FsPath, CompileError> {
+    FsPath::parse(text).map_err(|e| CompileError::BadPath {
+        resource: resource.display_name(),
+        path: text.to_string(),
+        reason: e.to_string(),
+    })
+}
+
+/// Validates that a title can be used as a single path component.
+fn path_component(resource: &CatalogResource, text: &str) -> Result<String, CompileError> {
+    if text.is_empty() || text.contains('/') {
+        return Err(CompileError::InvalidAttribute {
+            resource: resource.display_name(),
+            attribute: "title".to_string(),
+            reason: format!("{text:?} cannot be used as a path component"),
+        });
+    }
+    Ok(text.to_string())
+}
+
+// ---- file ----
+
+fn compile_file(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    attrs.ignore(&[
+        "owner", "group", "mode", "backup", "checksum", "recurse", "purge", "selrange", "seltype",
+    ]);
+    let path_text = attrs.str_or("path", resource.title());
+    let path = parse_path(resource, &path_text)?;
+    let content = attrs.opt_str("content");
+    let source = attrs.opt_str("source");
+    let force = attrs.bool_or("force", false)?;
+    let replace = attrs.bool_or("replace", true)?;
+    let ensure = attrs.str_or("ensure", "file");
+    if content.is_some() && source.is_some() {
+        return Err(CompileError::InvalidAttribute {
+            resource: resource.display_name(),
+            attribute: "content".to_string(),
+            reason: "content and source are mutually exclusive".to_string(),
+        });
+    }
+
+    let expr = match ensure.as_str() {
+        "file" | "present" => {
+            if let Some(src_text) = &source {
+                let src = parse_path(resource, src_text)?;
+                // Copy, overwriting an existing destination file.
+                let copy = Expr::Cp(src, path);
+                let recopy = Expr::Rm(path).seq(Expr::Cp(src, path));
+                if replace {
+                    Expr::if_(
+                        Pred::DoesNotExist(path),
+                        copy,
+                        Expr::if_(Pred::IsFile(path), recopy, Expr::Error),
+                    )
+                } else {
+                    Expr::if_(
+                        Pred::DoesNotExist(path),
+                        copy,
+                        Expr::if_(Pred::IsFile(path), Expr::Skip, Expr::Error),
+                    )
+                }
+            } else {
+                let c = Content::intern(&content.unwrap_or_default());
+                if replace {
+                    overwrite(path, c)
+                } else {
+                    create_if_absent(path, c)
+                }
+            }
+        }
+        "directory" => {
+            let make = Expr::Mkdir(path);
+            let on_file = if force {
+                Expr::Rm(path).seq(Expr::Mkdir(path))
+            } else {
+                Expr::Error
+            };
+            Expr::if_(
+                Pred::DoesNotExist(path),
+                make,
+                Expr::if_(Pred::IsDir(path), Expr::Skip, on_file),
+            )
+        }
+        "absent" => Expr::if_(
+            Pred::DoesNotExist(path),
+            Expr::Skip,
+            Expr::if_(
+                Pred::IsFile(path),
+                Expr::Rm(path),
+                if force {
+                    // rm still errors on a non-empty directory — FS has no
+                    // recursive delete, which keeps the model conservative.
+                    Expr::Rm(path)
+                } else {
+                    Expr::Error
+                },
+            ),
+        ),
+        "link" => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: "symlinks are not modeled (Puppet hides platform link semantics)"
+                    .to_string(),
+            })
+        }
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+// ---- package ----
+
+fn package_file_content(pkg: &str, path: FsPath) -> Content {
+    // Every file in a package gets a unique content (paper §3.3): sound but
+    // conservative.
+    Content::intern(&format!("pkg:{pkg}:{path}"))
+}
+
+/// The FS program that installs one package: guarded mkdir for the
+/// directory tree, then an idempotent, definitive write of each file.
+///
+/// The paper describes "a sequence of creat(p, str) commands"; we use the
+/// overwrite idiom so the program is individually idempotent, which the
+/// paper's own idempotence results (fig. 12) presuppose for package
+/// resources.
+fn install_one(spec: &PackageSpec) -> Expr {
+    let mut steps = Vec::new();
+    for d in spec.directories() {
+        steps.push(ensure_dir(d));
+    }
+    for &f in spec.files() {
+        steps.push(overwrite(f, package_file_content(spec.name(), f)));
+    }
+    Expr::seq_all(steps)
+}
+
+/// The FS program that removes one package: removes each of its files if
+/// present. Directories are left behind, as real package managers do.
+fn remove_one(spec: &PackageSpec) -> Expr {
+    Expr::seq_all(spec.files().iter().map(|&f| remove_file_if_present(f)))
+}
+
+fn compile_package(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    attrs.ignore(&["provider", "source", "responsefile", "install_options"]);
+    let name = attrs.str_or("name", resource.title());
+    let ensure = attrs.str_or("ensure", "present");
+    let expr = match ensure.as_str() {
+        "present" | "installed" | "latest" => {
+            let specs: Vec<&PackageSpec> = if ctx.dependency_closures {
+                let mut closure = ctx.db.install_closure(&name)?;
+                // Dependencies first (apt resolves leaf-first).
+                closure.reverse();
+                closure
+            } else {
+                vec![ctx.db.package(&name)?]
+            };
+            Expr::seq_all(specs.into_iter().map(install_one))
+        }
+        "absent" | "purged" => {
+            let specs: Vec<&PackageSpec> = if ctx.dependency_closures {
+                // Reverse-dependents first (apt removes dependents first).
+                let mut closure = ctx.db.remove_closure(&name)?;
+                closure.reverse();
+                closure
+            } else {
+                vec![ctx.db.package(&name)?]
+            };
+            Expr::seq_all(specs.into_iter().map(remove_one))
+        }
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+// ---- user / group ----
+
+fn users_dir() -> FsPath {
+    FsPath::parse("/etc/users").expect("static path")
+}
+
+fn compile_user(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    attrs.ignore(&["password", "comment", "groups", "gid", "expiry"]);
+    let name = path_component(resource, resource.title())?;
+    let ensure = attrs.str_or("ensure", "present");
+    let managehome = attrs.bool_or("managehome", false)?;
+    let home_text = attrs.str_or("home", &format!("/home/{name}"));
+    let home = parse_path(resource, &home_text)?;
+    let uid = attrs.opt_str("uid").unwrap_or_default();
+    let shell = attrs.opt_str("shell").unwrap_or_default();
+    let record = users_dir().join(&name);
+    let record_content =
+        Content::intern(&format!("user:{name}:uid={uid}:shell={shell}:home={home}"));
+
+    let expr = match ensure.as_str() {
+        "present" => {
+            let mut steps = vec![
+                ensure_parent_dirs(record),
+                ensure_dir(users_dir()),
+                overwrite(record, record_content),
+            ];
+            if managehome {
+                steps.push(ensure_parent_dirs(home));
+                steps.push(ensure_dir(home));
+            }
+            Expr::seq_all(steps)
+        }
+        "absent" => {
+            // Puppet does not remove the home directory unless told to
+            // manage it; even then our model conservatively leaves it (FS
+            // has no recursive delete).
+            Expr::seq_all(vec![
+                ensure_parent_dirs(record),
+                ensure_dir(users_dir()),
+                remove_file_if_present(record),
+            ])
+        }
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+fn groups_dir() -> FsPath {
+    FsPath::parse("/etc/groups").expect("static path")
+}
+
+fn compile_group(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    let name = path_component(resource, resource.title())?;
+    let ensure = attrs.str_or("ensure", "present");
+    let gid = attrs.opt_str("gid").unwrap_or_default();
+    let record = groups_dir().join(&name);
+    let content = Content::intern(&format!("group:{name}:gid={gid}"));
+    let expr = match ensure.as_str() {
+        "present" => Expr::seq_all(vec![
+            ensure_parent_dirs(record),
+            ensure_dir(groups_dir()),
+            overwrite(record, content),
+        ]),
+        "absent" => Expr::seq_all(vec![
+            ensure_parent_dirs(record),
+            ensure_dir(groups_dir()),
+            remove_file_if_present(record),
+        ]),
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+// ---- ssh_authorized_key ----
+
+fn compile_ssh_key(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    attrs.ignore(&["options", "target"]);
+    let title = path_component(resource, resource.title())?;
+    let user = attrs.required_str("user")?;
+    let user = path_component(resource, &user)?;
+    let key = attrs.opt_str("key").unwrap_or_default();
+    let key_type = attrs.str_or("type", "ssh-rsa");
+    let ensure = attrs.str_or("ensure", "present");
+
+    // The logical structure of authorized_keys lives in a disjoint subtree
+    // (paper §3.3): one file per key.
+    let logical_dir = FsPath::parse("/ssh_keys").expect("static path").join(&user);
+    let logical = logical_dir.join(&title);
+    let logical_content = Content::intern(&format!("sshkey:{user}:{title}:{key_type}:{key}"));
+
+    // And the model *also* writes the real key-file with a content unique to
+    // the user, so a `file` resource clobbering it is caught as a
+    // determinacy bug — while two keys for the same user still agree.
+    let home = FsPath::parse("/home").expect("static path").join(&user);
+    let ssh_dir = home.join(".ssh");
+    let keyfile = ssh_dir.join("authorized_keys");
+    let keyfile_content = Content::intern(&format!("authorized_keys:{user}"));
+
+    let expr = match ensure.as_str() {
+        "present" => Expr::seq_all(vec![
+            ensure_parent_dirs(logical),
+            ensure_dir(logical_dir),
+            overwrite(logical, logical_content),
+            // ensure_dir(ssh_dir) errors unless the user's home directory
+            // already exists — which is how a missing `User → Ssh key`
+            // dependency manifests (one of the paper's found bugs).
+            ensure_dir(ssh_dir),
+            overwrite(keyfile, keyfile_content),
+        ]),
+        "absent" => Expr::seq_all(vec![
+            ensure_parent_dirs(logical),
+            ensure_dir(logical_dir),
+            remove_file_if_present(logical),
+        ]),
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+// ---- service ----
+
+fn compile_service(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    attrs.ignore(&[
+        "hasrestart",
+        "hasstatus",
+        "restart",
+        "start",
+        "stop",
+        "status",
+        "provider",
+    ]);
+    let name = path_component(resource, &{
+        let n = attrs.str_or("name", resource.title());
+        n
+    })?;
+    let ensure = attrs.str_or("ensure", "running");
+    let enable = attrs.bool_or("enable", false)?;
+
+    let init_script = FsPath::parse("/etc/init.d")
+        .expect("static path")
+        .join(&name);
+    let run_dir = FsPath::parse("/var/run/services").expect("static path");
+    let run_file = run_dir.join(&name);
+    let rc_dir = FsPath::parse("/etc/rc2.d").expect("static path");
+    let rc_file = rc_dir.join(&format!("S20{name}"));
+
+    let mut steps = Vec::new();
+    match ensure.as_str() {
+        "running" | "true" => {
+            // A running service needs its init script, which its package
+            // provides — omitting the package→service dependency is a
+            // classic determinacy bug (paper §2.2).
+            steps.push(Expr::if_(
+                Pred::IsFile(init_script),
+                Expr::Skip,
+                Expr::Error,
+            ));
+            steps.push(ensure_parent_dirs(run_file));
+            steps.push(ensure_dir(run_dir));
+            steps.push(overwrite(
+                run_file,
+                Content::intern(&format!("service:{name}:running")),
+            ));
+        }
+        "stopped" | "false" => {
+            steps.push(ensure_parent_dirs(run_file));
+            steps.push(ensure_dir(run_dir));
+            steps.push(remove_file_if_present(run_file));
+        }
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    }
+    if enable {
+        steps.push(Expr::if_(
+            Pred::IsFile(init_script),
+            Expr::Skip,
+            Expr::Error,
+        ));
+        steps.push(ensure_parent_dirs(rc_file));
+        steps.push(ensure_dir(rc_dir));
+        steps.push(overwrite(
+            rc_file,
+            Content::intern(&format!("service:{name}:enabled")),
+        ));
+    }
+    attrs.finish()?;
+    Ok(Expr::seq_all(steps))
+}
+
+// ---- cron ----
+
+fn compile_cron(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    let title = path_component(resource, resource.title())?;
+    let command = attrs.required_str("command")?;
+    let user = attrs.str_or("user", "root");
+    let user = path_component(resource, &user)?;
+    let minute = attrs.str_or("minute", "*");
+    let hour = attrs.str_or("hour", "*");
+    let monthday = attrs.str_or("monthday", "*");
+    let month = attrs.str_or("month", "*");
+    let weekday = attrs.str_or("weekday", "*");
+    let ensure = attrs.str_or("ensure", "present");
+
+    let dir = FsPath::parse("/var/spool/cron")
+        .expect("static path")
+        .join(&user);
+    let entry = dir.join(&title);
+    let content = Content::intern(&format!(
+        "cron:{user}:{title}:{minute} {hour} {monthday} {month} {weekday}:{command}"
+    ));
+    let expr = match ensure.as_str() {
+        "present" => Expr::seq_all(vec![
+            ensure_parent_dirs(entry),
+            ensure_dir(dir),
+            overwrite(entry, content),
+        ]),
+        "absent" => Expr::seq_all(vec![
+            ensure_parent_dirs(entry),
+            ensure_dir(dir),
+            remove_file_if_present(entry),
+        ]),
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+// ---- host ----
+
+fn compile_host(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    let name = path_component(resource, resource.title())?;
+    let ensure = attrs.str_or("ensure", "present");
+    let ip = if ensure == "present" {
+        attrs.required_str("ip")?
+    } else {
+        attrs.opt_str("ip").unwrap_or_default()
+    };
+    let aliases = attrs.opt_str("host_aliases").unwrap_or_default();
+
+    // /etc/hosts is line-structured; entries live in a logical subtree and
+    // the real file is additionally stamped so file-resource clobbers are
+    // caught (same design as ssh keys).
+    let entries_dir = FsPath::parse("/hosts_entries").expect("static path");
+    let entry = entries_dir.join(&name);
+    let entry_content = Content::intern(&format!("host:{name}:{ip}:{aliases}"));
+    let etc = FsPath::parse("/etc").expect("static path");
+    let hosts_file = etc.join("hosts");
+    let hosts_content = Content::intern("managed:/etc/hosts");
+
+    let expr = match ensure.as_str() {
+        "present" => Expr::seq_all(vec![
+            ensure_dir(entries_dir),
+            overwrite(entry, entry_content),
+            ensure_dir(etc),
+            overwrite(hosts_file, hosts_content),
+        ]),
+        "absent" => Expr::seq_all(vec![
+            ensure_dir(entries_dir),
+            remove_file_if_present(entry),
+            ensure_dir(etc),
+            overwrite(hosts_file, hosts_content),
+        ]),
+        other => {
+            return Err(CompileError::InvalidAttribute {
+                resource: resource.display_name(),
+                attribute: "ensure".to_string(),
+                reason: format!("unsupported value {other:?}"),
+            })
+        }
+    };
+    attrs.finish()?;
+    Ok(expr)
+}
+
+// ---- notify ----
+
+fn compile_notify(resource: &CatalogResource) -> Result<Expr, CompileError> {
+    let mut attrs = Attrs::new(resource);
+    attrs.ignore(&["message", "withpath"]);
+    attrs.finish()?;
+    Ok(Expr::Skip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::{eval, FileState, FileSystem};
+    use rehearsal_pkgdb::Platform;
+    use std::collections::BTreeMap;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    fn res(t: &str, title: &str, attrs: &[(&str, &str)]) -> CatalogResource {
+        let mut map = BTreeMap::new();
+        for (k, v) in attrs {
+            map.insert(k.to_string(), Value::Str(v.to_string()));
+        }
+        CatalogResource::new(t, title, map)
+    }
+
+    fn compile_one(r: &CatalogResource) -> Expr {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db);
+        compile(r, &ctx).unwrap()
+    }
+
+    fn compile_with_closures(r: &CatalogResource) -> Expr {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db).with_dependency_closures(true);
+        compile(r, &ctx).unwrap()
+    }
+
+    fn compile_err(r: &CatalogResource) -> CompileError {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db);
+        compile(r, &ctx).unwrap_err()
+    }
+
+    #[test]
+    fn file_with_content() {
+        let e = compile_one(&res("file", "/etc/motd", &[("content", "hi")]));
+        let fs = FileSystem::with_root().set(p("/etc"), FileState::Dir);
+        let out = eval(&e, &fs).unwrap();
+        assert_eq!(
+            out.get(p("/etc/motd")),
+            Some(FileState::File(Content::intern("hi")))
+        );
+        // Idempotent.
+        assert_eq!(eval(&e, &out).unwrap(), out);
+        // Errors when the parent directory is missing.
+        assert!(eval(&e, &FileSystem::with_root()).is_err());
+    }
+
+    #[test]
+    fn file_overwrites_existing() {
+        let e = compile_one(&res("file", "/etc/motd", &[("content", "new")]));
+        let fs = FileSystem::with_root()
+            .set(p("/etc"), FileState::Dir)
+            .set(p("/etc/motd"), FileState::File(Content::intern("old")));
+        let out = eval(&e, &fs).unwrap();
+        assert_eq!(
+            out.get(p("/etc/motd")),
+            Some(FileState::File(Content::intern("new")))
+        );
+    }
+
+    #[test]
+    fn file_replace_false_keeps_existing() {
+        let e = compile_one(&res(
+            "file",
+            "/etc/motd",
+            &[("content", "new"), ("replace", "false")],
+        ));
+        let fs = FileSystem::with_root()
+            .set(p("/etc"), FileState::Dir)
+            .set(p("/etc/motd"), FileState::File(Content::intern("old")));
+        let out = eval(&e, &fs).unwrap();
+        assert_eq!(
+            out.get(p("/etc/motd")),
+            Some(FileState::File(Content::intern("old")))
+        );
+    }
+
+    #[test]
+    fn file_directory_and_absent() {
+        let mk = compile_one(&res("file", "/srv", &[("ensure", "directory")]));
+        let out = eval(&mk, &FileSystem::with_root()).unwrap();
+        assert!(out.is_dir(p("/srv")));
+        assert_eq!(eval(&mk, &out).unwrap(), out, "idempotent");
+
+        // Removing a directory requires force (as in Puppet).
+        let rm_plain = compile_one(&res("file", "/srv", &[("ensure", "absent")]));
+        assert!(
+            eval(&rm_plain, &out).is_err(),
+            "needs force for a directory"
+        );
+        let rm_force = compile_one(&res(
+            "file",
+            "/srv",
+            &[("ensure", "absent"), ("force", "true")],
+        ));
+        let out2 = eval(&rm_force, &out).unwrap();
+        assert!(out2.not_exists(p("/srv")));
+        assert_eq!(eval(&rm_force, &out2).unwrap(), out2, "idempotent");
+        // A plain absent on a *file* works without force (paper fig. 3d).
+        let file_fs = FileSystem::with_root().set(p("/srv"), FileState::File(Content::intern("x")));
+        assert!(eval(&rm_plain, &file_fs).unwrap().not_exists(p("/srv")));
+    }
+
+    #[test]
+    fn file_source_copies() {
+        let e = compile_one(&res("file", "/dst", &[("source", "/src")]));
+        let fs = FileSystem::with_root().set(p("/src"), FileState::File(Content::intern("data")));
+        let out = eval(&e, &fs).unwrap();
+        assert_eq!(
+            out.get(p("/dst")),
+            Some(FileState::File(Content::intern("data")))
+        );
+        // Missing source errors.
+        assert!(eval(&e, &FileSystem::with_root()).is_err());
+    }
+
+    #[test]
+    fn file_rejects_content_plus_source() {
+        let err = compile_err(&res("file", "/x", &[("content", "a"), ("source", "/s")]));
+        assert!(matches!(err, CompileError::InvalidAttribute { .. }));
+    }
+
+    #[test]
+    fn file_rejects_unknown_attr() {
+        let err = compile_err(&res("file", "/x", &[("frobnicate", "yes")]));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn file_rejects_relative_path() {
+        let err = compile_err(&res("file", "etc/motd", &[("content", "x")]));
+        assert!(matches!(err, CompileError::BadPath { .. }));
+    }
+
+    #[test]
+    fn package_install_creates_own_files() {
+        let e = compile_one(&res("package", "vim", &[("ensure", "present")]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.is_file(p("/usr/bin/vim")));
+        assert!(out.is_file(p("/etc/vim/vimrc")));
+        assert!(
+            out.not_exists(p("/usr/bin/perl")),
+            "no dependency closure by default (paper §8)"
+        );
+        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn package_remove_removes_own_files() {
+        let install = compile_one(&res("package", "vim", &[]));
+        let remove = compile_one(&res("package", "vim", &[("ensure", "absent")]));
+        let installed = eval(&install, &FileSystem::with_root()).unwrap();
+        let removed = eval(&remove, &installed).unwrap();
+        assert!(removed.not_exists(p("/usr/bin/vim")));
+        assert_eq!(eval(&remove, &removed).unwrap(), removed, "idempotent");
+    }
+
+    #[test]
+    fn closure_install_pulls_dependencies() {
+        let e = compile_with_closures(&res("package", "golang-go", &[]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.is_file(p("/usr/bin/go")));
+        assert!(out.is_file(p("/usr/bin/perl")), "dependency installed");
+    }
+
+    #[test]
+    fn closure_remove_removes_reverse_dependents() {
+        let install_go = compile_with_closures(&res("package", "golang-go", &[]));
+        let remove_perl = compile_with_closures(&res("package", "perl", &[("ensure", "absent")]));
+        let installed = eval(&install_go, &FileSystem::with_root()).unwrap();
+        let removed = eval(&remove_perl, &installed).unwrap();
+        assert!(removed.not_exists(p("/usr/bin/perl")));
+        assert!(removed.not_exists(p("/usr/bin/go")), "go removed with perl");
+    }
+
+    #[test]
+    fn paper_fig3c_two_success_states() {
+        // With dependency-closure modeling enabled (our extension of the
+        // paper's §8 future work): package{golang-go: present} and
+        // package{perl: absent} with no dependency — both orders succeed
+        // with different results.
+        let install_go = compile_with_closures(&res("package", "golang-go", &[]));
+        let remove_perl = compile_with_closures(&res("package", "perl", &[("ensure", "absent")]));
+        let init = FileSystem::with_root();
+        let a = eval(&remove_perl, &init)
+            .and_then(|s| eval(&install_go, &s))
+            .unwrap();
+        let b = eval(&install_go, &init)
+            .and_then(|s| eval(&remove_perl, &s))
+            .unwrap();
+        assert!(a.is_file(p("/usr/bin/go")));
+        assert!(!b.is_file(p("/usr/bin/go")));
+        assert_ne!(a, b, "silent failure: two distinct success states");
+    }
+
+    #[test]
+    fn unknown_package_errors() {
+        let err = compile_err(&res("package", "no-such-pkg", &[]));
+        assert!(matches!(err, CompileError::UnknownPackage(_)));
+    }
+
+    #[test]
+    fn user_with_managehome_creates_home() {
+        let e = compile_one(&res("user", "carol", &[("managehome", "true")]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.is_file(p("/etc/users/carol")));
+        assert!(out.is_dir(p("/home/carol")));
+        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn user_without_managehome_no_home() {
+        let e = compile_one(&res("user", "carol", &[]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.not_exists(p("/home/carol")));
+    }
+
+    #[test]
+    fn user_absent_removes_record() {
+        let mk = compile_one(&res("user", "carol", &[]));
+        let rm = compile_one(&res("user", "carol", &[("ensure", "absent")]));
+        let made = eval(&mk, &FileSystem::with_root()).unwrap();
+        let gone = eval(&rm, &made).unwrap();
+        assert!(gone.not_exists(p("/etc/users/carol")));
+    }
+
+    #[test]
+    fn group_record() {
+        let e = compile_one(&res("group", "admins", &[("gid", "100")]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.is_file(p("/etc/groups/admins")));
+    }
+
+    #[test]
+    fn ssh_key_requires_home_directory() {
+        let key = compile_one(&res(
+            "ssh_authorized_key",
+            "laptop",
+            &[("user", "carol"), ("key", "AAAA")],
+        ));
+        // Without carol's home directory: error (missing user dependency).
+        assert!(eval(&key, &FileSystem::with_root()).is_err());
+        // With it: writes both the logical entry and the real key-file.
+        let fs = FileSystem::with_root()
+            .set(p("/home"), FileState::Dir)
+            .set(p("/home/carol"), FileState::Dir);
+        let out = eval(&key, &fs).unwrap();
+        assert!(out.is_file(p("/ssh_keys/carol/laptop")));
+        assert!(out.is_file(p("/home/carol/.ssh/authorized_keys")));
+        assert_eq!(eval(&key, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn two_keys_same_user_agree_on_keyfile() {
+        let k1 = compile_one(&res(
+            "ssh_authorized_key",
+            "laptop",
+            &[("user", "carol"), ("key", "AAAA")],
+        ));
+        let k2 = compile_one(&res(
+            "ssh_authorized_key",
+            "desktop",
+            &[("user", "carol"), ("key", "BBBB")],
+        ));
+        let fs = FileSystem::with_root()
+            .set(p("/home"), FileState::Dir)
+            .set(p("/home/carol"), FileState::Dir);
+        let a = eval(&k1, &fs).and_then(|s| eval(&k2, &s)).unwrap();
+        let b = eval(&k2, &fs).and_then(|s| eval(&k1, &s)).unwrap();
+        assert_eq!(a, b, "key insertion order does not matter");
+    }
+
+    #[test]
+    fn ssh_key_missing_user_attr() {
+        let err = compile_err(&res("ssh_authorized_key", "k", &[("key", "A")]));
+        assert!(matches!(err, CompileError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn service_requires_init_script() {
+        let e = compile_one(&res("service", "nginx", &[("ensure", "running")]));
+        assert!(
+            eval(&e, &FileSystem::with_root()).is_err(),
+            "no init script"
+        );
+        let fs = FileSystem::with_root()
+            .set(p("/etc"), FileState::Dir)
+            .set(p("/etc/init.d"), FileState::Dir)
+            .set(
+                p("/etc/init.d/nginx"),
+                FileState::File(Content::intern("init")),
+            );
+        let out = eval(&e, &fs).unwrap();
+        assert!(out.is_file(p("/var/run/services/nginx")));
+        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn service_stop_is_idempotent() {
+        let e = compile_one(&res("service", "nginx", &[("ensure", "stopped")]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.not_exists(p("/var/run/services/nginx")));
+        assert_eq!(eval(&e, &out).unwrap(), out);
+    }
+
+    #[test]
+    fn cron_entry() {
+        let e = compile_one(&res(
+            "cron",
+            "logrotate",
+            &[("command", "/usr/sbin/logrotate"), ("hour", "2")],
+        ));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.is_file(p("/var/spool/cron/root/logrotate")));
+        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn cron_requires_command() {
+        let err = compile_err(&res("cron", "x", &[]));
+        assert!(matches!(err, CompileError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn host_entry_stamps_etc_hosts() {
+        let e = compile_one(&res("host", "db01", &[("ip", "10.0.0.5")]));
+        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        assert!(out.is_file(p("/hosts_entries/db01")));
+        assert!(out.is_file(p("/etc/hosts")));
+        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn notify_is_noop() {
+        let e = compile_one(&res("notify", "hello", &[("message", "hi")]));
+        assert_eq!(e, Expr::Skip);
+    }
+
+    #[test]
+    fn exec_is_rejected() {
+        let err = compile_err(&res("exec", "apt-get update", &[]));
+        assert!(matches!(err, CompileError::ExecUnsupported(_)));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let err = compile_err(&res("mount", "/mnt", &[]));
+        assert!(matches!(err, CompileError::UnknownResourceType(_)));
+    }
+
+    #[test]
+    fn apache_default_conf_conflicts_with_file_resource() {
+        // The paper's fig. 3a: package creates 000-default.conf; a file
+        // resource overwrites it. Order matters.
+        let pkg = compile_one(&res("package", "apache2", &[]));
+        let conf = compile_one(&res(
+            "file",
+            "/etc/apache2/sites-available/000-default.conf",
+            &[("content", "my site")],
+        ));
+        let init = FileSystem::with_root();
+        // file-then-package errors (conf's parent dir does not exist yet).
+        assert!(eval(&conf, &init).is_err());
+        // package-then-file succeeds and ends with the custom content.
+        let ok = eval(&pkg, &init).and_then(|s| eval(&conf, &s)).unwrap();
+        assert_eq!(
+            ok.get(p("/etc/apache2/sites-available/000-default.conf")),
+            Some(FileState::File(Content::intern("my site")))
+        );
+    }
+}

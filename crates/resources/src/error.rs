@@ -1,0 +1,78 @@
+//! Errors from the resource compiler.
+
+use std::fmt;
+
+/// An error compiling a catalog resource to an FS program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The resource type is not modeled.
+    UnknownResourceType(String),
+    /// `exec` resources embed shell scripts with arbitrary effects; the
+    /// paper explicitly excludes them (§8).
+    ExecUnsupported(String),
+    /// A required attribute is missing.
+    MissingAttribute {
+        /// The resource (display name).
+        resource: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// An attribute has an unsupported or malformed value.
+    InvalidAttribute {
+        /// The resource (display name).
+        resource: String,
+        /// The offending attribute.
+        attribute: String,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// A `package` resource references a package missing from the database.
+    UnknownPackage(String),
+    /// A path attribute failed to parse.
+    BadPath {
+        /// The resource (display name).
+        resource: String,
+        /// The unparseable path text.
+        path: String,
+        /// Parser message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownResourceType(t) => {
+                write!(f, "resource type {t:?} is not modeled")
+            }
+            CompileError::ExecUnsupported(title) => write!(
+                f,
+                "exec[{title}]: exec resources run arbitrary shell and cannot be verified (paper §8)"
+            ),
+            CompileError::MissingAttribute { resource, attribute } => {
+                write!(f, "{resource}: missing required attribute {attribute:?}")
+            }
+            CompileError::InvalidAttribute {
+                resource,
+                attribute,
+                reason,
+            } => write!(f, "{resource}: invalid attribute {attribute:?}: {reason}"),
+            CompileError::UnknownPackage(name) => {
+                write!(f, "package {name:?} is not in the package database")
+            }
+            CompileError::BadPath {
+                resource,
+                path,
+                reason,
+            } => write!(f, "{resource}: bad path {path:?}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<rehearsal_pkgdb::UnknownPackageError> for CompileError {
+    fn from(e: rehearsal_pkgdb::UnknownPackageError) -> CompileError {
+        CompileError::UnknownPackage(e.name().to_string())
+    }
+}

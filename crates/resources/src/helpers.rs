@@ -1,0 +1,128 @@
+//! Shared FS program idioms used by the resource models.
+
+use rehearsal_fs::{Content, Expr, FsPath, Pred};
+
+/// `if (¬dir?(p)) mkdir(p)` — idempotent directory creation.
+///
+/// This is exactly the guarded form the commutativity analysis recognizes
+/// as the abstract value `D` (paper §4.3): it ensures `p` is a directory or
+/// errors (when `p` is an existing file, `mkdir`'s precondition fails).
+pub fn ensure_dir(p: FsPath) -> Expr {
+    Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p))
+}
+
+/// Idempotent creation of every ancestor directory of `p` (excluding `p`
+/// itself and the root), parents first.
+pub fn ensure_parent_dirs(p: FsPath) -> Expr {
+    let mut ancestors = p.ancestors();
+    ancestors.retain(|a| *a != FsPath::root());
+    ancestors.reverse(); // parents first
+    Expr::seq_all(ancestors.into_iter().map(ensure_dir))
+}
+
+/// Writes `content` to `p` regardless of whether a file is already there
+/// (errors if `p` is a directory). This is the "definitive write" shape the
+/// pruning analysis detects (paper §4.4): afterwards `p` is certainly a
+/// file with `content`.
+pub fn overwrite(p: FsPath, content: Content) -> Expr {
+    Expr::if_(
+        Pred::DoesNotExist(p),
+        Expr::CreateFile(p, content),
+        Expr::if_(
+            Pred::IsFile(p),
+            Expr::Rm(p).seq(Expr::CreateFile(p, content)),
+            Expr::Error,
+        ),
+    )
+}
+
+/// Creates the file only if nothing is there; an existing file is left
+/// alone; a directory is an error.
+pub fn create_if_absent(p: FsPath, content: Content) -> Expr {
+    Expr::if_(
+        Pred::DoesNotExist(p),
+        Expr::CreateFile(p, content),
+        Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
+    )
+}
+
+/// Removes `p` if it is a file; leaves absence alone; errors on a
+/// directory.
+pub fn remove_file_if_present(p: FsPath) -> Expr {
+    Expr::if_(
+        Pred::IsFile(p),
+        Expr::Rm(p),
+        Expr::if_(Pred::DoesNotExist(p), Expr::Skip, Expr::Error),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_fs::{eval, FileState, FileSystem};
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn ensure_dir_is_idempotent() {
+        let fs = FileSystem::with_root();
+        let e = ensure_dir(p("/a"));
+        let fs1 = eval(&e, &fs).unwrap();
+        let fs2 = eval(&e, &fs1).unwrap();
+        assert_eq!(fs1, fs2);
+        assert!(fs1.is_dir(p("/a")));
+    }
+
+    #[test]
+    fn ensure_dir_errors_on_file() {
+        let fs = FileSystem::with_root().set(p("/a"), FileState::File(Content::intern("x")));
+        assert!(eval(&ensure_dir(p("/a")), &fs).is_err());
+    }
+
+    #[test]
+    fn ensure_parent_dirs_builds_tree() {
+        let fs = FileSystem::with_root();
+        let e = ensure_parent_dirs(p("/usr/share/doc/vim/README"));
+        let out = eval(&e, &fs).unwrap();
+        assert!(out.is_dir(p("/usr")));
+        assert!(out.is_dir(p("/usr/share/doc/vim")));
+        assert!(out.not_exists(p("/usr/share/doc/vim/README")));
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let c1 = Content::intern("old");
+        let c2 = Content::intern("new");
+        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c1));
+        let out = eval(&overwrite(p("/f"), c2), &fs).unwrap();
+        assert_eq!(out.get(p("/f")), Some(FileState::File(c2)));
+        // Also works when absent.
+        let out2 = eval(&overwrite(p("/f"), c2), &FileSystem::with_root()).unwrap();
+        assert_eq!(out2.get(p("/f")), Some(FileState::File(c2)));
+        // Errors on a directory.
+        let dirfs = FileSystem::with_root().set(p("/f"), FileState::Dir);
+        assert!(eval(&overwrite(p("/f"), c2), &dirfs).is_err());
+    }
+
+    #[test]
+    fn create_if_absent_preserves_existing() {
+        let c1 = Content::intern("keep");
+        let c2 = Content::intern("ignored");
+        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c1));
+        let out = eval(&create_if_absent(p("/f"), c2), &fs).unwrap();
+        assert_eq!(out.get(p("/f")), Some(FileState::File(c1)));
+    }
+
+    #[test]
+    fn remove_file_if_present_is_idempotent() {
+        let c = Content::intern("x");
+        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c));
+        let e = remove_file_if_present(p("/f"));
+        let fs1 = eval(&e, &fs).unwrap();
+        let fs2 = eval(&e, &fs1).unwrap();
+        assert!(fs1.not_exists(p("/f")));
+        assert_eq!(fs1, fs2);
+    }
+}

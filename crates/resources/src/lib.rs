@@ -1,0 +1,36 @@
+//! The resource compiler `C : R → e` (paper §3.3).
+//!
+//! Compiles primitive Puppet resources into FS programs that capture their
+//! essential filesystem effects. Supported types: `file`, `package`,
+//! `user`, `group`, `ssh_authorized_key`, `service`, `cron`, `host`, and
+//! `notify`. `exec` is rejected, matching the paper's stated limitation
+//! (§8) — shell scripts have arbitrary effects and cannot be modeled.
+//!
+//! The models are deliberately *individually idempotent*: each resource
+//! checks preconditions before acting, which is what makes the
+//! commutativity analysis of the determinacy checker effective (§4.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_pkgdb::{PackageDb, Platform};
+//! use rehearsal_puppet::{evaluate, parse, Facts};
+//! use rehearsal_resources::{compile, CompileCtx};
+//!
+//! let manifest = parse("package { 'vim': ensure => present }")?;
+//! let catalog = evaluate(&manifest, &Facts::ubuntu())?;
+//! let db = PackageDb::builtin(Platform::Ubuntu);
+//! let ctx = CompileCtx::new(&db);
+//! let program = compile(&catalog.resources()[0], &ctx)?;
+//! assert!(program.size() > 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod compile;
+mod error;
+pub mod helpers;
+
+pub use compile::{compile, CompileCtx, SUPPORTED_TYPES};
+pub use error::CompileError;

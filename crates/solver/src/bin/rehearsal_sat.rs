@@ -1,0 +1,93 @@
+//! A standalone DIMACS SAT solver front-end for `rehearsal-solver`,
+//! following the conventional competition output format (`s SATISFIABLE` /
+//! `s UNSATISFIABLE` plus a `v` model line).
+//!
+//! ```text
+//! rehearsal_sat problem.cnf
+//! cat problem.cnf | rehearsal_sat
+//! ```
+
+use rehearsal_solver::{Cnf, SatResult, Solver};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first().map(String::as_str) {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("c error: cannot read stdin");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+        Some("--help") | Some("-h") => {
+            println!("usage: rehearsal_sat [FILE.cnf]   (stdin when no file)");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("c error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let cnf = match Cnf::from_dimacs(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("c error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut solver = Solver::new();
+    solver.reserve_vars(cnf.num_vars());
+    let mut trivially_unsat = false;
+    for clause in cnf.clauses() {
+        if !solver.add_clause(clause.iter().copied()) {
+            trivially_unsat = true;
+            break;
+        }
+    }
+    let result = if trivially_unsat {
+        SatResult::Unsat
+    } else {
+        solver.solve()
+    };
+    let stats = solver.stats();
+    println!(
+        "c conflicts={} decisions={} propagations={} restarts={}",
+        stats.conflicts, stats.decisions, stats.propagations, stats.restarts
+    );
+    match result {
+        SatResult::Sat(model) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..cnf.num_vars() {
+                let lit = rehearsal_solver::Lit::positive(rehearsal_solver::Var::from_index(i));
+                let n = if model.value(lit) {
+                    (i + 1) as i64
+                } else {
+                    -((i + 1) as i64)
+                };
+                line.push(' ');
+                line.push_str(&n.to_string());
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            ExitCode::from(10)
+        }
+        SatResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        SatResult::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::SUCCESS
+        }
+    }
+}

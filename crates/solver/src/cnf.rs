@@ -1,0 +1,249 @@
+//! A standalone CNF representation with DIMACS import/export and a
+//! brute-force reference solver used to validate the CDCL solver in tests.
+
+use crate::lit::{Lit, Var};
+use crate::sat::{SatResult, Solver};
+use std::fmt;
+
+/// A formula in conjunctive normal form.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_solver::{Cnf, Lit};
+/// let mut cnf = Cnf::new();
+/// let a = Lit::positive(cnf.new_var());
+/// let b = Lit::positive(cnf.new_var());
+/// cnf.add_clause(vec![a, b]);
+/// cnf.add_clause(vec![!a]);
+/// assert!(cnf.solve().is_sat());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty CNF with no variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        for l in &clause {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} references an unallocated variable"
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// The clauses of this CNF.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Solves this CNF with the CDCL solver.
+    pub fn solve(&self) -> SatResult {
+        let mut s = Solver::new();
+        s.reserve_vars(self.num_vars);
+        for c in &self.clauses {
+            if !s.add_clause(c.iter().copied()) {
+                return SatResult::Unsat;
+            }
+        }
+        s.solve()
+    }
+
+    /// Exhaustively checks satisfiability by enumerating all assignments.
+    ///
+    /// Only usable for small variable counts; intended as a test oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 24 variables.
+    pub fn solve_brute_force(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        for bits in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| bits >> i & 1 == 1).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Evaluates this CNF under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|l| {
+                let v = assignment[l.var().index()];
+                if l.is_positive() {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+
+    /// Parses a DIMACS `cnf` problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DimacsError`] when the header is missing/malformed or a
+    /// literal is not an integer.
+    pub fn from_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+        let mut cnf = Cnf::new();
+        let mut header_seen = false;
+        let mut current: Vec<Lit> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(DimacsError::new(lineno + 1, "malformed problem line"));
+                }
+                let nv: usize = parts[1]
+                    .parse()
+                    .map_err(|_| DimacsError::new(lineno + 1, "bad variable count"))?;
+                cnf.reserve_vars(nv);
+                header_seen = true;
+                continue;
+            }
+            if !header_seen {
+                return Err(DimacsError::new(lineno + 1, "clause before problem line"));
+            }
+            for tok in line.split_whitespace() {
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError::new(lineno + 1, "bad literal"))?;
+                if n == 0 {
+                    cnf.add_clause(std::mem::take(&mut current));
+                } else {
+                    let lit = Lit::from_dimacs(n);
+                    if lit.var().index() >= cnf.num_vars {
+                        cnf.reserve_vars(lit.var().index() + 1);
+                    }
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.add_clause(current);
+        }
+        Ok(cnf)
+    }
+
+    /// Renders in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                out.push_str(&l.to_dimacs().to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+/// An error from DIMACS parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    line: usize,
+    message: String,
+}
+
+impl DimacsError {
+    fn new(line: usize, message: impl Into<String>) -> DimacsError {
+        DimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number at which parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::from_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.clauses().len(), 2);
+        let again = Cnf::from_dimacs(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn dimacs_error_reporting() {
+        let err = Cnf::from_dimacs("p cnf x 2\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        let err = Cnf::from_dimacs("1 2 0\n").unwrap_err();
+        assert!(err.to_string().contains("before problem line"));
+    }
+
+    #[test]
+    fn brute_force_agrees_on_unsat() {
+        let text = "p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n";
+        let cnf = Cnf::from_dimacs(text).unwrap();
+        assert!(cnf.solve_brute_force().is_none());
+        assert!(!cnf.solve().is_sat());
+    }
+
+    #[test]
+    fn eval_checks_all_clauses() {
+        let mut cnf = Cnf::new();
+        let a = Lit::positive(cnf.new_var());
+        let b = Lit::positive(cnf.new_var());
+        cnf.add_clause(vec![a, b]);
+        cnf.add_clause(vec![!a]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+}

@@ -1,0 +1,967 @@
+//! A hash-consed formula and finite-domain term context.
+//!
+//! This layer plays the role of the SMT solver interface in the original
+//! Rehearsal: formulas are boolean combinations (with if-then-else) over
+//! boolean variables and equalities of *finite-domain terms*. A finite-domain
+//! variable ranges over an explicit, per-variable set of values (`u32` codes
+//! whose meaning is assigned by the client — Rehearsal uses them for path
+//! states such as "does not exist", "directory", or "file with content c").
+//!
+//! Solving grounds each finite-domain variable to a one-hot vector of boolean
+//! variables (with exactly-one side constraints), Tseitin-transforms the
+//! formula DAG to CNF, and runs the CDCL solver from [`crate::sat`].
+//!
+//! Because Rehearsal's theory is effectively propositional over
+//! statically-known finite domains, this grounding is an *exact* decision
+//! procedure: SAT/UNSAT verdicts agree with what an SMT solver would report.
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_solver::Ctx;
+//!
+//! let mut ctx = Ctx::new();
+//! // A variable over the domain {10, 20, 30}.
+//! let x = ctx.fd_var(&[10, 20, 30]);
+//! let ten = ctx.bit(x, 10);
+//! let twenty = ctx.bit(x, 20);
+//! let not_ten = ctx.not(ten);
+//! let not_twenty = ctx.not(twenty);
+//! let f = ctx.and2(not_ten, not_twenty);
+//! let model = ctx.solve(f).expect("satisfiable");
+//! assert_eq!(model.term_value_in(&ctx, x), 30);
+//! ```
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+use crate::sat::{Model, SatResult, Solver};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A hash-consed boolean formula handle.
+///
+/// Handles are only meaningful together with the [`Ctx`] that created them.
+/// Because of hash-consing, structurally identical formulas get identical
+/// handles, so `==` on handles is structural equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Formula(u32);
+
+/// A boolean variable in a [`Ctx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BVar(u32);
+
+/// A hash-consed finite-domain term handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(u32);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FNode {
+    True,
+    False,
+    Var(BVar),
+    Not(Formula),
+    And(Box<[Formula]>),
+    Or(Box<[Formula]>),
+    Ite(Formula, Formula, Formula),
+    Iff(Formula, Formula),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TNode {
+    /// A constant value.
+    Val(u32),
+    /// A finite-domain variable (index into `Ctx::fd_vars`).
+    Var(u32),
+    /// `if c then t else e`.
+    Ite(Formula, Term, Term),
+}
+
+#[derive(Debug)]
+struct FdVarInfo {
+    values: Vec<u32>,
+    /// One boolean indicator per value (one-hot encoding).
+    bits: Vec<BVar>,
+}
+
+/// Statistics about the size of the encoding, used in benchmark reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtxStats {
+    /// Number of distinct formula nodes.
+    pub formula_nodes: usize,
+    /// Number of distinct finite-domain term nodes.
+    pub term_nodes: usize,
+    /// Number of boolean variables (including one-hot indicator bits).
+    pub bool_vars: usize,
+    /// Number of finite-domain variables.
+    pub fd_vars: usize,
+}
+
+/// The formula-building and solving context.
+///
+/// See the [module documentation](self) for an overview.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    fnodes: Vec<FNode>,
+    fhash: HashMap<FNode, Formula>,
+    tnodes: Vec<TNode>,
+    thash: HashMap<TNode, Term>,
+    n_bool_vars: u32,
+    fd_vars: Vec<FdVarInfo>,
+    /// Exactly-one constraints for finite-domain variables, conjoined with
+    /// every query.
+    side_constraints: Vec<Formula>,
+    /// Memo table for `bit(term, value)`.
+    bit_memo: HashMap<(Term, u32), Formula>,
+    /// Memo table for the set of values a term can take.
+    possible_memo: HashMap<Term, std::rc::Rc<Vec<u32>>>,
+}
+
+impl Ctx {
+    /// Creates an empty context containing the constants `true` and `false`.
+    pub fn new() -> Ctx {
+        let mut ctx = Ctx::default();
+        ctx.intern_f(FNode::False); // index 0
+        ctx.intern_f(FNode::True); // index 1
+        ctx
+    }
+
+    fn intern_f(&mut self, node: FNode) -> Formula {
+        if let Some(&f) = self.fhash.get(&node) {
+            return f;
+        }
+        let f = Formula(self.fnodes.len() as u32);
+        self.fnodes.push(node.clone());
+        self.fhash.insert(node, f);
+        f
+    }
+
+    fn intern_t(&mut self, node: TNode) -> Term {
+        if let Some(&t) = self.thash.get(&node) {
+            return t;
+        }
+        let t = Term(self.tnodes.len() as u32);
+        self.tnodes.push(node.clone());
+        self.thash.insert(node, t);
+        t
+    }
+
+    /// The constant `false`.
+    pub fn ff(&self) -> Formula {
+        Formula(0)
+    }
+
+    /// The constant `true`.
+    pub fn tt(&self) -> Formula {
+        Formula(1)
+    }
+
+    /// Whether `f` is the constant `true`.
+    pub fn is_true(&self, f: Formula) -> bool {
+        f == self.tt()
+    }
+
+    /// Whether `f` is the constant `false`.
+    pub fn is_false(&self, f: Formula) -> bool {
+        f == self.ff()
+    }
+
+    /// Allocates a fresh boolean variable and returns it as a formula.
+    pub fn fresh_bool(&mut self) -> Formula {
+        let v = BVar(self.n_bool_vars);
+        self.n_bool_vars += 1;
+        self.intern_f(FNode::Var(v))
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Formula) -> Formula {
+        if f == self.tt() {
+            return self.ff();
+        }
+        if f == self.ff() {
+            return self.tt();
+        }
+        if let FNode::Not(inner) = self.fnodes[f.0 as usize] {
+            return inner;
+        }
+        self.intern_f(FNode::Not(f))
+    }
+
+    /// Binary conjunction.
+    pub fn and2(&mut self, a: Formula, b: Formula) -> Formula {
+        self.and([a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or2(&mut self, a: Formula, b: Formula) -> Formula {
+        self.or([a, b])
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(&mut self, a: Formula, b: Formula) -> Formula {
+        let na = self.not(a);
+        self.or2(na, b)
+    }
+
+    /// N-ary conjunction with flattening, deduplication, and constant and
+    /// complement simplification.
+    pub fn and(&mut self, fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut children: Vec<Formula> = Vec::new();
+        for f in fs {
+            if f == self.ff() {
+                return self.ff();
+            }
+            if f == self.tt() {
+                continue;
+            }
+            if let FNode::And(inner) = &self.fnodes[f.0 as usize] {
+                children.extend(inner.iter().copied());
+            } else {
+                children.push(f);
+            }
+        }
+        children.sort();
+        children.dedup();
+        // Complement detection: x and ¬x together.
+        let set: std::collections::HashSet<Formula> = children.iter().copied().collect();
+        for &c in &children {
+            if let FNode::Not(inner) = self.fnodes[c.0 as usize] {
+                if set.contains(&inner) {
+                    return self.ff();
+                }
+            }
+        }
+        match children.len() {
+            0 => self.tt(),
+            1 => children[0],
+            _ => self.intern_f(FNode::And(children.into_boxed_slice())),
+        }
+    }
+
+    /// N-ary disjunction with flattening, deduplication, and constant and
+    /// complement simplification.
+    pub fn or(&mut self, fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut children: Vec<Formula> = Vec::new();
+        for f in fs {
+            if f == self.tt() {
+                return self.tt();
+            }
+            if f == self.ff() {
+                continue;
+            }
+            if let FNode::Or(inner) = &self.fnodes[f.0 as usize] {
+                children.extend(inner.iter().copied());
+            } else {
+                children.push(f);
+            }
+        }
+        children.sort();
+        children.dedup();
+        let set: std::collections::HashSet<Formula> = children.iter().copied().collect();
+        for &c in &children {
+            if let FNode::Not(inner) = self.fnodes[c.0 as usize] {
+                if set.contains(&inner) {
+                    return self.tt();
+                }
+            }
+        }
+        match children.len() {
+            0 => self.ff(),
+            1 => children[0],
+            _ => self.intern_f(FNode::Or(children.into_boxed_slice())),
+        }
+    }
+
+    /// If-then-else on formulas.
+    pub fn ite(&mut self, c: Formula, t: Formula, e: Formula) -> Formula {
+        if c == self.tt() {
+            return t;
+        }
+        if c == self.ff() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t == self.tt() && e == self.ff() {
+            return c;
+        }
+        if t == self.ff() && e == self.tt() {
+            return self.not(c);
+        }
+        if t == self.tt() {
+            return self.or2(c, e);
+        }
+        if t == self.ff() {
+            let nc = self.not(c);
+            return self.and2(nc, e);
+        }
+        if e == self.tt() {
+            let nc = self.not(c);
+            return self.or2(nc, t);
+        }
+        if e == self.ff() {
+            return self.and2(c, t);
+        }
+        self.intern_f(FNode::Ite(c, t, e))
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(&mut self, a: Formula, b: Formula) -> Formula {
+        if a == b {
+            return self.tt();
+        }
+        if a == self.tt() {
+            return b;
+        }
+        if a == self.ff() {
+            return self.not(b);
+        }
+        if b == self.tt() {
+            return a;
+        }
+        if b == self.ff() {
+            return self.not(a);
+        }
+        if self.not(a) == b {
+            return self.ff();
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern_f(FNode::Iff(a, b))
+    }
+
+    /// Registers a background constraint conjoined with every query solved
+    /// through this context (like an SMT `assert`).
+    pub fn assert_background(&mut self, f: Formula) {
+        self.side_constraints.push(f);
+    }
+
+    /// Allocates a finite-domain variable over the given (non-empty) set of
+    /// values, registering its one-hot exactly-one side constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn fd_var(&mut self, values: &[u32]) -> Term {
+        assert!(!values.is_empty(), "finite-domain variable needs values");
+        let mut vals: Vec<u32> = values.to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        let bits: Vec<BVar> = (0..vals.len())
+            .map(|_| {
+                let v = BVar(self.n_bool_vars);
+                self.n_bool_vars += 1;
+                v
+            })
+            .collect();
+        let idx = self.fd_vars.len() as u32;
+        // Exactly-one constraint: at least one, pairwise at most one.
+        let bit_fs: Vec<Formula> = bits.iter().map(|&b| self.intern_f(FNode::Var(b))).collect();
+        let alo = self.or(bit_fs.iter().copied());
+        self.side_constraints.push(alo);
+        for i in 0..bit_fs.len() {
+            for j in (i + 1)..bit_fs.len() {
+                let ni = self.not(bit_fs[i]);
+                let nj = self.not(bit_fs[j]);
+                let amo = self.or2(ni, nj);
+                self.side_constraints.push(amo);
+            }
+        }
+        self.fd_vars.push(FdVarInfo { values: vals, bits });
+        self.intern_t(TNode::Var(idx))
+    }
+
+    /// A constant finite-domain term.
+    pub fn val(&mut self, v: u32) -> Term {
+        self.intern_t(TNode::Val(v))
+    }
+
+    /// If-then-else on terms.
+    pub fn tite(&mut self, c: Formula, t: Term, e: Term) -> Term {
+        if c == self.tt() {
+            return t;
+        }
+        if c == self.ff() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        self.intern_t(TNode::Ite(c, t, e))
+    }
+
+    /// The set of values `t` may evaluate to (sorted, deduplicated).
+    pub fn possible_values(&mut self, t: Term) -> std::rc::Rc<Vec<u32>> {
+        if let Some(vs) = self.possible_memo.get(&t) {
+            return vs.clone();
+        }
+        let vs = match self.tnodes[t.0 as usize].clone() {
+            TNode::Val(v) => vec![v],
+            TNode::Var(i) => self.fd_vars[i as usize].values.clone(),
+            TNode::Ite(_, a, b) => {
+                let va = self.possible_values(a);
+                let vb = self.possible_values(b);
+                let mut out: Vec<u32> = va.iter().chain(vb.iter()).copied().collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        };
+        let rc = std::rc::Rc::new(vs);
+        self.possible_memo.insert(t, rc.clone());
+        rc
+    }
+
+    /// The formula "`t` evaluates to `v`".
+    pub fn bit(&mut self, t: Term, v: u32) -> Formula {
+        if let Some(&f) = self.bit_memo.get(&(t, v)) {
+            return f;
+        }
+        let f = match self.tnodes[t.0 as usize].clone() {
+            TNode::Val(c) => {
+                if c == v {
+                    self.tt()
+                } else {
+                    self.ff()
+                }
+            }
+            TNode::Var(i) => {
+                let info = &self.fd_vars[i as usize];
+                match info.values.binary_search(&v) {
+                    Ok(pos) => {
+                        let b = info.bits[pos];
+                        self.intern_f(FNode::Var(b))
+                    }
+                    Err(_) => self.ff(),
+                }
+            }
+            TNode::Ite(c, a, b) => {
+                let ba = self.bit(a, v);
+                let bb = self.bit(b, v);
+                self.ite(c, ba, bb)
+            }
+        };
+        self.bit_memo.insert((t, v), f);
+        f
+    }
+
+    /// The formula "`t1` and `t2` evaluate to the same value".
+    pub fn eq_terms(&mut self, t1: Term, t2: Term) -> Formula {
+        if t1 == t2 {
+            return self.tt();
+        }
+        let v1 = self.possible_values(t1);
+        let v2 = self.possible_values(t2);
+        let mut disjuncts = Vec::new();
+        let mut i = 0;
+        let mut j = 0;
+        while i < v1.len() && j < v2.len() {
+            match v1[i].cmp(&v2[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = v1[i];
+                    let b1 = self.bit(t1, v);
+                    let b2 = self.bit(t2, v);
+                    let both = self.and2(b1, b2);
+                    disjuncts.push(both);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.or(disjuncts)
+    }
+
+    /// The formula "`t1` and `t2` evaluate to different values".
+    pub fn neq_terms(&mut self, t1: Term, t2: Term) -> Formula {
+        let eq = self.eq_terms(t1, t2);
+        self.not(eq)
+    }
+
+    /// Encoding-size statistics.
+    pub fn stats(&self) -> CtxStats {
+        CtxStats {
+            formula_nodes: self.fnodes.len(),
+            term_nodes: self.tnodes.len(),
+            bool_vars: self.n_bool_vars as usize,
+            fd_vars: self.fd_vars.len(),
+        }
+    }
+
+    /// Converts `root ∧ side-constraints` to CNF by Tseitin transformation.
+    ///
+    /// Returns the CNF; boolean variable `BVar(i)` maps to CNF variable `i`.
+    pub fn to_cnf(&mut self, root: Formula) -> Cnf {
+        let side = self.side_constraints.clone();
+        let mut goals = vec![root];
+        goals.extend(side);
+        let goal = self.and(goals);
+
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(self.n_bool_vars as usize);
+        let mut lit_of: HashMap<Formula, Lit> = HashMap::new();
+
+        if goal == self.ff() {
+            // Force unsatisfiability explicitly.
+            cnf.add_clause(vec![]);
+            return cnf;
+        }
+        if goal == self.tt() {
+            return cnf;
+        }
+
+        // Iterative post-order traversal of the formula DAG.
+        let mut stack: Vec<(Formula, bool)> = vec![(goal, false)];
+        while let Some((f, expanded)) = stack.pop() {
+            if lit_of.contains_key(&f) {
+                continue;
+            }
+            let node = self.fnodes[f.0 as usize].clone();
+            if !expanded {
+                stack.push((f, true));
+                match &node {
+                    FNode::True | FNode::False | FNode::Var(_) => {}
+                    FNode::Not(a) => stack.push((*a, false)),
+                    FNode::And(cs) | FNode::Or(cs) => {
+                        for &c in cs.iter() {
+                            stack.push((c, false));
+                        }
+                    }
+                    FNode::Ite(c, t, e) => {
+                        stack.push((*c, false));
+                        stack.push((*t, false));
+                        stack.push((*e, false));
+                    }
+                    FNode::Iff(a, b) => {
+                        stack.push((*a, false));
+                        stack.push((*b, false));
+                    }
+                }
+                continue;
+            }
+            let lit = match node {
+                FNode::True => {
+                    let v = cnf.new_var();
+                    cnf.add_clause(vec![Lit::positive(v)]);
+                    Lit::positive(v)
+                }
+                FNode::False => {
+                    let v = cnf.new_var();
+                    cnf.add_clause(vec![Lit::negative(v)]);
+                    Lit::positive(v)
+                }
+                FNode::Var(b) => Lit::positive(Var::from_index(b.0 as usize)),
+                FNode::Not(a) => !lit_of[&a],
+                FNode::And(cs) => {
+                    let x = Lit::positive(cnf.new_var());
+                    let mut big = vec![x];
+                    for c in cs.iter() {
+                        let cl = lit_of[c];
+                        cnf.add_clause(vec![!x, cl]);
+                        big.push(!cl);
+                    }
+                    cnf.add_clause(big);
+                    x
+                }
+                FNode::Or(cs) => {
+                    let x = Lit::positive(cnf.new_var());
+                    let mut big = vec![!x];
+                    for c in cs.iter() {
+                        let cl = lit_of[c];
+                        cnf.add_clause(vec![x, !cl]);
+                        big.push(cl);
+                    }
+                    cnf.add_clause(big);
+                    x
+                }
+                FNode::Ite(c, t, e) => {
+                    let x = Lit::positive(cnf.new_var());
+                    let (lc, lt, le) = (lit_of[&c], lit_of[&t], lit_of[&e]);
+                    cnf.add_clause(vec![!x, !lc, lt]);
+                    cnf.add_clause(vec![!x, lc, le]);
+                    cnf.add_clause(vec![x, !lc, !lt]);
+                    cnf.add_clause(vec![x, lc, !le]);
+                    x
+                }
+                FNode::Iff(a, b) => {
+                    let x = Lit::positive(cnf.new_var());
+                    let (la, lb) = (lit_of[&a], lit_of[&b]);
+                    cnf.add_clause(vec![!x, !la, lb]);
+                    cnf.add_clause(vec![!x, la, !lb]);
+                    cnf.add_clause(vec![x, la, lb]);
+                    cnf.add_clause(vec![x, !la, !lb]);
+                    x
+                }
+            };
+            lit_of.insert(f, lit);
+        }
+        cnf.add_clause(vec![lit_of[&goal]]);
+        cnf
+    }
+
+    /// Decides satisfiability of `root` (conjoined with the finite-domain
+    /// side constraints) and returns a model if satisfiable.
+    pub fn solve(&mut self, root: Formula) -> Option<ModelView> {
+        self.solve_with_deadline(root, None)
+            .expect("no deadline was set")
+    }
+
+    /// Like [`Ctx::solve`] but gives up at `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveTimeout`] when the deadline is exceeded.
+    pub fn solve_with_deadline(
+        &mut self,
+        root: Formula,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<ModelView>, SolveTimeout> {
+        let cnf = self.to_cnf(root);
+        let mut solver = Solver::new();
+        solver.set_deadline(deadline);
+        solver.reserve_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            if !solver.add_clause(c.iter().copied()) {
+                return Ok(None);
+            }
+        }
+        match solver.solve() {
+            SatResult::Sat(m) => Ok(Some(ModelView { model: m })),
+            SatResult::Unsat => Ok(None),
+            SatResult::Unknown => Err(SolveTimeout),
+        }
+    }
+
+    /// Evaluates a formula under a boolean assignment function (testing aid).
+    pub fn eval_formula(&self, f: Formula, assign: &dyn Fn(u32) -> bool) -> bool {
+        let mut memo: HashMap<Formula, bool> = HashMap::new();
+        self.eval_rec(f, assign, &mut memo)
+    }
+
+    fn eval_rec(
+        &self,
+        f: Formula,
+        assign: &dyn Fn(u32) -> bool,
+        memo: &mut HashMap<Formula, bool>,
+    ) -> bool {
+        if let Some(&b) = memo.get(&f) {
+            return b;
+        }
+        let v = match &self.fnodes[f.0 as usize] {
+            FNode::True => true,
+            FNode::False => false,
+            FNode::Var(b) => assign(b.0),
+            FNode::Not(a) => !self.eval_rec(*a, assign, memo),
+            FNode::And(cs) => cs.iter().all(|&c| self.eval_rec(c, assign, memo)),
+            FNode::Or(cs) => cs.iter().any(|&c| self.eval_rec(c, assign, memo)),
+            FNode::Ite(c, t, e) => {
+                if self.eval_rec(*c, assign, memo) {
+                    self.eval_rec(*t, assign, memo)
+                } else {
+                    self.eval_rec(*e, assign, memo)
+                }
+            }
+            FNode::Iff(a, b) => self.eval_rec(*a, assign, memo) == self.eval_rec(*b, assign, memo),
+        };
+        memo.insert(f, v);
+        v
+    }
+
+    /// Evaluates a term to its value under a model.
+    fn eval_term_in(&self, t: Term, model: &Model) -> u32 {
+        match &self.tnodes[t.0 as usize] {
+            TNode::Val(v) => *v,
+            TNode::Var(i) => {
+                let info = &self.fd_vars[*i as usize];
+                for (pos, &b) in info.bits.iter().enumerate() {
+                    if model.var_value(Var::from_index(b.0 as usize)) {
+                        return info.values[pos];
+                    }
+                }
+                // The exactly-one constraint guarantees a set bit in any
+                // model that constrains this variable; default to the first
+                // value for variables the query never mentioned.
+                info.values[0]
+            }
+            TNode::Ite(c, a, b) => {
+                if self.eval_formula_in(*c, model) {
+                    self.eval_term_in(*a, model)
+                } else {
+                    self.eval_term_in(*b, model)
+                }
+            }
+        }
+    }
+
+    fn eval_formula_in(&self, f: Formula, model: &Model) -> bool {
+        self.eval_formula(f, &|bv| model.var_value(Var::from_index(bv as usize)))
+    }
+}
+
+impl fmt::Display for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "Ctx({} formulas, {} terms, {} bool vars, {} fd vars)",
+            s.formula_nodes, s.term_nodes, s.bool_vars, s.fd_vars
+        )
+    }
+}
+
+/// The solver exceeded its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveTimeout;
+
+impl fmt::Display for SolveTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SAT solving exceeded its deadline")
+    }
+}
+
+impl std::error::Error for SolveTimeout {}
+
+/// A model of a satisfiable query, for decoding counterexamples.
+#[derive(Debug, Clone)]
+pub struct ModelView {
+    model: Model,
+}
+
+impl ModelView {
+    /// The value of a finite-domain term in this model.
+    pub fn term_value_in(&self, ctx: &Ctx, t: Term) -> u32 {
+        ctx.eval_term_in(t, &self.model)
+    }
+
+    /// The truth value of a formula in this model.
+    pub fn formula_value_in(&self, ctx: &Ctx, f: Formula) -> bool {
+        ctx.eval_formula_in(f, &self.model)
+    }
+}
+
+/// Convenience wrapper so `model.term_value(t)` works when a context is
+/// globally threaded; most call sites use the `_in` variants.
+impl ModelView {
+    /// The raw SAT model.
+    pub fn sat_model(&self) -> &Model {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let mut ctx = Ctx::new();
+        let t = ctx.tt();
+        let f = ctx.ff();
+        assert_ne!(t, f);
+        assert_eq!(ctx.not(t), f);
+        assert_eq!(ctx.and2(t, f), f);
+        assert_eq!(ctx.or2(t, f), t);
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let f1 = ctx.and2(a, b);
+        let f2 = ctx.and2(b, a);
+        assert_eq!(f1, f2, "and is canonicalized by sorting");
+        let n1 = ctx.not(a);
+        let n2 = ctx.not(a);
+        assert_eq!(n1, n2);
+        assert_eq!(ctx.not(n1), a, "double negation cancels");
+    }
+
+    #[test]
+    fn complement_simplification() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let na = ctx.not(a);
+        assert_eq!(ctx.and2(a, na), ctx.ff());
+        assert_eq!(ctx.or2(a, na), ctx.tt());
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let t = ctx.tt();
+        let f = ctx.ff();
+        assert_eq!(ctx.ite(t, a, b), a);
+        assert_eq!(ctx.ite(f, a, b), b);
+        assert_eq!(ctx.ite(a, b, b), b);
+        assert_eq!(ctx.ite(a, t, f), a);
+        let expected_not = ctx.not(a);
+        assert_eq!(ctx.ite(a, f, t), expected_not);
+    }
+
+    #[test]
+    fn solve_simple_sat() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let nb = ctx.not(b);
+        let f = ctx.and2(a, nb);
+        let m = ctx.solve(f).expect("sat");
+        assert!(m.formula_value_in(&ctx, a));
+        assert!(!m.formula_value_in(&ctx, b));
+    }
+
+    #[test]
+    fn solve_simple_unsat() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let na = ctx.not(a);
+        let f = ctx.and2(a, na);
+        assert!(ctx.solve(f).is_none());
+    }
+
+    #[test]
+    fn fd_var_takes_exactly_one_value() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2, 3]);
+        let t = ctx.tt();
+        let m = ctx.solve(t).expect("sat");
+        let v = m.term_value_in(&ctx, x);
+        assert!([1, 2, 3].contains(&v));
+    }
+
+    #[test]
+    fn fd_constraints_narrow_value() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[5, 6, 7]);
+        let b5 = ctx.bit(x, 5);
+        let b7 = ctx.bit(x, 7);
+        let n5 = ctx.not(b5);
+        let n7 = ctx.not(b7);
+        let f = ctx.and2(n5, n7);
+        let m = ctx.solve(f).expect("sat");
+        assert_eq!(m.term_value_in(&ctx, x), 6);
+    }
+
+    #[test]
+    fn bit_of_impossible_value_is_false() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2]);
+        assert_eq!(ctx.bit(x, 99), ctx.ff());
+    }
+
+    #[test]
+    fn eq_terms_on_disjoint_domains_is_false() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2]);
+        let y = ctx.fd_var(&[3, 4]);
+        assert_eq!(ctx.eq_terms(x, y), ctx.ff());
+    }
+
+    #[test]
+    fn eq_terms_forces_agreement() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2, 3]);
+        let y = ctx.fd_var(&[2, 3, 4]);
+        let eq = ctx.eq_terms(x, y);
+        let b3x = ctx.bit(x, 3);
+        let n3x = ctx.not(b3x);
+        let f = ctx.and2(eq, n3x);
+        let m = ctx.solve(f).expect("sat");
+        assert_eq!(m.term_value_in(&ctx, x), 2);
+        assert_eq!(m.term_value_in(&ctx, y), 2);
+    }
+
+    #[test]
+    fn tite_threads_conditions() {
+        let mut ctx = Ctx::new();
+        let c = ctx.fresh_bool();
+        let one = ctx.val(1);
+        let two = ctx.val(2);
+        let t = ctx.tite(c, one, two);
+        // t == 1 forces c.
+        let b1 = ctx.bit(t, 1);
+        let m = ctx.solve(b1).expect("sat");
+        assert!(m.formula_value_in(&ctx, c));
+        assert_eq!(m.term_value_in(&ctx, t), 1);
+    }
+
+    #[test]
+    fn possible_values_of_ite() {
+        let mut ctx = Ctx::new();
+        let c = ctx.fresh_bool();
+        let x = ctx.fd_var(&[1, 2]);
+        let y = ctx.val(7);
+        let t = ctx.tite(c, x, y);
+        let vs = ctx.possible_values(t);
+        assert_eq!(&*vs, &vec![1, 2, 7]);
+    }
+
+    #[test]
+    fn iff_encoding() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let iff = ctx.iff(a, b);
+        let f = ctx.and2(iff, a);
+        let m = ctx.solve(f).expect("sat");
+        assert!(m.formula_value_in(&ctx, b));
+        // a ↔ b with a and ¬b: unsat
+        let nb = ctx.not(b);
+        let f2 = ctx.and([iff, a, nb]);
+        assert!(ctx.solve(f2).is_none());
+    }
+
+    #[test]
+    fn deep_formula_solves() {
+        // Chain of equivalences a0 ↔ a1 ↔ ... ↔ an with a0 true forces all.
+        let mut ctx = Ctx::new();
+        let vars: Vec<Formula> = (0..200).map(|_| ctx.fresh_bool()).collect();
+        let mut conj = vec![vars[0]];
+        for i in 0..vars.len() - 1 {
+            let e = ctx.iff(vars[i], vars[i + 1]);
+            conj.push(e);
+        }
+        let f = ctx.and(conj);
+        let m = ctx.solve(f).expect("sat");
+        for &v in &vars {
+            assert!(m.formula_value_in(&ctx, v));
+        }
+    }
+
+    #[test]
+    fn to_cnf_of_constant_true() {
+        let mut ctx = Ctx::new();
+        let t = ctx.tt();
+        assert!(ctx.solve(t).is_some());
+    }
+
+    #[test]
+    fn to_cnf_of_constant_false() {
+        let mut ctx = Ctx::new();
+        let f = ctx.ff();
+        assert!(ctx.solve(f).is_none());
+    }
+
+    #[test]
+    fn eval_formula_matches_solver() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let c = ctx.fresh_bool();
+        let ab = ctx.and2(a, b);
+        let f = ctx.ite(c, ab, a);
+        let nf = ctx.not(f);
+        // Enumerate all assignments; formula evaluation must agree with a
+        // truth-table of the intended function.
+        for bits in 0..8u32 {
+            let assign = move |v: u32| bits >> v & 1 == 1;
+            let (va, vb, vc) = (assign(0), assign(1), assign(2));
+            let expected = if vc { va && vb } else { va };
+            assert_eq!(ctx.eval_formula(f, &assign), expected);
+            assert_eq!(ctx.eval_formula(nf, &assign), !expected);
+        }
+    }
+}

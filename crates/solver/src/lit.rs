@@ -1,0 +1,207 @@
+//! Boolean variables and literals.
+//!
+//! A [`Var`] is an index into the solver's variable table. A [`Lit`] packs a
+//! variable and a sign into a single `u32` (`var << 1 | sign`), following the
+//! MiniSat convention so that a literal and its negation are adjacent and the
+//! literal itself can index watch lists.
+
+use std::fmt;
+
+/// A propositional variable.
+///
+/// Variables are created by [`Solver::new_var`](crate::sat::Solver::new_var)
+/// and are valid only for the solver (or formula context) that created them.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_solver::{Lit, Var};
+/// let v = Var::from_index(3);
+/// assert_eq!(Lit::positive(v).var(), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from a raw index.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// Returns the raw index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_solver::{Lit, Var};
+/// let v = Var::from_index(0);
+/// let p = Lit::positive(v);
+/// assert_eq!(!p, Lit::negative(v));
+/// assert!(!(!p).is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is positive (an un-negated variable).
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The raw code of this literal, usable as an index into watch lists.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its raw code.
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Converts to the DIMACS convention: 1-based, negative numbers for
+    /// negated variables.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().index() + 1) as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a literal from the DIMACS convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (DIMACS uses 0 as a clause terminator).
+    pub fn from_dimacs(n: i64) -> Lit {
+        assert!(n != 0, "DIMACS literal must be non-zero");
+        let var = Var((n.unsigned_abs() - 1) as u32);
+        Lit::new(var, n > 0)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// A ternary truth value used for partial assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not yet assigned.
+    Undef,
+}
+
+impl LBool {
+    /// Builds from a `bool`.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Negates; `Undef` stays `Undef`.
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_roundtrip() {
+        let v = Var::from_index(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn dimacs_conventions() {
+        assert_eq!(Lit::from_dimacs(1), Lit::positive(Var::from_index(0)));
+        assert_eq!(Lit::from_dimacs(-3), Lit::negative(Var::from_index(2)));
+        assert_eq!(Lit::from_dimacs(5).to_dimacs(), 5);
+        assert_eq!(Lit::from_dimacs(-5).to_dimacs(), -5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_negate() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+    }
+}

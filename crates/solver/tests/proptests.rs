@@ -1,0 +1,163 @@
+//! Property-based tests comparing the CDCL solver against a brute-force
+//! oracle, and checking formula-layer invariants.
+
+use proptest::prelude::*;
+use rehearsal_solver::{Cnf, Ctx, Formula, Lit, Var};
+
+/// Strategy for a random CNF with up to `max_vars` variables and
+/// `max_clauses` clauses of length 1..=4.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(max_vars);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .into_iter()
+                .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
+                .collect();
+            cnf.add_clause(lits);
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The CDCL solver and the brute-force oracle agree on satisfiability,
+    /// and CDCL models actually satisfy the CNF.
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+        let brute = cnf.solve_brute_force();
+        let cdcl = cnf.solve();
+        prop_assert_eq!(brute.is_some(), cdcl.is_sat(), "verdict mismatch");
+        if let Some(model) = cdcl.model() {
+            let assignment: Vec<bool> = (0..cnf.num_vars())
+                .map(|i| model.var_value(Var::from_index(i)))
+                .collect();
+            prop_assert!(cnf.eval(&assignment), "CDCL model does not satisfy CNF");
+        }
+    }
+
+    /// DIMACS render/parse round-trips.
+    #[test]
+    fn dimacs_roundtrip(cnf in arb_cnf(6, 12)) {
+        let text = cnf.to_dimacs();
+        let parsed = Cnf::from_dimacs(&text).expect("well-formed dimacs");
+        prop_assert_eq!(cnf, parsed);
+    }
+}
+
+/// A tiny random formula AST for testing the `Ctx` layer.
+#[derive(Debug, Clone)]
+enum TestF {
+    Var(usize),
+    Not(Box<TestF>),
+    And(Box<TestF>, Box<TestF>),
+    Or(Box<TestF>, Box<TestF>),
+    Ite(Box<TestF>, Box<TestF>, Box<TestF>),
+    Iff(Box<TestF>, Box<TestF>),
+}
+
+fn arb_testf(nvars: usize) -> impl Strategy<Value = TestF> {
+    let leaf = (0..nvars).prop_map(TestF::Var);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| TestF::Not(Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TestF::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TestF::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| TestF::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+            (inner.clone(), inner).prop_map(|(a, b)| TestF::Iff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(ctx: &mut Ctx, vars: &[Formula], f: &TestF) -> Formula {
+    match f {
+        TestF::Var(i) => vars[*i],
+        TestF::Not(a) => {
+            let fa = build(ctx, vars, a);
+            ctx.not(fa)
+        }
+        TestF::And(a, b) => {
+            let fa = build(ctx, vars, a);
+            let fb = build(ctx, vars, b);
+            ctx.and2(fa, fb)
+        }
+        TestF::Or(a, b) => {
+            let fa = build(ctx, vars, a);
+            let fb = build(ctx, vars, b);
+            ctx.or2(fa, fb)
+        }
+        TestF::Ite(c, t, e) => {
+            let fc = build(ctx, vars, c);
+            let ft = build(ctx, vars, t);
+            let fe = build(ctx, vars, e);
+            ctx.ite(fc, ft, fe)
+        }
+        TestF::Iff(a, b) => {
+            let fa = build(ctx, vars, a);
+            let fb = build(ctx, vars, b);
+            ctx.iff(fa, fb)
+        }
+    }
+}
+
+fn eval_testf(f: &TestF, env: &[bool]) -> bool {
+    match f {
+        TestF::Var(i) => env[*i],
+        TestF::Not(a) => !eval_testf(a, env),
+        TestF::And(a, b) => eval_testf(a, env) && eval_testf(b, env),
+        TestF::Or(a, b) => eval_testf(a, env) || eval_testf(b, env),
+        TestF::Ite(c, t, e) => {
+            if eval_testf(c, env) {
+                eval_testf(t, env)
+            } else {
+                eval_testf(e, env)
+            }
+        }
+        TestF::Iff(a, b) => eval_testf(a, env) == eval_testf(b, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tseitin conversion + CDCL is equisatisfiable with direct truth-table
+    /// enumeration of the formula.
+    #[test]
+    fn tseitin_equisatisfiable(tf in arb_testf(4)) {
+        let nvars = 4usize;
+        let mut ctx = Ctx::new();
+        let vars: Vec<Formula> = (0..nvars).map(|_| ctx.fresh_bool()).collect();
+        let f = build(&mut ctx, &vars, &tf);
+
+        let truth_table_sat = (0..1u32 << nvars).any(|bits| {
+            let env: Vec<bool> = (0..nvars).map(|i| bits >> i & 1 == 1).collect();
+            eval_testf(&tf, &env)
+        });
+        let solver_sat = ctx.solve(f).is_some();
+        prop_assert_eq!(truth_table_sat, solver_sat);
+    }
+
+    /// Formula simplification preserves semantics: the hash-consed
+    /// construction evaluates like the original AST under all assignments.
+    #[test]
+    fn construction_preserves_semantics(tf in arb_testf(4)) {
+        let nvars = 4usize;
+        let mut ctx = Ctx::new();
+        let vars: Vec<Formula> = (0..nvars).map(|_| ctx.fresh_bool()).collect();
+        let f = build(&mut ctx, &vars, &tf);
+        for bits in 0..1u32 << nvars {
+            let env: Vec<bool> = (0..nvars).map(|i| bits >> i & 1 == 1).collect();
+            let expected = eval_testf(&tf, &env);
+            let got = ctx.eval_formula(f, &|v| env[v as usize]);
+            prop_assert_eq!(expected, got);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Package-manager entanglement: the paper's fig. 3c "silent failure".
+//!
+//! ```text
+//! cargo run --example package_conflicts
+//! ```
+//!
+//! On Ubuntu 14.04, `golang-go` depends on `perl`. A manifest that removes
+//! perl and installs Go can therefore reach **two different success
+//! states** depending on order — with no error at all. The original
+//! Rehearsal cannot see this because it ignores package dependency
+//! metadata (paper §8 lists consuming it as future work); this
+//! reproduction implements that extension behind
+//! [`Rehearsal::with_dependency_closures`].
+
+use rehearsal::{DeterminismReport, Platform, Rehearsal};
+
+const MANIFEST: &str = r#"
+    package { 'golang-go': ensure => present }
+    package { 'perl':      ensure => absent }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Faithful mode: package models contain only their own files, so the
+    // two resources are independent and the manifest verifies.
+    let faithful = Rehearsal::new(Platform::Ubuntu);
+    let r = faithful.check_determinism(MANIFEST)?;
+    println!(
+        "without dependency metadata (original Rehearsal): {}",
+        if r.is_deterministic() {
+            "deterministic — the entanglement is invisible"
+        } else {
+            "non-deterministic"
+        }
+    );
+
+    // Extension: model `apt`'s dependency closures.
+    let extended = Rehearsal::new(Platform::Ubuntu).with_dependency_closures(true);
+    match extended.check_determinism(MANIFEST)? {
+        DeterminismReport::NonDeterministic(cex, _) => {
+            println!("with dependency closures: NON-DETERMINISTIC");
+            println!(
+                "  both orders succeed: A {} / B {}",
+                cex.outcome_a.is_ok(),
+                cex.outcome_b.is_ok()
+            );
+            let go = rehearsal::fs::FsPath::parse("/usr/bin/go")?;
+            let (a, b) = (cex.outcome_a?, cex.outcome_b?);
+            println!(
+                "  /usr/bin/go after order A: {} — after order B: {}",
+                if a.is_file(go) { "present" } else { "absent" },
+                if b.is_file(go) { "present" } else { "absent" },
+            );
+            println!("  a silent failure: no error, two different machines.");
+        }
+        DeterminismReport::Deterministic(_) => {
+            println!("with dependency closures: unexpectedly deterministic?!");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: verify the paper's introductory manifest (§1).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The manifest installs vim, creates carol's account, and writes her
+//! `.vimrc` — but forgets to say that the file needs the user's home
+//! directory to exist. Rehearsal finds the bug and prints a concrete
+//! counterexample; adding one dependency arrow fixes it.
+
+use rehearsal::{DeterminismReport, Platform, Rehearsal};
+
+const BUGGY: &str = r#"
+    package { 'vim': ensure => present }
+    file { '/home/carol/.vimrc': content => 'syntax on' }
+    user { 'carol': ensure => present, managehome => true }
+"#;
+
+const FIXED: &str = r#"
+    package { 'vim': ensure => present }
+    file { '/home/carol/.vimrc': content => 'syntax on' }
+    user { 'carol': ensure => present, managehome => true }
+    User['carol'] -> File['/home/carol/.vimrc']
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tool = Rehearsal::new(Platform::Ubuntu);
+
+    println!("checking the buggy manifest…");
+    let graph = tool.lower(BUGGY)?;
+    match rehearsal::check_determinism(&graph, tool.options())? {
+        DeterminismReport::Deterministic(_) => {
+            println!("unexpectedly deterministic?!");
+        }
+        DeterminismReport::NonDeterministic(cex, stats) => {
+            println!(
+                "NON-DETERMINISTIC ({} resources, {} modeled paths)",
+                stats.resources, stats.paths
+            );
+            let names = |order: &[usize]| {
+                order
+                    .iter()
+                    .map(|&i| graph.names[i].as_str())
+                    .collect::<Vec<_>>()
+                    .join(" → ")
+            };
+            println!("  order A: {}", names(&cex.order_a));
+            println!("  order B: {}", names(&cex.order_b));
+            println!(
+                "  outcome A: {}",
+                match &cex.outcome_a {
+                    Ok(_) => "succeeds".to_string(),
+                    Err(e) => format!("{e}"),
+                }
+            );
+            println!(
+                "  outcome B: {}",
+                match &cex.outcome_b {
+                    Ok(_) => "succeeds".to_string(),
+                    Err(e) => format!("{e}"),
+                }
+            );
+        }
+    }
+
+    println!("\nchecking the fixed manifest…");
+    let report = tool.verify(FIXED)?;
+    assert!(report.is_correct());
+    println!("deterministic ✔ and idempotent ✔");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! User onboarding with a defined type (the paper's fig. 2) plus SSH keys
+//! — including the missing user→key dependency Rehearsal found in a real
+//! benchmark (§6, "Bugs found").
+//!
+//! ```text
+//! cargo run --example user_onboarding
+//! ```
+
+use rehearsal::{Platform, Rehearsal};
+
+const ONBOARDING: &str = r#"
+    define engineer($key) {
+      user { "$title":
+        ensure     => present,
+        managehome => true,
+        shell      => '/bin/bash',
+      }
+      file { "/home/${title}/.vimrc":
+        content => 'syntax on',
+        require => User["$title"],
+      }
+      ssh_authorized_key { "${title}@laptop":
+        user    => "$title",
+        type    => 'ssh-rsa',
+        key     => $key,
+        require => User["$title"],
+      }
+    }
+
+    engineer { 'alice': key => 'AAAAB3NzaC1yc2E-alice' }
+    engineer { 'carol': key => 'AAAAB3NzaC1yc2E-carol' }
+"#;
+
+/// The same module with the key's `require` forgotten.
+const BUGGY: &str = r#"
+    define engineer($key) {
+      user { "$title":
+        ensure     => present,
+        managehome => true,
+      }
+      ssh_authorized_key { "${title}@laptop":
+        user => "$title",
+        type => 'ssh-rsa',
+        key  => $key,
+      }
+    }
+
+    engineer { 'alice': key => 'AAAAB3NzaC1yc2E-alice' }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tool = Rehearsal::new(Platform::Ubuntu);
+
+    println!("onboarding module with correct dependencies…");
+    let report = tool.verify(ONBOARDING)?;
+    println!(
+        "  deterministic: {} / idempotent: {}",
+        report.determinism.is_deterministic(),
+        report
+            .idempotence
+            .as_ref()
+            .map(|r| r.is_idempotent())
+            .unwrap_or(false),
+    );
+    assert!(report.is_correct());
+
+    println!("\nsame module, key does not require its user…");
+    let report = tool.check_determinism(BUGGY)?;
+    println!(
+        "  verdict: {}",
+        if report.is_deterministic() {
+            "deterministic"
+        } else {
+            "NON-DETERMINISTIC — the key may be written before the home directory exists"
+        }
+    );
+    Ok(())
+}

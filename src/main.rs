@@ -1,0 +1,258 @@
+//! The `rehearsal` command-line tool.
+//!
+//! ```text
+//! rehearsal check <manifest.pp> [--platform ubuntu|centos] [...]
+//! rehearsal idempotence <manifest.pp> [...]
+//! rehearsal graph <manifest.pp> [...]
+//! rehearsal benchmarks
+//! ```
+
+use rehearsal::{AnalysisOptions, Platform, Rehearsal};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+rehearsal — a configuration verification tool for Puppet
+
+USAGE:
+    rehearsal <COMMAND> [OPTIONS]
+
+COMMANDS:
+    check <FILE>         verify determinism (and idempotence if deterministic)
+    idempotence <FILE>   check idempotence only
+    repair <FILE>        propose dependency edges that fix nondeterminism
+    apply <FILE>         simulate applying the manifest to a machine state
+    graph <FILE>         print the compiled resource graph
+    benchmarks           run the paper's 13-benchmark suite
+
+OPTIONS:
+    --platform <ubuntu|centos>   target platform        [default: ubuntu]
+    --state <FILE>               initial machine state for `apply` (default: /)
+    --timeout <SECONDS>          analysis time budget   [default: 600]
+    --no-commutativity           disable the commutativity check (fig. 11c)
+    --no-pruning                 disable path pruning (fig. 11b)
+    --no-elimination             disable resource elimination
+";
+
+struct Args {
+    command: String,
+    file: Option<String>,
+    platform: Platform,
+    options: AnalysisOptions,
+    state: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(|| USAGE.to_string())?;
+    let mut file = None;
+    let mut platform = Platform::Ubuntu;
+    let mut options = AnalysisOptions::default().with_timeout(Duration::from_secs(600));
+    let mut state = None;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--state" => {
+                state = Some(argv.next().ok_or("--state needs a value")?);
+            }
+            "--platform" => {
+                let v = argv.next().ok_or("--platform needs a value")?;
+                platform = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--timeout" => {
+                let v = argv.next().ok_or("--timeout needs a value")?;
+                let secs: u64 = v.parse().map_err(|_| "bad --timeout value")?;
+                options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--no-commutativity" => options.commutativity = false,
+            "--no-pruning" => options.pruning = false,
+            "--no-elimination" => options.elimination = false,
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        command,
+        file,
+        platform,
+        options,
+        state,
+    })
+}
+
+fn read_manifest(args: &Args) -> Result<String, String> {
+    let path = args
+        .file
+        .as_ref()
+        .ok_or_else(|| format!("missing manifest file\n\n{USAGE}"))?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn print_determinism(report: &rehearsal::DeterminismReport, graph: &rehearsal::FsGraph) {
+    let mark = if report.is_deterministic() {
+        "✔ "
+    } else {
+        "✘ "
+    };
+    print!("{mark}{}", rehearsal::render_determinism(report, graph));
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "check" => {
+            let source = read_manifest(&args)?;
+            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            let report =
+                rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
+            print_determinism(&report, &graph);
+            if report.is_deterministic() {
+                let idem = rehearsal::check_idempotence(&graph, &args.options)
+                    .map_err(|e| e.to_string())?;
+                let mark = if idem.is_idempotent() { "✔ " } else { "✘ " };
+                print!("{mark}{}", rehearsal::render_idempotence(&idem));
+                Ok(idem.is_idempotent())
+            } else {
+                Ok(false)
+            }
+        }
+        "idempotence" => {
+            let source = read_manifest(&args)?;
+            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let report = tool.check_idempotence(&source).map_err(|e| e.to_string())?;
+            let mark = if report.is_idempotent() {
+                "✔ "
+            } else {
+                "✘ "
+            };
+            print!("{mark}{}", rehearsal::render_idempotence(&report));
+            Ok(report.is_idempotent())
+        }
+        "repair" => {
+            let source = read_manifest(&args)?;
+            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            match rehearsal::suggest_repair(&graph, &args.options).map_err(|e| e.to_string())? {
+                rehearsal::RepairReport::AlreadyDeterministic => {
+                    println!("✔ already deterministic — nothing to repair");
+                    Ok(true)
+                }
+                rehearsal::RepairReport::Repaired { added_edges } => {
+                    println!("✔ repairable: add the following dependencies");
+                    for (a, b) in added_edges {
+                        println!("  {} -> {}", graph.names[a], graph.names[b]);
+                    }
+                    Ok(true)
+                }
+                rehearsal::RepairReport::NotRepairable { attempted } => {
+                    println!(
+                        "✘ no ordering fixes this manifest ({} edges tried) — \
+                         the resources conflict fundamentally",
+                        attempted.len()
+                    );
+                    Ok(false)
+                }
+            }
+        }
+        "apply" => {
+            let source = read_manifest(&args)?;
+            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            // Warn loudly when simulating a nondeterministic manifest.
+            let report =
+                rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
+            if !report.is_deterministic() {
+                eprintln!("warning: manifest is NON-DETERMINISTIC; simulating one arbitrary order");
+            }
+            let initial = match &args.state {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    rehearsal::fs::parse_state(&text).map_err(|e| e.to_string())?
+                }
+                None => rehearsal::fs::FileSystem::with_root(),
+            };
+            let order = graph.topological_order();
+            let mut fs = initial;
+            for &i in &order {
+                match rehearsal::fs::eval(&graph.exprs[i], &fs) {
+                    Ok(next) => {
+                        println!("applied {}", graph.names[i]);
+                        fs = next;
+                    }
+                    Err(_) => {
+                        println!("FAILED at {}", graph.names[i]);
+                        return Ok(false);
+                    }
+                }
+            }
+            println!(
+                "
+final machine state:"
+            );
+            print!("{}", rehearsal::fs::render_state(&fs));
+            Ok(true)
+        }
+        "graph" => {
+            let source = read_manifest(&args)?;
+            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            println!("{} resources:", graph.names.len());
+            for (i, name) in graph.names.iter().enumerate() {
+                println!("  [{i}] {name} ({} FS ops)", graph.exprs[i].size());
+            }
+            for &(a, b) in &graph.edges {
+                println!("  {} -> {}", graph.names[a], graph.names[b]);
+            }
+            Ok(true)
+        }
+        "benchmarks" => {
+            let mut all_ok = true;
+            for b in rehearsal::benchmarks::SUITE {
+                let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+                let start = std::time::Instant::now();
+                match tool.check_determinism(b.source) {
+                    Ok(report) => {
+                        let verdict = if report.is_deterministic() {
+                            "deterministic"
+                        } else {
+                            "NON-DETERMINISTIC"
+                        };
+                        let expected = report.is_deterministic() == b.deterministic;
+                        all_ok &= expected;
+                        println!(
+                            "{:<18} {:<18} {:>8.2?}  (expected: {})",
+                            b.name,
+                            verdict,
+                            start.elapsed(),
+                            if expected { "✔" } else { "✘ MISMATCH" }
+                        );
+                    }
+                    Err(e) => {
+                        all_ok = false;
+                        println!("{:<18} error: {e}", b.name);
+                    }
+                }
+            }
+            Ok(all_ok)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

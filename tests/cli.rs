@@ -1,0 +1,204 @@
+//! Integration tests for the `rehearsal` command-line tool.
+
+use std::path::Path;
+use std::process::Command;
+
+fn rehearsal() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rehearsal"))
+}
+
+fn manifest(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("benchmarks")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn check_deterministic_manifest_exits_zero() {
+    let out = rehearsal()
+        .args(["check", &manifest("ntp.pp")])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("deterministic"), "{stdout}");
+    assert!(stdout.contains("idempotent"), "{stdout}");
+}
+
+#[test]
+fn check_nondeterministic_manifest_exits_nonzero() {
+    let out = rehearsal()
+        .args(["check", &manifest("ntp-nondet.pp")])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success());
+    assert!(stdout.contains("NON-DETERMINISTIC"), "{stdout}");
+    assert!(
+        stdout.contains("order A"),
+        "counterexample printed: {stdout}"
+    );
+    assert!(stdout.contains("counterexample initial state"), "{stdout}");
+}
+
+#[test]
+fn graph_command_prints_resources_and_edges() {
+    let out = rehearsal()
+        .args(["graph", &manifest("ntp.pp")])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("Package[ntp]"), "{stdout}");
+    assert!(stdout.contains("->"), "{stdout}");
+}
+
+#[test]
+fn idempotence_command() {
+    let out = rehearsal()
+        .args(["idempotence", &manifest("monit.pp")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("idempotent"));
+}
+
+#[test]
+fn platform_flag_is_accepted() {
+    let out = rehearsal()
+        .args(["check", &manifest("ntp.pp"), "--platform", "ubuntu"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn unknown_platform_is_rejected() {
+    let out = rehearsal()
+        .args(["check", &manifest("ntp.pp"), "--platform", "beos"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown platform"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = rehearsal()
+        .args(["check", "/no/such/manifest.pp"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = rehearsal().args(["--help"]).output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn ablation_flags_are_accepted() {
+    let out = rehearsal()
+        .args([
+            "check",
+            &manifest("monit.pp"),
+            "--no-pruning",
+            "--no-elimination",
+            "--timeout",
+            "60",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn repair_suggests_missing_dependency() {
+    let out = rehearsal()
+        .args(["repair", &manifest("ntp-nondet.pp")])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("repairable"), "{stdout}");
+    assert!(
+        stdout.contains("Package[ntp] -> File[/etc/ntp.conf]"),
+        "the classic missing edge: {stdout}"
+    );
+}
+
+#[test]
+fn repair_on_deterministic_manifest() {
+    let out = rehearsal()
+        .args(["repair", &manifest("monit.pp")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("already deterministic"));
+}
+
+#[test]
+fn apply_simulates_a_run() {
+    let out = rehearsal()
+        .args(["apply", &manifest("ntp.pp")])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("applied Package[ntp]"), "{stdout}");
+    assert!(stdout.contains("final machine state:"), "{stdout}");
+    assert!(stdout.contains("/etc/ntp.conf"), "{stdout}");
+}
+
+#[test]
+fn apply_with_initial_state_file() {
+    let dir = std::env::temp_dir().join("rehearsal-cli-apply");
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("initial.state");
+    std::fs::write(
+        &state,
+        "/ dir
+/etc dir
+/etc/ntp.conf file stale
+",
+    )
+    .unwrap();
+    let out = rehearsal()
+        .args([
+            "apply",
+            &manifest("ntp.pp"),
+            "--state",
+            state.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("driftfile"),
+        "stale config replaced by ours: {stdout}"
+    );
+}
+
+#[test]
+fn parse_error_is_reported_with_position() {
+    let dir = std::env::temp_dir().join("rehearsal-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.pp");
+    std::fs::write(&bad, "package { 'x' ensure => present }").unwrap();
+    let out = rehearsal()
+        .args(["check", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+}

@@ -1,0 +1,239 @@
+//! Cross-validation of the symbolic determinacy checker against exhaustive
+//! concrete enumeration on small random graphs.
+//!
+//! This is the executable form of the paper's soundness and completeness
+//! theorems (Theorem 1): on every randomly generated resource graph, the
+//! SAT-based verdict must coincide with literally trying every valid
+//! permutation on every (tree-consistent) filesystem.
+
+use proptest::prelude::*;
+use rehearsal::core::determinism::{check_determinism, AnalysisOptions, FsGraph};
+use rehearsal::core::equivalence::check_expr_equivalence;
+use rehearsal::core::idempotence::check_expr_idempotence;
+use rehearsal::fs::{
+    enumerate_filesystems, eval, Content, Expr, FileState, FileSystem, FsPath, Pred,
+};
+use std::collections::BTreeSet;
+
+fn paths() -> Vec<FsPath> {
+    vec![
+        FsPath::parse("/a").unwrap(),
+        FsPath::parse("/a/f").unwrap(),
+        FsPath::parse("/b").unwrap(),
+    ]
+}
+
+fn contents() -> Vec<Content> {
+    vec![Content::intern("c1"), Content::intern("c2")]
+}
+
+/// A small expression language mirroring resource idioms.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let path = (0..3usize).prop_map(|i| paths()[i]);
+    let content = (0..2usize).prop_map(|i| contents()[i]);
+    prop_oneof![
+        // ensure_dir
+        path.clone()
+            .prop_map(|p| Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p))),
+        // overwrite
+        (path.clone(), content.clone()).prop_map(|(p, c)| Expr::if_(
+            Pred::DoesNotExist(p),
+            Expr::CreateFile(p, c),
+            Expr::if_(
+                Pred::IsFile(p),
+                Expr::Rm(p).seq(Expr::CreateFile(p, c)),
+                Expr::Error,
+            ),
+        )),
+        // create-if-absent
+        (path.clone(), content.clone()).prop_map(|(p, c)| Expr::if_(
+            Pred::DoesNotExist(p),
+            Expr::CreateFile(p, c),
+            Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
+        )),
+        // remove-if-present
+        path.clone().prop_map(|p| Expr::if_(
+            Pred::IsFile(p),
+            Expr::Rm(p),
+            Expr::if_(Pred::DoesNotExist(p), Expr::Skip, Expr::Error),
+        )),
+        // raw operations
+        path.clone().prop_map(Expr::Mkdir),
+        (path.clone(), content).prop_map(|(p, c)| Expr::CreateFile(p, c)),
+        path.clone().prop_map(Expr::Rm),
+        // a guard that requires a file to exist
+        path.prop_map(|p| Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error)),
+    ]
+}
+
+/// Random graphs of 2–3 expressions with random forward edges.
+fn arb_graph() -> impl Strategy<Value = FsGraph> {
+    (
+        proptest::collection::vec(arb_expr(), 2..=3),
+        proptest::collection::vec(any::<bool>(), 3),
+    )
+        .prop_map(|(exprs, edge_bits)| {
+            let n = exprs.len();
+            let mut edges = BTreeSet::new();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edge_bits[k % edge_bits.len()] {
+                        edges.insert((i, j));
+                    }
+                    k += 1;
+                }
+            }
+            let names = (0..n).map(|i| format!("r{i}")).collect();
+            FsGraph::new(exprs, edges, names)
+        })
+}
+
+/// All tree-consistent filesystems over the given paths and contents.
+fn consistent_states(ps: &[FsPath], cs: &[Content]) -> Vec<FileSystem> {
+    enumerate_filesystems(ps, cs)
+        .into_iter()
+        .map(|fs| fs.set(FsPath::root(), FileState::Dir))
+        .filter(|fs| {
+            fs.iter().all(|(p, _)| match p.parent() {
+                None => true,
+                Some(parent) => fs.is_dir(parent),
+            })
+        })
+        .collect()
+}
+
+/// Every valid permutation of the graph.
+fn all_orders(graph: &FsGraph) -> Vec<Vec<usize>> {
+    fn rec(
+        graph: &FsGraph,
+        placed: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if placed.len() == used.len() {
+            out.push(placed.clone());
+            return;
+        }
+        for i in 0..used.len() {
+            if used[i] {
+                continue;
+            }
+            let ready = graph.edges.iter().all(|&(a, b)| b != i || used[a]);
+            if ready {
+                used[i] = true;
+                placed.push(i);
+                rec(graph, placed, used, out);
+                placed.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(
+        graph,
+        &mut Vec::new(),
+        &mut vec![false; graph.exprs.len()],
+        &mut out,
+    );
+    out
+}
+
+/// Brute-force determinism: on every consistent state, every valid order
+/// must give the same outcome (restricted to the modeled paths).
+fn brute_force_deterministic(graph: &FsGraph) -> bool {
+    let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
+    for e in &graph.exprs {
+        domain.extend(e.paths());
+    }
+    let ps: Vec<FsPath> = domain.iter().copied().collect();
+    let orders = all_orders(graph);
+    for fs in consistent_states(&ps, &contents()) {
+        let mut outcomes = BTreeSet::new();
+        for order in &orders {
+            let mut state = Ok(fs.clone());
+            for &i in order {
+                state = state.and_then(|s| eval(&graph.exprs[i], &s));
+            }
+            outcomes.insert(state.map(|s| s.restrict(&domain)));
+            if outcomes.len() > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Theorem 1 in executable form, with all reductions enabled.
+    #[test]
+    fn symbolic_matches_brute_force(graph in arb_graph()) {
+        let expected = brute_force_deterministic(&graph);
+        let report = check_determinism(&graph, &AnalysisOptions::default())
+            .expect("no abort on tiny graphs");
+        prop_assert_eq!(
+            report.is_deterministic(),
+            expected,
+            "graph: {:?}",
+            graph.exprs
+        );
+    }
+
+    /// The reductions never change the verdict: naive mode agrees with the
+    /// fully-optimized mode.
+    #[test]
+    fn reductions_preserve_verdict(graph in arb_graph()) {
+        let fancy = check_determinism(&graph, &AnalysisOptions::default())
+            .expect("no abort");
+        let naive = check_determinism(&graph, &AnalysisOptions::naive())
+            .expect("no abort");
+        prop_assert_eq!(fancy.is_deterministic(), naive.is_deterministic());
+    }
+
+    /// Equivalence cross-validation (the paper's Lemmas 2 and 3): the
+    /// symbolic `e1 ≡ e2` verdict must match exhaustive enumeration.
+    #[test]
+    fn equivalence_matches_brute_force(e1 in arb_expr(), e2 in arb_expr()) {
+        let report = check_expr_equivalence(&e1, &e2, &AnalysisOptions::default())
+            .expect("no abort");
+        let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
+        domain.extend(e1.paths());
+        domain.extend(e2.paths());
+        let ps: Vec<FsPath> = domain.iter().copied().collect();
+        let mut expected = true;
+        for fs in consistent_states(&ps, &contents()) {
+            let o1 = eval(&e1, &fs).map(|s| s.restrict(&domain));
+            let o2 = eval(&e2, &fs).map(|s| s.restrict(&domain));
+            if o1 != o2 {
+                expected = false;
+                break;
+            }
+        }
+        prop_assert_eq!(report.is_equivalent(), expected, "{} vs {}", e1, e2);
+    }
+
+    /// Idempotence cross-validation: `e ≡ e; e` decided symbolically must
+    /// match trying every consistent state concretely.
+    #[test]
+    fn idempotence_matches_brute_force(e in arb_expr()) {
+        let report = check_expr_idempotence(&e, &AnalysisOptions::default())
+            .expect("no abort");
+        let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
+        domain.extend(e.paths());
+        let ps: Vec<FsPath> = domain.iter().copied().collect();
+        let mut expected = true;
+        for fs in consistent_states(&ps, &contents()) {
+            let once = eval(&e, &fs);
+            let twice = once.clone().and_then(|s| eval(&e, &s));
+            let once = once.map(|s| s.restrict(&domain));
+            let twice = twice.map(|s| s.restrict(&domain));
+            if once != twice {
+                expected = false;
+                break;
+            }
+        }
+        prop_assert_eq!(report.is_idempotent(), expected, "expr: {}", e);
+    }
+}

@@ -1,0 +1,270 @@
+//! End-to-end tests for every example manifest in the paper (§1–§2).
+
+use rehearsal::{DeterminismReport, Platform, Rehearsal, RehearsalError};
+
+fn tool() -> Rehearsal {
+    Rehearsal::new(Platform::Ubuntu)
+}
+
+/// §1: the introductory vim/carol manifest without the dependency.
+#[test]
+fn intro_manifest_nondeterministic() {
+    let report = tool()
+        .check_determinism(
+            r#"
+            package { 'vim': ensure => present }
+            file { '/home/carol/.vimrc': content => 'syntax on' }
+            user { 'carol': ensure => present, managehome => true }
+            "#,
+        )
+        .unwrap();
+    match report {
+        DeterminismReport::NonDeterministic(cex, _) => {
+            // One order fails (file before user), the other succeeds.
+            assert_ne!(cex.outcome_a.is_ok(), cex.outcome_b.is_ok());
+        }
+        DeterminismReport::Deterministic(_) => panic!("§1 example must be nondeterministic"),
+    }
+}
+
+/// §1: the fix `User['carol'] -> File['/home/carol/.vimrc']`.
+#[test]
+fn intro_manifest_fixed() {
+    let report = tool()
+        .verify(
+            r#"
+            package { 'vim': ensure => present }
+            file { '/home/carol/.vimrc': content => 'syntax on' }
+            user { 'carol': ensure => present, managehome => true }
+            User['carol'] -> File['/home/carol/.vimrc']
+            "#,
+        )
+        .unwrap();
+    assert!(report.is_correct());
+}
+
+/// Fig. 2: the `myuser` defined type instantiated for alice and carol.
+#[test]
+fn fig2_defined_type() {
+    let report = tool()
+        .verify(
+            r#"
+            define myuser() {
+              user {"$title":
+                ensure     => present,
+                managehome => true
+              }
+              file {"/home/${title}/.vimrc":
+                content => "syntax on"
+              }
+              User["$title"] -> File["/home/${title}/.vimrc"]
+            }
+            myuser {"alice": }
+            myuser {"carol": }
+            "#,
+        )
+        .unwrap();
+    assert!(report.is_correct(), "fig. 2 is correct Puppet");
+}
+
+/// Fig. 3a: package/config-file race.
+#[test]
+fn fig3a_nondeterministic_error() {
+    let report = tool()
+        .check_determinism(
+            r#"
+            file {"/etc/apache2/sites-available/000-default.conf":
+              content => 'my site',
+            }
+            package{"apache2": ensure => present }
+            "#,
+        )
+        .unwrap();
+    assert!(!report.is_deterministic());
+}
+
+/// Fig. 3b: over-constrained modules cannot be composed — Puppet reports a
+/// dependency cycle.
+#[test]
+fn fig3b_composition_cycle() {
+    let err = tool()
+        .check_determinism(
+            r#"
+            define cpp() {
+              if !defined(Package['m4']) { package{'m4': ensure => present} }
+              if !defined(Package['make']) { package{'make': ensure => present} }
+              package{'gcc': ensure => present}
+              Package['m4'] -> Package['make']
+              Package['make'] -> Package['gcc']
+            }
+            define ocaml() {
+              if !defined(Package['make']) { package{'make': ensure => present} }
+              if !defined(Package['m4']) { package{'m4': ensure => present} }
+              package{'ocaml': ensure => present}
+              Package['make'] -> Package['m4']
+              Package['m4'] -> Package['ocaml']
+            }
+            cpp { 'dev': }
+            ocaml { 'dev': }
+            "#,
+        )
+        .unwrap_err();
+    match err {
+        RehearsalError::Cycle(c) => {
+            let joined = c.members.join(" ");
+            assert!(joined.contains("Package[m4]") || joined.contains("Package[make]"));
+        }
+        other => panic!("expected a cycle, got {other}"),
+    }
+}
+
+/// Fig. 3b, composable version: each module orders only what it must.
+#[test]
+fn fig3b_composable_fix() {
+    let report = tool()
+        .verify(
+            r#"
+            define cpp() {
+              if !defined(Package['m4']) { package{'m4': ensure => present} }
+              if !defined(Package['make']) { package{'make': ensure => present} }
+              package{'gcc': ensure => present}
+            }
+            define ocaml() {
+              if !defined(Package['make']) { package{'make': ensure => present} }
+              if !defined(Package['m4']) { package{'m4': ensure => present} }
+              package{'ocaml': ensure => present}
+            }
+            cpp { 'dev': }
+            ocaml { 'dev': }
+            "#,
+        )
+        .unwrap();
+    assert!(report.is_correct(), "independent packages commute");
+}
+
+/// Fig. 3c: with dependency-closure modeling (our §8 extension), the
+/// golang-go/perl manifest reaches two different success states.
+#[test]
+fn fig3c_silent_failure() {
+    let report = tool()
+        .with_dependency_closures(true)
+        .check_determinism(
+            r#"
+            package{'golang-go': ensure => present }
+            package{'perl': ensure => absent }
+            "#,
+        )
+        .unwrap();
+    match report {
+        DeterminismReport::NonDeterministic(cex, _) => {
+            assert!(cex.outcome_a.is_ok(), "order A succeeds");
+            assert!(cex.outcome_b.is_ok(), "order B succeeds");
+            assert_ne!(cex.outcome_a, cex.outcome_b, "but states differ");
+        }
+        DeterminismReport::Deterministic(_) => panic!("fig. 3c must be nondeterministic"),
+    }
+}
+
+/// Fig. 3c under the faithful model (no dependency metadata, as the
+/// original tool): invisible, exactly as the paper's §8 limitation states.
+#[test]
+fn fig3c_invisible_without_dependency_metadata() {
+    let report = tool()
+        .check_determinism(
+            r#"
+            package{'golang-go': ensure => present }
+            package{'perl': ensure => absent }
+            "#,
+        )
+        .unwrap();
+    assert!(report.is_deterministic());
+}
+
+/// Fig. 3d: copy-then-delete is deterministic but not idempotent.
+#[test]
+fn fig3d_not_idempotent() {
+    let report = tool()
+        .verify(
+            r#"
+            file{"/dst": source => "/src" }
+            file{"/src": ensure => absent }
+            File["/dst"] -> File["/src"]
+            "#,
+        )
+        .unwrap();
+    assert!(report.determinism.is_deterministic());
+    let idem = report.idempotence.expect("checked because deterministic");
+    match idem {
+        rehearsal::IdempotenceReport::NotIdempotent(cex) => {
+            assert!(cex.after_once.is_ok());
+            assert!(cex.after_twice.is_err(), "second run fails: /src is gone");
+        }
+        rehearsal::IdempotenceReport::Idempotent => panic!("fig. 3d is not idempotent"),
+    }
+}
+
+/// §3.1: the resource-collector example (global attribute override).
+#[test]
+fn collector_override_applies_globally() {
+    let catalog = tool()
+        .catalog(
+            r#"
+            define dotfile($owner) {
+              file { "/home/${owner}/.${title}":
+                content => 'x',
+                owner   => $owner,
+                mode    => 'rw',
+              }
+            }
+            dotfile { 'vimrc': owner => 'carol' }
+            dotfile { 'bashrc': owner => 'carol' }
+            dotfile { 'profile': owner => 'dave' }
+            File<| owner == 'carol' |> { mode => "go-rwx" }
+            "#,
+        )
+        .unwrap();
+    let carols: Vec<_> = catalog
+        .resources()
+        .iter()
+        .filter(|r| r.attr_str("owner").as_deref() == Some("carol"))
+        .collect();
+    assert_eq!(carols.len(), 2);
+    for r in carols {
+        assert_eq!(r.attr_str("mode").as_deref(), Some("go-rwx"));
+    }
+    let dave = catalog
+        .resources()
+        .iter()
+        .find(|r| r.attr_str("owner").as_deref() == Some("dave"))
+        .unwrap();
+    assert_eq!(dave.attr_str("mode").as_deref(), Some("rw"));
+}
+
+/// §8: exec resources are rejected, not silently mis-modeled.
+#[test]
+fn exec_rejected() {
+    let err = tool()
+        .check_determinism("exec { '/usr/bin/make install': }")
+        .unwrap_err();
+    assert!(matches!(err, RehearsalError::Compile(_)));
+    assert!(err.to_string().contains("exec"));
+}
+
+/// The platform flag (§8): same manifest, different verdict inputs per
+/// platform package database.
+#[test]
+fn platform_flag_changes_model() {
+    let manifest = r#"
+        if $osfamily == 'Debian' {
+          package { 'apache2': ensure => present }
+          service { 'apache2': ensure => running, require => Package['apache2'] }
+        } else {
+          package { 'httpd': ensure => present }
+          service { 'httpd': ensure => running, require => Package['httpd'] }
+        }
+    "#;
+    let ubuntu = Rehearsal::new(Platform::Ubuntu).verify(manifest).unwrap();
+    assert!(ubuntu.is_correct());
+    let centos = Rehearsal::new(Platform::Centos).verify(manifest).unwrap();
+    assert!(centos.is_correct());
+}

@@ -1,0 +1,70 @@
+//! Cross-platform checks (paper §8): the platform flag changes package
+//! models, and a manifest can be re-verified per platform. The paper
+//! suggests checking that a manifest behaves similarly on different
+//! platforms — these tests do exactly that for the benchmark suite's
+//! platform-neutral subset.
+
+use rehearsal::{Platform, Rehearsal};
+
+/// A manifest that adapts to the platform via facts.
+const ADAPTIVE: &str = r#"
+    $web = $osfamily ? { 'Debian' => 'nginx', default => 'nginx' }
+    package { $web: ensure => present }
+    service { $web:
+      ensure  => running,
+      require => Package[$web],
+    }
+"#;
+
+#[test]
+fn adaptive_manifest_verifies_on_both_platforms() {
+    for platform in [Platform::Ubuntu, Platform::Centos] {
+        let report = Rehearsal::new(platform).verify(ADAPTIVE).unwrap();
+        assert!(report.is_correct(), "{platform:?}");
+    }
+}
+
+#[test]
+fn platform_specific_package_fails_elsewhere() {
+    // apache2 exists on Ubuntu, not CentOS (which has httpd).
+    let src = "package { 'apache2': ensure => present }";
+    assert!(Rehearsal::new(Platform::Ubuntu)
+        .check_determinism(src)
+        .is_ok());
+    let err = Rehearsal::new(Platform::Centos)
+        .check_determinism(src)
+        .unwrap_err();
+    assert!(err.to_string().contains("apache2"), "{err}");
+}
+
+#[test]
+fn same_manifest_same_verdict_across_platforms() {
+    // A platform-neutral bug (user/file race) is caught on both.
+    let src = r#"
+        file { '/home/carol/.profile': content => 'x' }
+        user { 'carol': ensure => present, managehome => true }
+    "#;
+    for platform in [Platform::Ubuntu, Platform::Centos] {
+        let report = Rehearsal::new(platform).check_determinism(src).unwrap();
+        assert!(!report.is_deterministic(), "{platform:?}");
+    }
+}
+
+#[test]
+fn centos_benchmark_roundtrip() {
+    // An httpd-flavored stack verifies on CentOS.
+    let src = r#"
+        package { 'httpd': ensure => present }
+        file { '/etc/httpd/conf/httpd.conf':
+          content => 'ServerRoot /etc/httpd',
+          require => Package['httpd'],
+        }
+        service { 'httpd':
+          ensure    => running,
+          require   => Package['httpd'],
+          subscribe => File['/etc/httpd/conf/httpd.conf'],
+        }
+    "#;
+    let report = Rehearsal::new(Platform::Centos).verify(src).unwrap();
+    assert!(report.is_correct());
+}
