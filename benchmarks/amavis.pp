@@ -1,0 +1,24 @@
+# amavis — mail content filter gluing postfix, spamassassin, and clamav
+# (deterministic in the paper's study; the largest benchmark by package
+# footprint, which is what makes path pruning shine in fig. 11a).
+
+package { 'postfix': ensure => present }
+
+package { 'spamassassin': ensure => present }
+
+package { 'clamav': ensure => present }
+
+package { 'amavisd-new':
+  ensure  => present,
+  require => [Package['postfix'], Package['spamassassin'], Package['clamav']],
+}
+
+file { '/etc/amavis/conf.d/50-user':
+  content => 'use strict 1 bypass_virus_checks_maps 0',
+  require => Package['amavisd-new'],
+}
+
+service { 'amavis':
+  ensure  => running,
+  require => [Package['amavisd-new'], File['/etc/amavis/conf.d/50-user']],
+}

@@ -1,0 +1,13 @@
+# bind — DNS server (deterministic in the paper's study).
+
+package { 'bind9': ensure => present }
+
+file { '/etc/bind/named.conf.local':
+  content => 'zone example.com in type master file db.example.com',
+  require => Package['bind9'],
+}
+
+service { 'bind9':
+  ensure  => running,
+  require => [Package['bind9'], File['/etc/bind/named.conf.local']],
+}

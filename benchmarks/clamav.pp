@@ -1,0 +1,24 @@
+# clamav — antivirus scanner and daemon (deterministic in the paper's
+# study).
+
+package { 'clamav-freshclam': ensure => present }
+
+package { 'clamav':
+  ensure  => present,
+  require => Package['clamav-freshclam'],
+}
+
+package { 'clamav-daemon':
+  ensure  => present,
+  require => Package['clamav'],
+}
+
+file { '/etc/clamav/clamd.conf':
+  content => 'LocalSocket /var/run/clamav/clamd.ctl MaxThreads 12',
+  require => Package['clamav'],
+}
+
+service { 'clamav-daemon':
+  ensure  => running,
+  require => [Package['clamav-daemon'], File['/etc/clamav/clamd.conf']],
+}

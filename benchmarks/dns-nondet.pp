@@ -1,0 +1,14 @@
+# dns — caching resolver on dnsmasq (as found: non-deterministic).
+# BUG: /etc/dnsmasq.conf is not ordered after Package['dnsmasq'], which
+# also ships that file; the two writes race.
+
+package { 'dnsmasq': ensure => present }
+
+file { '/etc/dnsmasq.conf':
+  content => 'cache-size=1000 no-resolv server=8.8.8.8',
+}
+
+service { 'dnsmasq':
+  ensure  => running,
+  require => Package['dnsmasq'],
+}

@@ -1,0 +1,14 @@
+# dns — caching resolver on dnsmasq (fixed version).
+
+package { 'dnsmasq': ensure => present }
+
+file { '/etc/dnsmasq.conf':
+  content => 'cache-size=1000 no-resolv server=8.8.8.8',
+  require => Package['dnsmasq'],
+}
+
+service { 'dnsmasq':
+  ensure    => running,
+  require   => Package['dnsmasq'],
+  subscribe => File['/etc/dnsmasq.conf'],
+}

@@ -1,0 +1,32 @@
+# hosting — a LAMP-style shared-hosting node (deterministic in the
+# paper's study).
+
+package { 'apache2': ensure => present }
+
+package { 'mysql-server': ensure => present }
+
+package { 'php5':
+  ensure  => present,
+  require => Package['apache2'],
+}
+
+file { '/etc/apache2/sites-available/000-default.conf':
+  content => 'VirtualHost 80 DocumentRoot /var/www/html',
+  require => Package['apache2'],
+}
+
+file { '/var/www/html/index.html':
+  content => 'Welcome to example hosting',
+  require => Package['apache2'],
+}
+
+service { 'apache2':
+  ensure  => running,
+  enable  => true,
+  require => [Package['php5'], File['/etc/apache2/sites-available/000-default.conf']],
+}
+
+service { 'mysql':
+  ensure  => running,
+  require => Package['mysql-server'],
+}

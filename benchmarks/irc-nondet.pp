@@ -1,0 +1,15 @@
+# irc — ircd-hybrid server (as found: non-deterministic).
+# BUG: the ircd configuration is not ordered after Package['ircd-hybrid'],
+# which ships /etc/ircd-hybrid/ircd.conf; the writes race, and without the
+# package the target directory does not exist.
+
+package { 'ircd-hybrid': ensure => present }
+
+file { '/etc/ircd-hybrid/ircd.conf':
+  content => 'serverinfo name irc.example.com description example network',
+}
+
+service { 'ircd-hybrid':
+  ensure  => running,
+  require => Package['ircd-hybrid'],
+}

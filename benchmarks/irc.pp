@@ -1,0 +1,14 @@
+# irc — ircd-hybrid server (fixed version).
+
+package { 'ircd-hybrid': ensure => present }
+
+file { '/etc/ircd-hybrid/ircd.conf':
+  content => 'serverinfo name irc.example.com description example network',
+  require => Package['ircd-hybrid'],
+}
+
+service { 'ircd-hybrid':
+  ensure    => running,
+  require   => Package['ircd-hybrid'],
+  subscribe => File['/etc/ircd-hybrid/ircd.conf'],
+}

@@ -1,0 +1,34 @@
+# jpa — a Java web application stack on tomcat + maven (deterministic in
+# the paper's study).
+
+package { 'openjdk-7-jre-headless': ensure => present }
+
+package { 'openjdk-7-jdk':
+  ensure  => present,
+  require => Package['openjdk-7-jre-headless'],
+}
+
+package { 'maven':
+  ensure  => present,
+  require => Package['openjdk-7-jdk'],
+}
+
+package { 'tomcat7':
+  ensure  => present,
+  require => Package['openjdk-7-jre-headless'],
+}
+
+file { '/etc/tomcat7/tomcat-users.xml':
+  content => 'role manager-gui user deployer password secret',
+  require => Package['tomcat7'],
+}
+
+file { '/etc/maven/settings.xml':
+  content => 'localRepository /srv/m2 offline false',
+  require => Package['maven'],
+}
+
+service { 'tomcat7':
+  ensure  => running,
+  require => [Package['tomcat7'], File['/etc/tomcat7/tomcat-users.xml']],
+}

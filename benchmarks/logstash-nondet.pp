@@ -1,0 +1,19 @@
+# logstash — log pipeline (as found: non-deterministic).
+# BUG: the pipeline config under /etc/logstash/conf.d is not ordered after
+# Package['logstash'], and only the package creates that directory.
+
+package { 'openjdk-7-jre-headless': ensure => present }
+
+package { 'logstash':
+  ensure  => present,
+  require => Package['openjdk-7-jre-headless'],
+}
+
+file { '/etc/logstash/conf.d/input-syslog.conf':
+  content => 'input tcp port 5000 codec json',
+}
+
+service { 'logstash':
+  ensure  => running,
+  require => Package['logstash'],
+}

@@ -1,0 +1,19 @@
+# logstash — log pipeline (fixed version).
+
+package { 'openjdk-7-jre-headless': ensure => present }
+
+package { 'logstash':
+  ensure  => present,
+  require => Package['openjdk-7-jre-headless'],
+}
+
+file { '/etc/logstash/conf.d/input-syslog.conf':
+  content => 'input tcp port 5000 codec json',
+  require => Package['logstash'],
+}
+
+service { 'logstash':
+  ensure    => running,
+  require   => Package['logstash'],
+  subscribe => File['/etc/logstash/conf.d/input-syslog.conf'],
+}

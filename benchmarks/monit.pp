@@ -1,0 +1,14 @@
+# monit — process supervisor (deterministic in the paper's study).
+
+package { 'monit': ensure => present }
+
+file { '/etc/monit/monitrc':
+  content => 'set daemon 120 set logfile /var/log/monit.log',
+  require => Package['monit'],
+}
+
+service { 'monit':
+  ensure  => running,
+  enable  => true,
+  require => [Package['monit'], File['/etc/monit/monitrc']],
+}

@@ -1,0 +1,15 @@
+# nginx — web server (deterministic in the paper's study).
+
+package { 'nginx': ensure => present }
+
+file { '/etc/nginx/nginx.conf':
+  content => 'worker_processes 4; include /etc/nginx/sites-enabled/default;',
+  require => Package['nginx'],
+}
+
+service { 'nginx':
+  ensure    => running,
+  enable    => true,
+  require   => Package['nginx'],
+  subscribe => File['/etc/nginx/nginx.conf'],
+}

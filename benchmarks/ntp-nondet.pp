@@ -1,0 +1,16 @@
+# ntp — network time daemon (as found: non-deterministic).
+# BUG: /etc/ntp.conf is not ordered after Package['ntp']. The package also
+# ships /etc/ntp.conf, so one order ends with the distribution default and
+# the other with our managed config — and if /etc does not exist yet, the
+# file resource errors outright.
+
+package { 'ntp': ensure => present }
+
+file { '/etc/ntp.conf':
+  content => 'driftfile /var/lib/ntp/ntp.drift server 0.ubuntu.pool.ntp.org iburst',
+}
+
+service { 'ntp':
+  ensure  => running,
+  require => Package['ntp'],
+}

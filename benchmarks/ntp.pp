@@ -1,0 +1,15 @@
+# ntp — network time daemon (fixed version).
+# The config file and service are explicitly ordered after the package,
+# which is the repair Rehearsal suggests for ntp-nondet.pp.
+
+package { 'ntp': ensure => present }
+
+file { '/etc/ntp.conf':
+  content => 'driftfile /var/lib/ntp/ntp.drift server 0.ubuntu.pool.ntp.org iburst',
+  require => Package['ntp'],
+}
+
+service { 'ntp':
+  ensure  => running,
+  require => [Package['ntp'], File['/etc/ntp.conf']],
+}

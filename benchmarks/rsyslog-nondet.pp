@@ -1,0 +1,14 @@
+# rsyslog — system logging (as found: non-deterministic).
+# BUG: /etc/rsyslog.d/50-default.conf is not ordered after
+# Package['rsyslog'], which ships the same file; the writes race.
+
+package { 'rsyslog': ensure => present }
+
+file { '/etc/rsyslog.d/50-default.conf':
+  content => 'auth.log /var/log/auth.log syslog.all /var/log/syslog',
+}
+
+service { 'rsyslog':
+  ensure  => running,
+  require => Package['rsyslog'],
+}

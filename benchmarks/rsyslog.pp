@@ -1,0 +1,14 @@
+# rsyslog — system logging (fixed version).
+
+package { 'rsyslog': ensure => present }
+
+file { '/etc/rsyslog.d/50-default.conf':
+  content => 'auth.log /var/log/auth.log syslog.all /var/log/syslog',
+  require => Package['rsyslog'],
+}
+
+service { 'rsyslog':
+  ensure    => running,
+  require   => Package['rsyslog'],
+  subscribe => File['/etc/rsyslog.d/50-default.conf'],
+}

@@ -1,0 +1,15 @@
+# xinetd — super-server (as found: non-deterministic).
+# BUG: the drop-in under /etc/xinetd.d is not ordered after
+# Package['xinetd'], and only the package creates that directory — one
+# order errors out, the other succeeds.
+
+package { 'xinetd': ensure => present }
+
+file { '/etc/xinetd.d/tftp':
+  content => 'service tftp socket_type dgram wait yes disable no',
+}
+
+service { 'xinetd':
+  ensure  => running,
+  require => Package['xinetd'],
+}

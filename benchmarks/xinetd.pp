@@ -1,0 +1,14 @@
+# xinetd — super-server (fixed version).
+
+package { 'xinetd': ensure => present }
+
+file { '/etc/xinetd.d/tftp':
+  content => 'service tftp socket_type dgram wait yes disable no',
+  require => Package['xinetd'],
+}
+
+service { 'xinetd':
+  ensure    => running,
+  require   => Package['xinetd'],
+  subscribe => File['/etc/xinetd.d/tftp'],
+}

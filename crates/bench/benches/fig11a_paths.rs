@@ -5,9 +5,10 @@
 //! modeled paths to a fraction. This bench prints the same series and then
 //! measures the cost of computing the pruned encoding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rehearsal::benchmarks::SUITE;
 use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::harness::Criterion;
+use rehearsal_bench::{criterion_group, criterion_main};
 use rehearsal_bench::{lower, options_full, options_no_pruning};
 
 fn print_table() {

@@ -4,10 +4,11 @@
 //! Paper claim: with commutativity + pruning, every benchmark completes in
 //! under two seconds; without pruning, some exceed the budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rehearsal::benchmarks::SUITE;
 use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::harness::Criterion;
 use rehearsal_bench::{cell, lower, options_full, options_no_pruning, timed_check};
+use rehearsal_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn print_table() {

@@ -5,12 +5,13 @@
 //! and one takes more than two minutes — the permutation space explodes.
 //! We use a 30-second budget per run and report `Timeout` the same way.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rehearsal::benchmarks::SUITE;
 use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::harness::Criterion;
 use rehearsal_bench::{
     cell, lower, options_commutativity_only, options_no_commutativity, timed_check,
 };
+use rehearsal_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn print_table() {

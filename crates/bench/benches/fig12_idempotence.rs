@@ -3,9 +3,10 @@
 //!
 //! Paper claim: under one second for every benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rehearsal::benchmarks::FIXED_SUITE;
 use rehearsal::core::idempotence::check_idempotence;
+use rehearsal_bench::harness::Criterion;
+use rehearsal_bench::{criterion_group, criterion_main};
 use rehearsal_bench::{lower, options_full};
 use std::time::Instant;
 

@@ -10,11 +10,12 @@
 //!   deterministic, so the solver must construct an unsatisfiability
 //!   proof instead of stopping at the first model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::harness::{BenchmarkId, Criterion};
 use rehearsal_bench::{
     cell, conflicting_packages_manifest, conflicting_writers, options_full, timed_check,
 };
+use rehearsal_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn print_table() {

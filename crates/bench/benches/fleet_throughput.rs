@@ -1,0 +1,100 @@
+//! Fleet throughput: manifests/second for the batch engine over the
+//! 13-benchmark suite, at increasing worker counts, plus the warm-cache
+//! fast path.
+//!
+//! This is the acceptance benchmark for the `rehearsal-fleet` engine: it
+//! records the jobs=1 → jobs=N scaling (bounded by the machine's core
+//! count) and shows the verdict cache answering a warm fleet in
+//! microseconds.
+
+use rehearsal::fleet::{FleetEngine, FleetJob, FleetOptions};
+use rehearsal::{benchmarks::SUITE, Platform};
+use rehearsal_bench::harness::Criterion;
+use rehearsal_bench::{criterion_group, criterion_main};
+use std::time::Instant;
+
+fn suite_jobs() -> Vec<FleetJob> {
+    SUITE
+        .iter()
+        .map(|b| FleetJob {
+            name: format!("{}.pp", b.name),
+            source: b.source.to_string(),
+            platform: Platform::Ubuntu,
+        })
+        .collect()
+}
+
+fn print_table() {
+    println!("\n=== Fleet throughput: 13-benchmark suite ===");
+    println!(
+        "{:<14} {:>10} {:>14} {:>12}",
+        "config", "wall", "manifests/s", "verdicts"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1, 2, 4];
+    worker_counts.retain(|&w| w == 1 || w <= cores.max(2));
+    for jobs in worker_counts {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(jobs));
+        let start = Instant::now();
+        let report = engine.run(suite_jobs());
+        let wall = start.elapsed();
+        let c = report.counts();
+        println!(
+            "{:<14} {:>10.3?} {:>14.1} {:>12}",
+            format!("jobs={jobs}"),
+            wall,
+            report.rows.len() as f64 / wall.as_secs_f64(),
+            format!("{}det/{}nondet", c.deterministic, c.nondeterministic),
+        );
+        assert_eq!(
+            c.deterministic, 7,
+            "fleet must reproduce the paper's verdicts"
+        );
+        assert_eq!(c.nondeterministic, 6);
+    }
+
+    // Warm-cache rerun: all 13 answered without re-analysis.
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+    engine.run(suite_jobs());
+    let start = Instant::now();
+    let warm = engine.run(suite_jobs());
+    let wall = start.elapsed();
+    assert_eq!(warm.counts().cached, 13, "warm run must be pure cache hits");
+    println!(
+        "{:<14} {:>10.3?} {:>14.1} {:>12}",
+        "warm cache",
+        wall,
+        warm.rows.len() as f64 / wall.as_secs_f64(),
+        "13 cached",
+    );
+    println!("(cores available: {cores})\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+    group.bench_function("suite/jobs=1", |b| {
+        b.iter(|| {
+            let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+            engine.run(suite_jobs())
+        })
+    });
+    group.bench_function("suite/jobs=4", |b| {
+        b.iter(|| {
+            let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(4));
+            engine.run(suite_jobs())
+        })
+    });
+    group.bench_function("suite/warm-cache", |b| {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        engine.run(suite_jobs());
+        b.iter(|| engine.run(suite_jobs()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! (`cargo bench` output) and then takes Criterion measurements of the
 //! feasible configurations. `EXPERIMENTS.md` records paper-vs-measured.
 
+pub mod harness;
+
 use rehearsal::core::determinism::{
     check_determinism, AnalysisAborted, AnalysisOptions, DeterminismReport, FsGraph,
 };

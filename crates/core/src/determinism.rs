@@ -10,7 +10,37 @@ use crate::prune::prune_graph;
 use rehearsal_fs::{eval as concrete_eval, Expr, FileSystem};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shareable cancellation handle for in-flight analyses.
+///
+/// Cloning the token shares the underlying flag, so a scheduler can hand
+/// the same token to an analysis running on another thread and revoke its
+/// time budget early (e.g. when a fleet run is aborted). The analysis
+/// polls the token at the same points it polls its deadline and returns
+/// [`AnalysisAborted`] once cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every analysis sharing this token aborts at
+    /// its next budget check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Tuning knobs for the analysis; the defaults enable everything the paper
 /// describes. Disabling individual reductions reproduces the ablations of
@@ -28,6 +58,9 @@ pub struct AnalysisOptions {
     /// Abort after exploring this many distinct sequences (a memory
     /// safety-valve for the factorial worst case, fig. 13).
     pub max_sequences: usize,
+    /// Cooperative cancellation: when set, the analysis aborts as soon as
+    /// the token is cancelled, independent of the timeout.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AnalysisOptions {
@@ -38,6 +71,7 @@ impl Default for AnalysisOptions {
             pruning: true,
             timeout: None,
             max_sequences: 100_000,
+            cancel: None,
         }
     }
 }
@@ -57,6 +91,13 @@ impl AnalysisOptions {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> AnalysisOptions {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> AnalysisOptions {
+        self.cancel = Some(token);
         self
     }
 }
@@ -258,6 +299,13 @@ struct Explorer<'a> {
 
 impl<'a> Explorer<'a> {
     fn check_budget(&self) -> Result<(), AnalysisAborted> {
+        if let Some(token) = &self.options.cancel {
+            if token.is_cancelled() {
+                return Err(AnalysisAborted {
+                    reason: "cancelled during permutation exploration".to_string(),
+                });
+            }
+        }
         if let Some(d) = self.deadline {
             if Instant::now() > d {
                 return Err(AnalysisAborted {

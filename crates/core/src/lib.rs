@@ -50,8 +50,8 @@ pub mod repair;
 pub mod report;
 
 pub use determinism::{
-    check_determinism, AnalysisAborted, AnalysisOptions, Counterexample, DeterminismReport,
-    DeterminismStats, FsGraph,
+    check_determinism, AnalysisAborted, AnalysisOptions, CancelToken, Counterexample,
+    DeterminismReport, DeterminismStats, FsGraph,
 };
 pub use equivalence::{check_expr_equivalence, EquivalenceReport};
 pub use idempotence::{

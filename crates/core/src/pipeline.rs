@@ -265,6 +265,19 @@ impl Rehearsal {
     }
 }
 
+// The batch engine in `rehearsal-fleet` runs analyses from worker threads;
+// every entry-point type must stay shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Rehearsal>();
+    assert_send_sync::<AnalysisOptions>();
+    assert_send_sync::<crate::determinism::CancelToken>();
+    assert_send_sync::<DeterminismReport>();
+    assert_send_sync::<IdempotenceReport>();
+    assert_send_sync::<VerificationReport>();
+    assert_send_sync::<RehearsalError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

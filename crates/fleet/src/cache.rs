@@ -1,0 +1,266 @@
+//! The content-addressed verdict cache.
+//!
+//! Each completed job is stored under
+//! `hash(source, platform, AnalysisOptions)`, so an unchanged manifest is
+//! answered instantly on re-runs while any edit — to the manifest, the
+//! target platform, or the analysis configuration — misses and re-runs.
+//! The on-disk format is JSONL (one entry per line), append-friendly and
+//! greppable; loads tolerate and skip corrupt lines so a torn write can
+//! never poison a CI gate.
+
+use crate::json::{parse, Json};
+use crate::report::Verdict;
+use rehearsal_core::AnalysisOptions;
+use rehearsal_pkgdb::Platform;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A cached verdict (everything needed to reconstruct a report row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Resources in the manifest's graph.
+    pub resources: usize,
+}
+
+/// An in-memory verdict cache with an optional JSONL backing file.
+#[derive(Debug, Default)]
+pub struct VerdictCache {
+    entries: HashMap<u64, CachedVerdict>,
+    path: Option<PathBuf>,
+    dirty: bool,
+}
+
+/// FNV-1a, the classic dependency-free 64-bit content hash.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Salt mixed into every key so a persisted cache cannot serve verdicts
+/// produced by a different analyzer version: any release may change the
+/// analysis logic, and the workspace version bumps with it.
+const KEY_SALT: &str = concat!("rehearsal-fleet-cache/", env!("CARGO_PKG_VERSION"));
+
+/// The cache key for one job: analyzer version, source text, platform,
+/// and every analysis option that can change the verdict.
+pub fn job_key(source: &str, platform: Platform, options: &AnalysisOptions) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, KEY_SALT.as_bytes());
+    h = fnv1a(h, source.as_bytes());
+    h = fnv1a(h, platform.to_string().as_bytes());
+    h = fnv1a(
+        h,
+        &[
+            options.commutativity as u8,
+            options.elimination as u8,
+            options.pruning as u8,
+        ],
+    );
+    h = fnv1a(h, &(options.max_sequences as u64).to_le_bytes());
+    let timeout_ms = options
+        .timeout
+        .map(|t| t.as_millis() as u64)
+        .unwrap_or(u64::MAX);
+    fnv1a(h, &timeout_ms.to_le_bytes())
+}
+
+impl VerdictCache {
+    /// An empty cache with no backing file.
+    pub fn in_memory() -> VerdictCache {
+        VerdictCache::default()
+    }
+
+    /// Opens (or initializes) a cache backed by `path`. A missing file is
+    /// an empty cache; malformed lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "not found".
+    pub fn open(path: impl AsRef<Path>) -> io::Result<VerdictCache> {
+        let path = path.as_ref().to_path_buf();
+        let mut cache = VerdictCache {
+            entries: HashMap::new(),
+            path: Some(path.clone()),
+            dirty: false,
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(cache),
+            Err(e) => return Err(e),
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(entry) = parse(line) else { continue };
+            let Some((key, cached)) = decode_entry(&entry) else {
+                continue;
+            };
+            cache.entries.insert(key, cached);
+        }
+        Ok(cache)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a job key up.
+    pub fn get(&self, key: u64) -> Option<&CachedVerdict> {
+        self.entries.get(&key)
+    }
+
+    /// Records a verdict. Timeouts are deliberately not cached: a rerun
+    /// with more headroom may well complete.
+    pub fn put(&mut self, key: u64, verdict: CachedVerdict) {
+        if verdict.verdict == Verdict::Timeout {
+            return;
+        }
+        if self.entries.insert(key, verdict).is_none() {
+            self.dirty = true;
+        }
+    }
+
+    /// Writes the cache back to its backing file (a no-op for in-memory
+    /// caches or when nothing changed). Rewrites the whole file, which
+    /// also compacts duplicate lines from older appends.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from create/write.
+    pub fn save(&mut self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if !self.dirty {
+            return Ok(());
+        }
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let mut file = std::fs::File::create(path)?;
+        for key in keys {
+            let entry = encode_entry(key, &self.entries[&key]);
+            writeln!(file, "{}", entry.render())?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+fn encode_entry(key: u64, cached: &CachedVerdict) -> Json {
+    Json::obj([
+        ("key", Json::str(format!("{key:016x}"))),
+        ("verdict", Json::str(cached.verdict.label())),
+        ("detail", Json::str(&cached.detail)),
+        ("resources", Json::num(cached.resources as u32)),
+    ])
+}
+
+fn decode_entry(entry: &Json) -> Option<(u64, CachedVerdict)> {
+    let key = u64::from_str_radix(entry.get("key")?.as_str()?, 16).ok()?;
+    let verdict = Verdict::from_label(entry.get("verdict")?.as_str()?)?;
+    let detail = entry.get("detail")?.as_str()?.to_string();
+    let resources = entry.get("resources")?.as_u64()? as usize;
+    Some((
+        key,
+        CachedVerdict {
+            verdict,
+            detail,
+            resources,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> AnalysisOptions {
+        AnalysisOptions::default()
+    }
+
+    #[test]
+    fn key_depends_on_all_inputs() {
+        let base = job_key("file { '/x': }", Platform::Ubuntu, &opts());
+        assert_eq!(base, job_key("file { '/x': }", Platform::Ubuntu, &opts()));
+        assert_ne!(base, job_key("file { '/y': }", Platform::Ubuntu, &opts()));
+        assert_ne!(base, job_key("file { '/x': }", Platform::Centos, &opts()));
+        let mut other = opts();
+        other.pruning = false;
+        assert_ne!(base, job_key("file { '/x': }", Platform::Ubuntu, &other));
+        let timed = opts().with_timeout(std::time::Duration::from_secs(60));
+        assert_ne!(base, job_key("file { '/x': }", Platform::Ubuntu, &timed));
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join("rehearsal-fleet-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut cache = VerdictCache::open(&path).unwrap();
+        assert!(cache.is_empty());
+        cache.put(
+            7,
+            CachedVerdict {
+                verdict: Verdict::Nondeterministic,
+                detail: "orders diverge".to_string(),
+                resources: 3,
+            },
+        );
+        cache.save().unwrap();
+
+        let reloaded = VerdictCache::open(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.get(7).unwrap().verdict, Verdict::Nondeterministic);
+    }
+
+    #[test]
+    fn timeouts_are_not_cached() {
+        let mut cache = VerdictCache::in_memory();
+        cache.put(
+            1,
+            CachedVerdict {
+                verdict: Verdict::Timeout,
+                detail: String::new(),
+                resources: 0,
+            },
+        );
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("rehearsal-fleet-cache-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        std::fs::write(
+            &path,
+            "not json at all\n\
+             {\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n\
+             {\"key\":\"zzz\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n",
+        )
+        .unwrap();
+        let cache = VerdictCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(2).is_some());
+    }
+}

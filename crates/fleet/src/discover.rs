@@ -1,0 +1,161 @@
+//! Manifest discovery: walk a directory tree for `.pp` files, or read an
+//! explicit manifest list.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects every `*.pp` file under `root`, sorted by path so
+/// fleet runs are order-stable. A `root` that is itself a `.pp` file is
+/// returned as a single-element list.
+///
+/// # Errors
+///
+/// I/O errors from traversal (a missing `root` included).
+pub fn discover_manifests(root: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+    let root = root.as_ref();
+    let meta = std::fs::metadata(root)?;
+    let mut out = Vec::new();
+    if meta.is_file() {
+        if is_manifest(root) {
+            out.push(root.to_path_buf());
+        }
+        return Ok(out);
+    }
+    // Follow symlinks (Puppet layouts routinely symlink environments and
+    // modules), guarding against link cycles via canonicalized dirs.
+    // Broken links are skipped rather than failing the whole walk.
+    let mut visited = std::collections::BTreeSet::new();
+    if let Ok(canonical) = std::fs::canonicalize(root) {
+        visited.insert(canonical);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let Ok(meta) = std::fs::metadata(&path) else {
+                continue; // broken symlink
+            };
+            if meta.is_dir() {
+                if let Ok(canonical) = std::fs::canonicalize(&path) {
+                    if visited.insert(canonical) {
+                        stack.push(path);
+                    }
+                }
+            } else if meta.is_file() && is_manifest(&path) {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Reads an explicit manifest list: one path per line, `#` comments and
+/// blank lines ignored. Relative paths are resolved against the list
+/// file's directory.
+///
+/// # Errors
+///
+/// I/O errors reading the list file.
+pub fn read_manifest_list(list_path: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+    let list_path = list_path.as_ref();
+    let text = std::fs::read_to_string(list_path)?;
+    let base = list_path.parent().unwrap_or(Path::new("."));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let path = Path::new(line);
+        out.push(if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            base.join(path)
+        });
+    }
+    Ok(out)
+}
+
+fn is_manifest(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "pp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rehearsal-fleet-discover")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn walks_recursively_and_sorts() {
+        let dir = scratch("walk");
+        std::fs::create_dir_all(dir.join("sub/deep")).unwrap();
+        std::fs::write(dir.join("b.pp"), "").unwrap();
+        std::fs::write(dir.join("a.pp"), "").unwrap();
+        std::fs::write(dir.join("sub/deep/c.pp"), "").unwrap();
+        std::fs::write(dir.join("notes.txt"), "").unwrap();
+        let found = discover_manifests(&dir).unwrap();
+        let names: Vec<String> = found
+            .iter()
+            .map(|p| p.strip_prefix(&dir).unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.pp", "b.pp", "sub/deep/c.pp"]);
+    }
+
+    #[test]
+    fn single_file_root() {
+        let dir = scratch("single");
+        let file = dir.join("site.pp");
+        std::fs::write(&file, "").unwrap();
+        assert_eq!(discover_manifests(&file).unwrap(), vec![file]);
+    }
+
+    #[test]
+    fn missing_root_errors() {
+        assert!(discover_manifests("/no/such/fleet/root").is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinked_manifests_and_dirs_are_followed() {
+        let dir = scratch("symlinks");
+        std::fs::create_dir_all(dir.join("shared")).unwrap();
+        std::fs::write(dir.join("shared/real.pp"), "").unwrap();
+        // Symlinked file, symlinked directory, a cycle, and a broken link.
+        std::os::unix::fs::symlink(dir.join("shared/real.pp"), dir.join("site.pp")).unwrap();
+        std::os::unix::fs::symlink(dir.join("shared"), dir.join("env")).unwrap();
+        std::os::unix::fs::symlink(&dir, dir.join("shared/loop")).unwrap();
+        std::os::unix::fs::symlink(dir.join("gone.pp"), dir.join("broken.pp")).unwrap();
+        let found = discover_manifests(&dir).unwrap();
+        let names: Vec<String> = found
+            .iter()
+            .map(|p| p.strip_prefix(&dir).unwrap().to_string_lossy().into_owned())
+            .collect();
+        // The symlinked file and the real file are both seen; the `env`
+        // symlink dir and `shared` are the same canonical dir so only one
+        // of them is walked, the loop terminates, and the broken link is
+        // skipped.
+        assert_eq!(names.len(), 2, "{names:?}");
+        assert!(names.contains(&"site.pp".to_string()), "{names:?}");
+        assert!(names.iter().any(|n| n.ends_with("real.pp")), "{names:?}");
+    }
+
+    #[test]
+    fn manifest_list_resolves_relative_paths() {
+        let dir = scratch("list");
+        std::fs::write(dir.join("x.pp"), "").unwrap();
+        let list = dir.join("fleet.list");
+        std::fs::write(&list, "# comment\n\nx.pp\n/abs/y.pp\n").unwrap();
+        let found = read_manifest_list(&list).unwrap();
+        assert_eq!(found, vec![dir.join("x.pp"), PathBuf::from("/abs/y.pp")]);
+    }
+}

@@ -1,0 +1,402 @@
+//! The batch-verification engine: per-job pipeline, cache consultation,
+//! and the parallel run loop.
+
+use crate::cache::{job_key, CachedVerdict, VerdictCache};
+use crate::report::{FleetReport, JobResult, Verdict};
+use crate::scheduler::run_work_stealing;
+use rehearsal_core::{
+    check_determinism, check_idempotence, AnalysisOptions, CancelToken, Rehearsal,
+};
+use rehearsal_pkgdb::Platform;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One unit of fleet work: a manifest source targeted at a platform.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// Display name (usually the manifest's path).
+    pub name: String,
+    /// Puppet source text.
+    pub source: String,
+    /// Target platform.
+    pub platform: Platform,
+}
+
+/// Configuration for a fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Analysis options applied to every job. `analysis.timeout` acts as
+    /// the per-job deadline across both pipeline stages.
+    pub analysis: AnalysisOptions,
+    /// Cancelling this token aborts in-flight analyses and skips the
+    /// rest (they report as timeouts).
+    pub cancel: Option<CancelToken>,
+}
+
+impl FleetOptions {
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> FleetOptions {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> FleetOptions {
+        self.analysis.timeout = Some(timeout);
+        self
+    }
+
+    /// Replaces the analysis options wholesale.
+    #[must_use]
+    pub fn with_analysis(mut self, analysis: AnalysisOptions) -> FleetOptions {
+        self.analysis = analysis;
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The batch engine: options plus a verdict cache.
+#[derive(Debug, Default)]
+pub struct FleetEngine {
+    options: FleetOptions,
+    cache: VerdictCache,
+}
+
+impl FleetEngine {
+    /// An engine with an in-memory (non-persistent) cache.
+    pub fn new(options: FleetOptions) -> FleetEngine {
+        FleetEngine {
+            options,
+            cache: VerdictCache::in_memory(),
+        }
+    }
+
+    /// Replaces the verdict cache (e.g. one opened from disk).
+    #[must_use]
+    pub fn with_cache(mut self, cache: VerdictCache) -> FleetEngine {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine's cache (save it after a run to persist verdicts).
+    pub fn cache_mut(&mut self) -> &mut VerdictCache {
+        &mut self.cache
+    }
+
+    /// Reads manifests from `paths` and runs every `(path, platform)`
+    /// combination. Unreadable files become `error` rows rather than
+    /// aborting the run.
+    pub fn run_paths(&mut self, paths: &[impl AsRef<Path>], platforms: &[Platform]) -> FleetReport {
+        let mut jobs = Vec::with_capacity(paths.len() * platforms.len());
+        for path in paths {
+            let path = path.as_ref();
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()));
+            for &platform in platforms {
+                jobs.push(match &source {
+                    Ok(text) => Ok(FleetJob {
+                        name: path.display().to_string(),
+                        source: text.clone(),
+                        platform,
+                    }),
+                    Err(msg) => Err((path.display().to_string(), platform, msg.clone())),
+                });
+            }
+        }
+        self.run_mixed(jobs)
+    }
+
+    /// Runs a batch of jobs, consulting and feeding the verdict cache.
+    pub fn run(&mut self, jobs: Vec<FleetJob>) -> FleetReport {
+        self.run_mixed(jobs.into_iter().map(Ok).collect())
+    }
+
+    /// Jobs plus pre-failed entries (unreadable manifests).
+    fn run_mixed(
+        &mut self,
+        jobs: Vec<Result<FleetJob, (String, Platform, String)>>,
+    ) -> FleetReport {
+        let start = Instant::now();
+        let workers = self.options.effective_workers();
+
+        // Resolve cache hits and pre-failed rows serially; queue the rest.
+        // Identical (source, platform, options) jobs dedupe onto one
+        // analysis whose result fans out to every requesting slot.
+        let mut rows: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
+        let mut pending: Vec<(u64, FleetJob)> = Vec::new();
+        let mut key_slots: std::collections::HashMap<u64, Vec<(usize, String, Platform)>> =
+            std::collections::HashMap::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            match job {
+                Err((name, platform, msg)) => rows.push(Some(JobResult {
+                    manifest: name,
+                    platform,
+                    verdict: Verdict::Error,
+                    detail: msg,
+                    resources: 0,
+                    millis: 0,
+                    cached: false,
+                })),
+                Ok(job) => {
+                    let key = job_key(&job.source, job.platform, &self.options.analysis);
+                    if let Some(hit) = self.cache.get(key) {
+                        rows.push(Some(JobResult {
+                            manifest: job.name,
+                            platform: job.platform,
+                            verdict: hit.verdict.clone(),
+                            detail: hit.detail.clone(),
+                            resources: hit.resources,
+                            millis: 0,
+                            cached: true,
+                        }));
+                    } else {
+                        rows.push(None);
+                        let slots = key_slots.entry(key).or_default();
+                        if slots.is_empty() {
+                            pending.push((key, job.clone()));
+                        }
+                        slots.push((i, job.name, job.platform));
+                    }
+                }
+            }
+        }
+
+        // Analyze the misses in parallel.
+        let analysis = self.options.analysis.clone();
+        let cancel = self.options.cancel.clone();
+        let outcomes = run_work_stealing(pending, workers, |_, (key, job)| {
+            let job_start = Instant::now();
+            let (verdict, detail, resources) = analyze(&job, &analysis, cancel.as_ref());
+            (
+                key,
+                JobResult {
+                    manifest: job.name,
+                    platform: job.platform,
+                    verdict,
+                    detail,
+                    resources,
+                    millis: job_start.elapsed().as_millis() as u64,
+                    cached: false,
+                },
+            )
+        });
+
+        for (key, row) in outcomes {
+            self.cache.put(
+                key,
+                CachedVerdict {
+                    verdict: row.verdict.clone(),
+                    detail: row.detail.clone(),
+                    resources: row.resources,
+                },
+            );
+            for (slot, name, platform) in key_slots.remove(&key).expect("pending key has slots") {
+                rows[slot] = Some(JobResult {
+                    manifest: name,
+                    platform,
+                    ..row.clone()
+                });
+            }
+        }
+
+        FleetReport {
+            rows: rows.into_iter().map(|r| r.expect("row filled")).collect(),
+            wall_millis: start.elapsed().as_millis() as u64,
+            jobs: workers,
+        }
+    }
+}
+
+/// Runs the full determinism + idempotence pipeline for one job.
+fn analyze(
+    job: &FleetJob,
+    analysis: &AnalysisOptions,
+    cancel: Option<&CancelToken>,
+) -> (Verdict, String, usize) {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return (Verdict::Timeout, "cancelled before start".to_string(), 0);
+    }
+    let mut options = analysis.clone();
+    if let Some(token) = cancel {
+        options = options.with_cancel(token.clone());
+    }
+    let started = Instant::now();
+    let tool = Rehearsal::new(job.platform).with_options(options.clone());
+    let graph = match tool.lower(&job.source) {
+        Ok(graph) => graph,
+        Err(e) => return (Verdict::Error, e.to_string(), 0),
+    };
+    let resources = graph.exprs.len();
+
+    let determinism = match check_determinism(&graph, &options) {
+        Ok(report) => report,
+        Err(aborted) => return (Verdict::Timeout, aborted.reason, resources),
+    };
+    if !determinism.is_deterministic() {
+        let detail = match &determinism {
+            rehearsal_core::DeterminismReport::NonDeterministic(cex, _) => format!(
+                "order A {}, order B {}",
+                outcome_word(cex.outcome_a.is_ok()),
+                outcome_word(cex.outcome_b.is_ok()),
+            ),
+            rehearsal_core::DeterminismReport::Deterministic(_) => unreachable!(),
+        };
+        return (Verdict::Nondeterministic, detail, resources);
+    }
+
+    // The idempotence stage runs under whatever deadline remains.
+    if let Some(total) = options.timeout {
+        options.timeout = Some(total.saturating_sub(started.elapsed()));
+    }
+    match check_idempotence(&graph, &options) {
+        Ok(report) if report.is_idempotent() => (Verdict::Deterministic, String::new(), resources),
+        Ok(_) => (
+            Verdict::Nonidempotent,
+            "applying twice differs from applying once".to_string(),
+            resources,
+        ),
+        Err(aborted) => (Verdict::Timeout, aborted.reason, resources),
+    }
+}
+
+fn outcome_word(ok: bool) -> &'static str {
+    if ok {
+        "succeeds"
+    } else {
+        "errors"
+    }
+}
+
+/// Convenience shorthand: discover `.pp` files under `root` and verify
+/// them on one platform with default options.
+///
+/// # Errors
+///
+/// I/O errors from discovery.
+pub fn verify_directory(root: impl AsRef<Path>, platform: Platform) -> io::Result<FleetReport> {
+    let paths = crate::discover::discover_manifests(root)?;
+    Ok(FleetEngine::new(FleetOptions::default()).run_paths(&paths, &[platform]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, source: &str) -> FleetJob {
+        FleetJob {
+            name: name.to_string(),
+            source: source.to_string(),
+            platform: Platform::Ubuntu,
+        }
+    }
+
+    #[test]
+    fn verdicts_across_the_spectrum() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(2));
+        let report = engine.run(vec![
+            job("ok.pp", "file { '/etc/motd': content => 'hi' }"),
+            job(
+                "race.pp",
+                "package { 'vim': ensure => present }\n\
+                 file { '/home/carol/.vimrc': content => 'syntax on' }\n\
+                 user { 'carol': ensure => present, managehome => true }",
+            ),
+            job("broken.pp", "exec { 'apt-get update': }"),
+            job(
+                "twice.pp",
+                "file { '/dst': source => '/src' }\n\
+                 file { '/src': ensure => absent }\n\
+                 File['/dst'] -> File['/src']",
+            ),
+        ]);
+        let verdicts: Vec<&Verdict> = report.rows.iter().map(|r| &r.verdict).collect();
+        assert_eq!(
+            verdicts,
+            [
+                &Verdict::Deterministic,
+                &Verdict::Nondeterministic,
+                &Verdict::Error,
+                &Verdict::Nonidempotent,
+            ]
+        );
+        let c = report.counts();
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.failures(), 3);
+        assert_eq!(c.cached, 0);
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(2));
+        let jobs = vec![
+            job("a.pp", "file { '/etc/motd': content => 'a' }"),
+            job("b.pp", "file { '/etc/motd2': content => 'b' }"),
+        ];
+        let first = engine.run(jobs.clone());
+        assert_eq!(first.counts().cached, 0);
+        let second = engine.run(jobs);
+        assert_eq!(second.counts().cached, 2);
+        assert_eq!(second.counts().deterministic, 2);
+        assert!(second.rows.iter().all(|r| r.cached && r.millis == 0));
+    }
+
+    #[test]
+    fn duplicate_jobs_are_analyzed_once() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(2));
+        let report = engine.run(vec![
+            job("copy-a.pp", "file { '/etc/motd': content => 'same' }"),
+            job("copy-b.pp", "file { '/etc/motd': content => 'same' }"),
+        ]);
+        // Both rows are filled with their own names, from one analysis.
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].manifest, "copy-a.pp");
+        assert_eq!(report.rows[1].manifest, "copy-b.pp");
+        assert_eq!(report.rows[0].verdict, Verdict::Deterministic);
+        assert_eq!(report.rows[1].verdict, Verdict::Deterministic);
+        assert_eq!(engine.cache_mut().len(), 1, "one key for both jobs");
+    }
+
+    #[test]
+    fn source_edit_misses_the_cache() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        engine.run(vec![job("a.pp", "file { '/etc/motd': content => 'a' }")]);
+        let report = engine.run(vec![job("a.pp", "file { '/etc/motd': content => 'b' }")]);
+        assert_eq!(report.counts().cached, 0);
+    }
+
+    #[test]
+    fn cancelled_token_times_jobs_out() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut options = FleetOptions::default().with_jobs(1);
+        options.cancel = Some(token);
+        let mut engine = FleetEngine::new(options);
+        let report = engine.run(vec![job("a.pp", "file { '/etc/motd': content => 'a' }")]);
+        assert_eq!(report.rows[0].verdict, Verdict::Timeout);
+        // Timeouts are not cached, so a healthy rerun re-analyzes.
+        assert_eq!(engine.cache_mut().len(), 0);
+    }
+
+    #[test]
+    fn unreadable_path_becomes_error_row() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        let report = engine.run_paths(&["/no/such/manifest.pp"], &[Platform::Ubuntu]);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].verdict, Verdict::Error);
+        assert!(report.rows[0].detail.contains("cannot read"));
+    }
+}

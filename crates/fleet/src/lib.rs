@@ -1,0 +1,50 @@
+//! **rehearsal-fleet** — parallel batch verification for Rehearsal.
+//!
+//! Rehearsal verifies one manifest at a time; real deployments hold
+//! hundreds across platforms and want a CI gate over all of them. This
+//! crate turns the single-shot pipeline into a batch engine:
+//!
+//! * [`discover_manifests`] / [`read_manifest_list`] — find the fleet's
+//!   `.pp` files (directory walk, or an explicit list file);
+//! * [`FleetEngine`] — a work-stealing parallel scheduler over scoped
+//!   threads running the full determinism + idempotence pipeline per
+//!   `(manifest, platform)` job, with per-job deadlines and cooperative
+//!   cancellation ([`rehearsal_core::CancelToken`]);
+//! * [`VerdictCache`] — a content-addressed verdict cache keyed by
+//!   `hash(source, platform, AnalysisOptions)` with an on-disk JSONL
+//!   store, so unchanged manifests are instant on re-runs;
+//! * [`FleetReport`] — per-manifest verdict rows plus aggregate counters,
+//!   rendered as a human table or stable JSON for pipelines (the
+//!   `rehearsal fleet` CLI gates on [`FleetReport::all_clean`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_fleet::{FleetEngine, FleetJob, FleetOptions, Verdict};
+//! use rehearsal_pkgdb::Platform;
+//!
+//! let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(2));
+//! let report = engine.run(vec![FleetJob {
+//!     name: "motd.pp".to_string(),
+//!     source: "file { '/etc/motd': content => 'hello' }".to_string(),
+//!     platform: Platform::Ubuntu,
+//! }]);
+//! assert!(report.all_clean());
+//! assert_eq!(report.rows[0].verdict, Verdict::Deterministic);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod discover;
+pub mod engine;
+pub mod json;
+pub mod report;
+pub mod scheduler;
+
+pub use cache::{job_key, CachedVerdict, VerdictCache};
+pub use discover::{discover_manifests, read_manifest_list};
+pub use engine::{verify_directory, FleetEngine, FleetJob, FleetOptions};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use report::{FleetCounts, FleetReport, JobResult, Verdict};
+pub use scheduler::run_work_stealing;

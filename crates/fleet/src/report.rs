@@ -1,0 +1,302 @@
+//! The fleet report: per-manifest verdict rows, aggregate counters, and
+//! renderers (human table + stable JSON for pipelines).
+
+use crate::json::Json;
+use rehearsal_pkgdb::Platform;
+
+/// The verdict for one `(manifest, platform)` job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deterministic and idempotent — the manifest is correct.
+    Deterministic,
+    /// Two resource orders can produce different outcomes.
+    Nondeterministic,
+    /// Deterministic, but applying twice differs from applying once.
+    Nonidempotent,
+    /// The pipeline failed before a verdict (parse/eval/compile error).
+    Error,
+    /// The analysis exceeded its deadline (or was cancelled).
+    Timeout,
+}
+
+impl Verdict {
+    /// Stable lower-case label used in JSON and the cache.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Deterministic => "deterministic",
+            Verdict::Nondeterministic => "nondeterministic",
+            Verdict::Nonidempotent => "nonidempotent",
+            Verdict::Error => "error",
+            Verdict::Timeout => "timeout",
+        }
+    }
+
+    /// Parses a [`Verdict::label`] back (for cache loads).
+    pub fn from_label(label: &str) -> Option<Verdict> {
+        Some(match label {
+            "deterministic" => Verdict::Deterministic,
+            "nondeterministic" => Verdict::Nondeterministic,
+            "nonidempotent" => Verdict::Nonidempotent,
+            "error" => Verdict::Error,
+            "timeout" => Verdict::Timeout,
+            _ => return None,
+        })
+    }
+
+    /// Whether this verdict passes a CI gate.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Deterministic)
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Manifest display name (the path it was discovered under).
+    pub manifest: String,
+    /// Target platform.
+    pub platform: Platform,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Human-readable detail (counterexample summary or error text).
+    pub detail: String,
+    /// Resources in the manifest's graph (0 when unknown).
+    pub resources: usize,
+    /// Wall-clock the job took, in milliseconds (0 for cache hits).
+    pub millis: u64,
+    /// Whether the verdict came from the cache without re-analysis.
+    pub cached: bool,
+}
+
+/// Aggregate counters over a fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCounts {
+    /// Jobs that verified deterministic + idempotent.
+    pub deterministic: usize,
+    /// Jobs with a determinism counterexample.
+    pub nondeterministic: usize,
+    /// Deterministic jobs that failed the idempotence check.
+    pub nonidempotent: usize,
+    /// Jobs that errored before a verdict.
+    pub error: usize,
+    /// Jobs that hit the per-job deadline.
+    pub timeout: usize,
+    /// Jobs answered from the verdict cache.
+    pub cached: usize,
+}
+
+impl FleetCounts {
+    /// Total number of jobs.
+    pub fn total(&self) -> usize {
+        self.deterministic + self.nondeterministic + self.nonidempotent + self.error + self.timeout
+    }
+
+    /// Jobs that would fail a CI gate.
+    pub fn failures(&self) -> usize {
+        self.total() - self.deterministic
+    }
+}
+
+/// The result of a whole fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One row per `(manifest, platform)` job, in input order.
+    pub rows: Vec<JobResult>,
+    /// Wall-clock for the whole run, in milliseconds.
+    pub wall_millis: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl FleetReport {
+    /// Aggregates the rows.
+    pub fn counts(&self) -> FleetCounts {
+        let mut c = FleetCounts::default();
+        for row in &self.rows {
+            match row.verdict {
+                Verdict::Deterministic => c.deterministic += 1,
+                Verdict::Nondeterministic => c.nondeterministic += 1,
+                Verdict::Nonidempotent => c.nonidempotent += 1,
+                Verdict::Error => c.error += 1,
+                Verdict::Timeout => c.timeout += 1,
+            }
+            if row.cached {
+                c.cached += 1;
+            }
+        }
+        c
+    }
+
+    /// Whether every job passed (the CI-gate condition).
+    pub fn all_clean(&self) -> bool {
+        self.rows.iter().all(|r| r.verdict.is_pass())
+    }
+
+    /// Renders the human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:<8} {:<17} {:>6} {:>9}  detail\n",
+            "manifest", "platform", "verdict", "res", "time"
+        ));
+        for row in &self.rows {
+            let time = if row.cached {
+                "cached".to_string()
+            } else {
+                format!("{}ms", row.millis)
+            };
+            out.push_str(&format!(
+                "{:<34} {:<8} {:<17} {:>6} {:>9}  {}\n",
+                truncate(&row.manifest, 34),
+                row.platform,
+                row.verdict.label(),
+                row.resources,
+                time,
+                truncate(&row.detail, 60),
+            ));
+        }
+        let c = self.counts();
+        out.push_str(&format!(
+            "\n{} manifests in {}ms on {} worker(s): \
+             {} deterministic, {} nondeterministic, {} nonidempotent, \
+             {} error, {} timeout ({} cached)\n",
+            c.total(),
+            self.wall_millis,
+            self.jobs,
+            c.deterministic,
+            c.nondeterministic,
+            c.nonidempotent,
+            c.error,
+            c.timeout,
+            c.cached,
+        ));
+        out.push_str(if self.all_clean() {
+            "fleet is clean ✔\n"
+        } else {
+            "fleet has failures ✘\n"
+        });
+        out
+    }
+
+    /// Renders the stable JSON document (see `README.md` for the schema).
+    pub fn to_json(&self) -> Json {
+        let c = self.counts();
+        Json::obj([
+            ("schema", Json::str("rehearsal-fleet-report/1")),
+            (
+                "manifests",
+                Json::Arr(self.rows.iter().map(row_json).collect()),
+            ),
+            (
+                "counts",
+                Json::obj([
+                    ("total", Json::num(c.total() as u32)),
+                    ("deterministic", Json::num(c.deterministic as u32)),
+                    ("nondeterministic", Json::num(c.nondeterministic as u32)),
+                    ("nonidempotent", Json::num(c.nonidempotent as u32)),
+                    ("error", Json::num(c.error as u32)),
+                    ("timeout", Json::num(c.timeout as u32)),
+                    ("cached", Json::num(c.cached as u32)),
+                ]),
+            ),
+            ("wall_millis", Json::num(self.wall_millis as u32)),
+            ("jobs", Json::num(self.jobs as u32)),
+            ("clean", Json::Bool(self.all_clean())),
+        ])
+    }
+}
+
+fn row_json(row: &JobResult) -> Json {
+    Json::obj([
+        ("manifest", Json::str(&row.manifest)),
+        ("platform", Json::str(row.platform.to_string())),
+        ("verdict", Json::str(row.verdict.label())),
+        ("detail", Json::str(&row.detail)),
+        ("resources", Json::num(row.resources as u32)),
+        ("millis", Json::num(row.millis as u32)),
+        ("cached", Json::Bool(row.cached)),
+    ])
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(verdict: Verdict, cached: bool) -> JobResult {
+        JobResult {
+            manifest: "site.pp".to_string(),
+            platform: Platform::Ubuntu,
+            verdict,
+            detail: String::new(),
+            resources: 3,
+            millis: 5,
+            cached,
+        }
+    }
+
+    #[test]
+    fn counts_aggregate() {
+        let report = FleetReport {
+            rows: vec![
+                row(Verdict::Deterministic, true),
+                row(Verdict::Nondeterministic, false),
+                row(Verdict::Timeout, false),
+            ],
+            wall_millis: 12,
+            jobs: 2,
+        };
+        let c = report.counts();
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.deterministic, 1);
+        assert_eq!(c.nondeterministic, 1);
+        assert_eq!(c.timeout, 1);
+        assert_eq!(c.cached, 1);
+        assert_eq!(c.failures(), 2);
+        assert!(!report.all_clean());
+    }
+
+    #[test]
+    fn verdict_labels_roundtrip() {
+        for v in [
+            Verdict::Deterministic,
+            Verdict::Nondeterministic,
+            Verdict::Nonidempotent,
+            Verdict::Error,
+            Verdict::Timeout,
+        ] {
+            assert_eq!(Verdict::from_label(v.label()), Some(v));
+        }
+        assert_eq!(Verdict::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = FleetReport {
+            rows: vec![row(Verdict::Deterministic, false)],
+            wall_millis: 7,
+            jobs: 1,
+        };
+        let j = report.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("rehearsal-fleet-report/1")
+        );
+        let counts = j.get("counts").expect("counts");
+        assert_eq!(counts.get("total").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("clean").and_then(Json::as_bool), Some(true));
+        let rows = j.get("manifests").and_then(Json::as_arr).expect("rows");
+        assert_eq!(
+            rows[0].get("verdict").and_then(Json::as_str),
+            Some("deterministic")
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! A work-stealing scheduler on scoped threads.
+//!
+//! The job set is fixed up front (no job spawns jobs), so the classic
+//! Chase–Lev machinery is unnecessary: each worker owns a deque behind a
+//! mutex, pops from the front of its own, and steals from the back of the
+//! busiest other deque when it runs dry. Stealing from the back keeps each
+//! worker's locality (neighbouring manifests tend to share interned paths)
+//! while spreading the stragglers.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `f` over `items` on `workers` scoped threads with work stealing.
+/// Results come back in input order. `f` receives `(worker_id, item)`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all threads
+/// first).
+pub fn run_work_stealing<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    // Deal items out round-robin so every worker starts loaded.
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers]
+            .lock()
+            .expect("queue poisoned")
+            .push_back((i, item));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                let job = next_job(queues, me);
+                let Some((index, item)) = job else { break };
+                let out = f(me, item);
+                *results[index].lock().expect("result poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// Pops local work, or steals from the longest other queue.
+fn next_job<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+    if let Some(job) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(job);
+    }
+    // Pick the victim with the most remaining work, then steal its tail.
+    let victim = (0..queues.len())
+        .filter(|&v| v != me)
+        .max_by_key(|&v| queues[v].lock().expect("queue poisoned").len())?;
+    queues[victim].lock().expect("queue poisoned").pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = run_work_stealing(items, 4, |_, x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = run_work_stealing(Vec::<usize>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let out = run_work_stealing(vec![1, 2, 3], 0, |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn uneven_jobs_get_stolen() {
+        // One slow job at the head of worker 0's deque; the rest are
+        // instant. Every job must still complete exactly once.
+        let ran = AtomicUsize::new(0);
+        let out = run_work_stealing((0..32).collect::<Vec<_>>(), 4, |_, x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn worker_ids_stay_in_range() {
+        let out = run_work_stealing((0..16).collect::<Vec<_>>(), 3, |w, _| w);
+        assert!(out.into_iter().all(|w| w < 3));
+    }
+}

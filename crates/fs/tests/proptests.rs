@@ -1,11 +1,35 @@
 //! Property tests for the FS language: smart constructors preserve
 //! semantics, evaluation is a function, and the semantics maintains
 //! filesystem tree-consistency.
+//!
+//! Cases are sampled with a small in-file deterministic PRNG instead of an
+//! external property-testing crate (the build environment is offline), so
+//! every run covers the same seeded case set.
 
-use proptest::prelude::*;
 use rehearsal_fs::{
     enumerate_filesystems, eval, eval_pred, Content, Expr, FileState, FileSystem, FsPath, Pred,
 };
+
+/// Deterministic splitmix64 generator for test-case sampling.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
 
 fn paths() -> Vec<FsPath> {
     vec![
@@ -19,46 +43,60 @@ fn contents() -> Vec<Content> {
     vec![Content::intern("k1"), Content::intern("k2")]
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let path = (0..3usize).prop_map(|i| paths()[i]);
-    let leaf = prop_oneof![
-        Just(Pred::True),
-        Just(Pred::False),
-        path.clone().prop_map(Pred::DoesNotExist),
-        path.clone().prop_map(Pred::IsFile),
-        path.clone().prop_map(Pred::IsDir),
-        path.prop_map(Pred::IsEmptyDir),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Pred::Not(Box::new(a))),
-        ]
-    })
+fn random_path(rng: &mut Prng) -> FsPath {
+    paths()[rng.usize(3)]
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let path = (0..3usize).prop_map(|i| paths()[i]);
-    let content = (0..2usize).prop_map(|i| contents()[i]);
-    let leaf = prop_oneof![
-        Just(Expr::Skip),
-        Just(Expr::Error),
-        path.clone().prop_map(Expr::Mkdir),
-        (path.clone(), content).prop_map(|(p, c)| Expr::CreateFile(p, c)),
-        path.clone().prop_map(Expr::Rm),
-        (path.clone(), path.clone()).prop_map(|(a, b)| Expr::Cp(a, b)),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Seq(Box::new(a), Box::new(b))),
-            (arb_pred(), inner.clone(), inner).prop_map(|(p, a, b)| Expr::If(
-                p,
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
-    })
+fn random_content(rng: &mut Prng) -> Content {
+    contents()[rng.usize(2)]
+}
+
+fn random_pred(rng: &mut Prng, depth: usize) -> Pred {
+    if depth == 0 || rng.usize(3) == 0 {
+        return match rng.usize(6) {
+            0 => Pred::True,
+            1 => Pred::False,
+            2 => Pred::DoesNotExist(random_path(rng)),
+            3 => Pred::IsFile(random_path(rng)),
+            4 => Pred::IsDir(random_path(rng)),
+            _ => Pred::IsEmptyDir(random_path(rng)),
+        };
+    }
+    match rng.usize(3) {
+        0 => Pred::And(
+            Box::new(random_pred(rng, depth - 1)),
+            Box::new(random_pred(rng, depth - 1)),
+        ),
+        1 => Pred::Or(
+            Box::new(random_pred(rng, depth - 1)),
+            Box::new(random_pred(rng, depth - 1)),
+        ),
+        _ => Pred::Not(Box::new(random_pred(rng, depth - 1))),
+    }
+}
+
+fn random_expr(rng: &mut Prng, depth: usize) -> Expr {
+    if depth == 0 || rng.usize(3) == 0 {
+        return match rng.usize(6) {
+            0 => Expr::Skip,
+            1 => Expr::Error,
+            2 => Expr::Mkdir(random_path(rng)),
+            3 => Expr::CreateFile(random_path(rng), random_content(rng)),
+            4 => Expr::Rm(random_path(rng)),
+            _ => Expr::Cp(random_path(rng), random_path(rng)),
+        };
+    }
+    match rng.usize(2) {
+        0 => Expr::Seq(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+        _ => Expr::If(
+            random_pred(rng, 3),
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 /// A handful of representative states (full enumeration is too large for
@@ -81,70 +119,90 @@ fn consistent(fs: &FileSystem) -> bool {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The smart constructors (`seq`, `if_`, `and`, `or`, `not`) preserve
-    /// semantics relative to the raw constructors.
-    #[test]
-    fn smart_constructors_preserve_semantics(a in arb_expr(), b in arb_expr(), p in arb_pred()) {
+/// The smart constructors (`seq`, `if_`, `and`, `or`, `not`) preserve
+/// semantics relative to the raw constructors.
+#[test]
+fn smart_constructors_preserve_semantics() {
+    let mut rng = Prng::new(10);
+    for _ in 0..256 {
+        let a = random_expr(&mut rng, 4);
+        let b = random_expr(&mut rng, 4);
+        let p = random_pred(&mut rng, 3);
         for fs in states() {
             let smart_seq = a.clone().seq(b.clone());
             let raw_seq = Expr::Seq(Box::new(a.clone()), Box::new(b.clone()));
-            prop_assert_eq!(eval(&smart_seq, &fs), eval(&raw_seq, &fs));
+            assert_eq!(eval(&smart_seq, &fs), eval(&raw_seq, &fs));
 
             let smart_if = Expr::if_(p.clone(), a.clone(), b.clone());
             let raw_if = Expr::If(p.clone(), Box::new(a.clone()), Box::new(b.clone()));
-            prop_assert_eq!(eval(&smart_if, &fs), eval(&raw_if, &fs));
+            assert_eq!(eval(&smart_if, &fs), eval(&raw_if, &fs));
         }
     }
+}
 
-    /// Predicate smart constructors agree with raw connectives.
-    #[test]
-    fn pred_constructors_preserve_semantics(a in arb_pred(), b in arb_pred()) {
+/// Predicate smart constructors agree with raw connectives.
+#[test]
+fn pred_constructors_preserve_semantics() {
+    let mut rng = Prng::new(11);
+    for _ in 0..256 {
+        let a = random_pred(&mut rng, 3);
+        let b = random_pred(&mut rng, 3);
         for fs in states() {
             let smart = a.clone().and(b.clone());
             let raw = Pred::And(Box::new(a.clone()), Box::new(b.clone()));
-            prop_assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+            assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
             let smart = a.clone().or(b.clone());
             let raw = Pred::Or(Box::new(a.clone()), Box::new(b.clone()));
-            prop_assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+            assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
             let smart = a.clone().not();
             let raw = Pred::Not(Box::new(a.clone()));
-            prop_assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+            assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
         }
     }
+}
 
-    /// Evaluation preserves tree consistency: a consistent input never
-    /// produces an inconsistent output.
-    #[test]
-    fn eval_preserves_consistency(e in arb_expr()) {
+/// Evaluation preserves tree consistency: a consistent input never
+/// produces an inconsistent output.
+#[test]
+fn eval_preserves_consistency() {
+    let mut rng = Prng::new(12);
+    for _ in 0..256 {
+        let e = random_expr(&mut rng, 4);
         for fs in states() {
             if !consistent(&fs) {
                 continue;
             }
             if let Ok(out) = eval(&e, &fs) {
-                prop_assert!(consistent(&out), "{} broke consistency: {}", e, out);
+                assert!(consistent(&out), "{e} broke consistency: {out}");
             }
         }
     }
+}
 
-    /// Evaluation never mutates its input (functional semantics).
-    #[test]
-    fn eval_is_pure(e in arb_expr()) {
+/// Evaluation never mutates its input (functional semantics).
+#[test]
+fn eval_is_pure() {
+    let mut rng = Prng::new(13);
+    for _ in 0..256 {
+        let e = random_expr(&mut rng, 4);
         let fs = FileSystem::with_root();
         let snapshot = fs.clone();
         let _ = eval(&e, &fs);
-        prop_assert_eq!(fs, snapshot);
+        assert_eq!(fs, snapshot);
     }
+}
 
-    /// `size` and `paths` are consistent under sequencing.
-    #[test]
-    fn structural_accessors(a in arb_expr(), b in arb_expr()) {
+/// `size` and `paths` are consistent under sequencing.
+#[test]
+fn structural_accessors() {
+    let mut rng = Prng::new(14);
+    for _ in 0..256 {
+        let a = random_expr(&mut rng, 4);
+        let b = random_expr(&mut rng, 4);
         let s = Expr::Seq(Box::new(a.clone()), Box::new(b.clone()));
-        prop_assert_eq!(s.size(), 1 + a.size() + b.size());
+        assert_eq!(s.size(), 1 + a.size() + b.size());
         let mut union = a.paths();
         union.extend(b.paths());
-        prop_assert_eq!(s.paths(), union);
+        assert_eq!(s.paths(), union);
     }
 }

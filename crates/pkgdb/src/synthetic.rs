@@ -2,9 +2,34 @@
 //! fig. 13) and fuzzing.
 
 use crate::spec::{PackageDb, PackageSpec, Platform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rehearsal_fs::FsPath;
+
+/// A tiny deterministic PRNG (splitmix64), so synthetic databases are
+/// reproducible without an external `rand` dependency.
+struct Prng(u64);
+
+impl Prng {
+    fn seed_from_u64(seed: u64) -> Prng {
+        Prng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let span = range.end - range.start;
+        range.start + (self.next_u64() % span as u64) as usize
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+}
 
 /// Builds the paper's fig. 13 conflict workload: `n` packages `A-1 … A-n`
 /// that all create the *same* file (`/software/a`) plus a few unique files
@@ -31,7 +56,7 @@ pub fn conflict_db(n: usize) -> PackageDb {
 /// `files_per_package` files each, drawn from a pool of shared directories;
 /// dependencies form a random DAG. Deterministic in `seed`.
 pub fn random_db(seed: u64, n_packages: usize, files_per_package: usize) -> PackageDb {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut db = PackageDb::new(Platform::Ubuntu);
     let dirs = ["/usr/bin", "/usr/lib", "/etc", "/usr/share", "/opt"];
     for i in 0..n_packages {

@@ -1,48 +1,109 @@
 //! Robustness: the lexer/parser/evaluator never panic — they return
 //! errors on malformed input.
+//!
+//! Inputs are sampled with a small in-file deterministic PRNG instead of
+//! an external property-testing crate (the build environment is offline),
+//! so every run covers the same seeded case set.
 
-use proptest::prelude::*;
 use rehearsal_puppet::{evaluate, parse, print_manifest, Facts};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Deterministic splitmix64 generator for test-case sampling.
+struct Prng(u64);
 
-    /// Arbitrary bytes never panic the pipeline.
-    #[test]
-    fn arbitrary_input_never_panics(src in "\\PC{0,200}") {
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A random string of `len` characters drawn from `pool`.
+    fn string_from(&mut self, pool: &[char], len: usize) -> String {
+        (0..len).map(|_| pool[self.usize(pool.len())]).collect()
+    }
+}
+
+/// Printable characters plus the punctuation Puppet sources actually use,
+/// a stand-in for proptest's `\PC` class.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend("\n\t{}$=>'\"[]->!#λπ╳".chars());
+    pool
+}
+
+fn pool_of(spec: &str) -> Vec<char> {
+    spec.chars().collect()
+}
+
+/// Arbitrary printable text never panics the pipeline.
+#[test]
+fn arbitrary_input_never_panics() {
+    let mut rng = Prng::new(20);
+    let pool = printable_pool();
+    for _ in 0..512 {
+        let len = rng.usize(201);
+        let src = rng.string_from(&pool, len);
         if let Ok(manifest) = parse(&src) {
             // Whatever parses may still fail to evaluate — but not panic.
             let _ = evaluate(&manifest, &Facts::ubuntu());
         }
     }
+}
 
-    /// Puppet-looking fragments never panic either.
-    #[test]
-    fn puppet_shaped_input_never_panics(
-        ty in "[a-z]{1,8}",
-        title in "[a-zA-Z0-9/_.-]{0,20}",
-        attr in "[a-z]{1,8}",
-        value in "[a-zA-Z0-9/_. -]{0,20}",
-    ) {
+/// Puppet-looking fragments never panic either.
+#[test]
+fn puppet_shaped_input_never_panics() {
+    let mut rng = Prng::new(21);
+    let lower = pool_of("abcdefghijklmnopqrstuvwxyz");
+    let title_pool = pool_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/_.-");
+    let value_pool = pool_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/_. -");
+    for _ in 0..512 {
+        let ty_len = 1 + rng.usize(8);
+        let ty = rng.string_from(&lower, ty_len);
+        let title_len = rng.usize(21);
+        let title = rng.string_from(&title_pool, title_len);
+        let attr_len = 1 + rng.usize(8);
+        let attr = rng.string_from(&lower, attr_len);
+        let value_len = rng.usize(21);
+        let value = rng.string_from(&value_pool, value_len);
         let src = format!("{ty} {{ '{title}': {attr} => '{value}' }}");
         if let Ok(manifest) = parse(&src) {
             let _ = evaluate(&manifest, &Facts::ubuntu());
         }
     }
+}
 
-    /// Anything that parses round-trips through the printer.
-    #[test]
-    fn parsed_input_roundtrips(
-        ty in "[a-z]{1,8}",
-        title in "[a-zA-Z0-9_.-]{1,20}",
-        attr in "[a-z]{1,8}",
-        value in "[a-zA-Z0-9_. -]{0,20}",
-    ) {
+/// Anything that parses round-trips through the printer.
+#[test]
+fn parsed_input_roundtrips() {
+    let mut rng = Prng::new(22);
+    let lower = pool_of("abcdefghijklmnopqrstuvwxyz");
+    let title_pool = pool_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-");
+    let value_pool = pool_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_. -");
+    for _ in 0..512 {
+        let ty_len = 1 + rng.usize(8);
+        let ty = rng.string_from(&lower, ty_len);
+        let title_len = 1 + rng.usize(20);
+        let title = rng.string_from(&title_pool, title_len);
+        let attr_len = 1 + rng.usize(8);
+        let attr = rng.string_from(&lower, attr_len);
+        let value_len = rng.usize(21);
+        let value = rng.string_from(&value_pool, value_len);
         let src = format!("{ty} {{ '{title}': {attr} => '{value}' }}");
         if let Ok(m1) = parse(&src) {
             let printed = print_manifest(&m1);
             let m2 = parse(&printed).expect("printer output parses");
-            prop_assert_eq!(m1, m2);
+            assert_eq!(m1, m2);
         }
     }
 }

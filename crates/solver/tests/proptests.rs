@@ -1,51 +1,88 @@
 //! Property-based tests comparing the CDCL solver against a brute-force
 //! oracle, and checking formula-layer invariants.
+//!
+//! Generation uses a small in-file deterministic PRNG instead of an
+//! external property-testing crate (the build environment is offline), so
+//! every run covers the same seeded case set.
 
-use proptest::prelude::*;
 use rehearsal_solver::{Cnf, Ctx, Formula, Lit, Var};
 
-/// Strategy for a random CNF with up to `max_vars` variables and
-/// `max_clauses` clauses of length 1..=4.
-fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..=4);
-    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
-        let mut cnf = Cnf::new();
-        cnf.reserve_vars(max_vars);
-        for c in clauses {
-            let lits: Vec<Lit> = c
-                .into_iter()
-                .map(|(v, pos)| Lit::new(Var::from_index(v), pos))
-                .collect();
-            cnf.add_clause(lits);
-        }
-        cnf
-    })
+/// Deterministic splitmix64 generator for test-case sampling.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random CNF with up to `max_vars` variables and `max_clauses` clauses
+/// of length 1..=4.
+fn random_cnf(rng: &mut Prng, max_vars: usize, max_clauses: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(max_vars);
+    for _ in 0..rng.usize(max_clauses + 1) {
+        let len = 1 + rng.usize(4);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::from_index(rng.usize(max_vars)), rng.bool()))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
 
-    /// The CDCL solver and the brute-force oracle agree on satisfiability,
-    /// and CDCL models actually satisfy the CNF.
-    #[test]
-    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+/// The CDCL solver and the brute-force oracle agree on satisfiability,
+/// and CDCL models actually satisfy the CNF.
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    let mut rng = Prng::new(1);
+    for case in 0..256 {
+        let cnf = random_cnf(&mut rng, 8, 24);
         let brute = cnf.solve_brute_force();
         let cdcl = cnf.solve();
-        prop_assert_eq!(brute.is_some(), cdcl.is_sat(), "verdict mismatch");
+        assert_eq!(
+            brute.is_some(),
+            cdcl.is_sat(),
+            "case {case}: verdict mismatch on {}",
+            cnf.to_dimacs()
+        );
         if let Some(model) = cdcl.model() {
             let assignment: Vec<bool> = (0..cnf.num_vars())
                 .map(|i| model.var_value(Var::from_index(i)))
                 .collect();
-            prop_assert!(cnf.eval(&assignment), "CDCL model does not satisfy CNF");
+            assert!(
+                cnf.eval(&assignment),
+                "case {case}: CDCL model does not satisfy CNF"
+            );
         }
     }
+}
 
-    /// DIMACS render/parse round-trips.
-    #[test]
-    fn dimacs_roundtrip(cnf in arb_cnf(6, 12)) {
+/// DIMACS render/parse round-trips.
+#[test]
+fn dimacs_roundtrip() {
+    let mut rng = Prng::new(2);
+    for _ in 0..256 {
+        let cnf = random_cnf(&mut rng, 6, 12);
         let text = cnf.to_dimacs();
         let parsed = Cnf::from_dimacs(&text).expect("well-formed dimacs");
-        prop_assert_eq!(cnf, parsed);
+        assert_eq!(cnf, parsed);
     }
 }
 
@@ -60,21 +97,18 @@ enum TestF {
     Iff(Box<TestF>, Box<TestF>),
 }
 
-fn arb_testf(nvars: usize) -> impl Strategy<Value = TestF> {
-    let leaf = (0..nvars).prop_map(TestF::Var);
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| TestF::Not(Box::new(f))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| TestF::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| TestF::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| TestF::Ite(
-                Box::new(a),
-                Box::new(b),
-                Box::new(c)
-            )),
-            (inner.clone(), inner).prop_map(|(a, b)| TestF::Iff(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_testf(rng: &mut Prng, nvars: usize, depth: usize) -> TestF {
+    if depth == 0 || rng.usize(4) == 0 {
+        return TestF::Var(rng.usize(nvars));
+    }
+    let sub = |rng: &mut Prng| Box::new(random_testf(rng, nvars, depth - 1));
+    match rng.usize(5) {
+        0 => TestF::Not(sub(rng)),
+        1 => TestF::And(sub(rng), sub(rng)),
+        2 => TestF::Or(sub(rng), sub(rng)),
+        3 => TestF::Ite(sub(rng), sub(rng), sub(rng)),
+        _ => TestF::Iff(sub(rng), sub(rng)),
+    }
 }
 
 fn build(ctx: &mut Ctx, vars: &[Formula], f: &TestF) -> Formula {
@@ -125,14 +159,14 @@ fn eval_testf(f: &TestF, env: &[bool]) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Tseitin conversion + CDCL is equisatisfiable with direct truth-table
-    /// enumeration of the formula.
-    #[test]
-    fn tseitin_equisatisfiable(tf in arb_testf(4)) {
-        let nvars = 4usize;
+/// Tseitin conversion + CDCL is equisatisfiable with direct truth-table
+/// enumeration of the formula.
+#[test]
+fn tseitin_equisatisfiable() {
+    let mut rng = Prng::new(3);
+    let nvars = 4usize;
+    for case in 0..128 {
+        let tf = random_testf(&mut rng, nvars, 5);
         let mut ctx = Ctx::new();
         let vars: Vec<Formula> = (0..nvars).map(|_| ctx.fresh_bool()).collect();
         let f = build(&mut ctx, &vars, &tf);
@@ -142,14 +176,18 @@ proptest! {
             eval_testf(&tf, &env)
         });
         let solver_sat = ctx.solve(f).is_some();
-        prop_assert_eq!(truth_table_sat, solver_sat);
+        assert_eq!(truth_table_sat, solver_sat, "case {case}: {tf:?}");
     }
+}
 
-    /// Formula simplification preserves semantics: the hash-consed
-    /// construction evaluates like the original AST under all assignments.
-    #[test]
-    fn construction_preserves_semantics(tf in arb_testf(4)) {
-        let nvars = 4usize;
+/// Formula simplification preserves semantics: the hash-consed
+/// construction evaluates like the original AST under all assignments.
+#[test]
+fn construction_preserves_semantics() {
+    let mut rng = Prng::new(4);
+    let nvars = 4usize;
+    for case in 0..128 {
+        let tf = random_testf(&mut rng, nvars, 5);
         let mut ctx = Ctx::new();
         let vars: Vec<Formula> = (0..nvars).map(|_| ctx.fresh_bool()).collect();
         let f = build(&mut ctx, &vars, &tf);
@@ -157,7 +195,7 @@ proptest! {
             let env: Vec<bool> = (0..nvars).map(|i| bits >> i & 1 == 1).collect();
             let expected = eval_testf(&tf, &env);
             let got = ctx.eval_formula(f, &|v| env[v as usize]);
-            prop_assert_eq!(expected, got);
+            assert_eq!(expected, got, "case {case}: {tf:?} under {env:?}");
         }
     }
 }

@@ -40,18 +40,26 @@
 
 pub use rehearsal_core::{
     check_determinism, check_expr_equivalence, check_expr_idempotence, check_idempotence,
-    check_invariant, AnalysisAborted, AnalysisOptions, Counterexample, DeterminismReport,
-    DeterminismStats, EquivalenceReport, FsGraph, IdempotenceReport, Invariant, InvariantReport,
-    Rehearsal, RehearsalError, VerificationReport,
+    check_invariant, AnalysisAborted, AnalysisOptions, CancelToken, Counterexample,
+    DeterminismReport, DeterminismStats, EquivalenceReport, FsGraph, IdempotenceReport, Invariant,
+    InvariantReport, Rehearsal, RehearsalError, VerificationReport,
 };
 pub use rehearsal_core::{render_counterexample, render_determinism, render_idempotence};
 pub use rehearsal_core::{suggest_repair, RepairReport};
+pub use rehearsal_fleet::{
+    FleetCounts, FleetEngine, FleetJob, FleetOptions, FleetReport, Verdict, VerdictCache,
+};
 pub use rehearsal_pkgdb::Platform;
 pub use rehearsal_puppet::Facts;
 
 /// The analysis core (re-export of `rehearsal-core`).
 pub mod core {
     pub use rehearsal_core::*;
+}
+
+/// The batch-verification engine (re-export of `rehearsal-fleet`).
+pub mod fleet {
+    pub use rehearsal_fleet::*;
 }
 
 /// The FS language (re-export of `rehearsal-fs`).

@@ -1,12 +1,16 @@
 //! The `rehearsal` command-line tool.
 //!
 //! ```text
-//! rehearsal check <manifest.pp> [--platform ubuntu|centos] [...]
+//! rehearsal check <manifest.pp> [--platform ubuntu|centos] [--json] [...]
 //! rehearsal idempotence <manifest.pp> [...]
 //! rehearsal graph <manifest.pp> [...]
-//! rehearsal benchmarks
+//! rehearsal benchmarks [--json] [--timeout SECONDS]
+//! rehearsal fleet <DIR|FILE...> [--jobs N] [--json] [--cache FILE] [...]
 //! ```
 
+use rehearsal::fleet::{
+    discover_manifests, read_manifest_list, FleetEngine, FleetOptions, Json, VerdictCache,
+};
 use rehearsal::{AnalysisOptions, Platform, Rehearsal};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,31 +28,49 @@ COMMANDS:
     apply <FILE>         simulate applying the manifest to a machine state
     graph <FILE>         print the compiled resource graph
     benchmarks           run the paper's 13-benchmark suite
+    fleet <DIR|FILE...>  batch-verify every .pp manifest (the CI gate)
 
 OPTIONS:
     --platform <ubuntu|centos>   target platform        [default: ubuntu]
     --state <FILE>               initial machine state for `apply` (default: /)
-    --timeout <SECONDS>          analysis time budget   [default: 600]
+    --timeout <SECONDS>          per-analysis time budget [default: 600]
+    --json                       machine-readable output (check/benchmarks/fleet)
     --no-commutativity           disable the commutativity check (fig. 11c)
     --no-pruning                 disable path pruning (fig. 11b)
     --no-elimination             disable resource elimination
+
+FLEET OPTIONS:
+    --jobs <N>                   worker threads         [default: one per CPU]
+    --cache <FILE>               JSONL verdict cache, reused across runs
+    --list <FILE>                read manifest paths from FILE (one per line)
+
+`rehearsal fleet` exits non-zero iff any manifest fails verification,
+making it usable directly as a CI gate.
 ";
 
 struct Args {
     command: String,
-    file: Option<String>,
+    paths: Vec<String>,
     platform: Platform,
     options: AnalysisOptions,
     state: Option<String>,
+    json: bool,
+    jobs: usize,
+    cache: Option<String>,
+    list: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(|| USAGE.to_string())?;
-    let mut file = None;
+    let mut paths = Vec::new();
     let mut platform = Platform::Ubuntu;
     let mut options = AnalysisOptions::default().with_timeout(Duration::from_secs(600));
     let mut state = None;
+    let mut json = false;
+    let mut jobs = 0;
+    let mut cache = None;
+    let mut list = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--state" => {
@@ -63,28 +85,51 @@ fn parse_args() -> Result<Args, String> {
                 let secs: u64 = v.parse().map_err(|_| "bad --timeout value")?;
                 options.timeout = Some(Duration::from_secs(secs));
             }
+            "--jobs" => {
+                let v = argv.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| "bad --jobs value")?;
+            }
+            "--cache" => {
+                cache = Some(argv.next().ok_or("--cache needs a value")?);
+            }
+            "--list" => {
+                list = Some(argv.next().ok_or("--list needs a value")?);
+            }
+            "--json" => json = true,
             "--no-commutativity" => options.commutativity = false,
             "--no-pruning" => options.pruning = false,
             "--no-elimination" => options.elimination = false,
-            other if !other.starts_with('-') && file.is_none() => {
-                file = Some(other.to_string());
+            other if !other.starts_with('-') => {
+                paths.push(other.to_string());
             }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
     Ok(Args {
         command,
-        file,
+        paths,
         platform,
         options,
         state,
+        json,
+        jobs,
+        cache,
+        list,
     })
 }
 
 fn read_manifest(args: &Args) -> Result<String, String> {
+    // Only `fleet` takes multiple positional paths; silently dropping an
+    // extra manifest here would leave it unchecked.
+    if let [_, extra, ..] = args.paths.as_slice() {
+        return Err(format!(
+            "unexpected extra argument {extra:?} — `{}` takes one manifest\n\n{USAGE}",
+            args.command
+        ));
+    }
     let path = args
-        .file
-        .as_ref()
+        .paths
+        .first()
         .ok_or_else(|| format!("missing manifest file\n\n{USAGE}"))?;
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
@@ -98,26 +143,193 @@ fn print_determinism(report: &rehearsal::DeterminismReport, graph: &rehearsal::F
     print!("{mark}{}", rehearsal::render_determinism(report, graph));
 }
 
+/// The `check --json` document, sharing the fleet serializer.
+fn check_json(
+    path: &str,
+    platform: Platform,
+    report: &rehearsal::DeterminismReport,
+    idempotence: Option<&rehearsal::IdempotenceReport>,
+) -> Json {
+    let stats = report.stats();
+    let verdict = if !report.is_deterministic() {
+        "nondeterministic"
+    } else if idempotence.is_some_and(|i| !i.is_idempotent()) {
+        "nonidempotent"
+    } else {
+        "deterministic"
+    };
+    Json::obj([
+        ("schema", Json::str("rehearsal-check/1")),
+        ("manifest", Json::str(path)),
+        ("platform", Json::str(platform.to_string())),
+        ("verdict", Json::str(verdict)),
+        ("deterministic", Json::Bool(report.is_deterministic())),
+        (
+            "idempotent",
+            match idempotence {
+                Some(i) => Json::Bool(i.is_idempotent()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "stats",
+            Json::obj([
+                ("resources", Json::num(stats.resources as u32)),
+                (
+                    "resources_after_elimination",
+                    Json::num(stats.resources_after_elimination as u32),
+                ),
+                ("paths", Json::num(stats.paths as u32)),
+                ("tracked_paths", Json::num(stats.tracked_paths as u32)),
+                (
+                    "sequences_explored",
+                    Json::num(stats.sequences_explored as u32),
+                ),
+                ("formula_nodes", Json::num(stats.formula_nodes as u32)),
+            ]),
+        ),
+    ])
+}
+
+fn run_check(args: &Args) -> Result<bool, String> {
+    let path = args.paths.first().cloned().unwrap_or_default();
+    let source = read_manifest(args)?;
+    let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+    let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+    let report = rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
+    let idem = if report.is_deterministic() {
+        Some(rehearsal::check_idempotence(&graph, &args.options).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    if args.json {
+        println!(
+            "{}",
+            check_json(&path, args.platform, &report, idem.as_ref()).render_pretty()
+        );
+    } else {
+        print_determinism(&report, &graph);
+        if let Some(idem) = &idem {
+            let mark = if idem.is_idempotent() { "✔ " } else { "✘ " };
+            print!("{mark}{}", rehearsal::render_idempotence(idem));
+        }
+    }
+    Ok(report.is_deterministic() && idem.as_ref().map(|i| i.is_idempotent()).unwrap_or(false))
+}
+
+fn run_benchmarks(args: &Args) -> Result<bool, String> {
+    let mut all_ok = true;
+    let mut rows = Vec::new();
+    for b in rehearsal::benchmarks::SUITE {
+        // Each benchmark gets its own deadline: the per-analysis budget
+        // (--timeout) restarts here rather than being shared by the suite.
+        let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+        let start = std::time::Instant::now();
+        match tool.check_determinism(b.source) {
+            Ok(report) => {
+                let verdict = if report.is_deterministic() {
+                    "deterministic"
+                } else {
+                    "NON-DETERMINISTIC"
+                };
+                let expected = report.is_deterministic() == b.deterministic;
+                all_ok &= expected;
+                if args.json {
+                    rows.push(Json::obj([
+                        ("name", Json::str(b.name)),
+                        (
+                            "verdict",
+                            Json::str(if report.is_deterministic() {
+                                "deterministic"
+                            } else {
+                                "nondeterministic"
+                            }),
+                        ),
+                        ("expected", Json::Bool(expected)),
+                        ("millis", Json::num(start.elapsed().as_millis() as u32)),
+                    ]));
+                } else {
+                    println!(
+                        "{:<18} {:<18} {:>8.2?}  (expected: {})",
+                        b.name,
+                        verdict,
+                        start.elapsed(),
+                        if expected { "✔" } else { "✘ MISMATCH" }
+                    );
+                }
+            }
+            Err(e) => {
+                all_ok = false;
+                if args.json {
+                    rows.push(Json::obj([
+                        ("name", Json::str(b.name)),
+                        ("verdict", Json::str("error")),
+                        ("detail", Json::str(e.to_string())),
+                        ("expected", Json::Bool(false)),
+                        ("millis", Json::num(start.elapsed().as_millis() as u32)),
+                    ]));
+                } else {
+                    println!("{:<18} error: {e}", b.name);
+                }
+            }
+        }
+    }
+    if args.json {
+        let doc = Json::obj([
+            ("schema", Json::str("rehearsal-benchmarks/1")),
+            ("platform", Json::str(args.platform.to_string())),
+            ("benchmarks", Json::Arr(rows)),
+            ("all_expected", Json::Bool(all_ok)),
+        ]);
+        println!("{}", doc.render_pretty());
+    }
+    Ok(all_ok)
+}
+
+fn run_fleet(args: &Args) -> Result<bool, String> {
+    // Collect manifests: every positional path (directory or file),
+    // plus an optional explicit list.
+    let mut manifests = Vec::new();
+    for root in &args.paths {
+        let found = discover_manifests(root).map_err(|e| format!("{root}: {e}"))?;
+        if found.is_empty() {
+            return Err(format!("{root}: no .pp manifests found"));
+        }
+        manifests.extend(found);
+    }
+    if let Some(list) = &args.list {
+        manifests.extend(read_manifest_list(list).map_err(|e| format!("{list}: {e}"))?);
+    }
+    if manifests.is_empty() {
+        return Err(format!("fleet needs a directory or --list\n\n{USAGE}"));
+    }
+
+    let options = FleetOptions {
+        jobs: args.jobs,
+        analysis: args.options.clone(),
+        cancel: None,
+    };
+    let mut engine = FleetEngine::new(options);
+    if let Some(path) = &args.cache {
+        let cache = VerdictCache::open(path).map_err(|e| format!("{path}: {e}"))?;
+        engine = engine.with_cache(cache);
+    }
+    let report = engine.run_paths(&manifests, &[args.platform]);
+    if args.cache.is_some() {
+        engine.cache_mut().save().map_err(|e| format!("{e}"))?;
+    }
+    if args.json {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.render_table());
+    }
+    Ok(report.all_clean())
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     match args.command.as_str() {
-        "check" => {
-            let source = read_manifest(&args)?;
-            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
-            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
-            let report =
-                rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
-            print_determinism(&report, &graph);
-            if report.is_deterministic() {
-                let idem = rehearsal::check_idempotence(&graph, &args.options)
-                    .map_err(|e| e.to_string())?;
-                let mark = if idem.is_idempotent() { "✔ " } else { "✘ " };
-                print!("{mark}{}", rehearsal::render_idempotence(&idem));
-                Ok(idem.is_idempotent())
-            } else {
-                Ok(false)
-            }
-        }
+        "check" => run_check(&args),
         "idempotence" => {
             let source = read_manifest(&args)?;
             let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
@@ -208,36 +420,8 @@ final machine state:"
             }
             Ok(true)
         }
-        "benchmarks" => {
-            let mut all_ok = true;
-            for b in rehearsal::benchmarks::SUITE {
-                let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
-                let start = std::time::Instant::now();
-                match tool.check_determinism(b.source) {
-                    Ok(report) => {
-                        let verdict = if report.is_deterministic() {
-                            "deterministic"
-                        } else {
-                            "NON-DETERMINISTIC"
-                        };
-                        let expected = report.is_deterministic() == b.deterministic;
-                        all_ok &= expected;
-                        println!(
-                            "{:<18} {:<18} {:>8.2?}  (expected: {})",
-                            b.name,
-                            verdict,
-                            start.elapsed(),
-                            if expected { "✔" } else { "✘ MISMATCH" }
-                        );
-                    }
-                    Err(e) => {
-                        all_ok = false;
-                        println!("{:<18} error: {e}", b.name);
-                    }
-                }
-            }
-            Ok(all_ok)
-        }
+        "benchmarks" => run_benchmarks(&args),
+        "fleet" => run_fleet(&args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(true)

@@ -5,8 +5,11 @@
 //! theorems (Theorem 1): on every randomly generated resource graph, the
 //! SAT-based verdict must coincide with literally trying every valid
 //! permutation on every (tree-consistent) filesystem.
+//!
+//! Graphs are sampled with a small in-file deterministic PRNG instead of
+//! an external property-testing crate (the build environment is offline),
+//! so every run covers the same seeded case set.
 
-use proptest::prelude::*;
 use rehearsal::core::determinism::{check_determinism, AnalysisOptions, FsGraph};
 use rehearsal::core::equivalence::check_expr_equivalence;
 use rehearsal::core::idempotence::check_expr_idempotence;
@@ -14,6 +17,31 @@ use rehearsal::fs::{
     enumerate_filesystems, eval, Content, Expr, FileState, FileSystem, FsPath, Pred,
 };
 use std::collections::BTreeSet;
+
+/// Deterministic splitmix64 generator for test-case sampling.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 fn paths() -> Vec<FsPath> {
     vec![
@@ -28,15 +56,14 @@ fn contents() -> Vec<Content> {
 }
 
 /// A small expression language mirroring resource idioms.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let path = (0..3usize).prop_map(|i| paths()[i]);
-    let content = (0..2usize).prop_map(|i| contents()[i]);
-    prop_oneof![
+fn random_expr(rng: &mut Prng) -> Expr {
+    let p = paths()[rng.usize(3)];
+    let c = contents()[rng.usize(2)];
+    match rng.usize(8) {
         // ensure_dir
-        path.clone()
-            .prop_map(|p| Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p))),
+        0 => Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p)),
         // overwrite
-        (path.clone(), content.clone()).prop_map(|(p, c)| Expr::if_(
+        1 => Expr::if_(
             Pred::DoesNotExist(p),
             Expr::CreateFile(p, c),
             Expr::if_(
@@ -44,49 +71,42 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Expr::Rm(p).seq(Expr::CreateFile(p, c)),
                 Expr::Error,
             ),
-        )),
+        ),
         // create-if-absent
-        (path.clone(), content.clone()).prop_map(|(p, c)| Expr::if_(
+        2 => Expr::if_(
             Pred::DoesNotExist(p),
             Expr::CreateFile(p, c),
             Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
-        )),
+        ),
         // remove-if-present
-        path.clone().prop_map(|p| Expr::if_(
+        3 => Expr::if_(
             Pred::IsFile(p),
             Expr::Rm(p),
             Expr::if_(Pred::DoesNotExist(p), Expr::Skip, Expr::Error),
-        )),
+        ),
         // raw operations
-        path.clone().prop_map(Expr::Mkdir),
-        (path.clone(), content).prop_map(|(p, c)| Expr::CreateFile(p, c)),
-        path.clone().prop_map(Expr::Rm),
+        4 => Expr::Mkdir(p),
+        5 => Expr::CreateFile(p, c),
+        6 => Expr::Rm(p),
         // a guard that requires a file to exist
-        path.prop_map(|p| Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error)),
-    ]
+        _ => Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
+    }
 }
 
 /// Random graphs of 2–3 expressions with random forward edges.
-fn arb_graph() -> impl Strategy<Value = FsGraph> {
-    (
-        proptest::collection::vec(arb_expr(), 2..=3),
-        proptest::collection::vec(any::<bool>(), 3),
-    )
-        .prop_map(|(exprs, edge_bits)| {
-            let n = exprs.len();
-            let mut edges = BTreeSet::new();
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if edge_bits[k % edge_bits.len()] {
-                        edges.insert((i, j));
-                    }
-                    k += 1;
-                }
+fn random_graph(rng: &mut Prng) -> FsGraph {
+    let n = 2 + rng.usize(2);
+    let exprs: Vec<Expr> = (0..n).map(|_| random_expr(rng)).collect();
+    let mut edges = BTreeSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.bool() {
+                edges.insert((i, j));
             }
-            let names = (0..n).map(|i| format!("r{i}")).collect();
-            FsGraph::new(exprs, edges, names)
-        })
+        }
+    }
+    let names = (0..n).map(|i| format!("r{i}")).collect();
+    FsGraph::new(exprs, edges, names)
 }
 
 /// All tree-consistent filesystems over the given paths and contents.
@@ -164,40 +184,52 @@ fn brute_force_deterministic(graph: &FsGraph) -> bool {
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Theorem 1 in executable form, with all reductions enabled.
-    #[test]
-    fn symbolic_matches_brute_force(graph in arb_graph()) {
+/// Theorem 1 in executable form, with all reductions enabled.
+#[test]
+fn symbolic_matches_brute_force() {
+    let mut rng = Prng::new(30);
+    for case in 0..200 {
+        let graph = random_graph(&mut rng);
         let expected = brute_force_deterministic(&graph);
         let report = check_determinism(&graph, &AnalysisOptions::default())
             .expect("no abort on tiny graphs");
-        prop_assert_eq!(
+        assert_eq!(
             report.is_deterministic(),
             expected,
-            "graph: {:?}",
+            "case {case}, graph: {:?}",
             graph.exprs
         );
     }
+}
 
-    /// The reductions never change the verdict: naive mode agrees with the
-    /// fully-optimized mode.
-    #[test]
-    fn reductions_preserve_verdict(graph in arb_graph()) {
-        let fancy = check_determinism(&graph, &AnalysisOptions::default())
-            .expect("no abort");
-        let naive = check_determinism(&graph, &AnalysisOptions::naive())
-            .expect("no abort");
-        prop_assert_eq!(fancy.is_deterministic(), naive.is_deterministic());
+/// The reductions never change the verdict: naive mode agrees with the
+/// fully-optimized mode.
+#[test]
+fn reductions_preserve_verdict() {
+    let mut rng = Prng::new(31);
+    for case in 0..200 {
+        let graph = random_graph(&mut rng);
+        let fancy = check_determinism(&graph, &AnalysisOptions::default()).expect("no abort");
+        let naive = check_determinism(&graph, &AnalysisOptions::naive()).expect("no abort");
+        assert_eq!(
+            fancy.is_deterministic(),
+            naive.is_deterministic(),
+            "case {case}, graph: {:?}",
+            graph.exprs
+        );
     }
+}
 
-    /// Equivalence cross-validation (the paper's Lemmas 2 and 3): the
-    /// symbolic `e1 ≡ e2` verdict must match exhaustive enumeration.
-    #[test]
-    fn equivalence_matches_brute_force(e1 in arb_expr(), e2 in arb_expr()) {
-        let report = check_expr_equivalence(&e1, &e2, &AnalysisOptions::default())
-            .expect("no abort");
+/// Equivalence cross-validation (the paper's Lemmas 2 and 3): the
+/// symbolic `e1 ≡ e2` verdict must match exhaustive enumeration.
+#[test]
+fn equivalence_matches_brute_force() {
+    let mut rng = Prng::new(32);
+    for _ in 0..200 {
+        let e1 = random_expr(&mut rng);
+        let e2 = random_expr(&mut rng);
+        let report =
+            check_expr_equivalence(&e1, &e2, &AnalysisOptions::default()).expect("no abort");
         let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
         domain.extend(e1.paths());
         domain.extend(e2.paths());
@@ -211,15 +243,18 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(report.is_equivalent(), expected, "{} vs {}", e1, e2);
+        assert_eq!(report.is_equivalent(), expected, "{e1} vs {e2}");
     }
+}
 
-    /// Idempotence cross-validation: `e ≡ e; e` decided symbolically must
-    /// match trying every consistent state concretely.
-    #[test]
-    fn idempotence_matches_brute_force(e in arb_expr()) {
-        let report = check_expr_idempotence(&e, &AnalysisOptions::default())
-            .expect("no abort");
+/// Idempotence cross-validation: `e ≡ e; e` decided symbolically must
+/// match trying every consistent state concretely.
+#[test]
+fn idempotence_matches_brute_force() {
+    let mut rng = Prng::new(33);
+    for _ in 0..200 {
+        let e = random_expr(&mut rng);
+        let report = check_expr_idempotence(&e, &AnalysisOptions::default()).expect("no abort");
         let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
         domain.extend(e.paths());
         let ps: Vec<FsPath> = domain.iter().copied().collect();
@@ -234,6 +269,6 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(report.is_idempotent(), expected, "expr: {}", e);
+        assert_eq!(report.is_idempotent(), expected, "expr: {e}");
     }
 }

@@ -1,0 +1,248 @@
+//! Integration tests for the fleet batch-verification engine and the
+//! `rehearsal fleet` CI gate, over the bundled 13-benchmark suite.
+
+use rehearsal::benchmarks::SUITE;
+use rehearsal::fleet::{parse_json, FleetEngine, FleetJob, FleetOptions, Json, Verdict};
+use rehearsal::Platform;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn rehearsal() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rehearsal"))
+}
+
+/// Writes the 13 SUITE manifests into a scratch directory.
+fn fleet_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rehearsal-fleet-it").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for b in SUITE {
+        std::fs::write(dir.join(format!("{}.pp", b.name)), b.source).unwrap();
+    }
+    dir
+}
+
+fn suite_jobs() -> Vec<FleetJob> {
+    SUITE
+        .iter()
+        .map(|b| FleetJob {
+            name: format!("{}.pp", b.name),
+            source: b.source.to_string(),
+            platform: Platform::Ubuntu,
+        })
+        .collect()
+}
+
+/// The engine reproduces the paper's verdict for every bundled benchmark,
+/// with 4 workers.
+#[test]
+fn engine_reproduces_paper_verdicts_in_parallel() {
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(4));
+    let report = engine.run(suite_jobs());
+    assert_eq!(report.rows.len(), 13);
+    for (row, b) in report.rows.iter().zip(SUITE) {
+        let expected = if b.deterministic {
+            Verdict::Deterministic
+        } else {
+            Verdict::Nondeterministic
+        };
+        assert_eq!(row.verdict, expected, "{}", b.name);
+        assert!(!row.cached);
+        assert!(row.resources > 0, "{}", b.name);
+    }
+    let c = report.counts();
+    assert_eq!(
+        (
+            c.deterministic,
+            c.nondeterministic,
+            c.nonidempotent,
+            c.error,
+            c.timeout,
+            c.cached
+        ),
+        (7, 6, 0, 0, 0, 0)
+    );
+    assert!(!report.all_clean());
+}
+
+/// A second run against a warm cache does zero re-analysis: all 13 rows
+/// are cache hits with identical verdicts and no measured analysis time.
+#[test]
+fn warm_cache_rerun_does_zero_reanalysis() {
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(4));
+    let cold = engine.run(suite_jobs());
+    let warm = engine.run(suite_jobs());
+    assert_eq!(warm.counts().cached, 13, "13/13 cache hits");
+    for (w, c) in warm.rows.iter().zip(cold.rows.iter()) {
+        assert!(w.cached);
+        assert_eq!(w.millis, 0, "cache hits do no analysis work");
+        assert_eq!(w.verdict, c.verdict);
+        assert_eq!(w.resources, c.resources);
+    }
+}
+
+/// End-to-end CI gate: `rehearsal fleet <dir> --jobs 4 --json --cache`
+/// exits non-zero on the buggy suite, reports exact aggregate counts, and
+/// hits the on-disk cache on the second run.
+#[test]
+fn cli_fleet_gates_and_caches() {
+    let dir = fleet_dir("cli");
+    let cache = dir.join("verdicts.jsonl");
+
+    let run = |label: &str| -> Json {
+        let out = rehearsal()
+            .args([
+                "fleet",
+                dir.to_str().unwrap(),
+                "--jobs",
+                "4",
+                "--json",
+                "--cache",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{label}: six buggy manifests must fail the gate"
+        );
+        parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report")
+    };
+
+    let cold = run("cold");
+    let counts = cold.get("counts").expect("counts");
+    assert_eq!(counts.get("total").and_then(Json::as_u64), Some(13));
+    assert_eq!(counts.get("deterministic").and_then(Json::as_u64), Some(7));
+    assert_eq!(
+        counts.get("nondeterministic").and_then(Json::as_u64),
+        Some(6)
+    );
+    assert_eq!(counts.get("error").and_then(Json::as_u64), Some(0));
+    assert_eq!(counts.get("timeout").and_then(Json::as_u64), Some(0));
+    assert_eq!(counts.get("cached").and_then(Json::as_u64), Some(0));
+    assert_eq!(cold.get("clean").and_then(Json::as_bool), Some(false));
+    assert!(cache.exists(), "cache file written");
+
+    let warm = run("warm");
+    let counts = warm.get("counts").and_then(|c| c.get("cached"));
+    assert_eq!(counts.and_then(Json::as_u64), Some(13), "13/13 cache hits");
+    for row in warm.get("manifests").and_then(Json::as_arr).expect("rows") {
+        assert_eq!(row.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(row.get("millis").and_then(Json::as_u64), Some(0));
+    }
+}
+
+/// The gate passes (exit 0) on a clean fleet.
+#[test]
+fn cli_fleet_passes_clean_fleet() {
+    let dir = std::env::temp_dir()
+        .join("rehearsal-fleet-it")
+        .join("clean");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for b in SUITE.iter().filter(|b| b.deterministic) {
+        std::fs::write(dir.join(format!("{}.pp", b.name)), b.source).unwrap();
+    }
+    let out = rehearsal()
+        .args(["fleet", dir.to_str().unwrap(), "--jobs", "2"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("fleet is clean"), "{stdout}");
+}
+
+/// `--list` mode verifies exactly the listed manifests.
+#[test]
+fn cli_fleet_list_mode() {
+    let dir = fleet_dir("list");
+    let list = dir.join("fleet.list");
+    std::fs::write(&list, "nginx.pp\nmonit.pp\n").unwrap();
+    let out = rehearsal()
+        .args([
+            "fleet",
+            "--list",
+            list.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let counts = doc.get("counts").expect("counts");
+    assert_eq!(counts.get("total").and_then(Json::as_u64), Some(2));
+    assert_eq!(counts.get("deterministic").and_then(Json::as_u64), Some(2));
+}
+
+/// `check --json` shares the fleet serializer and carries the stats.
+#[test]
+fn cli_check_json() {
+    let dir = fleet_dir("check-json");
+    let ntp = rehearsal::benchmarks::by_name("ntp").unwrap();
+    std::fs::write(dir.join("ntp.pp"), ntp.source).unwrap();
+    let out = rehearsal()
+        .args(["check", dir.join("ntp.pp").to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some("deterministic")
+    );
+    assert_eq!(doc.get("idempotent").and_then(Json::as_bool), Some(true));
+    let stats = doc.get("stats").expect("stats");
+    assert!(stats.get("resources").and_then(Json::as_u64).unwrap() >= 3);
+
+    let out = rehearsal()
+        .args([
+            "check",
+            dir.join("ntp-nondet.pp").to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some("nondeterministic")
+    );
+    assert_eq!(doc.get("idempotent"), Some(&Json::Null));
+}
+
+/// `benchmarks --json --timeout` emits one row per benchmark with the
+/// per-benchmark deadline applied (all complete well within it).
+#[test]
+fn cli_benchmarks_json_with_timeout() {
+    let out = rehearsal()
+        .args(["benchmarks", "--json", "--timeout", "120"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    let doc = parse_json(&stdout).expect("valid JSON");
+    let rows = doc.get("benchmarks").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 13);
+    assert!(rows
+        .iter()
+        .all(|r| r.get("expected").and_then(Json::as_bool) == Some(true)));
+    assert_eq!(doc.get("all_expected").and_then(Json::as_bool), Some(true));
+}
+
+/// The scratch fleet directory layout is discovered recursively.
+#[test]
+fn discovery_is_recursive() {
+    let dir = fleet_dir("nested");
+    let sub = dir.join("roles/web");
+    std::fs::create_dir_all(&sub).unwrap();
+    std::fs::write(sub.join("extra.pp"), "file { '/etc/motd': content => 'x' }").unwrap();
+    let found = rehearsal::fleet::discover_manifests(&dir).unwrap();
+    assert_eq!(found.len(), 14);
+    assert!(found
+        .iter()
+        .any(|p| p.ends_with(Path::new("roles/web/extra.pp"))));
+}
