@@ -2,12 +2,18 @@
 //! (commutativity checking enabled in both configurations).
 //!
 //! Paper claim: with commutativity + pruning, every benchmark completes in
-//! under two seconds; without pruning, some exceed the budget.
+//! under two seconds; without pruning, some exceed the budget. Verdicts
+//! are asserted against the suite's pinned expectations, so a drift fails
+//! the bench; the measured rows (wall time + arena statistics) go to
+//! `REHEARSAL_BENCH_JSON` when set.
 
 use rehearsal::benchmarks::SUITE;
 use rehearsal::core::determinism::check_determinism;
 use rehearsal_bench::harness::Criterion;
-use rehearsal_bench::{cell, lower, options_full, options_no_pruning, timed_check};
+use rehearsal_bench::{
+    assert_verdict, cell, lower, measure_ir_row, options_full, options_no_pruning, timed_check,
+    write_ir_json,
+};
 use rehearsal_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
@@ -18,13 +24,22 @@ fn print_table() {
         "benchmark", "no pruning", "pruning"
     );
     let budget = Duration::from_secs(600);
+    let mut rows = Vec::new();
     for b in SUITE {
+        let snapshot = rehearsal::fs::arena_stats();
         let graph = lower(b.source);
         let without = timed_check(&graph, &options_no_pruning(), budget);
         let with = timed_check(&graph, &options_full(), budget);
+        let grown = rehearsal::fs::arena_stats().since(&snapshot);
         let verdict = match &with {
-            Ok((_, r)) if r.is_deterministic() => "deterministic",
-            Ok(_) => "nondeterministic",
+            Ok((_, r)) => {
+                assert_verdict(b.name, b.deterministic, r);
+                if r.is_deterministic() {
+                    "deterministic"
+                } else {
+                    "nondeterministic"
+                }
+            }
             Err(_) => "-",
         };
         println!(
@@ -33,7 +48,16 @@ fn print_table() {
             cell(&without),
             cell(&with)
         );
+        rows.push(measure_ir_row(b, "pruning", &options_full(), 1, grown));
+        rows.push(measure_ir_row(
+            b,
+            "no-pruning",
+            &options_no_pruning(),
+            1,
+            grown,
+        ));
     }
+    write_ir_json("fig11b_pruning", &rows);
     println!();
 }
 

@@ -6,6 +6,12 @@
 
 use std::time::{Duration, Instant};
 
+/// Whether quick mode is enabled (`REHEARSAL_BENCH_QUICK=1`): sample
+/// counts are clamped to 2 so the bench suite doubles as a CI smoke test.
+pub fn is_quick() -> bool {
+    std::env::var_os("REHEARSAL_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Entry point handed to each bench function.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -30,9 +36,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of samples to take per benchmark.
+    /// Number of samples to take per benchmark (clamped to 2 in quick
+    /// mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        self.samples = if is_quick() { n.clamp(1, 2) } else { n.max(1) };
         self
     }
 

@@ -9,7 +9,7 @@ pub mod harness;
 use rehearsal::core::determinism::{
     check_determinism, AnalysisAborted, AnalysisOptions, DeterminismReport, FsGraph,
 };
-use rehearsal::fs::{Content, Expr, FsPath, Pred};
+use rehearsal::fs::{ArenaStats, Content, Expr, FsPath, Pred};
 use rehearsal::{Platform, Rehearsal};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -83,14 +83,14 @@ pub fn conflicting_writers(n: usize) -> FsGraph {
     let exprs: Vec<Expr> = (0..n)
         .map(|i| {
             let c = Content::intern(&format!("writer-{i}"));
-            let ensure_parent = Expr::if_then(Pred::IsDir(parent).not(), Expr::Mkdir(parent));
+            let ensure_parent = Expr::if_then(Pred::is_dir(parent).not(), Expr::mkdir(parent));
             ensure_parent.seq(Expr::if_(
-                Pred::DoesNotExist(f),
-                Expr::CreateFile(f, c),
+                Pred::does_not_exist(f),
+                Expr::create_file(f, c),
                 Expr::if_(
-                    Pred::IsFile(f),
-                    Expr::Rm(f).seq(Expr::CreateFile(f, c)),
-                    Expr::Error,
+                    Pred::is_file(f),
+                    Expr::rm(f).seq(Expr::create_file(f, c)),
+                    Expr::ERROR,
                 ),
             ))
         })
@@ -112,6 +112,132 @@ pub fn conflicting_packages_manifest(n: usize) -> (String, Rehearsal) {
     src.push_str("file { '/software/a': content => 'x' }\n");
     let tool = Rehearsal::new(Platform::Ubuntu).with_db(rehearsal_pkgdb::conflict_db(n));
     (src, tool)
+}
+
+/// One measured row of a fig11-style bench, for the IR report
+/// (`BENCH_ir.json`) and the CI bench-smoke artifact.
+#[derive(Debug, Clone)]
+pub struct IrBenchRow {
+    /// Benchmark name (paper fig. 11 naming).
+    pub bench: String,
+    /// Analysis configuration (e.g. `pruning`, `no-pruning`).
+    pub config: String,
+    /// Mean wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Verdict of the run (`deterministic` / `nondeterministic`).
+    pub verdict: String,
+    /// IR arena growth attributable to this *benchmark* (not this config:
+    /// interning is driven by lowering plus the first analysis, so the
+    /// same benchmark's rows share one growth figure). The caller diffs
+    /// `arena_stats()` around the benchmark's first lowering + analysis in
+    /// the process — later re-runs grow the arena by nothing (that is the
+    /// point of hash-consing), so diffing a warm re-run would record
+    /// zeros.
+    pub arena: ArenaStats,
+    /// Dedup ratio within this benchmark's own interning requests
+    /// (config-independent, like [`IrBenchRow::arena`]).
+    pub dedup_ratio: f64,
+    /// Formula nodes allocated by the analysis (solver-side sharing).
+    pub formula_nodes: usize,
+}
+
+/// Checks a verdict against the suite's pinned expectation, panicking on
+/// drift — this is what makes the quick-mode bench a CI gate.
+pub fn assert_verdict(bench: &str, expected_deterministic: bool, report: &DeterminismReport) {
+    assert_eq!(
+        report.is_deterministic(),
+        expected_deterministic,
+        "verdict drift on benchmark {bench}: expected deterministic={expected_deterministic}"
+    );
+}
+
+/// Runs one benchmark under one configuration, measuring wall time and
+/// verdict; panics on verdict drift. `arena_growth` is the arena delta the
+/// caller observed around this benchmark's first lowering + analysis (see
+/// [`IrBenchRow::arena`]).
+pub fn measure_ir_row(
+    bench: &rehearsal::benchmarks::Benchmark,
+    config: &str,
+    options: &AnalysisOptions,
+    samples: usize,
+    arena_growth: ArenaStats,
+) -> IrBenchRow {
+    let graph = lower(bench.source);
+    // Always run under a wall-clock budget so a regression cannot hang the
+    // CI smoke step; an abort degrades to a "timeout" row (as the fig11b
+    // table does) instead of panicking.
+    let mut options = options.clone();
+    if options.timeout.is_none() {
+        options.timeout = Some(Duration::from_secs(600));
+    }
+    let mut total = Duration::ZERO;
+    let mut report = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        report = check_determinism(&graph, &options).ok();
+        total += start.elapsed();
+    }
+    let verdict = match &report {
+        Some(r) => {
+            assert_verdict(bench.name, bench.deterministic, r);
+            if r.is_deterministic() {
+                "deterministic"
+            } else {
+                "nondeterministic"
+            }
+        }
+        None => "timeout",
+    };
+    IrBenchRow {
+        bench: bench.name.to_string(),
+        config: config.to_string(),
+        wall_ms: total.as_secs_f64() * 1000.0 / samples.max(1) as f64,
+        verdict: verdict.to_string(),
+        arena: arena_growth,
+        dedup_ratio: arena_growth.dedup_ratio(),
+        formula_nodes: report.map(|r| r.stats().formula_nodes).unwrap_or(0),
+    }
+}
+
+/// Serializes rows as a stable JSON document via the shared
+/// [`rehearsal::fleet::json::Json`] value model (the same serializer the
+/// fleet report and the CLI `--json` modes use).
+pub fn ir_rows_to_json(generated_by: &str, rows: &[IrBenchRow]) -> String {
+    use rehearsal::fleet::json::Json;
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("bench", Json::str(&r.bench)),
+                ("config", Json::str(&r.config)),
+                ("wall_ms", Json::Num((r.wall_ms * 1000.0).round() / 1000.0)),
+                ("verdict", Json::str(&r.verdict)),
+                ("arena_expr_nodes", Json::num(r.arena.expr_nodes as u32)),
+                ("arena_pred_nodes", Json::num(r.arena.pred_nodes as u32)),
+                (
+                    "arena_dedup_ratio",
+                    Json::Num((r.dedup_ratio * 10000.0).round() / 10000.0),
+                ),
+                ("formula_nodes", Json::num(r.formula_nodes as u32)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("generated_by", Json::str(generated_by)),
+        ("results", Json::Arr(results)),
+    ]);
+    doc.render_pretty()
+}
+
+/// Writes the IR report to the path named by `REHEARSAL_BENCH_JSON`, when
+/// set (the CI bench-smoke step uploads it as an artifact).
+pub fn write_ir_json(generated_by: &str, rows: &[IrBenchRow]) {
+    let Some(path) = std::env::var_os("REHEARSAL_BENCH_JSON") else {
+        return;
+    };
+    let json = ir_rows_to_json(generated_by, rows);
+    std::fs::write(&path, json).expect("write REHEARSAL_BENCH_JSON");
+    println!("wrote IR bench report to {}", path.to_string_lossy());
 }
 
 #[cfg(test)]

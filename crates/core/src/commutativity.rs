@@ -7,9 +7,17 @@
 //! expressions may both hold `D` on a path and still commute.
 //!
 //! Lattice: `⊥ ⊏ R, D ⊏ W`.
+//!
+//! Summaries are memoized process-wide, keyed by the hash-consed
+//! expression id: the O(n²) pairwise commutativity pass, resource
+//! elimination, pruning, and repair all consult [`accesses`] for the same
+//! expressions, and identical subprograms (shared dependency blocks,
+//! repeated idioms) now summarize exactly once.
 
-use rehearsal_fs::{Expr, FsPath, Pred};
+use crate::memo::ExprMemo;
+use rehearsal_fs::{Expr, ExprNode, FsPath, Pred, PredNode};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Abstract access to one path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -43,11 +51,11 @@ impl Access {
 /// dependency (both embedding the same `install(libc6)` block) are proven
 /// to commute.
 ///
-/// The tag is a 64-bit structural hash plus the block's node count;
-/// a collision would require two distinct blocks with equal hash *and*
-/// size, which we accept as negligible.
+/// With the hash-consed IR the tag is simply the block's arena id —
+/// structural identity is id identity, so the seed's hash-plus-size
+/// approximation (with its theoretical collisions) is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct BlockTag(u64, usize);
+struct BlockTag(Expr);
 
 /// How a path relates to idempotent blocks within one expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,10 +183,10 @@ impl AccessSummary {
 }
 
 /// The last expression on the right spine of a `Seq` chain.
-fn last_op(e: &Expr) -> &Expr {
-    match e {
-        Expr::Seq(_, b) => last_op(b),
-        other => other,
+fn last_op(e: Expr) -> Expr {
+    match e.node() {
+        ExprNode::Seq(_, b) => last_op(b),
+        _ => e,
     }
 }
 
@@ -201,131 +209,130 @@ fn last_op(e: &Expr) -> &Expr {
 ///   else err`;
 /// * remove-if-present: `if (file?(m)) rm(m) else if (none?(m)) id else
 ///   err`.
-fn idempotent_block(pred: &Pred, then_: &Expr, else_: &Expr) -> Option<()> {
-    match (pred, else_) {
-        (Pred::DoesNotExist(m), Expr::If(ep, et, ee)) => match (ep, &**et, &**ee) {
-            // create-if-absent / marker-install.
-            (Pred::IsFile(m2), Expr::Skip, Expr::Error) if m2 == m => match last_op(then_) {
-                Expr::CreateFile(q, _) if q == m => Some(()),
-                _ => None,
-            },
-            // overwrite.
-            (Pred::IsFile(m2), Expr::Seq(rm, cr), Expr::Error) if m2 == m => {
-                match (then_, &**rm, &**cr) {
-                    (Expr::CreateFile(q1, c1), Expr::Rm(q2), Expr::CreateFile(q3, c2))
-                        if q1 == m && q2 == m && q3 == m && c1 == c2 =>
-                    {
-                        Some(())
+fn idempotent_block(pred: Pred, then_: Expr, else_: Expr) -> Option<()> {
+    match (pred.node(), else_.node()) {
+        (PredNode::DoesNotExist(m), ExprNode::If(ep, et, ee)) => {
+            match (ep.node(), et.node(), ee.node()) {
+                // create-if-absent / marker-install.
+                (PredNode::IsFile(m2), ExprNode::Skip, ExprNode::Error) if m2 == m => {
+                    match last_op(then_).node() {
+                        ExprNode::CreateFile(q, _) if q == m => Some(()),
+                        _ => None,
                     }
-                    _ => None,
                 }
+                // overwrite.
+                (PredNode::IsFile(m2), ExprNode::Seq(rm, cr), ExprNode::Error) if m2 == m => {
+                    match (then_.node(), rm.node(), cr.node()) {
+                        (
+                            ExprNode::CreateFile(q1, c1),
+                            ExprNode::Rm(q2),
+                            ExprNode::CreateFile(q3, c2),
+                        ) if q1 == m && q2 == m && q3 == m && c1 == c2 => Some(()),
+                        _ => None,
+                    }
+                }
+                _ => None,
             }
-            _ => None,
-        },
+        }
         // marker-remove.
-        (Pred::IsFile(m), Expr::Skip) => match last_op(then_) {
-            Expr::Rm(q) if q == m => Some(()),
+        (PredNode::IsFile(m), ExprNode::Skip) => match last_op(then_).node() {
+            ExprNode::Rm(q) if q == m => Some(()),
             _ => None,
         },
         // remove-if-present.
-        (Pred::IsFile(m), Expr::If(ep, et, ee)) => match (then_, ep, &**et, &**ee) {
-            (Expr::Rm(q1), Pred::DoesNotExist(m2), Expr::Skip, Expr::Error)
-                if q1 == m && m2 == m =>
-            {
-                Some(())
+        (PredNode::IsFile(m), ExprNode::If(ep, et, ee)) => {
+            match (then_.node(), ep.node(), et.node(), ee.node()) {
+                (ExprNode::Rm(q1), PredNode::DoesNotExist(m2), ExprNode::Skip, ExprNode::Error)
+                    if q1 == m && m2 == m =>
+                {
+                    Some(())
+                }
+                _ => None,
             }
-            _ => None,
-        },
+        }
         _ => None,
     }
-}
-
-fn block_tag(e: &Expr) -> BlockTag {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    e.hash(&mut h);
-    BlockTag(h.finish(), e.size())
 }
 
 /// Recognizes the guarded-mkdir idioms of fig. 9b:
 /// `if (¬dir?(p)) mkdir(p) [else id]` and
 /// `if (none?(p)) mkdir(p) else if (file?(p)) err else id`.
-fn guarded_mkdir(pred: &Pred, then_: &Expr, else_: &Expr) -> Option<FsPath> {
-    match (pred, then_, else_) {
-        (Pred::Not(inner), Expr::Mkdir(p), Expr::Skip) => match &**inner {
-            Pred::IsDir(q) if q == p => Some(*p),
+fn guarded_mkdir(pred: Pred, then_: Expr, else_: Expr) -> Option<FsPath> {
+    match (pred.node(), then_.node(), else_.node()) {
+        (PredNode::Not(inner), ExprNode::Mkdir(p), ExprNode::Skip) => match inner.node() {
+            PredNode::IsDir(q) if q == p => Some(p),
             _ => None,
         },
-        (Pred::DoesNotExist(q), Expr::Mkdir(p), Expr::If(inner_pred, inner_then, inner_else))
-            if q == p =>
-        {
-            match (inner_pred, &**inner_then, &**inner_else) {
-                (Pred::IsFile(r), Expr::Error, Expr::Skip) if r == p => Some(*p),
-                _ => None,
-            }
-        }
+        (
+            PredNode::DoesNotExist(q),
+            ExprNode::Mkdir(p),
+            ExprNode::If(inner_pred, inner_then, inner_else),
+        ) if q == p => match (inner_pred.node(), inner_then.node(), inner_else.node()) {
+            (PredNode::IsFile(r), ExprNode::Error, ExprNode::Skip) if r == p => Some(p),
+            _ => None,
+        },
         _ => None,
     }
 }
 
-fn pred_accesses(pred: &Pred, out: &mut AccessSummary, block: Option<BlockTag>) {
-    match pred {
-        Pred::True | Pred::False => {}
-        Pred::DoesNotExist(p) | Pred::IsFile(p) | Pred::IsDir(p) => {
-            out.read(*p);
-            out.note_block(*p, block);
+fn pred_accesses(pred: Pred, out: &mut AccessSummary, block: Option<BlockTag>) {
+    match pred.node() {
+        PredNode::True | PredNode::False => {}
+        PredNode::DoesNotExist(p) | PredNode::IsFile(p) | PredNode::IsDir(p) => {
+            out.read(p);
+            out.note_block(p, block);
         }
-        Pred::IsEmptyDir(p) => {
-            out.read(*p);
-            out.note_block(*p, block);
-            out.observe_children(*p);
+        PredNode::IsEmptyDir(p) => {
+            out.read(p);
+            out.note_block(p, block);
+            out.observe_children(p);
         }
-        Pred::And(a, b) | Pred::Or(a, b) => {
+        PredNode::And(a, b) | PredNode::Or(a, b) => {
             pred_accesses(a, out, block);
             pred_accesses(b, out, block);
         }
-        Pred::Not(a) => pred_accesses(a, out, block),
+        PredNode::Not(a) => pred_accesses(a, out, block),
     }
 }
 
-fn expr_accesses(e: &Expr, out: &mut AccessSummary, block: Option<BlockTag>) {
-    match e {
-        Expr::Skip | Expr::Error => {}
-        Expr::Mkdir(p) | Expr::CreateFile(p, _) => {
+fn expr_accesses(e: Expr, out: &mut AccessSummary, block: Option<BlockTag>) {
+    match e.node() {
+        ExprNode::Skip | ExprNode::Error => {}
+        ExprNode::Mkdir(p) | ExprNode::CreateFile(p, _) => {
             if let Some(parent) = p.parent() {
                 out.read(parent);
                 out.note_block(parent, block);
             }
-            out.write(*p);
-            out.note_block(*p, block);
+            out.write(p);
+            out.note_block(p, block);
         }
-        Expr::Rm(p) => {
-            out.write(*p);
-            out.note_block(*p, block);
-            out.observe_children(*p);
+        ExprNode::Rm(p) => {
+            out.write(p);
+            out.note_block(p, block);
+            out.observe_children(p);
         }
-        Expr::Cp(src, dst) => {
-            out.read(*src);
-            out.note_block(*src, block);
+        ExprNode::Cp(src, dst) => {
+            out.read(src);
+            out.note_block(src, block);
             if let Some(parent) = dst.parent() {
                 out.read(parent);
                 out.note_block(parent, block);
             }
-            out.write(*dst);
-            out.note_block(*dst, block);
+            out.write(dst);
+            out.note_block(dst, block);
         }
-        Expr::Seq(a, b) => {
+        ExprNode::Seq(a, b) => {
             expr_accesses(a, out, block);
             expr_accesses(b, out, block);
         }
-        Expr::If(pred, then_, else_) => {
+        ExprNode::If(pred, then_, else_) => {
             if let Some(p) = guarded_mkdir(pred, then_, else_) {
                 out.ensure_dir(p);
                 out.note_block(p, block);
                 return;
             }
             let block = if block.is_none() && idempotent_block(pred, then_, else_).is_some() {
-                Some(block_tag(e))
+                Some(BlockTag(e))
             } else {
                 block
             };
@@ -356,10 +363,18 @@ fn expr_accesses(e: &Expr, out: &mut AccessSummary, block: Option<BlockTag>) {
 }
 
 /// Computes the abstract access summary of an expression (`[e]C ⊥`).
-pub fn accesses(e: &Expr) -> AccessSummary {
-    let mut out = AccessSummary::default();
-    expr_accesses(e, &mut out, None);
-    out
+///
+/// Summaries depend only on the expression's structure, so they are
+/// memoized process-wide keyed by the hash-consed id: repeated queries for
+/// the same (sub)program — across the commutativity pass, elimination,
+/// pruning, and repair — are answered by a shared `Arc` in O(1).
+pub fn accesses(e: Expr) -> Arc<AccessSummary> {
+    static MEMO: ExprMemo<AccessSummary> = ExprMemo::new();
+    MEMO.get_or_compute(e, || {
+        let mut out = AccessSummary::default();
+        expr_accesses(e, &mut out, None);
+        out
+    })
 }
 
 /// Lemma 4: do `e1` and `e2` commute?
@@ -433,42 +448,50 @@ mod tests {
     }
 
     fn ensure_dir(path: FsPath) -> Expr {
-        Expr::if_then(Pred::IsDir(path).not(), Expr::Mkdir(path))
+        Expr::if_then(Pred::is_dir(path).not(), Expr::mkdir(path))
     }
 
     #[test]
     fn guarded_mkdir_is_d() {
         let e = ensure_dir(p("/usr"));
-        let s = accesses(&e);
+        let s = accesses(e);
         assert_eq!(s.access(p("/usr")), Access::EnsureDir);
+    }
+
+    #[test]
+    fn accesses_are_memoized() {
+        let e = ensure_dir(p("/memo")).seq(Expr::create_file(p("/memo/f"), Content::intern("x")));
+        let s1 = accesses(e);
+        let s2 = accesses(e);
+        assert!(Arc::ptr_eq(&s1, &s2), "same id returns the shared summary");
     }
 
     #[test]
     fn expanded_guard_form_is_d() {
         let a = p("/usr");
         let e = Expr::if_(
-            Pred::DoesNotExist(a),
-            Expr::Mkdir(a),
-            Expr::if_(Pred::IsFile(a), Expr::Error, Expr::Skip),
+            Pred::does_not_exist(a),
+            Expr::mkdir(a),
+            Expr::if_(Pred::is_file(a), Expr::ERROR, Expr::SKIP),
         );
-        assert_eq!(accesses(&e).access(a), Access::EnsureDir);
+        assert_eq!(accesses(e).access(a), Access::EnsureDir);
     }
 
     #[test]
     fn unguarded_mkdir_is_w() {
-        let e = Expr::Mkdir(p("/usr"));
-        assert_eq!(accesses(&e).access(p("/usr")), Access::Write);
+        let e = Expr::mkdir(p("/usr"));
+        assert_eq!(accesses(e).access(p("/usr")), Access::Write);
     }
 
     #[test]
     fn d_requires_parent_d() {
         // Creating /a/b before /a is not D for /a/b.
         let bad = ensure_dir(p("/a/b")).seq(ensure_dir(p("/a")));
-        let s = accesses(&bad);
+        let s = accesses(bad);
         assert_eq!(s.access(p("/a/b")), Access::Write);
         // In the right order both are D.
         let good = ensure_dir(p("/a")).seq(ensure_dir(p("/a/b")));
-        let s = accesses(&good);
+        let s = accesses(good);
         assert_eq!(s.access(p("/a")), Access::EnsureDir);
         assert_eq!(s.access(p("/a/b")), Access::EnsureDir);
     }
@@ -480,104 +503,105 @@ mod tests {
         let pkg = |name: &str| {
             ensure_dir(p("/usr"))
                 .seq(ensure_dir(p("/usr/bin")))
-                .seq(Expr::CreateFile(
+                .seq(Expr::create_file(
                     p("/usr/bin").join(name),
                     Content::intern(name),
                 ))
         };
         let a = pkg("vim");
         let b = pkg("git");
-        assert!(commutes(&accesses(&a), &accesses(&b)));
+        assert!(commutes(&accesses(a), &accesses(b)));
         // Sanity: brute-force agrees they commute.
-        let ab = a.clone().seq(b.clone());
+        let ab = a.seq(b);
         let ba = b.seq(a);
-        check_equiv_brute_force(&ab, &ba, &[p("/usr"), p("/usr/bin")], &[])
+        check_equiv_brute_force(ab, ba, &[p("/usr"), p("/usr/bin")], &[])
             .expect("they really commute");
     }
 
     #[test]
     fn conflicting_writes_do_not_commute() {
-        let a = Expr::CreateFile(p("/f"), Content::intern("a"));
-        let b = Expr::CreateFile(p("/f"), Content::intern("b"));
-        assert!(!commutes(&accesses(&a), &accesses(&b)));
+        let a = Expr::create_file(p("/f"), Content::intern("a"));
+        let b = Expr::create_file(p("/f"), Content::intern("b"));
+        assert!(!commutes(&accesses(a), &accesses(b)));
     }
 
     #[test]
     fn read_write_conflict() {
-        let a = Expr::if_(Pred::IsFile(p("/f")), Expr::Skip, Expr::Error);
-        let b = Expr::CreateFile(p("/f"), Content::intern("x"));
-        assert!(!commutes(&accesses(&a), &accesses(&b)));
+        let a = Expr::if_(Pred::is_file(p("/f")), Expr::SKIP, Expr::ERROR);
+        let b = Expr::create_file(p("/f"), Content::intern("x"));
+        assert!(!commutes(&accesses(a), &accesses(b)));
     }
 
     #[test]
     fn d_conflicts_with_read_and_write() {
         let d = ensure_dir(p("/d"));
-        let r = Expr::if_(Pred::DoesNotExist(p("/d")), Expr::Skip, Expr::Error);
-        let w = Expr::Rm(p("/d"));
-        assert!(!commutes(&accesses(&d), &accesses(&r)));
-        assert!(!commutes(&accesses(&d), &accesses(&w)));
+        let r = Expr::if_(Pred::does_not_exist(p("/d")), Expr::SKIP, Expr::ERROR);
+        let w = Expr::rm(p("/d"));
+        assert!(!commutes(&accesses(d), &accesses(r)));
+        assert!(!commutes(&accesses(d), &accesses(w)));
         // But D/D is fine.
-        assert!(commutes(&accesses(&d), &accesses(&ensure_dir(p("/d")))));
+        assert!(commutes(&accesses(d), &accesses(ensure_dir(p("/d")))));
     }
 
     #[test]
     fn rm_observes_children() {
         // rm(/d) vs creating a file inside /d: removing first succeeds,
         // removing second fails — they must not commute.
-        let a = Expr::Rm(p("/d"));
-        let b = Expr::CreateFile(p("/d/f"), Content::intern("x"));
-        assert!(!commutes(&accesses(&a), &accesses(&b)));
+        let a = Expr::rm(p("/d"));
+        let b = Expr::create_file(p("/d/f"), Content::intern("x"));
+        assert!(!commutes(&accesses(a), &accesses(b)));
     }
 
     #[test]
     fn emptydir_test_observes_children() {
-        let a = Expr::if_(Pred::IsEmptyDir(p("/d")), Expr::Skip, Expr::Error);
-        let b = Expr::CreateFile(p("/d/f"), Content::intern("x"));
-        assert!(!commutes(&accesses(&a), &accesses(&b)));
+        let a = Expr::if_(Pred::is_empty_dir(p("/d")), Expr::SKIP, Expr::ERROR);
+        let b = Expr::create_file(p("/d/f"), Content::intern("x"));
+        assert!(!commutes(&accesses(a), &accesses(b)));
         // A sibling write does not disturb the emptiness of /d.
-        let c = Expr::CreateFile(p("/e"), Content::intern("x"));
-        assert!(commutes(&accesses(&a), &accesses(&c)));
+        let c = Expr::create_file(p("/e"), Content::intern("x"));
+        assert!(commutes(&accesses(a), &accesses(c)));
     }
 
     #[test]
     fn disjoint_resources_commute() {
-        let a = Expr::CreateFile(p("/x"), Content::intern("1"));
-        let b = Expr::CreateFile(p("/y"), Content::intern("2"));
-        assert!(commutes(&accesses(&a), &accesses(&b)));
+        let a = Expr::create_file(p("/x"), Content::intern("1"));
+        let b = Expr::create_file(p("/y"), Content::intern("2"));
+        assert!(commutes(&accesses(a), &accesses(b)));
     }
 
     /// Two resources that embed the *identical* install block for a shared
-    /// dependency commute — the block-tag excuse.
+    /// dependency commute — the block-tag excuse. With hash-consing the
+    /// two embedded blocks are literally the same node.
     #[test]
     fn shared_dependency_blocks_commute() {
         let m = p("/packages/libc");
         let marker_content = Content::intern("installed:libc");
         let libf = p("/usr/libc.so");
         let install_libc = Expr::if_(
-            Pred::DoesNotExist(m),
+            Pred::does_not_exist(m),
             ensure_dir(p("/usr"))
-                .seq(Expr::CreateFile(libf, Content::intern("pkg:libc")))
-                .seq(Expr::CreateFile(m, marker_content)),
-            Expr::if_(Pred::IsFile(m), Expr::Skip, Expr::Error),
+                .seq(Expr::create_file(libf, Content::intern("pkg:libc")))
+                .seq(Expr::create_file(m, marker_content)),
+            Expr::if_(Pred::is_file(m), Expr::SKIP, Expr::ERROR),
         );
         let own = |name: &str| {
-            ensure_dir(p("/usr")).seq(Expr::CreateFile(
+            ensure_dir(p("/usr")).seq(Expr::create_file(
                 p("/usr").join(name),
                 Content::intern(name),
             ))
         };
-        let pkg_a = install_libc.clone().seq(own("vim"));
-        let pkg_b = install_libc.clone().seq(own("git"));
+        let pkg_a = install_libc.seq(own("vim"));
+        let pkg_b = install_libc.seq(own("git"));
         assert!(
-            commutes(&accesses(&pkg_a), &accesses(&pkg_b)),
+            commutes(&accesses(pkg_a), &accesses(pkg_b)),
             "identical dependency blocks must be excused"
         );
         // Brute-force confirmation that the excuse is sound.
-        let ab = pkg_a.clone().seq(pkg_b.clone());
-        let ba = pkg_b.clone().seq(pkg_a.clone());
+        let ab = pkg_a.seq(pkg_b);
+        let ba = pkg_b.seq(pkg_a);
         check_equiv_brute_force(
-            &ab,
-            &ba,
+            ab,
+            ba,
             &[
                 p("/packages"),
                 m,
@@ -590,8 +614,8 @@ mod tests {
         )
         .expect("shared blocks really commute");
         // A file resource clobbering the shared file is NOT excused.
-        let clobber = Expr::CreateFile(libf, Content::intern("mine"));
-        assert!(!commutes(&accesses(&pkg_a), &accesses(&clobber)));
+        let clobber = Expr::create_file(libf, Content::intern("mine"));
+        assert!(!commutes(&accesses(pkg_a), &accesses(clobber)));
     }
 
     /// The soundness property behind Lemma 4, validated by brute force on a
@@ -603,23 +627,23 @@ mod tests {
         let c1 = Content::intern("one");
         let c2 = Content::intern("two");
         let gallery = vec![
-            Expr::CreateFile(p("/a/f"), c1),
-            Expr::CreateFile(p("/a/g"), c2),
+            Expr::create_file(p("/a/f"), c1),
+            Expr::create_file(p("/a/g"), c2),
             ensure_dir(p("/a")),
             ensure_dir(p("/a")).seq(ensure_dir(p("/a/sub"))),
-            Expr::Rm(p("/a")),
-            Expr::if_(Pred::IsFile(p("/a/f")), Expr::Rm(p("/a/f")), Expr::Skip),
-            Expr::Cp(p("/a/f"), p("/b")),
-            Expr::Mkdir(p("/c")),
-            Expr::if_(Pred::IsEmptyDir(p("/a")), Expr::Skip, Expr::Error),
+            Expr::rm(p("/a")),
+            Expr::if_(Pred::is_file(p("/a/f")), Expr::rm(p("/a/f")), Expr::SKIP),
+            Expr::cp(p("/a/f"), p("/b")),
+            Expr::mkdir(p("/c")),
+            Expr::if_(Pred::is_empty_dir(p("/a")), Expr::SKIP, Expr::ERROR),
         ];
         let paths = [p("/a"), p("/a/f"), p("/a/g"), p("/a/sub"), p("/b"), p("/c")];
-        for (i, e1) in gallery.iter().enumerate() {
-            for e2 in gallery.iter().skip(i + 1) {
+        for (i, &e1) in gallery.iter().enumerate() {
+            for &e2 in gallery.iter().skip(i + 1) {
                 if commutes(&accesses(e1), &accesses(e2)) {
-                    let ab = e1.clone().seq(e2.clone());
-                    let ba = e2.clone().seq(e1.clone());
-                    check_equiv_brute_force(&ab, &ba, &paths, &[c1]).unwrap_or_else(|cex| {
+                    let ab = e1.seq(e2);
+                    let ba = e2.seq(e1);
+                    check_equiv_brute_force(ab, ba, &paths, &[c1]).unwrap_or_else(|cex| {
                         panic!(
                             "analysis claims {e1} and {e2} commute, \
                                  but they differ on {cex}"

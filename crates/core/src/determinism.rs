@@ -14,6 +14,29 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The per-analysis evaluation budget: deadline plus cancellation, threaded
+/// down into the SAT solver so a fleet scheduler can interrupt mid-solve.
+pub(crate) fn interrupt_flag(options: &AnalysisOptions) -> Option<Arc<AtomicBool>> {
+    options.cancel.as_ref().map(|t| Arc::clone(&t.0))
+}
+
+/// The abort reason for a failed solve, distinguishing cooperative
+/// cancellation from a plain deadline.
+pub(crate) fn solve_abort_reason(options: &AnalysisOptions) -> AnalysisAborted {
+    let cancelled = options
+        .cancel
+        .as_ref()
+        .map(CancelToken::is_cancelled)
+        .unwrap_or(false);
+    AnalysisAborted {
+        reason: if cancelled {
+            "cancelled during SAT solving".to_string()
+        } else {
+            "timeout during SAT solving".to_string()
+        },
+    }
+}
+
 /// A shareable cancellation handle for in-flight analyses.
 ///
 /// Cloning the token shares the underlying flag, so a scheduler can hand
@@ -289,7 +312,7 @@ impl FsGraph {
 
 struct Explorer<'a> {
     graph: &'a FsGraph,
-    summaries: Vec<AccessSummary>,
+    summaries: Vec<Arc<AccessSummary>>,
     descendants: Vec<BTreeSet<usize>>,
     options: &'a AnalysisOptions,
     deadline: Option<Instant>,
@@ -359,7 +382,7 @@ impl<'a> Explorer<'a> {
                         || commutes(&self.summaries[e], &self.summaries[other])
                 });
                 if all_commute {
-                    let next = enc.eval_expr(&self.graph.exprs[e], &state);
+                    let next = enc.eval_expr(self.graph.exprs[e], &state);
                     let mut rest = remaining.clone();
                     rest.remove(&e);
                     prefix.push(e);
@@ -370,7 +393,7 @@ impl<'a> Explorer<'a> {
             }
         }
         for &e in &fringe {
-            let next = enc.eval_expr(&self.graph.exprs[e], &state);
+            let next = enc.eval_expr(self.graph.exprs[e], &state);
             let mut rest = remaining.clone();
             rest.remove(&e);
             prefix.push(e);
@@ -393,7 +416,7 @@ pub fn check_determinism(
 ) -> Result<DeterminismReport, AnalysisAborted> {
     let deadline = options.timeout.map(|t| Instant::now() + t);
     let n = graph.exprs.len();
-    let summaries: Vec<AccessSummary> = graph.exprs.iter().map(accesses).collect();
+    let summaries: Vec<Arc<AccessSummary>> = graph.exprs.iter().map(|&e| accesses(e)).collect();
 
     // 1. Resource elimination (§4.4). Elimination is justified by the
     //    commutativity check, so disabling commutativity disables it too.
@@ -413,7 +436,7 @@ pub fn check_determinism(
     };
 
     // 3. Encode and explore.
-    let domain = Domain::of_exprs(pruned.exprs.iter());
+    let domain = Domain::of_exprs(pruned.exprs.iter().copied());
     let mut enc = Encoder::new(domain);
     for &p in &read_only {
         enc.mark_read_only(p);
@@ -421,7 +444,7 @@ pub fn check_determinism(
     let initial = enc.initial_state();
     let mut explorer = Explorer {
         graph: &pruned,
-        summaries: pruned.exprs.iter().map(accesses).collect(),
+        summaries: pruned.exprs.iter().map(|&e| accesses(e)).collect(),
         descendants: pruned.descendant_sets(),
         options,
         deadline,
@@ -456,10 +479,8 @@ pub fn check_determinism(
 
     let solved = enc
         .ctx
-        .solve_with_deadline(any_diff, deadline)
-        .map_err(|_| AnalysisAborted {
-            reason: "timeout during SAT solving".to_string(),
-        })?;
+        .solve_with_budget(any_diff, deadline, interrupt_flag(options))
+        .map_err(|_| solve_abort_reason(options))?;
     match solved {
         None => Ok(DeterminismReport::Deterministic(stats)),
         Some(model) => {
@@ -532,7 +553,7 @@ fn replay(
 ) -> Result<FileSystem, rehearsal_fs::ExecError> {
     let mut fs = init.clone();
     for &i in order {
-        fs = concrete_eval(&graph.exprs[i], &fs)?;
+        fs = concrete_eval(graph.exprs[i], &fs)?;
     }
     Ok(fs)
 }
@@ -546,7 +567,7 @@ fn subgraph(graph: &FsGraph, alive: &BTreeSet<usize>) -> FsGraph {
         .map(|(new, &old)| (old, new))
         .collect();
     FsGraph {
-        exprs: index.iter().map(|&i| graph.exprs[i].clone()).collect(),
+        exprs: index.iter().map(|&i| graph.exprs[i]).collect(),
         names: index.iter().map(|&i| graph.names[i].clone()).collect(),
         edges: graph
             .edges
@@ -567,7 +588,7 @@ mod tests {
     }
 
     fn file(path: &str, content: &str) -> Expr {
-        Expr::CreateFile(p(path), Content::intern(content))
+        Expr::create_file(p(path), Content::intern(content))
     }
 
     fn graph(exprs: Vec<Expr>, edges: &[(usize, usize)]) -> FsGraph {
@@ -598,9 +619,9 @@ mod tests {
         // to create a genuine divergence.
         let w = |c: &str| {
             Expr::if_(
-                Pred::DoesNotExist(p("/f")),
-                Expr::CreateFile(p("/f"), Content::intern(c)),
-                Expr::Skip,
+                Pred::does_not_exist(p("/f")),
+                Expr::create_file(p("/f"), Content::intern(c)),
+                Expr::SKIP,
             )
         };
         let g = graph(vec![w("one"), w("two")], &[]);
@@ -618,9 +639,9 @@ mod tests {
     fn ordering_edge_fixes_nondeterminism() {
         let w = |c: &str| {
             Expr::if_(
-                Pred::DoesNotExist(p("/f")),
-                Expr::CreateFile(p("/f"), Content::intern(c)),
-                Expr::Skip,
+                Pred::does_not_exist(p("/f")),
+                Expr::create_file(p("/f"), Content::intern(c)),
+                Expr::SKIP,
             )
         };
         let g = graph(vec![w("one"), w("two")], &[(0, 1)]);
@@ -632,7 +653,7 @@ mod tests {
     fn error_nondeterminism_is_detected() {
         // Resource A: creates /dir; resource B: creates /dir/f (needs the
         // dir). Unordered: B-first errs, A-first then B succeeds.
-        let a = Expr::Mkdir(p("/dir"));
+        let a = Expr::mkdir(p("/dir"));
         let b = file("/dir/f", "x");
         let g = graph(vec![a, b], &[]);
         let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
@@ -682,18 +703,18 @@ mod tests {
     fn diamond_dependencies_respected() {
         // a -> b, a -> c, b -> d, c -> d; b and c both write /shared with
         // different contents — nondeterministic.
-        let a = Expr::Mkdir(p("/d"));
+        let a = Expr::mkdir(p("/d"));
         let b = Expr::if_(
-            Pred::DoesNotExist(p("/d/shared")),
-            Expr::CreateFile(p("/d/shared"), Content::intern("from-b")),
-            Expr::Skip,
+            Pred::does_not_exist(p("/d/shared")),
+            Expr::create_file(p("/d/shared"), Content::intern("from-b")),
+            Expr::SKIP,
         );
         let c = Expr::if_(
-            Pred::DoesNotExist(p("/d/shared")),
-            Expr::CreateFile(p("/d/shared"), Content::intern("from-c")),
-            Expr::Skip,
+            Pred::does_not_exist(p("/d/shared")),
+            Expr::create_file(p("/d/shared"), Content::intern("from-c")),
+            Expr::SKIP,
         );
-        let d = Expr::if_(Pred::IsFile(p("/d/shared")), Expr::Skip, Expr::Error);
+        let d = Expr::if_(Pred::is_file(p("/d/shared")), Expr::SKIP, Expr::ERROR);
         let g = graph(vec![a, b, c, d], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
         assert!(!r.is_deterministic());
@@ -704,9 +725,9 @@ mod tests {
         let exprs: Vec<Expr> = (0..6)
             .map(|i| {
                 Expr::if_(
-                    Pred::DoesNotExist(p("/f")),
-                    Expr::CreateFile(p("/f"), Content::intern(&format!("w{i}"))),
-                    Expr::Skip,
+                    Pred::does_not_exist(p("/f")),
+                    Expr::create_file(p("/f"), Content::intern(&format!("w{i}"))),
+                    Expr::SKIP,
                 )
             })
             .collect();
@@ -724,9 +745,9 @@ mod tests {
         let exprs: Vec<Expr> = (0..7)
             .map(|i| {
                 Expr::if_(
-                    Pred::DoesNotExist(p("/f")),
-                    Expr::CreateFile(p("/f"), Content::intern(&format!("t{i}"))),
-                    Expr::Skip,
+                    Pred::does_not_exist(p("/f")),
+                    Expr::create_file(p("/f"), Content::intern(&format!("t{i}"))),
+                    Expr::SKIP,
                 )
             })
             .collect();
@@ -741,7 +762,7 @@ mod tests {
 
     #[test]
     fn counterexample_replay_is_confirmed() {
-        let a = Expr::Mkdir(p("/dir"));
+        let a = Expr::mkdir(p("/dir"));
         let b = file("/dir/f", "x");
         let g = graph(vec![a, b], &[]);
         if let DeterminismReport::NonDeterministic(cex, _) =

@@ -13,7 +13,7 @@
 //! provenance tags are an exact representation for Rehearsal's
 //! difference-seeking queries (see `DESIGN.md` §4.1).
 
-use rehearsal_fs::{Content, Expr, FsPath, Pred};
+use rehearsal_fs::{Content, Expr, ExprNode, FsPath, Pred, PredNode};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The reserved path component used for fresh children (cannot appear in
@@ -107,7 +107,7 @@ impl Domain {
     /// Computes `dom` over a collection of expressions (paper fig. 8):
     /// program paths, parents of created/copied paths, and a fresh child
     /// for every `rm`'d or `emptydir?`-tested path.
-    pub fn of_exprs<'a>(exprs: impl IntoIterator<Item = &'a Expr>) -> Domain {
+    pub fn of_exprs(exprs: impl IntoIterator<Item = Expr>) -> Domain {
         let mut paths: BTreeSet<FsPath> = BTreeSet::new();
         paths.insert(FsPath::root());
         for e in exprs {
@@ -150,49 +150,49 @@ fn fresh_child(p: FsPath) -> FsPath {
     p.join(FRESH_COMPONENT)
 }
 
-fn collect_pred(pred: &Pred, out: &mut BTreeSet<FsPath>) {
-    match pred {
-        Pred::True | Pred::False => {}
-        Pred::DoesNotExist(p) | Pred::IsFile(p) | Pred::IsDir(p) => {
-            out.insert(*p);
+fn collect_pred(pred: Pred, out: &mut BTreeSet<FsPath>) {
+    match pred.node() {
+        PredNode::True | PredNode::False => {}
+        PredNode::DoesNotExist(p) | PredNode::IsFile(p) | PredNode::IsDir(p) => {
+            out.insert(p);
         }
-        Pred::IsEmptyDir(p) => {
-            out.insert(*p);
-            out.insert(fresh_child(*p));
+        PredNode::IsEmptyDir(p) => {
+            out.insert(p);
+            out.insert(fresh_child(p));
         }
-        Pred::And(a, b) | Pred::Or(a, b) => {
+        PredNode::And(a, b) | PredNode::Or(a, b) => {
             collect_pred(a, out);
             collect_pred(b, out);
         }
-        Pred::Not(a) => collect_pred(a, out),
+        PredNode::Not(a) => collect_pred(a, out),
     }
 }
 
-fn collect_expr(e: &Expr, out: &mut BTreeSet<FsPath>) {
-    match e {
-        Expr::Skip | Expr::Error => {}
-        Expr::Mkdir(p) | Expr::CreateFile(p, _) => {
-            out.insert(*p);
+fn collect_expr(e: Expr, out: &mut BTreeSet<FsPath>) {
+    match e.node() {
+        ExprNode::Skip | ExprNode::Error => {}
+        ExprNode::Mkdir(p) | ExprNode::CreateFile(p, _) => {
+            out.insert(p);
             if let Some(parent) = p.parent() {
                 out.insert(parent);
             }
         }
-        Expr::Rm(p) => {
-            out.insert(*p);
-            out.insert(fresh_child(*p));
+        ExprNode::Rm(p) => {
+            out.insert(p);
+            out.insert(fresh_child(p));
         }
-        Expr::Cp(p1, p2) => {
-            out.insert(*p1);
-            out.insert(*p2);
+        ExprNode::Cp(p1, p2) => {
+            out.insert(p1);
+            out.insert(p2);
             if let Some(parent) = p2.parent() {
                 out.insert(parent);
             }
         }
-        Expr::Seq(a, b) => {
+        ExprNode::Seq(a, b) => {
             collect_expr(a, out);
             collect_expr(b, out);
         }
-        Expr::If(pred, a, b) => {
+        ExprNode::If(pred, a, b) => {
             collect_pred(pred, out);
             collect_expr(a, out);
             collect_expr(b, out);
@@ -210,8 +210,8 @@ mod tests {
 
     #[test]
     fn domain_includes_parents() {
-        let e = Expr::CreateFile(p("/a/b/c"), Content::intern("x"));
-        let d = Domain::of_exprs([&e]);
+        let e = Expr::create_file(p("/a/b/c"), Content::intern("x"));
+        let d = Domain::of_exprs([e]);
         assert!(d.paths.contains(&p("/a/b/c")));
         assert!(d.paths.contains(&p("/a/b")));
         assert!(d.paths.contains(&p("/a")));
@@ -220,8 +220,8 @@ mod tests {
 
     #[test]
     fn rm_gets_fresh_child() {
-        let e = Expr::Rm(p("/d"));
-        let d = Domain::of_exprs([&e]);
+        let e = Expr::rm(p("/d"));
+        let d = Domain::of_exprs([e]);
         let kids = d.children_of(p("/d"));
         assert_eq!(kids.len(), 1);
         assert!(is_fresh_path(kids[0]));
@@ -232,16 +232,16 @@ mod tests {
         // The paper's §4.1 example: emptydir?(/a) vs dir?(/a) differ only on
         // states with something inside /a — the fresh child makes that state
         // expressible.
-        let e = Expr::if_(Pred::IsEmptyDir(p("/a")), Expr::Skip, Expr::Error);
-        let d = Domain::of_exprs([&e]);
+        let e = Expr::if_(Pred::is_empty_dir(p("/a")), Expr::SKIP, Expr::ERROR);
+        let d = Domain::of_exprs([e]);
         assert!(d.children_of(p("/a")).iter().any(|&c| is_fresh_path(c)));
     }
 
     #[test]
     fn children_index_is_complete() {
-        let e1 = Expr::Mkdir(p("/x/y"));
-        let e2 = Expr::CreateFile(p("/x/z"), Content::intern("c"));
-        let d = Domain::of_exprs([&e1, &e2]);
+        let e1 = Expr::mkdir(p("/x/y"));
+        let e2 = Expr::create_file(p("/x/z"), Content::intern("c"));
+        let d = Domain::of_exprs([e1, e2]);
         let kids = d.children_of(p("/x"));
         assert!(kids.contains(&p("/x/y")));
         assert!(kids.contains(&p("/x/z")));

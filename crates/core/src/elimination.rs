@@ -10,14 +10,15 @@
 
 use crate::commutativity::{commutes, AccessSummary};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Computes the set of node indices that survive elimination.
 ///
-/// `summaries[i]` is the access summary of node `i`; `successors` /
-/// `ancestors` describe the dependency DAG (`successors[i]` = nodes that
-/// must run after `i`).
+/// `summaries[i]` is the (shared, memoized) access summary of node `i`;
+/// `successors` / `ancestors` describe the dependency DAG (`successors[i]`
+/// = nodes that must run after `i`).
 pub fn surviving_nodes(
-    summaries: &[AccessSummary],
+    summaries: &[Arc<AccessSummary>],
     successors: &[Vec<usize>],
     ancestors: &[BTreeSet<usize>],
 ) -> BTreeSet<usize> {
@@ -63,15 +64,18 @@ mod tests {
     }
 
     fn file(path: &str, content: &str) -> Expr {
-        Expr::CreateFile(p(path), Content::intern(content))
+        Expr::create_file(p(path), Content::intern(content))
     }
 
-    fn graph(
-        exprs: &[Expr],
-        edges: &[(usize, usize)],
-    ) -> (Vec<AccessSummary>, Vec<Vec<usize>>, Vec<BTreeSet<usize>>) {
+    type TestGraph = (
+        Vec<Arc<AccessSummary>>,
+        Vec<Vec<usize>>,
+        Vec<BTreeSet<usize>>,
+    );
+
+    fn graph(exprs: &[Expr], edges: &[(usize, usize)]) -> TestGraph {
         let n = exprs.len();
-        let summaries: Vec<AccessSummary> = exprs.iter().map(accesses).collect();
+        let summaries: Vec<Arc<AccessSummary>> = exprs.iter().map(|&e| accesses(e)).collect();
         let mut successors = vec![Vec::new(); n];
         let mut preds = vec![Vec::new(); n];
         for &(a, b) in edges {
@@ -122,7 +126,7 @@ mod tests {
     fn dependent_conflict_keeps_chain() {
         // a writes /f; b (after a) reads /f; c also writes /f unordered.
         let a = file("/f", "1");
-        let b = Expr::if_(Pred::IsFile(p("/f")), Expr::Skip, Expr::Error);
+        let b = Expr::if_(Pred::is_file(p("/f")), Expr::SKIP, Expr::ERROR);
         let c = file("/f", "2");
         let (s, succ, anc) = graph(&[a, b, c], &[(0, 1)]);
         let alive = surviving_nodes(&s, &succ, &anc);
@@ -136,7 +140,7 @@ mod tests {
         // b depends on a; a conflicts with nothing else, but a is not on
         // the fringe while b is alive.
         let a = file("/x", "1");
-        let b = Expr::if_(Pred::IsFile(p("/x")), Expr::Skip, Expr::Error);
+        let b = Expr::if_(Pred::is_file(p("/x")), Expr::SKIP, Expr::ERROR);
         let (s, succ, anc) = graph(&[a, b], &[(0, 1)]);
         // b eliminated first? b reads /x which a writes — but a is b's
         // ancestor, so only non-ancestors matter: none. b goes, then a.

@@ -4,11 +4,20 @@
 //! from modeled paths to finite-domain terms. Expressions update the map
 //! unconditionally and accumulate preconditions into `ok`, exactly as in
 //! the paper's figure; conditionals merge branches with if-then-else terms.
+//!
+//! Because expressions are hash-consed ids and formulas/terms are
+//! hash-consed handles, a symbolic state is identified exactly by its `ok`
+//! handle plus its term vector — so Φ is memoized per encoder on
+//! `(expression id, state identity)`. The permutation explorer re-evaluates
+//! the same resources from the same intermediate states across branches
+//! (and identical embedded subprograms, e.g. shared package-dependency
+//! blocks, recur within one sequence); every such repeat is now a map
+//! lookup instead of a re-encoding.
 
 use crate::domain::{Domain, PathValue, ValueTable, CODE_DIR, CODE_DNE};
-use rehearsal_fs::{Content, Expr, FileState, FileSystem, FsPath, Pred};
+use rehearsal_fs::{Content, Expr, ExprNode, FileState, FileSystem, FsPath, Pred, PredNode};
 use rehearsal_solver::{Ctx, Formula, ModelView, Term};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A logical state `Σ` (paper fig. 7).
 #[derive(Debug, Clone)]
@@ -17,6 +26,15 @@ pub struct SymState {
     pub ok: Formula,
     /// The symbolic state of every modeled path.
     pub fs: BTreeMap<FsPath, Term>,
+}
+
+/// The identity of a [`SymState`] for memoization: the `ok` handle plus
+/// the term handle of every path, in the (fixed) domain order. Exact — two
+/// states with the same key are the same logical state.
+type StateKey = (Formula, Vec<Term>);
+
+fn state_key(state: &SymState) -> StateKey {
+    (state.ok, state.fs.values().copied().collect())
 }
 
 /// The symbolic encoder: a solver context plus the value table and domain
@@ -32,6 +50,10 @@ pub struct Encoder {
     /// Paths encoded as read-only (pruned paths, paper §4.4): their initial
     /// variable is reused and never overwritten.
     read_only: BTreeSet<FsPath>,
+    /// Memoized symbolic evaluation of composite nodes: `(e, Σ) → Φ(e)Σ`.
+    eval_memo: HashMap<(Expr, StateKey), SymState>,
+    /// Memo hits, for stats/diagnostics.
+    eval_memo_hits: usize,
 }
 
 impl Encoder {
@@ -42,6 +64,8 @@ impl Encoder {
             values: ValueTable::new(),
             domain,
             read_only: BTreeSet::new(),
+            eval_memo: HashMap::new(),
+            eval_memo_hits: 0,
         }
     }
 
@@ -58,6 +82,11 @@ impl Encoder {
     /// Number of read-write (state-tracked) paths.
     pub fn tracked_paths(&self) -> usize {
         self.domain.paths.len() - self.read_only.len()
+    }
+
+    /// How many symbolic evaluations were answered from the memo table.
+    pub fn eval_memo_hits(&self) -> usize {
+        self.eval_memo_hits
     }
 
     /// Builds the initial symbolic state: one finite-domain variable per
@@ -143,25 +172,25 @@ impl Encoder {
     }
 
     /// Encodes a predicate against a symbolic state.
-    pub fn eval_pred(&mut self, pred: &Pred, state: &SymState) -> Formula {
-        match pred {
-            Pred::True => self.ctx.tt(),
-            Pred::False => self.ctx.ff(),
-            Pred::DoesNotExist(p) => self.is_dne(state, *p),
-            Pred::IsFile(p) => self.is_file(state, *p),
-            Pred::IsDir(p) => self.is_dir(state, *p),
-            Pred::IsEmptyDir(p) => self.is_empty_dir(state, *p),
-            Pred::And(a, b) => {
+    pub fn eval_pred(&mut self, pred: Pred, state: &SymState) -> Formula {
+        match pred.node() {
+            PredNode::True => self.ctx.tt(),
+            PredNode::False => self.ctx.ff(),
+            PredNode::DoesNotExist(p) => self.is_dne(state, p),
+            PredNode::IsFile(p) => self.is_file(state, p),
+            PredNode::IsDir(p) => self.is_dir(state, p),
+            PredNode::IsEmptyDir(p) => self.is_empty_dir(state, p),
+            PredNode::And(a, b) => {
                 let fa = self.eval_pred(a, state);
                 let fb = self.eval_pred(b, state);
                 self.ctx.and2(fa, fb)
             }
-            Pred::Or(a, b) => {
+            PredNode::Or(a, b) => {
                 let fa = self.eval_pred(a, state);
                 let fb = self.eval_pred(b, state);
                 self.ctx.or2(fa, fb)
             }
-            Pred::Not(a) => {
+            PredNode::Not(a) => {
                 let fa = self.eval_pred(a, state);
                 self.ctx.not(fa)
             }
@@ -177,17 +206,50 @@ impl Encoder {
     }
 
     /// Φ(e): evaluates an expression symbolically (paper fig. 7).
-    pub fn eval_expr(&mut self, e: &Expr, state: &SymState) -> SymState {
-        match e {
-            Expr::Skip => state.clone(),
-            Expr::Error => SymState {
+    ///
+    /// Composite programs are memoized on `(id, state)` at this entry
+    /// point only: the permutation explorer re-evaluates whole resources
+    /// from recurring intermediate states across branches, and that is
+    /// where repeats actually happen. The recursion below this entry is
+    /// unmemoized — intermediate states along a `Seq` spine are unique, so
+    /// keying every internal node would cost O(paths) per node for no
+    /// hits.
+    pub fn eval_expr(&mut self, e: Expr, state: &SymState) -> SymState {
+        let node = e.node();
+        let key = match node {
+            ExprNode::Seq(_, _) | ExprNode::If(_, _, _) => {
+                let key = (e, state_key(state));
+                if let Some(cached) = self.eval_memo.get(&key) {
+                    self.eval_memo_hits += 1;
+                    return cached.clone();
+                }
+                Some(key)
+            }
+            _ => None,
+        };
+        let out = self.eval_node(node, state);
+        if let Some(key) = key {
+            self.eval_memo.insert(key, out.clone());
+        }
+        out
+    }
+
+    /// Unmemoized recursion (see [`Encoder::eval_expr`]).
+    fn eval_rec(&mut self, e: Expr, state: &SymState) -> SymState {
+        self.eval_node(e.node(), state)
+    }
+
+    fn eval_node(&mut self, node: ExprNode, state: &SymState) -> SymState {
+        match node {
+            ExprNode::Skip => state.clone(),
+            ExprNode::Error => SymState {
                 ok: self.ctx.ff(),
                 fs: state.fs.clone(),
             },
-            Expr::Mkdir(p) => {
+            ExprNode::Mkdir(p) => {
                 let parent = p.parent().expect("mkdir of root is rejected upstream");
                 let pre_parent = self.is_dir(state, parent);
-                let pre_self = self.is_dne(state, *p);
+                let pre_self = self.is_dne(state, p);
                 let pre = self.ctx.and2(pre_parent, pre_self);
                 let ok = self.ctx.and2(state.ok, pre);
                 let mut out = SymState {
@@ -196,27 +258,27 @@ impl Encoder {
                 };
                 let dir = self.values.code(PathValue::Dir);
                 let dir_t = self.ctx.val(dir);
-                self.set_path(&mut out, *p, dir_t);
+                self.set_path(&mut out, p, dir_t);
                 out
             }
-            Expr::CreateFile(p, content) => {
+            ExprNode::CreateFile(p, content) => {
                 let parent = p.parent().expect("creat at root is rejected upstream");
                 let pre_parent = self.is_dir(state, parent);
-                let pre_self = self.is_dne(state, *p);
+                let pre_self = self.is_dne(state, p);
                 let pre = self.ctx.and2(pre_parent, pre_self);
                 let ok = self.ctx.and2(state.ok, pre);
                 let mut out = SymState {
                     ok,
                     fs: state.fs.clone(),
                 };
-                let code = self.values.code(PathValue::File(*content));
+                let code = self.values.code(PathValue::File(content));
                 let t = self.ctx.val(code);
-                self.set_path(&mut out, *p, t);
+                self.set_path(&mut out, p, t);
                 out
             }
-            Expr::Rm(p) => {
-                let is_f = self.is_file(state, *p);
-                let is_ed = self.is_empty_dir(state, *p);
+            ExprNode::Rm(p) => {
+                let is_f = self.is_file(state, p);
+                let is_ed = self.is_empty_dir(state, p);
                 let pre = self.ctx.or2(is_f, is_ed);
                 let ok = self.ctx.and2(state.ok, pre);
                 let mut out = SymState {
@@ -225,14 +287,14 @@ impl Encoder {
                 };
                 let dne = self.values.code(PathValue::Dne);
                 let t = self.ctx.val(dne);
-                self.set_path(&mut out, *p, t);
+                self.set_path(&mut out, p, t);
                 out
             }
-            Expr::Cp(src, dst) => {
+            ExprNode::Cp(src, dst) => {
                 let dst_parent = dst.parent().expect("cp to root is rejected upstream");
-                let pre_src = self.is_file(state, *src);
+                let pre_src = self.is_file(state, src);
                 let pre_parent = self.is_dir(state, dst_parent);
-                let pre_dst = self.is_dne(state, *dst);
+                let pre_dst = self.is_dne(state, dst);
                 let pre = self.ctx.and([pre_src, pre_parent, pre_dst]);
                 let ok = self.ctx.and2(state.ok, pre);
                 let mut out = SymState {
@@ -241,24 +303,24 @@ impl Encoder {
                 };
                 // The destination takes the source's (file) value; non-file
                 // cases are excluded by `ok`, so junk values are harmless.
-                let src_t = self.term_for(state, *src);
-                self.set_path(&mut out, *dst, src_t);
+                let src_t = self.term_for(state, src);
+                self.set_path(&mut out, dst, src_t);
                 out
             }
-            Expr::Seq(a, b) => {
-                let mid = self.eval_expr(a, state);
-                self.eval_expr(b, &mid)
+            ExprNode::Seq(a, b) => {
+                let mid = self.eval_rec(a, state);
+                self.eval_rec(b, &mid)
             }
-            Expr::If(pred, then_, else_) => {
+            ExprNode::If(pred, then_, else_) => {
                 let cond = self.eval_pred(pred, state);
                 if self.ctx.is_true(cond) {
-                    return self.eval_expr(then_, state);
+                    return self.eval_rec(then_, state);
                 }
                 if self.ctx.is_false(cond) {
-                    return self.eval_expr(else_, state);
+                    return self.eval_rec(else_, state);
                 }
-                let st = self.eval_expr(then_, state);
-                let se = self.eval_expr(else_, state);
+                let st = self.eval_rec(then_, state);
+                let se = self.eval_rec(else_, state);
                 let ok = self.ctx.ite(cond, st.ok, se.ok);
                 let mut fs = state.fs.clone();
                 // Only merge paths that changed in at least one branch.
@@ -327,16 +389,16 @@ mod tests {
         FsPath::parse(s).unwrap()
     }
 
-    fn encoder_for(exprs: &[&Expr]) -> Encoder {
+    fn encoder_for(exprs: &[Expr]) -> Encoder {
         Encoder::new(Domain::of_exprs(exprs.iter().copied()))
     }
 
     #[test]
     fn mkdir_success_needs_parent() {
-        let e = Expr::Mkdir(p("/a/b"));
-        let mut enc = encoder_for(&[&e]);
+        let e = Expr::mkdir(p("/a/b"));
+        let mut enc = encoder_for(&[e]);
         let s0 = enc.initial_state();
-        let s1 = enc.eval_expr(&e, &s0);
+        let s1 = enc.eval_expr(e, &s0);
         // Satisfiable: /a is a dir, /a/b absent.
         let m = enc.ctx.solve(s1.ok).expect("mkdir can succeed");
         let init = enc.decode_state(&m, &s0);
@@ -346,20 +408,20 @@ mod tests {
 
     #[test]
     fn mkdir_then_mkdir_same_path_always_fails() {
-        let e = Expr::Mkdir(p("/a")).seq(Expr::Mkdir(p("/a")));
-        let mut enc = encoder_for(&[&e]);
+        let e = Expr::mkdir(p("/a")).seq(Expr::mkdir(p("/a")));
+        let mut enc = encoder_for(&[e]);
         let s0 = enc.initial_state();
-        let s1 = enc.eval_expr(&e, &s0);
+        let s1 = enc.eval_expr(e, &s0);
         assert!(enc.ctx.solve(s1.ok).is_none(), "second mkdir must fail");
     }
 
     #[test]
     fn conditional_merges_branches() {
         let a = p("/a");
-        let e = Expr::if_(Pred::DoesNotExist(a), Expr::Mkdir(a), Expr::Skip);
-        let mut enc = encoder_for(&[&e]);
+        let e = Expr::if_(Pred::does_not_exist(a), Expr::mkdir(a), Expr::SKIP);
+        let mut enc = encoder_for(&[e]);
         let s0 = enc.initial_state();
-        let s1 = enc.eval_expr(&e, &s0);
+        let s1 = enc.eval_expr(e, &s0);
         // The program fails only when /a exists as a file... actually when
         // /a is absent it creates it (root is a dir), when /a is a dir it
         // skips, when /a is a file it skips. It never fails.
@@ -375,16 +437,32 @@ mod tests {
     }
 
     #[test]
+    fn repeated_subprograms_hit_the_memo() {
+        let a = p("/m");
+        let sub = Expr::if_then(Pred::is_dir(a).not(), Expr::mkdir(a))
+            .seq(Expr::create_file(p("/m/f"), Content::intern("x")));
+        let mut enc = encoder_for(&[sub]);
+        let s0 = enc.initial_state();
+        let o1 = enc.eval_expr(sub, &s0);
+        assert_eq!(enc.eval_memo_hits(), 0, "first evaluation is fresh");
+        let o2 = enc.eval_expr(sub, &s0);
+        assert!(enc.eval_memo_hits() > 0, "identical (e, Σ) is memoized");
+        // The memoized result is the same logical state.
+        assert_eq!(o1.ok, o2.ok);
+        assert_eq!(o1.fs, o2.fs);
+    }
+
+    #[test]
     fn emptydir_distinguishes_from_dir() {
         // Paper §4.1: these two programs differ, but only on a state with a
         // child inside /a — found thanks to the fresh child.
         let a = p("/a");
-        let e1 = Expr::if_(Pred::IsEmptyDir(a), Expr::Skip, Expr::Error);
-        let e2 = Expr::if_(Pred::IsDir(a), Expr::Skip, Expr::Error);
-        let mut enc = encoder_for(&[&e1, &e2]);
+        let e1 = Expr::if_(Pred::is_empty_dir(a), Expr::SKIP, Expr::ERROR);
+        let e2 = Expr::if_(Pred::is_dir(a), Expr::SKIP, Expr::ERROR);
+        let mut enc = encoder_for(&[e1, e2]);
         let s0 = enc.initial_state();
-        let o1 = enc.eval_expr(&e1, &s0);
-        let o2 = enc.eval_expr(&e2, &s0);
+        let o1 = enc.eval_expr(e1, &s0);
+        let o2 = enc.eval_expr(e2, &s0);
         let diff = enc.states_differ(&o1, &o2);
         let m = enc.ctx.solve(diff).expect("the programs differ");
         let init = enc.decode_state(&m, &s0);
@@ -397,26 +475,26 @@ mod tests {
     fn equivalent_programs_have_unsat_difference() {
         // Guarded mkdir ≡ its three-way expansion (paper §4.3).
         let a = p("/a");
-        let e1 = Expr::if_then(Pred::IsDir(a).not(), Expr::Mkdir(a));
+        let e1 = Expr::if_then(Pred::is_dir(a).not(), Expr::mkdir(a));
         let e2 = Expr::if_(
-            Pred::DoesNotExist(a),
-            Expr::Mkdir(a),
-            Expr::if_(Pred::IsFile(a), Expr::Error, Expr::Skip),
+            Pred::does_not_exist(a),
+            Expr::mkdir(a),
+            Expr::if_(Pred::is_file(a), Expr::ERROR, Expr::SKIP),
         );
-        let mut enc = encoder_for(&[&e1, &e2]);
+        let mut enc = encoder_for(&[e1, e2]);
         let s0 = enc.initial_state();
-        let o1 = enc.eval_expr(&e1, &s0);
-        let o2 = enc.eval_expr(&e2, &s0);
+        let o1 = enc.eval_expr(e1, &s0);
+        let o2 = enc.eval_expr(e2, &s0);
         let diff = enc.states_differ(&o1, &o2);
         assert!(enc.ctx.solve(diff).is_none(), "programs are equivalent");
     }
 
     #[test]
     fn cp_copies_symbolic_content() {
-        let e = Expr::Cp(p("/src"), p("/dst"));
-        let mut enc = encoder_for(&[&e]);
+        let e = Expr::cp(p("/src"), p("/dst"));
+        let mut enc = encoder_for(&[e]);
         let s0 = enc.initial_state();
-        let s1 = enc.eval_expr(&e, &s0);
+        let s1 = enc.eval_expr(e, &s0);
         // After success, dst equals src's initial content.
         let eq = enc.ctx.eq_terms(s1.fs[&p("/dst")], s0.fs[&p("/src")]);
         let neq = enc.ctx.not(eq);
@@ -430,16 +508,16 @@ mod tests {
     #[test]
     fn symbolic_and_concrete_agree_on_error_behavior() {
         let cases = vec![
-            Expr::Mkdir(p("/a")).seq(Expr::CreateFile(p("/a/f"), Content::intern("x"))),
-            Expr::Rm(p("/a")),
-            Expr::Cp(p("/a"), p("/b")).seq(Expr::Rm(p("/a"))),
+            Expr::mkdir(p("/a")).seq(Expr::create_file(p("/a/f"), Content::intern("x"))),
+            Expr::rm(p("/a")),
+            Expr::cp(p("/a"), p("/b")).seq(Expr::rm(p("/a"))),
             Expr::if_(
-                Pred::IsFile(p("/a")),
-                Expr::Rm(p("/a")),
-                Expr::Mkdir(p("/a")),
+                Pred::is_file(p("/a")),
+                Expr::rm(p("/a")),
+                Expr::mkdir(p("/a")),
             ),
         ];
-        for e in &cases {
+        for &e in &cases {
             let mut enc = encoder_for(&[e]);
             let s0 = enc.initial_state();
             let s1 = enc.eval_expr(e, &s0);
@@ -467,13 +545,13 @@ mod tests {
 
     #[test]
     fn read_only_paths_are_guarded() {
-        let e = Expr::if_(Pred::IsFile(p("/ro")), Expr::Skip, Expr::Error);
-        let mut enc = encoder_for(&[&e]);
+        let e = Expr::if_(Pred::is_file(p("/ro")), Expr::SKIP, Expr::ERROR);
+        let mut enc = encoder_for(&[e]);
         enc.mark_read_only(p("/ro"));
         assert!(enc.is_read_only(p("/ro")));
         assert_eq!(enc.tracked_paths(), enc.domain.len() - 1);
         let s0 = enc.initial_state();
-        let s1 = enc.eval_expr(&e, &s0);
+        let s1 = enc.eval_expr(e, &s0);
         assert!(enc.ctx.solve(s1.ok).is_some());
     }
 }

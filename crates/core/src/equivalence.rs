@@ -52,19 +52,19 @@ impl EquivalenceReport {
 ///
 /// // The paper's §4.3 equivalence: a guarded mkdir and its expansion.
 /// let p = FsPath::parse("/a")?;
-/// let e1 = Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p));
+/// let e1 = Expr::if_then(Pred::is_dir(p).not(), Expr::mkdir(p));
 /// let e2 = Expr::if_(
-///     Pred::DoesNotExist(p),
-///     Expr::Mkdir(p),
-///     Expr::if_(Pred::IsFile(p), Expr::Error, Expr::Skip),
+///     Pred::does_not_exist(p),
+///     Expr::mkdir(p),
+///     Expr::if_(Pred::is_file(p), Expr::ERROR, Expr::SKIP),
 /// );
-/// let report = check_expr_equivalence(&e1, &e2, &AnalysisOptions::default())?;
+/// let report = check_expr_equivalence(e1, e2, &AnalysisOptions::default())?;
 /// assert!(report.is_equivalent());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn check_expr_equivalence(
-    e1: &Expr,
-    e2: &Expr,
+    e1: Expr,
+    e2: Expr,
     options: &AnalysisOptions,
 ) -> Result<EquivalenceReport, AnalysisAborted> {
     let deadline = options.timeout.map(|t| Instant::now() + t);
@@ -76,10 +76,8 @@ pub fn check_expr_equivalence(
     let diff = enc.states_differ(&o1, &o2);
     let solved = enc
         .ctx
-        .solve_with_deadline(diff, deadline)
-        .map_err(|_| AnalysisAborted {
-            reason: "timeout during SAT solving".to_string(),
-        })?;
+        .solve_with_budget(diff, deadline, crate::determinism::interrupt_flag(options))
+        .map_err(|_| crate::determinism::solve_abort_reason(options))?;
     match solved {
         None => Ok(EquivalenceReport::Equivalent),
         Some(model) => {
@@ -110,8 +108,8 @@ mod tests {
 
     #[test]
     fn identical_programs_are_equivalent() {
-        let e = Expr::Mkdir(p("/a"));
-        assert!(check_expr_equivalence(&e, &e, &opts())
+        let e = Expr::mkdir(p("/a"));
+        assert!(check_expr_equivalence(e, e, &opts())
             .unwrap()
             .is_equivalent());
     }
@@ -119,9 +117,9 @@ mod tests {
     #[test]
     fn paper_emptydir_vs_dir_witness_populates_directory() {
         // §4.1's completeness example.
-        let e1 = Expr::if_(Pred::IsEmptyDir(p("/a")), Expr::Skip, Expr::Error);
-        let e2 = Expr::if_(Pred::IsDir(p("/a")), Expr::Skip, Expr::Error);
-        match check_expr_equivalence(&e1, &e2, &opts()).unwrap() {
+        let e1 = Expr::if_(Pred::is_empty_dir(p("/a")), Expr::SKIP, Expr::ERROR);
+        let e2 = Expr::if_(Pred::is_dir(p("/a")), Expr::SKIP, Expr::ERROR);
+        match check_expr_equivalence(e1, e2, &opts()).unwrap() {
             EquivalenceReport::Inequivalent {
                 witness,
                 outcome_1,
@@ -140,28 +138,28 @@ mod tests {
 
     #[test]
     fn commuting_writes_make_equal_sequences() {
-        let a = Expr::CreateFile(p("/x"), Content::intern("1"));
-        let b = Expr::CreateFile(p("/y"), Content::intern("2"));
-        let ab = a.clone().seq(b.clone());
+        let a = Expr::create_file(p("/x"), Content::intern("1"));
+        let b = Expr::create_file(p("/y"), Content::intern("2"));
+        let ab = a.seq(b);
         let ba = b.seq(a);
-        assert!(check_expr_equivalence(&ab, &ba, &opts())
+        assert!(check_expr_equivalence(ab, ba, &opts())
             .unwrap()
             .is_equivalent());
     }
 
     #[test]
     fn content_difference_is_detected() {
-        let e1 = Expr::CreateFile(p("/x"), Content::intern("one"));
-        let e2 = Expr::CreateFile(p("/x"), Content::intern("two"));
-        let report = check_expr_equivalence(&e1, &e2, &opts()).unwrap();
+        let e1 = Expr::create_file(p("/x"), Content::intern("one"));
+        let e2 = Expr::create_file(p("/x"), Content::intern("two"));
+        let report = check_expr_equivalence(e1, e2, &opts()).unwrap();
         assert!(!report.is_equivalent());
     }
 
     #[test]
     fn skip_vs_error_guard() {
-        let e1 = Expr::Skip;
-        let e2 = Expr::if_(Pred::IsFile(p("/f")), Expr::Error, Expr::Skip);
-        match check_expr_equivalence(&e1, &e2, &opts()).unwrap() {
+        let e1 = Expr::SKIP;
+        let e2 = Expr::if_(Pred::is_file(p("/f")), Expr::ERROR, Expr::SKIP);
+        match check_expr_equivalence(e1, e2, &opts()).unwrap() {
             EquivalenceReport::Inequivalent { witness, .. } => {
                 assert!(witness.is_file(p("/f")));
             }

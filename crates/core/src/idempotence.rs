@@ -46,7 +46,7 @@ impl IdempotenceReport {
 ///
 /// Returns [`AnalysisAborted`] on timeout.
 pub fn check_expr_idempotence(
-    e: &Expr,
+    e: Expr,
     options: &AnalysisOptions,
 ) -> Result<IdempotenceReport, AnalysisAborted> {
     let deadline = options.timeout.map(|t| Instant::now() + t);
@@ -58,10 +58,8 @@ pub fn check_expr_idempotence(
     let diff = enc.states_differ(&once, &twice);
     let solved = enc
         .ctx
-        .solve_with_deadline(diff, deadline)
-        .map_err(|_| AnalysisAborted {
-            reason: "timeout during SAT solving".to_string(),
-        })?;
+        .solve_with_budget(diff, deadline, crate::determinism::interrupt_flag(options))
+        .map_err(|_| crate::determinism::solve_abort_reason(options))?;
     match solved {
         None => Ok(IdempotenceReport::Idempotent),
         Some(model) => {
@@ -90,8 +88,8 @@ pub fn check_idempotence(
     options: &AnalysisOptions,
 ) -> Result<IdempotenceReport, AnalysisAborted> {
     let order = graph.topological_order();
-    let seq = Expr::seq_all(order.into_iter().map(|i| graph.exprs[i].clone()));
-    check_expr_idempotence(&seq, options)
+    let seq = Expr::seq_all(order.into_iter().map(|i| graph.exprs[i]));
+    check_expr_idempotence(seq, options)
 }
 
 #[cfg(test)]
@@ -105,7 +103,7 @@ mod tests {
 
     #[test]
     fn skip_is_idempotent() {
-        let r = check_expr_idempotence(&Expr::Skip, &AnalysisOptions::default()).unwrap();
+        let r = check_expr_idempotence(Expr::SKIP, &AnalysisOptions::default()).unwrap();
         assert!(r.is_idempotent());
     }
 
@@ -113,8 +111,8 @@ mod tests {
     fn raw_mkdir_is_not_idempotent() {
         // mkdir(/a); mkdir(/a) always fails the second time when the first
         // succeeded.
-        let e = Expr::Mkdir(p("/a"));
-        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        let e = Expr::mkdir(p("/a"));
+        let r = check_expr_idempotence(e, &AnalysisOptions::default()).unwrap();
         match r {
             IdempotenceReport::NotIdempotent(cex) => {
                 assert!(cex.after_once.is_ok());
@@ -126,8 +124,8 @@ mod tests {
 
     #[test]
     fn guarded_mkdir_is_idempotent() {
-        let e = Expr::if_then(Pred::IsDir(p("/a")).not(), Expr::Mkdir(p("/a")));
-        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        let e = Expr::if_then(Pred::is_dir(p("/a")).not(), Expr::mkdir(p("/a")));
+        let r = check_expr_idempotence(e, &AnalysisOptions::default()).unwrap();
         assert!(r.is_idempotent());
     }
 
@@ -137,21 +135,21 @@ mod tests {
         // dependency File[/dst] -> File[/src]: deterministic but NOT
         // idempotent (the second run has no /src to copy).
         let copy = Expr::if_(
-            Pred::DoesNotExist(p("/dst")),
-            Expr::Cp(p("/src"), p("/dst")),
+            Pred::does_not_exist(p("/dst")),
+            Expr::cp(p("/src"), p("/dst")),
             Expr::if_(
-                Pred::IsFile(p("/dst")),
-                Expr::Rm(p("/dst")).seq(Expr::Cp(p("/src"), p("/dst"))),
-                Expr::Error,
+                Pred::is_file(p("/dst")),
+                Expr::rm(p("/dst")).seq(Expr::cp(p("/src"), p("/dst"))),
+                Expr::ERROR,
             ),
         );
         let delete = Expr::if_(
-            Pred::IsFile(p("/src")),
-            Expr::Rm(p("/src")),
-            Expr::if_(Pred::DoesNotExist(p("/src")), Expr::Skip, Expr::Error),
+            Pred::is_file(p("/src")),
+            Expr::rm(p("/src")),
+            Expr::if_(Pred::does_not_exist(p("/src")), Expr::SKIP, Expr::ERROR),
         );
         let e = copy.seq(delete);
-        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        let r = check_expr_idempotence(e, &AnalysisOptions::default()).unwrap();
         match r {
             IdempotenceReport::NotIdempotent(cex) => {
                 assert!(cex.after_once.is_ok(), "first run succeeds");
@@ -166,25 +164,25 @@ mod tests {
         let c = Content::intern("v");
         let f = p("/f");
         let e = Expr::if_(
-            Pred::DoesNotExist(f),
-            Expr::CreateFile(f, c),
+            Pred::does_not_exist(f),
+            Expr::create_file(f, c),
             Expr::if_(
-                Pred::IsFile(f),
-                Expr::Rm(f).seq(Expr::CreateFile(f, c)),
-                Expr::Error,
+                Pred::is_file(f),
+                Expr::rm(f).seq(Expr::create_file(f, c)),
+                Expr::ERROR,
             ),
         );
-        let r = check_expr_idempotence(&e, &AnalysisOptions::default()).unwrap();
+        let r = check_expr_idempotence(e, &AnalysisOptions::default()).unwrap();
         assert!(r.is_idempotent());
     }
 
     #[test]
     fn graph_level_check_uses_topological_order() {
-        let a = Expr::if_then(Pred::IsDir(p("/d")).not(), Expr::Mkdir(p("/d")));
+        let a = Expr::if_then(Pred::is_dir(p("/d")).not(), Expr::mkdir(p("/d")));
         let b = Expr::if_(
-            Pred::DoesNotExist(p("/d/f")),
-            Expr::CreateFile(p("/d/f"), Content::intern("x")),
-            Expr::if_(Pred::IsFile(p("/d/f")), Expr::Skip, Expr::Error),
+            Pred::does_not_exist(p("/d/f")),
+            Expr::create_file(p("/d/f"), Content::intern("x")),
+            Expr::if_(Pred::is_file(p("/d/f")), Expr::SKIP, Expr::ERROR),
         );
         let g = FsGraph::new(
             vec![a, b],

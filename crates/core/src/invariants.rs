@@ -62,7 +62,7 @@ impl InvariantReport {
 /// Returns [`AnalysisAborted`] on timeout (currently only a placeholder,
 /// the query is a single solve).
 pub fn check_expr_invariant(
-    e: &Expr,
+    e: Expr,
     invariant: &Invariant,
     _options: &AnalysisOptions,
 ) -> Result<InvariantReport, AnalysisAborted> {
@@ -71,13 +71,13 @@ pub fn check_expr_invariant(
         Invariant::IsFile(p) | Invariant::IsDir(p) | Invariant::Absent(p) => *p,
     };
     // Make sure the path is part of the domain even if the program never
-    // touches it (raw constructor: the smart `if_` would fold this away).
-    let probe = Expr::If(
-        rehearsal_fs::Pred::IsFile(path),
-        Box::new(Expr::Skip),
-        Box::new(Expr::Error),
-    );
-    let domain = Domain::of_exprs([e, &probe]);
+    // touches it (raw interning: the smart `if_` might fold this away).
+    let probe = Expr::intern(rehearsal_fs::ExprNode::If(
+        rehearsal_fs::Pred::is_file(path),
+        Expr::SKIP,
+        Expr::ERROR,
+    ));
+    let domain = Domain::of_exprs([e, probe]);
     let mut enc = Encoder::new(domain);
     let s0 = enc.initial_state();
     let out = enc.eval_expr(e, &s0);
@@ -113,8 +113,8 @@ pub fn check_invariant(
     options: &AnalysisOptions,
 ) -> Result<InvariantReport, AnalysisAborted> {
     let order = graph.topological_order();
-    let seq = Expr::seq_all(order.into_iter().map(|i| graph.exprs[i].clone()));
-    check_expr_invariant(&seq, invariant, options)
+    let seq = Expr::seq_all(order.into_iter().map(|i| graph.exprs[i]));
+    check_expr_invariant(seq, invariant, options)
 }
 
 #[cfg(test)]
@@ -128,12 +128,12 @@ mod tests {
 
     fn overwrite(path: FsPath, c: Content) -> Expr {
         Expr::if_(
-            Pred::DoesNotExist(path),
-            Expr::CreateFile(path, c),
+            Pred::does_not_exist(path),
+            Expr::create_file(path, c),
             Expr::if_(
-                Pred::IsFile(path),
-                Expr::Rm(path).seq(Expr::CreateFile(path, c)),
-                Expr::Error,
+                Pred::is_file(path),
+                Expr::rm(path).seq(Expr::create_file(path, c)),
+                Expr::ERROR,
             ),
         )
     }
@@ -143,11 +143,11 @@ mod tests {
         let c = Content::intern("motd");
         let e = overwrite(p("/etc/motd"), c);
         let inv = Invariant::FileWithContent(p("/etc/motd"), c);
-        let r = check_expr_invariant(&e, &inv, &AnalysisOptions::default()).unwrap();
+        let r = check_expr_invariant(e, &inv, &AnalysisOptions::default()).unwrap();
         assert!(r.holds());
         // And also the weaker invariant.
         let r2 = check_expr_invariant(
-            &e,
+            e,
             &Invariant::IsFile(p("/etc/motd")),
             &AnalysisOptions::default(),
         )
@@ -162,12 +162,12 @@ mod tests {
         let c = Content::intern("mine");
         let f = p("/f");
         let e = Expr::if_(
-            Pred::DoesNotExist(f),
-            Expr::CreateFile(f, c),
-            Expr::if_(Pred::IsFile(f), Expr::Skip, Expr::Error),
+            Pred::does_not_exist(f),
+            Expr::create_file(f, c),
+            Expr::if_(Pred::is_file(f), Expr::SKIP, Expr::ERROR),
         );
         let inv = Invariant::FileWithContent(f, c);
-        let r = check_expr_invariant(&e, &inv, &AnalysisOptions::default()).unwrap();
+        let r = check_expr_invariant(e, &inv, &AnalysisOptions::default()).unwrap();
         match r {
             InvariantReport::Violated { initial } => {
                 assert!(initial.is_file(f), "witness has a pre-existing file");
@@ -180,24 +180,20 @@ mod tests {
     fn absent_invariant() {
         let f = p("/tmp/scratch");
         let e = Expr::if_(
-            Pred::IsFile(f),
-            Expr::Rm(f),
-            Expr::if_(Pred::DoesNotExist(f), Expr::Skip, Expr::Error),
+            Pred::is_file(f),
+            Expr::rm(f),
+            Expr::if_(Pred::does_not_exist(f), Expr::SKIP, Expr::ERROR),
         );
         let r =
-            check_expr_invariant(&e, &Invariant::Absent(f), &AnalysisOptions::default()).unwrap();
+            check_expr_invariant(e, &Invariant::Absent(f), &AnalysisOptions::default()).unwrap();
         assert!(r.holds());
     }
 
     #[test]
     fn dir_invariant_on_untouched_path_fails() {
-        let e = Expr::Skip;
-        let r = check_expr_invariant(
-            &e,
-            &Invariant::IsDir(p("/var")),
-            &AnalysisOptions::default(),
-        )
-        .unwrap();
+        let e = Expr::SKIP;
+        let r = check_expr_invariant(e, &Invariant::IsDir(p("/var")), &AnalysisOptions::default())
+            .unwrap();
         assert!(!r.holds(), "skip guarantees nothing about /var");
     }
 }

@@ -44,6 +44,7 @@ pub mod encoder;
 pub mod equivalence;
 pub mod idempotence;
 pub mod invariants;
+mod memo;
 pub mod pipeline;
 pub mod prune;
 pub mod repair;

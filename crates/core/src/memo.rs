@@ -1,0 +1,49 @@
+//! Process-wide, id-keyed memo tables for structure-dependent analyses.
+//!
+//! Hash-consed [`Expr`] ids are stable for the process lifetime and
+//! identify structure exactly, so any analysis that depends only on an
+//! expression's structure can be cached here once and shared (as an
+//! `Arc`) with every later caller — across analysis sessions and fleet
+//! worker threads. Like the arena itself, tables are append-only; there
+//! is nothing to invalidate. Memory therefore grows with the number of
+//! *distinct* expressions ever analyzed (summaries are O(paths) each):
+//! right for batch fleet runs and repeated analyses of the same manifests,
+//! while a very long-lived service processing an unbounded stream of novel
+//! manifests should recycle its process (or grow an eviction policy here
+//! and in the arena together).
+
+use rehearsal_fs::Expr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A lazily-initialized, thread-safe `Expr → Arc<T>` memo table.
+pub(crate) struct ExprMemo<T> {
+    table: OnceLock<Mutex<HashMap<Expr, Arc<T>>>>,
+}
+
+impl<T> ExprMemo<T> {
+    /// An empty table (usable in `static` position).
+    pub(crate) const fn new() -> ExprMemo<T> {
+        ExprMemo {
+            table: OnceLock::new(),
+        }
+    }
+
+    /// The memoized value for `e`, computing and caching it on first use.
+    ///
+    /// The lock is not held during `compute`, so two threads may race to
+    /// fill the same entry; both compute the same structural fact and the
+    /// second insert is a harmless overwrite.
+    pub(crate) fn get_or_compute(&self, e: Expr, compute: impl FnOnce() -> T) -> Arc<T> {
+        let table = self.table.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(cached) = table.lock().expect("memo poisoned").get(&e) {
+            return Arc::clone(cached);
+        }
+        let value = Arc::new(compute());
+        table
+            .lock()
+            .expect("memo poisoned")
+            .insert(e, Arc::clone(&value));
+        value
+    }
+}

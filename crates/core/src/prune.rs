@@ -19,11 +19,18 @@
 //! resource touches it, and no resource observes it through the emptiness
 //! of its parent directory. Pruned paths become *read-only*, which the
 //! encoder exploits with a single variable per path.
+//!
+//! Like the access summaries, definitive-write maps depend only on
+//! structure and are memoized process-wide by hash-consed id; the
+//! candidate scan consults the memoized per-node path sets instead of
+//! re-walking expressions.
 
 use crate::commutativity::accesses;
 use crate::determinism::FsGraph;
-use rehearsal_fs::{Content, Expr, FsPath, Pred};
+use crate::memo::ExprMemo;
+use rehearsal_fs::{Content, Expr, ExprNode, FsPath, Pred, PredNode};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Abstract values of fig. 10b: `⊥ ⊏ dir, file(c), dne ⊏ ⊤`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,26 +63,26 @@ impl DefValue {
     }
 }
 
-fn dw(e: &Expr, state: &mut BTreeMap<FsPath, DefValue>) {
-    match e {
-        Expr::Skip | Expr::Error => {}
-        Expr::Mkdir(p) => {
-            state.insert(*p, DefValue::Dir);
+fn dw(e: Expr, state: &mut BTreeMap<FsPath, DefValue>) {
+    match e.node() {
+        ExprNode::Skip | ExprNode::Error => {}
+        ExprNode::Mkdir(p) => {
+            state.insert(p, DefValue::Dir);
         }
-        Expr::CreateFile(p, c) => {
-            state.insert(*p, DefValue::File(*c));
+        ExprNode::CreateFile(p, c) => {
+            state.insert(p, DefValue::File(c));
         }
-        Expr::Rm(p) => {
-            state.insert(*p, DefValue::Dne);
+        ExprNode::Rm(p) => {
+            state.insert(p, DefValue::Dne);
         }
-        Expr::Cp(_, dst) => {
-            state.insert(*dst, DefValue::Top);
+        ExprNode::Cp(_, dst) => {
+            state.insert(dst, DefValue::Top);
         }
-        Expr::Seq(a, b) => {
+        ExprNode::Seq(a, b) => {
             dw(a, state);
             dw(b, state);
         }
-        Expr::If(_, a, b) => {
+        ExprNode::If(_, a, b) => {
             let mut sa = state.clone();
             let mut sb = state.clone();
             dw(a, &mut sa);
@@ -90,11 +97,17 @@ fn dw(e: &Expr, state: &mut BTreeMap<FsPath, DefValue>) {
     }
 }
 
-/// The definitive-write map of an expression (fig. 10b).
-pub fn definitive_writes(e: &Expr) -> BTreeMap<FsPath, DefValue> {
-    let mut state = BTreeMap::new();
-    dw(e, &mut state);
-    state
+type DefMap = BTreeMap<FsPath, DefValue>;
+
+/// The definitive-write map of an expression (fig. 10b), memoized
+/// process-wide by hash-consed id.
+pub fn definitive_writes(e: Expr) -> Arc<DefMap> {
+    static MEMO: ExprMemo<DefMap> = ExprMemo::new();
+    MEMO.get_or_compute(e, || {
+        let mut state = BTreeMap::new();
+        dw(e, &mut state);
+        state
+    })
 }
 
 /// What we know about the pruned path's current state during partial
@@ -146,78 +159,79 @@ fn decide(track: Track, wants: WrittenState) -> Option<bool> {
 /// the non-`p` part of the precondition (e.g. `dir?(parent)`).
 fn parent_dir_pred(p: FsPath) -> Pred {
     match p.parent() {
-        Some(parent) if parent != FsPath::root() => Pred::IsDir(parent),
-        _ => Pred::True, // the root always exists as a directory
+        Some(parent) if parent != FsPath::root() => Pred::is_dir(parent),
+        _ => Pred::TRUE, // the root always exists as a directory
     }
 }
 
 /// Partially evaluates predicates with respect to the pruned path.
 /// Returns `Err(())` when the predicate observes `p` in a way we cannot
 /// residualize (`emptydir?` of `p` itself after a write).
-fn prune_pred(pred: &Pred, p: FsPath, track: Track) -> Result<Pred, ()> {
-    match pred {
-        Pred::True | Pred::False => Ok(pred.clone()),
-        Pred::DoesNotExist(q) if *q == p => {
+fn prune_pred(pred: Pred, p: FsPath, track: Track) -> Result<Pred, ()> {
+    match pred.node() {
+        PredNode::True | PredNode::False => Ok(pred),
+        PredNode::DoesNotExist(q) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             match decide(track, WrittenState::Dne) {
-                Some(true) => Ok(Pred::True),
-                Some(false) => Ok(Pred::False),
-                None => Ok(pred.clone()), // reads the initial value
+                Some(true) => Ok(Pred::TRUE),
+                Some(false) => Ok(Pred::FALSE),
+                None => Ok(pred), // reads the initial value
             }
         }
-        Pred::IsFile(q) if *q == p => {
+        PredNode::IsFile(q) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             match decide(track, WrittenState::File) {
-                Some(true) => Ok(Pred::True),
-                Some(false) => Ok(Pred::False),
-                None => Ok(pred.clone()),
+                Some(true) => Ok(Pred::TRUE),
+                Some(false) => Ok(Pred::FALSE),
+                None => Ok(pred),
             }
         }
-        Pred::IsDir(q) if *q == p => {
+        PredNode::IsDir(q) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             match decide(track, WrittenState::Dir) {
-                Some(true) => Ok(Pred::True),
-                Some(false) => Ok(Pred::False),
-                None => Ok(pred.clone()),
+                Some(true) => Ok(Pred::TRUE),
+                Some(false) => Ok(Pred::FALSE),
+                None => Ok(pred),
             }
         }
-        Pred::IsEmptyDir(q) if *q == p => {
+        PredNode::IsEmptyDir(q) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             // Emptiness depends on children we are not tracking; only safe
             // when we can decide p is not a directory at all.
             match decide(track, WrittenState::Dir) {
-                Some(false) => Ok(Pred::False),
+                Some(false) => Ok(Pred::FALSE),
                 _ => match track {
-                    Track::Initial { .. } => Ok(pred.clone()),
+                    Track::Initial { .. } => Ok(pred),
                     Track::Written(_) | Track::Ambiguous => Err(()),
                 },
             }
         }
-        Pred::DoesNotExist(_) | Pred::IsFile(_) | Pred::IsDir(_) | Pred::IsEmptyDir(_) => {
-            Ok(pred.clone())
-        }
-        Pred::And(a, b) => Ok(prune_pred(a, p, track)?.and(prune_pred(b, p, track)?)),
-        Pred::Or(a, b) => Ok(prune_pred(a, p, track)?.or(prune_pred(b, p, track)?)),
-        Pred::Not(a) => Ok(prune_pred(a, p, track)?.not()),
+        PredNode::DoesNotExist(_)
+        | PredNode::IsFile(_)
+        | PredNode::IsDir(_)
+        | PredNode::IsEmptyDir(_) => Ok(pred),
+        PredNode::And(a, b) => Ok(prune_pred(a, p, track)?.and(prune_pred(b, p, track)?)),
+        PredNode::Or(a, b) => Ok(prune_pred(a, p, track)?.or(prune_pred(b, p, track)?)),
+        PredNode::Not(a) => Ok(prune_pred(a, p, track)?.not()),
     }
 }
 
 /// Refines the tracked initial-value set by a guard known to be true
 /// (`polarity = true`) or false.
-fn refine(track: Track, pred: &Pred, p: FsPath, polarity: bool) -> Track {
+fn refine(track: Track, pred: Pred, p: FsPath, polarity: bool) -> Track {
     let Track::Initial { dne, file, dir } = track else {
         return track;
     };
-    match pred {
-        Pred::DoesNotExist(q) if *q == p => {
+    match pred.node() {
+        PredNode::DoesNotExist(q) if q == p => {
             if polarity {
                 Track::Initial {
                     dne,
@@ -232,7 +246,7 @@ fn refine(track: Track, pred: &Pred, p: FsPath, polarity: bool) -> Track {
                 }
             }
         }
-        Pred::IsFile(q) if *q == p => {
+        PredNode::IsFile(q) if q == p => {
             if polarity {
                 Track::Initial {
                     dne: false,
@@ -247,7 +261,7 @@ fn refine(track: Track, pred: &Pred, p: FsPath, polarity: bool) -> Track {
                 }
             }
         }
-        Pred::IsDir(q) if *q == p => {
+        PredNode::IsDir(q) if q == p => {
             if polarity {
                 Track::Initial {
                     dne: false,
@@ -262,81 +276,81 @@ fn refine(track: Track, pred: &Pred, p: FsPath, polarity: bool) -> Track {
                 }
             }
         }
-        Pred::Not(inner) => refine(track, inner, p, !polarity),
+        PredNode::Not(inner) => refine(track, inner, p, !polarity),
         _ => track,
     }
 }
 
-fn prune_rec(e: &Expr, p: FsPath, track: Track) -> Result<(Expr, Track), ()> {
-    match e {
-        Expr::Skip | Expr::Error => Ok((e.clone(), track)),
-        Expr::Mkdir(q) if *q == p => {
+fn prune_rec(e: Expr, p: FsPath, track: Track) -> Result<(Expr, Track), ()> {
+    match e.node() {
+        ExprNode::Skip | ExprNode::Error => Ok((e, track)),
+        ExprNode::Mkdir(q) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             let pre_self = match decide(track, WrittenState::Dne) {
-                Some(true) => Pred::True,
-                Some(false) => Pred::False,
-                None => Pred::DoesNotExist(p),
+                Some(true) => Pred::TRUE,
+                Some(false) => Pred::FALSE,
+                None => Pred::does_not_exist(p),
             };
             let pre = pre_self.and(parent_dir_pred(p));
             Ok((
-                Expr::if_(pre, Expr::Skip, Expr::Error),
+                Expr::if_(pre, Expr::SKIP, Expr::ERROR),
                 Track::Written(WrittenState::Dir),
             ))
         }
-        Expr::CreateFile(q, _) if *q == p => {
+        ExprNode::CreateFile(q, _) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             let pre_self = match decide(track, WrittenState::Dne) {
-                Some(true) => Pred::True,
-                Some(false) => Pred::False,
-                None => Pred::DoesNotExist(p),
+                Some(true) => Pred::TRUE,
+                Some(false) => Pred::FALSE,
+                None => Pred::does_not_exist(p),
             };
             let pre = pre_self.and(parent_dir_pred(p));
             Ok((
-                Expr::if_(pre, Expr::Skip, Expr::Error),
+                Expr::if_(pre, Expr::SKIP, Expr::ERROR),
                 Track::Written(WrittenState::File),
             ))
         }
-        Expr::Rm(q) if *q == p => {
+        ExprNode::Rm(q) if q == p => {
             if track == Track::Ambiguous {
                 return Err(());
             }
             // Only safe when the path is certainly a file here (emptiness
             // of a directory depends on untracked children).
             let pre = match decide(track, WrittenState::File) {
-                Some(true) => Pred::True,
+                Some(true) => Pred::TRUE,
                 _ => match track {
                     Track::Initial { dir: false, .. } => {
                         // file or dne: rm succeeds iff it is a file.
                         match decide(track, WrittenState::Dne) {
-                            Some(false) => Pred::True,
-                            _ => Pred::IsFile(p),
+                            Some(false) => Pred::TRUE,
+                            _ => Pred::is_file(p),
                         }
                     }
                     _ => return Err(()),
                 },
             };
             Ok((
-                Expr::if_(pre, Expr::Skip, Expr::Error),
+                Expr::if_(pre, Expr::SKIP, Expr::ERROR),
                 Track::Written(WrittenState::Dne),
             ))
         }
-        Expr::Mkdir(q) | Expr::CreateFile(q, _) if q.parent() == Some(p) => {
+        ExprNode::Mkdir(q) | ExprNode::CreateFile(q, _) if q.parent() == Some(p) => {
             // The operation implicitly reads `dir?(p)`. Before any pruned
             // write this is the initial value (consistent with the
             // read-only encoding); after a pruned write it would read a
             // stale value, so pruning must be abandoned.
             match track {
-                Track::Initial { .. } => Ok((e.clone(), track)),
+                Track::Initial { .. } => Ok((e, track)),
                 _ => Err(()),
             }
         }
-        Expr::Mkdir(_) | Expr::CreateFile(_, _) | Expr::Rm(_) => Ok((e.clone(), track)),
-        Expr::Cp(src, dst) => {
-            if *src == p || *dst == p {
+        ExprNode::Mkdir(_) | ExprNode::CreateFile(_, _) | ExprNode::Rm(_) => Ok((e, track)),
+        ExprNode::Cp(src, dst) => {
+            if src == p || dst == p {
                 // Copying content to or from the pruned path cannot be
                 // residualized.
                 return Err(());
@@ -344,25 +358,25 @@ fn prune_rec(e: &Expr, p: FsPath, track: Track) -> Result<(Expr, Track), ()> {
             if dst.parent() == Some(p) && !matches!(track, Track::Initial { .. }) {
                 return Err(());
             }
-            Ok((e.clone(), track))
+            Ok((e, track))
         }
-        Expr::Seq(a, b) => {
+        ExprNode::Seq(a, b) => {
             let (ea, ta) = prune_rec(a, p, track)?;
             let (eb, tb) = prune_rec(b, p, ta)?;
             Ok((ea.seq(eb), tb))
         }
-        Expr::If(pred, then_, else_) => {
+        ExprNode::If(pred, then_, else_) => {
             let residual_pred = prune_pred(pred, p, track)?;
             match residual_pred {
-                Pred::True => prune_rec(then_, p, refine(track, pred, p, true)),
-                Pred::False => prune_rec(else_, p, refine(track, pred, p, false)),
+                Pred::TRUE => prune_rec(then_, p, refine(track, pred, p, true)),
+                Pred::FALSE => prune_rec(else_, p, refine(track, pred, p, false)),
                 rp => {
                     let (et, tt) = prune_rec(then_, p, refine(track, pred, p, true))?;
                     let (ee, te) = prune_rec(else_, p, refine(track, pred, p, false))?;
                     // A branch that halts with err contributes no state.
-                    let track_out = if et == Expr::Error {
+                    let track_out = if et == Expr::ERROR {
                         te
-                    } else if ee == Expr::Error || tt == te {
+                    } else if ee == Expr::ERROR || tt == te {
                         tt
                     } else {
                         // Branches disagree about p's state: safe to carry
@@ -381,7 +395,7 @@ fn prune_rec(e: &Expr, p: FsPath, track: Track) -> Result<(Expr, Track), ()> {
 /// error behavior and its effect on all other paths. Returns `None` when
 /// the expression uses `p` in a shape the partial evaluator cannot handle
 /// (e.g. `cp` through `p`); callers simply skip pruning that path.
-pub fn prune_path(e: &Expr, p: FsPath) -> Option<Expr> {
+pub fn prune_path(e: Expr, p: FsPath) -> Option<Expr> {
     let initial = Track::Initial {
         dne: true,
         file: true,
@@ -389,19 +403,24 @@ pub fn prune_path(e: &Expr, p: FsPath) -> Option<Expr> {
     };
     let (out, _) = prune_rec(e, p, initial).ok()?;
     // Defensive: no write to p may survive.
-    if writes_path(&out, p) {
+    if writes_path(out, p) {
         return None;
     }
     Some(out)
 }
 
-fn writes_path(e: &Expr, p: FsPath) -> bool {
-    match e {
-        Expr::Skip | Expr::Error => false,
-        Expr::Mkdir(q) | Expr::CreateFile(q, _) | Expr::Rm(q) => *q == p,
-        Expr::Cp(_, dst) => *dst == p,
-        Expr::Seq(a, b) => writes_path(a, p) || writes_path(b, p),
-        Expr::If(_, a, b) => writes_path(a, p) || writes_path(b, p),
+fn writes_path(e: Expr, p: FsPath) -> bool {
+    // Cheap pre-filter via the memoized per-node path set: if `p` is not
+    // mentioned at all, it is certainly not written.
+    if !e.paths().contains(&p) {
+        return false;
+    }
+    match e.node() {
+        ExprNode::Skip | ExprNode::Error => false,
+        ExprNode::Mkdir(q) | ExprNode::CreateFile(q, _) | ExprNode::Rm(q) => q == p,
+        ExprNode::Cp(_, dst) => dst == p,
+        ExprNode::Seq(a, b) => writes_path(a, p) || writes_path(b, p),
+        ExprNode::If(_, a, b) => writes_path(a, p) || writes_path(b, p),
     }
 }
 
@@ -412,13 +431,13 @@ fn writes_path(e: &Expr, p: FsPath) -> bool {
 ///
 /// Returns the pruned graph and the set of read-only paths.
 pub fn prune_graph(graph: &FsGraph) -> (FsGraph, BTreeSet<FsPath>) {
-    let defs: Vec<BTreeMap<FsPath, DefValue>> = graph.exprs.iter().map(definitive_writes).collect();
-    let summaries: Vec<_> = graph.exprs.iter().map(accesses).collect();
+    let defs: Vec<Arc<DefMap>> = graph.exprs.iter().map(|&e| definitive_writes(e)).collect();
+    let summaries: Vec<_> = graph.exprs.iter().map(|&e| accesses(e)).collect();
 
     // Candidate paths → owning resource.
     let mut candidates: BTreeMap<FsPath, usize> = BTreeMap::new();
     for (i, d) in defs.iter().enumerate() {
-        for (&p, &v) in d {
+        for (&p, &v) in d.iter() {
             if v.is_definitive() {
                 candidates.entry(p).or_insert(i);
             }
@@ -451,7 +470,7 @@ pub fn prune_graph(graph: &FsGraph) -> (FsGraph, BTreeSet<FsPath>) {
                 continue 'paths;
             }
         }
-        match prune_path(&out.exprs[owner], p) {
+        match prune_path(out.exprs[owner], p) {
             Some(rewritten) => {
                 out.exprs[owner] = rewritten;
                 read_only.insert(p);
@@ -473,50 +492,56 @@ mod tests {
 
     fn overwrite(path: FsPath, c: Content) -> Expr {
         Expr::if_(
-            Pred::DoesNotExist(path),
-            Expr::CreateFile(path, c),
+            Pred::does_not_exist(path),
+            Expr::create_file(path, c),
             Expr::if_(
-                Pred::IsFile(path),
-                Expr::Rm(path).seq(Expr::CreateFile(path, c)),
-                Expr::Error,
+                Pred::is_file(path),
+                Expr::rm(path).seq(Expr::create_file(path, c)),
+                Expr::ERROR,
             ),
         )
     }
 
     fn ensure_dir(path: FsPath) -> Expr {
-        Expr::if_then(Pred::IsDir(path).not(), Expr::Mkdir(path))
+        Expr::if_then(Pred::is_dir(path).not(), Expr::mkdir(path))
     }
 
     #[test]
     fn definitive_writes_basic() {
         let c = Content::intern("x");
-        let e = Expr::CreateFile(p("/f"), c);
-        assert_eq!(definitive_writes(&e)[&p("/f")], DefValue::File(c));
-        let e2 = Expr::Mkdir(p("/d"));
-        assert_eq!(definitive_writes(&e2)[&p("/d")], DefValue::Dir);
-        let e3 = Expr::Rm(p("/f"));
-        assert_eq!(definitive_writes(&e3)[&p("/f")], DefValue::Dne);
+        let e = Expr::create_file(p("/f"), c);
+        assert_eq!(definitive_writes(e)[&p("/f")], DefValue::File(c));
+        let e2 = Expr::mkdir(p("/d"));
+        assert_eq!(definitive_writes(e2)[&p("/d")], DefValue::Dir);
+        let e3 = Expr::rm(p("/f"));
+        assert_eq!(definitive_writes(e3)[&p("/f")], DefValue::Dne);
+    }
+
+    #[test]
+    fn definitive_writes_are_memoized() {
+        let e = overwrite(p("/dwmemo"), Content::intern("v"));
+        assert!(Arc::ptr_eq(&definitive_writes(e), &definitive_writes(e)));
     }
 
     #[test]
     fn branches_that_agree_stay_definitive() {
         let c = Content::intern("x");
         let e = Expr::if_(
-            Pred::IsFile(p("/q")),
-            Expr::CreateFile(p("/f"), c),
-            Expr::CreateFile(p("/f"), c),
+            Pred::is_file(p("/q")),
+            Expr::create_file(p("/f"), c),
+            Expr::create_file(p("/f"), c),
         );
-        assert_eq!(definitive_writes(&e)[&p("/f")], DefValue::File(c));
+        assert_eq!(definitive_writes(e)[&p("/f")], DefValue::File(c));
     }
 
     #[test]
     fn branches_that_disagree_are_top() {
         let e = Expr::if_(
-            Pred::IsFile(p("/q")),
-            Expr::CreateFile(p("/f"), Content::intern("a")),
-            Expr::CreateFile(p("/f"), Content::intern("b")),
+            Pred::is_file(p("/q")),
+            Expr::create_file(p("/f"), Content::intern("a")),
+            Expr::create_file(p("/f"), Content::intern("b")),
         );
-        assert_eq!(definitive_writes(&e)[&p("/f")], DefValue::Top);
+        assert_eq!(definitive_writes(e)[&p("/f")], DefValue::Top);
     }
 
     #[test]
@@ -524,23 +549,23 @@ mod tests {
         // The literal fig. 10b join: untouched else-branch does not destroy
         // definitiveness.
         let e = ensure_dir(p("/d"));
-        assert_eq!(definitive_writes(&e)[&p("/d")], DefValue::Dir);
+        assert_eq!(definitive_writes(e)[&p("/d")], DefValue::Dir);
         let c = Content::intern("v");
         let o = overwrite(p("/f"), c);
-        assert_eq!(definitive_writes(&o)[&p("/f")], DefValue::File(c));
+        assert_eq!(definitive_writes(o)[&p("/f")], DefValue::File(c));
     }
 
     #[test]
     fn sequencing_takes_last_write() {
         let c = Content::intern("x");
-        let e = Expr::CreateFile(p("/f"), c).seq(Expr::Rm(p("/f")));
-        assert_eq!(definitive_writes(&e)[&p("/f")], DefValue::Dne);
+        let e = Expr::create_file(p("/f"), c).seq(Expr::rm(p("/f")));
+        assert_eq!(definitive_writes(e)[&p("/f")], DefValue::Dne);
     }
 
     #[test]
     fn cp_destination_is_top() {
-        let e = Expr::Cp(p("/a"), p("/b"));
-        assert_eq!(definitive_writes(&e)[&p("/b")], DefValue::Top);
+        let e = Expr::cp(p("/a"), p("/b"));
+        assert_eq!(definitive_writes(e)[&p("/b")], DefValue::Top);
     }
 
     /// The paper's central pruning equivalence (shown in §4.4):
@@ -549,14 +574,14 @@ mod tests {
     #[test]
     fn prune_preserves_guarded_reads() {
         let d = p("/d");
-        let e1 = Expr::Mkdir(d).seq(Expr::if_(Pred::IsDir(d), Expr::Skip, Expr::Error));
-        let e2 = Expr::Mkdir(d);
-        let p1 = prune_path(&e1, d).expect("prunable");
-        let p2 = prune_path(&e2, d).expect("prunable");
+        let e1 = Expr::mkdir(d).seq(Expr::if_(Pred::is_dir(d), Expr::SKIP, Expr::ERROR));
+        let e2 = Expr::mkdir(d);
+        let p1 = prune_path(e1, d).expect("prunable");
+        let p2 = prune_path(e2, d).expect("prunable");
         // Both residuals behave identically on every state (they only check
         // the precondition).
-        check_equiv_brute_force(&p1, &p2, &[d], &[]).expect("pruned forms equivalent");
-        assert!(!writes_path(&p1, d));
+        check_equiv_brute_force(p1, p2, &[d], &[]).expect("pruned forms equivalent");
+        assert!(!writes_path(p1, d));
     }
 
     #[test]
@@ -564,7 +589,7 @@ mod tests {
         let f = p("/x/f");
         let c = Content::intern("v");
         let e = overwrite(f, c);
-        let pruned = prune_path(&e, f).expect("prunable");
+        let pruned = prune_path(e, f).expect("prunable");
         // The residual errs exactly when the original errs.
         let c2 = Content::intern("other");
         let states = [
@@ -579,8 +604,8 @@ mod tests {
         ];
         for fs in &states {
             assert_eq!(
-                eval(&e, fs).is_ok(),
-                eval(&pruned, fs).is_ok(),
+                eval(e, fs).is_ok(),
+                eval(pruned, fs).is_ok(),
                 "error behavior must be preserved on {fs}"
             );
         }
@@ -588,9 +613,9 @@ mod tests {
 
     #[test]
     fn prune_rejects_cp() {
-        let e = Expr::Cp(p("/src"), p("/dst"));
-        assert!(prune_path(&e, p("/dst")).is_none());
-        assert!(prune_path(&e, p("/src")).is_none());
+        let e = Expr::cp(p("/src"), p("/dst"));
+        assert!(prune_path(e, p("/dst")).is_none());
+        assert!(prune_path(e, p("/src")).is_none());
     }
 
     #[test]
@@ -601,18 +626,18 @@ mod tests {
         let f = p("/usr/f");
         let c = Content::intern("pkg:f");
         let body = ensure_dir(p("/usr"))
-            .seq(Expr::CreateFile(f, c))
-            .seq(Expr::CreateFile(m, Content::intern("marker")));
+            .seq(Expr::create_file(f, c))
+            .seq(Expr::create_file(m, Content::intern("marker")));
         let e = Expr::if_(
-            Pred::DoesNotExist(m),
+            Pred::does_not_exist(m),
             body,
-            Expr::if_(Pred::IsFile(m), Expr::Skip, Expr::Error),
+            Expr::if_(Pred::is_file(m), Expr::SKIP, Expr::ERROR),
         );
-        let pruned = prune_path(&e, f).expect("prunable");
-        assert!(!writes_path(&pruned, f));
+        let pruned = prune_path(e, f).expect("prunable");
+        assert!(!writes_path(pruned, f));
         // The marker and /usr writes are untouched.
-        assert!(writes_path(&pruned, m));
-        assert!(writes_path(&pruned, p("/usr")));
+        assert!(writes_path(pruned, m));
+        assert!(writes_path(pruned, p("/usr")));
     }
 
     #[test]
@@ -621,7 +646,7 @@ mod tests {
         let f = p("/only/f");
         let shared = p("/shared");
         let e1 = ensure_dir(p("/only"))
-            .seq(Expr::CreateFile(f, c))
+            .seq(Expr::create_file(f, c))
             .seq(overwrite(shared, Content::intern("a")));
         let e2 = overwrite(shared, Content::intern("b"));
         let g = FsGraph::new(
@@ -632,16 +657,16 @@ mod tests {
         let (pruned, ro) = prune_graph(&g);
         assert!(ro.contains(&f), "/only/f has one owner and no observers");
         assert!(!ro.contains(&shared), "shared path written by both");
-        assert!(!writes_path(&pruned.exprs[0], f));
-        assert!(writes_path(&pruned.exprs[0], shared));
+        assert!(!writes_path(pruned.exprs[0], f));
+        assert!(writes_path(pruned.exprs[0], shared));
     }
 
     #[test]
     fn prune_graph_blocks_parent_observers() {
         // r0 creates /d/f; r1 removes /d (observes /d's children).
         let f = p("/d/f");
-        let e1 = Expr::CreateFile(f, Content::intern("x"));
-        let e2 = Expr::Rm(p("/d"));
+        let e1 = Expr::create_file(f, Content::intern("x"));
+        let e2 = Expr::rm(p("/d"));
         let g = FsGraph::new(
             vec![e1, e2],
             BTreeSet::new(),

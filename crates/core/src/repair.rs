@@ -47,7 +47,8 @@ pub fn suggest_repair(
     graph: &FsGraph,
     options: &AnalysisOptions,
 ) -> Result<RepairReport, AnalysisAborted> {
-    let summaries: Vec<AccessSummary> = graph.exprs.iter().map(accesses).collect();
+    let summaries: Vec<std::sync::Arc<AccessSummary>> =
+        graph.exprs.iter().map(|&e| accesses(e)).collect();
     let mut work = graph.clone();
     let mut added: Vec<(usize, usize)> = Vec::new();
     // Each round adds one edge; n² bounds the rounds.
@@ -79,7 +80,7 @@ pub fn suggest_repair(
 /// acyclic.
 fn pick_edge(
     graph: &FsGraph,
-    summaries: &[AccessSummary],
+    summaries: &[std::sync::Arc<AccessSummary>],
     order_a: &[usize],
     order_b: &[usize],
 ) -> Option<(usize, usize)> {
@@ -142,7 +143,7 @@ mod tests {
 
     #[test]
     fn deterministic_graph_needs_no_repair() {
-        let g = graph(vec![Expr::Skip, Expr::Skip], &[]);
+        let g = graph(vec![Expr::SKIP, Expr::SKIP], &[]);
         let r = suggest_repair(&g, &AnalysisOptions::default()).unwrap();
         assert!(matches!(r, RepairReport::AlreadyDeterministic));
     }
@@ -150,11 +151,11 @@ mod tests {
     #[test]
     fn missing_dependency_is_repaired() {
         // mkdir /d unordered with creat /d/f: the classic missing edge.
-        let a = Expr::if_then(Pred::IsDir(p("/d")).not(), Expr::Mkdir(p("/d")));
+        let a = Expr::if_then(Pred::is_dir(p("/d")).not(), Expr::mkdir(p("/d")));
         let b = Expr::if_(
-            Pred::DoesNotExist(p("/d/f")),
-            Expr::CreateFile(p("/d/f"), Content::intern("x")),
-            Expr::if_(Pred::IsFile(p("/d/f")), Expr::Skip, Expr::Error),
+            Pred::does_not_exist(p("/d/f")),
+            Expr::create_file(p("/d/f"), Content::intern("x")),
+            Expr::if_(Pred::is_file(p("/d/f")), Expr::SKIP, Expr::ERROR),
         );
         let g = graph(vec![a, b], &[]);
         let r = suggest_repair(&g, &AnalysisOptions::default()).unwrap();
@@ -168,11 +169,11 @@ mod tests {
 
     #[test]
     fn repaired_graph_verifies() {
-        let a = Expr::if_then(Pred::IsDir(p("/d")).not(), Expr::Mkdir(p("/d")));
+        let a = Expr::if_then(Pred::is_dir(p("/d")).not(), Expr::mkdir(p("/d")));
         let b = Expr::if_(
-            Pred::DoesNotExist(p("/d/f")),
-            Expr::CreateFile(p("/d/f"), Content::intern("x")),
-            Expr::if_(Pred::IsFile(p("/d/f")), Expr::Skip, Expr::Error),
+            Pred::does_not_exist(p("/d/f")),
+            Expr::create_file(p("/d/f"), Content::intern("x")),
+            Expr::if_(Pred::is_file(p("/d/f")), Expr::SKIP, Expr::ERROR),
         );
         let mut g = graph(vec![a, b], &[]);
         if let RepairReport::Repaired { added_edges } =
@@ -191,12 +192,12 @@ mod tests {
     fn multiple_conflicts_need_multiple_edges() {
         let w = |path: &str, c: &str| {
             Expr::if_(
-                Pred::DoesNotExist(p(path)),
-                Expr::CreateFile(p(path), Content::intern(c)),
+                Pred::does_not_exist(p(path)),
+                Expr::create_file(p(path), Content::intern(c)),
                 Expr::if_(
-                    Pred::IsFile(p(path)),
-                    Expr::Rm(p(path)).seq(Expr::CreateFile(p(path), Content::intern(c))),
-                    Expr::Error,
+                    Pred::is_file(p(path)),
+                    Expr::rm(p(path)).seq(Expr::create_file(p(path), Content::intern(c))),
+                    Expr::ERROR,
                 ),
             )
         };

@@ -128,8 +128,8 @@ mod tests {
 
     #[test]
     fn renders_nondeterministic_report() {
-        let a = Expr::Mkdir(p("/dir"));
-        let b = Expr::CreateFile(p("/dir/f"), Content::intern("x"));
+        let a = Expr::mkdir(p("/dir"));
+        let b = Expr::create_file(p("/dir/f"), Content::intern("x"));
         let g = FsGraph::new(
             vec![a, b],
             BTreeSet::new(),
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn renders_deterministic_report() {
-        let g = FsGraph::new(vec![Expr::Skip], BTreeSet::new(), vec!["Notify[x]".into()]);
+        let g = FsGraph::new(vec![Expr::SKIP], BTreeSet::new(), vec!["Notify[x]".into()]);
         let report = check_determinism(&g, &AnalysisOptions::default()).unwrap();
         let text = render_determinism(&report, &g);
         assert!(text.starts_with("deterministic"), "{text}");
@@ -155,9 +155,9 @@ mod tests {
     fn renders_divergent_success_states() {
         let w = |c: &str| {
             Expr::if_(
-                Pred::DoesNotExist(p("/f")),
-                Expr::CreateFile(p("/f"), Content::intern(c)),
-                Expr::Skip,
+                Pred::does_not_exist(p("/f")),
+                Expr::create_file(p("/f"), Content::intern(c)),
+                Expr::SKIP,
             )
         };
         let g = FsGraph::new(
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn renders_idempotence_counterexample() {
         let report =
-            check_expr_idempotence(&Expr::Mkdir(p("/a")), &AnalysisOptions::default()).unwrap();
+            check_expr_idempotence(Expr::mkdir(p("/a")), &AnalysisOptions::default()).unwrap();
         let text = render_idempotence(&report);
         assert!(text.contains("NOT IDEMPOTENT"), "{text}");
         assert!(text.contains("after two applications: error"), "{text}");

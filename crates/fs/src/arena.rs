@@ -1,0 +1,409 @@
+//! The process-global hash-consing arena backing the FS IR.
+//!
+//! [`Pred`](crate::Pred) and [`Expr`](crate::Expr) are `Copy`-able `u32`
+//! handles into this arena, in exactly the way [`crate::intern`] already
+//! makes paths and contents `Copy` handles. Interning a node first looks it
+//! up structurally: building the same tree twice yields the *same* handle,
+//! so `==` on handles is O(1) structural equality and common subtrees are
+//! stored (and later analyzed) exactly once.
+//!
+//! # Lifecycle
+//!
+//! The arena is **process-global and append-only**, like the path/content
+//! interner it composes with: node ids stay valid for the lifetime of the
+//! process, across every analysis session, and are never invalidated or
+//! garbage-collected. This is the right trade for Rehearsal's workloads —
+//! resource models are built from a small vocabulary of idioms
+//! (`ensure_dir`, `overwrite`, …) over an interned path universe, so the
+//! arena saturates quickly and every later analysis re-uses the same nodes.
+//! Per-expression *analysis* results that depend only on structure (path
+//! sets, node counts) are memoized here as well; analysis state that
+//! depends on a solver context (symbolic states, formulas) is memoized
+//! per-`Encoder` in `rehearsal-core` instead, keyed by these ids.
+//!
+//! Nodes hold only `Copy` data (interned paths/contents and child ids), so
+//! lookups copy nodes out of the store and no lock is held during
+//! recursion. Reads take a shared `RwLock` guard, so fleet worker threads
+//! traverse the arena in parallel; the remaining per-node cost under heavy
+//! multi-core load is the readers' shared lock word (entries are immutable
+//! once published, so a lock-free read path over the append-only store is
+//! the natural next step if that ever shows up in profiles).
+
+use crate::ast::{ExprNode, PredNode};
+use crate::path::{Content, FsPath};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// One interned predicate with its memoized structural facts.
+#[derive(Debug)]
+struct PredEntry {
+    node: PredNode,
+    /// Number of AST nodes (children are interned first, so this is
+    /// computed eagerly in O(1) at interning time).
+    size: u64,
+    /// Lazily computed, shared set of mentioned paths.
+    paths: Option<Arc<BTreeSet<FsPath>>>,
+}
+
+/// One interned expression with its memoized structural facts.
+#[derive(Debug)]
+struct ExprEntry {
+    node: ExprNode,
+    size: u64,
+    paths: Option<Arc<BTreeSet<FsPath>>>,
+    contents: Option<Arc<BTreeSet<Content>>>,
+}
+
+/// Counters describing the arena (see [`arena_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct predicate nodes interned so far.
+    pub pred_nodes: usize,
+    /// Distinct expression nodes interned so far.
+    pub expr_nodes: usize,
+    /// Predicate interning requests served by an existing node.
+    pub pred_dedup_hits: u64,
+    /// Expression interning requests served by an existing node.
+    pub expr_dedup_hits: u64,
+}
+
+impl ArenaStats {
+    /// Total interning requests (constructed + deduplicated).
+    pub fn requests(&self) -> u64 {
+        self.pred_nodes as u64
+            + self.expr_nodes as u64
+            + self.pred_dedup_hits
+            + self.expr_dedup_hits
+    }
+
+    /// Fraction of interning requests answered by sharing an existing node
+    /// (0.0 when nothing has been interned).
+    pub fn dedup_ratio(&self) -> f64 {
+        let requests = self.requests();
+        if requests == 0 {
+            return 0.0;
+        }
+        (self.pred_dedup_hits + self.expr_dedup_hits) as f64 / requests as f64
+    }
+
+    /// The arena growth between two snapshots (`self` taken after `base`).
+    pub fn since(&self, base: &ArenaStats) -> ArenaStats {
+        ArenaStats {
+            pred_nodes: self.pred_nodes - base.pred_nodes,
+            expr_nodes: self.expr_nodes - base.expr_nodes,
+            pred_dedup_hits: self.pred_dedup_hits - base.pred_dedup_hits,
+            expr_dedup_hits: self.expr_dedup_hits - base.expr_dedup_hits,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct IrStore {
+    preds: Vec<PredEntry>,
+    pred_lookup: HashMap<PredNode, u32>,
+    exprs: Vec<ExprEntry>,
+    expr_lookup: HashMap<ExprNode, u32>,
+    pred_hits: u64,
+    expr_hits: u64,
+}
+
+impl IrStore {
+    fn new() -> IrStore {
+        let mut s = IrStore::default();
+        // Fixed ids for the constants, mirroring the solver's `Ctx`:
+        // `Pred::TRUE`/`Pred::FALSE` and `Expr::SKIP`/`Expr::ERROR` are
+        // `const` handles relying on this seeding order.
+        s.intern_pred(PredNode::True); // 0
+        s.intern_pred(PredNode::False); // 1
+        s.intern_expr(ExprNode::Skip); // 0
+        s.intern_expr(ExprNode::Error); // 1
+        s.pred_hits = 0;
+        s.expr_hits = 0;
+        s
+    }
+
+    pub(crate) fn intern_pred(&mut self, node: PredNode) -> u32 {
+        if let Some(&id) = self.pred_lookup.get(&node) {
+            self.pred_hits += 1;
+            return id;
+        }
+        let size = match node {
+            PredNode::True
+            | PredNode::False
+            | PredNode::DoesNotExist(_)
+            | PredNode::IsFile(_)
+            | PredNode::IsDir(_)
+            | PredNode::IsEmptyDir(_) => 1,
+            PredNode::And(a, b) | PredNode::Or(a, b) => {
+                1 + self.preds[a.index() as usize].size + self.preds[b.index() as usize].size
+            }
+            PredNode::Not(a) => 1 + self.preds[a.index() as usize].size,
+        };
+        let id = self.preds.len() as u32;
+        self.preds.push(PredEntry {
+            node,
+            size,
+            paths: None,
+        });
+        self.pred_lookup.insert(node, id);
+        id
+    }
+
+    pub(crate) fn intern_expr(&mut self, node: ExprNode) -> u32 {
+        if let Some(&id) = self.expr_lookup.get(&node) {
+            self.expr_hits += 1;
+            return id;
+        }
+        let size = match node {
+            ExprNode::Skip
+            | ExprNode::Error
+            | ExprNode::Mkdir(_)
+            | ExprNode::CreateFile(_, _)
+            | ExprNode::Rm(_)
+            | ExprNode::Cp(_, _) => 1,
+            ExprNode::Seq(a, b) => {
+                1 + self.exprs[a.index() as usize].size + self.exprs[b.index() as usize].size
+            }
+            ExprNode::If(p, a, b) => {
+                1 + self.preds[p.index() as usize].size
+                    + self.exprs[a.index() as usize].size
+                    + self.exprs[b.index() as usize].size
+            }
+        };
+        let id = self.exprs.len() as u32;
+        self.exprs.push(ExprEntry {
+            node,
+            size,
+            paths: None,
+            contents: None,
+        });
+        self.expr_lookup.insert(node, id);
+        id
+    }
+
+    pub(crate) fn pred_node(&self, id: u32) -> PredNode {
+        self.preds[id as usize].node
+    }
+
+    pub(crate) fn expr_node(&self, id: u32) -> ExprNode {
+        self.exprs[id as usize].node
+    }
+
+    pub(crate) fn pred_size(&self, id: u32) -> u64 {
+        self.preds[id as usize].size
+    }
+
+    pub(crate) fn expr_size(&self, id: u32) -> u64 {
+        self.exprs[id as usize].size
+    }
+
+    /// Already-computed path set of a predicate, if any (read-only probe
+    /// so the common cached case needs no exclusive lock).
+    pub(crate) fn try_pred_paths(&self, id: u32) -> Option<Arc<BTreeSet<FsPath>>> {
+        self.preds[id as usize].paths.as_ref().map(Arc::clone)
+    }
+
+    /// Already-computed path set of an expression, if any.
+    pub(crate) fn try_expr_paths(&self, id: u32) -> Option<Arc<BTreeSet<FsPath>>> {
+        self.exprs[id as usize].paths.as_ref().map(Arc::clone)
+    }
+
+    /// Already-computed content set of an expression, if any.
+    pub(crate) fn try_expr_contents(&self, id: u32) -> Option<Arc<BTreeSet<Content>>> {
+        self.exprs[id as usize].contents.as_ref().map(Arc::clone)
+    }
+
+    /// Memoized path set of a predicate, computed with an explicit stack
+    /// (two-phase DFS) so the single lock acquisition covers the whole
+    /// computation without recursion.
+    pub(crate) fn pred_paths(&mut self, root: u32) -> Arc<BTreeSet<FsPath>> {
+        if let Some(cached) = &self.preds[root as usize].paths {
+            return Arc::clone(cached);
+        }
+        // (id, children_visited)
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.preds[id as usize].paths.is_some() {
+                continue;
+            }
+            let node = self.preds[id as usize].node;
+            if !expanded {
+                stack.push((id, true));
+                match node {
+                    PredNode::And(a, b) | PredNode::Or(a, b) => {
+                        stack.push((a.index(), false));
+                        stack.push((b.index(), false));
+                    }
+                    PredNode::Not(a) => stack.push((a.index(), false)),
+                    _ => {}
+                }
+                continue;
+            }
+            let set = match node {
+                PredNode::True | PredNode::False => Arc::new(BTreeSet::new()),
+                PredNode::DoesNotExist(p)
+                | PredNode::IsFile(p)
+                | PredNode::IsDir(p)
+                | PredNode::IsEmptyDir(p) => Arc::new(BTreeSet::from([p])),
+                PredNode::And(a, b) | PredNode::Or(a, b) => merge_sets(
+                    self.cached_pred_paths(a.index()),
+                    self.cached_pred_paths(b.index()),
+                ),
+                PredNode::Not(a) => self.cached_pred_paths(a.index()),
+            };
+            self.preds[id as usize].paths = Some(set);
+        }
+        self.cached_pred_paths(root)
+    }
+
+    fn cached_pred_paths(&self, id: u32) -> Arc<BTreeSet<FsPath>> {
+        Arc::clone(self.preds[id as usize].paths.as_ref().expect("computed"))
+    }
+
+    fn cached_expr_paths(&self, id: u32) -> Arc<BTreeSet<FsPath>> {
+        Arc::clone(self.exprs[id as usize].paths.as_ref().expect("computed"))
+    }
+
+    /// Memoized path set of an expression (includes guard predicates).
+    pub(crate) fn expr_paths(&mut self, root: u32) -> Arc<BTreeSet<FsPath>> {
+        if let Some(cached) = &self.exprs[root as usize].paths {
+            return Arc::clone(cached);
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.exprs[id as usize].paths.is_some() {
+                continue;
+            }
+            let node = self.exprs[id as usize].node;
+            if !expanded {
+                stack.push((id, true));
+                match node {
+                    ExprNode::Seq(a, b) => {
+                        stack.push((a.index(), false));
+                        stack.push((b.index(), false));
+                    }
+                    ExprNode::If(_, a, b) => {
+                        stack.push((a.index(), false));
+                        stack.push((b.index(), false));
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let set = match node {
+                ExprNode::Skip | ExprNode::Error => Arc::new(BTreeSet::new()),
+                ExprNode::Mkdir(p) | ExprNode::CreateFile(p, _) | ExprNode::Rm(p) => {
+                    Arc::new(BTreeSet::from([p]))
+                }
+                ExprNode::Cp(a, b) => Arc::new(BTreeSet::from([a, b])),
+                ExprNode::Seq(a, b) => merge_sets(
+                    self.cached_expr_paths(a.index()),
+                    self.cached_expr_paths(b.index()),
+                ),
+                ExprNode::If(p, a, b) => {
+                    let guard = self.pred_paths(p.index());
+                    let branches = merge_sets(
+                        self.cached_expr_paths(a.index()),
+                        self.cached_expr_paths(b.index()),
+                    );
+                    merge_sets(guard, branches)
+                }
+            };
+            self.exprs[id as usize].paths = Some(set);
+        }
+        self.cached_expr_paths(root)
+    }
+
+    /// Memoized content set of an expression.
+    pub(crate) fn expr_contents(&mut self, root: u32) -> Arc<BTreeSet<Content>> {
+        if let Some(cached) = &self.exprs[root as usize].contents {
+            return Arc::clone(cached);
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.exprs[id as usize].contents.is_some() {
+                continue;
+            }
+            let node = self.exprs[id as usize].node;
+            if !expanded {
+                stack.push((id, true));
+                match node {
+                    ExprNode::Seq(a, b) | ExprNode::If(_, a, b) => {
+                        stack.push((a.index(), false));
+                        stack.push((b.index(), false));
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let cached = |i: u32| -> Arc<BTreeSet<Content>> {
+                Arc::clone(self.exprs[i as usize].contents.as_ref().expect("computed"))
+            };
+            let set = match node {
+                ExprNode::CreateFile(_, c) => Arc::new(BTreeSet::from([c])),
+                ExprNode::Seq(a, b) | ExprNode::If(_, a, b) => {
+                    merge_sets(cached(a.index()), cached(b.index()))
+                }
+                _ => Arc::new(BTreeSet::new()),
+            };
+            self.exprs[id as usize].contents = Some(set);
+        }
+        Arc::clone(
+            self.exprs[root as usize]
+                .contents
+                .as_ref()
+                .expect("computed"),
+        )
+    }
+
+    fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            pred_nodes: self.preds.len(),
+            expr_nodes: self.exprs.len(),
+            pred_dedup_hits: self.pred_hits,
+            expr_dedup_hits: self.expr_hits,
+        }
+    }
+}
+
+/// Unions two shared sets, reusing either side when it already contains
+/// the other (the common case for `Seq` spines, where the accumulated set
+/// is a superset of each new leaf).
+fn merge_sets<T: Ord + Copy>(a: Arc<BTreeSet<T>>, b: Arc<BTreeSet<T>>) -> Arc<BTreeSet<T>> {
+    if b.iter().all(|x| a.contains(x)) {
+        return a;
+    }
+    if a.iter().all(|x| b.contains(x)) {
+        return b;
+    }
+    let mut out = (*a).clone();
+    out.extend(b.iter().copied());
+    Arc::new(out)
+}
+
+fn ir() -> &'static RwLock<IrStore> {
+    static IR: OnceLock<RwLock<IrStore>> = OnceLock::new();
+    IR.get_or_init(|| RwLock::new(IrStore::new()))
+}
+
+/// Mutating access (interning, filling memo caches): exclusive lock.
+pub(crate) fn with_ir<R>(f: impl FnOnce(&mut IrStore) -> R) -> R {
+    let mut guard = ir().write().expect("IR arena poisoned");
+    f(&mut guard)
+}
+
+/// Read-only access (node/size lookups — the per-node hot path of every
+/// evaluator and analysis): shared lock, so fleet worker threads running
+/// independent analyses read the arena in parallel.
+pub(crate) fn read_ir<R>(f: impl FnOnce(&IrStore) -> R) -> R {
+    let guard = ir().read().expect("IR arena poisoned");
+    f(&guard)
+}
+
+/// A snapshot of the arena's size and sharing counters.
+///
+/// The arena is process-global and append-only, so meaningful per-workload
+/// numbers come from diffing two snapshots with [`ArenaStats::since`].
+pub fn arena_stats() -> ArenaStats {
+    with_ir(|ir| ir.stats())
+}

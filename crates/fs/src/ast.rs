@@ -5,14 +5,60 @@
 //! predicates denote filesystem observations. Resources compiled from Puppet
 //! manifests are FS programs, and all of Rehearsal's analyses operate on
 //! this language.
+//!
+//! # Representation
+//!
+//! [`Pred`] and [`Expr`] are `Copy`-able handles into the process-global
+//! hash-consing arena of [`crate::arena`]: structurally identical trees are
+//! interned once and get the same handle, so `==` on handles is O(1)
+//! structural equality and subtree facts ([`Expr::paths`], [`Expr::size`],
+//! …) are memoized per node. Inspect structure through [`Pred::node`] /
+//! [`Expr::node`], which return the [`PredNode`] / [`ExprNode`] one level
+//! deep with child *handles* in place of the old boxed subtrees.
 
+use crate::arena::{read_ir, with_ir};
 use crate::path::{Content, FsPath};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-/// A predicate over filesystem states (paper fig. 5).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Pred {
+/// A handle to a hash-consed predicate over filesystem states (paper
+/// fig. 5).
+///
+/// Handles are `Copy` and equality on them is O(1) *structural* equality:
+/// two predicates built the same way are the same handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(u32);
+
+/// The canonical name for [`PredId`] used throughout the codebase.
+pub type Pred = PredId;
+
+/// A handle to a hash-consed FS expression (paper fig. 5).
+///
+/// Handles are `Copy` and equality on them is O(1) structural equality.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_fs::{Expr, FsPath, Content, Pred};
+/// let vimrc = FsPath::parse("/home/carol/.vimrc")?;
+/// let e = Expr::if_(
+///     Pred::is_dir(vimrc.parent().unwrap()),
+///     Expr::create_file(vimrc, Content::intern("syntax on")),
+///     Expr::ERROR,
+/// );
+/// assert!(e.paths().contains(&vimrc));
+/// # Ok::<(), rehearsal_fs::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(u32);
+
+/// The canonical name for [`ExprId`] used throughout the codebase.
+pub type Expr = ExprId;
+
+/// One level of predicate structure, with child handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredNode {
     /// Always true.
     True,
     /// Always false.
@@ -26,112 +72,16 @@ pub enum Pred {
     /// `emptydir?(p)` — the path is a directory with no children.
     IsEmptyDir(FsPath),
     /// Conjunction.
-    And(Box<Pred>, Box<Pred>),
+    And(Pred, Pred),
     /// Disjunction.
-    Or(Box<Pred>, Box<Pred>),
+    Or(Pred, Pred),
     /// Negation.
-    Not(Box<Pred>),
+    Not(Pred),
 }
 
-impl Pred {
-    /// Conjunction with constant folding.
-    pub fn and(self, other: Pred) -> Pred {
-        match (self, other) {
-            (Pred::True, p) | (p, Pred::True) => p,
-            (Pred::False, _) | (_, Pred::False) => Pred::False,
-            (a, b) => Pred::And(Box::new(a), Box::new(b)),
-        }
-    }
-
-    /// Disjunction with constant folding.
-    pub fn or(self, other: Pred) -> Pred {
-        match (self, other) {
-            (Pred::False, p) | (p, Pred::False) => p,
-            (Pred::True, _) | (_, Pred::True) => Pred::True,
-            (a, b) => Pred::Or(Box::new(a), Box::new(b)),
-        }
-    }
-
-    /// Negation with constant folding and double-negation elimination.
-    #[allow(clippy::should_implement_trait)]
-    pub fn not(self) -> Pred {
-        match self {
-            Pred::True => Pred::False,
-            Pred::False => Pred::True,
-            Pred::Not(inner) => *inner,
-            p => Pred::Not(Box::new(p)),
-        }
-    }
-
-    /// All paths mentioned by this predicate.
-    pub fn paths(&self) -> BTreeSet<FsPath> {
-        let mut out = BTreeSet::new();
-        self.collect_paths(&mut out);
-        out
-    }
-
-    fn collect_paths(&self, out: &mut BTreeSet<FsPath>) {
-        match self {
-            Pred::True | Pred::False => {}
-            Pred::DoesNotExist(p) | Pred::IsFile(p) | Pred::IsDir(p) | Pred::IsEmptyDir(p) => {
-                out.insert(*p);
-            }
-            Pred::And(a, b) | Pred::Or(a, b) => {
-                a.collect_paths(out);
-                b.collect_paths(out);
-            }
-            Pred::Not(a) => a.collect_paths(out),
-        }
-    }
-
-    /// Number of AST nodes.
-    pub fn size(&self) -> usize {
-        match self {
-            Pred::True
-            | Pred::False
-            | Pred::DoesNotExist(_)
-            | Pred::IsFile(_)
-            | Pred::IsDir(_)
-            | Pred::IsEmptyDir(_) => 1,
-            Pred::And(a, b) | Pred::Or(a, b) => 1 + a.size() + b.size(),
-            Pred::Not(a) => 1 + a.size(),
-        }
-    }
-}
-
-impl fmt::Display for Pred {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Pred::True => write!(f, "true"),
-            Pred::False => write!(f, "false"),
-            Pred::DoesNotExist(p) => write!(f, "none?({p})"),
-            Pred::IsFile(p) => write!(f, "file?({p})"),
-            Pred::IsDir(p) => write!(f, "dir?({p})"),
-            Pred::IsEmptyDir(p) => write!(f, "emptydir?({p})"),
-            Pred::And(a, b) => write!(f, "({a} ∧ {b})"),
-            Pred::Or(a, b) => write!(f, "({a} ∨ {b})"),
-            Pred::Not(a) => write!(f, "¬{a}"),
-        }
-    }
-}
-
-/// An FS expression (paper fig. 5).
-///
-/// # Examples
-///
-/// ```
-/// use rehearsal_fs::{Expr, FsPath, Content, Pred};
-/// let vimrc = FsPath::parse("/home/carol/.vimrc")?;
-/// let e = Expr::If(
-///     Pred::IsDir(vimrc.parent().unwrap()),
-///     Box::new(Expr::CreateFile(vimrc, Content::intern("syntax on"))),
-///     Box::new(Expr::Error),
-/// );
-/// assert!(e.paths().contains(&vimrc));
-/// # Ok::<(), rehearsal_fs::ParsePathError>(())
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Expr {
+/// One level of expression structure, with child handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExprNode {
     /// `id` — no-op.
     Skip,
     /// `err` — halt with an error.
@@ -148,36 +98,173 @@ pub enum Expr {
     /// parent of `dst` must be a directory, and `dst` must not exist.
     Cp(FsPath, FsPath),
     /// Sequencing.
-    Seq(Box<Expr>, Box<Expr>),
+    Seq(Expr, Expr),
     /// Conditional.
-    If(Pred, Box<Expr>, Box<Expr>),
+    If(Pred, Expr, Expr),
 }
 
-impl Expr {
+impl PredId {
+    /// The constant `true` predicate.
+    pub const TRUE: Pred = PredId(0);
+    /// The constant `false` predicate.
+    pub const FALSE: Pred = PredId(1);
+
+    /// Interns a node verbatim, *without* smart-constructor folding.
+    ///
+    /// Structurally identical nodes always intern to equal handles. Prefer
+    /// the smart constructors ([`PredId::and`], [`PredId::or`],
+    /// [`PredId::not`]); raw interning exists for tests and for callers
+    /// that must keep a specific shape.
+    pub fn intern(node: PredNode) -> Pred {
+        PredId(with_ir(|ir| ir.intern_pred(node)))
+    }
+
+    /// `none?(p)`.
+    pub fn does_not_exist(p: FsPath) -> Pred {
+        Pred::intern(PredNode::DoesNotExist(p))
+    }
+
+    /// `file?(p)`.
+    pub fn is_file(p: FsPath) -> Pred {
+        Pred::intern(PredNode::IsFile(p))
+    }
+
+    /// `dir?(p)`.
+    pub fn is_dir(p: FsPath) -> Pred {
+        Pred::intern(PredNode::IsDir(p))
+    }
+
+    /// `emptydir?(p)`.
+    pub fn is_empty_dir(p: FsPath) -> Pred {
+        Pred::intern(PredNode::IsEmptyDir(p))
+    }
+
+    /// Conjunction with constant folding.
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::TRUE, p) | (p, Pred::TRUE) => p,
+            (Pred::FALSE, _) | (_, Pred::FALSE) => Pred::FALSE,
+            (a, b) => Pred::intern(PredNode::And(a, b)),
+        }
+    }
+
+    /// Disjunction with constant folding.
+    pub fn or(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::FALSE, p) | (p, Pred::FALSE) => p,
+            (Pred::TRUE, _) | (_, Pred::TRUE) => Pred::TRUE,
+            (a, b) => Pred::intern(PredNode::Or(a, b)),
+        }
+    }
+
+    /// Negation with constant folding and double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Pred {
+        match self.node() {
+            PredNode::True => Pred::FALSE,
+            PredNode::False => Pred::TRUE,
+            PredNode::Not(inner) => inner,
+            _ => Pred::intern(PredNode::Not(self)),
+        }
+    }
+
+    /// The node this handle denotes, one level deep.
+    pub fn node(self) -> PredNode {
+        read_ir(|ir| ir.pred_node(self.0))
+    }
+
+    /// All paths mentioned by this predicate (memoized and shared: repeated
+    /// calls on the same node return the same allocation).
+    pub fn paths(self) -> Arc<BTreeSet<FsPath>> {
+        if let Some(cached) = read_ir(|ir| ir.try_pred_paths(self.0)) {
+            return cached;
+        }
+        with_ir(|ir| ir.pred_paths(self.0))
+    }
+
+    /// Number of AST nodes (memoized).
+    pub fn size(self) -> usize {
+        read_ir(|ir| ir.pred_size(self.0)) as usize
+    }
+
+    /// The raw arena index (stable for the process lifetime).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            PredNode::True => write!(f, "true"),
+            PredNode::False => write!(f, "false"),
+            PredNode::DoesNotExist(p) => write!(f, "none?({p})"),
+            PredNode::IsFile(p) => write!(f, "file?({p})"),
+            PredNode::IsDir(p) => write!(f, "dir?({p})"),
+            PredNode::IsEmptyDir(p) => write!(f, "emptydir?({p})"),
+            PredNode::And(a, b) => write!(f, "({a} ∧ {b})"),
+            PredNode::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            PredNode::Not(a) => write!(f, "¬{a}"),
+        }
+    }
+}
+
+impl ExprId {
+    /// The no-op `id`.
+    pub const SKIP: Expr = ExprId(0);
+    /// The failing program `err`.
+    pub const ERROR: Expr = ExprId(1);
+
+    /// Interns a node verbatim, *without* smart-constructor folding (see
+    /// [`PredId::intern`]).
+    pub fn intern(node: ExprNode) -> Expr {
+        ExprId(with_ir(|ir| ir.intern_expr(node)))
+    }
+
+    /// `mkdir(p)`.
+    pub fn mkdir(p: FsPath) -> Expr {
+        Expr::intern(ExprNode::Mkdir(p))
+    }
+
+    /// `creat(p, c)`.
+    pub fn create_file(p: FsPath, c: Content) -> Expr {
+        Expr::intern(ExprNode::CreateFile(p, c))
+    }
+
+    /// `rm(p)`.
+    pub fn rm(p: FsPath) -> Expr {
+        Expr::intern(ExprNode::Rm(p))
+    }
+
+    /// `cp(src, dst)`.
+    pub fn cp(src: FsPath, dst: FsPath) -> Expr {
+        Expr::intern(ExprNode::Cp(src, dst))
+    }
+
     /// Sequencing with unit and error short-circuiting.
     pub fn seq(self, other: Expr) -> Expr {
         match (self, other) {
-            (Expr::Skip, e) | (e, Expr::Skip) => e,
-            (Expr::Error, _) => Expr::Error,
-            (a, b) => Expr::Seq(Box::new(a), Box::new(b)),
+            (Expr::SKIP, e) | (e, Expr::SKIP) => e,
+            (Expr::ERROR, _) => Expr::ERROR,
+            (a, b) => Expr::intern(ExprNode::Seq(a, b)),
         }
     }
 
     /// Sequences an iterator of expressions.
     pub fn seq_all(es: impl IntoIterator<Item = Expr>) -> Expr {
-        es.into_iter().fold(Expr::Skip, Expr::seq)
+        es.into_iter().fold(Expr::SKIP, Expr::seq)
     }
 
     /// Conditional with constant folding of the guard.
     pub fn if_(pred: Pred, then_: Expr, else_: Expr) -> Expr {
         match pred {
-            Pred::True => then_,
-            Pred::False => else_,
+            Pred::TRUE => then_,
+            Pred::FALSE => else_,
             p => {
                 if then_ == else_ {
                     then_
                 } else {
-                    Expr::If(p, Box::new(then_), Box::new(else_))
+                    Expr::intern(ExprNode::If(p, then_, else_))
                 }
             }
         }
@@ -185,85 +272,54 @@ impl Expr {
 
     /// `if (pred) then_ else id` (the paper's shorthand).
     pub fn if_then(pred: Pred, then_: Expr) -> Expr {
-        Expr::if_(pred, then_, Expr::Skip)
+        Expr::if_(pred, then_, Expr::SKIP)
     }
 
-    /// All paths that appear in the program text.
-    pub fn paths(&self) -> BTreeSet<FsPath> {
-        let mut out = BTreeSet::new();
-        self.collect_paths(&mut out);
-        out
+    /// The node this handle denotes, one level deep.
+    pub fn node(self) -> ExprNode {
+        read_ir(|ir| ir.expr_node(self.0))
     }
 
-    fn collect_paths(&self, out: &mut BTreeSet<FsPath>) {
-        match self {
-            Expr::Skip | Expr::Error => {}
-            Expr::Mkdir(p) | Expr::CreateFile(p, _) | Expr::Rm(p) => {
-                out.insert(*p);
-            }
-            Expr::Cp(p1, p2) => {
-                out.insert(*p1);
-                out.insert(*p2);
-            }
-            Expr::Seq(a, b) => {
-                a.collect_paths(out);
-                b.collect_paths(out);
-            }
-            Expr::If(p, a, b) => {
-                p.collect_paths(out);
-                a.collect_paths(out);
-                b.collect_paths(out);
-            }
+    /// All paths that appear in the program text, including guard
+    /// predicates (memoized and shared across callers).
+    pub fn paths(self) -> Arc<BTreeSet<FsPath>> {
+        if let Some(cached) = read_ir(|ir| ir.try_expr_paths(self.0)) {
+            return cached;
         }
+        with_ir(|ir| ir.expr_paths(self.0))
     }
 
-    /// All file contents that appear in the program text.
-    pub fn contents(&self) -> BTreeSet<Content> {
-        let mut out = BTreeSet::new();
-        self.collect_contents(&mut out);
-        out
-    }
-
-    fn collect_contents(&self, out: &mut BTreeSet<Content>) {
-        match self {
-            Expr::CreateFile(_, c) => {
-                out.insert(*c);
-            }
-            Expr::Seq(a, b) => {
-                a.collect_contents(out);
-                b.collect_contents(out);
-            }
-            Expr::If(_, a, b) => {
-                a.collect_contents(out);
-                b.collect_contents(out);
-            }
-            _ => {}
+    /// All file contents that appear in the program text (memoized).
+    pub fn contents(self) -> Arc<BTreeSet<Content>> {
+        if let Some(cached) = read_ir(|ir| ir.try_expr_contents(self.0)) {
+            return cached;
         }
+        with_ir(|ir| ir.expr_contents(self.0))
     }
 
-    /// Number of AST nodes.
-    pub fn size(&self) -> usize {
-        match self {
-            Expr::Skip | Expr::Error | Expr::Mkdir(_) | Expr::CreateFile(_, _) | Expr::Rm(_) => 1,
-            Expr::Cp(_, _) => 1,
-            Expr::Seq(a, b) => 1 + a.size() + b.size(),
-            Expr::If(p, a, b) => 1 + p.size() + a.size() + b.size(),
-        }
+    /// Number of AST nodes (memoized).
+    pub fn size(self) -> usize {
+        read_ir(|ir| ir.expr_size(self.0)) as usize
+    }
+
+    /// The raw arena index (stable for the process lifetime).
+    pub fn index(self) -> u32 {
+        self.0
     }
 }
 
-impl fmt::Display for Expr {
+impl fmt::Display for ExprId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Expr::Skip => write!(f, "id"),
-            Expr::Error => write!(f, "err"),
-            Expr::Mkdir(p) => write!(f, "mkdir({p})"),
-            Expr::CreateFile(p, c) => write!(f, "creat({p}, {:?})", c.as_string()),
-            Expr::Rm(p) => write!(f, "rm({p})"),
-            Expr::Cp(p1, p2) => write!(f, "cp({p1}, {p2})"),
-            Expr::Seq(a, b) => write!(f, "{a}; {b}"),
-            Expr::If(p, a, b) => {
-                if **b == Expr::Skip {
+        match self.node() {
+            ExprNode::Skip => write!(f, "id"),
+            ExprNode::Error => write!(f, "err"),
+            ExprNode::Mkdir(p) => write!(f, "mkdir({p})"),
+            ExprNode::CreateFile(p, c) => write!(f, "creat({p}, {:?})", c.as_string()),
+            ExprNode::Rm(p) => write!(f, "rm({p})"),
+            ExprNode::Cp(p1, p2) => write!(f, "cp({p1}, {p2})"),
+            ExprNode::Seq(a, b) => write!(f, "{a}; {b}"),
+            ExprNode::If(p, a, b) => {
+                if b == Expr::SKIP {
                     write!(f, "if ({p}) {{{a}}}")
                 } else {
                     write!(f, "if ({p}) {{{a}}} else {{{b}}}")
@@ -283,21 +339,21 @@ mod tests {
 
     #[test]
     fn smart_seq() {
-        let e = Expr::Mkdir(p("/a"));
-        assert_eq!(Expr::Skip.seq(e.clone()), e);
-        assert_eq!(e.clone().seq(Expr::Skip), e);
-        assert_eq!(Expr::Error.seq(e.clone()), Expr::Error);
-        let s = e.clone().seq(Expr::Rm(p("/b")));
-        assert!(matches!(s, Expr::Seq(_, _)));
+        let e = Expr::mkdir(p("/a"));
+        assert_eq!(Expr::SKIP.seq(e), e);
+        assert_eq!(e.seq(Expr::SKIP), e);
+        assert_eq!(Expr::ERROR.seq(e), Expr::ERROR);
+        let s = e.seq(Expr::rm(p("/b")));
+        assert!(matches!(s.node(), ExprNode::Seq(_, _)));
     }
 
     #[test]
     fn smart_if() {
-        let e = Expr::Mkdir(p("/a"));
-        assert_eq!(Expr::if_(Pred::True, e.clone(), Expr::Error), e);
-        assert_eq!(Expr::if_(Pred::False, e.clone(), Expr::Error), Expr::Error);
+        let e = Expr::mkdir(p("/a"));
+        assert_eq!(Expr::if_(Pred::TRUE, e, Expr::ERROR), e);
+        assert_eq!(Expr::if_(Pred::FALSE, e, Expr::ERROR), Expr::ERROR);
         assert_eq!(
-            Expr::if_(Pred::IsDir(p("/x")), e.clone(), e.clone()),
+            Expr::if_(Pred::is_dir(p("/x")), e, e),
             e,
             "identical branches collapse"
         );
@@ -305,43 +361,67 @@ mod tests {
 
     #[test]
     fn pred_folding() {
-        assert_eq!(Pred::True.and(Pred::IsDir(p("/a"))), Pred::IsDir(p("/a")));
-        assert_eq!(Pred::False.and(Pred::IsDir(p("/a"))), Pred::False);
-        assert_eq!(Pred::False.or(Pred::IsDir(p("/a"))), Pred::IsDir(p("/a")));
-        assert_eq!(Pred::IsDir(p("/a")).not().not(), Pred::IsDir(p("/a")));
+        assert_eq!(Pred::TRUE.and(Pred::is_dir(p("/a"))), Pred::is_dir(p("/a")));
+        assert_eq!(Pred::FALSE.and(Pred::is_dir(p("/a"))), Pred::FALSE);
+        assert_eq!(Pred::FALSE.or(Pred::is_dir(p("/a"))), Pred::is_dir(p("/a")));
+        assert_eq!(Pred::is_dir(p("/a")).not().not(), Pred::is_dir(p("/a")));
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let a = Expr::mkdir(p("/hc/a"));
+        let b = Expr::mkdir(p("/hc/a"));
+        assert_eq!(a, b, "identical leaves intern to the same handle");
+        let s1 = a.seq(Expr::rm(p("/hc/b")));
+        let s2 = b.seq(Expr::rm(p("/hc/b")));
+        assert_eq!(s1, s2, "identical trees intern to the same handle");
+        let raw = Expr::intern(ExprNode::Seq(a, Expr::rm(p("/hc/b"))));
+        assert_eq!(raw, s1, "raw interning of the same shape agrees");
     }
 
     #[test]
     fn paths_collected() {
-        let e = Expr::Cp(p("/src"), p("/dst")).seq(Expr::if_then(
-            Pred::IsFile(p("/marker")),
-            Expr::Rm(p("/src")),
+        let e = Expr::cp(p("/src"), p("/dst")).seq(Expr::if_then(
+            Pred::is_file(p("/marker")),
+            Expr::rm(p("/src")),
         ));
         let paths = e.paths();
         assert!(paths.contains(&p("/src")));
         assert!(paths.contains(&p("/dst")));
         assert!(paths.contains(&p("/marker")));
         assert_eq!(paths.len(), 3);
+        // Memoized: the same shared set comes back.
+        assert!(Arc::ptr_eq(&paths, &e.paths()));
     }
 
     #[test]
     fn contents_collected() {
         let c1 = Content::intern("a");
         let c2 = Content::intern("b");
-        let e = Expr::CreateFile(p("/x"), c1).seq(Expr::CreateFile(p("/y"), c2));
+        let e = Expr::create_file(p("/x"), c1).seq(Expr::create_file(p("/y"), c2));
         let cs = e.contents();
         assert!(cs.contains(&c1) && cs.contains(&c2));
     }
 
     #[test]
+    fn sizes_are_memoized_consistently() {
+        let a = Expr::mkdir(p("/sz/a"));
+        let b = Expr::rm(p("/sz/b"));
+        let s = Expr::intern(ExprNode::Seq(a, b));
+        assert_eq!(s.size(), 1 + a.size() + b.size());
+        let g = Expr::if_(Pred::is_dir(p("/sz/a")), a, b);
+        assert_eq!(g.size(), 1 + 1 + a.size() + b.size());
+    }
+
+    #[test]
     fn display_is_readable() {
-        let e = Expr::if_then(Pred::IsDir(p("/a")), Expr::Mkdir(p("/a/b")));
+        let e = Expr::if_then(Pred::is_dir(p("/a")), Expr::mkdir(p("/a/b")));
         assert_eq!(e.to_string(), "if (dir?(/a)) {mkdir(/a/b)}");
     }
 
     #[test]
     fn seq_all_folds() {
-        let es = vec![Expr::Skip, Expr::Mkdir(p("/a")), Expr::Skip];
-        assert_eq!(Expr::seq_all(es), Expr::Mkdir(p("/a")));
+        let es = vec![Expr::SKIP, Expr::mkdir(p("/a")), Expr::SKIP];
+        assert_eq!(Expr::seq_all(es), Expr::mkdir(p("/a")));
     }
 }

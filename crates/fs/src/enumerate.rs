@@ -62,7 +62,7 @@ pub fn enumerate_filesystems(paths: &[FsPath], contents: &[Content]) -> Vec<File
 pub type Outcome = Result<FileSystem, crate::eval::ExecError>;
 
 /// Runs `e` on `fs` and restricts a successful result to `domain`.
-pub fn observe(e: &Expr, fs: &FileSystem, domain: &BTreeSet<FsPath>) -> Outcome {
+pub fn observe(e: Expr, fs: &FileSystem, domain: &BTreeSet<FsPath>) -> Outcome {
     eval(e, fs).map(|out| out.restrict(domain))
 }
 
@@ -73,13 +73,13 @@ pub fn observe(e: &Expr, fs: &FileSystem, domain: &BTreeSet<FsPath>) -> Outcome 
 /// paths together with `paths`, mirroring the bounded-domain comparison of
 /// the symbolic checker.
 pub fn check_equiv_brute_force(
-    e1: &Expr,
-    e2: &Expr,
+    e1: Expr,
+    e2: Expr,
     paths: &[FsPath],
     contents: &[Content],
 ) -> Result<(), FileSystem> {
-    let mut domain: BTreeSet<FsPath> = e1.paths();
-    domain.extend(e2.paths());
+    let mut domain: BTreeSet<FsPath> = (*e1.paths()).clone();
+    domain.extend(e2.paths().iter().copied());
     domain.extend(paths.iter().copied());
     for fs in enumerate_filesystems(paths, contents) {
         let o1 = observe(e1, &fs, &domain);
@@ -113,14 +113,14 @@ mod tests {
     fn equivalent_programs_pass() {
         // Guarded mkdir ≡ its expansion (paper §4.3).
         let a = p("/a");
-        let e1 = Expr::if_then(Pred::IsDir(a).not(), Expr::Mkdir(a));
+        let e1 = Expr::if_then(Pred::is_dir(a).not(), Expr::mkdir(a));
         let e2 = Expr::if_(
-            Pred::DoesNotExist(a),
-            Expr::Mkdir(a),
-            Expr::if_(Pred::IsFile(a), Expr::Error, Expr::Skip),
+            Pred::does_not_exist(a),
+            Expr::mkdir(a),
+            Expr::if_(Pred::is_file(a), Expr::ERROR, Expr::SKIP),
         );
         let c = Content::intern("z");
-        check_equiv_brute_force(&e1, &e2, &[FsPath::root(), a], &[c]).expect("equivalent");
+        check_equiv_brute_force(e1, e2, &[FsPath::root(), a], &[c]).expect("equivalent");
     }
 
     #[test]
@@ -129,10 +129,10 @@ mod tests {
         // by a state with a child inside /a.
         let a = p("/a");
         let child = p("/a/x");
-        let e1 = Expr::if_(Pred::IsEmptyDir(a), Expr::Skip, Expr::Error);
-        let e2 = Expr::if_(Pred::IsDir(a), Expr::Skip, Expr::Error);
+        let e1 = Expr::if_(Pred::is_empty_dir(a), Expr::SKIP, Expr::ERROR);
+        let e2 = Expr::if_(Pred::is_dir(a), Expr::SKIP, Expr::ERROR);
         let c = Content::intern("w");
-        let cex = check_equiv_brute_force(&e1, &e2, &[a, child], &[c]).expect_err("inequivalent");
+        let cex = check_equiv_brute_force(e1, e2, &[a, child], &[c]).expect_err("inequivalent");
         assert!(cex.is_dir(a));
         assert!(!cex.not_exists(child), "counterexample must populate /a");
     }
@@ -142,20 +142,28 @@ mod tests {
         let f = p("/f");
         let c1 = Content::intern("one");
         let c2 = Content::intern("two");
-        let w1 = Expr::CreateFile(f, c1);
-        let w2 = Expr::CreateFile(f, c2);
-        let e12 = w1.clone().seq(w2.clone());
+        let w1 = Expr::create_file(f, c1);
+        let w2 = Expr::create_file(f, c2);
+        let e12 = w1.seq(w2);
         let e21 = w2.seq(w1);
         // Both orders always error (second creat sees existing file), so the
         // sequential compositions are in fact equivalent...
-        check_equiv_brute_force(&e12, &e21, &[FsPath::root(), f], &[c1, c2])
+        check_equiv_brute_force(e12, e21, &[FsPath::root(), f], &[c1, c2])
             .expect("both orders error");
         // ...but guarded overwrite-style writes differ by order.
-        let g1 = Expr::if_(Pred::DoesNotExist(f), Expr::CreateFile(f, c1), Expr::Skip);
-        let g2 = Expr::if_(Pred::DoesNotExist(f), Expr::CreateFile(f, c2), Expr::Skip);
-        let a = g1.clone().seq(g2.clone());
+        let g1 = Expr::if_(
+            Pred::does_not_exist(f),
+            Expr::create_file(f, c1),
+            Expr::SKIP,
+        );
+        let g2 = Expr::if_(
+            Pred::does_not_exist(f),
+            Expr::create_file(f, c2),
+            Expr::SKIP,
+        );
+        let a = g1.seq(g2);
         let b = g2.seq(g1);
-        let cex = check_equiv_brute_force(&a, &b, &[FsPath::root(), f], &[c1, c2])
+        let cex = check_equiv_brute_force(a, b, &[FsPath::root(), f], &[c1, c2])
             .expect_err("results differ when /f absent");
         assert!(cex.not_exists(f));
     }

@@ -3,7 +3,7 @@
 //! This evaluator is the ground truth that the symbolic encoder in
 //! `rehearsal-core` must agree with; property tests enforce the agreement.
 
-use crate::ast::{Expr, Pred};
+use crate::ast::{Expr, ExprNode, Pred, PredNode};
 use crate::state::{FileState, FileSystem};
 use std::fmt;
 
@@ -20,17 +20,17 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Evaluates a predicate on a filesystem.
-pub fn eval_pred(pred: &Pred, fs: &FileSystem) -> bool {
-    match pred {
-        Pred::True => true,
-        Pred::False => false,
-        Pred::DoesNotExist(p) => fs.not_exists(*p),
-        Pred::IsFile(p) => fs.is_file(*p),
-        Pred::IsDir(p) => fs.is_dir(*p),
-        Pred::IsEmptyDir(p) => fs.is_empty_dir(*p),
-        Pred::And(a, b) => eval_pred(a, fs) && eval_pred(b, fs),
-        Pred::Or(a, b) => eval_pred(a, fs) || eval_pred(b, fs),
-        Pred::Not(a) => !eval_pred(a, fs),
+pub fn eval_pred(pred: Pred, fs: &FileSystem) -> bool {
+    match pred.node() {
+        PredNode::True => true,
+        PredNode::False => false,
+        PredNode::DoesNotExist(p) => fs.not_exists(p),
+        PredNode::IsFile(p) => fs.is_file(p),
+        PredNode::IsDir(p) => fs.is_dir(p),
+        PredNode::IsEmptyDir(p) => fs.is_empty_dir(p),
+        PredNode::And(a, b) => eval_pred(a, fs) && eval_pred(b, fs),
+        PredNode::Or(a, b) => eval_pred(a, fs) || eval_pred(b, fs),
+        PredNode::Not(a) => !eval_pred(a, fs),
     }
 }
 
@@ -49,54 +49,54 @@ pub fn eval_pred(pred: &Pred, fs: &FileSystem) -> bool {
 /// use rehearsal_fs::{eval, Expr, FileSystem, FsPath};
 /// let a = FsPath::parse("/a")?;
 /// let fs = FileSystem::with_root();
-/// let fs2 = eval(&Expr::Mkdir(a), &fs).expect("root exists");
+/// let fs2 = eval(Expr::mkdir(a), &fs).expect("root exists");
 /// assert!(fs2.is_dir(a));
-/// assert!(eval(&Expr::Mkdir(a), &fs2).is_err(), "a exists now");
+/// assert!(eval(Expr::mkdir(a), &fs2).is_err(), "a exists now");
 /// # Ok::<(), rehearsal_fs::ParsePathError>(())
 /// ```
-pub fn eval(expr: &Expr, fs: &FileSystem) -> Result<FileSystem, ExecError> {
-    match expr {
-        Expr::Skip => Ok(fs.clone()),
-        Expr::Error => Err(ExecError),
-        Expr::Mkdir(p) => {
+pub fn eval(expr: Expr, fs: &FileSystem) -> Result<FileSystem, ExecError> {
+    match expr.node() {
+        ExprNode::Skip => Ok(fs.clone()),
+        ExprNode::Error => Err(ExecError),
+        ExprNode::Mkdir(p) => {
             let parent = p.parent().ok_or(ExecError)?;
-            if fs.is_dir(parent) && fs.not_exists(*p) {
-                Ok(fs.clone().set(*p, FileState::Dir))
+            if fs.is_dir(parent) && fs.not_exists(p) {
+                Ok(fs.clone().set(p, FileState::Dir))
             } else {
                 Err(ExecError)
             }
         }
-        Expr::CreateFile(p, content) => {
+        ExprNode::CreateFile(p, content) => {
             let parent = p.parent().ok_or(ExecError)?;
-            if fs.is_dir(parent) && fs.not_exists(*p) {
-                Ok(fs.clone().set(*p, FileState::File(*content)))
+            if fs.is_dir(parent) && fs.not_exists(p) {
+                Ok(fs.clone().set(p, FileState::File(content)))
             } else {
                 Err(ExecError)
             }
         }
-        Expr::Rm(p) => {
-            if fs.is_file(*p) || fs.is_empty_dir(*p) {
+        ExprNode::Rm(p) => {
+            if fs.is_file(p) || fs.is_empty_dir(p) {
                 let mut out = fs.clone();
-                out.remove(*p);
+                out.remove(p);
                 Ok(out)
             } else {
                 Err(ExecError)
             }
         }
-        Expr::Cp(src, dst) => {
+        ExprNode::Cp(src, dst) => {
             let dst_parent = dst.parent().ok_or(ExecError)?;
-            match fs.get(*src) {
-                Some(FileState::File(content)) if fs.not_exists(*dst) && fs.is_dir(dst_parent) => {
-                    Ok(fs.clone().set(*dst, FileState::File(content)))
+            match fs.get(src) {
+                Some(FileState::File(content)) if fs.not_exists(dst) && fs.is_dir(dst_parent) => {
+                    Ok(fs.clone().set(dst, FileState::File(content)))
                 }
                 _ => Err(ExecError),
             }
         }
-        Expr::Seq(a, b) => {
+        ExprNode::Seq(a, b) => {
             let mid = eval(a, fs)?;
             eval(b, &mid)
         }
-        Expr::If(pred, then_, else_) => {
+        ExprNode::If(pred, then_, else_) => {
             if eval_pred(pred, fs) {
                 eval(then_, fs)
             } else {
@@ -122,41 +122,41 @@ mod tests {
     #[test]
     fn skip_is_identity() {
         let fs = FileSystem::with_root();
-        assert_eq!(eval(&Expr::Skip, &fs).unwrap(), fs);
+        assert_eq!(eval(Expr::SKIP, &fs).unwrap(), fs);
     }
 
     #[test]
     fn error_halts() {
-        assert!(eval(&Expr::Error, &FileSystem::with_root()).is_err());
+        assert!(eval(Expr::ERROR, &FileSystem::with_root()).is_err());
     }
 
     #[test]
     fn mkdir_requires_parent_dir() {
         let fs = FileSystem::with_root();
-        assert!(eval(&Expr::Mkdir(p("/a/b")), &fs).is_err(), "no /a yet");
-        let fs2 = eval(&Expr::Mkdir(p("/a")), &fs).unwrap();
-        let fs3 = eval(&Expr::Mkdir(p("/a/b")), &fs2).unwrap();
+        assert!(eval(Expr::mkdir(p("/a/b")), &fs).is_err(), "no /a yet");
+        let fs2 = eval(Expr::mkdir(p("/a")), &fs).unwrap();
+        let fs3 = eval(Expr::mkdir(p("/a/b")), &fs2).unwrap();
         assert!(fs3.is_dir(p("/a/b")));
     }
 
     #[test]
     fn mkdir_rejects_existing() {
         let fs = FileSystem::with_root().set(p("/a"), FileState::File(c("x")));
-        assert!(eval(&Expr::Mkdir(p("/a")), &fs).is_err());
+        assert!(eval(Expr::mkdir(p("/a")), &fs).is_err());
     }
 
     #[test]
     fn mkdir_root_errors() {
-        assert!(eval(&Expr::Mkdir(FsPath::root()), &FileSystem::new()).is_err());
+        assert!(eval(Expr::mkdir(FsPath::root()), &FileSystem::new()).is_err());
     }
 
     #[test]
     fn creat_writes_content() {
         let fs = FileSystem::with_root();
-        let e = Expr::CreateFile(p("/f"), c("hello"));
-        let fs2 = eval(&e, &fs).unwrap();
+        let e = Expr::create_file(p("/f"), c("hello"));
+        let fs2 = eval(e, &fs).unwrap();
         assert_eq!(fs2.get(p("/f")), Some(FileState::File(c("hello"))));
-        assert!(eval(&e, &fs2).is_err(), "creat on existing path errors");
+        assert!(eval(e, &fs2).is_err(), "creat on existing path errors");
     }
 
     #[test]
@@ -166,68 +166,68 @@ mod tests {
             .set(p("/d"), FileState::Dir)
             .set(p("/d2"), FileState::Dir)
             .set(p("/d2/inner"), FileState::Dir);
-        assert!(eval(&Expr::Rm(p("/f")), &fs).unwrap().not_exists(p("/f")));
-        assert!(eval(&Expr::Rm(p("/d")), &fs).unwrap().not_exists(p("/d")));
-        assert!(eval(&Expr::Rm(p("/d2")), &fs).is_err(), "non-empty dir");
-        assert!(eval(&Expr::Rm(p("/missing")), &fs).is_err());
+        assert!(eval(Expr::rm(p("/f")), &fs).unwrap().not_exists(p("/f")));
+        assert!(eval(Expr::rm(p("/d")), &fs).unwrap().not_exists(p("/d")));
+        assert!(eval(Expr::rm(p("/d2")), &fs).is_err(), "non-empty dir");
+        assert!(eval(Expr::rm(p("/missing")), &fs).is_err());
     }
 
     #[test]
     fn cp_copies_content() {
         let fs = FileSystem::with_root().set(p("/src"), FileState::File(c("data")));
-        let fs2 = eval(&Expr::Cp(p("/src"), p("/dst")), &fs).unwrap();
+        let fs2 = eval(Expr::cp(p("/src"), p("/dst")), &fs).unwrap();
         assert_eq!(fs2.get(p("/dst")), Some(FileState::File(c("data"))));
         // Copy onto existing destination errors.
-        assert!(eval(&Expr::Cp(p("/src"), p("/dst")), &fs2).is_err());
+        assert!(eval(Expr::cp(p("/src"), p("/dst")), &fs2).is_err());
         // Copy from a directory errors.
         let fs3 = FileSystem::with_root().set(p("/srcdir"), FileState::Dir);
-        assert!(eval(&Expr::Cp(p("/srcdir"), p("/y")), &fs3).is_err());
+        assert!(eval(Expr::cp(p("/srcdir"), p("/y")), &fs3).is_err());
     }
 
     #[test]
     fn seq_threads_state_and_short_circuits() {
         let fs = FileSystem::with_root();
-        let e = Expr::Mkdir(p("/a")).seq(Expr::Mkdir(p("/a/b")));
-        assert!(eval(&e, &fs).unwrap().is_dir(p("/a/b")));
-        let bad = Expr::Error.seq(Expr::Mkdir(p("/a")));
-        assert!(eval(&bad, &fs).is_err());
+        let e = Expr::mkdir(p("/a")).seq(Expr::mkdir(p("/a/b")));
+        assert!(eval(e, &fs).unwrap().is_dir(p("/a/b")));
+        let bad = Expr::ERROR.seq(Expr::mkdir(p("/a")));
+        assert!(eval(bad, &fs).is_err());
     }
 
     #[test]
     fn conditional_branches() {
         let fs = FileSystem::with_root();
-        let e = Expr::if_(Pred::IsDir(p("/a")), Expr::Skip, Expr::Mkdir(p("/a")));
-        let fs2 = eval(&e, &fs).unwrap();
+        let e = Expr::if_(Pred::is_dir(p("/a")), Expr::SKIP, Expr::mkdir(p("/a")));
+        let fs2 = eval(e, &fs).unwrap();
         assert!(fs2.is_dir(p("/a")));
         // Second run takes the other branch; state unchanged.
-        assert_eq!(eval(&e, &fs2).unwrap(), fs2);
+        assert_eq!(eval(e, &fs2).unwrap(), fs2);
     }
 
     #[test]
     fn paper_example_copy_then_delete_is_not_idempotent() {
         // file{"/dst": source => "/src"}; file{"/src": ensure => absent}
         let fs = FileSystem::with_root().set(p("/src"), FileState::File(c("s")));
-        let e = Expr::Cp(p("/src"), p("/dst")).seq(Expr::Rm(p("/src")));
-        let once = eval(&e, &fs).unwrap();
+        let e = Expr::cp(p("/src"), p("/dst")).seq(Expr::rm(p("/src")));
+        let once = eval(e, &fs).unwrap();
         assert!(once.is_file(p("/dst")) && once.not_exists(p("/src")));
-        assert!(eval(&e, &once).is_err(), "second run fails: /src is gone");
+        assert!(eval(e, &once).is_err(), "second run fails: /src is gone");
     }
 
     #[test]
     fn emptydir_pred_sees_unrelated_children() {
         let fs = FileSystem::with_root().set(p("/d"), FileState::Dir);
-        assert!(eval_pred(&Pred::IsEmptyDir(p("/d")), &fs));
+        assert!(eval_pred(Pred::is_empty_dir(p("/d")), &fs));
         let fs2 = fs.set(p("/d/child"), FileState::File(c("x")));
-        assert!(!eval_pred(&Pred::IsEmptyDir(p("/d")), &fs2));
+        assert!(!eval_pred(Pred::is_empty_dir(p("/d")), &fs2));
     }
 
     #[test]
     fn boolean_connectives() {
         let fs = FileSystem::with_root().set(p("/f"), FileState::File(c("x")));
-        let pr = Pred::IsFile(p("/f")).and(Pred::IsDir(FsPath::root()));
-        assert!(eval_pred(&pr, &fs));
-        let pr2 = Pred::IsDir(p("/f")).or(Pred::IsFile(p("/f")));
-        assert!(eval_pred(&pr2, &fs));
-        assert!(!eval_pred(&Pred::IsFile(p("/f")).not(), &fs));
+        let pr = Pred::is_file(p("/f")).and(Pred::is_dir(FsPath::root()));
+        assert!(eval_pred(pr, &fs));
+        let pr2 = Pred::is_dir(p("/f")).or(Pred::is_file(p("/f")));
+        assert!(eval_pred(pr2, &fs));
+        assert!(!eval_pred(Pred::is_file(p("/f")).not(), &fs));
     }
 }

@@ -7,11 +7,24 @@
 //! is what makes Rehearsal's determinacy analysis decidable.
 //!
 //! * [`FsPath`], [`Content`] — interned paths and file contents;
-//! * [`Pred`], [`Expr`] — the syntax of predicates and expressions;
+//! * [`Pred`], [`Expr`] — `Copy` handles into the hash-consing IR arena;
+//!   [`PredNode`], [`ExprNode`] — one level of structure for matching;
 //! * [`FileSystem`], [`FileState`] — concrete states `σ`;
 //! * [`eval`], [`eval_pred`] — the concrete big-step semantics;
 //! * [`enumerate_filesystems`], [`check_equiv_brute_force`] — exhaustive
 //!   oracles used for testing and baselines.
+//!
+//! # The IR arena
+//!
+//! Since the hash-consing refactor, `Pred`/`Expr` are arena-interned ids
+//! (aliases of [`PredId`]/[`ExprId`]): construction deduplicates
+//! structurally identical subtrees, equality is an integer compare, and
+//! structural analyses (`paths`, `size`, `contents`) are memoized per node
+//! and shared via `Arc`. The arena is process-global and append-only —
+//! the same lifecycle as the [`FsPath`]/[`Content`] interner it builds on —
+//! so handles never dangle and no invalidation is needed; see
+//! [`crate::arena`] for the full lifecycle rules and [`arena_stats`] for
+//! its size/sharing counters.
 //!
 //! # Examples
 //!
@@ -21,15 +34,16 @@
 //! // if (¬dir?(/a)) mkdir(/a); creat(/a/f, "hi")
 //! let a = FsPath::parse("/a")?;
 //! let f = a.join("f");
-//! let prog = Expr::if_then(Pred::IsDir(a).not(), Expr::Mkdir(a))
-//!     .seq(Expr::CreateFile(f, Content::intern("hi")));
-//! let out = eval(&prog, &FileSystem::with_root()).expect("succeeds");
+//! let prog = Expr::if_then(Pred::is_dir(a).not(), Expr::mkdir(a))
+//!     .seq(Expr::create_file(f, Content::intern("hi")));
+//! let out = eval(prog, &FileSystem::with_root()).expect("succeeds");
 //! assert!(out.is_file(f));
 //! # Ok::<(), rehearsal_fs::ParsePathError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod ast;
 mod enumerate;
 mod eval;
@@ -38,7 +52,8 @@ mod path;
 mod state;
 mod statefile;
 
-pub use ast::{Expr, Pred};
+pub use arena::{arena_stats, ArenaStats};
+pub use ast::{Expr, ExprId, ExprNode, Pred, PredId, PredNode};
 pub use enumerate::{check_equiv_brute_force, enumerate_filesystems, observe, Outcome};
 pub use eval::{eval, eval_pred, ExecError};
 pub use path::{Content, FsPath, ParsePathError};

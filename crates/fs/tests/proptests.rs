@@ -1,13 +1,15 @@
 //! Property tests for the FS language: smart constructors preserve
-//! semantics, evaluation is a function, and the semantics maintains
-//! filesystem tree-consistency.
+//! semantics and satisfy the seed algebraic laws, hash-consing gives
+//! structurally equal trees equal ids, evaluation is a function, and the
+//! semantics maintains filesystem tree-consistency.
 //!
 //! Cases are sampled with a small in-file deterministic PRNG instead of an
 //! external property-testing crate (the build environment is offline), so
 //! every run covers the same seeded case set.
 
 use rehearsal_fs::{
-    enumerate_filesystems, eval, eval_pred, Content, Expr, FileState, FileSystem, FsPath, Pred,
+    enumerate_filesystems, eval, eval_pred, Content, Expr, ExprNode, FileState, FileSystem, FsPath,
+    Pred, PredNode,
 };
 
 /// Deterministic splitmix64 generator for test-case sampling.
@@ -54,48 +56,48 @@ fn random_content(rng: &mut Prng) -> Content {
 fn random_pred(rng: &mut Prng, depth: usize) -> Pred {
     if depth == 0 || rng.usize(3) == 0 {
         return match rng.usize(6) {
-            0 => Pred::True,
-            1 => Pred::False,
-            2 => Pred::DoesNotExist(random_path(rng)),
-            3 => Pred::IsFile(random_path(rng)),
-            4 => Pred::IsDir(random_path(rng)),
-            _ => Pred::IsEmptyDir(random_path(rng)),
+            0 => Pred::TRUE,
+            1 => Pred::FALSE,
+            2 => Pred::does_not_exist(random_path(rng)),
+            3 => Pred::is_file(random_path(rng)),
+            4 => Pred::is_dir(random_path(rng)),
+            _ => Pred::is_empty_dir(random_path(rng)),
         };
     }
     match rng.usize(3) {
-        0 => Pred::And(
-            Box::new(random_pred(rng, depth - 1)),
-            Box::new(random_pred(rng, depth - 1)),
-        ),
-        1 => Pred::Or(
-            Box::new(random_pred(rng, depth - 1)),
-            Box::new(random_pred(rng, depth - 1)),
-        ),
-        _ => Pred::Not(Box::new(random_pred(rng, depth - 1))),
+        0 => Pred::intern(PredNode::And(
+            random_pred(rng, depth - 1),
+            random_pred(rng, depth - 1),
+        )),
+        1 => Pred::intern(PredNode::Or(
+            random_pred(rng, depth - 1),
+            random_pred(rng, depth - 1),
+        )),
+        _ => Pred::intern(PredNode::Not(random_pred(rng, depth - 1))),
     }
 }
 
 fn random_expr(rng: &mut Prng, depth: usize) -> Expr {
     if depth == 0 || rng.usize(3) == 0 {
         return match rng.usize(6) {
-            0 => Expr::Skip,
-            1 => Expr::Error,
-            2 => Expr::Mkdir(random_path(rng)),
-            3 => Expr::CreateFile(random_path(rng), random_content(rng)),
-            4 => Expr::Rm(random_path(rng)),
-            _ => Expr::Cp(random_path(rng), random_path(rng)),
+            0 => Expr::SKIP,
+            1 => Expr::ERROR,
+            2 => Expr::mkdir(random_path(rng)),
+            3 => Expr::create_file(random_path(rng), random_content(rng)),
+            4 => Expr::rm(random_path(rng)),
+            _ => Expr::cp(random_path(rng), random_path(rng)),
         };
     }
     match rng.usize(2) {
-        0 => Expr::Seq(
-            Box::new(random_expr(rng, depth - 1)),
-            Box::new(random_expr(rng, depth - 1)),
-        ),
-        _ => Expr::If(
+        0 => Expr::intern(ExprNode::Seq(
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1),
+        )),
+        _ => Expr::intern(ExprNode::If(
             random_pred(rng, 3),
-            Box::new(random_expr(rng, depth - 1)),
-            Box::new(random_expr(rng, depth - 1)),
-        ),
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1),
+        )),
     }
 }
 
@@ -120,7 +122,7 @@ fn consistent(fs: &FileSystem) -> bool {
 }
 
 /// The smart constructors (`seq`, `if_`, `and`, `or`, `not`) preserve
-/// semantics relative to the raw constructors.
+/// semantics relative to the raw (intern-only) constructors.
 #[test]
 fn smart_constructors_preserve_semantics() {
     let mut rng = Prng::new(10);
@@ -129,13 +131,13 @@ fn smart_constructors_preserve_semantics() {
         let b = random_expr(&mut rng, 4);
         let p = random_pred(&mut rng, 3);
         for fs in states() {
-            let smart_seq = a.clone().seq(b.clone());
-            let raw_seq = Expr::Seq(Box::new(a.clone()), Box::new(b.clone()));
-            assert_eq!(eval(&smart_seq, &fs), eval(&raw_seq, &fs));
+            let smart_seq = a.seq(b);
+            let raw_seq = Expr::intern(ExprNode::Seq(a, b));
+            assert_eq!(eval(smart_seq, &fs), eval(raw_seq, &fs));
 
-            let smart_if = Expr::if_(p.clone(), a.clone(), b.clone());
-            let raw_if = Expr::If(p.clone(), Box::new(a.clone()), Box::new(b.clone()));
-            assert_eq!(eval(&smart_if, &fs), eval(&raw_if, &fs));
+            let smart_if = Expr::if_(p, a, b);
+            let raw_if = Expr::intern(ExprNode::If(p, a, b));
+            assert_eq!(eval(smart_if, &fs), eval(raw_if, &fs));
         }
     }
 }
@@ -148,15 +150,105 @@ fn pred_constructors_preserve_semantics() {
         let a = random_pred(&mut rng, 3);
         let b = random_pred(&mut rng, 3);
         for fs in states() {
-            let smart = a.clone().and(b.clone());
-            let raw = Pred::And(Box::new(a.clone()), Box::new(b.clone()));
-            assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
-            let smart = a.clone().or(b.clone());
-            let raw = Pred::Or(Box::new(a.clone()), Box::new(b.clone()));
-            assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
-            let smart = a.clone().not();
-            let raw = Pred::Not(Box::new(a.clone()));
-            assert_eq!(eval_pred(&smart, &fs), eval_pred(&raw, &fs));
+            let smart = a.and(b);
+            let raw = Pred::intern(PredNode::And(a, b));
+            assert_eq!(eval_pred(smart, &fs), eval_pred(raw, &fs));
+            let smart = a.or(b);
+            let raw = Pred::intern(PredNode::Or(a, b));
+            assert_eq!(eval_pred(smart, &fs), eval_pred(raw, &fs));
+            let smart = a.not();
+            let raw = Pred::intern(PredNode::Not(a));
+            assert_eq!(eval_pred(smart, &fs), eval_pred(raw, &fs));
+        }
+    }
+}
+
+/// Builds predicates through the *smart* connectives only, so the
+/// double-negation law below can demand structural (id) equality — a raw
+/// `Not(True)` node would legitimately fold away, as in the seed IR.
+fn random_smart_pred(rng: &mut Prng, depth: usize) -> Pred {
+    if depth == 0 || rng.usize(3) == 0 {
+        return random_pred(rng, 0);
+    }
+    match rng.usize(3) {
+        0 => random_smart_pred(rng, depth - 1).and(random_smart_pred(rng, depth - 1)),
+        1 => random_smart_pred(rng, depth - 1).or(random_smart_pred(rng, depth - 1)),
+        _ => random_smart_pred(rng, depth - 1).not(),
+    }
+}
+
+/// The seed Box-IR algebraic laws hold *structurally* on handles: the
+/// smart constructors fold `Skip;e ≡ e`, `if true e1 e2 ≡ e1`, constant
+/// connectives, and double negation to the very same arena node.
+#[test]
+fn smart_constructor_algebraic_laws() {
+    let mut rng = Prng::new(15);
+    for _ in 0..256 {
+        let e1 = random_expr(&mut rng, 4);
+        let e2 = random_expr(&mut rng, 4);
+        let p = random_smart_pred(&mut rng, 3);
+        // Sequencing unit and absorber.
+        assert_eq!(Expr::SKIP.seq(e1), e1, "Skip;e ≡ e");
+        assert_eq!(e1.seq(Expr::SKIP), e1, "e;Skip ≡ e");
+        assert_eq!(Expr::ERROR.seq(e1), Expr::ERROR, "Error;e ≡ Error");
+        // Conditional folding.
+        assert_eq!(Expr::if_(Pred::TRUE, e1, e2), e1, "if true e1 e2 ≡ e1");
+        assert_eq!(Expr::if_(Pred::FALSE, e1, e2), e2, "if false e1 e2 ≡ e2");
+        assert_eq!(Expr::if_(p, e1, e1), e1, "equal branches collapse");
+        // Boolean constant folding and double negation.
+        assert_eq!(Pred::TRUE.and(p), p);
+        assert_eq!(p.and(Pred::TRUE), p);
+        assert_eq!(Pred::FALSE.and(p), Pred::FALSE);
+        assert_eq!(Pred::TRUE.or(p), Pred::TRUE);
+        assert_eq!(Pred::FALSE.or(p), p);
+        assert_eq!(p.not().not(), p, "¬¬p ≡ p structurally");
+    }
+}
+
+/// De Morgan duals are semantically equivalent (the constructors do not
+/// rewrite them structurally, matching the seed IR, but the semantics must
+/// agree on every state).
+#[test]
+fn de_morgan_laws_hold_semantically() {
+    let mut rng = Prng::new(16);
+    for _ in 0..128 {
+        let a = random_pred(&mut rng, 3);
+        let b = random_pred(&mut rng, 3);
+        let not_and = a.and(b).not();
+        let or_nots = a.not().or(b.not());
+        let not_or = a.or(b).not();
+        let and_nots = a.not().and(b.not());
+        for fs in states() {
+            assert_eq!(
+                eval_pred(not_and, &fs),
+                eval_pred(or_nots, &fs),
+                "¬(a∧b) ≡ ¬a∨¬b on {fs}"
+            );
+            assert_eq!(
+                eval_pred(not_or, &fs),
+                eval_pred(and_nots, &fs),
+                "¬(a∨b) ≡ ¬a∧¬b on {fs}"
+            );
+        }
+    }
+}
+
+/// Hash-consing: rebuilding a structurally identical tree from scratch
+/// always yields the identical handle, for both raw interning and smart
+/// construction.
+#[test]
+fn structurally_equal_trees_get_equal_ids() {
+    for seed in [21u64, 22, 23, 24] {
+        let mut rng1 = Prng::new(seed);
+        let mut rng2 = Prng::new(seed);
+        for _ in 0..128 {
+            let e1 = random_expr(&mut rng1, 5);
+            let e2 = random_expr(&mut rng2, 5);
+            assert_eq!(e1, e2, "same construction sequence, same id");
+            assert_eq!(e1.index(), e2.index());
+            let p1 = random_pred(&mut rng1, 4);
+            let p2 = random_pred(&mut rng2, 4);
+            assert_eq!(p1, p2);
         }
     }
 }
@@ -172,7 +264,7 @@ fn eval_preserves_consistency() {
             if !consistent(&fs) {
                 continue;
             }
-            if let Ok(out) = eval(&e, &fs) {
+            if let Ok(out) = eval(e, &fs) {
                 assert!(consistent(&out), "{e} broke consistency: {out}");
             }
         }
@@ -187,22 +279,27 @@ fn eval_is_pure() {
         let e = random_expr(&mut rng, 4);
         let fs = FileSystem::with_root();
         let snapshot = fs.clone();
-        let _ = eval(&e, &fs);
+        let _ = eval(e, &fs);
         assert_eq!(fs, snapshot);
     }
 }
 
-/// `size` and `paths` are consistent under sequencing.
+/// `size` and `paths` are consistent under sequencing, and the memoized
+/// path sets are shared allocations.
 #[test]
 fn structural_accessors() {
     let mut rng = Prng::new(14);
     for _ in 0..256 {
         let a = random_expr(&mut rng, 4);
         let b = random_expr(&mut rng, 4);
-        let s = Expr::Seq(Box::new(a.clone()), Box::new(b.clone()));
+        let s = Expr::intern(ExprNode::Seq(a, b));
         assert_eq!(s.size(), 1 + a.size() + b.size());
-        let mut union = a.paths();
-        union.extend(b.paths());
-        assert_eq!(s.paths(), union);
+        let mut union = (*a.paths()).clone();
+        union.extend(b.paths().iter().copied());
+        assert_eq!(*s.paths(), union);
+        assert!(
+            std::sync::Arc::ptr_eq(&s.paths(), &s.paths()),
+            "path sets are cached per node"
+        );
     }
 }

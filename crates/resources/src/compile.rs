@@ -231,19 +231,19 @@ fn compile_file(resource: &CatalogResource) -> Result<Expr, CompileError> {
             if let Some(src_text) = &source {
                 let src = parse_path(resource, src_text)?;
                 // Copy, overwriting an existing destination file.
-                let copy = Expr::Cp(src, path);
-                let recopy = Expr::Rm(path).seq(Expr::Cp(src, path));
+                let copy = Expr::cp(src, path);
+                let recopy = Expr::rm(path).seq(Expr::cp(src, path));
                 if replace {
                     Expr::if_(
-                        Pred::DoesNotExist(path),
+                        Pred::does_not_exist(path),
                         copy,
-                        Expr::if_(Pred::IsFile(path), recopy, Expr::Error),
+                        Expr::if_(Pred::is_file(path), recopy, Expr::ERROR),
                     )
                 } else {
                     Expr::if_(
-                        Pred::DoesNotExist(path),
+                        Pred::does_not_exist(path),
                         copy,
-                        Expr::if_(Pred::IsFile(path), Expr::Skip, Expr::Error),
+                        Expr::if_(Pred::is_file(path), Expr::SKIP, Expr::ERROR),
                     )
                 }
             } else {
@@ -256,30 +256,30 @@ fn compile_file(resource: &CatalogResource) -> Result<Expr, CompileError> {
             }
         }
         "directory" => {
-            let make = Expr::Mkdir(path);
+            let make = Expr::mkdir(path);
             let on_file = if force {
-                Expr::Rm(path).seq(Expr::Mkdir(path))
+                Expr::rm(path).seq(Expr::mkdir(path))
             } else {
-                Expr::Error
+                Expr::ERROR
             };
             Expr::if_(
-                Pred::DoesNotExist(path),
+                Pred::does_not_exist(path),
                 make,
-                Expr::if_(Pred::IsDir(path), Expr::Skip, on_file),
+                Expr::if_(Pred::is_dir(path), Expr::SKIP, on_file),
             )
         }
         "absent" => Expr::if_(
-            Pred::DoesNotExist(path),
-            Expr::Skip,
+            Pred::does_not_exist(path),
+            Expr::SKIP,
             Expr::if_(
-                Pred::IsFile(path),
-                Expr::Rm(path),
+                Pred::is_file(path),
+                Expr::rm(path),
                 if force {
                     // rm still errors on a non-empty directory — FS has no
                     // recursive delete, which keeps the model conservative.
-                    Expr::Rm(path)
+                    Expr::rm(path)
                 } else {
-                    Expr::Error
+                    Expr::ERROR
                 },
             ),
         ),
@@ -553,9 +553,9 @@ fn compile_service(resource: &CatalogResource) -> Result<Expr, CompileError> {
             // provides — omitting the package→service dependency is a
             // classic determinacy bug (paper §2.2).
             steps.push(Expr::if_(
-                Pred::IsFile(init_script),
-                Expr::Skip,
-                Expr::Error,
+                Pred::is_file(init_script),
+                Expr::SKIP,
+                Expr::ERROR,
             ));
             steps.push(ensure_parent_dirs(run_file));
             steps.push(ensure_dir(run_dir));
@@ -579,9 +579,9 @@ fn compile_service(resource: &CatalogResource) -> Result<Expr, CompileError> {
     }
     if enable {
         steps.push(Expr::if_(
-            Pred::IsFile(init_script),
-            Expr::Skip,
-            Expr::Error,
+            Pred::is_file(init_script),
+            Expr::SKIP,
+            Expr::ERROR,
         ));
         steps.push(ensure_parent_dirs(rc_file));
         steps.push(ensure_dir(rc_dir));
@@ -693,7 +693,7 @@ fn compile_notify(resource: &CatalogResource) -> Result<Expr, CompileError> {
     let mut attrs = Attrs::new(resource);
     attrs.ignore(&["message", "withpath"]);
     attrs.finish()?;
-    Ok(Expr::Skip)
+    Ok(Expr::SKIP)
 }
 
 #[cfg(test)]
@@ -737,15 +737,15 @@ mod tests {
     fn file_with_content() {
         let e = compile_one(&res("file", "/etc/motd", &[("content", "hi")]));
         let fs = FileSystem::with_root().set(p("/etc"), FileState::Dir);
-        let out = eval(&e, &fs).unwrap();
+        let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/etc/motd")),
             Some(FileState::File(Content::intern("hi")))
         );
         // Idempotent.
-        assert_eq!(eval(&e, &out).unwrap(), out);
+        assert_eq!(eval(e, &out).unwrap(), out);
         // Errors when the parent directory is missing.
-        assert!(eval(&e, &FileSystem::with_root()).is_err());
+        assert!(eval(e, &FileSystem::with_root()).is_err());
     }
 
     #[test]
@@ -754,7 +754,7 @@ mod tests {
         let fs = FileSystem::with_root()
             .set(p("/etc"), FileState::Dir)
             .set(p("/etc/motd"), FileState::File(Content::intern("old")));
-        let out = eval(&e, &fs).unwrap();
+        let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/etc/motd")),
             Some(FileState::File(Content::intern("new")))
@@ -771,7 +771,7 @@ mod tests {
         let fs = FileSystem::with_root()
             .set(p("/etc"), FileState::Dir)
             .set(p("/etc/motd"), FileState::File(Content::intern("old")));
-        let out = eval(&e, &fs).unwrap();
+        let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/etc/motd")),
             Some(FileState::File(Content::intern("old")))
@@ -781,40 +781,37 @@ mod tests {
     #[test]
     fn file_directory_and_absent() {
         let mk = compile_one(&res("file", "/srv", &[("ensure", "directory")]));
-        let out = eval(&mk, &FileSystem::with_root()).unwrap();
+        let out = eval(mk, &FileSystem::with_root()).unwrap();
         assert!(out.is_dir(p("/srv")));
-        assert_eq!(eval(&mk, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(mk, &out).unwrap(), out, "idempotent");
 
         // Removing a directory requires force (as in Puppet).
         let rm_plain = compile_one(&res("file", "/srv", &[("ensure", "absent")]));
-        assert!(
-            eval(&rm_plain, &out).is_err(),
-            "needs force for a directory"
-        );
+        assert!(eval(rm_plain, &out).is_err(), "needs force for a directory");
         let rm_force = compile_one(&res(
             "file",
             "/srv",
             &[("ensure", "absent"), ("force", "true")],
         ));
-        let out2 = eval(&rm_force, &out).unwrap();
+        let out2 = eval(rm_force, &out).unwrap();
         assert!(out2.not_exists(p("/srv")));
-        assert_eq!(eval(&rm_force, &out2).unwrap(), out2, "idempotent");
+        assert_eq!(eval(rm_force, &out2).unwrap(), out2, "idempotent");
         // A plain absent on a *file* works without force (paper fig. 3d).
         let file_fs = FileSystem::with_root().set(p("/srv"), FileState::File(Content::intern("x")));
-        assert!(eval(&rm_plain, &file_fs).unwrap().not_exists(p("/srv")));
+        assert!(eval(rm_plain, &file_fs).unwrap().not_exists(p("/srv")));
     }
 
     #[test]
     fn file_source_copies() {
         let e = compile_one(&res("file", "/dst", &[("source", "/src")]));
         let fs = FileSystem::with_root().set(p("/src"), FileState::File(Content::intern("data")));
-        let out = eval(&e, &fs).unwrap();
+        let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/dst")),
             Some(FileState::File(Content::intern("data")))
         );
         // Missing source errors.
-        assert!(eval(&e, &FileSystem::with_root()).is_err());
+        assert!(eval(e, &FileSystem::with_root()).is_err());
     }
 
     #[test]
@@ -838,30 +835,30 @@ mod tests {
     #[test]
     fn package_install_creates_own_files() {
         let e = compile_one(&res("package", "vim", &[("ensure", "present")]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.is_file(p("/usr/bin/vim")));
         assert!(out.is_file(p("/etc/vim/vimrc")));
         assert!(
             out.not_exists(p("/usr/bin/perl")),
             "no dependency closure by default (paper §8)"
         );
-        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
     }
 
     #[test]
     fn package_remove_removes_own_files() {
         let install = compile_one(&res("package", "vim", &[]));
         let remove = compile_one(&res("package", "vim", &[("ensure", "absent")]));
-        let installed = eval(&install, &FileSystem::with_root()).unwrap();
-        let removed = eval(&remove, &installed).unwrap();
+        let installed = eval(install, &FileSystem::with_root()).unwrap();
+        let removed = eval(remove, &installed).unwrap();
         assert!(removed.not_exists(p("/usr/bin/vim")));
-        assert_eq!(eval(&remove, &removed).unwrap(), removed, "idempotent");
+        assert_eq!(eval(remove, &removed).unwrap(), removed, "idempotent");
     }
 
     #[test]
     fn closure_install_pulls_dependencies() {
         let e = compile_with_closures(&res("package", "golang-go", &[]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.is_file(p("/usr/bin/go")));
         assert!(out.is_file(p("/usr/bin/perl")), "dependency installed");
     }
@@ -870,8 +867,8 @@ mod tests {
     fn closure_remove_removes_reverse_dependents() {
         let install_go = compile_with_closures(&res("package", "golang-go", &[]));
         let remove_perl = compile_with_closures(&res("package", "perl", &[("ensure", "absent")]));
-        let installed = eval(&install_go, &FileSystem::with_root()).unwrap();
-        let removed = eval(&remove_perl, &installed).unwrap();
+        let installed = eval(install_go, &FileSystem::with_root()).unwrap();
+        let removed = eval(remove_perl, &installed).unwrap();
         assert!(removed.not_exists(p("/usr/bin/perl")));
         assert!(removed.not_exists(p("/usr/bin/go")), "go removed with perl");
     }
@@ -885,11 +882,11 @@ mod tests {
         let install_go = compile_with_closures(&res("package", "golang-go", &[]));
         let remove_perl = compile_with_closures(&res("package", "perl", &[("ensure", "absent")]));
         let init = FileSystem::with_root();
-        let a = eval(&remove_perl, &init)
-            .and_then(|s| eval(&install_go, &s))
+        let a = eval(remove_perl, &init)
+            .and_then(|s| eval(install_go, &s))
             .unwrap();
-        let b = eval(&install_go, &init)
-            .and_then(|s| eval(&remove_perl, &s))
+        let b = eval(install_go, &init)
+            .and_then(|s| eval(remove_perl, &s))
             .unwrap();
         assert!(a.is_file(p("/usr/bin/go")));
         assert!(!b.is_file(p("/usr/bin/go")));
@@ -905,16 +902,16 @@ mod tests {
     #[test]
     fn user_with_managehome_creates_home() {
         let e = compile_one(&res("user", "carol", &[("managehome", "true")]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.is_file(p("/etc/users/carol")));
         assert!(out.is_dir(p("/home/carol")));
-        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
     }
 
     #[test]
     fn user_without_managehome_no_home() {
         let e = compile_one(&res("user", "carol", &[]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.not_exists(p("/home/carol")));
     }
 
@@ -922,15 +919,15 @@ mod tests {
     fn user_absent_removes_record() {
         let mk = compile_one(&res("user", "carol", &[]));
         let rm = compile_one(&res("user", "carol", &[("ensure", "absent")]));
-        let made = eval(&mk, &FileSystem::with_root()).unwrap();
-        let gone = eval(&rm, &made).unwrap();
+        let made = eval(mk, &FileSystem::with_root()).unwrap();
+        let gone = eval(rm, &made).unwrap();
         assert!(gone.not_exists(p("/etc/users/carol")));
     }
 
     #[test]
     fn group_record() {
         let e = compile_one(&res("group", "admins", &[("gid", "100")]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.is_file(p("/etc/groups/admins")));
     }
 
@@ -942,15 +939,15 @@ mod tests {
             &[("user", "carol"), ("key", "AAAA")],
         ));
         // Without carol's home directory: error (missing user dependency).
-        assert!(eval(&key, &FileSystem::with_root()).is_err());
+        assert!(eval(key, &FileSystem::with_root()).is_err());
         // With it: writes both the logical entry and the real key-file.
         let fs = FileSystem::with_root()
             .set(p("/home"), FileState::Dir)
             .set(p("/home/carol"), FileState::Dir);
-        let out = eval(&key, &fs).unwrap();
+        let out = eval(key, &fs).unwrap();
         assert!(out.is_file(p("/ssh_keys/carol/laptop")));
         assert!(out.is_file(p("/home/carol/.ssh/authorized_keys")));
-        assert_eq!(eval(&key, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(key, &out).unwrap(), out, "idempotent");
     }
 
     #[test]
@@ -968,8 +965,8 @@ mod tests {
         let fs = FileSystem::with_root()
             .set(p("/home"), FileState::Dir)
             .set(p("/home/carol"), FileState::Dir);
-        let a = eval(&k1, &fs).and_then(|s| eval(&k2, &s)).unwrap();
-        let b = eval(&k2, &fs).and_then(|s| eval(&k1, &s)).unwrap();
+        let a = eval(k1, &fs).and_then(|s| eval(k2, &s)).unwrap();
+        let b = eval(k2, &fs).and_then(|s| eval(k1, &s)).unwrap();
         assert_eq!(a, b, "key insertion order does not matter");
     }
 
@@ -982,10 +979,7 @@ mod tests {
     #[test]
     fn service_requires_init_script() {
         let e = compile_one(&res("service", "nginx", &[("ensure", "running")]));
-        assert!(
-            eval(&e, &FileSystem::with_root()).is_err(),
-            "no init script"
-        );
+        assert!(eval(e, &FileSystem::with_root()).is_err(), "no init script");
         let fs = FileSystem::with_root()
             .set(p("/etc"), FileState::Dir)
             .set(p("/etc/init.d"), FileState::Dir)
@@ -993,17 +987,17 @@ mod tests {
                 p("/etc/init.d/nginx"),
                 FileState::File(Content::intern("init")),
             );
-        let out = eval(&e, &fs).unwrap();
+        let out = eval(e, &fs).unwrap();
         assert!(out.is_file(p("/var/run/services/nginx")));
-        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
     }
 
     #[test]
     fn service_stop_is_idempotent() {
         let e = compile_one(&res("service", "nginx", &[("ensure", "stopped")]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.not_exists(p("/var/run/services/nginx")));
-        assert_eq!(eval(&e, &out).unwrap(), out);
+        assert_eq!(eval(e, &out).unwrap(), out);
     }
 
     #[test]
@@ -1013,9 +1007,9 @@ mod tests {
             "logrotate",
             &[("command", "/usr/sbin/logrotate"), ("hour", "2")],
         ));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.is_file(p("/var/spool/cron/root/logrotate")));
-        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
     }
 
     #[test]
@@ -1027,16 +1021,16 @@ mod tests {
     #[test]
     fn host_entry_stamps_etc_hosts() {
         let e = compile_one(&res("host", "db01", &[("ip", "10.0.0.5")]));
-        let out = eval(&e, &FileSystem::with_root()).unwrap();
+        let out = eval(e, &FileSystem::with_root()).unwrap();
         assert!(out.is_file(p("/hosts_entries/db01")));
         assert!(out.is_file(p("/etc/hosts")));
-        assert_eq!(eval(&e, &out).unwrap(), out, "idempotent");
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
     }
 
     #[test]
     fn notify_is_noop() {
         let e = compile_one(&res("notify", "hello", &[("message", "hi")]));
-        assert_eq!(e, Expr::Skip);
+        assert_eq!(e, Expr::SKIP);
     }
 
     #[test]
@@ -1063,9 +1057,9 @@ mod tests {
         ));
         let init = FileSystem::with_root();
         // file-then-package errors (conf's parent dir does not exist yet).
-        assert!(eval(&conf, &init).is_err());
+        assert!(eval(conf, &init).is_err());
         // package-then-file succeeds and ends with the custom content.
-        let ok = eval(&pkg, &init).and_then(|s| eval(&conf, &s)).unwrap();
+        let ok = eval(pkg, &init).and_then(|s| eval(conf, &s)).unwrap();
         assert_eq!(
             ok.get(p("/etc/apache2/sites-available/000-default.conf")),
             Some(FileState::File(Content::intern("my site")))

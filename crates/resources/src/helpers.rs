@@ -8,7 +8,7 @@ use rehearsal_fs::{Content, Expr, FsPath, Pred};
 /// as the abstract value `D` (paper §4.3): it ensures `p` is a directory or
 /// errors (when `p` is an existing file, `mkdir`'s precondition fails).
 pub fn ensure_dir(p: FsPath) -> Expr {
-    Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p))
+    Expr::if_then(Pred::is_dir(p).not(), Expr::mkdir(p))
 }
 
 /// Idempotent creation of every ancestor directory of `p` (excluding `p`
@@ -26,12 +26,12 @@ pub fn ensure_parent_dirs(p: FsPath) -> Expr {
 /// file with `content`.
 pub fn overwrite(p: FsPath, content: Content) -> Expr {
     Expr::if_(
-        Pred::DoesNotExist(p),
-        Expr::CreateFile(p, content),
+        Pred::does_not_exist(p),
+        Expr::create_file(p, content),
         Expr::if_(
-            Pred::IsFile(p),
-            Expr::Rm(p).seq(Expr::CreateFile(p, content)),
-            Expr::Error,
+            Pred::is_file(p),
+            Expr::rm(p).seq(Expr::create_file(p, content)),
+            Expr::ERROR,
         ),
     )
 }
@@ -40,9 +40,9 @@ pub fn overwrite(p: FsPath, content: Content) -> Expr {
 /// alone; a directory is an error.
 pub fn create_if_absent(p: FsPath, content: Content) -> Expr {
     Expr::if_(
-        Pred::DoesNotExist(p),
-        Expr::CreateFile(p, content),
-        Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
+        Pred::does_not_exist(p),
+        Expr::create_file(p, content),
+        Expr::if_(Pred::is_file(p), Expr::SKIP, Expr::ERROR),
     )
 }
 
@@ -50,9 +50,9 @@ pub fn create_if_absent(p: FsPath, content: Content) -> Expr {
 /// directory.
 pub fn remove_file_if_present(p: FsPath) -> Expr {
     Expr::if_(
-        Pred::IsFile(p),
-        Expr::Rm(p),
-        Expr::if_(Pred::DoesNotExist(p), Expr::Skip, Expr::Error),
+        Pred::is_file(p),
+        Expr::rm(p),
+        Expr::if_(Pred::does_not_exist(p), Expr::SKIP, Expr::ERROR),
     )
 }
 
@@ -69,8 +69,8 @@ mod tests {
     fn ensure_dir_is_idempotent() {
         let fs = FileSystem::with_root();
         let e = ensure_dir(p("/a"));
-        let fs1 = eval(&e, &fs).unwrap();
-        let fs2 = eval(&e, &fs1).unwrap();
+        let fs1 = eval(e, &fs).unwrap();
+        let fs2 = eval(e, &fs1).unwrap();
         assert_eq!(fs1, fs2);
         assert!(fs1.is_dir(p("/a")));
     }
@@ -78,14 +78,14 @@ mod tests {
     #[test]
     fn ensure_dir_errors_on_file() {
         let fs = FileSystem::with_root().set(p("/a"), FileState::File(Content::intern("x")));
-        assert!(eval(&ensure_dir(p("/a")), &fs).is_err());
+        assert!(eval(ensure_dir(p("/a")), &fs).is_err());
     }
 
     #[test]
     fn ensure_parent_dirs_builds_tree() {
         let fs = FileSystem::with_root();
         let e = ensure_parent_dirs(p("/usr/share/doc/vim/README"));
-        let out = eval(&e, &fs).unwrap();
+        let out = eval(e, &fs).unwrap();
         assert!(out.is_dir(p("/usr")));
         assert!(out.is_dir(p("/usr/share/doc/vim")));
         assert!(out.not_exists(p("/usr/share/doc/vim/README")));
@@ -96,14 +96,14 @@ mod tests {
         let c1 = Content::intern("old");
         let c2 = Content::intern("new");
         let fs = FileSystem::with_root().set(p("/f"), FileState::File(c1));
-        let out = eval(&overwrite(p("/f"), c2), &fs).unwrap();
+        let out = eval(overwrite(p("/f"), c2), &fs).unwrap();
         assert_eq!(out.get(p("/f")), Some(FileState::File(c2)));
         // Also works when absent.
-        let out2 = eval(&overwrite(p("/f"), c2), &FileSystem::with_root()).unwrap();
+        let out2 = eval(overwrite(p("/f"), c2), &FileSystem::with_root()).unwrap();
         assert_eq!(out2.get(p("/f")), Some(FileState::File(c2)));
         // Errors on a directory.
         let dirfs = FileSystem::with_root().set(p("/f"), FileState::Dir);
-        assert!(eval(&overwrite(p("/f"), c2), &dirfs).is_err());
+        assert!(eval(overwrite(p("/f"), c2), &dirfs).is_err());
     }
 
     #[test]
@@ -111,7 +111,7 @@ mod tests {
         let c1 = Content::intern("keep");
         let c2 = Content::intern("ignored");
         let fs = FileSystem::with_root().set(p("/f"), FileState::File(c1));
-        let out = eval(&create_if_absent(p("/f"), c2), &fs).unwrap();
+        let out = eval(create_if_absent(p("/f"), c2), &fs).unwrap();
         assert_eq!(out.get(p("/f")), Some(FileState::File(c1)));
     }
 
@@ -120,8 +120,8 @@ mod tests {
         let c = Content::intern("x");
         let fs = FileSystem::with_root().set(p("/f"), FileState::File(c));
         let e = remove_file_if_present(p("/f"));
-        let fs1 = eval(&e, &fs).unwrap();
-        let fs2 = eval(&e, &fs1).unwrap();
+        let fs1 = eval(e, &fs).unwrap();
+        let fs2 = eval(e, &fs1).unwrap();
         assert!(fs1.not_exists(p("/f")));
         assert_eq!(fs1, fs2);
     }

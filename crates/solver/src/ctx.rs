@@ -94,6 +94,25 @@ pub struct CtxStats {
     pub bool_vars: usize,
     /// Number of finite-domain variables.
     pub fd_vars: usize,
+    /// Formula interning requests answered by an existing (hash-consed)
+    /// node instead of allocating a new one.
+    pub formula_dedup_hits: u64,
+    /// Term interning requests answered by an existing node.
+    pub term_dedup_hits: u64,
+}
+
+impl CtxStats {
+    /// Fraction of interning requests served by sharing (0.0 when nothing
+    /// has been interned). High ratios mean the Tseitin transform encodes
+    /// proportionally fewer distinct nodes.
+    pub fn dedup_ratio(&self) -> f64 {
+        let fresh = (self.formula_nodes + self.term_nodes) as u64;
+        let hits = self.formula_dedup_hits + self.term_dedup_hits;
+        if fresh + hits == 0 {
+            return 0.0;
+        }
+        hits as f64 / (fresh + hits) as f64
+    }
 }
 
 /// The formula-building and solving context.
@@ -114,6 +133,9 @@ pub struct Ctx {
     bit_memo: HashMap<(Term, u32), Formula>,
     /// Memo table for the set of values a term can take.
     possible_memo: HashMap<Term, std::rc::Rc<Vec<u32>>>,
+    /// Hash-consing hit counters (see [`CtxStats`]).
+    formula_hits: u64,
+    term_hits: u64,
 }
 
 impl Ctx {
@@ -127,6 +149,7 @@ impl Ctx {
 
     fn intern_f(&mut self, node: FNode) -> Formula {
         if let Some(&f) = self.fhash.get(&node) {
+            self.formula_hits += 1;
             return f;
         }
         let f = Formula(self.fnodes.len() as u32);
@@ -137,6 +160,7 @@ impl Ctx {
 
     fn intern_t(&mut self, node: TNode) -> Term {
         if let Some(&t) = self.thash.get(&node) {
+            self.term_hits += 1;
             return t;
         }
         let t = Term(self.tnodes.len() as u32);
@@ -485,6 +509,8 @@ impl Ctx {
             term_nodes: self.tnodes.len(),
             bool_vars: self.n_bool_vars as usize,
             fd_vars: self.fd_vars.len(),
+            formula_dedup_hits: self.formula_hits,
+            term_dedup_hits: self.term_hits,
         }
     }
 
@@ -616,9 +642,28 @@ impl Ctx {
         root: Formula,
         deadline: Option<std::time::Instant>,
     ) -> Result<Option<ModelView>, SolveTimeout> {
+        self.solve_with_budget(root, deadline, None)
+    }
+
+    /// Like [`Ctx::solve_with_deadline`], additionally polling a
+    /// cooperative-cancellation flag *inside* the SAT search loop, so a
+    /// scheduler can interrupt a long solve without waiting for the
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveTimeout`] when the deadline is exceeded or the flag
+    /// is raised.
+    pub fn solve_with_budget(
+        &mut self,
+        root: Formula,
+        deadline: Option<std::time::Instant>,
+        interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Result<Option<ModelView>, SolveTimeout> {
         let cnf = self.to_cnf(root);
         let mut solver = Solver::new();
         solver.set_deadline(deadline);
+        solver.set_interrupt(interrupt);
         solver.reserve_vars(cnf.num_vars());
         for c in cnf.clauses() {
             if !solver.add_clause(c.iter().copied()) {
@@ -811,6 +856,25 @@ mod tests {
         let m = ctx.solve(f).expect("sat");
         assert!(m.formula_value_in(&ctx, a));
         assert!(!m.formula_value_in(&ctx, b));
+    }
+
+    #[test]
+    fn solve_with_raised_interrupt_reports_timeout() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let f = ctx.and2(a, b);
+        let flag = Arc::new(AtomicBool::new(true));
+        assert!(
+            matches!(
+                ctx.solve_with_budget(f, None, Some(flag)),
+                Err(SolveTimeout)
+            ),
+            "a raised interrupt flag aborts the solve"
+        );
+        assert!(ctx.solve(f).is_some(), "without the flag it solves fine");
     }
 
     #[test]

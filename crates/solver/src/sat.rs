@@ -253,6 +253,9 @@ pub struct Solver {
     max_learnts: f64,
     /// Optional wall-clock deadline checked between restarts.
     deadline: Option<std::time::Instant>,
+    /// Optional cooperative-cancellation flag, polled inside the search
+    /// loop so an external scheduler can interrupt a long solve.
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
@@ -288,14 +291,41 @@ impl Solver {
             stats: SolverStats::default(),
             max_learnts: 0.0,
             deadline: None,
+            interrupt: None,
         }
     }
 
     /// Sets a wall-clock deadline; [`Solver::solve`] returns
-    /// [`SatResult::Unknown`] if it is exceeded (checked between restarts,
-    /// so the overshoot is bounded by one restart interval).
+    /// [`SatResult::Unknown`] if it is exceeded. The deadline is polled
+    /// inside the DPLL/CDCL search loop (every 1024 conflicts or
+    /// decisions), so even a single long restart interval cannot overshoot
+    /// it by much.
     pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Attaches a cooperative-cancellation flag. When the flag becomes
+    /// `true`, [`Solver::solve`] returns [`SatResult::Unknown`] at the next
+    /// poll point — the same in-loop points as the deadline — letting a
+    /// fleet scheduler interrupt a solve mid-search instead of waiting for
+    /// a permutation boundary.
+    pub fn set_interrupt(&mut self, flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Whether the deadline has passed or the interrupt flag is raised.
+    fn should_stop(&self) -> bool {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() > d {
+                return true;
+            }
+        }
+        false
     }
 
     /// Allocates a fresh variable.
@@ -697,11 +727,9 @@ impl Solver {
         self.max_learnts = (self.num_clauses() as f64 / 3.0).max(1000.0);
         let mut restart_num = 0u64;
         loop {
-            if let Some(d) = self.deadline {
-                if std::time::Instant::now() > d {
-                    self.cancel_until(0);
-                    return SatResult::Unknown;
-                }
+            if self.should_stop() {
+                self.cancel_until(0);
+                return SatResult::Unknown;
             }
             // (Re-)apply assumptions as pseudo-decisions at the start of
             // each restart.
@@ -760,13 +788,9 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 conflicts += 1;
                 self.stats.conflicts += 1;
-                // Deadline check with bounded overhead.
-                if conflicts & 0x3FF == 0 {
-                    if let Some(d) = self.deadline {
-                        if std::time::Instant::now() > d {
-                            return SearchResult::Restart;
-                        }
-                    }
+                // Deadline/interrupt check with bounded overhead.
+                if conflicts & 0x3FF == 0 && self.should_stop() {
+                    return SearchResult::Restart;
                 }
                 if self.decision_level() <= assumption_level {
                     return SearchResult::Unsat;
@@ -795,6 +819,9 @@ impl Solver {
                     None => return SearchResult::Sat,
                     Some(v) => {
                         self.stats.decisions += 1;
+                        if self.stats.decisions & 0x3FF == 0 && self.should_stop() {
+                            return SearchResult::Restart;
+                        }
                         self.trail_lim.push(self.trail.len());
                         let lit = Lit::new(v, self.phase[v.index()]);
                         self.unchecked_enqueue(lit, CLAUSE_NONE);
@@ -864,6 +891,21 @@ mod tests {
     fn no_clauses_sat() {
         let mut s = Solver::new();
         lits(&mut s, 3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn raised_interrupt_returns_unknown() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(Arc::clone(&flag)));
+        assert!(matches!(s.solve(), SatResult::Unknown));
+        // Lowering the flag lets the same solver finish.
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
         assert!(s.solve().is_sat());
     }
 

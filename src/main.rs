@@ -389,7 +389,7 @@ fn run() -> Result<bool, String> {
             let order = graph.topological_order();
             let mut fs = initial;
             for &i in &order {
-                match rehearsal::fs::eval(&graph.exprs[i], &fs) {
+                match rehearsal::fs::eval(graph.exprs[i], &fs) {
                     Ok(next) => {
                         println!("applied {}", graph.names[i]);
                         fs = next;

@@ -61,35 +61,35 @@ fn random_expr(rng: &mut Prng) -> Expr {
     let c = contents()[rng.usize(2)];
     match rng.usize(8) {
         // ensure_dir
-        0 => Expr::if_then(Pred::IsDir(p).not(), Expr::Mkdir(p)),
+        0 => Expr::if_then(Pred::is_dir(p).not(), Expr::mkdir(p)),
         // overwrite
         1 => Expr::if_(
-            Pred::DoesNotExist(p),
-            Expr::CreateFile(p, c),
+            Pred::does_not_exist(p),
+            Expr::create_file(p, c),
             Expr::if_(
-                Pred::IsFile(p),
-                Expr::Rm(p).seq(Expr::CreateFile(p, c)),
-                Expr::Error,
+                Pred::is_file(p),
+                Expr::rm(p).seq(Expr::create_file(p, c)),
+                Expr::ERROR,
             ),
         ),
         // create-if-absent
         2 => Expr::if_(
-            Pred::DoesNotExist(p),
-            Expr::CreateFile(p, c),
-            Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
+            Pred::does_not_exist(p),
+            Expr::create_file(p, c),
+            Expr::if_(Pred::is_file(p), Expr::SKIP, Expr::ERROR),
         ),
         // remove-if-present
         3 => Expr::if_(
-            Pred::IsFile(p),
-            Expr::Rm(p),
-            Expr::if_(Pred::DoesNotExist(p), Expr::Skip, Expr::Error),
+            Pred::is_file(p),
+            Expr::rm(p),
+            Expr::if_(Pred::does_not_exist(p), Expr::SKIP, Expr::ERROR),
         ),
         // raw operations
-        4 => Expr::Mkdir(p),
-        5 => Expr::CreateFile(p, c),
-        6 => Expr::Rm(p),
+        4 => Expr::mkdir(p),
+        5 => Expr::create_file(p, c),
+        6 => Expr::rm(p),
         // a guard that requires a file to exist
-        _ => Expr::if_(Pred::IsFile(p), Expr::Skip, Expr::Error),
+        _ => Expr::if_(Pred::is_file(p), Expr::SKIP, Expr::ERROR),
     }
 }
 
@@ -164,7 +164,7 @@ fn all_orders(graph: &FsGraph) -> Vec<Vec<usize>> {
 fn brute_force_deterministic(graph: &FsGraph) -> bool {
     let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
     for e in &graph.exprs {
-        domain.extend(e.paths());
+        domain.extend(e.paths().iter().copied());
     }
     let ps: Vec<FsPath> = domain.iter().copied().collect();
     let orders = all_orders(graph);
@@ -173,7 +173,7 @@ fn brute_force_deterministic(graph: &FsGraph) -> bool {
         for order in &orders {
             let mut state = Ok(fs.clone());
             for &i in order {
-                state = state.and_then(|s| eval(&graph.exprs[i], &s));
+                state = state.and_then(|s| eval(graph.exprs[i], &s));
             }
             outcomes.insert(state.map(|s| s.restrict(&domain)));
             if outcomes.len() > 1 {
@@ -228,16 +228,15 @@ fn equivalence_matches_brute_force() {
     for _ in 0..200 {
         let e1 = random_expr(&mut rng);
         let e2 = random_expr(&mut rng);
-        let report =
-            check_expr_equivalence(&e1, &e2, &AnalysisOptions::default()).expect("no abort");
+        let report = check_expr_equivalence(e1, e2, &AnalysisOptions::default()).expect("no abort");
         let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
-        domain.extend(e1.paths());
-        domain.extend(e2.paths());
+        domain.extend(e1.paths().iter().copied());
+        domain.extend(e2.paths().iter().copied());
         let ps: Vec<FsPath> = domain.iter().copied().collect();
         let mut expected = true;
         for fs in consistent_states(&ps, &contents()) {
-            let o1 = eval(&e1, &fs).map(|s| s.restrict(&domain));
-            let o2 = eval(&e2, &fs).map(|s| s.restrict(&domain));
+            let o1 = eval(e1, &fs).map(|s| s.restrict(&domain));
+            let o2 = eval(e2, &fs).map(|s| s.restrict(&domain));
             if o1 != o2 {
                 expected = false;
                 break;
@@ -254,14 +253,14 @@ fn idempotence_matches_brute_force() {
     let mut rng = Prng::new(33);
     for _ in 0..200 {
         let e = random_expr(&mut rng);
-        let report = check_expr_idempotence(&e, &AnalysisOptions::default()).expect("no abort");
+        let report = check_expr_idempotence(e, &AnalysisOptions::default()).expect("no abort");
         let mut domain: BTreeSet<FsPath> = paths().into_iter().collect();
-        domain.extend(e.paths());
+        domain.extend(e.paths().iter().copied());
         let ps: Vec<FsPath> = domain.iter().copied().collect();
         let mut expected = true;
         for fs in consistent_states(&ps, &contents()) {
-            let once = eval(&e, &fs);
-            let twice = once.clone().and_then(|s| eval(&e, &s));
+            let once = eval(e, &fs);
+            let twice = once.clone().and_then(|s| eval(e, &s));
             let once = once.map(|s| s.restrict(&domain));
             let twice = twice.map(|s| s.restrict(&domain));
             if once != twice {

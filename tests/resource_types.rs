@@ -15,7 +15,7 @@ fn simulate(source: &str) -> FileSystem {
     let order = graph.topological_order();
     let mut fs = FileSystem::with_root();
     for i in order {
-        fs = eval(&graph.exprs[i], &fs)
+        fs = eval(graph.exprs[i], &fs)
             .unwrap_or_else(|_| panic!("{} failed during simulation", graph.names[i]));
     }
     fs
