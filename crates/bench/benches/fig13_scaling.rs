@@ -1,0 +1,163 @@
+//! Figure 13 scaling study for the fast explorer core: chains of `n`
+//! independent + `n` dependent resources, the factorial writer workload,
+//! and the UNSAT package workload, each measured with the verdict pinned
+//! (drift panics — wall time never fails the bench).
+//!
+//! Rows are exported as JSON via the shared `fleet::json` serializer when
+//! `REHEARSAL_BENCH_JSON` is set; CI uploads them as the
+//! `BENCH_explorer.json` artifact.
+
+use rehearsal::core::determinism::{check_determinism, AnalysisOptions};
+use rehearsal_bench::harness::{is_quick, BenchmarkId, Criterion};
+use rehearsal_bench::{
+    conflicting_packages_manifest, conflicting_writers, measure_explorer_row, options_full,
+    options_no_commutativity, scaling_chain, write_explorer_json, ExplorerBenchRow,
+};
+use rehearsal_bench::{criterion_group, criterion_main};
+
+fn print_table() {
+    println!("\n=== Figure 13 (scaling): explorer core workloads ===");
+    println!(
+        "{:<16} {:<4} {:<14} {:>10} {:>10} {:>8} {:>8}  verdict",
+        "workload", "n", "config", "wall", "seqs", "skipped", "outputs"
+    );
+    let max_n = if is_quick() { 5 } else { 8 };
+    let mut rows: Vec<ExplorerBenchRow> = Vec::new();
+    let mut push = |row: ExplorerBenchRow| {
+        println!(
+            "{:<16} {:<4} {:<14} {:>8.2}ms {:>10} {:>8} {:>8}  {}",
+            row.workload,
+            row.n,
+            row.config,
+            row.wall_ms,
+            row.sequences_explored,
+            row.sequences_skipped,
+            row.distinct_outputs,
+            row.verdict
+        );
+        rows.push(row);
+    };
+
+    for n in 2..=max_n {
+        // n independent + n dependent resources; POR collapses the space.
+        let g = scaling_chain(n);
+        push(measure_explorer_row(
+            "mixed-chain",
+            n,
+            "full",
+            &g,
+            &options_full(),
+            true,
+        ));
+        // The naive ablation covers all interleavings of the independent
+        // half plus the chain; the state cache collapses the *evaluation*
+        // to the subset lattice while the *logical* sequence count stays
+        // factorial — so lift the sequence safety-valve, which counts
+        // logical coverage, out of the way.
+        let naive = AnalysisOptions {
+            max_sequences: usize::MAX,
+            ..options_no_commutativity()
+        };
+        push(measure_explorer_row(
+            "mixed-chain",
+            n,
+            "naive",
+            &g,
+            &naive,
+            true,
+        ));
+        // n unordered writers to one path: nondeterministic, where the
+        // incremental early-exit check stops the factorial walk.
+        let w = conflicting_writers(n);
+        push(measure_explorer_row(
+            "writers",
+            n,
+            "full",
+            &w,
+            &options_full(),
+            false,
+        ));
+        // n conflicting packages fixed by a final file resource:
+        // deterministic, so the solver must prove every pairwise
+        // difference UNSAT — the grounding-reuse showcase. Capped at
+        // n = 6 (the paper's own fig. 13 cutoff) to keep the full bench
+        // tolerable.
+        if n <= 6 {
+            let (src, tool) = conflicting_packages_manifest(n);
+            let graph = tool.lower(&src).expect("lowering");
+            push(measure_explorer_row(
+                "packages-unsat",
+                n,
+                "full",
+                &graph,
+                &options_full(),
+                true,
+            ));
+        }
+    }
+    write_explorer_json("fig13_scaling", &rows);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig13_scaling_mixed_chain");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let g = scaling_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bench, g| {
+            bench.iter(|| check_determinism(g, &options_full()).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig13_scaling_writers_early_exit");
+    group.sample_size(10);
+    for n in [4usize, 6] {
+        let g = conflicting_writers(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bench, g| {
+            bench.iter(|| check_determinism(g, &options_full()).unwrap())
+        });
+    }
+    group.finish();
+
+    // Deep chains must not overflow the stack now that the DFS is
+    // explicit; this is a smoke-level guarantee, not a timing series.
+    // Elimination is disabled so the full 2n-deep prefix is actually
+    // walked (with it on, the whole chain is provably removable), and POR
+    // still collapses the walk to a single sequence.
+    let deep = scaling_chain(if is_quick() { 256 } else { 512 });
+    let deep_options = rehearsal_bench::options_no_pruning();
+    let mut group = c.benchmark_group("fig13_scaling_deep_chain");
+    group.sample_size(2);
+    group.bench_function("deep", |bench| {
+        bench.iter(|| {
+            let r = check_determinism(&deep, &deep_options).unwrap();
+            assert!(r.is_deterministic());
+            assert_eq!(r.stats().sequences_explored, 1, "POR commits every step");
+            r.stats().sequences_explored
+        })
+    });
+    group.finish();
+
+    // State-cache ablation at a scale where the cache-free walk is still
+    // feasible: n = 4 → 1 680 logical interleavings, n = 5 → 30 240.
+    let mut group = c.benchmark_group("fig13_scaling_state_cache_ablation");
+    group.sample_size(5);
+    let n = if is_quick() { 4 } else { 5 };
+    let g = scaling_chain(n);
+    group.bench_function(format!("n={n}/cache-on"), |bench| {
+        bench.iter(|| check_determinism(&g, &options_no_commutativity()).unwrap())
+    });
+    let no_cache = AnalysisOptions {
+        state_cache: false,
+        ..options_no_commutativity()
+    };
+    group.bench_function(format!("n={n}/cache-off"), |bench| {
+        bench.iter(|| check_determinism(&g, &no_cache).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Solver microbenchmarks: raw CDCL throughput on pigeonhole instances,
+//! and the grounding-reuse win of the incremental context
+//! ([`rehearsal_solver::Ctx::solve_assuming`]) over per-query one-shot
+//! solving. Both families assert their SAT/UNSAT verdicts — a drift
+//! panics the bench, wall time never does.
+
+use rehearsal_bench::harness::{is_quick, BenchmarkId, Criterion};
+use rehearsal_bench::{criterion_group, criterion_main};
+use rehearsal_solver::{Ctx, Formula, Lit, Solver};
+
+/// The pigeonhole principle PHP(p, h): p pigeons, h holes.
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let var: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| Lit::positive(s.new_var())).collect())
+        .collect();
+    for row in &var {
+        s.add_clause(row.iter().copied());
+    }
+    for h in 0..holes {
+        for (p1, row1) in var.iter().enumerate() {
+            for row2 in var.iter().skip(p1 + 1) {
+                s.add_clause([!row1[h], !row2[h]]);
+            }
+        }
+    }
+    s
+}
+
+/// A family of related queries over one shared formula structure: `k`
+/// finite-domain variables chained by equalities, queried pairwise. Every
+/// query after the first grounds almost nothing new.
+fn chained_queries(k: usize) -> (Ctx, Vec<(Formula, bool)>) {
+    let mut ctx = Ctx::new();
+    let vars: Vec<_> = (0..k).map(|_| ctx.fd_var(&[0, 1, 2, 3])).collect();
+    let mut queries = Vec::new();
+    for i in 0..k - 1 {
+        let eq = ctx.eq_terms(vars[i], vars[i + 1]);
+        queries.push((eq, true)); // each equality alone: SAT
+        let b0 = ctx.bit(vars[i], 0);
+        let b1 = ctx.bit(vars[i], 1);
+        let both = ctx.and2(b0, b1);
+        queries.push((both, false)); // one-hot forbids two values: UNSAT
+    }
+    (ctx, queries)
+}
+
+fn print_reuse_table() {
+    println!("\n=== Solver micro: grounding reuse across related queries ===");
+    let k = if is_quick() { 16 } else { 64 };
+    let (mut ctx, queries) = chained_queries(k);
+    let start = std::time::Instant::now();
+    for &(q, expect_sat) in &queries {
+        let got = ctx.solve_assuming(q, None, None).unwrap().is_some();
+        assert_eq!(got, expect_sat, "incremental verdict drift");
+    }
+    let incremental = start.elapsed();
+    let g = ctx.grounding_stats();
+    println!(
+        "incremental: {} queries in {:?} — {} nodes grounded, {} reused ({:.1}% reuse), {} clauses",
+        queries.len(),
+        incremental,
+        g.grounded_nodes,
+        g.reused_nodes,
+        g.reuse_ratio() * 100.0,
+        g.grounded_clauses,
+    );
+    assert!(
+        g.reuse_ratio() > 0.3,
+        "chained queries must reuse grounded structure"
+    );
+
+    // The same queries, each on a throwaway solver (the pre-incremental
+    // behavior): identical verdicts, no reuse.
+    let (mut cold_ctx, cold_queries) = chained_queries(k);
+    let start = std::time::Instant::now();
+    for &(q, expect_sat) in &cold_queries {
+        let got = cold_ctx.solve(q).is_some();
+        assert_eq!(got, expect_sat, "one-shot verdict drift");
+    }
+    println!(
+        "one-shot:    {} queries in {:?} (fresh solver per query)",
+        cold_queries.len(),
+        start.elapsed()
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reuse_table();
+
+    let mut group = c.benchmark_group("solver_micro_pigeonhole");
+    group.sample_size(10);
+    for (p, h, sat) in [(5usize, 5usize, true), (6, 5, false), (7, 6, false)] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("php-{p}-{h}")),
+            |bench| {
+                bench.iter(|| {
+                    let mut s = pigeonhole(p, h);
+                    let got = s.solve().is_sat();
+                    assert_eq!(got, sat, "pigeonhole verdict drift");
+                    got
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let k = if is_quick() { 16 } else { 48 };
+    let mut group = c.benchmark_group("solver_micro_grounding_reuse");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("incremental-k{k}")),
+        |bench| {
+            bench.iter(|| {
+                let (mut ctx, queries) = chained_queries(k);
+                for &(q, expect_sat) in &queries {
+                    let got = ctx.solve_assuming(q, None, None).unwrap().is_some();
+                    assert_eq!(got, expect_sat);
+                }
+                ctx.grounding_stats().reused_nodes
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("one-shot-k{k}")),
+        |bench| {
+            bench.iter(|| {
+                let (mut ctx, queries) = chained_queries(k);
+                for &(q, expect_sat) in &queries {
+                    let got = ctx.solve(q).is_some();
+                    assert_eq!(got, expect_sat);
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

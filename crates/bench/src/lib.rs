@@ -114,6 +114,43 @@ pub fn conflicting_packages_manifest(n: usize) -> (String, Rehearsal) {
     (src, tool)
 }
 
+/// The fig13-scaling workload: `n` *independent* resources (distinct
+/// paths, no edges) plus a *chain* of `n` dependent resources (a total
+/// order via edges). The independent half exercises the fringe/commute
+/// machinery on a wide frontier; the chain half exercises deep prefixes
+/// (and, historically, recursion depth — the explicit-stack explorer must
+/// not overflow on it). Deterministic by construction.
+pub fn scaling_chain(n: usize) -> FsGraph {
+    let ind_dir = FsPath::parse("/ind").expect("static path");
+    let chain_dir = FsPath::parse("/chain").expect("static path");
+    let ensure = |d: FsPath| Expr::if_then(Pred::is_dir(d).not(), Expr::mkdir(d));
+    let mut exprs = Vec::with_capacity(2 * n);
+    let mut names = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let f = FsPath::parse(&format!("/ind/f{i}")).expect("static path");
+        exprs.push(ensure(ind_dir).seq(Expr::if_(
+            Pred::does_not_exist(f),
+            Expr::create_file(f, Content::intern("x")),
+            Expr::SKIP,
+        )));
+        names.push(format!("File[ind-{i}]"));
+    }
+    for i in 0..n {
+        let f = FsPath::parse(&format!("/chain/f{i}")).expect("static path");
+        exprs.push(ensure(chain_dir).seq(Expr::if_(
+            Pred::does_not_exist(f),
+            Expr::create_file(f, Content::intern("y")),
+            Expr::SKIP,
+        )));
+        names.push(format!("File[chain-{i}]"));
+    }
+    let mut edges = BTreeSet::new();
+    for i in 0..n.saturating_sub(1) {
+        edges.insert((n + i, n + i + 1));
+    }
+    FsGraph::new(exprs, edges, names)
+}
+
 /// One measured row of a fig11-style bench, for the IR report
 /// (`BENCH_ir.json`) and the CI bench-smoke artifact.
 #[derive(Debug, Clone)]
@@ -240,6 +277,135 @@ pub fn write_ir_json(generated_by: &str, rows: &[IrBenchRow]) {
     println!("wrote IR bench report to {}", path.to_string_lossy());
 }
 
+/// One measured row of the explorer-core benches (`fig13_scaling`), for
+/// `BENCH_explorer.json` and the CI bench-smoke artifact.
+#[derive(Debug, Clone)]
+pub struct ExplorerBenchRow {
+    /// Workload name (e.g. `writers`, `packages-unsat`, `mixed-chain`).
+    pub workload: String,
+    /// The scale parameter.
+    pub n: usize,
+    /// Analysis configuration label.
+    pub config: String,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Verdict (`deterministic` / `nondeterministic` / `timeout`).
+    pub verdict: String,
+    /// Sequences covered (including cache skips).
+    pub sequences_explored: usize,
+    /// Of those, covered via state-cache hits.
+    pub sequences_skipped: usize,
+    /// Distinct symbolic outputs after dedup.
+    pub distinct_outputs: usize,
+    /// Persistent-solver conflicts.
+    pub solver_conflicts: u64,
+    /// Grounding reuse ratio across the check's incremental queries.
+    pub grounding_reuse_ratio: f64,
+}
+
+/// Measures one workload/config and pins its verdict (drift ⇒ panic, the
+/// CI-gate behavior — wall time never fails the bench).
+pub fn measure_explorer_row(
+    workload: &str,
+    n: usize,
+    config: &str,
+    graph: &FsGraph,
+    options: &AnalysisOptions,
+    expected_deterministic: bool,
+) -> ExplorerBenchRow {
+    let mut options = options.clone();
+    if options.timeout.is_none() {
+        options.timeout = Some(Duration::from_secs(600));
+    }
+    let start = Instant::now();
+    let report = check_determinism(graph, &options);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let (verdict, stats) = match &report {
+        Ok(r) => {
+            assert_eq!(
+                r.is_deterministic(),
+                expected_deterministic,
+                "verdict drift on {workload}/n={n}/{config}"
+            );
+            (
+                if r.is_deterministic() {
+                    "deterministic"
+                } else {
+                    "nondeterministic"
+                },
+                r.stats(),
+            )
+        }
+        Err(aborted) => {
+            // In quick (CI-gate) mode every row is sized to complete; an
+            // abort there IS the regression the gate exists to catch, so
+            // it must fail the step rather than degrade to a row that
+            // silently skips the verdict pin. Long local runs keep the
+            // fig11b-style degrade-to-timeout behavior.
+            assert!(
+                !harness::is_quick(),
+                "analysis aborted in quick mode on {workload}/n={n}/{config}: {aborted}"
+            );
+            ("timeout", Default::default())
+        }
+    };
+    ExplorerBenchRow {
+        workload: workload.to_string(),
+        n,
+        config: config.to_string(),
+        wall_ms,
+        verdict: verdict.to_string(),
+        sequences_explored: stats.sequences_explored,
+        sequences_skipped: stats.sequences_skipped,
+        distinct_outputs: stats.distinct_outputs,
+        solver_conflicts: stats.solver_conflicts,
+        grounding_reuse_ratio: stats.grounding_reuse_ratio(),
+    }
+}
+
+/// Serializes explorer rows via the shared `fleet::json` value model.
+pub fn explorer_rows_to_json(generated_by: &str, rows: &[ExplorerBenchRow]) -> String {
+    use rehearsal::fleet::json::Json;
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("workload", Json::str(&r.workload)),
+                ("n", Json::num(r.n as u32)),
+                ("config", Json::str(&r.config)),
+                ("wall_ms", Json::Num((r.wall_ms * 1000.0).round() / 1000.0)),
+                ("verdict", Json::str(&r.verdict)),
+                // f64 keeps large sequence/solver counters honest (the
+                // naive rows cover factorial spaces past u32).
+                ("sequences_explored", Json::Num(r.sequences_explored as f64)),
+                ("sequences_skipped", Json::Num(r.sequences_skipped as f64)),
+                ("distinct_outputs", Json::num(r.distinct_outputs as u32)),
+                ("solver_conflicts", Json::Num(r.solver_conflicts as f64)),
+                (
+                    "grounding_reuse_ratio",
+                    Json::Num((r.grounding_reuse_ratio * 10000.0).round() / 10000.0),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("generated_by", Json::str(generated_by)),
+        ("results", Json::Arr(results)),
+    ]);
+    doc.render_pretty()
+}
+
+/// Writes the explorer report to the path named by `REHEARSAL_BENCH_JSON`,
+/// when set.
+pub fn write_explorer_json(generated_by: &str, rows: &[ExplorerBenchRow]) {
+    let Some(path) = std::env::var_os("REHEARSAL_BENCH_JSON") else {
+        return;
+    };
+    let json = explorer_rows_to_json(generated_by, rows);
+    std::fs::write(&path, json).expect("write REHEARSAL_BENCH_JSON");
+    println!("wrote explorer bench report to {}", path.to_string_lossy());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +414,17 @@ mod tests {
     fn conflicting_writers_explode_without_order() {
         let g = conflicting_writers(3);
         let r = check_determinism(&g, &options_full()).unwrap();
+        assert!(!r.is_deterministic());
+        assert!(
+            r.stats().sequences_explored < 6,
+            "early exit stops before covering all 3! orders"
+        );
+        // With early exit off, the explorer accounts for the whole space.
+        let exhaustive = AnalysisOptions {
+            early_exit: false,
+            ..options_full()
+        };
+        let r = check_determinism(&g, &exhaustive).unwrap();
         assert!(!r.is_deterministic());
         assert!(r.stats().sequences_explored >= 6, "3! orders explored");
     }

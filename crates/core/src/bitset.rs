@@ -1,0 +1,228 @@
+//! Fixed-width bitsets over `u64` words for the permutation explorer.
+//!
+//! The explorer of [`crate::determinism`] manipulates sets of resource
+//! indices on every step of a (worst-case factorial) search:
+//! `remaining`, per-node predecessor masks, descendant cones, and the
+//! commutativity relation. [`Bits`] packs those sets into machine words so
+//! membership, difference, and the fringe/commute checks are word-parallel
+//! bit operations instead of `BTreeSet` traversals and clones. Equality
+//! and hashing are word-wise, which makes `Bits` directly usable as (part
+//! of) the explorer's state-cache key.
+
+use std::fmt;
+
+/// A fixed-universe bitset: indices `0..n` packed into `u64` words.
+///
+/// All operations assume both operands share the same universe size; the
+/// explorer only ever combines sets over one graph's node indices.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    words: Box<[u64]>,
+}
+
+impl Bits {
+    /// The empty set over a universe of `n` indices.
+    pub fn new(n: usize) -> Bits {
+        Bits {
+            words: vec![0u64; n.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> Bits {
+        let mut b = Bits::new(n);
+        for i in 0..n {
+            b.insert(i);
+        }
+        b
+    }
+
+    /// The raw words (low index = low bits), for word-parallel checks.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Inserts index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether index `i` is in the set (out-of-universe indices are not).
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// A copy with index `i` removed.
+    pub fn without(&self, i: usize) -> Bits {
+        let mut out = self.clone();
+        out.remove(i);
+        out
+    }
+
+    /// Whether the two sets share an element.
+    pub fn intersects(&self, other: &Bits) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Bits) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Iterates the elements in ascending order.
+    pub fn iter(&self) -> BitsIter<'_> {
+        BitsIter {
+            bits: self,
+            word: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<usize> for Bits {
+    /// Collects indices into a set whose universe is just large enough.
+    /// (Mostly a test convenience; the explorer sizes sets by the graph.)
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Bits {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let n = indices.iter().map(|&i| i + 1).max().unwrap_or(0);
+        let mut b = Bits::new(n);
+        for i in indices {
+            b.insert(i);
+        }
+        b
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending iterator over a [`Bits`].
+pub struct BitsIter<'a> {
+    bits: &'a Bits,
+    word: usize,
+    current: u64,
+}
+
+impl Iterator for BitsIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word * 64 + tz);
+            }
+            self.word += 1;
+            self.current = *self.bits.words.get(self.word)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut b = Bits::new(130);
+        assert!(b.is_empty());
+        for i in [0, 63, 64, 129] {
+            b.insert(i);
+            assert!(b.contains(i));
+        }
+        assert_eq!(b.len(), 4);
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.len(), 3);
+        assert!(!b.contains(500), "out of universe is absent");
+    }
+
+    #[test]
+    fn full_and_without() {
+        let b = Bits::full(70);
+        assert_eq!(b.len(), 70);
+        let c = b.without(69);
+        assert!(!c.contains(69));
+        assert!(b.contains(69), "without is non-destructive");
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let b: Bits = [5usize, 1, 64, 127, 66].into_iter().collect();
+        let got: Vec<usize> = b.iter().collect();
+        assert_eq!(got, vec![1, 5, 64, 66, 127]);
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let a: Bits = [1usize, 2, 65].into_iter().collect();
+        let mut b = Bits::new(66);
+        for i in [1, 2, 3, 65] {
+            b.insert(i);
+        }
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.intersects(&b));
+        let empty = Bits::new(66);
+        assert!(!a.intersects(&empty));
+        assert!(empty.is_subset_of(&a), "∅ is a subset of everything");
+    }
+
+    #[test]
+    fn equality_and_hash_match_btreeset_semantics() {
+        let mut a = Bits::new(100);
+        let mut b = Bits::new(100);
+        let mut reference = BTreeSet::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..64 {
+            // splitmix64 steps drive pseudo-random membership.
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            let i = (z ^ (z >> 31)) as usize % 100;
+            a.insert(i);
+            b.insert(i);
+            reference.insert(i);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<BTreeSet<_>>(), reference);
+        assert_eq!(a.len(), reference.len());
+    }
+}

@@ -2,13 +2,15 @@
 //! permutations with partial-order reduction, encode the outcomes as
 //! formulas, and decide determinism with one SAT query (Theorem 1).
 
+use crate::bitset::Bits;
 use crate::commutativity::{accesses, commutes, AccessSummary};
 use crate::domain::Domain;
 use crate::elimination::surviving_nodes;
-use crate::encoder::{Encoder, SymState};
+use crate::encoder::{Encoder, StateKey, SymState};
 use crate::prune::prune_graph;
 use rehearsal_fs::{eval as concrete_eval, Expr, FileSystem};
-use std::collections::BTreeSet;
+use rehearsal_solver::ModelView;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -84,6 +86,18 @@ pub struct AnalysisOptions {
     /// Cooperative cancellation: when set, the analysis aborts as soon as
     /// the token is cancelled, independent of the timeout.
     pub cancel: Option<CancelToken>,
+    /// Sound state-reconvergence cache: commuting prefixes that reach the
+    /// same `(remaining, symbolic state)` are explored once, and the
+    /// skipped subtree's sequence count is accounted from the first visit.
+    /// Never changes the verdict (the skipped subtree would reproduce the
+    /// exact same output formulas); off is an ablation/debugging mode.
+    pub state_cache: bool,
+    /// Check each newly discovered distinct output against the first *as
+    /// it is found* on the incremental solver, returning NONDET as soon as
+    /// one check is satisfiable instead of exploring the full space first.
+    /// Never changes the verdict; off restores the single monolithic
+    /// post-exploration query.
+    pub early_exit: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -95,6 +109,8 @@ impl Default for AnalysisOptions {
             timeout: None,
             max_sequences: 100_000,
             cancel: None,
+            state_cache: true,
+            early_exit: true,
         }
     }
 }
@@ -152,10 +168,48 @@ pub struct DeterminismStats {
     pub paths: usize,
     /// Paths still tracked read-write after pruning (fig. 11a's metric).
     pub tracked_paths: usize,
-    /// Distinct sequences explored by ΦG.
+    /// Distinct sequences covered by ΦG, *including* ones whose suffix was
+    /// answered by the state cache (so the figure is comparable across
+    /// cache on/off, and `max_sequences` keeps its historical meaning:
+    /// the size of the interleaving space the analysis accounted for).
     pub sequences_explored: usize,
+    /// Of [`DeterminismStats::sequences_explored`], how many were covered
+    /// via state-cache hits rather than evaluated symbolically.
+    pub sequences_skipped: usize,
+    /// Explorer state-cache hits (reconverged `(remaining, state)` pairs).
+    pub state_cache_hits: usize,
+    /// Distinct symbolic output states after content-hash dedup (the
+    /// number of `states_differ` candidates actually considered).
+    pub distinct_outputs: usize,
     /// Formula nodes allocated.
     pub formula_nodes: usize,
+    /// CDCL conflicts in the persistent solver across all queries.
+    pub solver_conflicts: u64,
+    /// Literals propagated by the persistent solver.
+    pub solver_propagations: u64,
+    /// Clauses grounded into the persistent solver (each exactly once).
+    pub grounded_clauses: u64,
+    /// Formula nodes Tseitin-grounded (each exactly once).
+    pub grounded_nodes: u64,
+    /// Grounding requests answered by an already-grounded node.
+    pub grounded_reused: u64,
+}
+
+impl DeterminismStats {
+    /// The check's grounding statistics as the solver-layer type.
+    pub fn grounding(&self) -> rehearsal_solver::GroundingStats {
+        rehearsal_solver::GroundingStats {
+            grounded_nodes: self.grounded_nodes,
+            reused_nodes: self.grounded_reused,
+            grounded_clauses: self.grounded_clauses,
+        }
+    }
+
+    /// Fraction of grounding requests served by reuse across the check's
+    /// incremental SAT queries (0.0 when nothing was grounded).
+    pub fn grounding_reuse_ratio(&self) -> f64 {
+        self.grounding().reuse_ratio()
+    }
 }
 
 /// A counterexample to determinism: one initial state, two valid orders,
@@ -310,17 +364,134 @@ impl FsGraph {
     }
 }
 
+/// The explorer's state-cache key: which resources remain, plus the exact
+/// canonical identity of the symbolic state. Exact — no hash truncation —
+/// so a hit is *guaranteed* to denote a previously completed subtree over
+/// identical formulas.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct VisitKey {
+    remaining: Bits,
+    state: StateKey,
+}
+
+/// One node of the iterative DFS over permutations.
+struct Frame {
+    remaining: Bits,
+    state: SymState,
+    /// Branch choices (the whole fringe, or one element when POR commits).
+    candidates: Vec<usize>,
+    /// Next candidate to expand.
+    next: usize,
+    /// Whether this frame's latest candidate is currently on the prefix.
+    pushed: bool,
+    /// Entry work (budget check, cache probe, fringe computation) done.
+    entered: bool,
+    /// Sequence counter at entry, for the subtree's leaves-covered count.
+    explored_at_entry: u64,
+    /// The frame's cache key (None when the cache is disabled).
+    key: Option<VisitKey>,
+}
+
+impl Frame {
+    fn unentered(remaining: Bits, state: SymState) -> Frame {
+        Frame {
+            remaining,
+            state,
+            candidates: Vec::new(),
+            next: 0,
+            pushed: false,
+            entered: false,
+            explored_at_entry: 0,
+            key: None,
+        }
+    }
+}
+
+/// A satisfiable early-exit check: output `which` differs from output 0.
+struct EarlyExit {
+    which: usize,
+    model: ModelView,
+}
+
 struct Explorer<'a> {
     graph: &'a FsGraph,
-    summaries: Vec<Arc<AccessSummary>>,
-    descendants: Vec<BTreeSet<usize>>,
+    /// Per-node predecessor mask (for the word-parallel fringe test).
+    preds: Vec<Bits>,
+    /// Per-node descendant cone.
+    descendants: Vec<Bits>,
+    /// `commute_mask[e]`: the nodes whose access summaries commute with
+    /// `e`'s (empty masks when the commutativity reduction is off).
+    commute_mask: Vec<Bits>,
     options: &'a AnalysisOptions,
     deadline: Option<Instant>,
-    /// (sequence of node indices, final state) per explored order.
+    /// One representative (sequence, final state) per *distinct* symbolic
+    /// output state (content-hash dedup: structurally identical outputs
+    /// collapse before any `states_differ` disjunct exists).
     outputs: Vec<(Vec<usize>, SymState)>,
+    seen_outputs: HashMap<StateKey, usize>,
+    /// Completed subtrees: `(remaining, state)` → sequences covered.
+    visited: HashMap<VisitKey, u64>,
+    /// Sequences covered, including cache-hit skips.
+    explored: u64,
+    /// Of `explored`, sequences covered via cache hits.
+    skipped: u64,
+    cache_hits: u64,
 }
 
 impl<'a> Explorer<'a> {
+    fn new(graph: &'a FsGraph, options: &'a AnalysisOptions, deadline: Option<Instant>) -> Self {
+        let n = graph.exprs.len();
+        let to_bits = |sets: Vec<BTreeSet<usize>>| -> Vec<Bits> {
+            sets.iter()
+                .map(|s| {
+                    let mut b = Bits::new(n);
+                    for &i in s {
+                        b.insert(i);
+                    }
+                    b
+                })
+                .collect()
+        };
+        let preds = {
+            let mut out = vec![Bits::new(n); n];
+            for &(a, b) in &graph.edges {
+                out[b].insert(a);
+            }
+            out
+        };
+        let commute_mask = if options.commutativity {
+            let summaries: Vec<Arc<AccessSummary>> =
+                graph.exprs.iter().map(|&e| accesses(e)).collect();
+            let mut masks = vec![Bits::new(n); n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // `commutes` is symmetric (Lemma 4's conditions are).
+                    if commutes(&summaries[i], &summaries[j]) {
+                        masks[i].insert(j);
+                        masks[j].insert(i);
+                    }
+                }
+            }
+            masks
+        } else {
+            vec![Bits::new(n); n]
+        };
+        Explorer {
+            graph,
+            preds,
+            descendants: to_bits(graph.descendant_sets()),
+            commute_mask,
+            options,
+            deadline,
+            outputs: Vec::new(),
+            seen_outputs: HashMap::new(),
+            visited: HashMap::new(),
+            explored: 0,
+            skipped: 0,
+            cache_hits: 0,
+        }
+    }
+
     fn check_budget(&self) -> Result<(), AnalysisAborted> {
         if let Some(token) = &self.options.cancel {
             if token.is_cancelled() {
@@ -336,7 +507,11 @@ impl<'a> Explorer<'a> {
                 });
             }
         }
-        if self.outputs.len() > self.options.max_sequences {
+        Ok(())
+    }
+
+    fn check_sequence_cap(&self) -> Result<(), AnalysisAborted> {
+        if self.explored > self.options.max_sequences as u64 {
             return Err(AnalysisAborted {
                 reason: format!(
                     "more than {} sequences explored",
@@ -347,61 +522,160 @@ impl<'a> Explorer<'a> {
         Ok(())
     }
 
-    /// ΦG with partial-order reduction (fig. 9a): if some fringe node
-    /// commutes with every node that may run concurrently with it, commit
-    /// to evaluating it first; otherwise branch over the fringe.
-    fn explore(
-        &mut self,
-        enc: &mut Encoder,
-        remaining: &BTreeSet<usize>,
-        prefix: &mut Vec<usize>,
-        state: SymState,
-    ) -> Result<(), AnalysisAborted> {
-        self.check_budget()?;
-        if remaining.is_empty() {
-            self.outputs.push((prefix.clone(), state));
-            return Ok(());
+    /// Whether fringe node `e` commutes with every remaining node that may
+    /// run concurrently with it — every remaining node that is not `e`
+    /// itself and not one of `e`'s descendants (its ancestors are gone:
+    /// `e` is on the fringe). Word-parallel over the bitset words.
+    fn all_concurrent_commute(&self, remaining: &Bits, e: usize) -> bool {
+        let desc = self.descendants[e].words();
+        let comm = self.commute_mask[e].words();
+        for (w, &r) in remaining.words().iter().enumerate() {
+            let mut concurrent = r & !desc[w] & !comm[w];
+            if w == e / 64 {
+                concurrent &= !(1u64 << (e % 64));
+            }
+            if concurrent != 0 {
+                return false;
+            }
         }
-        let preds = self.graph.predecessors();
+        true
+    }
+
+    /// The fringe of `remaining` (fig. 9a), reduced to a single committed
+    /// node when partial-order reduction applies.
+    fn branch_candidates(&self, remaining: &Bits) -> Vec<usize> {
         let fringe: Vec<usize> = remaining
             .iter()
-            .copied()
-            .filter(|&i| preds[i].iter().all(|p| !remaining.contains(p)))
+            .filter(|&i| !self.preds[i].intersects(remaining))
             .collect();
         debug_assert!(!fringe.is_empty(), "acyclic graph always has a fringe");
-
         if self.options.commutativity {
             for &e in &fringe {
-                // e must commute with every remaining node that could run
-                // before or after it concurrently — i.e. every remaining
-                // node that is not a descendant of e (its ancestors are
-                // gone: e is on the fringe).
-                let all_commute = remaining.iter().all(|&other| {
-                    other == e
-                        || self.descendants[e].contains(&other)
-                        || commutes(&self.summaries[e], &self.summaries[other])
-                });
-                if all_commute {
-                    let next = enc.eval_expr(self.graph.exprs[e], &state);
-                    let mut rest = remaining.clone();
-                    rest.remove(&e);
-                    prefix.push(e);
-                    let r = self.explore(enc, &rest, prefix, next);
-                    prefix.pop();
-                    return r;
+                if self.all_concurrent_commute(remaining, e) {
+                    return vec![e];
                 }
             }
         }
-        for &e in &fringe {
-            let next = enc.eval_expr(self.graph.exprs[e], &state);
-            let mut rest = remaining.clone();
-            rest.remove(&e);
-            prefix.push(e);
-            let r = self.explore(enc, &rest, prefix, next);
-            prefix.pop();
-            r?;
+        fringe
+    }
+
+    /// Records a completed sequence. New distinct outputs are immediately
+    /// checked against the first on the incremental solver (early exit).
+    fn record_leaf(
+        &mut self,
+        enc: &mut Encoder,
+        state: SymState,
+        prefix: &[usize],
+    ) -> Result<Option<EarlyExit>, AnalysisAborted> {
+        self.explored += 1;
+        self.check_sequence_cap()?;
+        let key = state.key();
+        if self.seen_outputs.contains_key(&key) {
+            return Ok(None);
         }
-        Ok(())
+        let idx = self.outputs.len();
+        self.seen_outputs.insert(key, idx);
+        self.outputs.push((prefix.to_vec(), state));
+        if self.options.early_exit && idx > 0 {
+            let d = {
+                let (head, tail) = self.outputs.split_at(idx);
+                enc.states_differ(&head[0].1, &tail[0].1)
+            };
+            if !enc.ctx.is_false(d) {
+                match enc
+                    .ctx
+                    .solve_assuming(d, self.deadline, interrupt_flag(self.options))
+                {
+                    Ok(None) => {}
+                    Ok(Some(model)) => return Ok(Some(EarlyExit { which: idx, model })),
+                    Err(_) => return Err(solve_abort_reason(self.options)),
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// ΦG with partial-order reduction (fig. 9a) as an explicit-stack DFS:
+    /// no recursion (deep graphs cannot overflow the thread stack), bitset
+    /// fringe/commute computation, state-cache skipping of reconverged
+    /// prefixes, and incremental early-exit NONDET checks at the leaves.
+    fn run(
+        &mut self,
+        enc: &mut Encoder,
+        initial: SymState,
+    ) -> Result<Option<EarlyExit>, AnalysisAborted> {
+        let n = self.graph.exprs.len();
+        let mut prefix: Vec<usize> = Vec::with_capacity(n);
+        let mut stack: Vec<Frame> = Vec::with_capacity(n + 1);
+        stack.push(Frame::unentered(Bits::full(n), initial));
+
+        // One closure-free helper: after popping a child, un-push the
+        // parent's prefix element.
+        fn return_to_parent(stack: &mut [Frame], prefix: &mut Vec<usize>) {
+            if let Some(parent) = stack.last_mut() {
+                if parent.pushed {
+                    prefix.pop();
+                    parent.pushed = false;
+                }
+            }
+        }
+
+        while !stack.is_empty() {
+            // Entry work for a frame seen for the first time.
+            let top = stack.last_mut().expect("non-empty stack");
+            if !top.entered {
+                top.entered = true;
+                self.check_budget()?;
+                if top.remaining.is_empty() {
+                    let frame = stack.pop().expect("frame on stack");
+                    if let Some(exit) = self.record_leaf(enc, frame.state, &prefix)? {
+                        return Ok(Some(exit));
+                    }
+                    return_to_parent(&mut stack, &mut prefix);
+                    continue;
+                }
+                if self.options.state_cache {
+                    let key = VisitKey {
+                        remaining: top.remaining.clone(),
+                        state: top.state.key(),
+                    };
+                    if let Some(&count) = self.visited.get(&key) {
+                        self.cache_hits += 1;
+                        self.skipped += count;
+                        self.explored += count;
+                        self.check_sequence_cap()?;
+                        stack.pop();
+                        return_to_parent(&mut stack, &mut prefix);
+                        continue;
+                    }
+                    top.key = Some(key);
+                }
+                top.explored_at_entry = self.explored;
+                let candidates = self.branch_candidates(&top.remaining);
+                let top = stack.last_mut().expect("non-empty stack");
+                top.candidates = candidates;
+            }
+
+            // Advance the top frame to its next branch, or retire it.
+            let top = stack.last_mut().expect("non-empty stack");
+            if top.next < top.candidates.len() {
+                let e = top.candidates[top.next];
+                top.next += 1;
+                let next_state = enc.eval_expr(self.graph.exprs[e], &top.state);
+                let rest = top.remaining.without(e);
+                top.pushed = true;
+                prefix.push(e);
+                stack.push(Frame::unentered(rest, next_state));
+            } else {
+                let frame = stack.pop().expect("frame on stack");
+                if let Some(key) = frame.key {
+                    self.visited
+                        .insert(key, self.explored - frame.explored_at_entry);
+                }
+                return_to_parent(&mut stack, &mut prefix);
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -435,23 +709,15 @@ pub fn check_determinism(
         (sub.clone(), BTreeSet::new())
     };
 
-    // 3. Encode and explore.
+    // 3. Encode and explore (bitset POR + state cache + early exit).
     let domain = Domain::of_exprs(pruned.exprs.iter().copied());
     let mut enc = Encoder::new(domain);
     for &p in &read_only {
         enc.mark_read_only(p);
     }
     let initial = enc.initial_state();
-    let mut explorer = Explorer {
-        graph: &pruned,
-        summaries: pruned.exprs.iter().map(|&e| accesses(e)).collect(),
-        descendants: pruned.descendant_sets(),
-        options,
-        deadline,
-        outputs: Vec::new(),
-    };
-    let all: BTreeSet<usize> = (0..pruned.exprs.len()).collect();
-    explorer.explore(&mut enc, &all, &mut Vec::new(), initial.clone())?;
+    let mut explorer = Explorer::new(&pruned, options, deadline);
+    let early = explorer.run(&mut enc, initial.clone())?;
     let outputs = explorer.outputs;
 
     let mut stats = DeterminismStats {
@@ -459,39 +725,58 @@ pub fn check_determinism(
         resources_after_elimination: alive.len(),
         paths: enc.domain.len(),
         tracked_paths: enc.tracked_paths(),
-        sequences_explored: outputs.len(),
+        sequences_explored: explorer.explored as usize,
+        sequences_skipped: explorer.skipped as usize,
+        state_cache_hits: explorer.cache_hits as usize,
+        distinct_outputs: outputs.len(),
         formula_nodes: 0,
+        ..DeterminismStats::default()
     };
 
-    // 4. All sequences equal to the first ⟺ deterministic.
-    if outputs.len() <= 1 {
-        stats.formula_nodes = enc.ctx.stats().formula_nodes;
-        return Ok(DeterminismReport::Deterministic(stats));
-    }
-    let (first_seq, first_state) = &outputs[0];
-    let mut disjuncts = Vec::new();
-    for (_, other_state) in &outputs[1..] {
-        let d = enc.states_differ(first_state, other_state);
-        disjuncts.push(d);
-    }
-    let any_diff = enc.ctx.or(disjuncts.clone());
-    stats.formula_nodes = enc.ctx.stats().formula_nodes;
-
-    let solved = enc
-        .ctx
-        .solve_with_budget(any_diff, deadline, interrupt_flag(options))
-        .map_err(|_| solve_abort_reason(options))?;
-    match solved {
-        None => Ok(DeterminismReport::Deterministic(stats)),
-        Some(model) => {
-            // Find which alternative differed and replay concretely.
-            let mut which = 1;
-            for (k, d) in disjuncts.iter().enumerate() {
-                if model.formula_value_in(&enc.ctx, *d) {
-                    which = k + 1;
-                    break;
-                }
+    // 4. All outputs equal to the first ⟺ deterministic. With early exit
+    //    on, every distinct output was already checked incrementally as it
+    //    was found; otherwise fall back to one monolithic query.
+    let divergence: Option<(usize, ModelView)> = match early {
+        Some(exit) => Some((exit.which, exit.model)),
+        None if options.early_exit || outputs.len() <= 1 => None,
+        None => {
+            let first_state = &outputs[0].1;
+            let mut disjuncts = Vec::new();
+            for (_, other_state) in &outputs[1..] {
+                let d = enc.states_differ(first_state, other_state);
+                disjuncts.push(d);
             }
+            let any_diff = enc.ctx.or(disjuncts.clone());
+            let solved = enc
+                .ctx
+                .solve_with_budget(any_diff, deadline, interrupt_flag(options))
+                .map_err(|_| solve_abort_reason(options))?;
+            solved.map(|model| {
+                // Find which alternative differed.
+                let mut which = 1;
+                for (k, d) in disjuncts.iter().enumerate() {
+                    if model.formula_value_in(&enc.ctx, *d) {
+                        which = k + 1;
+                        break;
+                    }
+                }
+                (which, model)
+            })
+        }
+    };
+
+    stats.formula_nodes = enc.ctx.stats().formula_nodes;
+    let solver = enc.ctx.solver_stats();
+    stats.solver_conflicts = solver.conflicts;
+    stats.solver_propagations = solver.propagations;
+    let grounding = enc.ctx.grounding_stats();
+    stats.grounded_clauses = grounding.grounded_clauses;
+    stats.grounded_nodes = grounding.grounded_nodes;
+    stats.grounded_reused = grounding.reused_nodes;
+
+    match divergence {
+        None => Ok(DeterminismReport::Deterministic(stats)),
+        Some((which, model)) => {
             let init_fs = enc.decode_state(&model, &initial);
             // Map pruned-graph indices back to original indices and append
             // the eliminated resources (which form an upward-closed set of
@@ -507,7 +792,7 @@ pub fn check_determinism(
                     .chain(eliminated.iter().copied())
                     .collect()
             };
-            let order_a = full_order(first_seq);
+            let order_a = full_order(&outputs[0].0);
             let order_b = full_order(&outputs[which].0);
             let outcome_a = replay(graph, &order_a, &init_fs);
             let outcome_b = replay(graph, &order_b, &init_fs);

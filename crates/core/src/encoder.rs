@@ -28,13 +28,24 @@ pub struct SymState {
     pub fs: BTreeMap<FsPath, Term>,
 }
 
-/// The identity of a [`SymState`] for memoization: the `ok` handle plus
-/// the term handle of every path, in the (fixed) domain order. Exact — two
-/// states with the same key are the same logical state.
-type StateKey = (Formula, Vec<Term>);
+/// The canonical identity of a [`SymState`]: the `ok` handle plus the term
+/// handle of every path, in the (fixed) domain order. Exact — because
+/// formulas and terms are hash-consed, two states with equal keys are the
+/// same logical state, and two states with different keys are structurally
+/// different formulas (though possibly still semantically equal).
+pub type StateKey = (Formula, Vec<Term>);
+
+impl SymState {
+    /// This state's canonical content key. Hashing the key is the cheap
+    /// content hash the explorer's output dedup and state cache bucket
+    /// on; comparing keys is exact structural identity.
+    pub fn key(&self) -> StateKey {
+        (self.ok, self.fs.values().copied().collect())
+    }
+}
 
 fn state_key(state: &SymState) -> StateKey {
-    (state.ok, state.fs.values().copied().collect())
+    state.key()
 }
 
 /// The symbolic encoder: a solver context plus the value table and domain

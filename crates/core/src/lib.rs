@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod commutativity;
 pub mod determinism;
 pub mod domain;

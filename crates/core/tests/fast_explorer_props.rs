@@ -1,0 +1,295 @@
+//! Property tests for the fast explorer paths: on seeded-PRNG random
+//! graphs, the state cache and the incremental early-exit SAT check must
+//! be invisible to the verdict — every configuration agrees, and every
+//! NONDET counterexample replays to genuinely divergent outcomes. A
+//! second family checks the bitset fringe computation against a
+//! `BTreeSet` reference implementation.
+
+use rehearsal_core::bitset::Bits;
+use rehearsal_core::{check_determinism, AnalysisOptions, DeterminismReport, FsGraph};
+use rehearsal_fs::{eval as concrete_eval, Content, Expr, FsPath, Pred};
+use std::collections::BTreeSet;
+
+/// The classic 64-bit splitmix PRNG (dependency-free, stable across
+/// platforms, same as the pkgdb generator uses).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn ensure_dir(d: FsPath) -> Expr {
+    Expr::if_then(Pred::is_dir(d).not(), Expr::mkdir(d))
+}
+
+/// One random resource: a small FS program over a shared path pool, shaped
+/// so programs are well-formed but conflict often enough to exercise the
+/// NONDET paths.
+fn random_resource(rng: &mut SplitMix64) -> Expr {
+    let dir = p("/d");
+    let pool = ["/d/f0", "/d/f1", "/d/f2", "/g"];
+    let path = p(pool[rng.below(pool.len() as u64) as usize]);
+    let content = Content::intern(&format!("c{}", rng.below(3)));
+    let base = match rng.below(5) {
+        // Guarded create: first writer wins.
+        0 => Expr::if_(
+            Pred::does_not_exist(path),
+            Expr::create_file(path, content),
+            Expr::SKIP,
+        ),
+        // Overwrite: last writer wins (errs on a directory).
+        1 => Expr::if_(
+            Pred::is_file(path),
+            Expr::rm(path).seq(Expr::create_file(path, content)),
+            Expr::if_(
+                Pred::does_not_exist(path),
+                Expr::create_file(path, content),
+                Expr::ERROR,
+            ),
+        ),
+        // Remove if present as a file.
+        2 => Expr::if_(Pred::is_file(path), Expr::rm(path), Expr::SKIP),
+        // Reader: errs unless the path exists.
+        3 => Expr::if_(Pred::does_not_exist(path), Expr::ERROR, Expr::SKIP),
+        // Pure directory management.
+        _ => Expr::SKIP,
+    };
+    ensure_dir(dir).seq(base)
+}
+
+fn random_graph(rng: &mut SplitMix64) -> FsGraph {
+    let n = 2 + rng.below(3) as usize; // 2..=4 resources
+    let exprs: Vec<Expr> = (0..n).map(|_| random_resource(rng)).collect();
+    let mut edges = BTreeSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(20) {
+                edges.insert((i, j)); // i < j keeps the graph acyclic
+            }
+        }
+    }
+    let names = (0..n).map(|i| format!("r{i}")).collect();
+    FsGraph::new(exprs, edges, names)
+}
+
+/// A NONDET report must carry a counterexample whose two replayed orders
+/// genuinely diverge (the stronger from-scratch replay check lives in
+/// `counterexamples_replay_concretely_in_every_configuration`).
+fn assert_replay_diverges(report: &DeterminismReport, tag: &str) {
+    if let DeterminismReport::NonDeterministic(cex, _) = report {
+        assert_ne!(
+            cex.outcome_a, cex.outcome_b,
+            "{tag}: counterexample must replay divergently"
+        );
+    }
+}
+
+#[test]
+fn verdicts_agree_across_fast_path_configurations() {
+    let mut rng = SplitMix64(0x5eed_cafe_0001);
+    for case in 0..96 {
+        let graph = random_graph(&mut rng);
+        let configs = [(true, true), (true, false), (false, true), (false, false)];
+        let mut verdicts = Vec::new();
+        for (state_cache, early_exit) in configs {
+            let options = AnalysisOptions {
+                state_cache,
+                early_exit,
+                ..AnalysisOptions::default()
+            };
+            let report = check_determinism(&graph, &options)
+                .unwrap_or_else(|e| panic!("case {case}: aborted: {e}"));
+            assert_replay_diverges(
+                &report,
+                &format!("case {case} ({state_cache},{early_exit})"),
+            );
+            verdicts.push(report.is_deterministic());
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "case {case}: configurations disagree: {verdicts:?}"
+        );
+    }
+}
+
+#[test]
+fn naive_ablation_agrees_with_fast_paths() {
+    // The fig. 11 naive mode (all paper reductions off) must also be
+    // unaffected by the state cache and early exit.
+    let mut rng = SplitMix64(0x5eed_cafe_0002);
+    for case in 0..48 {
+        let graph = random_graph(&mut rng);
+        let fast = check_determinism(&graph, &AnalysisOptions::naive()).unwrap();
+        let slow = check_determinism(
+            &graph,
+            &AnalysisOptions {
+                state_cache: false,
+                early_exit: false,
+                ..AnalysisOptions::naive()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            fast.is_deterministic(),
+            slow.is_deterministic(),
+            "case {case}: naive fast/slow disagree"
+        );
+        assert_replay_diverges(&fast, &format!("case {case} naive fast"));
+        assert_replay_diverges(&slow, &format!("case {case} naive slow"));
+    }
+}
+
+#[test]
+fn state_cache_preserves_the_logical_sequence_count() {
+    // With early exit off in both runs, the cache must account for every
+    // skipped sequence: the logical total is identical to a cache-free
+    // exploration, and the skips are consistent.
+    let mut rng = SplitMix64(0x5eed_cafe_0003);
+    for case in 0..48 {
+        let graph = random_graph(&mut rng);
+        let with_cache = check_determinism(
+            &graph,
+            &AnalysisOptions {
+                early_exit: false,
+                ..AnalysisOptions::naive()
+            },
+        )
+        .unwrap();
+        let without_cache = check_determinism(
+            &graph,
+            &AnalysisOptions {
+                early_exit: false,
+                state_cache: false,
+                ..AnalysisOptions::naive()
+            },
+        )
+        .unwrap();
+        let a = with_cache.stats();
+        let b = without_cache.stats();
+        assert_eq!(
+            a.sequences_explored, b.sequences_explored,
+            "case {case}: cache changes the logical sequence count"
+        );
+        assert_eq!(b.sequences_skipped, 0, "case {case}: no cache, no skips");
+        assert!(
+            a.sequences_skipped <= a.sequences_explored,
+            "case {case}: skips are a subset of the covered space"
+        );
+        assert_eq!(
+            a.distinct_outputs, b.distinct_outputs,
+            "case {case}: dedup must agree"
+        );
+    }
+}
+
+#[test]
+fn counterexamples_replay_concretely_in_every_configuration() {
+    // Stronger replay check: re-run both orders of a NONDET counterexample
+    // through the concrete evaluator from the reported initial state.
+    let mut rng = SplitMix64(0x5eed_cafe_0004);
+    let mut nondet_seen = 0;
+    for _ in 0..96 {
+        let graph = random_graph(&mut rng);
+        for early_exit in [true, false] {
+            let options = AnalysisOptions {
+                early_exit,
+                ..AnalysisOptions::default()
+            };
+            if let DeterminismReport::NonDeterministic(cex, _) =
+                check_determinism(&graph, &options).unwrap()
+            {
+                nondet_seen += 1;
+                let replay = |order: &[usize]| {
+                    let mut fs = cex.initial.clone();
+                    for &i in order {
+                        fs = match concrete_eval(graph.exprs[i], &fs) {
+                            Ok(next) => next,
+                            Err(e) => return Err(e),
+                        };
+                    }
+                    Ok(fs)
+                };
+                assert_eq!(replay(&cex.order_a), cex.outcome_a, "outcome_a is honest");
+                assert_eq!(replay(&cex.order_b), cex.outcome_b, "outcome_b is honest");
+                assert_ne!(cex.outcome_a, cex.outcome_b, "divergence is real");
+            }
+        }
+    }
+    assert!(
+        nondet_seen >= 10,
+        "the generator must exercise the NONDET path (saw {nondet_seen})"
+    );
+}
+
+/// Reference fringe computation on `BTreeSet`s, mirroring the pre-bitset
+/// explorer: a node is on the fringe iff it remains and none of its
+/// predecessors remain.
+fn fringe_reference(
+    n: usize,
+    edges: &BTreeSet<(usize, usize)>,
+    remaining: &BTreeSet<usize>,
+) -> Vec<usize> {
+    let mut preds = vec![BTreeSet::new(); n];
+    for &(a, b) in edges {
+        preds[b].insert(a);
+    }
+    remaining
+        .iter()
+        .copied()
+        .filter(|&i| preds[i].iter().all(|q| !remaining.contains(q)))
+        .collect()
+}
+
+#[test]
+fn bitset_fringe_matches_btreeset_fringe() {
+    let mut rng = SplitMix64(0x5eed_cafe_0005);
+    for _ in 0..256 {
+        let n = 1 + rng.below(130) as usize; // cross the one-word boundary
+        let mut edges = BTreeSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.chance(5) {
+                    edges.insert((i, j));
+                }
+            }
+        }
+        let mut remaining_set = BTreeSet::new();
+        let mut remaining_bits = Bits::new(n);
+        for i in 0..n {
+            if rng.chance(60) {
+                remaining_set.insert(i);
+                remaining_bits.insert(i);
+            }
+        }
+        // Bitset fringe: remaining nodes whose predecessor mask misses
+        // `remaining` — exactly what the explorer computes.
+        let mut pred_bits = vec![Bits::new(n); n];
+        for &(a, b) in &edges {
+            pred_bits[b].insert(a);
+        }
+        let fringe_bits: Vec<usize> = remaining_bits
+            .iter()
+            .filter(|&i| !pred_bits[i].intersects(&remaining_bits))
+            .collect();
+        let reference = fringe_reference(n, &edges, &remaining_set);
+        assert_eq!(fringe_bits, reference);
+    }
+}

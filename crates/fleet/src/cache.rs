@@ -47,15 +47,32 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// The cache schema version. Bump whenever the analyzer can produce a
+/// different verdict (or different verdict-bearing detail) for the same
+/// `(source, platform, options)` input — e.g. the version-2 bump when the
+/// explorer core was rewritten (bitset POR, state dedup, incremental
+/// early-exit SAT). The version is both mixed into every key *and* stored
+/// per entry, so caches written by an older analyzer are read back as
+/// all-miss rather than served stale.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
 /// Salt mixed into every key so a persisted cache cannot serve verdicts
-/// produced by a different analyzer version: any release may change the
-/// analysis logic, and the workspace version bumps with it.
-const KEY_SALT: &str = concat!("rehearsal-fleet-cache/", env!("CARGO_PKG_VERSION"));
+/// produced by a different analyzer version or cache schema: any release
+/// may change the analysis logic, and the workspace version bumps with
+/// it. Derived from [`CACHE_SCHEMA_VERSION`] so a schema bump cannot
+/// drift out of the key space.
+fn key_salt() -> String {
+    format!(
+        "rehearsal-fleet-cache/{}/schema-{}",
+        env!("CARGO_PKG_VERSION"),
+        CACHE_SCHEMA_VERSION
+    )
+}
 
 /// The cache key for one job: analyzer version, source text, platform,
 /// and every analysis option that can change the verdict.
 pub fn job_key(source: &str, platform: Platform, options: &AnalysisOptions) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, KEY_SALT.as_bytes());
+    let mut h = fnv1a(FNV_OFFSET, key_salt().as_bytes());
     h = fnv1a(h, source.as_bytes());
     h = fnv1a(h, platform.to_string().as_bytes());
     h = fnv1a(
@@ -166,6 +183,7 @@ impl VerdictCache {
 
 fn encode_entry(key: u64, cached: &CachedVerdict) -> Json {
     Json::obj([
+        ("schema", Json::num(CACHE_SCHEMA_VERSION)),
         ("key", Json::str(format!("{key:016x}"))),
         ("verdict", Json::str(cached.verdict.label())),
         ("detail", Json::str(&cached.detail)),
@@ -174,6 +192,13 @@ fn encode_entry(key: u64, cached: &CachedVerdict) -> Json {
 }
 
 fn decode_entry(entry: &Json) -> Option<(u64, CachedVerdict)> {
+    // A missing or older schema tag means the entry was produced by a
+    // different explorer core: treat it as a miss (the line is dropped on
+    // the next save).
+    let schema = entry.get("schema")?.as_u64()?;
+    if schema != u64::from(CACHE_SCHEMA_VERSION) {
+        return None;
+    }
     let key = u64::from_str_radix(entry.get("key")?.as_str()?, 16).ok()?;
     let verdict = Verdict::from_label(entry.get("verdict")?.as_str()?)?;
     let detail = entry.get("detail")?.as_str()?.to_string();
@@ -255,12 +280,56 @@ mod tests {
         std::fs::write(
             &path,
             "not json at all\n\
-             {\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n\
-             {\"key\":\"zzz\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n",
+             {\"schema\":2,\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n\
+             {\"schema\":2,\"key\":\"zzz\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n",
         )
         .unwrap();
         let cache = VerdictCache::open(&path).unwrap();
         assert_eq!(cache.len(), 1);
         assert!(cache.get(2).is_some());
+    }
+
+    #[test]
+    fn stale_schema_entries_are_misses() {
+        let dir = std::env::temp_dir().join("rehearsal-fleet-cache-stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        // A schema-1 era entry (no tag) and an explicit older tag: both
+        // must read back as misses, never as verdicts from the old
+        // explorer. A current-schema entry on the same file still loads.
+        std::fs::write(
+            &path,
+            "{\"key\":\"0000000000000007\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n\
+             {\"schema\":1,\"key\":\"0000000000000008\",\"verdict\":\"nondeterministic\",\"detail\":\"\",\"resources\":1}\n\
+             {\"schema\":2,\"key\":\"0000000000000009\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n",
+        )
+        .unwrap();
+        let cache = VerdictCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1, "only the current-schema entry survives");
+        assert!(cache.get(7).is_none());
+        assert!(cache.get(8).is_none());
+        assert!(cache.get(9).is_some());
+    }
+
+    #[test]
+    fn saved_entries_carry_the_schema_version() {
+        let mut cache = VerdictCache::in_memory();
+        cache.put(
+            3,
+            CachedVerdict {
+                verdict: Verdict::Deterministic,
+                detail: String::new(),
+                resources: 2,
+            },
+        );
+        let entry = encode_entry(3, cache.get(3).unwrap());
+        assert_eq!(
+            entry.get("schema").and_then(Json::as_u64),
+            Some(u64::from(CACHE_SCHEMA_VERSION))
+        );
+        // And the key salt separates schema generations: identical inputs
+        // hash differently from any pre-bump binary because the current
+        // schema version is always part of the salt.
+        assert!(key_salt().ends_with(&format!("schema-{CACHE_SCHEMA_VERSION}")));
     }
 }

@@ -2,7 +2,7 @@
 //! and the parallel run loop.
 
 use crate::cache::{job_key, CachedVerdict, VerdictCache};
-use crate::report::{FleetReport, JobResult, Verdict};
+use crate::report::{AnalysisCounters, FleetReport, JobResult, Verdict};
 use crate::scheduler::run_work_stealing;
 use rehearsal_core::{
     check_determinism, check_idempotence, AnalysisOptions, CancelToken, Rehearsal,
@@ -150,6 +150,7 @@ impl FleetEngine {
                     resources: 0,
                     millis: 0,
                     cached: false,
+                    counters: AnalysisCounters::default(),
                 })),
                 Ok(job) => {
                     let key = job_key(&job.source, job.platform, &self.options.analysis);
@@ -162,6 +163,7 @@ impl FleetEngine {
                             resources: hit.resources,
                             millis: 0,
                             cached: true,
+                            counters: AnalysisCounters::default(),
                         }));
                     } else {
                         rows.push(None);
@@ -180,7 +182,7 @@ impl FleetEngine {
         let cancel = self.options.cancel.clone();
         let outcomes = run_work_stealing(pending, workers, |_, (key, job)| {
             let job_start = Instant::now();
-            let (verdict, detail, resources) = analyze(&job, &analysis, cancel.as_ref());
+            let (verdict, detail, resources, counters) = analyze(&job, &analysis, cancel.as_ref());
             (
                 key,
                 JobResult {
@@ -191,6 +193,7 @@ impl FleetEngine {
                     resources,
                     millis: job_start.elapsed().as_millis() as u64,
                     cached: false,
+                    counters,
                 },
             )
         });
@@ -226,9 +229,15 @@ fn analyze(
     job: &FleetJob,
     analysis: &AnalysisOptions,
     cancel: Option<&CancelToken>,
-) -> (Verdict, String, usize) {
+) -> (Verdict, String, usize, AnalysisCounters) {
+    let none = AnalysisCounters::default();
     if cancel.is_some_and(CancelToken::is_cancelled) {
-        return (Verdict::Timeout, "cancelled before start".to_string(), 0);
+        return (
+            Verdict::Timeout,
+            "cancelled before start".to_string(),
+            0,
+            none,
+        );
     }
     let mut options = analysis.clone();
     if let Some(token) = cancel {
@@ -238,14 +247,15 @@ fn analyze(
     let tool = Rehearsal::new(job.platform).with_options(options.clone());
     let graph = match tool.lower(&job.source) {
         Ok(graph) => graph,
-        Err(e) => return (Verdict::Error, e.to_string(), 0),
+        Err(e) => return (Verdict::Error, e.to_string(), 0, none),
     };
     let resources = graph.exprs.len();
 
     let determinism = match check_determinism(&graph, &options) {
         Ok(report) => report,
-        Err(aborted) => return (Verdict::Timeout, aborted.reason, resources),
+        Err(aborted) => return (Verdict::Timeout, aborted.reason, resources, none),
     };
+    let counters = AnalysisCounters::from(&determinism.stats());
     if !determinism.is_deterministic() {
         let detail = match &determinism {
             rehearsal_core::DeterminismReport::NonDeterministic(cex, _) => format!(
@@ -255,7 +265,7 @@ fn analyze(
             ),
             rehearsal_core::DeterminismReport::Deterministic(_) => unreachable!(),
         };
-        return (Verdict::Nondeterministic, detail, resources);
+        return (Verdict::Nondeterministic, detail, resources, counters);
     }
 
     // The idempotence stage runs under whatever deadline remains.
@@ -263,13 +273,16 @@ fn analyze(
         options.timeout = Some(total.saturating_sub(started.elapsed()));
     }
     match check_idempotence(&graph, &options) {
-        Ok(report) if report.is_idempotent() => (Verdict::Deterministic, String::new(), resources),
+        Ok(report) if report.is_idempotent() => {
+            (Verdict::Deterministic, String::new(), resources, counters)
+        }
         Ok(_) => (
             Verdict::Nonidempotent,
             "applying twice differs from applying once".to_string(),
             resources,
+            counters,
         ),
-        Err(aborted) => (Verdict::Timeout, aborted.reason, resources),
+        Err(aborted) => (Verdict::Timeout, aborted.reason, resources, counters),
     }
 }
 

@@ -42,9 +42,9 @@ pub mod json;
 pub mod report;
 pub mod scheduler;
 
-pub use cache::{job_key, CachedVerdict, VerdictCache};
+pub use cache::{job_key, CachedVerdict, VerdictCache, CACHE_SCHEMA_VERSION};
 pub use discover::{discover_manifests, read_manifest_list};
 pub use engine::{verify_directory, FleetEngine, FleetJob, FleetOptions};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use report::{FleetCounts, FleetReport, JobResult, Verdict};
+pub use report::{AnalysisCounters, FleetCounts, FleetReport, JobResult, Verdict};
 pub use scheduler::run_work_stealing;

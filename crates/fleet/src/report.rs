@@ -49,6 +49,56 @@ impl Verdict {
     }
 }
 
+/// Explorer/solver work counters for one analyzed job (all zero for cache
+/// hits and pre-verdict errors — no analysis ran).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisCounters {
+    /// Sequences the determinacy explorer covered (including state-cache
+    /// skips).
+    pub sequences_explored: usize,
+    /// Of those, sequences covered via explorer state-cache hits.
+    pub sequences_skipped: usize,
+    /// CDCL conflicts in the incremental solver.
+    pub solver_conflicts: u64,
+    /// Literals propagated by the incremental solver.
+    pub solver_propagations: u64,
+    /// Formula nodes grounded to CNF (each exactly once).
+    pub grounded_nodes: u64,
+    /// Grounding requests answered by an already-grounded node.
+    pub grounded_reused: u64,
+}
+
+impl AnalysisCounters {
+    /// Fraction of grounding requests served by reuse (delegates to the
+    /// solver-layer [`rehearsal_solver::GroundingStats`], the single
+    /// definition of the ratio).
+    pub fn grounding_reuse_ratio(&self) -> f64 {
+        rehearsal_solver::GroundingStats {
+            grounded_nodes: self.grounded_nodes,
+            reused_nodes: self.grounded_reused,
+            grounded_clauses: 0,
+        }
+        .reuse_ratio()
+    }
+}
+
+impl From<&rehearsal_core::DeterminismStats> for AnalysisCounters {
+    /// The fleet-report subset of a determinism check's statistics. Kept
+    /// as a `From` impl (rather than field-by-field copies at call sites)
+    /// so a counter rename or semantic change fails to compile here
+    /// instead of silently dropping out of the report.
+    fn from(stats: &rehearsal_core::DeterminismStats) -> AnalysisCounters {
+        AnalysisCounters {
+            sequences_explored: stats.sequences_explored,
+            sequences_skipped: stats.sequences_skipped,
+            solver_conflicts: stats.solver_conflicts,
+            solver_propagations: stats.solver_propagations,
+            grounded_nodes: stats.grounded_nodes,
+            grounded_reused: stats.grounded_reused,
+        }
+    }
+}
+
 /// The outcome of one job.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -66,6 +116,8 @@ pub struct JobResult {
     pub millis: u64,
     /// Whether the verdict came from the cache without re-analysis.
     pub cached: bool,
+    /// Explorer/solver work done for this job.
+    pub counters: AnalysisCounters,
 }
 
 /// Aggregate counters over a fleet run.
@@ -207,6 +259,7 @@ impl FleetReport {
 }
 
 fn row_json(row: &JobResult) -> Json {
+    let c = &row.counters;
     Json::obj([
         ("manifest", Json::str(&row.manifest)),
         ("platform", Json::str(row.platform.to_string())),
@@ -215,6 +268,25 @@ fn row_json(row: &JobResult) -> Json {
         ("resources", Json::num(row.resources as u32)),
         ("millis", Json::num(row.millis as u32)),
         ("cached", Json::Bool(row.cached)),
+        (
+            "counters",
+            Json::obj([
+                // Counters can exceed u32 on long solves (propagation
+                // rates run tens of millions/second); serialize as f64 to
+                // preserve magnitude.
+                ("sequences_explored", Json::Num(c.sequences_explored as f64)),
+                ("sequences_skipped", Json::Num(c.sequences_skipped as f64)),
+                ("solver_conflicts", Json::Num(c.solver_conflicts as f64)),
+                (
+                    "solver_propagations",
+                    Json::Num(c.solver_propagations as f64),
+                ),
+                (
+                    "grounding_reuse_ratio",
+                    Json::Num((c.grounding_reuse_ratio() * 10000.0).round() / 10000.0),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -240,6 +312,7 @@ mod tests {
             resources: 3,
             millis: 5,
             cached,
+            counters: AnalysisCounters::default(),
         }
     }
 
@@ -298,5 +371,23 @@ mod tests {
             rows[0].get("verdict").and_then(Json::as_str),
             Some("deterministic")
         );
+        let counters = rows[0].get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("sequences_explored").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            counters.get("solver_conflicts").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn grounding_reuse_ratio_bounds() {
+        let mut c = AnalysisCounters::default();
+        assert_eq!(c.grounding_reuse_ratio(), 0.0, "no grounding yet");
+        c.grounded_nodes = 25;
+        c.grounded_reused = 75;
+        assert!((c.grounding_reuse_ratio() - 0.75).abs() < 1e-9);
     }
 }

@@ -34,7 +34,7 @@
 
 use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
-use crate::sat::{Model, SatResult, Solver};
+use crate::sat::{Model, SatResult, Solver, SolverStats};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -115,6 +115,51 @@ impl CtxStats {
     }
 }
 
+/// Grounding statistics for the incremental solving path
+/// ([`Ctx::solve_assuming`]): how much CNF was emitted exactly once and
+/// then reused across queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroundingStats {
+    /// Formula nodes Tseitin-grounded to CNF (each exactly once).
+    pub grounded_nodes: u64,
+    /// Grounding requests answered by an already-grounded node.
+    pub reused_nodes: u64,
+    /// Clauses added to the persistent solver.
+    pub grounded_clauses: u64,
+}
+
+impl GroundingStats {
+    /// Fraction of grounding requests served by reuse (0.0 before any
+    /// grounding). High ratios mean later queries ride on CNF — and learnt
+    /// clauses — produced for earlier ones.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.grounded_nodes + self.reused_nodes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reused_nodes as f64 / total as f64
+    }
+}
+
+/// The persistent incremental-solving state: one live CDCL solver whose
+/// clause database (including everything it has learnt) survives across
+/// queries. Formula nodes are grounded to CNF exactly once; per-query
+/// roots are activated via assumption literals.
+#[derive(Debug, Default)]
+struct Incremental {
+    solver: Solver,
+    /// CNF literal of every grounded formula node.
+    lit_of: HashMap<Formula, Lit>,
+    /// A literal asserted true at the top level (grounds the constants).
+    lit_true: Option<Lit>,
+    /// Prefix of `Ctx::side_constraints` already asserted permanently.
+    grounded_side: usize,
+    /// Top-level contradiction in the permanent clauses: every query is
+    /// UNSAT from here on.
+    unsat: bool,
+    stats: GroundingStats,
+}
+
 /// The formula-building and solving context.
 ///
 /// See the [module documentation](self) for an overview.
@@ -136,6 +181,8 @@ pub struct Ctx {
     /// Hash-consing hit counters (see [`CtxStats`]).
     formula_hits: u64,
     term_hits: u64,
+    /// The persistent solver for [`Ctx::solve_assuming`].
+    inc: Incremental,
 }
 
 impl Ctx {
@@ -325,6 +372,41 @@ impl Ctx {
         }
         if e == self.ff() {
             return self.and2(c, t);
+        }
+        // Common-conjunct factoring: `ite(c, x ∧ R, x) ≡ x ∧ (c → R)` and
+        // `ite(c, x, x ∧ R) ≡ x ∧ (¬c → R)`. This is how symbolic `ok`
+        // formulas grow (`ite(cond, ok ∧ pre, ok)` per guarded operation);
+        // rewriting them into flat conjunctions lets the sorted n-ary
+        // `and` canonicalize away evaluation order, so commuting resource
+        // orders reconverge to *structurally identical* states — the
+        // property the explorer's state cache and output dedup feed on.
+        let factored = |ctx: &Ctx, whole: Formula, part: Formula| -> Option<Vec<Formula>> {
+            let FNode::And(cs) = &ctx.fnodes[whole.0 as usize] else {
+                return None;
+            };
+            if cs.contains(&part) {
+                return Some(cs.iter().copied().filter(|&x| x != part).collect());
+            }
+            // `part` may itself be a conjunction that `whole` extends
+            // (n-ary `and` flattens, so the handle of the smaller
+            // conjunction never appears verbatim among the children).
+            if let FNode::And(ps) = &ctx.fnodes[part.0 as usize] {
+                if ps.len() < cs.len() && ps.iter().all(|p| cs.contains(p)) {
+                    return Some(cs.iter().copied().filter(|x| !ps.contains(x)).collect());
+                }
+            }
+            None
+        };
+        if let Some(rest) = factored(self, t, e) {
+            let r = self.and(rest);
+            let nc = self.not(c);
+            let guarded = self.or2(nc, r);
+            return self.and2(e, guarded);
+        }
+        if let Some(rest) = factored(self, e, t) {
+            let r = self.and(rest);
+            let guarded = self.or2(c, r);
+            return self.and2(t, guarded);
         }
         self.intern_f(FNode::Ite(c, t, e))
     }
@@ -677,6 +759,211 @@ impl Ctx {
         }
     }
 
+    /// Allocates a fresh Tseitin auxiliary variable for the persistent
+    /// solver. Auxiliaries draw from the same counter as client booleans
+    /// ([`Ctx::fresh_bool`]/[`Ctx::fd_var`] one-hot bits), so the identity
+    /// mapping `BVar(i) ↔ solver var i` — which model decoding relies on —
+    /// holds for the whole lifetime of the context.
+    fn aux_var(&mut self) -> Var {
+        let v = Var::from_index(self.n_bool_vars as usize);
+        self.n_bool_vars += 1;
+        self.inc.solver.reserve_vars(self.n_bool_vars as usize);
+        v
+    }
+
+    /// Adds a permanent clause to the persistent solver, tracking stats
+    /// and top-level contradiction.
+    fn inc_add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.inc.stats.grounded_clauses += 1;
+        if !self.inc.solver.add_clause(lits) {
+            self.inc.unsat = true;
+        }
+    }
+
+    /// The literal asserted true at the top level (grounds `tt`/`ff`).
+    fn inc_lit_true(&mut self) -> Lit {
+        if let Some(l) = self.inc.lit_true {
+            return l;
+        }
+        let l = Lit::positive(self.aux_var());
+        self.inc_add_clause([l]);
+        self.inc.lit_true = Some(l);
+        l
+    }
+
+    /// Grounds `f` into the persistent solver, emitting Tseitin CNF for
+    /// every not-yet-grounded node exactly once, and returns `f`'s
+    /// activation literal. Hash-consing makes this a no-op for any node a
+    /// previous query already grounded.
+    fn ground(&mut self, root: Formula) -> Lit {
+        // Client booleans allocated since the last grounding must exist in
+        // the solver before clauses mention them.
+        self.inc.solver.reserve_vars(self.n_bool_vars as usize);
+        // Nodes first encountered during *this* call: sharing within one
+        // query's DAG walk is not "reuse" in the cross-query sense the
+        // reuse ratio reports, so it must not inflate the counter.
+        let mut seen_this_call: std::collections::HashSet<Formula> =
+            std::collections::HashSet::new();
+        let mut stack: Vec<(Formula, bool)> = vec![(root, false)];
+        while let Some((f, expanded)) = stack.pop() {
+            if !expanded && !seen_this_call.insert(f) {
+                // A duplicate push from another parent in this same walk.
+                continue;
+            }
+            if self.inc.lit_of.contains_key(&f) {
+                if !expanded {
+                    self.inc.stats.reused_nodes += 1;
+                }
+                continue;
+            }
+            let node = self.fnodes[f.0 as usize].clone();
+            if !expanded {
+                stack.push((f, true));
+                match &node {
+                    FNode::True | FNode::False | FNode::Var(_) => {}
+                    FNode::Not(a) => stack.push((*a, false)),
+                    FNode::And(cs) | FNode::Or(cs) => {
+                        for &c in cs.iter() {
+                            stack.push((c, false));
+                        }
+                    }
+                    FNode::Ite(c, t, e) => {
+                        stack.push((*c, false));
+                        stack.push((*t, false));
+                        stack.push((*e, false));
+                    }
+                    FNode::Iff(a, b) => {
+                        stack.push((*a, false));
+                        stack.push((*b, false));
+                    }
+                }
+                continue;
+            }
+            let lit = match node {
+                FNode::True => self.inc_lit_true(),
+                FNode::False => !self.inc_lit_true(),
+                FNode::Var(b) => Lit::positive(Var::from_index(b.0 as usize)),
+                FNode::Not(a) => !self.inc.lit_of[&a],
+                FNode::And(cs) => {
+                    let x = Lit::positive(self.aux_var());
+                    let mut big = vec![x];
+                    for c in cs.iter() {
+                        let cl = self.inc.lit_of[c];
+                        self.inc_add_clause([!x, cl]);
+                        big.push(!cl);
+                    }
+                    self.inc_add_clause(big);
+                    x
+                }
+                FNode::Or(cs) => {
+                    let x = Lit::positive(self.aux_var());
+                    let mut big = vec![!x];
+                    for c in cs.iter() {
+                        let cl = self.inc.lit_of[c];
+                        self.inc_add_clause([x, !cl]);
+                        big.push(cl);
+                    }
+                    self.inc_add_clause(big);
+                    x
+                }
+                FNode::Ite(c, t, e) => {
+                    let x = Lit::positive(self.aux_var());
+                    let (lc, lt, le) = (
+                        self.inc.lit_of[&c],
+                        self.inc.lit_of[&t],
+                        self.inc.lit_of[&e],
+                    );
+                    self.inc_add_clause([!x, !lc, lt]);
+                    self.inc_add_clause([!x, lc, le]);
+                    self.inc_add_clause([x, !lc, !lt]);
+                    self.inc_add_clause([x, lc, !le]);
+                    x
+                }
+                FNode::Iff(a, b) => {
+                    let x = Lit::positive(self.aux_var());
+                    let (la, lb) = (self.inc.lit_of[&a], self.inc.lit_of[&b]);
+                    self.inc_add_clause([!x, !la, lb]);
+                    self.inc_add_clause([!x, la, !lb]);
+                    self.inc_add_clause([x, la, lb]);
+                    self.inc_add_clause([x, !la, !lb]);
+                    x
+                }
+            };
+            self.inc.stats.grounded_nodes += 1;
+            self.inc.lit_of.insert(f, lit);
+        }
+        self.inc.lit_of[&root]
+    }
+
+    /// Permanently asserts every side constraint not yet grounded (fresh
+    /// finite-domain one-hot constraints and [`Ctx::assert_background`]
+    /// assertions accumulated since the last query).
+    fn ground_side_constraints(&mut self) {
+        while self.inc.grounded_side < self.side_constraints.len() {
+            let f = self.side_constraints[self.inc.grounded_side];
+            self.inc.grounded_side += 1;
+            if self.is_true(f) {
+                continue;
+            }
+            if self.is_false(f) {
+                self.inc.unsat = true;
+                continue;
+            }
+            let l = self.ground(f);
+            self.inc_add_clause([l]);
+        }
+    }
+
+    /// Decides satisfiability of `root` (under the side constraints) on
+    /// the *persistent* solver: formula nodes are grounded to CNF exactly
+    /// once across the context's lifetime, the root is activated via an
+    /// assumption literal, and everything the solver learns is retained
+    /// for subsequent queries. This is the incremental counterpart of
+    /// [`Ctx::solve_with_budget`]; both paths decide the same theory, so
+    /// their SAT/UNSAT verdicts always agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveTimeout`] when the deadline passes or the interrupt
+    /// flag is raised mid-search.
+    pub fn solve_assuming(
+        &mut self,
+        root: Formula,
+        deadline: Option<std::time::Instant>,
+        interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Result<Option<ModelView>, SolveTimeout> {
+        self.ground_side_constraints();
+        if self.is_false(root) || self.inc.unsat {
+            return Ok(None);
+        }
+        let lit = self.ground(root);
+        if self.inc.unsat {
+            return Ok(None);
+        }
+        self.inc.solver.set_deadline(deadline);
+        self.inc.solver.set_interrupt(interrupt);
+        let result = self.inc.solver.solve_with_assumptions(&[lit]);
+        // Don't let this query's budget poison later ones.
+        self.inc.solver.set_deadline(None);
+        self.inc.solver.set_interrupt(None);
+        match result {
+            SatResult::Sat(m) => Ok(Some(ModelView { model: m })),
+            SatResult::Unsat => Ok(None),
+            SatResult::Unknown => Err(SolveTimeout),
+        }
+    }
+
+    /// Cumulative statistics of the persistent solver (conflicts,
+    /// decisions, propagations across every [`Ctx::solve_assuming`]).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.inc.solver.stats()
+    }
+
+    /// Grounding-reuse statistics for the incremental path.
+    pub fn grounding_stats(&self) -> GroundingStats {
+        self.inc.stats
+    }
+
     /// Evaluates a formula under a boolean assignment function (testing aid).
     pub fn eval_formula(&self, f: Formula, assign: &dyn Fn(u32) -> bool) -> bool {
         let mut memo: HashMap<Formula, bool> = HashMap::new();
@@ -1007,6 +1294,114 @@ mod tests {
         let mut ctx = Ctx::new();
         let f = ctx.ff();
         assert!(ctx.solve(f).is_none());
+    }
+
+    #[test]
+    fn incremental_agrees_with_oneshot() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2, 3]);
+        let y = ctx.fd_var(&[2, 3, 4]);
+        let eq = ctx.eq_terms(x, y);
+        let b1 = ctx.bit(x, 1);
+        let queries = {
+            let both = ctx.and2(eq, b1);
+            let neq = ctx.not(eq);
+            vec![eq, both, neq, ctx.tt(), ctx.ff()]
+        };
+        for q in queries {
+            let oneshot = ctx.solve(q).is_some();
+            let incremental = ctx.solve_assuming(q, None, None).unwrap().is_some();
+            assert_eq!(oneshot, incremental, "paths disagree on query {q:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_grounds_shared_nodes_once() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2, 3]);
+        let y = ctx.fd_var(&[1, 2, 3]);
+        let eq = ctx.eq_terms(x, y);
+        assert!(ctx.solve_assuming(eq, None, None).unwrap().is_some());
+        let after_first = ctx.grounding_stats();
+        assert!(after_first.grounded_nodes > 0);
+        // A second query over the same subformula reuses its grounding.
+        let b1 = ctx.bit(x, 1);
+        let q2 = ctx.and2(eq, b1);
+        assert!(ctx.solve_assuming(q2, None, None).unwrap().is_some());
+        let after_second = ctx.grounding_stats();
+        assert!(
+            after_second.reused_nodes > after_first.reused_nodes,
+            "eq was already grounded"
+        );
+        assert!(after_second.reuse_ratio() > 0.0);
+    }
+
+    #[test]
+    fn incremental_models_decode_terms() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[5, 6, 7]);
+        let b5 = ctx.bit(x, 5);
+        let b7 = ctx.bit(x, 7);
+        let n5 = ctx.not(b5);
+        let n7 = ctx.not(b7);
+        let f = ctx.and2(n5, n7);
+        let m = ctx.solve_assuming(f, None, None).unwrap().expect("sat");
+        assert_eq!(m.term_value_in(&ctx, x), 6);
+        // Auxiliary Tseitin variables must not disturb decoding of
+        // booleans allocated after a grounded query.
+        let fresh = ctx.fresh_bool();
+        let q = ctx.and2(f, fresh);
+        let m = ctx.solve_assuming(q, None, None).unwrap().expect("sat");
+        assert_eq!(m.term_value_in(&ctx, x), 6);
+        assert!(m.formula_value_in(&ctx, fresh));
+    }
+
+    #[test]
+    fn incremental_unsat_then_sat_queries() {
+        let mut ctx = Ctx::new();
+        let x = ctx.fd_var(&[1, 2]);
+        let b1 = ctx.bit(x, 1);
+        let b2 = ctx.bit(x, 2);
+        let both = ctx.and2(b1, b2);
+        assert!(
+            ctx.solve_assuming(both, None, None).unwrap().is_none(),
+            "one-hot forbids two values"
+        );
+        // The UNSAT query must not poison the solver for later queries.
+        assert!(ctx.solve_assuming(b1, None, None).unwrap().is_some());
+        assert!(ctx.solve_assuming(b2, None, None).unwrap().is_some());
+        let stats = ctx.solver_stats();
+        assert!(stats.propagations > 0);
+    }
+
+    #[test]
+    fn incremental_respects_raised_interrupt() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let b = ctx.fresh_bool();
+        let f = ctx.and2(a, b);
+        let flag = Arc::new(AtomicBool::new(true));
+        assert!(matches!(
+            ctx.solve_assuming(f, None, Some(flag)),
+            Err(SolveTimeout)
+        ));
+        // The budget does not stick to the persistent solver.
+        assert!(ctx.solve_assuming(f, None, None).unwrap().is_some());
+    }
+
+    #[test]
+    fn incremental_sees_late_background_assertions() {
+        let mut ctx = Ctx::new();
+        let a = ctx.fresh_bool();
+        let t = ctx.tt();
+        assert!(ctx.solve_assuming(t, None, None).unwrap().is_some());
+        let na = ctx.not(a);
+        ctx.assert_background(na);
+        let m = ctx.solve_assuming(t, None, None).unwrap().expect("sat");
+        assert!(!m.formula_value_in(&ctx, a), "late assertion is enforced");
+        assert!(ctx.solve_assuming(a, None, None).unwrap().is_none());
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod lit;
 pub mod sat;
 
 pub use cnf::{Cnf, DimacsError};
-pub use ctx::{BVar, Ctx, CtxStats, Formula, ModelView, SolveTimeout, Term};
+pub use ctx::{BVar, Ctx, CtxStats, Formula, GroundingStats, ModelView, SolveTimeout, Term};
 pub use lit::{LBool, Lit, Var};
 pub use sat::{Model, SatResult, Solver, SolverStats};

@@ -159,7 +159,7 @@ fn check_json(
         "deterministic"
     };
     Json::obj([
-        ("schema", Json::str("rehearsal-check/1")),
+        ("schema", Json::str("rehearsal-check/2")),
         ("manifest", Json::str(path)),
         ("platform", Json::str(platform.to_string())),
         ("verdict", Json::str(verdict)),
@@ -181,11 +181,31 @@ fn check_json(
                 ),
                 ("paths", Json::num(stats.paths as u32)),
                 ("tracked_paths", Json::num(stats.tracked_paths as u32)),
+                // Sequence and solver counters can exceed u32 (the state
+                // cache accounts factorial spaces; propagations run tens
+                // of millions/second) — serialize as f64 to keep the
+                // magnitude honest.
                 (
                     "sequences_explored",
-                    Json::num(stats.sequences_explored as u32),
+                    Json::Num(stats.sequences_explored as f64),
                 ),
+                (
+                    "sequences_skipped",
+                    Json::Num(stats.sequences_skipped as f64),
+                ),
+                ("state_cache_hits", Json::num(stats.state_cache_hits as u32)),
+                ("distinct_outputs", Json::num(stats.distinct_outputs as u32)),
                 ("formula_nodes", Json::num(stats.formula_nodes as u32)),
+                ("solver_conflicts", Json::Num(stats.solver_conflicts as f64)),
+                (
+                    "solver_propagations",
+                    Json::Num(stats.solver_propagations as f64),
+                ),
+                ("grounded_clauses", Json::Num(stats.grounded_clauses as f64)),
+                (
+                    "grounding_reuse_ratio",
+                    Json::Num((stats.grounding_reuse_ratio() * 10000.0).round() / 10000.0),
+                ),
             ]),
         ),
     ])
