@@ -1,0 +1,18 @@
+# Ownership race on a home directory: `useradd -m` style home creation
+# chowns /home/deploy to the user, while a hardening file resource locks
+# the same directory down to root. Both orders converge on "the directory
+# exists" — invisible without the metadata model — but the final owner
+# depends on which resource ran last.
+file { '/home': ensure => directory }
+
+user { 'deploy':
+  ensure     => present,
+  managehome => true,
+}
+
+file { '/home/deploy':
+  ensure  => directory,
+  owner   => 'root',
+  mode    => '0700',
+  require => File['/home'],
+}

@@ -1,0 +1,15 @@
+# The fixed twin of home-owner-nondet: the hardening resource runs after
+# the user is created, so the home always ends root-owned at mode 0700.
+file { '/home': ensure => directory }
+
+user { 'deploy':
+  ensure     => present,
+  managehome => true,
+}
+
+file { '/home/deploy':
+  ensure  => directory,
+  owner   => 'root',
+  mode    => '0700',
+  require => [File['/home'], User['deploy']],
+}

@@ -1,0 +1,24 @@
+# Group-ownership race on a log configuration: the application module
+# hands its config to the 'adm' group while a hardening class re-manages
+# the same file as root-owned group with a tighter mode. Identical
+# contents make the metadata-free model call the pair commuting.
+file { '/var/log': ensure => directory }
+file { '/var/log/app':
+  ensure  => directory,
+  require => File['/var/log'],
+}
+
+file { 'app-config':
+  path    => '/var/log/app/app.conf',
+  content => 'rotate 7',
+  group   => 'adm',
+  require => File['/var/log/app'],
+}
+
+file { 'hardening-config':
+  path    => '/var/log/app/app.conf',
+  content => 'rotate 7',
+  group   => 'root',
+  mode    => '0640',
+  require => File['/var/log/app'],
+}

@@ -1,0 +1,23 @@
+# The fixed twin of logdir-group-nondet: hardening is declared to win.
+file { '/var/log': ensure => directory }
+file { '/var/log/app':
+  ensure  => directory,
+  require => File['/var/log'],
+}
+
+file { 'app-config':
+  path    => '/var/log/app/app.conf',
+  content => 'rotate 7',
+  group   => 'adm',
+  require => File['/var/log/app'],
+}
+
+file { 'hardening-config':
+  path    => '/var/log/app/app.conf',
+  content => 'rotate 7',
+  group   => 'root',
+  mode    => '0640',
+  require => File['/var/log/app'],
+}
+
+File['app-config'] -> File['hardening-config']

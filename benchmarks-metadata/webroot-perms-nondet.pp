@@ -1,0 +1,26 @@
+# Permission race on a web root: the webserver module ships the document
+# root world-readable, while an independent deployment class re-manages the
+# same file as executable. The contents agree, so the metadata-free model
+# sees two identical definitive writes that commute — only the
+# metadata-aware model (--model-metadata) exposes the last-chmod-wins race.
+class webserver {
+  file { '/var/www': ensure => directory }
+  file { 'webroot-index':
+    path    => '/var/www/index.html',
+    content => 'hello world',
+    mode    => '0644',
+    require => File['/var/www'],
+  }
+}
+
+class deployment {
+  file { 'deploy-index':
+    path    => '/var/www/index.html',
+    content => 'hello world',
+    mode    => '0755',
+    require => File['/var/www'],
+  }
+}
+
+include webserver
+include deployment

@@ -1,0 +1,26 @@
+# The fixed twin of webroot-perms-nondet: the deployment class's mode is
+# declared to win by ordering it after the webserver's file resource, so
+# every run ends with /var/www/index.html at mode 0755.
+class webserver {
+  file { '/var/www': ensure => directory }
+  file { 'webroot-index':
+    path    => '/var/www/index.html',
+    content => 'hello world',
+    mode    => '0644',
+    require => File['/var/www'],
+  }
+}
+
+class deployment {
+  file { 'deploy-index':
+    path    => '/var/www/index.html',
+    content => 'hello world',
+    mode    => '0755',
+    require => File['/var/www'],
+  }
+}
+
+include webserver
+include deployment
+
+File['webroot-index'] -> File['deploy-index']

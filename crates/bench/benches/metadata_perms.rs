@@ -1,0 +1,82 @@
+//! The metadata permission-race suite (`benchmarks-metadata/`), measured
+//! as a before/after pair per manifest: the metadata-free model ("before",
+//! where every race is invisible and all six manifests verify clean) and
+//! the metadata-aware model ("after", where the three `-nondet` manifests
+//! report NONDET and their `->`-fixed twins stay deterministic).
+//!
+//! Every row pins its verdict — drift panics, which is what makes the
+//! quick-mode run a CI gate; wall time never fails the bench. Rows are
+//! exported via the shared `fleet::json` serializer when
+//! `REHEARSAL_BENCH_JSON` is set; CI uploads them as `BENCH_metadata.json`.
+
+use rehearsal::benchmarks::METADATA_SUITE;
+use rehearsal::core::determinism::check_determinism;
+use rehearsal::{Platform, Rehearsal};
+use rehearsal_bench::harness::Criterion;
+use rehearsal_bench::{criterion_group, criterion_main};
+use rehearsal_bench::{measure_explorer_row, options_full, write_explorer_json, ExplorerBenchRow};
+
+fn lower(source: &str, model_metadata: bool) -> rehearsal::FsGraph {
+    Rehearsal::new(Platform::Ubuntu)
+        .with_model_metadata(model_metadata)
+        .lower(source)
+        .expect("metadata benchmarks lower cleanly")
+}
+
+fn print_table() {
+    println!("\n=== Metadata permission races: before (model off) / after (model on) ===");
+    println!(
+        "{:<22} {:<14} {:>10} {:>8} {:>8}  verdict",
+        "benchmark", "config", "wall", "seqs", "outputs"
+    );
+    let mut rows: Vec<ExplorerBenchRow> = Vec::new();
+    for b in METADATA_SUITE {
+        for (config, model_on, expect_det) in [
+            // Before: metadata dropped — every race is invisible.
+            ("metadata-off", false, true),
+            // After: the pinned metadata-aware verdict.
+            ("metadata-on", true, b.deterministic_with_metadata),
+        ] {
+            let graph = lower(b.source, model_on);
+            let row = measure_explorer_row(b.name, 0, config, &graph, &options_full(), expect_det);
+            println!(
+                "{:<22} {:<14} {:>8.2}ms {:>8} {:>8}  {}",
+                row.workload,
+                row.config,
+                row.wall_ms,
+                row.sequences_explored,
+                row.distinct_outputs,
+                row.verdict
+            );
+            rows.push(row);
+        }
+    }
+    write_explorer_json("metadata_perms", &rows);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("metadata_perms");
+    group.sample_size(10);
+    for b in METADATA_SUITE {
+        let graph = lower(b.source, true);
+        let expected = b.deterministic_with_metadata;
+        group.bench_with_input(b.name, &graph, |bench, g| {
+            bench.iter(|| {
+                let r = check_determinism(g, &options_full()).unwrap();
+                assert_eq!(
+                    r.is_deterministic(),
+                    expected,
+                    "verdict drift on {}",
+                    b.name
+                );
+                r.stats().sequences_explored
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -287,6 +287,11 @@ fn pred_accesses(pred: Pred, out: &mut AccessSummary, block: Option<BlockTag>) {
             out.note_block(p, block);
             out.observe_children(p);
         }
+        PredNode::MetaIs(p, _, _) => {
+            // Observes both existence and a metadata field of p.
+            out.read(p);
+            out.note_block(p, block);
+        }
         PredNode::And(a, b) | PredNode::Or(a, b) => {
             pred_accesses(a, out, block);
             pred_accesses(b, out, block);
@@ -310,6 +315,17 @@ fn expr_accesses(e: Expr, out: &mut AccessSummary, block: Option<BlockTag>) {
             out.write(p);
             out.note_block(p, block);
             out.observe_children(p);
+        }
+        ExprNode::ChMeta(p, _, _) => {
+            // A metadata write is a write to p: two expressions that
+            // manage the same path's metadata must not commute (last
+            // write wins), and a metadata write does not commute with a
+            // content write or removal of the same path either. The
+            // access lattice stays path-granular — a per-field refinement
+            // would buy little, since real resources set owner/group/mode
+            // together.
+            out.write(p);
+            out.note_block(p, block);
         }
         ExprNode::Cp(src, dst) => {
             out.read(src);
@@ -563,6 +579,45 @@ mod tests {
     }
 
     #[test]
+    fn meta_writes_conflict_on_the_same_path() {
+        let f = p("/mw/f");
+        let a = Expr::chmod(f, Content::intern("0644"));
+        let b = Expr::chmod(f, Content::intern("0755"));
+        assert!(!commutes(&accesses(a), &accesses(b)), "chmod vs chmod");
+        let o = Expr::chown(f, Content::intern("root"));
+        assert!(!commutes(&accesses(a), &accesses(o)), "chmod vs chown");
+        let w = Expr::create_file(f, Content::intern("x"));
+        assert!(!commutes(&accesses(a), &accesses(w)), "chmod vs creat");
+        let r = Expr::if_(
+            Pred::meta_is(f, rehearsal_fs::MetaField::Mode, Content::intern("0644")),
+            Expr::SKIP,
+            Expr::ERROR,
+        );
+        assert!(!commutes(&accesses(a), &accesses(r)), "chmod vs meta_is");
+    }
+
+    #[test]
+    fn meta_writes_on_distinct_paths_commute() {
+        let a = Expr::chmod(p("/mw/a"), Content::intern("0644"));
+        let b = Expr::chown(p("/mw/b"), Content::intern("root"));
+        assert!(commutes(&accesses(a), &accesses(b)));
+        // Brute-force confirmation over states where both paths exist.
+        let fs = rehearsal_fs::FileSystem::with_root()
+            .set(p("/mw"), rehearsal_fs::FileState::DIR)
+            .set(
+                p("/mw/a"),
+                rehearsal_fs::FileState::file(Content::intern("x")),
+            )
+            .set(
+                p("/mw/b"),
+                rehearsal_fs::FileState::file(Content::intern("y")),
+            );
+        let ab = rehearsal_fs::eval(a.seq(b), &fs).unwrap();
+        let ba = rehearsal_fs::eval(b.seq(a), &fs).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
     fn disjoint_resources_commute() {
         let a = Expr::create_file(p("/x"), Content::intern("1"));
         let b = Expr::create_file(p("/y"), Content::intern("2"));
@@ -636,6 +691,17 @@ mod tests {
             Expr::cp(p("/a/f"), p("/b")),
             Expr::mkdir(p("/c")),
             Expr::if_(Pred::is_empty_dir(p("/a")), Expr::SKIP, Expr::ERROR),
+            Expr::chmod(p("/a/f"), Content::intern("0600")),
+            Expr::chown(p("/b"), Content::intern("root")),
+            Expr::if_(
+                Pred::meta_is(
+                    p("/a/g"),
+                    rehearsal_fs::MetaField::Owner,
+                    Content::intern("root"),
+                ),
+                Expr::SKIP,
+                Expr::ERROR,
+            ),
         ];
         let paths = [p("/a"), p("/a/f"), p("/a/g"), p("/a/sub"), p("/b"), p("/c")];
         for (i, &e1) in gallery.iter().enumerate() {

@@ -98,6 +98,22 @@ pub struct AnalysisOptions {
     /// Never changes the verdict; off restores the single monolithic
     /// post-exploration query.
     pub early_exit: bool,
+    /// Honor `owner`/`group`/`mode` attributes when compiling resources
+    /// (the metadata-aware FS model). Strictly speaking a *modeling*
+    /// option — it changes what the resource compiler emits, not how the
+    /// explorer runs — but it rides in `AnalysisOptions` because it
+    /// changes verdicts and therefore must reach everything keyed on the
+    /// analysis configuration (the fleet verdict cache, the CLI, batch
+    /// runs). Off by default: unannotated pipelines stay bit-identical.
+    pub model_metadata: bool,
+    /// Model `package { ensure => latest }` distinctly from `present`
+    /// (the upgrade re-overwrites the package's files with version-bumped
+    /// content) instead of aliasing it to the idempotent install. Rides
+    /// here for the same reason as [`AnalysisOptions::model_metadata`]:
+    /// it changes verdicts, so the fleet engine and the verdict-cache key
+    /// must see it. Off by default; a compiler diagnostic is recorded for
+    /// every `latest` either way.
+    pub model_latest: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -111,6 +127,8 @@ impl Default for AnalysisOptions {
             cancel: None,
             state_cache: true,
             early_exit: true,
+            model_metadata: false,
+            model_latest: false,
         }
     }
 }
@@ -168,6 +186,13 @@ pub struct DeterminismStats {
     pub paths: usize,
     /// Paths still tracked read-write after pruning (fig. 11a's metric).
     pub tracked_paths: usize,
+    /// Metadata operations (`chown`/`chgrp`/`chmod`) in the analyzed
+    /// programs (post-elimination, pre-pruning). Zero whenever the
+    /// metadata model is off or nothing manages metadata.
+    pub meta_ops: usize,
+    /// Paths whose metadata the encoding tracks (see
+    /// [`crate::domain::Domain::meta_paths`]).
+    pub meta_tracked_paths: usize,
     /// Distinct sequences covered by ΦG, *including* ones whose suffix was
     /// answered by the state cache (so the figure is comparable across
     /// cache on/off, and `max_sequences` keeps its historical meaning:
@@ -725,6 +750,8 @@ pub fn check_determinism(
         resources_after_elimination: alive.len(),
         paths: enc.domain.len(),
         tracked_paths: enc.tracked_paths(),
+        meta_ops: pruned.exprs.iter().map(|&e| count_meta_ops(e)).sum(),
+        meta_tracked_paths: enc.domain.meta_paths.len(),
         sequences_explored: explorer.explored as usize,
         sequences_skipped: explorer.skipped as usize,
         state_cache_hits: explorer.cache_hits as usize,
@@ -815,6 +842,19 @@ pub fn check_determinism(
             };
             Ok(DeterminismReport::NonDeterministic(Box::new(cex), stats))
         }
+    }
+}
+
+/// Counts `chown`/`chgrp`/`chmod` occurrences in an expression's text
+/// (each textual occurrence counts, matching how `size()` measures
+/// programs).
+fn count_meta_ops(e: Expr) -> usize {
+    match e.node() {
+        rehearsal_fs::ExprNode::ChMeta(_, _, _) => 1,
+        rehearsal_fs::ExprNode::Seq(a, b) | rehearsal_fs::ExprNode::If(_, a, b) => {
+            count_meta_ops(a) + count_meta_ops(b)
+        }
+        _ => 0,
     }
 }
 
@@ -1043,6 +1083,46 @@ mod tests {
         if let Err(e) = check_determinism(&g, &opts) {
             assert!(e.reason.contains("timeout"));
         } // an Ok on an extremely fast machine is not a failure
+    }
+
+    #[test]
+    fn metadata_race_is_nondeterministic_and_fixable() {
+        // Two resources ensure the same file with the same content but
+        // different modes: invisible to the metadata-free model, a genuine
+        // race in the metadata-aware one.
+        let f = p("/www/index");
+        let c = Content::intern("hello");
+        let ensure = Expr::if_then(Pred::is_dir(p("/www")).not(), Expr::mkdir(p("/www")));
+        let write = Expr::if_(
+            Pred::does_not_exist(f),
+            Expr::create_file(f, c),
+            Expr::if_(
+                Pred::is_file(f),
+                Expr::rm(f).seq(Expr::create_file(f, c)),
+                Expr::ERROR,
+            ),
+        );
+        let res = |mode: &str| ensure.seq(write).seq(Expr::chmod(f, Content::intern(mode)));
+        let g = graph(vec![res("0644"), res("0755")], &[]);
+        let r = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        match r {
+            DeterminismReport::NonDeterministic(cex, stats) => {
+                assert!(stats.meta_ops >= 2);
+                assert_eq!(stats.meta_tracked_paths, 1);
+                // Both orders succeed; only the mode differs — and the
+                // replay (which compares metadata) confirms it.
+                assert!(cex.outcome_a.is_ok() && cex.outcome_b.is_ok());
+                assert_ne!(cex.outcome_a, cex.outcome_b);
+                let ma = cex.outcome_a.as_ref().unwrap().meta(f).unwrap();
+                let mb = cex.outcome_b.as_ref().unwrap().meta(f).unwrap();
+                assert_ne!(ma.mode, mb.mode, "the divergence is the mode");
+            }
+            DeterminismReport::Deterministic(_) => panic!("mode race must be caught"),
+        }
+        // An ordering edge fixes it.
+        let g2 = graph(vec![res("0644"), res("0755")], &[(0, 1)]);
+        let r2 = check_determinism(&g2, &AnalysisOptions::default()).unwrap();
+        assert!(r2.is_deterministic());
     }
 
     #[test]

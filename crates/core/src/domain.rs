@@ -13,7 +13,7 @@
 //! provenance tags are an exact representation for Rehearsal's
 //! difference-seeking queries (see `DESIGN.md` §4.1).
 
-use rehearsal_fs::{Content, Expr, ExprNode, FsPath, Pred, PredNode};
+use rehearsal_fs::{Content, Expr, ExprNode, FsPath, MetaValue, Pred, PredNode};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The reserved path component used for fresh children (cannot appear in
@@ -93,6 +93,69 @@ impl ValueTable {
     }
 }
 
+/// Code for [`MetaValue::Unmanaged`] in the per-field metadata encoding
+/// (always 0; the [`MetaTable`] seeds it first).
+pub const CODE_META_UNMANAGED: u32 = 0;
+
+/// Bidirectional map between [`MetaValue`]s and the `u32` codes used for
+/// the per-field metadata terms. `Unmanaged` is always code 0; managed
+/// values are allocated on demand. All three fields share one table (a
+/// sound over-approximation: a mode value is never *written* to an owner
+/// term, so the extra codes are simply unreachable).
+#[derive(Debug)]
+pub struct MetaTable {
+    values: Vec<MetaValue>,
+    lookup: HashMap<MetaValue, u32>,
+}
+
+impl MetaTable {
+    /// Creates a table pre-seeded with `Unmanaged`.
+    pub fn new() -> MetaTable {
+        let mut t = MetaTable {
+            values: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        assert_eq!(t.code(MetaValue::Unmanaged), CODE_META_UNMANAGED);
+        t
+    }
+
+    /// The code for a value, allocating if needed.
+    pub fn code(&mut self, v: MetaValue) -> u32 {
+        if let Some(&c) = self.lookup.get(&v) {
+            return c;
+        }
+        let c = self.values.len() as u32;
+        self.values.push(v);
+        self.lookup.insert(v, c);
+        c
+    }
+
+    /// The value for a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code was never allocated.
+    pub fn value(&self, code: u32) -> MetaValue {
+        self.values[code as usize]
+    }
+
+    /// Number of distinct values (including `Unmanaged`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether only `Unmanaged` exists.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 1
+    }
+}
+
+impl Default for MetaTable {
+    fn default() -> MetaTable {
+        MetaTable::new()
+    }
+}
+
 /// The bounded analysis domain for a set of FS programs.
 #[derive(Debug, Clone, Default)]
 pub struct Domain {
@@ -101,6 +164,14 @@ pub struct Domain {
     pub paths: BTreeSet<FsPath>,
     /// `children[p]` = modeled paths whose parent is `p`.
     pub children: BTreeMap<FsPath, Vec<FsPath>>,
+    /// Paths whose metadata the programs observe or manage (via
+    /// `chown`/`chgrp`/`chmod` or `meta_is`). Only these get per-field
+    /// metadata terms in the symbolic state, so metadata-free programs pay
+    /// nothing.
+    pub meta_paths: BTreeSet<FsPath>,
+    /// Every managed metadata value the programs mention; the initial
+    /// per-field variables range over these plus `Unmanaged`.
+    pub meta_values: BTreeSet<Content>,
 }
 
 impl Domain {
@@ -109,9 +180,10 @@ impl Domain {
     /// for every `rm`'d or `emptydir?`-tested path.
     pub fn of_exprs(exprs: impl IntoIterator<Item = Expr>) -> Domain {
         let mut paths: BTreeSet<FsPath> = BTreeSet::new();
+        let mut meta = MetaCollector::default();
         paths.insert(FsPath::root());
         for e in exprs {
-            collect_expr(e, &mut paths);
+            collect_expr(e, &mut paths, &mut meta);
         }
         // Close under parents so every modeled path's parent is modeled
         // (mkdir/creat/cp read the parent's state).
@@ -127,7 +199,12 @@ impl Domain {
                 children.entry(parent).or_default().push(p);
             }
         }
-        Domain { paths, children }
+        Domain {
+            paths,
+            children,
+            meta_paths: meta.paths,
+            meta_values: meta.values,
+        }
     }
 
     /// The modeled children of `p`.
@@ -150,7 +227,14 @@ fn fresh_child(p: FsPath) -> FsPath {
     p.join(FRESH_COMPONENT)
 }
 
-fn collect_pred(pred: Pred, out: &mut BTreeSet<FsPath>) {
+/// Accumulates the metadata-tracked paths and mentioned values.
+#[derive(Debug, Default)]
+struct MetaCollector {
+    paths: BTreeSet<FsPath>,
+    values: BTreeSet<Content>,
+}
+
+fn collect_pred(pred: Pred, out: &mut BTreeSet<FsPath>, meta: &mut MetaCollector) {
     match pred.node() {
         PredNode::True | PredNode::False => {}
         PredNode::DoesNotExist(p) | PredNode::IsFile(p) | PredNode::IsDir(p) => {
@@ -160,15 +244,20 @@ fn collect_pred(pred: Pred, out: &mut BTreeSet<FsPath>) {
             out.insert(p);
             out.insert(fresh_child(p));
         }
-        PredNode::And(a, b) | PredNode::Or(a, b) => {
-            collect_pred(a, out);
-            collect_pred(b, out);
+        PredNode::MetaIs(p, _, v) => {
+            out.insert(p);
+            meta.paths.insert(p);
+            meta.values.insert(v);
         }
-        PredNode::Not(a) => collect_pred(a, out),
+        PredNode::And(a, b) | PredNode::Or(a, b) => {
+            collect_pred(a, out, meta);
+            collect_pred(b, out, meta);
+        }
+        PredNode::Not(a) => collect_pred(a, out, meta),
     }
 }
 
-fn collect_expr(e: Expr, out: &mut BTreeSet<FsPath>) {
+fn collect_expr(e: Expr, out: &mut BTreeSet<FsPath>, meta: &mut MetaCollector) {
     match e.node() {
         ExprNode::Skip | ExprNode::Error => {}
         ExprNode::Mkdir(p) | ExprNode::CreateFile(p, _) => {
@@ -188,14 +277,19 @@ fn collect_expr(e: Expr, out: &mut BTreeSet<FsPath>) {
                 out.insert(parent);
             }
         }
+        ExprNode::ChMeta(p, _, v) => {
+            out.insert(p);
+            meta.paths.insert(p);
+            meta.values.insert(v);
+        }
         ExprNode::Seq(a, b) => {
-            collect_expr(a, out);
-            collect_expr(b, out);
+            collect_expr(a, out, meta);
+            collect_expr(b, out, meta);
         }
         ExprNode::If(pred, a, b) => {
-            collect_pred(pred, out);
-            collect_expr(a, out);
-            collect_expr(b, out);
+            collect_pred(pred, out, meta);
+            collect_expr(a, out, meta);
+            collect_expr(b, out, meta);
         }
     }
 }
@@ -245,6 +339,47 @@ mod tests {
         let kids = d.children_of(p("/x"));
         assert!(kids.contains(&p("/x/y")));
         assert!(kids.contains(&p("/x/z")));
+    }
+
+    #[test]
+    fn meta_ops_register_paths_and_values() {
+        use rehearsal_fs::MetaField;
+        let root_c = Content::intern("root");
+        let mode_c = Content::intern("0644");
+        let e = Expr::chown(p("/m/f"), root_c).seq(Expr::if_(
+            Pred::meta_is(p("/m/g"), MetaField::Mode, mode_c),
+            Expr::SKIP,
+            Expr::ERROR,
+        ));
+        let d = Domain::of_exprs([e]);
+        assert!(d.paths.contains(&p("/m/f")) && d.paths.contains(&p("/m/g")));
+        assert_eq!(
+            d.meta_paths,
+            [p("/m/f"), p("/m/g")].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(
+            d.meta_values,
+            [root_c, mode_c].into_iter().collect::<BTreeSet<_>>()
+        );
+        // Metadata-free programs track no meta paths at all.
+        let plain = Domain::of_exprs([Expr::mkdir(p("/m"))]);
+        assert!(plain.meta_paths.is_empty() && plain.meta_values.is_empty());
+    }
+
+    #[test]
+    fn meta_table_codes_are_stable() {
+        use rehearsal_fs::MetaValue;
+        let mut t = MetaTable::new();
+        assert!(t.is_empty());
+        let root = MetaValue::Set(Content::intern("root"));
+        let c1 = t.code(root);
+        let c2 = t.code(root);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, CODE_META_UNMANAGED);
+        assert_eq!(t.value(c1), root);
+        assert_eq!(t.value(CODE_META_UNMANAGED), MetaValue::Unmanaged);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
     }
 
     #[test]

@@ -14,25 +14,41 @@
 //! blocks, recur within one sequence); every such repeat is now a map
 //! lookup instead of a re-encoding.
 
-use crate::domain::{Domain, PathValue, ValueTable, CODE_DIR, CODE_DNE};
-use rehearsal_fs::{Content, Expr, ExprNode, FileState, FileSystem, FsPath, Pred, PredNode};
+use crate::domain::{Domain, MetaTable, PathValue, ValueTable, CODE_DIR, CODE_DNE};
+use rehearsal_fs::{
+    Content, Expr, ExprNode, FileState, FileSystem, FsPath, Meta, MetaValue, Pred, PredNode,
+};
 use rehearsal_solver::{Ctx, Formula, ModelView, Term};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// A logical state `Σ` (paper fig. 7).
+/// The per-field metadata terms of one path, in [`MetaField::ALL`]
+/// (owner, group, mode) order.
+///
+/// [`MetaField::ALL`]: rehearsal_fs::MetaField::ALL
+pub type MetaTerms = [Term; 3];
+
+/// A logical state `Σ` (paper fig. 7), extended with per-path metadata:
+/// `path → {File(content, meta), Dir(meta), Absent}` where each of the
+/// three `meta` fields is a separate finite-domain term over
+/// `{Unmanaged} ∪ mentioned values`.
 #[derive(Debug, Clone)]
 pub struct SymState {
     /// True iff no operation has failed.
     pub ok: Formula,
     /// The symbolic state of every modeled path.
     pub fs: BTreeMap<FsPath, Term>,
+    /// The symbolic metadata of every metadata-tracked path (see
+    /// [`Domain::meta_paths`]); empty for metadata-free programs, which
+    /// keeps their state keys bit-identical to the metadata-free model.
+    pub meta: BTreeMap<FsPath, MetaTerms>,
 }
 
 /// The canonical identity of a [`SymState`]: the `ok` handle plus the term
-/// handle of every path, in the (fixed) domain order. Exact — because
-/// formulas and terms are hash-consed, two states with equal keys are the
-/// same logical state, and two states with different keys are structurally
-/// different formulas (though possibly still semantically equal).
+/// handle of every path (and every tracked metadata field), in the (fixed)
+/// domain order. Exact — because formulas and terms are hash-consed, two
+/// states with equal keys are the same logical state, and two states with
+/// different keys are structurally different formulas (though possibly
+/// still semantically equal).
 pub type StateKey = (Formula, Vec<Term>);
 
 impl SymState {
@@ -40,7 +56,11 @@ impl SymState {
     /// content hash the explorer's output dedup and state cache bucket
     /// on; comparing keys is exact structural identity.
     pub fn key(&self) -> StateKey {
-        (self.ok, self.fs.values().copied().collect())
+        let mut terms: Vec<Term> = self.fs.values().copied().collect();
+        for fields in self.meta.values() {
+            terms.extend_from_slice(fields);
+        }
+        (self.ok, terms)
     }
 }
 
@@ -56,6 +76,8 @@ pub struct Encoder {
     pub ctx: Ctx,
     /// Meaning of value codes.
     pub values: ValueTable,
+    /// Meaning of metadata value codes (shared by all three fields).
+    pub meta_values: MetaTable,
     /// The bounded path domain.
     pub domain: Domain,
     /// Paths encoded as read-only (pruned paths, paper §4.4): their initial
@@ -73,6 +95,7 @@ impl Encoder {
         Encoder {
             ctx: Ctx::new(),
             values: ValueTable::new(),
+            meta_values: MetaTable::new(),
             domain,
             read_only: BTreeSet::new(),
             eval_memo: HashMap::new(),
@@ -136,9 +159,44 @@ impl Encoder {
             let implication = self.ctx.implies(exists, parent_dir);
             self.ctx.assert_background(implication);
         }
+        // Metadata-tracked paths get one free variable per field over
+        // `{Unmanaged} ∪ mentioned values` — the initial metadata may be
+        // anything the programs could subsequently observe.
+        let mut meta = BTreeMap::new();
+        if !self.domain.meta_paths.is_empty() {
+            let mut codes = vec![self.meta_values.code(MetaValue::Unmanaged)];
+            for &v in &self.domain.meta_values.clone() {
+                codes.push(self.meta_values.code(MetaValue::Set(v)));
+            }
+            for &p in &self.domain.meta_paths.clone() {
+                let fields = [
+                    self.ctx.fd_var(&codes),
+                    self.ctx.fd_var(&codes),
+                    self.ctx.fd_var(&codes),
+                ];
+                meta.insert(p, fields);
+            }
+        }
         SymState {
             ok: self.ctx.tt(),
             fs,
+            meta,
+        }
+    }
+
+    /// The constant `Unmanaged` metadata terms (fresh paths start here).
+    fn unmanaged_meta(&mut self) -> MetaTerms {
+        let code = self.meta_values.code(MetaValue::Unmanaged);
+        let t = self.ctx.val(code);
+        [t, t, t]
+    }
+
+    /// Resets a freshly created/removed path's metadata to `Unmanaged`
+    /// (a no-op for paths whose metadata is untracked).
+    fn reset_meta(&mut self, state: &mut SymState, p: FsPath) {
+        if state.meta.contains_key(&p) {
+            let fields = self.unmanaged_meta();
+            state.meta.insert(p, fields);
         }
     }
 
@@ -191,6 +249,15 @@ impl Encoder {
             PredNode::IsFile(p) => self.is_file(state, p),
             PredNode::IsDir(p) => self.is_dir(state, p),
             PredNode::IsEmptyDir(p) => self.is_empty_dir(state, p),
+            PredNode::MetaIs(p, field, v) => {
+                // Exists ∧ field managed to exactly v.
+                let dne = self.is_dne(state, p);
+                let exists = self.ctx.not(dne);
+                let term = state.meta[&p][field.index()];
+                let code = self.meta_values.code(MetaValue::Set(v));
+                let matches = self.ctx.bit(term, code);
+                self.ctx.and2(exists, matches)
+            }
             PredNode::And(a, b) => {
                 let fa = self.eval_pred(a, state);
                 let fb = self.eval_pred(b, state);
@@ -256,6 +323,7 @@ impl Encoder {
             ExprNode::Error => SymState {
                 ok: self.ctx.ff(),
                 fs: state.fs.clone(),
+                meta: state.meta.clone(),
             },
             ExprNode::Mkdir(p) => {
                 let parent = p.parent().expect("mkdir of root is rejected upstream");
@@ -266,10 +334,12 @@ impl Encoder {
                 let mut out = SymState {
                     ok,
                     fs: state.fs.clone(),
+                    meta: state.meta.clone(),
                 };
                 let dir = self.values.code(PathValue::Dir);
                 let dir_t = self.ctx.val(dir);
                 self.set_path(&mut out, p, dir_t);
+                self.reset_meta(&mut out, p);
                 out
             }
             ExprNode::CreateFile(p, content) => {
@@ -281,10 +351,12 @@ impl Encoder {
                 let mut out = SymState {
                     ok,
                     fs: state.fs.clone(),
+                    meta: state.meta.clone(),
                 };
                 let code = self.values.code(PathValue::File(content));
                 let t = self.ctx.val(code);
                 self.set_path(&mut out, p, t);
+                self.reset_meta(&mut out, p);
                 out
             }
             ExprNode::Rm(p) => {
@@ -295,10 +367,14 @@ impl Encoder {
                 let mut out = SymState {
                     ok,
                     fs: state.fs.clone(),
+                    meta: state.meta.clone(),
                 };
                 let dne = self.values.code(PathValue::Dne);
                 let t = self.ctx.val(dne);
                 self.set_path(&mut out, p, t);
+                // An absent path has canonical (Unmanaged) metadata, so
+                // create-then-remove reconverges with never-created.
+                self.reset_meta(&mut out, p);
                 out
             }
             ExprNode::Cp(src, dst) => {
@@ -311,11 +387,29 @@ impl Encoder {
                 let mut out = SymState {
                     ok,
                     fs: state.fs.clone(),
+                    meta: state.meta.clone(),
                 };
                 // The destination takes the source's (file) value; non-file
                 // cases are excluded by `ok`, so junk values are harmless.
                 let src_t = self.term_for(state, src);
                 self.set_path(&mut out, dst, src_t);
+                // cp does not copy metadata: the fresh copy is unmanaged.
+                self.reset_meta(&mut out, dst);
+                out
+            }
+            ExprNode::ChMeta(p, field, v) => {
+                let dne = self.is_dne(state, p);
+                let pre = self.ctx.not(dne);
+                let ok = self.ctx.and2(state.ok, pre);
+                let mut out = SymState {
+                    ok,
+                    fs: state.fs.clone(),
+                    meta: state.meta.clone(),
+                };
+                let code = self.meta_values.code(MetaValue::Set(v));
+                let t = self.ctx.val(code);
+                let fields = out.meta.get_mut(&p).expect("meta path is in the domain");
+                fields[field.index()] = t;
                 out
             }
             ExprNode::Seq(a, b) => {
@@ -345,13 +439,32 @@ impl Encoder {
                         fs.insert(p, tt);
                     }
                 }
-                SymState { ok, fs }
+                // And likewise for every tracked metadata field.
+                let mut meta = state.meta.clone();
+                for (&p, orig) in &state.meta {
+                    let ft = *st.meta.get(&p).unwrap_or(orig);
+                    let fe = *se.meta.get(&p).unwrap_or(orig);
+                    if ft == fe && ft == *orig {
+                        continue;
+                    }
+                    let mut merged = *orig;
+                    for i in 0..3 {
+                        merged[i] = if ft[i] != fe[i] {
+                            self.ctx.tite(cond, ft[i], fe[i])
+                        } else {
+                            ft[i]
+                        };
+                    }
+                    meta.insert(p, merged);
+                }
+                SymState { ok, fs, meta }
             }
         }
     }
 
     /// The formula "states `a` and `b` are observably different": their
-    /// error status differs, or both succeed and some path differs.
+    /// error status differs, or both succeed and some path differs — in
+    /// kind/content, or (for a path present in both) in managed metadata.
     pub fn states_differ(&mut self, a: &SymState, b: &SymState) -> Formula {
         let ok_differs = {
             let iff = self.ctx.iff(a.ok, b.ok);
@@ -363,6 +476,28 @@ impl Encoder {
             if ta != tb {
                 some_path_differs.push(self.ctx.neq_terms(ta, tb));
             }
+        }
+        // Metadata is only observable while the path exists: removal
+        // resets the tracked fields to `Unmanaged`, and two absent paths
+        // are indistinguishable regardless of stale field terms.
+        for (&p, fa) in &a.meta {
+            let fb = b.meta.get(&p).expect("states share a domain");
+            let mut field_diffs = Vec::new();
+            for i in 0..3 {
+                if fa[i] != fb[i] {
+                    field_diffs.push(self.ctx.neq_terms(fa[i], fb[i]));
+                }
+            }
+            if field_diffs.is_empty() {
+                continue;
+            }
+            let any_field = self.ctx.or(field_diffs);
+            let dne_a = self.is_dne(a, p);
+            let dne_b = self.is_dne(b, p);
+            let exists_a = self.ctx.not(dne_a);
+            let exists_b = self.ctx.not(dne_b);
+            let both_exist = self.ctx.and2(exists_a, exists_b);
+            some_path_differs.push(self.ctx.and2(both_exist, any_field));
         }
         let any = self.ctx.or(some_path_differs);
         let both_ok = self.ctx.and2(a.ok, b.ok);
@@ -376,16 +511,31 @@ impl Encoder {
         let mut out = FileSystem::new();
         for (&p, &t) in &state.fs {
             let code = model.term_value_in(&self.ctx, t);
-            match self.values.value(code) {
-                PathValue::Dne => {}
-                PathValue::Dir => out.insert(p, FileState::Dir),
-                PathValue::File(c) => out.insert(p, FileState::File(c)),
+            let decoded = match self.values.value(code) {
+                PathValue::Dne => None,
+                PathValue::Dir => Some(FileState::DIR),
+                PathValue::File(c) => Some(FileState::file(c)),
                 PathValue::FileInit(q) => {
                     // A provenance tag: materialize a content unique to q.
                     let c = Content::intern(&format!("<initial content of {q}>"));
-                    out.insert(p, FileState::File(c));
+                    Some(FileState::file(c))
                 }
-            }
+            };
+            let Some(file_state) = decoded else { continue };
+            let meta = match state.meta.get(&p) {
+                Some(fields) => {
+                    let mut m = Meta::UNMANAGED;
+                    for (i, field) in rehearsal_fs::MetaField::ALL.into_iter().enumerate() {
+                        let code = model.term_value_in(&self.ctx, fields[i]);
+                        if let MetaValue::Set(v) = self.meta_values.value(code) {
+                            m = m.with(field, v);
+                        }
+                    }
+                    m
+                }
+                None => Meta::UNMANAGED,
+            };
+            out.insert(p, file_state.with_meta(meta));
         }
         out
     }
@@ -552,6 +702,116 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn metadata_free_states_have_no_meta_terms() {
+        let e = Expr::mkdir(p("/nm"));
+        let mut enc = encoder_for(&[e]);
+        let s0 = enc.initial_state();
+        assert!(s0.meta.is_empty(), "no meta ops → no meta terms");
+        let s1 = enc.eval_expr(e, &s0);
+        assert!(s1.meta.is_empty());
+        // The state key is exactly the metadata-free key shape.
+        assert_eq!(s1.key().1.len(), s1.fs.len());
+    }
+
+    #[test]
+    fn chmod_race_is_symbolically_observable() {
+        use rehearsal_fs::eval as concrete_eval;
+        let f = p("/mr/f");
+        let c = Content::intern("same");
+        let mk = Expr::mkdir(p("/mr")).seq(Expr::create_file(f, c));
+        let a = mk.seq(Expr::chmod(f, Content::intern("0644")));
+        let b = mk.seq(Expr::chmod(f, Content::intern("0755")));
+        let mut enc = encoder_for(&[a, b]);
+        let s0 = enc.initial_state();
+        let oa = enc.eval_expr(a, &s0);
+        let ob = enc.eval_expr(b, &s0);
+        let diff = enc.states_differ(&oa, &ob);
+        let m = enc.ctx.solve(diff).expect("modes differ");
+        // The decoded witness replays to genuinely different outcomes.
+        let init = enc.decode_state(&m, &s0);
+        let ra = concrete_eval(a, &init);
+        let rb = concrete_eval(b, &init);
+        assert_ne!(ra, rb, "metadata divergence must replay concretely");
+    }
+
+    #[test]
+    fn remove_then_recreate_clears_metadata() {
+        // chown(f, root); rm(f); creat(f, c)  ≡  creat-path without chown:
+        // metadata resets on re-creation, so the two end states are equal.
+        let f = p("/rc/f");
+        let c = Content::intern("v");
+        let mk = Expr::mkdir(p("/rc")).seq(Expr::create_file(f, c));
+        let with_chown = mk
+            .seq(Expr::chown(f, Content::intern("root")))
+            .seq(Expr::rm(f))
+            .seq(Expr::create_file(f, c));
+        let without = mk.seq(Expr::rm(f)).seq(Expr::create_file(f, c));
+        let mut enc = encoder_for(&[with_chown, without]);
+        let s0 = enc.initial_state();
+        let o1 = enc.eval_expr(with_chown, &s0);
+        let o2 = enc.eval_expr(without, &s0);
+        let diff = enc.states_differ(&o1, &o2);
+        assert!(
+            enc.ctx.solve(diff).is_none(),
+            "re-creation resets metadata to Unmanaged"
+        );
+    }
+
+    #[test]
+    fn meta_is_matches_only_managed_values() {
+        use rehearsal_fs::MetaField;
+        let f = p("/mi2/f");
+        let root = Content::intern("root");
+        let mk = Expr::mkdir(p("/mi2")).seq(Expr::create_file(f, Content::intern("x")));
+        // After creat (no chown), meta_is(owner=root) must be false on
+        // every run that succeeded.
+        let probe = Pred::meta_is(f, MetaField::Owner, root);
+        let chowned = mk.seq(Expr::chown(f, root));
+        let mut enc = encoder_for(&[mk, chowned]);
+        let s0 = enc.initial_state();
+        let s1 = enc.eval_expr(mk, &s0);
+        let probe_f = enc.eval_pred(probe, &s1);
+        let bad = enc.ctx.and2(s1.ok, probe_f);
+        assert!(
+            enc.ctx.solve(bad).is_none(),
+            "fresh files are unmanaged: the probe can never hold"
+        );
+        // With the chown, the probe holds on every successful run.
+        let s2 = enc.eval_expr(chowned, &s0);
+        let probe_f2 = enc.eval_pred(probe, &s2);
+        let not_probe = enc.ctx.not(probe_f2);
+        let bad2 = enc.ctx.and2(s2.ok, not_probe);
+        assert!(enc.ctx.solve(bad2).is_none(), "chown establishes the probe");
+    }
+
+    #[test]
+    fn branch_merge_covers_metadata() {
+        use rehearsal_fs::eval as concrete_eval;
+        let f = p("/bm/f");
+        let c = Content::intern("x");
+        let mk = Expr::mkdir(p("/bm")).seq(Expr::create_file(f, c));
+        // Conditionally chown depending on an unrelated path.
+        let e = mk.seq(Expr::if_(
+            Pred::is_file(p("/bm-flag")),
+            Expr::chown(f, Content::intern("root")),
+            Expr::SKIP,
+        ));
+        let plain = mk;
+        let mut enc = encoder_for(&[e, plain]);
+        let s0 = enc.initial_state();
+        let o1 = enc.eval_expr(e, &s0);
+        let o2 = enc.eval_expr(plain, &s0);
+        let diff = enc.states_differ(&o1, &o2);
+        let m = enc
+            .ctx
+            .solve(diff)
+            .expect("differs when the flag file exists");
+        let init = enc.decode_state(&m, &s0);
+        assert!(init.is_file(p("/bm-flag")), "witness must set the flag");
+        assert_ne!(concrete_eval(e, &init), concrete_eval(plain, &init));
     }
 
     #[test]

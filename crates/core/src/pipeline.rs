@@ -144,6 +144,29 @@ impl Rehearsal {
         self
     }
 
+    /// Enables the metadata-aware FS model: `owner`/`group`/`mode`
+    /// attributes compile to `chown`/`chgrp`/`chmod` steps and `user`
+    /// resources own their home directories, so permission races become
+    /// checkable. Equivalent to setting
+    /// [`AnalysisOptions::model_metadata`]. Off by default — unannotated
+    /// pipelines keep bit-identical verdicts.
+    #[must_use]
+    pub fn with_model_metadata(mut self, on: bool) -> Rehearsal {
+        self.options.model_metadata = on;
+        self
+    }
+
+    /// Models `package { ensure => latest }` distinctly from `present`
+    /// (the upgrade re-overwrites the package's files with version-bumped
+    /// content) instead of aliasing it to the idempotent install.
+    /// Equivalent to setting [`AnalysisOptions::model_latest`]. Off by
+    /// default; a diagnostic is recorded either way.
+    #[must_use]
+    pub fn with_model_latest(mut self, on: bool) -> Rehearsal {
+        self.options.model_latest = on;
+        self
+    }
+
     /// Replaces the analysis options.
     #[must_use]
     pub fn with_options(mut self, options: AnalysisOptions) -> Rehearsal {
@@ -186,8 +209,21 @@ impl Rehearsal {
     ///
     /// Parse, evaluation, cycle, or resource-compilation errors.
     pub fn lower(&self, source: &str) -> Result<FsGraph, RehearsalError> {
+        Ok(self.lower_with_diagnostics(source)?.0)
+    }
+
+    /// Lowers a manifest, also returning the resource compiler's non-fatal
+    /// modeling diagnostics (e.g. the `ensure => latest` aliasing note).
+    ///
+    /// # Errors
+    ///
+    /// Parse, evaluation, cycle, or resource-compilation errors.
+    pub fn lower_with_diagnostics(
+        &self,
+        source: &str,
+    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
         let catalog = self.catalog(source)?;
-        self.lower_catalog(&catalog)
+        self.lower_catalog_with_diagnostics(&catalog)
     }
 
     /// Lowers an already-evaluated catalog to an [`FsGraph`].
@@ -196,8 +232,24 @@ impl Rehearsal {
     ///
     /// Cycle or resource-compilation errors.
     pub fn lower_catalog(&self, catalog: &Catalog) -> Result<FsGraph, RehearsalError> {
+        Ok(self.lower_catalog_with_diagnostics(catalog)?.0)
+    }
+
+    /// Lowers an already-evaluated catalog, also returning compiler
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Cycle or resource-compilation errors.
+    pub fn lower_catalog_with_diagnostics(
+        &self,
+        catalog: &Catalog,
+    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
         let graph = ResourceGraph::from_catalog(catalog)?;
-        let ctx = CompileCtx::new(&self.db).with_dependency_closures(self.dependency_closures);
+        let ctx = CompileCtx::new(&self.db)
+            .with_dependency_closures(self.dependency_closures)
+            .with_model_metadata(self.options.model_metadata)
+            .with_model_latest(self.options.model_latest);
         let mut exprs = Vec::with_capacity(graph.len());
         let mut names = Vec::with_capacity(graph.len());
         for r in graph.resources() {
@@ -205,7 +257,7 @@ impl Rehearsal {
             names.push(r.display_name());
         }
         let edges: BTreeSet<(usize, usize)> = graph.edges().iter().copied().collect();
-        Ok(FsGraph::new(exprs, edges, names))
+        Ok((FsGraph::new(exprs, edges, names), ctx.take_diagnostics()))
     }
 
     /// Runs the determinacy analysis on a manifest.

@@ -78,6 +78,13 @@ fn dw(e: Expr, state: &mut BTreeMap<FsPath, DefValue>) {
         ExprNode::Cp(_, dst) => {
             state.insert(dst, DefValue::Top);
         }
+        ExprNode::ChMeta(p, _, _) => {
+            // The path's existence/content is untouched but its metadata
+            // changed: the final state is not one of the fig. 10b points,
+            // so it is indeterminate — which also keeps metadata-managed
+            // paths out of the pruning candidate set.
+            state.insert(p, DefValue::Top);
+        }
         ExprNode::Seq(a, b) => {
             dw(a, state);
             dw(b, state);
@@ -214,10 +221,15 @@ fn prune_pred(pred: Pred, p: FsPath, track: Track) -> Result<Pred, ()> {
                 },
             }
         }
+        PredNode::MetaIs(q, _, _) if q == p => {
+            // Metadata of the pruned path cannot be residualized.
+            Err(())
+        }
         PredNode::DoesNotExist(_)
         | PredNode::IsFile(_)
         | PredNode::IsDir(_)
-        | PredNode::IsEmptyDir(_) => Ok(pred),
+        | PredNode::IsEmptyDir(_)
+        | PredNode::MetaIs(_, _, _) => Ok(pred),
         PredNode::And(a, b) => Ok(prune_pred(a, p, track)?.and(prune_pred(b, p, track)?)),
         PredNode::Or(a, b) => Ok(prune_pred(a, p, track)?.or(prune_pred(b, p, track)?)),
         PredNode::Not(a) => Ok(prune_pred(a, p, track)?.not()),
@@ -349,6 +361,14 @@ fn prune_rec(e: Expr, p: FsPath, track: Track) -> Result<(Expr, Track), ()> {
             }
         }
         ExprNode::Mkdir(_) | ExprNode::CreateFile(_, _) | ExprNode::Rm(_) => Ok((e, track)),
+        ExprNode::ChMeta(q, _, _) => {
+            if q == p {
+                // A metadata write to the pruned path cannot be replaced
+                // by a precondition (the metadata itself is the effect).
+                return Err(());
+            }
+            Ok((e, track))
+        }
         ExprNode::Cp(src, dst) => {
             if src == p || dst == p {
                 // Copying content to or from the pruned path cannot be
@@ -418,6 +438,7 @@ fn writes_path(e: Expr, p: FsPath) -> bool {
     match e.node() {
         ExprNode::Skip | ExprNode::Error => false,
         ExprNode::Mkdir(q) | ExprNode::CreateFile(q, _) | ExprNode::Rm(q) => q == p,
+        ExprNode::ChMeta(q, _, _) => q == p,
         ExprNode::Cp(_, dst) => dst == p,
         ExprNode::Seq(a, b) => writes_path(a, p) || writes_path(b, p),
         ExprNode::If(_, a, b) => writes_path(a, p) || writes_path(b, p),
@@ -593,13 +614,13 @@ mod tests {
         // The residual errs exactly when the original errs.
         let c2 = Content::intern("other");
         let states = [
-            FileSystem::with_root().set(p("/x"), FileState::Dir),
+            FileSystem::with_root().set(p("/x"), FileState::DIR),
             FileSystem::with_root()
-                .set(p("/x"), FileState::Dir)
-                .set(f, FileState::File(c2)),
+                .set(p("/x"), FileState::DIR)
+                .set(f, FileState::file(c2)),
             FileSystem::with_root()
-                .set(p("/x"), FileState::Dir)
-                .set(f, FileState::Dir),
+                .set(p("/x"), FileState::DIR)
+                .set(f, FileState::DIR),
             FileSystem::with_root(), // /x missing
         ];
         for fs in &states {

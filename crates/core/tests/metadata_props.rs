@@ -1,0 +1,192 @@
+//! Property tests for the metadata-aware FS model: commutativity of
+//! metadata writes, honesty of metadata-race counterexamples, and
+//! agreement between the symbolic encoding and the concrete semantics on
+//! randomly generated metadata-bearing programs.
+//!
+//! Cases are sampled with a small in-file deterministic PRNG instead of an
+//! external property-testing crate (the build environment is offline), so
+//! every run covers the same seeded case set.
+
+use rehearsal_core::commutativity::{accesses, commutes};
+use rehearsal_core::determinism::{check_determinism, AnalysisOptions, DeterminismReport, FsGraph};
+use rehearsal_fs::{eval, Content, Expr, FileSystem, FsPath, MetaField, Pred};
+use std::collections::BTreeSet;
+
+/// Deterministic splitmix64 generator for test-case sampling.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn field(rng: &mut Prng) -> MetaField {
+    MetaField::ALL[rng.usize(3)]
+}
+
+fn value(rng: &mut Prng) -> Content {
+    let pool = ["root", "carol", "adm", "0644", "0755", "0600"];
+    Content::intern(pool[rng.usize(pool.len())])
+}
+
+fn ensure_dir(path: FsPath) -> Expr {
+    Expr::if_then(Pred::is_dir(path).not(), Expr::mkdir(path))
+}
+
+fn overwrite(path: FsPath, c: Content) -> Expr {
+    Expr::if_(
+        Pred::does_not_exist(path),
+        Expr::create_file(path, c),
+        Expr::if_(
+            Pred::is_file(path),
+            Expr::rm(path).seq(Expr::create_file(path, c)),
+            Expr::ERROR,
+        ),
+    )
+}
+
+/// A resource-shaped program: ensure the parent, definitively write the
+/// file, then manage one random metadata field.
+fn meta_resource(rng: &mut Prng, dir: FsPath, file: FsPath, content: &str) -> Expr {
+    ensure_dir(dir)
+        .seq(overwrite(file, Content::intern(content)))
+        .seq(Expr::chmeta(file, field(rng), value(rng)))
+}
+
+/// (b) Metadata writes on *distinct* paths commute — claimed by the
+/// analysis and confirmed by concrete replay — while two managements of
+/// the *same* path's metadata never commute.
+#[test]
+fn meta_writes_commute_iff_paths_distinct() {
+    let mut rng = Prng::new(40);
+    let dir = p("/mp");
+    let files = [p("/mp/a"), p("/mp/b"), p("/mp/c")];
+    for case in 0..128 {
+        let fa = files[rng.usize(3)];
+        let fb = files[rng.usize(3)];
+        let a = Expr::chmeta(fa, field(&mut rng), value(&mut rng));
+        let b = Expr::chmeta(fb, field(&mut rng), value(&mut rng));
+        let claim = commutes(&accesses(a), &accesses(b));
+        assert_eq!(
+            claim,
+            fa != fb,
+            "case {case}: chmeta commutativity must be exactly path-disjointness ({a} vs {b})"
+        );
+        // Replay on a state where all files exist: claimed commutation
+        // must hold concretely.
+        let mut fs = FileSystem::with_root();
+        fs.insert(dir, rehearsal_fs::FileState::DIR);
+        for &f in &files {
+            fs.insert(f, rehearsal_fs::FileState::file(Content::intern("x")));
+        }
+        let ab = eval(a.seq(b), &fs);
+        let ba = eval(b.seq(a), &fs);
+        if claim {
+            assert_eq!(ab, ba, "case {case}: claimed commutation must replay");
+        }
+    }
+}
+
+fn graph(exprs: Vec<Expr>, edges: &[(usize, usize)]) -> FsGraph {
+    let names = (0..exprs.len()).map(|i| format!("r{i}")).collect();
+    FsGraph::new(exprs, edges.iter().copied().collect(), names)
+}
+
+/// (c) Counterexample replay stays honest for metadata races: every
+/// NONDET verdict on a random metadata-bearing graph comes with a
+/// concrete initial state and two orders whose replayed outcomes differ.
+#[test]
+fn metadata_counterexamples_replay_honestly() {
+    let mut rng = Prng::new(41);
+    let mut nondet_seen = 0;
+    for case in 0..48 {
+        let n = 2 + rng.usize(2);
+        let dir = p("/cr");
+        let files = [p("/cr/f"), p("/cr/g")];
+        let exprs: Vec<Expr> = (0..n)
+            .map(|_| {
+                let f = files[rng.usize(2)];
+                // Same content everywhere: divergences can only be
+                // metadata-level (or error-level via racing creations).
+                meta_resource(&mut rng, dir, f, "same").seq(if rng.usize(4) == 0 {
+                    Expr::chmeta(files[rng.usize(2)], field(&mut rng), value(&mut rng))
+                } else {
+                    Expr::SKIP
+                })
+            })
+            .collect();
+        let g = graph(exprs, &[]);
+        match check_determinism(&g, &AnalysisOptions::default()).unwrap() {
+            DeterminismReport::Deterministic(_) => {}
+            DeterminismReport::NonDeterministic(cex, stats) => {
+                nondet_seen += 1;
+                assert!(stats.meta_ops > 0, "case {case}");
+                assert_ne!(
+                    cex.outcome_a, cex.outcome_b,
+                    "case {case}: counterexample must replay to a real divergence"
+                );
+                // The two orders are permutations of the same resources.
+                let sa: BTreeSet<usize> = cex.order_a.iter().copied().collect();
+                let sb: BTreeSet<usize> = cex.order_b.iter().copied().collect();
+                assert_eq!(sa, sb, "case {case}");
+            }
+        }
+    }
+    assert!(
+        nondet_seen >= 10,
+        "the generator must actually exercise metadata races (saw {nondet_seen})"
+    );
+}
+
+/// Metadata-bearing graphs respect the analysis ablations: naive mode
+/// (no reductions) and the default configuration agree on every verdict.
+#[test]
+fn metadata_verdicts_are_ablation_invariant() {
+    let mut rng = Prng::new(42);
+    for case in 0..24 {
+        let dir = p("/ab");
+        let files = [p("/ab/f"), p("/ab/g")];
+        let exprs: Vec<Expr> = (0..2)
+            .map(|_| {
+                let f = files[rng.usize(2)];
+                meta_resource(&mut rng, dir, f, "same")
+            })
+            .collect();
+        let g = graph(exprs, &[]);
+        let full = check_determinism(&g, &AnalysisOptions::default()).unwrap();
+        let naive = check_determinism(&g, &AnalysisOptions::naive()).unwrap();
+        assert_eq!(
+            full.is_deterministic(),
+            naive.is_deterministic(),
+            "case {case}: reductions must not change metadata verdicts"
+        );
+        let no_cache = AnalysisOptions {
+            state_cache: false,
+            early_exit: false,
+            ..AnalysisOptions::default()
+        };
+        let slow = check_determinism(&g, &no_cache).unwrap();
+        assert_eq!(
+            full.is_deterministic(),
+            slow.is_deterministic(),
+            "case {case}"
+        );
+    }
+}

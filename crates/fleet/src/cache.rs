@@ -51,10 +51,13 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// different verdict (or different verdict-bearing detail) for the same
 /// `(source, platform, options)` input — e.g. the version-2 bump when the
 /// explorer core was rewritten (bitset POR, state dedup, incremental
-/// early-exit SAT). The version is both mixed into every key *and* stored
-/// per entry, so caches written by an older analyzer are read back as
-/// all-miss rather than served stale.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// early-exit SAT), and the version-3 bump for the metadata-aware model
+/// (a new `model_metadata` key dimension) plus the stage-assignment
+/// bugfix (stage edges for late-declared members changed, which can flip
+/// verdicts of stage-using manifests). The version is both mixed into
+/// every key *and* stored per entry, so caches written by an older
+/// analyzer are read back as all-miss rather than served stale.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Salt mixed into every key so a persisted cache cannot serve verdicts
 /// produced by a different analyzer version or cache schema: any release
@@ -81,6 +84,11 @@ pub fn job_key(source: &str, platform: Platform, options: &AnalysisOptions) -> u
             options.commutativity as u8,
             options.elimination as u8,
             options.pruning as u8,
+            // Modeling options change verdicts just like reductions do:
+            // a metadata-aware verdict must never answer a metadata-free
+            // query (or vice versa), and likewise for `latest` modeling.
+            options.model_metadata as u8,
+            options.model_latest as u8,
         ],
     );
     h = fnv1a(h, &(options.max_sequences as u64).to_le_bytes());
@@ -277,11 +285,14 @@ mod tests {
         let dir = std::env::temp_dir().join("rehearsal-fleet-cache-corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.jsonl");
+        let v = CACHE_SCHEMA_VERSION;
         std::fs::write(
             &path,
-            "not json at all\n\
-             {\"schema\":2,\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n\
-             {\"schema\":2,\"key\":\"zzz\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n",
+            format!(
+                "not json at all\n\
+                 {{\"schema\":{v},\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n\
+                 {{\"schema\":{v},\"key\":\"zzz\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n"
+            ),
         )
         .unwrap();
         let cache = VerdictCache::open(&path).unwrap();
@@ -294,14 +305,18 @@ mod tests {
         let dir = std::env::temp_dir().join("rehearsal-fleet-cache-stale");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.jsonl");
-        // A schema-1 era entry (no tag) and an explicit older tag: both
-        // must read back as misses, never as verdicts from the old
-        // explorer. A current-schema entry on the same file still loads.
+        // A schema-1 era entry (no tag) and explicit older tags: all must
+        // read back as misses, never as verdicts from an old analyzer. A
+        // current-schema entry on the same file still loads.
+        let v = CACHE_SCHEMA_VERSION;
         std::fs::write(
             &path,
-            "{\"key\":\"0000000000000007\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n\
-             {\"schema\":1,\"key\":\"0000000000000008\",\"verdict\":\"nondeterministic\",\"detail\":\"\",\"resources\":1}\n\
-             {\"schema\":2,\"key\":\"0000000000000009\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}\n",
+            format!(
+                "{{\"key\":\"0000000000000007\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n\
+                 {{\"schema\":1,\"key\":\"0000000000000008\",\"verdict\":\"nondeterministic\",\"detail\":\"\",\"resources\":1}}\n\
+                 {{\"schema\":2,\"key\":\"000000000000000a\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n\
+                 {{\"schema\":{v},\"key\":\"0000000000000009\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n"
+            ),
         )
         .unwrap();
         let cache = VerdictCache::open(&path).unwrap();

@@ -66,6 +66,11 @@ pub struct AnalysisCounters {
     pub grounded_nodes: u64,
     /// Grounding requests answered by an already-grounded node.
     pub grounded_reused: u64,
+    /// Metadata operations (`chown`/`chgrp`/`chmod`) in the analyzed
+    /// programs (zero when the metadata model is off).
+    pub meta_ops: usize,
+    /// Paths whose metadata the encoding tracked.
+    pub meta_tracked_paths: usize,
 }
 
 impl AnalysisCounters {
@@ -95,6 +100,8 @@ impl From<&rehearsal_core::DeterminismStats> for AnalysisCounters {
             solver_propagations: stats.solver_propagations,
             grounded_nodes: stats.grounded_nodes,
             grounded_reused: stats.grounded_reused,
+            meta_ops: stats.meta_ops,
+            meta_tracked_paths: stats.meta_tracked_paths,
         }
     }
 }
@@ -285,6 +292,8 @@ fn row_json(row: &JobResult) -> Json {
                     "grounding_reuse_ratio",
                     Json::Num((c.grounding_reuse_ratio() * 10000.0).round() / 10000.0),
                 ),
+                ("meta_ops", Json::num(c.meta_ops as u32)),
+                ("meta_tracked_paths", Json::num(c.meta_tracked_paths as u32)),
             ]),
         ),
     ])

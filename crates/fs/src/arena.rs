@@ -133,7 +133,8 @@ impl IrStore {
             | PredNode::DoesNotExist(_)
             | PredNode::IsFile(_)
             | PredNode::IsDir(_)
-            | PredNode::IsEmptyDir(_) => 1,
+            | PredNode::IsEmptyDir(_)
+            | PredNode::MetaIs(_, _, _) => 1,
             PredNode::And(a, b) | PredNode::Or(a, b) => {
                 1 + self.preds[a.index() as usize].size + self.preds[b.index() as usize].size
             }
@@ -160,7 +161,8 @@ impl IrStore {
             | ExprNode::Mkdir(_)
             | ExprNode::CreateFile(_, _)
             | ExprNode::Rm(_)
-            | ExprNode::Cp(_, _) => 1,
+            | ExprNode::Cp(_, _)
+            | ExprNode::ChMeta(_, _, _) => 1,
             ExprNode::Seq(a, b) => {
                 1 + self.exprs[a.index() as usize].size + self.exprs[b.index() as usize].size
             }
@@ -244,7 +246,8 @@ impl IrStore {
                 PredNode::DoesNotExist(p)
                 | PredNode::IsFile(p)
                 | PredNode::IsDir(p)
-                | PredNode::IsEmptyDir(p) => Arc::new(BTreeSet::from([p])),
+                | PredNode::IsEmptyDir(p)
+                | PredNode::MetaIs(p, _, _) => Arc::new(BTreeSet::from([p])),
                 PredNode::And(a, b) | PredNode::Or(a, b) => merge_sets(
                     self.cached_pred_paths(a.index()),
                     self.cached_pred_paths(b.index()),
@@ -292,9 +295,10 @@ impl IrStore {
             }
             let set = match node {
                 ExprNode::Skip | ExprNode::Error => Arc::new(BTreeSet::new()),
-                ExprNode::Mkdir(p) | ExprNode::CreateFile(p, _) | ExprNode::Rm(p) => {
-                    Arc::new(BTreeSet::from([p]))
-                }
+                ExprNode::Mkdir(p)
+                | ExprNode::CreateFile(p, _)
+                | ExprNode::Rm(p)
+                | ExprNode::ChMeta(p, _, _) => Arc::new(BTreeSet::from([p])),
                 ExprNode::Cp(a, b) => Arc::new(BTreeSet::from([a, b])),
                 ExprNode::Seq(a, b) => merge_sets(
                     self.cached_expr_paths(a.index()),

@@ -17,6 +17,7 @@
 //! deep with child *handles* in place of the old boxed subtrees.
 
 use crate::arena::{read_ir, with_ir};
+use crate::meta::MetaField;
 use crate::path::{Content, FsPath};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -71,6 +72,10 @@ pub enum PredNode {
     IsDir(FsPath),
     /// `emptydir?(p)` — the path is a directory with no children.
     IsEmptyDir(FsPath),
+    /// `meta_is(p, field, v)` — the path exists and its metadata `field`
+    /// is managed to exactly `v`. False when the path is absent or the
+    /// field is unmanaged.
+    MetaIs(FsPath, MetaField, Content),
     /// Conjunction.
     And(Pred, Pred),
     /// Disjunction.
@@ -96,7 +101,12 @@ pub enum ExprNode {
     Rm(FsPath),
     /// `cp(src, dst)` — copy file `src` to `dst`; `src` must be a file, the
     /// parent of `dst` must be a directory, and `dst` must not exist.
+    /// The destination's metadata starts [`Unmanaged`](crate::MetaValue),
+    /// like any freshly created path.
     Cp(FsPath, FsPath),
+    /// `chmeta(p, field, v)` — manage one metadata field of an existing
+    /// path (the `chown`/`chgrp`/`chmod` family); `p` must exist.
+    ChMeta(FsPath, MetaField, Content),
     /// Sequencing.
     Seq(Expr, Expr),
     /// Conditional.
@@ -137,6 +147,11 @@ impl PredId {
     /// `emptydir?(p)`.
     pub fn is_empty_dir(p: FsPath) -> Pred {
         Pred::intern(PredNode::IsEmptyDir(p))
+    }
+
+    /// `meta_is(p, field, v)` — `p` exists and `field` is managed to `v`.
+    pub fn meta_is(p: FsPath, field: MetaField, v: Content) -> Pred {
+        Pred::intern(PredNode::MetaIs(p, field, v))
     }
 
     /// Conjunction with constant folding.
@@ -202,6 +217,9 @@ impl fmt::Display for PredId {
             PredNode::IsFile(p) => write!(f, "file?({p})"),
             PredNode::IsDir(p) => write!(f, "dir?({p})"),
             PredNode::IsEmptyDir(p) => write!(f, "emptydir?({p})"),
+            PredNode::MetaIs(p, field, v) => {
+                write!(f, "{field}?({p}, {:?})", v.as_string())
+            }
             PredNode::And(a, b) => write!(f, "({a} ∧ {b})"),
             PredNode::Or(a, b) => write!(f, "({a} ∨ {b})"),
             PredNode::Not(a) => write!(f, "¬{a}"),
@@ -239,6 +257,27 @@ impl ExprId {
     /// `cp(src, dst)`.
     pub fn cp(src: FsPath, dst: FsPath) -> Expr {
         Expr::intern(ExprNode::Cp(src, dst))
+    }
+
+    /// `chown(p, owner)` — manage the owner of an existing path.
+    pub fn chown(p: FsPath, owner: Content) -> Expr {
+        Expr::intern(ExprNode::ChMeta(p, MetaField::Owner, owner))
+    }
+
+    /// `chgrp(p, group)` — manage the group of an existing path.
+    pub fn chgrp(p: FsPath, group: Content) -> Expr {
+        Expr::intern(ExprNode::ChMeta(p, MetaField::Group, group))
+    }
+
+    /// `chmod(p, mode)` — manage the mode of an existing path.
+    pub fn chmod(p: FsPath, mode: Content) -> Expr {
+        Expr::intern(ExprNode::ChMeta(p, MetaField::Mode, mode))
+    }
+
+    /// `chmeta(p, field, v)` — the generic form of
+    /// [`chown`](Expr::chown)/[`chgrp`](Expr::chgrp)/[`chmod`](Expr::chmod).
+    pub fn chmeta(p: FsPath, field: MetaField, v: Content) -> Expr {
+        Expr::intern(ExprNode::ChMeta(p, field, v))
     }
 
     /// Sequencing with unit and error short-circuiting.
@@ -317,6 +356,14 @@ impl fmt::Display for ExprId {
             ExprNode::CreateFile(p, c) => write!(f, "creat({p}, {:?})", c.as_string()),
             ExprNode::Rm(p) => write!(f, "rm({p})"),
             ExprNode::Cp(p1, p2) => write!(f, "cp({p1}, {p2})"),
+            ExprNode::ChMeta(p, field, v) => {
+                let op = match field {
+                    MetaField::Owner => "chown",
+                    MetaField::Group => "chgrp",
+                    MetaField::Mode => "chmod",
+                };
+                write!(f, "{op}({p}, {:?})", v.as_string())
+            }
             ExprNode::Seq(a, b) => write!(f, "{a}; {b}"),
             ExprNode::If(p, a, b) => {
                 if b == Expr::SKIP {

@@ -17,9 +17,9 @@ use std::collections::BTreeSet;
 /// All per-path possibilities for enumeration: absent, a directory, or a
 /// file with one of the given contents.
 fn per_path_states(contents: &[Content]) -> Vec<Option<FileState>> {
-    let mut out = vec![None, Some(FileState::Dir)];
+    let mut out = vec![None, Some(FileState::DIR)];
     for &c in contents {
-        out.push(Some(FileState::File(c)));
+        out.push(Some(FileState::file(c)));
     }
     out
 }
@@ -28,6 +28,12 @@ fn per_path_states(contents: &[Content]) -> Vec<Option<FileState>> {
 ///
 /// The number of states is `(2 + contents.len())^paths.len()`; keep both
 /// small. Intended for tests and baselines.
+///
+/// Metadata is enumerated as all-[`Unmanaged`](crate::MetaValue::Unmanaged):
+/// managed metadata only ever arises from `chown`/`chgrp`/`chmod` steps of
+/// the programs under test, which is sufficient to distinguish programs
+/// that write different metadata (the oracle replays the writes) though
+/// not ones that only *read* pre-managed metadata.
 ///
 /// # Examples
 ///

@@ -4,6 +4,7 @@
 //! `rehearsal-core` must agree with; property tests enforce the agreement.
 
 use crate::ast::{Expr, ExprNode, Pred, PredNode};
+use crate::meta::MetaValue;
 use crate::state::{FileState, FileSystem};
 use std::fmt;
 
@@ -28,6 +29,10 @@ pub fn eval_pred(pred: Pred, fs: &FileSystem) -> bool {
         PredNode::IsFile(p) => fs.is_file(p),
         PredNode::IsDir(p) => fs.is_dir(p),
         PredNode::IsEmptyDir(p) => fs.is_empty_dir(p),
+        PredNode::MetaIs(p, field, v) => fs
+            .meta(p)
+            .map(|m| m.get(field) == MetaValue::Set(v))
+            .unwrap_or(false),
         PredNode::And(a, b) => eval_pred(a, fs) && eval_pred(b, fs),
         PredNode::Or(a, b) => eval_pred(a, fs) || eval_pred(b, fs),
         PredNode::Not(a) => !eval_pred(a, fs),
@@ -61,7 +66,7 @@ pub fn eval(expr: Expr, fs: &FileSystem) -> Result<FileSystem, ExecError> {
         ExprNode::Mkdir(p) => {
             let parent = p.parent().ok_or(ExecError)?;
             if fs.is_dir(parent) && fs.not_exists(p) {
-                Ok(fs.clone().set(p, FileState::Dir))
+                Ok(fs.clone().set(p, FileState::DIR))
             } else {
                 Err(ExecError)
             }
@@ -69,7 +74,7 @@ pub fn eval(expr: Expr, fs: &FileSystem) -> Result<FileSystem, ExecError> {
         ExprNode::CreateFile(p, content) => {
             let parent = p.parent().ok_or(ExecError)?;
             if fs.is_dir(parent) && fs.not_exists(p) {
-                Ok(fs.clone().set(p, FileState::File(content)))
+                Ok(fs.clone().set(p, FileState::file(content)))
             } else {
                 Err(ExecError)
             }
@@ -86,10 +91,22 @@ pub fn eval(expr: Expr, fs: &FileSystem) -> Result<FileSystem, ExecError> {
         ExprNode::Cp(src, dst) => {
             let dst_parent = dst.parent().ok_or(ExecError)?;
             match fs.get(src) {
-                Some(FileState::File(content)) if fs.not_exists(dst) && fs.is_dir(dst_parent) => {
-                    Ok(fs.clone().set(dst, FileState::File(content)))
+                Some(FileState::File(content, _))
+                    if fs.not_exists(dst) && fs.is_dir(dst_parent) =>
+                {
+                    // A fresh copy starts with unmanaged metadata, like any
+                    // other newly created path.
+                    Ok(fs.clone().set(dst, FileState::file(content)))
                 }
                 _ => Err(ExecError),
+            }
+        }
+        ExprNode::ChMeta(p, field, v) => {
+            let mut out = fs.clone();
+            if out.set_meta_field(p, field, v) {
+                Ok(out)
+            } else {
+                Err(ExecError)
             }
         }
         ExprNode::Seq(a, b) => {
@@ -141,7 +158,7 @@ mod tests {
 
     #[test]
     fn mkdir_rejects_existing() {
-        let fs = FileSystem::with_root().set(p("/a"), FileState::File(c("x")));
+        let fs = FileSystem::with_root().set(p("/a"), FileState::file(c("x")));
         assert!(eval(Expr::mkdir(p("/a")), &fs).is_err());
     }
 
@@ -155,17 +172,17 @@ mod tests {
         let fs = FileSystem::with_root();
         let e = Expr::create_file(p("/f"), c("hello"));
         let fs2 = eval(e, &fs).unwrap();
-        assert_eq!(fs2.get(p("/f")), Some(FileState::File(c("hello"))));
+        assert_eq!(fs2.get(p("/f")), Some(FileState::file(c("hello"))));
         assert!(eval(e, &fs2).is_err(), "creat on existing path errors");
     }
 
     #[test]
     fn rm_file_and_empty_dir() {
         let fs = FileSystem::with_root()
-            .set(p("/f"), FileState::File(c("x")))
-            .set(p("/d"), FileState::Dir)
-            .set(p("/d2"), FileState::Dir)
-            .set(p("/d2/inner"), FileState::Dir);
+            .set(p("/f"), FileState::file(c("x")))
+            .set(p("/d"), FileState::DIR)
+            .set(p("/d2"), FileState::DIR)
+            .set(p("/d2/inner"), FileState::DIR);
         assert!(eval(Expr::rm(p("/f")), &fs).unwrap().not_exists(p("/f")));
         assert!(eval(Expr::rm(p("/d")), &fs).unwrap().not_exists(p("/d")));
         assert!(eval(Expr::rm(p("/d2")), &fs).is_err(), "non-empty dir");
@@ -174,13 +191,13 @@ mod tests {
 
     #[test]
     fn cp_copies_content() {
-        let fs = FileSystem::with_root().set(p("/src"), FileState::File(c("data")));
+        let fs = FileSystem::with_root().set(p("/src"), FileState::file(c("data")));
         let fs2 = eval(Expr::cp(p("/src"), p("/dst")), &fs).unwrap();
-        assert_eq!(fs2.get(p("/dst")), Some(FileState::File(c("data"))));
+        assert_eq!(fs2.get(p("/dst")), Some(FileState::file(c("data"))));
         // Copy onto existing destination errors.
         assert!(eval(Expr::cp(p("/src"), p("/dst")), &fs2).is_err());
         // Copy from a directory errors.
-        let fs3 = FileSystem::with_root().set(p("/srcdir"), FileState::Dir);
+        let fs3 = FileSystem::with_root().set(p("/srcdir"), FileState::DIR);
         assert!(eval(Expr::cp(p("/srcdir"), p("/y")), &fs3).is_err());
     }
 
@@ -206,7 +223,7 @@ mod tests {
     #[test]
     fn paper_example_copy_then_delete_is_not_idempotent() {
         // file{"/dst": source => "/src"}; file{"/src": ensure => absent}
-        let fs = FileSystem::with_root().set(p("/src"), FileState::File(c("s")));
+        let fs = FileSystem::with_root().set(p("/src"), FileState::file(c("s")));
         let e = Expr::cp(p("/src"), p("/dst")).seq(Expr::rm(p("/src")));
         let once = eval(e, &fs).unwrap();
         assert!(once.is_file(p("/dst")) && once.not_exists(p("/src")));
@@ -215,15 +232,98 @@ mod tests {
 
     #[test]
     fn emptydir_pred_sees_unrelated_children() {
-        let fs = FileSystem::with_root().set(p("/d"), FileState::Dir);
+        let fs = FileSystem::with_root().set(p("/d"), FileState::DIR);
         assert!(eval_pred(Pred::is_empty_dir(p("/d")), &fs));
-        let fs2 = fs.set(p("/d/child"), FileState::File(c("x")));
+        let fs2 = fs.set(p("/d/child"), FileState::file(c("x")));
         assert!(!eval_pred(Pred::is_empty_dir(p("/d")), &fs2));
     }
 
     #[test]
+    fn chmeta_requires_existence_and_is_idempotent() {
+        use crate::meta::MetaValue;
+        let f = p("/perm/f");
+        let fs = FileSystem::with_root()
+            .set(p("/perm"), FileState::DIR)
+            .set(f, FileState::file(c("x")));
+        // chown/chgrp/chmod on a missing path error.
+        assert!(eval(Expr::chown(p("/missing"), c("root")), &fs).is_err());
+        // On an existing file they manage the field and are idempotent.
+        let owned = eval(Expr::chown(f, c("root")), &fs).unwrap();
+        assert_eq!(owned.meta(f).unwrap().owner, MetaValue::Set(c("root")));
+        assert_eq!(eval(Expr::chown(f, c("root")), &owned).unwrap(), owned);
+        // Directories take metadata too.
+        let dmode = eval(Expr::chmod(p("/perm"), c("0755")), &fs).unwrap();
+        assert_eq!(
+            dmode.meta(p("/perm")).unwrap().mode,
+            MetaValue::Set(c("0755"))
+        );
+        // Fields are independent.
+        let both = eval(Expr::chgrp(f, c("www")), &owned).unwrap();
+        let m = both.meta(f).unwrap();
+        assert_eq!(m.owner, MetaValue::Set(c("root")));
+        assert_eq!(m.group, MetaValue::Set(c("www")));
+        assert_eq!(m.mode, MetaValue::Unmanaged);
+    }
+
+    #[test]
+    fn meta_is_observes_managed_fields_only() {
+        use crate::meta::MetaField;
+        let f = p("/mi/f");
+        let fs = FileSystem::with_root()
+            .set(p("/mi"), FileState::DIR)
+            .set(f, FileState::file(c("x")));
+        let is_root = Pred::meta_is(f, MetaField::Owner, c("root"));
+        assert!(!eval_pred(is_root, &fs), "unmanaged owner is not 'root'");
+        let owned = eval(Expr::chown(f, c("root")), &fs).unwrap();
+        assert!(eval_pred(is_root, &owned));
+        assert!(!eval_pred(
+            Pred::meta_is(f, MetaField::Owner, c("carol")),
+            &owned
+        ));
+        // Absent paths satisfy no meta_is.
+        assert!(!eval_pred(
+            Pred::meta_is(p("/mi/gone"), MetaField::Owner, c("root")),
+            &owned
+        ));
+    }
+
+    #[test]
+    fn creation_resets_metadata_to_unmanaged() {
+        let f = p("/reset/f");
+        let fs = FileSystem::with_root().set(p("/reset"), FileState::DIR);
+        let made = eval(Expr::create_file(f, c("v")), &fs).unwrap();
+        let owned = eval(Expr::chown(f, c("root")), &made).unwrap();
+        // rm then creat: the fresh file starts unmanaged again.
+        let recreated = eval(Expr::rm(f).seq(Expr::create_file(f, c("v"))), &owned).unwrap();
+        assert!(recreated.meta(f).unwrap().is_unmanaged());
+        assert_eq!(recreated, made);
+        // cp does not copy the source's metadata.
+        let copied = eval(Expr::cp(f, p("/reset/g")), &owned).unwrap();
+        assert!(copied.meta(p("/reset/g")).unwrap().is_unmanaged());
+    }
+
+    #[test]
+    fn chmod_order_matters_on_same_path() {
+        let f = p("/order/f");
+        let fs = FileSystem::with_root()
+            .set(p("/order"), FileState::DIR)
+            .set(f, FileState::file(c("x")));
+        let a = eval(
+            Expr::chmod(f, c("0644")).seq(Expr::chmod(f, c("0755"))),
+            &fs,
+        )
+        .unwrap();
+        let b = eval(
+            Expr::chmod(f, c("0755")).seq(Expr::chmod(f, c("0644"))),
+            &fs,
+        )
+        .unwrap();
+        assert_ne!(a, b, "last chmod wins — orders are observable");
+    }
+
+    #[test]
     fn boolean_connectives() {
-        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c("x")));
+        let fs = FileSystem::with_root().set(p("/f"), FileState::file(c("x")));
         let pr = Pred::is_file(p("/f")).and(Pred::is_dir(FsPath::root()));
         assert!(eval_pred(pr, &fs));
         let pr2 = Pred::is_dir(p("/f")).or(Pred::is_file(p("/f")));

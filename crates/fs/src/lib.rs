@@ -9,6 +9,8 @@
 //! * [`FsPath`], [`Content`] — interned paths and file contents;
 //! * [`Pred`], [`Expr`] — `Copy` handles into the hash-consing IR arena;
 //!   [`PredNode`], [`ExprNode`] — one level of structure for matching;
+//! * [`Meta`], [`MetaField`], [`MetaValue`] — the (owner, group, mode)
+//!   metadata triple of present paths, `Unmanaged` by default;
 //! * [`FileSystem`], [`FileState`] — concrete states `σ`;
 //! * [`eval`], [`eval_pred`] — the concrete big-step semantics;
 //! * [`enumerate_filesystems`], [`check_equiv_brute_force`] — exhaustive
@@ -48,6 +50,7 @@ mod ast;
 mod enumerate;
 mod eval;
 mod intern;
+mod meta;
 mod path;
 mod state;
 mod statefile;
@@ -56,6 +59,7 @@ pub use arena::{arena_stats, ArenaStats};
 pub use ast::{Expr, ExprId, ExprNode, Pred, PredId, PredNode};
 pub use enumerate::{check_equiv_brute_force, enumerate_filesystems, observe, Outcome};
 pub use eval::{eval, eval_pred, ExecError};
+pub use meta::{Meta, MetaField, MetaValue};
 pub use path::{Content, FsPath, ParsePathError};
 pub use state::{FileState, FileSystem};
 pub use statefile::{parse_state, render_state, StateParseError};

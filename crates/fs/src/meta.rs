@@ -1,0 +1,182 @@
+//! Path metadata: owner, group, and mode.
+//!
+//! The paper's filesystem abstraction maps every path to
+//! `{File(content), Dir, Absent}` and silently drops `owner`/`group`/`mode`
+//! attributes, so a `file` resource and a chown/chmod-style effect racing
+//! over the same path's permissions are invisible to the checker. The
+//! metadata-aware model extends the state to `{File(content, meta),
+//! Dir(meta), Absent}` where `meta` is an interned `(owner, group, mode)`
+//! triple.
+//!
+//! Every field defaults to [`MetaValue::Unmanaged`] — "whatever the real
+//! system has; nothing in the manifest constrains it". Unannotated
+//! manifests therefore keep bit-identical verdicts: no operation writes a
+//! managed value, all metadata stays `Unmanaged`, and states compare
+//! exactly as before.
+
+use crate::path::Content;
+use std::fmt;
+
+/// One metadata field of a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetaField {
+    /// The owning user.
+    Owner,
+    /// The owning group.
+    Group,
+    /// The permission mode (e.g. `"0644"`).
+    Mode,
+}
+
+impl MetaField {
+    /// All fields, in the canonical (owner, group, mode) order.
+    pub const ALL: [MetaField; 3] = [MetaField::Owner, MetaField::Group, MetaField::Mode];
+
+    /// The canonical index of this field within [`MetaField::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            MetaField::Owner => 0,
+            MetaField::Group => 1,
+            MetaField::Mode => 2,
+        }
+    }
+}
+
+impl fmt::Display for MetaField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaField::Owner => write!(f, "owner"),
+            MetaField::Group => write!(f, "group"),
+            MetaField::Mode => write!(f, "mode"),
+        }
+    }
+}
+
+/// The value of one metadata field: either unmanaged (the default — the
+/// manifest says nothing about it) or managed to an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetaValue {
+    /// The manifest does not manage this field; the real system's value
+    /// (whatever it is) persists.
+    Unmanaged,
+    /// The field is managed to this interned value.
+    Set(Content),
+}
+
+impl fmt::Display for MetaValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaValue::Unmanaged => write!(f, "·"),
+            MetaValue::Set(c) => write!(f, "{:?}", c.as_string()),
+        }
+    }
+}
+
+/// The `(owner, group, mode)` triple of a present path. Fields hold
+/// interned handles, so the whole triple is `Copy` and comparisons are
+/// integer compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Meta {
+    /// The owning user.
+    pub owner: MetaValue,
+    /// The owning group.
+    pub group: MetaValue,
+    /// The permission mode.
+    pub mode: MetaValue,
+}
+
+impl Meta {
+    /// The default metadata: every field unmanaged. Freshly created paths
+    /// (`mkdir`, `creat`, `cp` destinations) start here, which is what
+    /// keeps unannotated manifests bit-identical to the metadata-free
+    /// model.
+    pub const UNMANAGED: Meta = Meta {
+        owner: MetaValue::Unmanaged,
+        group: MetaValue::Unmanaged,
+        mode: MetaValue::Unmanaged,
+    };
+
+    /// Whether every field is unmanaged.
+    pub fn is_unmanaged(self) -> bool {
+        self == Meta::UNMANAGED
+    }
+
+    /// The value of one field.
+    pub fn get(self, field: MetaField) -> MetaValue {
+        match field {
+            MetaField::Owner => self.owner,
+            MetaField::Group => self.group,
+            MetaField::Mode => self.mode,
+        }
+    }
+
+    /// A copy with one field managed to `value`.
+    #[must_use]
+    pub fn with(mut self, field: MetaField, value: Content) -> Meta {
+        match field {
+            MetaField::Owner => self.owner = MetaValue::Set(value),
+            MetaField::Group => self.group = MetaValue::Set(value),
+            MetaField::Mode => self.mode = MetaValue::Set(value),
+        }
+        self
+    }
+}
+
+impl Default for Meta {
+    fn default() -> Meta {
+        Meta::UNMANAGED
+    }
+}
+
+impl fmt::Display for Meta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for field in MetaField::ALL {
+            if let MetaValue::Set(c) = self.get(field) {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{field}={}", c.as_string())?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmanaged_is_default() {
+        assert_eq!(Meta::default(), Meta::UNMANAGED);
+        assert!(Meta::UNMANAGED.is_unmanaged());
+    }
+
+    #[test]
+    fn with_sets_one_field() {
+        let root = Content::intern("root");
+        let m = Meta::UNMANAGED.with(MetaField::Owner, root);
+        assert_eq!(m.get(MetaField::Owner), MetaValue::Set(root));
+        assert_eq!(m.get(MetaField::Group), MetaValue::Unmanaged);
+        assert_eq!(m.get(MetaField::Mode), MetaValue::Unmanaged);
+        assert!(!m.is_unmanaged());
+    }
+
+    #[test]
+    fn field_indices_match_all_order() {
+        for (i, f) in MetaField::ALL.into_iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_lists_managed_fields_only() {
+        let m = Meta::UNMANAGED
+            .with(MetaField::Owner, Content::intern("root"))
+            .with(MetaField::Mode, Content::intern("0644"));
+        assert_eq!(m.to_string(), "owner=root, mode=0644");
+        assert_eq!(Meta::UNMANAGED.to_string(), "");
+    }
+}

@@ -2,27 +2,63 @@
 //!
 //! A filesystem (`σ` in the paper) is a finite map from paths to file
 //! states. Absent paths "do not exist"; present paths are directories or
-//! files with interned content.
+//! files with interned content. Every present path additionally carries a
+//! [`Meta`] triple (owner, group, mode) whose fields default to
+//! [`Unmanaged`](crate::MetaValue::Unmanaged) — so states built without
+//! metadata compare exactly as they did in the metadata-free model.
 
+use crate::meta::{Meta, MetaField};
 use crate::path::{Content, FsPath};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The state of one path: a directory or a file with contents.
+/// The state of one path: a directory or a file with contents, plus its
+/// metadata triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FileState {
     /// A directory.
-    Dir,
+    Dir(Meta),
     /// A regular file with the given content.
-    File(Content),
+    File(Content, Meta),
+}
+
+impl FileState {
+    /// A directory with unmanaged metadata (the common case).
+    pub const DIR: FileState = FileState::Dir(Meta::UNMANAGED);
+
+    /// A file with unmanaged metadata.
+    pub fn file(content: Content) -> FileState {
+        FileState::File(content, Meta::UNMANAGED)
+    }
+
+    /// This state's metadata triple.
+    pub fn meta(self) -> Meta {
+        match self {
+            FileState::Dir(m) | FileState::File(_, m) => m,
+        }
+    }
+
+    /// A copy with the metadata replaced.
+    #[must_use]
+    pub fn with_meta(self, meta: Meta) -> FileState {
+        match self {
+            FileState::Dir(_) => FileState::Dir(meta),
+            FileState::File(c, _) => FileState::File(c, meta),
+        }
+    }
 }
 
 impl fmt::Display for FileState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let meta = self.meta();
         match self {
-            FileState::Dir => write!(f, "dir"),
-            FileState::File(c) => write!(f, "file({:?})", c.as_string()),
+            FileState::Dir(_) => write!(f, "dir")?,
+            FileState::File(c, _) => write!(f, "file({:?})", c.as_string())?,
         }
+        if !meta.is_unmanaged() {
+            write!(f, " [{meta}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -33,7 +69,7 @@ impl fmt::Display for FileState {
 /// ```
 /// use rehearsal_fs::{FileSystem, FileState, FsPath, Content};
 /// let etc = FsPath::parse("/etc")?;
-/// let fs = FileSystem::with_root().set(etc, FileState::Dir);
+/// let fs = FileSystem::with_root().set(etc, FileState::DIR);
 /// assert!(fs.is_dir(etc));
 /// assert!(fs.is_empty_dir(etc));
 /// assert!(fs.not_exists(etc.join("hosts")));
@@ -52,7 +88,7 @@ impl FileSystem {
 
     /// A filesystem containing only the root directory.
     pub fn with_root() -> FileSystem {
-        FileSystem::new().set(FsPath::root(), FileState::Dir)
+        FileSystem::new().set(FsPath::root(), FileState::DIR)
     }
 
     /// Returns a copy with `path` set to `state` (builder style).
@@ -77,14 +113,31 @@ impl FileSystem {
         self.entries.get(&path).copied()
     }
 
+    /// The metadata of `path`, if present.
+    pub fn meta(&self, path: FsPath) -> Option<Meta> {
+        self.get(path).map(FileState::meta)
+    }
+
+    /// Manages one metadata field of an existing path in place. Returns
+    /// `false` (and does nothing) when the path is absent.
+    pub fn set_meta_field(&mut self, path: FsPath, field: MetaField, value: Content) -> bool {
+        match self.entries.get_mut(&path) {
+            Some(state) => {
+                *state = state.with_meta(state.meta().with(field, value));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// `file?(p)`.
     pub fn is_file(&self, path: FsPath) -> bool {
-        matches!(self.get(path), Some(FileState::File(_)))
+        matches!(self.get(path), Some(FileState::File(_, _)))
     }
 
     /// `dir?(p)`.
     pub fn is_dir(&self, path: FsPath) -> bool {
-        matches!(self.get(path), Some(FileState::Dir))
+        matches!(self.get(path), Some(FileState::Dir(_)))
     }
 
     /// `none?(p)`.
@@ -162,8 +215,8 @@ mod tests {
     #[test]
     fn basic_queries() {
         let fs = FileSystem::with_root()
-            .set(p("/etc"), FileState::Dir)
-            .set(p("/etc/hosts"), FileState::File(Content::intern("hosts")));
+            .set(p("/etc"), FileState::DIR)
+            .set(p("/etc/hosts"), FileState::file(Content::intern("hosts")));
         assert!(fs.is_dir(p("/etc")));
         assert!(fs.is_file(p("/etc/hosts")));
         assert!(fs.not_exists(p("/usr")));
@@ -173,9 +226,9 @@ mod tests {
 
     #[test]
     fn empty_dir_detection() {
-        let fs = FileSystem::with_root().set(p("/tmp"), FileState::Dir);
+        let fs = FileSystem::with_root().set(p("/tmp"), FileState::DIR);
         assert!(fs.is_empty_dir(p("/tmp")));
-        let fs2 = fs.set(p("/tmp/x"), FileState::Dir);
+        let fs2 = fs.set(p("/tmp/x"), FileState::DIR);
         assert!(!fs2.is_empty_dir(p("/tmp")));
         // A grandchild alone does not affect emptiness of the grandparent's
         // *immediate* children check, but /tmp still has child /tmp/x.
@@ -185,8 +238,8 @@ mod tests {
     #[test]
     fn restrict_drops_other_paths() {
         let fs = FileSystem::with_root()
-            .set(p("/a"), FileState::Dir)
-            .set(p("/b"), FileState::Dir);
+            .set(p("/a"), FileState::DIR)
+            .set(p("/b"), FileState::DIR);
         let keep: std::collections::BTreeSet<FsPath> = [p("/a")].into_iter().collect();
         let r = fs.restrict(&keep);
         assert_eq!(r.len(), 1);
@@ -198,5 +251,24 @@ mod tests {
     fn display_contains_entries() {
         let fs = FileSystem::with_root();
         assert!(fs.to_string().contains("/ = dir"));
+    }
+
+    #[test]
+    fn meta_defaults_to_unmanaged_and_compares() {
+        let fs = FileSystem::with_root().set(p("/f"), FileState::file(Content::intern("x")));
+        assert!(fs.meta(p("/f")).unwrap().is_unmanaged());
+        let mut chowned = fs.clone();
+        assert!(chowned.set_meta_field(p("/f"), MetaField::Owner, Content::intern("root")));
+        assert_ne!(fs, chowned, "managed metadata is observable");
+        assert!(!chowned.set_meta_field(p("/missing"), MetaField::Owner, Content::intern("x")));
+    }
+
+    #[test]
+    fn display_shows_managed_meta() {
+        let fs = FileSystem::with_root().set(
+            p("/d"),
+            FileState::Dir(Meta::UNMANAGED.with(MetaField::Mode, Content::intern("0755"))),
+        );
+        assert!(fs.to_string().contains("dir [mode=0755]"), "{fs}");
     }
 }

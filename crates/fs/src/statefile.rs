@@ -5,11 +5,18 @@
 //! # comment
 //! /etc          dir
 //! /etc/hosts    file 127.0.0.1 localhost
+//! /var/www      dir[owner=www-data,mode=0755]
 //! ```
 //!
 //! One entry per line: an absolute path, whitespace, `dir` or
 //! `file <content…>` (content runs to end of line; `\n` and `\\` escapes).
+//! Managed metadata renders as a bracketed `[owner=…,group=…,mode=…]`
+//! suffix on the kind keyword (fields are optional; unmanaged fields are
+//! simply omitted). Metadata values escape the syntax-significant
+//! characters — `\\` (backslash), `\c` (comma), `\b` (`]`), `\s` (space),
+//! `\t`, `\n` — so any value round-trips.
 
+use crate::meta::{Meta, MetaField, MetaValue};
 use crate::path::{Content, FsPath};
 use crate::state::{FileState, FileSystem};
 use std::fmt;
@@ -85,26 +92,129 @@ pub fn parse_state(text: &str) -> Result<FileSystem, StateParseError> {
             .ok_or_else(|| err("expected '<path> dir' or '<path> file <content>'".into()))?;
         let path = FsPath::parse(path_text).map_err(|e| err(e.to_string()))?;
         let rest = rest.trim_start();
-        if rest == "dir" {
-            fs.insert(path, FileState::Dir);
-        } else if let Some(content) = rest.strip_prefix("file") {
-            let content = content.strip_prefix(' ').unwrap_or(content);
-            fs.insert(path, FileState::File(Content::intern(&unescape(content))));
-        } else {
-            return Err(err(format!("expected 'dir' or 'file …', found {rest:?}")));
+        let (kind, rest) = match rest.split_once(char::is_whitespace) {
+            Some((kind, tail)) => (kind, tail),
+            None => (rest, ""),
+        };
+        let (kind, meta) = match kind.split_once('[') {
+            Some((bare, bracketed)) => {
+                let body = bracketed
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(format!("unterminated metadata in {kind:?}")))?;
+                (bare, parse_meta(body).map_err(err)?)
+            }
+            None => (kind, Meta::UNMANAGED),
+        };
+        match kind {
+            "dir" if rest.trim().is_empty() => {
+                fs.insert(path, FileState::Dir(meta));
+            }
+            "dir" => {
+                return Err(err(format!("unexpected text after 'dir': {rest:?}")));
+            }
+            "file" => {
+                // `split_once` already consumed the single separator space;
+                // the remainder is the content verbatim.
+                fs.insert(
+                    path,
+                    FileState::File(Content::intern(&unescape(rest)), meta),
+                );
+            }
+            other => {
+                return Err(err(format!("expected 'dir' or 'file …', found {other:?}")));
+            }
         }
     }
     Ok(fs)
+}
+
+/// Escapes one metadata value for the bracketed syntax. The kind token
+/// runs to the first raw whitespace and the body to the closing raw `]`,
+/// with `,` separating fields — so those characters (plus the escape
+/// character itself) must never appear raw in a value.
+fn escape_meta_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ',' => out.push_str("\\c"),
+            ']' => out.push_str("\\b"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_meta_value`].
+fn unescape_meta_value(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('c') => out.push(','),
+            Some('b') => out.push(']'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => return Err(format!("unknown metadata escape '\\{other}'")),
+            None => return Err("dangling '\\' in metadata value".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the bracketed `owner=…,group=…,mode=…` body (values escaped per
+/// [`escape_meta_value`]; a raw `,` never occurs inside a value, so the
+/// field split below is exact).
+fn parse_meta(body: &str) -> Result<Meta, String> {
+    let mut meta = Meta::UNMANAGED;
+    for part in body.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected 'field=value' in metadata, found {part:?}"))?;
+        let field = match key {
+            "owner" => MetaField::Owner,
+            "group" => MetaField::Group,
+            "mode" => MetaField::Mode,
+            other => return Err(format!("unknown metadata field {other:?}")),
+        };
+        meta = meta.with(field, Content::intern(&unescape_meta_value(value)?));
+    }
+    Ok(meta)
+}
+
+/// Renders the bracketed metadata suffix (empty for unmanaged).
+fn render_meta(meta: Meta) -> String {
+    if meta.is_unmanaged() {
+        return String::new();
+    }
+    let fields: Vec<String> = MetaField::ALL
+        .into_iter()
+        .filter_map(|f| match meta.get(f) {
+            MetaValue::Set(v) => Some(format!("{f}={}", escape_meta_value(&v.as_string()))),
+            MetaValue::Unmanaged => None,
+        })
+        .collect();
+    format!("[{}]", fields.join(","))
 }
 
 /// Renders a filesystem in the state-file format ([`parse_state`] inverse).
 pub fn render_state(fs: &FileSystem) -> String {
     let mut out = String::new();
     for (p, s) in fs.iter() {
+        let meta = render_meta(s.meta());
         match s {
-            FileState::Dir => out.push_str(&format!("{p}\tdir\n")),
-            FileState::File(c) => {
-                out.push_str(&format!("{p}\tfile {}\n", escape(&c.as_string())));
+            FileState::Dir(_) => out.push_str(&format!("{p}\tdir{meta}\n")),
+            FileState::File(c, _) => {
+                out.push_str(&format!("{p}\tfile{meta} {}\n", escape(&c.as_string())));
             }
         }
     }
@@ -126,15 +236,15 @@ mod tests {
         assert!(fs.is_dir(p("/etc")));
         assert_eq!(
             fs.get(p("/etc/hosts")),
-            Some(FileState::File(Content::intern("127.0.0.1")))
+            Some(FileState::file(Content::intern("127.0.0.1")))
         );
     }
 
     #[test]
     fn roundtrip() {
         let fs = FileSystem::with_root()
-            .set(p("/a"), FileState::Dir)
-            .set(p("/a/f"), FileState::File(Content::intern("two\nlines")));
+            .set(p("/a"), FileState::DIR)
+            .set(p("/a/f"), FileState::file(Content::intern("two\nlines")));
         let text = render_state(&fs);
         let back = parse_state(&text).unwrap();
         assert_eq!(fs, back);
@@ -143,7 +253,51 @@ mod tests {
     #[test]
     fn empty_file_content() {
         let fs = parse_state("/f file\n").unwrap();
-        assert_eq!(fs.get(p("/f")), Some(FileState::File(Content::intern(""))));
+        assert_eq!(fs.get(p("/f")), Some(FileState::file(Content::intern(""))));
+    }
+
+    #[test]
+    fn metadata_roundtrips() {
+        let meta = Meta::UNMANAGED
+            .with(MetaField::Owner, Content::intern("www-data"))
+            .with(MetaField::Mode, Content::intern("0755"));
+        let fs = FileSystem::with_root()
+            .set(p("/var"), FileState::Dir(meta))
+            .set(
+                p("/var/index"),
+                FileState::File(Content::intern("hello world"), meta),
+            );
+        let text = render_state(&fs);
+        assert!(text.contains("dir[owner=www-data,mode=0755]"), "{text}");
+        let back = parse_state(&text).unwrap();
+        assert_eq!(fs, back);
+    }
+
+    #[test]
+    fn metadata_parse_errors() {
+        assert!(parse_state("/d dir[owner=root\n").is_err(), "unterminated");
+        assert!(parse_state("/d dir[size=big]\n").is_err(), "unknown field");
+        assert!(parse_state("/d dir[owner]\n").is_err(), "missing value");
+        assert!(
+            parse_state("/d dir[owner=a\\]\n").is_err(),
+            "dangling escape"
+        );
+        assert!(parse_state("/d dir[owner=a\\z]\n").is_err(), "bad escape");
+    }
+
+    #[test]
+    fn tricky_metadata_values_roundtrip() {
+        // Values containing every syntax-significant character must
+        // render to something parse_state reads back exactly.
+        for v in ["domain users", "a,b", "x]y", "back\\slash", "t\tab", "=eq="] {
+            let meta = Meta::UNMANAGED.with(MetaField::Owner, Content::intern(v));
+            let fs = FileSystem::with_root()
+                .set(p("/d"), FileState::Dir(meta))
+                .set(p("/d/f"), FileState::File(Content::intern("c"), meta));
+            let text = render_state(&fs);
+            let back = parse_state(&text).unwrap_or_else(|e| panic!("{v:?}: {e}\n{text}"));
+            assert_eq!(fs, back, "value {v:?} must roundtrip:\n{text}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use rehearsal_fs::{
     enumerate_filesystems, eval, eval_pred, Content, Expr, ExprNode, FileState, FileSystem, FsPath,
-    Pred, PredNode,
+    MetaField, Pred, PredNode,
 };
 
 /// Deterministic splitmix64 generator for test-case sampling.
@@ -53,14 +53,28 @@ fn random_content(rng: &mut Prng) -> Content {
     contents()[rng.usize(2)]
 }
 
+fn random_meta_field(rng: &mut Prng) -> MetaField {
+    MetaField::ALL[rng.usize(3)]
+}
+
+fn random_meta_value(rng: &mut Prng) -> Content {
+    let pool = ["root", "carol", "0644", "0755"];
+    Content::intern(pool[rng.usize(pool.len())])
+}
+
 fn random_pred(rng: &mut Prng, depth: usize) -> Pred {
     if depth == 0 || rng.usize(3) == 0 {
-        return match rng.usize(6) {
+        return match rng.usize(7) {
             0 => Pred::TRUE,
             1 => Pred::FALSE,
             2 => Pred::does_not_exist(random_path(rng)),
             3 => Pred::is_file(random_path(rng)),
             4 => Pred::is_dir(random_path(rng)),
+            5 => Pred::meta_is(
+                random_path(rng),
+                random_meta_field(rng),
+                random_meta_value(rng),
+            ),
             _ => Pred::is_empty_dir(random_path(rng)),
         };
     }
@@ -79,12 +93,17 @@ fn random_pred(rng: &mut Prng, depth: usize) -> Pred {
 
 fn random_expr(rng: &mut Prng, depth: usize) -> Expr {
     if depth == 0 || rng.usize(3) == 0 {
-        return match rng.usize(6) {
+        return match rng.usize(7) {
             0 => Expr::SKIP,
             1 => Expr::ERROR,
             2 => Expr::mkdir(random_path(rng)),
             3 => Expr::create_file(random_path(rng), random_content(rng)),
             4 => Expr::rm(random_path(rng)),
+            5 => Expr::chmeta(
+                random_path(rng),
+                random_meta_field(rng),
+                random_meta_value(rng),
+            ),
             _ => Expr::cp(random_path(rng), random_path(rng)),
         };
     }
@@ -108,7 +127,7 @@ fn states() -> Vec<FileSystem> {
     let all = enumerate_filesystems(&paths(), &contents()[..1]);
     for (i, fs) in all.into_iter().enumerate() {
         if i % 7 == 0 {
-            out.push(fs.set(FsPath::root(), FileState::Dir));
+            out.push(fs.set(FsPath::root(), FileState::DIR));
         }
     }
     out

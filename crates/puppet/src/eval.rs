@@ -131,6 +131,12 @@ struct Evaluator {
     stage_edges: BTreeSet<(String, String)>,
     stage_titles: BTreeSet<String>,
     current_stage: Vec<String>,
+    /// `class → stage` assignments from `class { …: stage => … }`,
+    /// resolved in `finalize` once every declaration (including realized
+    /// virtual resources) is known — resolving at declaration time made
+    /// the assignment declaration-order-dependent and silently skipped
+    /// members that were not primitive resources yet.
+    pending_stage_assignments: Vec<(String, String)>,
 }
 
 impl Evaluator {
@@ -157,6 +163,7 @@ impl Evaluator {
             stage_edges: BTreeSet::new(),
             stage_titles: ["main".to_string()].into_iter().collect(),
             current_stage: vec!["main".to_string()],
+            pending_stage_assignments: Vec::new(),
         }
     }
 
@@ -551,7 +558,7 @@ impl Evaluator {
             let class_name = title.to_string();
             self.declare_class(&class_name, &attrs, true)?;
             if let Some(stage) = &stage_param {
-                self.assign_class_stage(&class_name, stage)?;
+                self.assign_class_stage(&class_name, stage);
             }
             let gid = ("class".to_string(), class_name);
             self.record_meta_edges(&gid, &edges_out);
@@ -703,16 +710,38 @@ impl Evaluator {
         result
     }
 
-    fn assign_class_stage(&mut self, class_name: &str, stage: &str) -> Result<(), EvalError> {
-        if !self.stage_titles.contains(stage) {
-            return Err(EvalError::UnknownStage(stage.to_string()));
-        }
-        // Move every member of the class (recursively) into the stage.
-        let gid = ("class".to_string(), class_name.to_string());
-        let members = self.resolve_group(&gid)?;
-        for m in members {
-            if let Some(&idx) = self.index.get(&m) {
-                self.stage_of[idx] = stage.to_string();
+    fn assign_class_stage(&mut self, class_name: &str, stage: &str) {
+        // Deferred: the class's members are only fully known once every
+        // declaration has executed and virtual resources have been
+        // realized, so the actual move happens in `finalize` (stage
+        // existence is validated there too, making `stage` declarations
+        // order-independent). The old eager resolution silently dropped
+        // members that were missing from `self.index` at this point —
+        // e.g. virtual resources realized later — leaving them in the
+        // declaration-context stage.
+        self.pending_stage_assignments
+            .push((class_name.to_string(), stage.to_string()));
+    }
+
+    /// Applies the deferred `class → stage` assignments (see
+    /// [`Evaluator::assign_class_stage`]).
+    fn apply_stage_assignments(&mut self) -> Result<(), EvalError> {
+        let pending = std::mem::take(&mut self.pending_stage_assignments);
+        for (class_name, stage) in &pending {
+            if !self.stage_titles.contains(stage) {
+                return Err(EvalError::UnknownStage(stage.clone()));
+            }
+            // Move every member of the class (recursively) into the stage.
+            let gid = ("class".to_string(), class_name.clone());
+            for m in self.resolve_group(&gid)? {
+                match self.index.get(&m) {
+                    Some(&idx) => self.stage_of[idx] = stage.clone(),
+                    None => {
+                        // resolve_group only returns indexed ids; anything
+                        // else is a bug worth surfacing, not skipping.
+                        return Err(EvalError::UnknownReference(m.0.clone(), m.1.clone()));
+                    }
+                }
             }
         }
         Ok(())
@@ -881,6 +910,10 @@ impl Evaluator {
                 self.group_stack = saved_groups;
             }
         }
+
+        // 1b. Resolve deferred stage assignments now that every member —
+        //     including just-realized virtual resources — is indexed.
+        self.apply_stage_assignments()?;
 
         // 2. Apply resource defaults (attributes only present if not set).
         let defaults = std::mem::take(&mut self.defaults);
@@ -1379,6 +1412,59 @@ mod tests {
         let base = c.find("package", "base").unwrap();
         let web = c.find("package", "web").unwrap();
         assert!(c.edges().contains(&(base, web)));
+    }
+
+    #[test]
+    fn stage_assignment_covers_later_realized_members() {
+        // The class's virtual resource is realized *after* the stage
+        // assignment executes; eager resolution used to leave it in
+        // 'main', losing the pre → main ordering edge.
+        let src = r#"
+            stage { 'pre': before => Stage['main'] }
+            class setup {
+              package { 'base': }
+              @package { 'extra': }
+            }
+            class { 'setup': stage => 'pre' }
+            package { 'web': }
+            realize(Package['extra'])
+        "#;
+        let c = eval_src(src);
+        let base = c.find("package", "base").unwrap();
+        let extra = c.find("package", "extra").unwrap();
+        let web = c.find("package", "web").unwrap();
+        assert!(c.edges().contains(&(base, web)), "eager member ordered");
+        assert!(
+            c.edges().contains(&(extra, web)),
+            "realized member lands in the assigned stage too"
+        );
+    }
+
+    #[test]
+    fn stage_declared_after_assignment_still_works() {
+        // Declaration order of the stage resource itself no longer
+        // matters: validation happens at finalize.
+        let src = r#"
+            class setup { package { 'base': } }
+            class { 'setup': stage => 'pre' }
+            package { 'web': }
+            stage { 'pre': before => Stage['main'] }
+        "#;
+        let c = eval_src(src);
+        let base = c.find("package", "base").unwrap();
+        let web = c.find("package", "web").unwrap();
+        assert!(c.edges().contains(&(base, web)));
+    }
+
+    #[test]
+    fn unknown_stage_still_errors() {
+        let err = eval_err(
+            r#"
+            class setup { package { 'base': } }
+            class { 'setup': stage => 'nope' }
+        "#,
+        );
+        assert!(matches!(err, EvalError::UnknownStage(_)), "{err}");
     }
 
     #[test]

@@ -605,6 +605,13 @@ impl Parser {
         }
         if self.eat(&Token::Minus) {
             let e = self.parse_unary()?;
+            // A negated literal is a negative literal: the printer emits
+            // `Int(-5)` as `-5`, so folding here is what makes
+            // `parse ∘ print = id` hold for negative numbers (it used to
+            // reparse as `0 - 5`).
+            if let Expression::Int(n) = e {
+                return Ok(Expression::Int(-n));
+            }
             return Ok(Expression::Arith(
                 ArithOp::Sub,
                 Box::new(Expression::Int(0)),

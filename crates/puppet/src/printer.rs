@@ -278,11 +278,18 @@ pub fn print_expr(e: &Expression) -> String {
         }
         Expression::ResourceRef(t, titles) => {
             let parts: Vec<String> = titles.iter().map(print_expr).collect();
-            format!(
-                "{}[{}]",
-                capitalize_type(&t.to_lowercase()),
-                parts.join(", ")
-            )
+            // The parser stores the reference's type name verbatim, so a
+            // name that is already a valid type token (leading uppercase)
+            // must be reproduced as-is — re-capitalizing `FILE` or
+            // `Foo::Bar` used to break `parse ∘ print = id`. Names coming
+            // from synthesized ASTs (e.g. lower-cased catalog ids) still
+            // get capitalized so they lex as type names at all.
+            let name = if t.starts_with(char::is_uppercase) {
+                t.clone()
+            } else {
+                capitalize_type(t)
+            };
+            format!("{}[{}]", name, parts.join(", "))
         }
         Expression::Call(name, args) => {
             let parts: Vec<String> = args.iter().map(print_expr).collect();
@@ -403,14 +410,18 @@ mod tests {
 
     #[test]
     fn roundtrip_benchmarks() {
-        // Every shipped benchmark must round-trip.
-        for file in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks"))
-            .expect("benchmarks directory")
-        {
-            let path = file.expect("dir entry").path();
-            if path.extension().map(|e| e == "pp").unwrap_or(false) {
-                let src = std::fs::read_to_string(&path).expect("readable");
-                roundtrip(&src);
+        // Every shipped benchmark must round-trip, including the metadata
+        // permission-race suite.
+        for dir in [
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks"),
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks-metadata"),
+        ] {
+            for file in std::fs::read_dir(dir).expect("benchmarks directory") {
+                let path = file.expect("dir entry").path();
+                if path.extension().map(|e| e == "pp").unwrap_or(false) {
+                    let src = std::fs::read_to_string(&path).expect("readable");
+                    roundtrip(&src);
+                }
             }
         }
     }

@@ -1,0 +1,438 @@
+//! Printer round-trip property: `parse(print(m)) == m` over seeded,
+//! randomly generated manifests covering selectors, chained arrows,
+//! collectors, and quoted/escaped attribute values.
+//!
+//! The generator produces ASTs from the *parser's image* (canonical
+//! interpolation parts, no adjacent literal segments, reference type
+//! names that lex as type tokens), which is exactly the domain on which
+//! the printer promises identity. Divergences this suite originally
+//! found — re-capitalized `ResourceRef` names (`FILE[...]`,
+//! `Foo::Bar[...]`) and negative integer literals reparsing as
+//! `0 - n` — are fixed and pinned by the directed tests at the bottom.
+//!
+//! Cases are sampled with a small in-file deterministic PRNG instead of
+//! an external property-testing crate (the build environment is offline),
+//! so every run covers the same seeded case set.
+
+use rehearsal_puppet::ast::*;
+use rehearsal_puppet::{parse, print_manifest, StrPart};
+
+/// Deterministic splitmix64 generator for test-case sampling.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, pool: &'a [T]) -> &'a T {
+        &pool[self.usize(pool.len())]
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 0
+    }
+}
+
+const IDENTS: &[&str] = &["ensure", "content", "owner", "mode", "backup", "alias"];
+const WORDS: &[&str] = &["present", "running", "file", "vim", "web01", "x"];
+const VARS: &[&str] = &["osfamily", "name", "port", "x", "title"];
+const REF_TYPES: &[&str] = &["File", "Package", "User", "Foo::Bar", "FILE", "Service"];
+const RES_TYPES: &[&str] = &["file", "package", "user", "service", "cron"];
+const CALLS: &[&str] = &["defined", "template", "lookup"];
+
+/// Tricky literal strings: quotes, backslashes, newlines, interpolation
+/// look-alikes — the "quoted/escaped attribute values" coverage.
+const TRICKY: &[&str] = &[
+    "plain",
+    "it's",
+    "back\\slash",
+    "two\nlines",
+    "tab\tin",
+    "ends with \\",
+    "quote'and\\both",
+    "${not_interpolated}",
+    "a \"double\" quote",
+    "",
+];
+
+fn random_str(rng: &mut Prng) -> String {
+    if rng.usize(3) == 0 {
+        (*rng.pick(TRICKY)).to_string()
+    } else {
+        (*rng.pick(WORDS)).to_string()
+    }
+}
+
+/// Canonical interpolated parts: no empty literals, no adjacent literals
+/// (the lexer merges them, so non-canonical part lists cannot round-trip
+/// and can never be produced by the parser).
+fn random_interp(rng: &mut Prng) -> Expression {
+    let mut parts = Vec::new();
+    let n = rng.usize(4);
+    let mut last_was_lit = false;
+    for _ in 0..n {
+        if !last_was_lit && rng.bool() {
+            let lit = random_str(rng);
+            if lit.is_empty() {
+                continue;
+            }
+            parts.push(StrPart::Lit(lit));
+            last_was_lit = true;
+        } else {
+            parts.push(StrPart::Var((*rng.pick(VARS)).to_string()));
+            last_was_lit = false;
+        }
+    }
+    if parts.is_empty() {
+        // The lexer's canonical empty string is one empty literal part.
+        parts.push(StrPart::Lit(String::new()));
+    }
+    Expression::Interp(parts)
+}
+
+fn random_ref(rng: &mut Prng, depth: usize) -> Expression {
+    let n = 1 + rng.usize(2);
+    let titles = (0..n).map(|_| random_value(rng, depth)).collect();
+    Expression::ResourceRef((*rng.pick(REF_TYPES)).to_string(), titles)
+}
+
+fn random_value(rng: &mut Prng, depth: usize) -> Expression {
+    if depth == 0 {
+        return match rng.usize(5) {
+            0 => Expression::Str(random_str(rng)),
+            1 => Expression::Int(rng.next_u64() as i64 % 2000 - 1000),
+            2 => Expression::Bool(rng.bool()),
+            3 => Expression::Var((*rng.pick(VARS)).to_string()),
+            _ => Expression::Undef,
+        };
+    }
+    match rng.usize(12) {
+        0 => Expression::Str(random_str(rng)),
+        1 => random_interp(rng),
+        2 => Expression::Int(rng.next_u64() as i64 % 2000 - 1000),
+        3 => Expression::Bool(rng.bool()),
+        4 => Expression::Var((*rng.pick(VARS)).to_string()),
+        5 => {
+            let n = rng.usize(3);
+            Expression::Array((0..n).map(|_| random_value(rng, depth - 1)).collect())
+        }
+        6 => {
+            let n = rng.usize(3);
+            Expression::Hash(
+                (0..n)
+                    .map(|_| {
+                        (
+                            Expression::Str(random_str(rng)),
+                            random_value(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        7 => random_ref(rng, depth - 1),
+        8 => {
+            // Selector with optional trailing default arm.
+            let scrutinee = Expression::Var((*rng.pick(VARS)).to_string());
+            let mut arms: Vec<(Expression, Expression)> = (0..1 + rng.usize(3))
+                .map(|_| {
+                    (
+                        Expression::Str(random_str(rng)),
+                        random_value(rng, depth - 1),
+                    )
+                })
+                .collect();
+            if rng.bool() {
+                arms.push((Expression::Default, random_value(rng, depth - 1)));
+            }
+            Expression::Selector(Box::new(scrutinee), arms)
+        }
+        9 => {
+            let n = rng.usize(3);
+            Expression::Call(
+                (*rng.pick(CALLS)).to_string(),
+                (0..n).map(|_| random_value(rng, depth - 1)).collect(),
+            )
+        }
+        10 => {
+            let a = Box::new(random_value(rng, depth - 1));
+            let b = Box::new(random_value(rng, depth - 1));
+            match rng.usize(4) {
+                0 => Expression::And(a, b),
+                1 => Expression::Or(a, b),
+                2 => Expression::In(a, b),
+                _ => Expression::Not(a),
+            }
+        }
+        _ => {
+            let a = Box::new(random_value(rng, depth - 1));
+            let b = Box::new(random_value(rng, depth - 1));
+            if rng.bool() {
+                let op = *rng.pick(&[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt][..]);
+                Expression::Cmp(op, a, b)
+            } else {
+                let op = *rng.pick(&[ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div][..]);
+                Expression::Arith(op, a, b)
+            }
+        }
+    }
+}
+
+fn random_attrs(rng: &mut Prng, max: usize) -> Vec<Attribute> {
+    let n = rng.usize(max + 1);
+    (0..n)
+        .map(|i| Attribute {
+            name: IDENTS[(rng.usize(IDENTS.len()) + i) % IDENTS.len()].to_string(),
+            value: random_value(rng, 2),
+        })
+        .collect()
+}
+
+fn random_resource(rng: &mut Prng, virtual_allowed: bool) -> ResourceDecl {
+    let bodies = (0..1 + rng.usize(2))
+        .map(|_| {
+            let title = match rng.usize(4) {
+                0 => Expression::Array(
+                    (0..1 + rng.usize(2))
+                        .map(|_| Expression::Str(random_str(rng)))
+                        .collect(),
+                ),
+                1 => Expression::Var((*rng.pick(VARS)).to_string()),
+                _ => Expression::Str(random_str(rng)),
+            };
+            ResourceBody {
+                title,
+                attrs: random_attrs(rng, 3),
+            }
+        })
+        .collect();
+    ResourceDecl {
+        type_name: (*rng.pick(RES_TYPES)).to_string(),
+        bodies,
+        virtual_: virtual_allowed && rng.usize(4) == 0,
+    }
+}
+
+fn random_query(rng: &mut Prng, depth: usize) -> Query {
+    if depth == 0 || rng.usize(3) == 0 {
+        let attr = (*rng.pick(IDENTS)).to_string();
+        let value = Expression::Str(random_str(rng));
+        return if rng.bool() {
+            Query::Eq(attr, value)
+        } else {
+            Query::Ne(attr, value)
+        };
+    }
+    let a = Box::new(random_query(rng, depth - 1));
+    let b = Box::new(random_query(rng, depth - 1));
+    if rng.bool() {
+        Query::And(a, b)
+    } else {
+        Query::Or(a, b)
+    }
+}
+
+fn random_collector(rng: &mut Prng) -> Collector {
+    Collector {
+        type_name: (*rng.pick(RES_TYPES)).to_string(),
+        query: if rng.usize(4) == 0 {
+            Query::All
+        } else {
+            random_query(rng, 2)
+        },
+        overrides: random_attrs(rng, 2),
+    }
+}
+
+fn random_chain(rng: &mut Prng) -> ChainStatement {
+    let n = 2 + rng.usize(2);
+    let operands: Vec<ChainOperand> = (0..n)
+        .map(|_| match rng.usize(4) {
+            0 => ChainOperand::Resource(random_resource(rng, false)),
+            1 => ChainOperand::Collector(random_collector(rng)),
+            _ => {
+                let k = 1 + rng.usize(2);
+                ChainOperand::Refs((0..k).map(|_| random_ref(rng, 1)).collect())
+            }
+        })
+        .collect();
+    let arrows = (0..n - 1)
+        .map(|_| {
+            if rng.bool() {
+                ArrowKind::Before
+            } else {
+                ArrowKind::Notify
+            }
+        })
+        .collect();
+    ChainStatement { operands, arrows }
+}
+
+fn random_statement(rng: &mut Prng, depth: usize) -> Statement {
+    match rng.usize(if depth == 0 { 7 } else { 9 }) {
+        0 => Statement::Resource(random_resource(rng, true)),
+        1 => Statement::Chain(random_chain(rng)),
+        2 => Statement::Collector(random_collector(rng)),
+        3 => Statement::ResourceDefault(ResourceDefault {
+            type_name: (*rng.pick(RES_TYPES)).to_string(),
+            attrs: random_attrs(rng, 2),
+        }),
+        4 => Statement::Assign((*rng.pick(VARS)).to_string(), random_value(rng, 3)),
+        5 => Statement::Include(vec!["base".to_string(), "web".to_string()]),
+        6 => Statement::Call("fail".to_string(), vec![Expression::Str(random_str(rng))]),
+        7 => {
+            let mut arms: Vec<(Expression, Vec<Statement>)> = (0..1 + rng.usize(2))
+                .map(|_| {
+                    (
+                        Expression::Cmp(
+                            CmpOp::Eq,
+                            Box::new(Expression::Var((*rng.pick(VARS)).to_string())),
+                            Box::new(Expression::Str(random_str(rng))),
+                        ),
+                        random_body(rng, depth - 1),
+                    )
+                })
+                .collect();
+            if rng.bool() {
+                arms.push((Expression::Bool(true), random_body(rng, depth - 1)));
+            }
+            Statement::If(arms)
+        }
+        _ => {
+            let scrutinee = Expression::Var((*rng.pick(VARS)).to_string());
+            let mut arms: Vec<CaseArm> = (0..1 + rng.usize(2))
+                .map(|_| CaseArm {
+                    values: (0..1 + rng.usize(2))
+                        .map(|_| Expression::Str(random_str(rng)))
+                        .collect(),
+                    body: random_body(rng, depth - 1),
+                })
+                .collect();
+            if rng.bool() {
+                arms.push(CaseArm {
+                    values: vec![Expression::Default],
+                    body: random_body(rng, depth - 1),
+                });
+            }
+            Statement::Case(scrutinee, arms)
+        }
+    }
+}
+
+fn random_body(rng: &mut Prng, depth: usize) -> Vec<Statement> {
+    (0..rng.usize(3))
+        .map(|_| random_statement(rng, depth))
+        .collect()
+}
+
+fn assert_roundtrip(m: &Manifest) {
+    let printed = print_manifest(m);
+    let reparsed = parse(&printed).unwrap_or_else(|e| {
+        panic!("printed manifest failed to parse: {e}\n--- source ---\n{printed}")
+    });
+    assert_eq!(
+        *m, reparsed,
+        "round-trip changed the AST\n--- printed ---\n{printed}"
+    );
+}
+
+/// The headline property: 256 seeded manifests round-trip exactly.
+#[test]
+fn generated_manifests_roundtrip() {
+    let mut rng = Prng::new(30);
+    for case in 0..256 {
+        let m = Manifest {
+            statements: (0..1 + rng.usize(5))
+                .map(|_| random_statement(&mut rng, 2))
+                .collect(),
+        };
+        let printed = print_manifest(&m);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("case {case}: printed manifest failed to parse: {e}\n{printed}")
+        });
+        assert_eq!(m, reparsed, "case {case} changed the AST:\n{printed}");
+    }
+}
+
+/// Double round-trip is stable: printing the reparse prints identically
+/// (printer output is a fixed point of `print ∘ parse`).
+#[test]
+fn printing_is_a_fixed_point() {
+    let mut rng = Prng::new(31);
+    for _ in 0..64 {
+        let m = Manifest {
+            statements: (0..1 + rng.usize(4))
+                .map(|_| random_statement(&mut rng, 2))
+                .collect(),
+        };
+        let p1 = print_manifest(&m);
+        let m2 = parse(&p1).expect("first reparse");
+        let p2 = print_manifest(&m2);
+        assert_eq!(p1, p2);
+    }
+}
+
+// ---- directed regressions for the divergences the property found ----
+
+/// `ResourceRef` type names round-trip verbatim: the printer used to
+/// re-capitalize (`FILE` → `File`, `Foo::Bar` → `Foo::bar`), changing the
+/// reparsed AST.
+#[test]
+fn resource_ref_casing_roundtrips() {
+    for src in [
+        "FILE['/x'] -> Package['vim']",
+        "Foo::Bar['thing'] ~> File['/y']",
+        "file { '/a': require => MyModule::Widget['w'] }",
+    ] {
+        let m1 = parse(src).unwrap();
+        assert_roundtrip(&m1);
+    }
+}
+
+/// Negative integer literals round-trip as literals: `-5` used to reparse
+/// as `0 - 5`.
+#[test]
+fn negative_int_roundtrips() {
+    let m = parse("$x = -5").unwrap();
+    assert_eq!(
+        m.statements[0],
+        Statement::Assign("x".to_string(), Expression::Int(-5))
+    );
+    assert_roundtrip(&m);
+    // Unary minus on non-literals keeps the explicit subtraction shape.
+    let m2 = parse("$y = -$x").unwrap();
+    assert_roundtrip(&m2);
+}
+
+/// The escaped-value corner pool round-trips through attribute positions.
+#[test]
+fn tricky_strings_roundtrip_in_attributes() {
+    for s in TRICKY {
+        let m = Manifest {
+            statements: vec![Statement::Resource(ResourceDecl {
+                type_name: "file".to_string(),
+                bodies: vec![ResourceBody {
+                    title: Expression::Str("/t".to_string()),
+                    attrs: vec![Attribute {
+                        name: "content".to_string(),
+                        value: Expression::Str((*s).to_string()),
+                    }],
+                }],
+                virtual_: false,
+            })],
+        };
+        assert_roundtrip(&m);
+    }
+}

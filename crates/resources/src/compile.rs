@@ -11,10 +11,11 @@ use crate::error::CompileError;
 use crate::helpers::{
     create_if_absent, ensure_dir, ensure_parent_dirs, overwrite, remove_file_if_present,
 };
-use rehearsal_fs::{Content, Expr, FsPath, Pred};
+use rehearsal_fs::{Content, Expr, FsPath, MetaField, Pred};
 use rehearsal_pkgdb::{PackageDb, PackageSpec};
 use rehearsal_puppet::{CatalogResource, Value};
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
 /// The resource types this compiler models.
 ///
@@ -43,6 +44,21 @@ pub struct CompileCtx<'a> {
     /// Off by default: the original Rehearsal does not consume dependency
     /// metadata (paper §8 lists this as future work).
     dependency_closures: bool,
+    /// When true, `owner`/`group`/`mode` attributes compile to
+    /// `chown`/`chgrp`/`chmod` steps (and `user` resources own their home
+    /// directories) instead of being silently dropped — the metadata-aware
+    /// FS model. Off by default so unannotated pipelines keep
+    /// bit-identical verdicts.
+    model_metadata: bool,
+    /// When true, `package { ensure => latest }` is modeled distinctly
+    /// from `present` (the upgrade re-overwrites package files with
+    /// version-bumped content) instead of silently aliasing to the
+    /// idempotent install. Off by default; either way a diagnostic is
+    /// recorded when a `latest` is encountered.
+    model_latest: bool,
+    /// Non-fatal modeling diagnostics accumulated during compilation
+    /// (shared across clones so per-resource compiles all feed one list).
+    diagnostics: Arc<Mutex<Vec<String>>>,
 }
 
 impl<'a> CompileCtx<'a> {
@@ -51,6 +67,9 @@ impl<'a> CompileCtx<'a> {
         CompileCtx {
             db,
             dependency_closures: false,
+            model_metadata: false,
+            model_latest: false,
+            diagnostics: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -62,9 +81,43 @@ impl<'a> CompileCtx<'a> {
         self
     }
 
+    /// Enables or disables the metadata-aware model (see the field
+    /// documentation).
+    #[must_use]
+    pub fn with_model_metadata(mut self, on: bool) -> CompileCtx<'a> {
+        self.model_metadata = on;
+        self
+    }
+
+    /// Enables or disables distinct `ensure => latest` modeling (see the
+    /// field documentation).
+    #[must_use]
+    pub fn with_model_latest(mut self, on: bool) -> CompileCtx<'a> {
+        self.model_latest = on;
+        self
+    }
+
+    /// Whether the metadata-aware model is on.
+    pub fn models_metadata(&self) -> bool {
+        self.model_metadata
+    }
+
     /// The package database.
     pub fn db(&self) -> &PackageDb {
         self.db
+    }
+
+    /// Records a non-fatal modeling diagnostic.
+    fn diag(&self, message: String) {
+        self.diagnostics
+            .lock()
+            .expect("diagnostics lock")
+            .push(message);
+    }
+
+    /// Drains the diagnostics accumulated so far.
+    pub fn take_diagnostics(&self) -> Vec<String> {
+        std::mem::take(&mut *self.diagnostics.lock().expect("diagnostics lock"))
     }
 }
 
@@ -94,9 +147,9 @@ impl<'a> CompileCtx<'a> {
 /// ```
 pub fn compile(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
     match resource.type_name() {
-        "file" => compile_file(resource),
+        "file" => compile_file(resource, ctx),
         "package" => compile_package(resource, ctx),
-        "user" => compile_user(resource),
+        "user" => compile_user(resource, ctx),
         "group" => compile_group(resource),
         "ssh_authorized_key" => compile_ssh_key(resource),
         "service" => compile_service(resource),
@@ -206,10 +259,44 @@ fn path_component(resource: &CatalogResource, text: &str) -> Result<String, Comp
 
 // ---- file ----
 
-fn compile_file(resource: &CatalogResource) -> Result<Expr, CompileError> {
+/// The `chown`/`chgrp`/`chmod` steps for the `owner`/`group`/`mode`
+/// attributes of a resource managing `path`. Empty when the metadata model
+/// is off (the attributes are then accepted-and-ignored, as the seed did).
+fn meta_steps(
+    attrs: &mut Attrs<'_>,
+    ctx: &CompileCtx<'_>,
+    path: FsPath,
+) -> Result<Vec<Expr>, CompileError> {
+    let mut steps = Vec::new();
+    for (name, field) in [
+        ("owner", MetaField::Owner),
+        ("group", MetaField::Group),
+        ("mode", MetaField::Mode),
+    ] {
+        if let Some(value) = attrs.opt_str(name) {
+            // With the model off the attribute is consumed and ignored,
+            // exactly as the seed did — including values the model would
+            // reject, so metadata-off pipelines stay bit-identical.
+            if !ctx.models_metadata() {
+                continue;
+            }
+            if value.is_empty() {
+                return Err(CompileError::InvalidAttribute {
+                    resource: attrs.display(),
+                    attribute: name.to_string(),
+                    reason: "empty metadata value".to_string(),
+                });
+            }
+            steps.push(Expr::chmeta(path, field, Content::intern(&value)));
+        }
+    }
+    Ok(steps)
+}
+
+fn compile_file(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
     let mut attrs = Attrs::new(resource);
     attrs.ignore(&[
-        "owner", "group", "mode", "backup", "checksum", "recurse", "purge", "selrange", "seltype",
+        "backup", "checksum", "recurse", "purge", "selrange", "seltype",
     ]);
     let path_text = attrs.str_or("path", resource.title());
     let path = parse_path(resource, &path_text)?;
@@ -218,6 +305,14 @@ fn compile_file(resource: &CatalogResource) -> Result<Expr, CompileError> {
     let force = attrs.bool_or("force", false)?;
     let replace = attrs.bool_or("replace", true)?;
     let ensure = attrs.str_or("ensure", "file");
+    // Metadata attributes apply to the managed path itself; for
+    // `ensure => absent` they are meaningless and stay ignored.
+    let meta = if ensure == "absent" {
+        attrs.ignore(&["owner", "group", "mode"]);
+        Vec::new()
+    } else {
+        meta_steps(&mut attrs, ctx, path)?
+    };
     if content.is_some() && source.is_some() {
         return Err(CompileError::InvalidAttribute {
             resource: resource.display_name(),
@@ -300,7 +395,11 @@ fn compile_file(resource: &CatalogResource) -> Result<Expr, CompileError> {
         }
     };
     attrs.finish()?;
-    Ok(expr)
+    // Metadata management follows the content/existence step: once the
+    // path is ensured present, its fields are pinned — which is exactly
+    // what makes two resources with different modes a last-write-wins
+    // race the explorer can observe.
+    Ok(expr.seq(Expr::seq_all(meta)))
 }
 
 // ---- package ----
@@ -329,6 +428,24 @@ fn install_one(spec: &PackageSpec) -> Expr {
     Expr::seq_all(steps)
 }
 
+/// The FS program for `ensure => latest`: like [`install_one`], but every
+/// file is re-overwritten with *version-bumped* content. An upgrade is a
+/// definitive write of the new version's payload, so a `latest` package
+/// racing a resource that pinned one of its files (or a `present` install
+/// of the same payload) is a detectable conflict — whereas aliasing
+/// `latest` to `present` made the upgrade invisible.
+fn upgrade_one(spec: &PackageSpec) -> Expr {
+    let mut steps = Vec::new();
+    for d in spec.directories() {
+        steps.push(ensure_dir(d));
+    }
+    for &f in spec.files() {
+        let c = Content::intern(&format!("pkg:{}:{f}@latest", spec.name()));
+        steps.push(overwrite(f, c));
+    }
+    Expr::seq_all(steps)
+}
+
 /// The FS program that removes one package: removes each of its files if
 /// present. Directories are left behind, as real package managers do.
 fn remove_one(spec: &PackageSpec) -> Expr {
@@ -342,6 +459,23 @@ fn compile_package(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<E
     let ensure = attrs.str_or("ensure", "present");
     let expr = match ensure.as_str() {
         "present" | "installed" | "latest" => {
+            let latest = ensure == "latest";
+            if latest {
+                ctx.diag(if ctx.model_latest {
+                    format!(
+                        "{}: ensure => latest modeled as a version-bumping \
+                         re-overwrite of the package's files",
+                        resource.display_name()
+                    )
+                } else {
+                    format!(
+                        "{}: ensure => latest treated as ensure => present \
+                         (version bumps are not modeled; enable distinct \
+                         `latest` modeling to track the upgrade overwrite)",
+                        resource.display_name()
+                    )
+                });
+            }
             let specs: Vec<&PackageSpec> = if ctx.dependency_closures {
                 let mut closure = ctx.db.install_closure(&name)?;
                 // Dependencies first (apt resolves leaf-first).
@@ -350,7 +484,11 @@ fn compile_package(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<E
             } else {
                 vec![ctx.db.package(&name)?]
             };
-            Expr::seq_all(specs.into_iter().map(install_one))
+            if latest && ctx.model_latest {
+                Expr::seq_all(specs.into_iter().map(upgrade_one))
+            } else {
+                Expr::seq_all(specs.into_iter().map(install_one))
+            }
         }
         "absent" | "purged" => {
             let specs: Vec<&PackageSpec> = if ctx.dependency_closures {
@@ -381,15 +519,16 @@ fn users_dir() -> FsPath {
     FsPath::parse("/etc/users").expect("static path")
 }
 
-fn compile_user(resource: &CatalogResource) -> Result<Expr, CompileError> {
+fn compile_user(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
     let mut attrs = Attrs::new(resource);
-    attrs.ignore(&["password", "comment", "groups", "gid", "expiry"]);
+    attrs.ignore(&["password", "comment", "groups", "expiry"]);
     let name = path_component(resource, resource.title())?;
     let ensure = attrs.str_or("ensure", "present");
     let managehome = attrs.bool_or("managehome", false)?;
     let home_text = attrs.str_or("home", &format!("/home/{name}"));
     let home = parse_path(resource, &home_text)?;
     let uid = attrs.opt_str("uid").unwrap_or_default();
+    let gid = attrs.opt_str("gid").unwrap_or_default();
     let shell = attrs.opt_str("shell").unwrap_or_default();
     let record = users_dir().join(&name);
     let record_content =
@@ -405,6 +544,15 @@ fn compile_user(resource: &CatalogResource) -> Result<Expr, CompileError> {
             if managehome {
                 steps.push(ensure_parent_dirs(home));
                 steps.push(ensure_dir(home));
+                if ctx.models_metadata() {
+                    // `useradd -m` chowns the home to the user (and their
+                    // primary group): a `file` resource that sets a
+                    // different owner on the same directory is now a
+                    // visible permission race.
+                    steps.push(Expr::chown(home, Content::intern(&name)));
+                    let group = if gid.is_empty() { &name } else { &gid };
+                    steps.push(Expr::chgrp(home, Content::intern(group)));
+                }
             }
             Expr::seq_all(steps)
         }
@@ -736,11 +884,11 @@ mod tests {
     #[test]
     fn file_with_content() {
         let e = compile_one(&res("file", "/etc/motd", &[("content", "hi")]));
-        let fs = FileSystem::with_root().set(p("/etc"), FileState::Dir);
+        let fs = FileSystem::with_root().set(p("/etc"), FileState::DIR);
         let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/etc/motd")),
-            Some(FileState::File(Content::intern("hi")))
+            Some(FileState::file(Content::intern("hi")))
         );
         // Idempotent.
         assert_eq!(eval(e, &out).unwrap(), out);
@@ -752,12 +900,12 @@ mod tests {
     fn file_overwrites_existing() {
         let e = compile_one(&res("file", "/etc/motd", &[("content", "new")]));
         let fs = FileSystem::with_root()
-            .set(p("/etc"), FileState::Dir)
-            .set(p("/etc/motd"), FileState::File(Content::intern("old")));
+            .set(p("/etc"), FileState::DIR)
+            .set(p("/etc/motd"), FileState::file(Content::intern("old")));
         let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/etc/motd")),
-            Some(FileState::File(Content::intern("new")))
+            Some(FileState::file(Content::intern("new")))
         );
     }
 
@@ -769,12 +917,12 @@ mod tests {
             &[("content", "new"), ("replace", "false")],
         ));
         let fs = FileSystem::with_root()
-            .set(p("/etc"), FileState::Dir)
-            .set(p("/etc/motd"), FileState::File(Content::intern("old")));
+            .set(p("/etc"), FileState::DIR)
+            .set(p("/etc/motd"), FileState::file(Content::intern("old")));
         let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/etc/motd")),
-            Some(FileState::File(Content::intern("old")))
+            Some(FileState::file(Content::intern("old")))
         );
     }
 
@@ -797,18 +945,18 @@ mod tests {
         assert!(out2.not_exists(p("/srv")));
         assert_eq!(eval(rm_force, &out2).unwrap(), out2, "idempotent");
         // A plain absent on a *file* works without force (paper fig. 3d).
-        let file_fs = FileSystem::with_root().set(p("/srv"), FileState::File(Content::intern("x")));
+        let file_fs = FileSystem::with_root().set(p("/srv"), FileState::file(Content::intern("x")));
         assert!(eval(rm_plain, &file_fs).unwrap().not_exists(p("/srv")));
     }
 
     #[test]
     fn file_source_copies() {
         let e = compile_one(&res("file", "/dst", &[("source", "/src")]));
-        let fs = FileSystem::with_root().set(p("/src"), FileState::File(Content::intern("data")));
+        let fs = FileSystem::with_root().set(p("/src"), FileState::file(Content::intern("data")));
         let out = eval(e, &fs).unwrap();
         assert_eq!(
             out.get(p("/dst")),
-            Some(FileState::File(Content::intern("data")))
+            Some(FileState::file(Content::intern("data")))
         );
         // Missing source errors.
         assert!(eval(e, &FileSystem::with_root()).is_err());
@@ -942,8 +1090,8 @@ mod tests {
         assert!(eval(key, &FileSystem::with_root()).is_err());
         // With it: writes both the logical entry and the real key-file.
         let fs = FileSystem::with_root()
-            .set(p("/home"), FileState::Dir)
-            .set(p("/home/carol"), FileState::Dir);
+            .set(p("/home"), FileState::DIR)
+            .set(p("/home/carol"), FileState::DIR);
         let out = eval(key, &fs).unwrap();
         assert!(out.is_file(p("/ssh_keys/carol/laptop")));
         assert!(out.is_file(p("/home/carol/.ssh/authorized_keys")));
@@ -963,8 +1111,8 @@ mod tests {
             &[("user", "carol"), ("key", "BBBB")],
         ));
         let fs = FileSystem::with_root()
-            .set(p("/home"), FileState::Dir)
-            .set(p("/home/carol"), FileState::Dir);
+            .set(p("/home"), FileState::DIR)
+            .set(p("/home/carol"), FileState::DIR);
         let a = eval(k1, &fs).and_then(|s| eval(k2, &s)).unwrap();
         let b = eval(k2, &fs).and_then(|s| eval(k1, &s)).unwrap();
         assert_eq!(a, b, "key insertion order does not matter");
@@ -981,11 +1129,11 @@ mod tests {
         let e = compile_one(&res("service", "nginx", &[("ensure", "running")]));
         assert!(eval(e, &FileSystem::with_root()).is_err(), "no init script");
         let fs = FileSystem::with_root()
-            .set(p("/etc"), FileState::Dir)
-            .set(p("/etc/init.d"), FileState::Dir)
+            .set(p("/etc"), FileState::DIR)
+            .set(p("/etc/init.d"), FileState::DIR)
             .set(
                 p("/etc/init.d/nginx"),
-                FileState::File(Content::intern("init")),
+                FileState::file(Content::intern("init")),
             );
         let out = eval(e, &fs).unwrap();
         assert!(out.is_file(p("/var/run/services/nginx")));
@@ -1045,6 +1193,137 @@ mod tests {
         assert!(matches!(err, CompileError::UnknownResourceType(_)));
     }
 
+    fn compile_with_metadata(r: &CatalogResource) -> Expr {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db).with_model_metadata(true);
+        compile(r, &ctx).unwrap()
+    }
+
+    #[test]
+    fn file_metadata_is_ignored_without_the_flag() {
+        let plain = compile_one(&res("file", "/etc/motd", &[("content", "hi")]));
+        let with_meta = compile_one(&res(
+            "file",
+            "/etc/motd",
+            &[("content", "hi"), ("owner", "root"), ("mode", "0644")],
+        ));
+        assert_eq!(
+            plain, with_meta,
+            "metadata attributes compile away when the model is off"
+        );
+    }
+
+    #[test]
+    fn file_metadata_is_honored_with_the_flag() {
+        use rehearsal_fs::{MetaField, MetaValue};
+        let e = compile_with_metadata(&res(
+            "file",
+            "/etc/motd",
+            &[
+                ("content", "hi"),
+                ("owner", "root"),
+                ("group", "adm"),
+                ("mode", "0640"),
+            ],
+        ));
+        let fs = FileSystem::with_root().set(p("/etc"), FileState::DIR);
+        let out = eval(e, &fs).unwrap();
+        let meta = out.meta(p("/etc/motd")).unwrap();
+        assert_eq!(meta.owner, MetaValue::Set(Content::intern("root")));
+        assert_eq!(meta.group, MetaValue::Set(Content::intern("adm")));
+        assert_eq!(meta.mode, MetaValue::Set(Content::intern("0640")));
+        assert_eq!(
+            meta.get(MetaField::Mode),
+            MetaValue::Set(Content::intern("0640"))
+        );
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn directory_metadata_is_honored() {
+        use rehearsal_fs::MetaValue;
+        let e = compile_with_metadata(&res(
+            "file",
+            "/srv/www",
+            &[("ensure", "directory"), ("owner", "www-data")],
+        ));
+        let fs = FileSystem::with_root().set(p("/srv"), FileState::DIR);
+        let out = eval(e, &fs).unwrap();
+        assert!(out.is_dir(p("/srv/www")));
+        assert_eq!(
+            out.meta(p("/srv/www")).unwrap().owner,
+            MetaValue::Set(Content::intern("www-data"))
+        );
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
+    }
+
+    #[test]
+    fn file_rejects_empty_metadata_value() {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db).with_model_metadata(true);
+        let err = compile(&res("file", "/x", &[("owner", "")]), &ctx).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidAttribute { .. }));
+        // With the model off the same resource compiles (seed behavior:
+        // the attribute is consumed and ignored, value unvalidated).
+        let plain = compile_one(&res("file", "/x", &[("owner", "")]));
+        assert_eq!(plain, compile_one(&res("file", "/x", &[])));
+    }
+
+    #[test]
+    fn user_managehome_owns_home_directory() {
+        use rehearsal_fs::MetaValue;
+        let e = compile_with_metadata(&res(
+            "user",
+            "carol",
+            &[("managehome", "true"), ("gid", "staff")],
+        ));
+        let out = eval(e, &FileSystem::with_root()).unwrap();
+        let meta = out.meta(p("/home/carol")).unwrap();
+        assert_eq!(meta.owner, MetaValue::Set(Content::intern("carol")));
+        assert_eq!(meta.group, MetaValue::Set(Content::intern("staff")));
+        assert_eq!(eval(e, &out).unwrap(), out, "idempotent");
+        // Without the flag, the home stays unmanaged (seed behavior).
+        let plain = compile_one(&res("user", "carol2", &[("managehome", "true")]));
+        let out = eval(plain, &FileSystem::with_root()).unwrap();
+        assert!(out.meta(p("/home/carol2")).unwrap().is_unmanaged());
+    }
+
+    #[test]
+    fn latest_aliases_to_present_by_default_with_diagnostic() {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db);
+        let latest = compile(&res("package", "vim", &[("ensure", "latest")]), &ctx).unwrap();
+        let diags = ctx.take_diagnostics();
+        assert_eq!(diags.len(), 1, "aliasing is no longer silent");
+        assert!(diags[0].contains("latest"), "{diags:?}");
+        let present = compile(&res("package", "vim", &[("ensure", "present")]), &ctx).unwrap();
+        assert_eq!(latest, present, "default behavior unchanged");
+        assert!(ctx.take_diagnostics().is_empty(), "drained");
+    }
+
+    #[test]
+    fn latest_differs_from_present_with_model_latest() {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db).with_model_latest(true);
+        let latest = compile(&res("package", "vim", &[("ensure", "latest")]), &ctx).unwrap();
+        let present = compile(&res("package", "vim", &[("ensure", "present")]), &ctx).unwrap();
+        assert_ne!(latest, present, "the upgrade is modeled distinctly");
+        assert_eq!(ctx.take_diagnostics().len(), 1);
+        // The upgrade re-overwrites an installed file with bumped content:
+        // applying `latest` over a `present` install changes the state.
+        let installed = eval(present, &FileSystem::with_root()).unwrap();
+        let upgraded = eval(latest, &installed).unwrap();
+        assert_ne!(installed, upgraded, "version bump re-overwrites files");
+        assert_eq!(
+            upgraded.get(p("/usr/bin/vim")),
+            Some(FileState::file(Content::intern(
+                "pkg:vim:/usr/bin/vim@latest"
+            )))
+        );
+        // The upgrade itself is individually idempotent.
+        assert_eq!(eval(latest, &upgraded).unwrap(), upgraded);
+    }
+
     #[test]
     fn apache_default_conf_conflicts_with_file_resource() {
         // The paper's fig. 3a: package creates 000-default.conf; a file
@@ -1062,7 +1341,7 @@ mod tests {
         let ok = eval(pkg, &init).and_then(|s| eval(conf, &s)).unwrap();
         assert_eq!(
             ok.get(p("/etc/apache2/sites-available/000-default.conf")),
-            Some(FileState::File(Content::intern("my site")))
+            Some(FileState::file(Content::intern("my site")))
         );
     }
 }

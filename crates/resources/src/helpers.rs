@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn ensure_dir_errors_on_file() {
-        let fs = FileSystem::with_root().set(p("/a"), FileState::File(Content::intern("x")));
+        let fs = FileSystem::with_root().set(p("/a"), FileState::file(Content::intern("x")));
         assert!(eval(ensure_dir(p("/a")), &fs).is_err());
     }
 
@@ -95,14 +95,14 @@ mod tests {
     fn overwrite_replaces_content() {
         let c1 = Content::intern("old");
         let c2 = Content::intern("new");
-        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c1));
+        let fs = FileSystem::with_root().set(p("/f"), FileState::file(c1));
         let out = eval(overwrite(p("/f"), c2), &fs).unwrap();
-        assert_eq!(out.get(p("/f")), Some(FileState::File(c2)));
+        assert_eq!(out.get(p("/f")), Some(FileState::file(c2)));
         // Also works when absent.
         let out2 = eval(overwrite(p("/f"), c2), &FileSystem::with_root()).unwrap();
-        assert_eq!(out2.get(p("/f")), Some(FileState::File(c2)));
+        assert_eq!(out2.get(p("/f")), Some(FileState::file(c2)));
         // Errors on a directory.
-        let dirfs = FileSystem::with_root().set(p("/f"), FileState::Dir);
+        let dirfs = FileSystem::with_root().set(p("/f"), FileState::DIR);
         assert!(eval(overwrite(p("/f"), c2), &dirfs).is_err());
     }
 
@@ -110,15 +110,15 @@ mod tests {
     fn create_if_absent_preserves_existing() {
         let c1 = Content::intern("keep");
         let c2 = Content::intern("ignored");
-        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c1));
+        let fs = FileSystem::with_root().set(p("/f"), FileState::file(c1));
         let out = eval(create_if_absent(p("/f"), c2), &fs).unwrap();
-        assert_eq!(out.get(p("/f")), Some(FileState::File(c1)));
+        assert_eq!(out.get(p("/f")), Some(FileState::file(c1)));
     }
 
     #[test]
     fn remove_file_if_present_is_idempotent() {
         let c = Content::intern("x");
-        let fs = FileSystem::with_root().set(p("/f"), FileState::File(c));
+        let fs = FileSystem::with_root().set(p("/f"), FileState::file(c));
         let e = remove_file_if_present(p("/f"));
         let fs1 = eval(e, &fs).unwrap();
         let fs2 = eval(e, &fs1).unwrap();

@@ -249,4 +249,54 @@ pub mod benchmarks {
             .find(|b| b.name == name)
             .copied()
     }
+
+    /// One permission-race benchmark for the metadata-aware FS model.
+    #[derive(Debug, Clone, Copy)]
+    pub struct MetadataBenchmark {
+        /// Benchmark name.
+        pub name: &'static str,
+        /// Puppet source text.
+        pub source: &'static str,
+        /// Expected determinism verdict *with the metadata model on*
+        /// (`AnalysisOptions::model_metadata = true`). With the model off,
+        /// every manifest in this suite is deterministic — the races are
+        /// metadata-only by construction (identical contents).
+        pub deterministic_with_metadata: bool,
+    }
+
+    /// The permission-race suite (`benchmarks-metadata/`): three
+    /// metadata-only races plus their `->`-fixed twins. Verdicts are
+    /// pinned by the integration tests and the CI bench gate.
+    pub const METADATA_SUITE: &[MetadataBenchmark] = &[
+        MetadataBenchmark {
+            name: "webroot-perms-nondet",
+            source: include_str!("../benchmarks-metadata/webroot-perms-nondet.pp"),
+            deterministic_with_metadata: false,
+        },
+        MetadataBenchmark {
+            name: "webroot-perms",
+            source: include_str!("../benchmarks-metadata/webroot-perms.pp"),
+            deterministic_with_metadata: true,
+        },
+        MetadataBenchmark {
+            name: "home-owner-nondet",
+            source: include_str!("../benchmarks-metadata/home-owner-nondet.pp"),
+            deterministic_with_metadata: false,
+        },
+        MetadataBenchmark {
+            name: "home-owner",
+            source: include_str!("../benchmarks-metadata/home-owner.pp"),
+            deterministic_with_metadata: true,
+        },
+        MetadataBenchmark {
+            name: "logdir-group-nondet",
+            source: include_str!("../benchmarks-metadata/logdir-group-nondet.pp"),
+            deterministic_with_metadata: false,
+        },
+        MetadataBenchmark {
+            name: "logdir-group",
+            source: include_str!("../benchmarks-metadata/logdir-group.pp"),
+            deterministic_with_metadata: true,
+        },
+    ];
 }

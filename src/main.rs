@@ -35,6 +35,11 @@ OPTIONS:
     --state <FILE>               initial machine state for `apply` (default: /)
     --timeout <SECONDS>          per-analysis time budget [default: 600]
     --json                       machine-readable output (check/benchmarks/fleet)
+    --model-metadata             honor owner/group/mode attributes (the
+                                 metadata-aware FS model; permission races
+                                 become checkable)
+    --model-latest               model `ensure => latest` packages distinctly
+                                 from `present` (version-bump re-overwrite)
     --no-commutativity           disable the commutativity check (fig. 11c)
     --no-pruning                 disable path pruning (fig. 11b)
     --no-elimination             disable resource elimination
@@ -96,6 +101,8 @@ fn parse_args() -> Result<Args, String> {
                 list = Some(argv.next().ok_or("--list needs a value")?);
             }
             "--json" => json = true,
+            "--model-metadata" => options.model_metadata = true,
+            "--model-latest" => options.model_latest = true,
             "--no-commutativity" => options.commutativity = false,
             "--no-pruning" => options.pruning = false,
             "--no-elimination" => options.elimination = false,
@@ -116,6 +123,13 @@ fn parse_args() -> Result<Args, String> {
         cache,
         list,
     })
+}
+
+/// The tool configured from the command line. Both modeling flags ride
+/// in `AnalysisOptions`, so the fleet engine and the verdict cache see
+/// exactly what the single-shot commands do.
+fn tool_for(args: &Args) -> Rehearsal {
+    Rehearsal::new(args.platform).with_options(args.options.clone())
 }
 
 fn read_manifest(args: &Args) -> Result<String, String> {
@@ -147,6 +161,7 @@ fn print_determinism(report: &rehearsal::DeterminismReport, graph: &rehearsal::F
 fn check_json(
     path: &str,
     platform: Platform,
+    model_metadata: bool,
     report: &rehearsal::DeterminismReport,
     idempotence: Option<&rehearsal::IdempotenceReport>,
 ) -> Json {
@@ -159,9 +174,10 @@ fn check_json(
         "deterministic"
     };
     Json::obj([
-        ("schema", Json::str("rehearsal-check/2")),
+        ("schema", Json::str("rehearsal-check/3")),
         ("manifest", Json::str(path)),
         ("platform", Json::str(platform.to_string())),
+        ("model_metadata", Json::Bool(model_metadata)),
         ("verdict", Json::str(verdict)),
         ("deterministic", Json::Bool(report.is_deterministic())),
         (
@@ -181,6 +197,11 @@ fn check_json(
                 ),
                 ("paths", Json::num(stats.paths as u32)),
                 ("tracked_paths", Json::num(stats.tracked_paths as u32)),
+                ("meta_ops", Json::num(stats.meta_ops as u32)),
+                (
+                    "meta_tracked_paths",
+                    Json::num(stats.meta_tracked_paths as u32),
+                ),
                 // Sequence and solver counters can exceed u32 (the state
                 // cache accounts factorial spaces; propagations run tens
                 // of millions/second) — serialize as f64 to keep the
@@ -214,8 +235,13 @@ fn check_json(
 fn run_check(args: &Args) -> Result<bool, String> {
     let path = args.paths.first().cloned().unwrap_or_default();
     let source = read_manifest(args)?;
-    let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
-    let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+    let tool = tool_for(args);
+    let (graph, diagnostics) = tool
+        .lower_with_diagnostics(&source)
+        .map_err(|e| e.to_string())?;
+    for d in &diagnostics {
+        eprintln!("note: {d}");
+    }
     let report = rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
     let idem = if report.is_deterministic() {
         Some(rehearsal::check_idempotence(&graph, &args.options).map_err(|e| e.to_string())?)
@@ -225,7 +251,14 @@ fn run_check(args: &Args) -> Result<bool, String> {
     if args.json {
         println!(
             "{}",
-            check_json(&path, args.platform, &report, idem.as_ref()).render_pretty()
+            check_json(
+                &path,
+                args.platform,
+                args.options.model_metadata,
+                &report,
+                idem.as_ref()
+            )
+            .render_pretty()
         );
     } else {
         print_determinism(&report, &graph);
@@ -243,7 +276,7 @@ fn run_benchmarks(args: &Args) -> Result<bool, String> {
     for b in rehearsal::benchmarks::SUITE {
         // Each benchmark gets its own deadline: the per-analysis budget
         // (--timeout) restarts here rather than being shared by the suite.
-        let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+        let tool = tool_for(args);
         let start = std::time::Instant::now();
         match tool.check_determinism(b.source) {
             Ok(report) => {
@@ -352,7 +385,7 @@ fn run() -> Result<bool, String> {
         "check" => run_check(&args),
         "idempotence" => {
             let source = read_manifest(&args)?;
-            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let tool = tool_for(&args);
             let report = tool.check_idempotence(&source).map_err(|e| e.to_string())?;
             let mark = if report.is_idempotent() {
                 "✔ "
@@ -364,7 +397,7 @@ fn run() -> Result<bool, String> {
         }
         "repair" => {
             let source = read_manifest(&args)?;
-            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let tool = tool_for(&args);
             let graph = tool.lower(&source).map_err(|e| e.to_string())?;
             match rehearsal::suggest_repair(&graph, &args.options).map_err(|e| e.to_string())? {
                 rehearsal::RepairReport::AlreadyDeterministic => {
@@ -390,7 +423,7 @@ fn run() -> Result<bool, String> {
         }
         "apply" => {
             let source = read_manifest(&args)?;
-            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let tool = tool_for(&args);
             let graph = tool.lower(&source).map_err(|e| e.to_string())?;
             // Warn loudly when simulating a nondeterministic manifest.
             let report =
@@ -429,7 +462,7 @@ final machine state:"
         }
         "graph" => {
             let source = read_manifest(&args)?;
-            let tool = Rehearsal::new(args.platform).with_options(args.options.clone());
+            let tool = tool_for(&args);
             let graph = tool.lower(&source).map_err(|e| e.to_string())?;
             println!("{} resources:", graph.names.len());
             for (i, name) in graph.names.iter().enumerate() {

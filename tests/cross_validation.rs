@@ -113,7 +113,7 @@ fn random_graph(rng: &mut Prng) -> FsGraph {
 fn consistent_states(ps: &[FsPath], cs: &[Content]) -> Vec<FileSystem> {
     enumerate_filesystems(ps, cs)
         .into_iter()
-        .map(|fs| fs.set(FsPath::root(), FileState::Dir))
+        .map(|fs| fs.set(FsPath::root(), FileState::DIR))
         .filter(|fs| {
             fs.iter().all(|(p, _)| match p.parent() {
                 None => true,

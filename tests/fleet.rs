@@ -1,7 +1,8 @@
 //! Integration tests for the fleet batch-verification engine and the
-//! `rehearsal fleet` CI gate, over the bundled 13-benchmark suite.
+//! `rehearsal fleet` CI gate, over the bundled 13-benchmark suite and the
+//! metadata permission-race suite.
 
-use rehearsal::benchmarks::SUITE;
+use rehearsal::benchmarks::{METADATA_SUITE, SUITE};
 use rehearsal::fleet::{parse_json, FleetEngine, FleetJob, FleetOptions, Json, Verdict};
 use rehearsal::Platform;
 use std::path::{Path, PathBuf};
@@ -231,6 +232,170 @@ fn cli_benchmarks_json_with_timeout() {
         .iter()
         .all(|r| r.get("expected").and_then(Json::as_bool) == Some(true)));
     assert_eq!(doc.get("all_expected").and_then(Json::as_bool), Some(true));
+}
+
+fn metadata_jobs() -> Vec<FleetJob> {
+    METADATA_SUITE
+        .iter()
+        .map(|b| FleetJob {
+            name: format!("{}.pp", b.name),
+            source: b.source.to_string(),
+            platform: Platform::Ubuntu,
+        })
+        .collect()
+}
+
+/// Pinned verdicts for the permission-race suite: with the metadata model
+/// off the races are invisible (all six verify clean), with it on the
+/// three `-nondet` manifests report NONDET and their `->`-fixed twins
+/// stay deterministic *and* idempotent. The two configurations must not
+/// share cache entries.
+#[test]
+fn metadata_suite_verdicts_are_pinned() {
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(2));
+    let plain = engine.run(metadata_jobs());
+    for row in &plain.rows {
+        assert_eq!(
+            row.verdict,
+            Verdict::Deterministic,
+            "{}: metadata-only races must be invisible without the model",
+            row.manifest
+        );
+    }
+    assert!(plain.all_clean());
+
+    let mut options = FleetOptions::default().with_jobs(2);
+    options.analysis.model_metadata = true;
+    let mut engine_meta = FleetEngine::new(options);
+    let meta = engine_meta.run(metadata_jobs());
+    assert_eq!(meta.rows.len(), 6);
+    for (row, b) in meta.rows.iter().zip(METADATA_SUITE) {
+        let expected = if b.deterministic_with_metadata {
+            Verdict::Deterministic
+        } else {
+            Verdict::Nondeterministic
+        };
+        assert_eq!(row.verdict, expected, "{}", b.name);
+        assert!(
+            !row.cached,
+            "{}: distinct options must miss the cache",
+            b.name
+        );
+    }
+    let c = meta.counts();
+    assert_eq!((c.deterministic, c.nondeterministic), (3, 3));
+    assert!(!meta.all_clean(), "the races gate the fleet");
+    // Warm rerun under the same options is all hits.
+    let warm = engine_meta.run(metadata_jobs());
+    assert_eq!(warm.counts().cached, 6);
+}
+
+/// The CLI gate with `--model-metadata`: exits non-zero on the race suite
+/// and reports the 3/3 split; without the flag the same directory passes.
+#[test]
+fn cli_fleet_model_metadata_gate() {
+    let dir = std::env::temp_dir()
+        .join("rehearsal-fleet-it")
+        .join("metadata");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for b in METADATA_SUITE {
+        std::fs::write(dir.join(format!("{}.pp", b.name)), b.source).unwrap();
+    }
+    let out = rehearsal()
+        .args(["fleet", dir.to_str().unwrap(), "--jobs", "2", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "clean without the metadata model");
+
+    let out = rehearsal()
+        .args([
+            "fleet",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--json",
+            "--model-metadata",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "races fail the gate");
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let counts = doc.get("counts").expect("counts");
+    assert_eq!(counts.get("deterministic").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        counts.get("nondeterministic").and_then(Json::as_u64),
+        Some(3)
+    );
+}
+
+/// `check --json --model-metadata` reports schema 3 with the metadata
+/// counters, and the counterexample replays as two succeeding orders.
+#[test]
+fn cli_check_json_metadata_schema() {
+    let dir = std::env::temp_dir()
+        .join("rehearsal-fleet-it")
+        .join("metadata-check");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let b = METADATA_SUITE
+        .iter()
+        .find(|b| b.name == "webroot-perms-nondet")
+        .unwrap();
+    let path = dir.join("webroot-perms-nondet.pp");
+    std::fs::write(&path, b.source).unwrap();
+
+    let out = rehearsal()
+        .args([
+            "check",
+            path.to_str().unwrap(),
+            "--json",
+            "--model-metadata",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("rehearsal-check/3")
+    );
+    assert_eq!(
+        doc.get("model_metadata").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some("nondeterministic")
+    );
+    let stats = doc.get("stats").expect("stats");
+    assert!(stats.get("meta_ops").and_then(Json::as_u64).unwrap() >= 2);
+    assert!(
+        stats
+            .get("meta_tracked_paths")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    // Without the flag the same manifest is clean and reports zero
+    // metadata counters (the model is off, schema stays 3).
+    let out = rehearsal()
+        .args(["check", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("model_metadata").and_then(Json::as_bool),
+        Some(false)
+    );
+    let stats = doc.get("stats").expect("stats");
+    assert_eq!(stats.get("meta_ops").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        stats.get("meta_tracked_paths").and_then(Json::as_u64),
+        Some(0)
+    );
 }
 
 /// The scratch fleet directory layout is discovered recursively.

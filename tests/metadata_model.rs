@@ -1,0 +1,195 @@
+//! Acceptance tests for the metadata-aware FS model.
+//!
+//! * With `model_metadata` disabled, the bundled 13-benchmark suite is
+//!   bit-identical to the metadata-free analyzer: same verdicts *and*
+//!   same exploration statistics, with zero metadata terms anywhere.
+//! * With it enabled, the permission-race benchmarks report NONDET with a
+//!   concrete two-order counterexample, and their `->`-fixed twins verify
+//!   deterministic and idempotent.
+//! * `ensure => latest` still aliases to `present` by default (with a
+//!   diagnostic) and differs once distinct modeling is on.
+
+use rehearsal::benchmarks::{METADATA_SUITE, SUITE};
+use rehearsal::{AnalysisOptions, DeterminismReport, Platform, Rehearsal};
+
+fn tool() -> Rehearsal {
+    Rehearsal::new(Platform::Ubuntu)
+}
+
+/// (a) Bit-identical suite with the model off: the default configuration
+/// and an explicit `model_metadata: false` agree on verdict and on every
+/// exploration counter, and no metadata is ever tracked.
+#[test]
+fn suite_is_bit_identical_with_metadata_off() {
+    let mut det = 0;
+    let mut nondet = 0;
+    for b in SUITE {
+        let default_report = tool().check_determinism(b.source).unwrap();
+        let explicit_off = AnalysisOptions {
+            model_metadata: false,
+            ..AnalysisOptions::default()
+        };
+        let off_report = tool()
+            .with_options(explicit_off)
+            .check_determinism(b.source)
+            .unwrap();
+        assert_eq!(
+            default_report.is_deterministic(),
+            off_report.is_deterministic(),
+            "{}",
+            b.name
+        );
+        assert_eq!(
+            default_report.is_deterministic(),
+            b.deterministic,
+            "{}: pinned verdict",
+            b.name
+        );
+        let (ds, os) = (default_report.stats(), off_report.stats());
+        assert_eq!(ds, os, "{}: stats must be bit-identical", b.name);
+        assert_eq!(ds.meta_ops, 0, "{}", b.name);
+        assert_eq!(ds.meta_tracked_paths, 0, "{}", b.name);
+        if default_report.is_deterministic() {
+            det += 1;
+        } else {
+            nondet += 1;
+        }
+    }
+    assert_eq!((det, nondet), (7, 6), "the paper's 7/6 split");
+}
+
+/// (Acceptance) The permission-race benchmarks under the metadata model:
+/// NONDET with a replayed two-order counterexample; fixed twins verify
+/// fully (deterministic *and* idempotent).
+#[test]
+fn permission_races_are_caught_and_fixable() {
+    for b in METADATA_SUITE {
+        let t = tool().with_model_metadata(true);
+        if b.deterministic_with_metadata {
+            let report = t
+                .verify(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(
+                report.determinism.is_deterministic(),
+                "{}: fixed twin must be deterministic",
+                b.name
+            );
+            assert!(
+                report
+                    .idempotence
+                    .as_ref()
+                    .map(|r| r.is_idempotent())
+                    .unwrap_or(false),
+                "{}: fixed twin must be idempotent",
+                b.name
+            );
+        } else {
+            let report = t
+                .check_determinism(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let DeterminismReport::NonDeterministic(cex, stats) = report else {
+                panic!("{}: the race must be caught", b.name);
+            };
+            assert!(stats.meta_ops > 0, "{}", b.name);
+            assert!(stats.meta_tracked_paths > 0, "{}", b.name);
+            // A concrete two-order counterexample: both orders run (and
+            // succeed — these races are silent divergences), with
+            // observably different outcomes.
+            assert_ne!(cex.order_a, cex.order_b, "{}", b.name);
+            assert!(
+                cex.outcome_a.is_ok() && cex.outcome_b.is_ok(),
+                "{}: metadata races are silent (both orders succeed)",
+                b.name
+            );
+            assert_ne!(cex.outcome_a, cex.outcome_b, "{}: must replay", b.name);
+        }
+        // And without the model, every manifest in the suite verifies
+        // clean — the races are metadata-only by construction.
+        let plain = tool().verify(b.source).unwrap();
+        assert!(
+            plain.is_correct(),
+            "{}: invisible without the model",
+            b.name
+        );
+    }
+}
+
+/// The fleet engine honors `model_latest` (it rides in
+/// `AnalysisOptions`, so the engine and the verdict-cache key both see
+/// it): a file resource pinning a package file to the *install* payload
+/// is clean when `latest` aliases to `present`, and a genuine race once
+/// the upgrade is modeled distinctly. The two configurations must not
+/// share cache entries.
+#[test]
+fn fleet_honors_model_latest() {
+    use rehearsal::fleet::{FleetEngine, FleetJob, FleetOptions, Verdict};
+    // /etc is managed explicitly (and auto-required / required by both
+    // sides), so the package and the pinning file race only over the
+    // *payload* of /etc/ntp.conf — identical when latest aliases to the
+    // install, version-bumped when the upgrade is modeled.
+    let src = "file { '/etc': ensure => directory }\n\
+               package { 'ntp': ensure => latest, require => File['/etc'] }\n\
+               file { '/etc/ntp.conf': content => 'pkg:ntp:/etc/ntp.conf' }\n";
+    let job = || {
+        vec![FleetJob {
+            name: "latest-race.pp".to_string(),
+            source: src.to_string(),
+            platform: Platform::Ubuntu,
+        }]
+    };
+    let mut aliased = FleetEngine::new(FleetOptions::default().with_jobs(1));
+    let report = aliased.run(job());
+    assert_eq!(
+        report.rows[0].verdict,
+        Verdict::Deterministic,
+        "aliased latest writes the same payload as the pinning file"
+    );
+
+    let mut options = FleetOptions::default().with_jobs(1);
+    options.analysis.model_latest = true;
+    let mut distinct = FleetEngine::new(options);
+    let report = distinct.run(job());
+    assert_eq!(
+        report.rows[0].verdict,
+        Verdict::Nondeterministic,
+        "the modeled upgrade races the pinned file"
+    );
+    assert!(
+        !report.rows[0].cached,
+        "distinct options → distinct cache key"
+    );
+}
+
+/// `ensure => latest` satellite: aliased (with a diagnostic) by default,
+/// distinct — up to manifest-level divergence — with the model on.
+#[test]
+fn latest_vs_present_through_the_pipeline() {
+    let latest_src = "package { 'vim': ensure => latest }";
+    let present_src = "package { 'vim': ensure => present }";
+
+    // Default: same graph, plus a diagnostic.
+    let (latest_graph, diags) = tool().lower_with_diagnostics(latest_src).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].contains("latest"), "{diags:?}");
+    let (present_graph, no_diags) = tool().lower_with_diagnostics(present_src).unwrap();
+    assert!(no_diags.is_empty());
+    assert_eq!(
+        latest_graph.exprs, present_graph.exprs,
+        "aliased by default"
+    );
+
+    // Distinct modeling: the compiled programs are observably different.
+    let t = tool().with_model_latest(true);
+    let (latest_graph, _) = t.lower_with_diagnostics(latest_src).unwrap();
+    assert_ne!(latest_graph.exprs, present_graph.exprs);
+    let report = rehearsal::check_expr_equivalence(
+        latest_graph.exprs[0],
+        present_graph.exprs[0],
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        !report.is_equivalent(),
+        "latest and present must now differ semantically"
+    );
+}
