@@ -278,7 +278,8 @@ impl DeterminismReport {
 }
 
 /// A resource graph lowered to FS programs: expressions plus dependency
-/// edges (`(before, after)` index pairs) and display names.
+/// edges (`(before, after)` index pairs), display names, and the source
+/// span of each resource's declaration (for source-anchored findings).
 #[derive(Debug, Clone, Default)]
 pub struct FsGraph {
     /// One FS program per resource.
@@ -287,10 +288,14 @@ pub struct FsGraph {
     pub edges: BTreeSet<(usize, usize)>,
     /// Human-readable resource names (e.g. `Package[vim]`).
     pub names: Vec<String>,
+    /// The manifest span each resource was declared at (parallel to
+    /// `names`; dummy spans for synthesized graphs).
+    pub spans: Vec<rehearsal_diag::Span>,
 }
 
 impl FsGraph {
-    /// Builds a graph, checking edge bounds.
+    /// Builds a graph, checking edge bounds. Resources get dummy spans;
+    /// use [`FsGraph::with_spans`] to attach declaration sites.
     ///
     /// # Panics
     ///
@@ -301,11 +306,33 @@ impl FsGraph {
         for &(a, b) in &edges {
             assert!(a < exprs.len() && b < exprs.len());
         }
+        let spans = vec![rehearsal_diag::Span::DUMMY; names.len()];
         FsGraph {
             exprs,
             edges,
             names,
+            spans,
         }
+    }
+
+    /// Attaches per-resource declaration spans (parallel to `names`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn with_spans(mut self, spans: Vec<rehearsal_diag::Span>) -> FsGraph {
+        assert_eq!(spans.len(), self.names.len());
+        self.spans = spans;
+        self
+    }
+
+    /// One resource's declaration span (dummy when unknown).
+    pub fn span(&self, i: usize) -> rehearsal_diag::Span {
+        self.spans
+            .get(i)
+            .copied()
+            .unwrap_or(rehearsal_diag::Span::DUMMY)
     }
 
     fn successors(&self) -> Vec<Vec<usize>> {
@@ -900,6 +927,7 @@ fn subgraph(graph: &FsGraph, alive: &BTreeSet<usize>) -> FsGraph {
             .filter(|(a, b)| alive.contains(a) && alive.contains(b))
             .map(|&(a, b)| (renumber[&a], renumber[&b]))
             .collect(),
+        spans: index.iter().map(|&i| graph.span(i)).collect(),
     }
 }
 

@@ -60,6 +60,11 @@ pub use idempotence::{
     check_expr_idempotence, check_idempotence, IdempotenceCounterexample, IdempotenceReport,
 };
 pub use invariants::{check_expr_invariant, check_invariant, Invariant, InvariantReport};
-pub use pipeline::{Rehearsal, RehearsalError, VerificationReport};
+pub use pipeline::{
+    Rehearsal, RehearsalError, RehearsalErrorKind, SourceAnalysis, VerificationReport,
+};
 pub use repair::{suggest_repair, RepairReport};
-pub use report::{render_counterexample, render_determinism, render_idempotence};
+pub use report::{
+    aborted_diagnostic, determinism_diagnostics, idempotence_diagnostics, race_diagnostic,
+    racing_pair, render_counterexample, render_determinism, render_idempotence,
+};

@@ -7,39 +7,81 @@ use crate::determinism::{
 };
 use crate::idempotence::{check_idempotence, IdempotenceReport};
 use crate::invariants::{check_invariant, Invariant, InvariantReport};
+use crate::report::{aborted_diagnostic, determinism_diagnostics, idempotence_diagnostics};
+use rehearsal_diag::{Diagnostic, SourceMap};
 use rehearsal_pkgdb::{PackageDb, Platform};
 use rehearsal_puppet::{
     evaluate, parse, Catalog, CycleError, EvalError, Facts, ParseError, ResourceGraph,
 };
 use rehearsal_resources::{compile, CompileCtx, CompileError};
-use std::collections::BTreeSet;
 use std::fmt;
 
-/// Any error on the road from manifest text to a verdict.
-#[derive(Debug)]
-pub enum RehearsalError {
+/// Which pipeline stage a [`RehearsalError`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RehearsalErrorKind {
     /// Lexing/parsing failed.
-    Parse(ParseError),
+    Parse,
     /// Catalog compilation failed.
-    Eval(EvalError),
+    Eval,
     /// The dependency graph has a cycle (e.g. the paper's fig. 3b
     /// composition).
-    Cycle(CycleError),
+    Cycle,
     /// A resource could not be modeled as an FS program.
-    Compile(CompileError),
+    Compile,
     /// The analysis ran out of time or space.
-    Aborted(AnalysisAborted),
+    Aborted,
+}
+
+/// Any error on the road from manifest text to a verdict: a thin wrapper
+/// over source-anchored [`Diagnostic`]s, tagged with the pipeline stage.
+///
+/// `Display` keeps the historical one-line message (e.g.
+/// `parse error at 3:7: unexpected token`); use
+/// [`RehearsalError::diagnostics`] for the structured findings with spans
+/// and stable codes, and a [`SourceMap`] to render snippets.
+#[derive(Debug, Clone)]
+pub struct RehearsalError {
+    kind: RehearsalErrorKind,
+    message: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl RehearsalError {
+    fn new(kind: RehearsalErrorKind, message: String, diagnostics: Vec<Diagnostic>) -> Self {
+        RehearsalError {
+            kind,
+            message,
+            diagnostics,
+        }
+    }
+
+    /// Which stage failed.
+    pub fn kind(&self) -> RehearsalErrorKind {
+        self.kind
+    }
+
+    /// The structured findings (≥ 1; the first is the principal error).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Consumes the error into its findings.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diagnostics
+    }
+
+    /// The principal finding's stable code (e.g. `R0001`).
+    pub fn code(&self) -> &str {
+        self.diagnostics
+            .first()
+            .map(|d| d.code.as_str())
+            .unwrap_or("R0000")
+    }
 }
 
 impl fmt::Display for RehearsalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RehearsalError::Parse(e) => write!(f, "{e}"),
-            RehearsalError::Eval(e) => write!(f, "{e}"),
-            RehearsalError::Cycle(e) => write!(f, "{e}"),
-            RehearsalError::Compile(e) => write!(f, "{e}"),
-            RehearsalError::Aborted(e) => write!(f, "{e}"),
-        }
+        write!(f, "{}", self.message)
     }
 }
 
@@ -47,27 +89,44 @@ impl std::error::Error for RehearsalError {}
 
 impl From<ParseError> for RehearsalError {
     fn from(e: ParseError) -> Self {
-        RehearsalError::Parse(e)
+        RehearsalError::new(
+            RehearsalErrorKind::Parse,
+            e.to_string(),
+            vec![e.to_diagnostic()],
+        )
     }
 }
 impl From<EvalError> for RehearsalError {
     fn from(e: EvalError) -> Self {
-        RehearsalError::Eval(e)
+        RehearsalError::new(
+            RehearsalErrorKind::Eval,
+            e.to_string(),
+            vec![e.to_diagnostic()],
+        )
     }
 }
 impl From<CycleError> for RehearsalError {
     fn from(e: CycleError) -> Self {
-        RehearsalError::Cycle(e)
+        RehearsalError::new(
+            RehearsalErrorKind::Cycle,
+            e.to_string(),
+            vec![e.to_diagnostic()],
+        )
     }
 }
 impl From<CompileError> for RehearsalError {
     fn from(e: CompileError) -> Self {
-        RehearsalError::Compile(e)
+        RehearsalError::new(
+            RehearsalErrorKind::Compile,
+            e.to_string(),
+            vec![e.to_diagnostic()],
+        )
     }
 }
 impl From<AnalysisAborted> for RehearsalError {
     fn from(e: AnalysisAborted) -> Self {
-        RehearsalError::Aborted(e)
+        let d = aborted_diagnostic(&e);
+        RehearsalError::new(RehearsalErrorKind::Aborted, e.to_string(), vec![d])
     }
 }
 
@@ -209,21 +268,21 @@ impl Rehearsal {
     ///
     /// Parse, evaluation, cycle, or resource-compilation errors.
     pub fn lower(&self, source: &str) -> Result<FsGraph, RehearsalError> {
-        Ok(self.lower_with_diagnostics(source)?.0)
+        Ok(self.lower_source(source)?.0)
     }
 
-    /// Lowers a manifest, also returning the resource compiler's non-fatal
-    /// modeling diagnostics (e.g. the `ensure => latest` aliasing note).
+    /// Lowers a manifest to an [`FsGraph`], also returning the non-fatal
+    /// [`Diagnostic`]s emitted on the way (e.g. the `ensure => latest`
+    /// modeling warning) — the one lowering entry point of the unified
+    /// diagnostics API.
     ///
     /// # Errors
     ///
-    /// Parse, evaluation, cycle, or resource-compilation errors.
-    pub fn lower_with_diagnostics(
-        &self,
-        source: &str,
-    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
+    /// Parse, evaluation, cycle, or resource-compilation errors (each a
+    /// [`RehearsalError`] wrapping source-anchored diagnostics).
+    pub fn lower_source(&self, source: &str) -> Result<(FsGraph, Vec<Diagnostic>), RehearsalError> {
         let catalog = self.catalog(source)?;
-        self.lower_catalog_with_diagnostics(&catalog)
+        self.lower_catalog_source(&catalog)
     }
 
     /// Lowers an already-evaluated catalog to an [`FsGraph`].
@@ -232,19 +291,19 @@ impl Rehearsal {
     ///
     /// Cycle or resource-compilation errors.
     pub fn lower_catalog(&self, catalog: &Catalog) -> Result<FsGraph, RehearsalError> {
-        Ok(self.lower_catalog_with_diagnostics(catalog)?.0)
+        Ok(self.lower_catalog_source(catalog)?.0)
     }
 
-    /// Lowers an already-evaluated catalog, also returning compiler
-    /// diagnostics.
+    /// Lowers an already-evaluated catalog, also returning the non-fatal
+    /// [`Diagnostic`]s.
     ///
     /// # Errors
     ///
     /// Cycle or resource-compilation errors.
-    pub fn lower_catalog_with_diagnostics(
+    pub fn lower_catalog_source(
         &self,
         catalog: &Catalog,
-    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
+    ) -> Result<(FsGraph, Vec<Diagnostic>), RehearsalError> {
         let graph = ResourceGraph::from_catalog(catalog)?;
         let ctx = CompileCtx::new(&self.db)
             .with_dependency_closures(self.dependency_closures)
@@ -252,12 +311,60 @@ impl Rehearsal {
             .with_model_latest(self.options.model_latest);
         let mut exprs = Vec::with_capacity(graph.len());
         let mut names = Vec::with_capacity(graph.len());
+        let mut spans = Vec::with_capacity(graph.len());
         for r in graph.resources() {
-            exprs.push(compile(r, &ctx)?);
+            match compile(r, &ctx) {
+                Ok(e) => exprs.push(e),
+                Err(e) => {
+                    // Keep the modeling warnings already emitted for earlier
+                    // resources: the error's diagnostics are the full stream
+                    // up to the failure, not just the failure.
+                    let mut err = RehearsalError::from(e);
+                    err.diagnostics.extend(ctx.drain_diagnostics());
+                    return Err(err);
+                }
+            }
             names.push(r.display_name());
+            spans.push(r.span());
         }
-        let edges: BTreeSet<(usize, usize)> = graph.edges().iter().copied().collect();
-        Ok((FsGraph::new(exprs, edges, names), ctx.take_diagnostics()))
+        let edges: std::collections::BTreeSet<(usize, usize)> =
+            graph.edges().iter().copied().collect();
+        Ok((
+            FsGraph::new(exprs, edges, names).with_spans(spans),
+            ctx.drain_diagnostics(),
+        ))
+    }
+
+    /// Deprecated shim for the pre-unified-diagnostics API: diagnostics as
+    /// plain strings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rehearsal::lower_source`].
+    #[deprecated(since = "0.2.0", note = "use `lower_source` (structured diagnostics)")]
+    pub fn lower_with_diagnostics(
+        &self,
+        source: &str,
+    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
+        let (graph, diags) = self.lower_source(source)?;
+        Ok((graph, diags.into_iter().map(|d| d.message).collect()))
+    }
+
+    /// Deprecated shim for the pre-unified-diagnostics API.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rehearsal::lower_catalog_source`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `lower_catalog_source` (structured diagnostics)"
+    )]
+    pub fn lower_catalog_with_diagnostics(
+        &self,
+        catalog: &Catalog,
+    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
+        let (graph, diags) = self.lower_catalog_source(catalog)?;
+        Ok((graph, diags.into_iter().map(|d| d.message).collect()))
     }
 
     /// Runs the determinacy analysis on a manifest.
@@ -314,6 +421,126 @@ impl Rehearsal {
             determinism,
             idempotence,
         })
+    }
+
+    /// The unified-diagnostics entry point: verifies a named manifest and
+    /// returns everything as one [`SourceAnalysis`] — the verdict (when
+    /// the pipeline got that far), the lowered graph, every [`Diagnostic`]
+    /// (errors, analysis findings like the `R3001` race report, and
+    /// modeling warnings), and a [`SourceMap`] ready to render snippets.
+    ///
+    /// Unlike [`Rehearsal::verify`], this never returns `Err`: failures
+    /// become error diagnostics with `report: None`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rehearsal_core::Rehearsal;
+    /// use rehearsal_pkgdb::Platform;
+    ///
+    /// let tool = Rehearsal::new(Platform::Ubuntu);
+    /// let analysis = tool.verify_source(
+    ///     "race.pp",
+    ///     "file { '/home/carol/.vimrc': content => 'syntax on' }\n\
+    ///      user { 'carol': ensure => present, managehome => true }\n",
+    /// );
+    /// // Nondeterministic: the race is reported as a source-anchored
+    /// // R3001 diagnostic pointing at both declarations.
+    /// let race = &analysis.diagnostics[0];
+    /// assert_eq!(race.code, "R3001");
+    /// let rendered = analysis.source_map.render(race);
+    /// assert!(rendered.contains("--> race.pp:"));
+    /// ```
+    pub fn verify_source(&self, name: &str, source: &str) -> SourceAnalysis {
+        let source_map = SourceMap::single(name, source);
+        let mut diagnostics = Vec::new();
+        let (graph, warnings) = match self.lower_source(source) {
+            Ok(ok) => ok,
+            Err(e) => {
+                diagnostics.extend(e.into_diagnostics());
+                return SourceAnalysis {
+                    report: None,
+                    graph: None,
+                    diagnostics,
+                    source_map,
+                };
+            }
+        };
+        diagnostics.extend(warnings);
+        let determinism = match check_determinism(&graph, &self.options) {
+            Ok(report) => report,
+            Err(aborted) => {
+                diagnostics.push(crate::report::aborted_diagnostic(&aborted));
+                return SourceAnalysis {
+                    report: None,
+                    graph: Some(graph),
+                    diagnostics,
+                    source_map,
+                };
+            }
+        };
+        diagnostics.extend(determinism_diagnostics(&determinism, &graph));
+        let idempotence = if determinism.is_deterministic() {
+            match check_idempotence(&graph, &self.options) {
+                Ok(report) => {
+                    diagnostics.extend(idempotence_diagnostics(&report, &graph));
+                    Some(report)
+                }
+                Err(aborted) => {
+                    diagnostics.push(crate::report::aborted_diagnostic(&aborted));
+                    return SourceAnalysis {
+                        report: None,
+                        graph: Some(graph),
+                        diagnostics,
+                        source_map,
+                    };
+                }
+            }
+        } else {
+            None
+        };
+        SourceAnalysis {
+            report: Some(VerificationReport {
+                determinism,
+                idempotence,
+            }),
+            graph: Some(graph),
+            diagnostics,
+            source_map,
+        }
+    }
+}
+
+/// Everything [`Rehearsal::verify_source`] learned about one manifest.
+#[derive(Debug)]
+pub struct SourceAnalysis {
+    /// The verdict, when the pipeline reached the analyses (`None` on
+    /// frontend/compile errors or an aborted analysis).
+    pub report: Option<VerificationReport>,
+    /// The lowered graph, when lowering succeeded.
+    pub graph: Option<FsGraph>,
+    /// Every finding, most severe first within each stage: pipeline
+    /// errors, analysis findings (`R3001`/`R3002`), modeling warnings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Renders the diagnostics against the named source.
+    pub source_map: SourceMap,
+}
+
+impl SourceAnalysis {
+    /// Whether the manifest verified clean (deterministic + idempotent,
+    /// no error diagnostics).
+    pub fn is_correct(&self) -> bool {
+        self.report
+            .as_ref()
+            .map(VerificationReport::is_correct)
+            .unwrap_or(false)
+    }
+
+    /// Findings at [`rehearsal_diag::Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == rehearsal_diag::Severity::Error)
     }
 }
 
@@ -418,7 +645,8 @@ mod tests {
             ocaml { 'dev': }
         "#;
         let err = tool().check_determinism(src).unwrap_err();
-        assert!(matches!(err, RehearsalError::Cycle(_)), "got: {err}");
+        assert_eq!(err.kind(), RehearsalErrorKind::Cycle, "got: {err}");
+        assert_eq!(err.code(), "R0201");
     }
 
     #[test]
@@ -461,7 +689,70 @@ mod tests {
         let err = tool()
             .check_determinism("exec { 'apt-get update': }")
             .unwrap_err();
-        assert!(matches!(err, RehearsalError::Compile(_)));
+        assert_eq!(err.kind(), RehearsalErrorKind::Compile);
+        assert_eq!(err.code(), "R1002");
+        assert!(
+            err.diagnostics()[0].has_resolvable_span(),
+            "compile errors point at the declaration"
+        );
+    }
+
+    #[test]
+    fn verify_source_reports_race_with_both_declarations() {
+        let src = "package { 'vim': ensure => present }\n\
+                   file { '/home/carol/.vimrc': content => 'syntax on' }\n\
+                   user { 'carol': ensure => present, managehome => true }\n";
+        let a = tool().verify_source("intro.pp", src);
+        assert!(!a.is_correct());
+        let race = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "R3001")
+            .expect("race diagnostic");
+        assert!(race.primary.is_some());
+        assert_eq!(race.secondary.len(), 1);
+        assert!(race.has_resolvable_span());
+        let rendered = a.source_map.render(race);
+        assert!(rendered.contains("--> intro.pp:"), "{rendered}");
+        // Both racing declarations are shown as snippets.
+        assert!(rendered.matches("--> intro.pp:").count() >= 2, "{rendered}");
+    }
+
+    #[test]
+    fn verify_source_turns_errors_into_diagnostics() {
+        let a = tool().verify_source("bad.pp", "package { 'x' oops }");
+        assert!(a.report.is_none());
+        assert_eq!(a.diagnostics[0].code, "R0001");
+        assert!(a.errors().count() >= 1);
+        let rendered = a.source_map.render(&a.diagnostics[0]);
+        assert!(rendered.contains("bad.pp:1:"), "{rendered}");
+    }
+
+    #[test]
+    fn warnings_survive_a_later_compile_error() {
+        // The `latest` warning is emitted for the package before the exec
+        // resource fails compilation; the error must carry both.
+        let src = "package { 'vim': ensure => latest }\nexec { 'x': }";
+        let err = tool().lower_source(src).unwrap_err();
+        assert_eq!(err.kind(), RehearsalErrorKind::Compile);
+        let codes: Vec<&str> = err.diagnostics().iter().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains(&"R1002"), "{codes:?}");
+        assert!(codes.contains(&"R1101"), "warning kept: {codes:?}");
+        // And verify_source surfaces the same full stream.
+        let a = tool().verify_source("mix.pp", src);
+        assert!(a.diagnostics.iter().any(|d| d.code == "R1101"));
+    }
+
+    #[test]
+    fn verify_source_collects_modeling_warnings() {
+        let a = tool().verify_source("latest.pp", "package { 'vim': ensure => latest }");
+        assert!(a.is_correct(), "aliased latest still verifies");
+        let warn = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "R1101")
+            .expect("latest warning");
+        assert!(warn.has_resolvable_span());
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! orders, and the replayed outcomes the way the `rehearsal` CLI prints
 //! them.
 
-use crate::determinism::{Counterexample, DeterminismReport, FsGraph};
-use crate::idempotence::IdempotenceReport;
-use rehearsal_fs::{ExecError, FileSystem};
+use crate::determinism::{AnalysisAborted, Counterexample, DeterminismReport, FsGraph};
+use crate::idempotence::{IdempotenceCounterexample, IdempotenceReport};
+use rehearsal_diag::{codes, Diagnostic, Pos, Span};
+use rehearsal_fs::{eval as concrete_eval, ExecError, FileSystem};
 use std::fmt::Write;
 
 fn describe_outcome(o: &Result<FileSystem, ExecError>) -> String {
@@ -90,6 +91,183 @@ pub fn render_determinism(report: &DeterminismReport, graph: &FsGraph) -> String
             out
         }
     }
+}
+
+/// The two racing resources of a counterexample: the first position where
+/// the two orders diverge names the pair the explorer swapped.
+pub fn racing_pair(cex: &Counterexample) -> (usize, usize) {
+    cex.order_a
+        .iter()
+        .zip(&cex.order_b)
+        .find(|(a, b)| a != b)
+        .map(|(&a, &b)| (a, b))
+        .unwrap_or((0, 0))
+}
+
+fn order_names(order: &[usize], graph: &FsGraph) -> String {
+    order
+        .iter()
+        .map(|&i| graph.names[i].as_str())
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn outcome_word(o: &Result<FileSystem, ExecError>) -> &'static str {
+    if o.is_ok() {
+        "succeeds"
+    } else {
+        "errors"
+    }
+}
+
+/// A determinism counterexample as a source-anchored [`Diagnostic`]
+/// (code `R3001`): the primary label points at the first racing resource's
+/// declaration, the secondary at the other, and the notes carry the two
+/// replayed orders with their outcomes.
+pub fn race_diagnostic(cex: &Counterexample, graph: &FsGraph) -> Diagnostic {
+    let (a, b) = racing_pair(cex);
+    let name_a = graph.names[a].clone();
+    let name_b = graph.names[b].clone();
+    let mut d = Diagnostic::error(
+        codes::NONDETERMINISTIC,
+        format!("{name_a} and {name_b} race: applying them in different orders produces different machine states"),
+    )
+    .with_primary(
+        graph.span(a),
+        format!("this resource races with {name_b}"),
+    )
+    .with_secondary(graph.span(b), "the other racing resource, declared here")
+    .with_note(format!(
+        "order A ({}) {}",
+        order_names(&cex.order_a, graph),
+        outcome_word(&cex.outcome_a)
+    ))
+    .with_note(format!(
+        "order B ({}) {}",
+        order_names(&cex.order_b, graph),
+        outcome_word(&cex.outcome_b)
+    ))
+    .with_payload("resource_a", &name_a)
+    .with_payload("resource_b", &name_b)
+    .with_payload("outcome_a", outcome_word(&cex.outcome_a))
+    .with_payload("outcome_b", outcome_word(&cex.outcome_b));
+    if let (Ok(fa), Ok(fb)) = (&cex.outcome_a, &cex.outcome_b) {
+        let mut diffs: Vec<String> = Vec::new();
+        for (p, s) in fa.iter() {
+            match fb.get(p) {
+                Some(t) if t == s => {}
+                _ => diffs.push(p.to_string()),
+            }
+        }
+        for (p, _) in fb.iter() {
+            if fa.get(p).is_none() {
+                diffs.push(p.to_string());
+            }
+        }
+        if !diffs.is_empty() {
+            diffs.sort();
+            diffs.dedup();
+            let shown = diffs.iter().take(3).cloned().collect::<Vec<_>>().join(", ");
+            let more = diffs.len().saturating_sub(3);
+            d = d.with_note(if more > 0 {
+                format!("both orders succeed but disagree at {shown} (+{more} more)")
+            } else {
+                format!("both orders succeed but disagree at {shown}")
+            });
+        }
+    }
+    d.with_note(format!(
+        "add a dependency between {name_a} and {name_b} (a `->` chain or a \
+         `require`) so one order is always chosen; `rehearsal repair` \
+         suggests the direction"
+    ))
+}
+
+/// Every finding of a determinism report as diagnostics (empty when
+/// deterministic).
+pub fn determinism_diagnostics(report: &DeterminismReport, graph: &FsGraph) -> Vec<Diagnostic> {
+    match report {
+        DeterminismReport::Deterministic(_) => Vec::new(),
+        DeterminismReport::NonDeterministic(cex, _) => vec![race_diagnostic(cex, graph)],
+    }
+}
+
+/// The resource whose *second* application diverges, found by replaying
+/// the counterexample concretely along one topological order.
+fn idempotence_culprit(cex: &IdempotenceCounterexample, graph: &FsGraph) -> Option<usize> {
+    let order = graph.topological_order();
+    let mut fs = cex.initial.clone();
+    // First application (expected to succeed for a meaningful verdict).
+    for &i in &order {
+        fs = concrete_eval(graph.exprs[i], &fs).ok()?;
+    }
+    let after_once = fs.clone();
+    // Second application: the first failing resource is the culprit; if
+    // all succeed, the first whose program touches a differing path.
+    for &i in &order {
+        match concrete_eval(graph.exprs[i], &fs) {
+            Ok(next) => fs = next,
+            Err(_) => return Some(i),
+        }
+    }
+    let mut differing: Vec<String> = Vec::new();
+    for (p, s) in fs.iter() {
+        if after_once.get(p) != Some(s) {
+            differing.push(p.to_string());
+        }
+    }
+    for (p, _) in after_once.iter() {
+        if fs.get(p).is_none() {
+            differing.push(p.to_string());
+        }
+    }
+    order.into_iter().find(|&i| {
+        graph.exprs[i]
+            .paths()
+            .iter()
+            .any(|p| differing.iter().any(|d| *d == p.to_string()))
+    })
+}
+
+/// An idempotence report as source-anchored diagnostics (code `R3002`;
+/// empty when idempotent). The primary label points at the declaration of
+/// the resource whose second application diverges.
+pub fn idempotence_diagnostics(report: &IdempotenceReport, graph: &FsGraph) -> Vec<Diagnostic> {
+    let IdempotenceReport::NotIdempotent(cex) = report else {
+        return Vec::new();
+    };
+    let mut d = Diagnostic::error(
+        codes::NONIDEMPOTENT,
+        "manifest is not idempotent: applying it twice differs from applying it once",
+    )
+    .with_note(format!(
+        "first application {}",
+        outcome_word(&cex.after_once)
+    ))
+    .with_note(format!(
+        "second application {}",
+        outcome_word(&cex.after_twice)
+    ))
+    .with_payload("after_once", outcome_word(&cex.after_once))
+    .with_payload("after_twice", outcome_word(&cex.after_twice));
+    if let Some(i) = idempotence_culprit(cex, graph) {
+        d = d
+            .with_primary(
+                graph.span(i),
+                format!("{}'s second application diverges", graph.names[i]),
+            )
+            .with_payload("resource", &graph.names[i]);
+    } else if let Some(i) = (0..graph.names.len()).find(|&i| !graph.span(i).is_dummy()) {
+        d = d.with_primary(graph.span(i), "first resource of the manifest");
+    }
+    vec![d]
+}
+
+/// An aborted analysis as a diagnostic (code `R3003`), anchored at the
+/// top of the manifest (the abort has no narrower source location).
+pub fn aborted_diagnostic(aborted: &AnalysisAborted) -> Diagnostic {
+    Diagnostic::error(codes::ANALYSIS_ABORTED, aborted.to_string())
+        .with_primary(Span::at(Pos::new(1, 1)), "while analyzing this manifest")
 }
 
 /// Renders an idempotence report.

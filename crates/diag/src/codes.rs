@@ -1,0 +1,191 @@
+//! The registry of stable diagnostic codes.
+//!
+//! Codes are grouped by pipeline stage:
+//!
+//! * `R0xxx` — frontend (lexing, parsing, evaluation, graph construction);
+//! * `R1xxx` — resource compilation and modeling;
+//! * `R3xxx` — analysis findings (determinism, idempotence, budgets).
+//!
+//! Every [`Diagnostic`](crate::Diagnostic) the pipeline emits must use a
+//! code from this table (enforced by a property test in the workspace);
+//! external consumers can rely on the codes being stable across releases.
+
+/// One registered diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable code, e.g. `R3001`.
+    pub code: &'static str,
+    /// One-line summary of what the code means.
+    pub summary: &'static str,
+}
+
+/// Syntax error from the lexer or parser.
+pub const SYNTAX_ERROR: &str = "R0001";
+/// A variable was referenced before assignment.
+pub const UNDEFINED_VARIABLE: &str = "R0101";
+/// `include`/class reference to an unknown class.
+pub const UNKNOWN_CLASS: &str = "R0102";
+/// A resource declaration used an unknown type.
+pub const UNKNOWN_RESOURCE_TYPE: &str = "R0103";
+/// The same resource (type + title) was declared twice.
+pub const DUPLICATE_RESOURCE: &str = "R0104";
+/// A dependency references a resource that is not in the catalog.
+pub const UNKNOWN_REFERENCE: &str = "R0105";
+/// A referenced stage does not exist.
+pub const UNKNOWN_STAGE: &str = "R0106";
+/// A required parameter of a defined type or class was not supplied.
+pub const MISSING_PARAMETER: &str = "R0107";
+/// An unexpected parameter was supplied to a defined type or class.
+pub const UNEXPECTED_PARAMETER: &str = "R0108";
+/// A class was declared resource-style more than once.
+pub const DUPLICATE_CLASS: &str = "R0109";
+/// Any other semantic evaluation error (e.g. `fail()` was called).
+pub const EVAL_ERROR: &str = "R0110";
+/// The dependency graph contains a cycle.
+pub const DEPENDENCY_CYCLE: &str = "R0201";
+/// The resource type is not modeled by the compiler.
+pub const UNMODELED_TYPE: &str = "R1001";
+/// `exec` resources cannot be verified (paper §8).
+pub const EXEC_UNSUPPORTED: &str = "R1002";
+/// A required attribute is missing.
+pub const MISSING_ATTRIBUTE: &str = "R1003";
+/// An attribute has an unsupported or malformed value.
+pub const INVALID_ATTRIBUTE: &str = "R1004";
+/// A `package` resource references a package missing from the database.
+pub const UNKNOWN_PACKAGE: &str = "R1005";
+/// A path attribute failed to parse.
+pub const BAD_PATH: &str = "R1006";
+/// `ensure => latest` modeling note (aliased or version-bumped).
+pub const LATEST_MODELING: &str = "R1101";
+/// The manifest is non-deterministic: two resources race.
+pub const NONDETERMINISTIC: &str = "R3001";
+/// The manifest is not idempotent.
+pub const NONIDEMPOTENT: &str = "R3002";
+/// The analysis ran out of time, space, or was cancelled.
+pub const ANALYSIS_ABORTED: &str = "R3003";
+
+/// Every registered code with its summary (the table in the README's
+/// "Diagnostics & error codes" section is generated from this list).
+pub const REGISTRY: &[CodeInfo] = &[
+    CodeInfo {
+        code: SYNTAX_ERROR,
+        summary: "syntax error (lexer or parser)",
+    },
+    CodeInfo {
+        code: UNDEFINED_VARIABLE,
+        summary: "variable referenced before assignment",
+    },
+    CodeInfo {
+        code: UNKNOWN_CLASS,
+        summary: "reference to an unknown class",
+    },
+    CodeInfo {
+        code: UNKNOWN_RESOURCE_TYPE,
+        summary: "declaration of an unknown resource type",
+    },
+    CodeInfo {
+        code: DUPLICATE_RESOURCE,
+        summary: "the same resource declared twice",
+    },
+    CodeInfo {
+        code: UNKNOWN_REFERENCE,
+        summary: "dependency references an undeclared resource",
+    },
+    CodeInfo {
+        code: UNKNOWN_STAGE,
+        summary: "referenced stage does not exist",
+    },
+    CodeInfo {
+        code: MISSING_PARAMETER,
+        summary: "required parameter not supplied",
+    },
+    CodeInfo {
+        code: UNEXPECTED_PARAMETER,
+        summary: "unexpected parameter supplied",
+    },
+    CodeInfo {
+        code: DUPLICATE_CLASS,
+        summary: "class declared resource-style more than once",
+    },
+    CodeInfo {
+        code: EVAL_ERROR,
+        summary: "semantic evaluation error",
+    },
+    CodeInfo {
+        code: DEPENDENCY_CYCLE,
+        summary: "dependency cycle in the resource graph",
+    },
+    CodeInfo {
+        code: UNMODELED_TYPE,
+        summary: "resource type not modeled by the compiler",
+    },
+    CodeInfo {
+        code: EXEC_UNSUPPORTED,
+        summary: "exec resources cannot be verified",
+    },
+    CodeInfo {
+        code: MISSING_ATTRIBUTE,
+        summary: "required attribute missing",
+    },
+    CodeInfo {
+        code: INVALID_ATTRIBUTE,
+        summary: "unsupported or malformed attribute value",
+    },
+    CodeInfo {
+        code: UNKNOWN_PACKAGE,
+        summary: "package not in the package database",
+    },
+    CodeInfo {
+        code: BAD_PATH,
+        summary: "path attribute failed to parse",
+    },
+    CodeInfo {
+        code: LATEST_MODELING,
+        summary: "`ensure => latest` modeling note",
+    },
+    CodeInfo {
+        code: NONDETERMINISTIC,
+        summary: "two resources race: orders produce different outcomes",
+    },
+    CodeInfo {
+        code: NONIDEMPOTENT,
+        summary: "applying twice differs from applying once",
+    },
+    CodeInfo {
+        code: ANALYSIS_ABORTED,
+        summary: "analysis exceeded its budget or was cancelled",
+    },
+];
+
+/// Looks up a code in the registry.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|c| c.code == code)
+}
+
+/// Whether a code is registered.
+pub fn is_registered(code: &str) -> bool {
+    code_info(code).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in REGISTRY {
+            assert!(seen.insert(c.code), "duplicate code {}", c.code);
+            assert!(c.code.starts_with('R') && c.code.len() == 5, "{}", c.code);
+            assert!(c.code[1..].chars().all(|d| d.is_ascii_digit()));
+            assert!(!c.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(is_registered(NONDETERMINISTIC));
+        assert!(!is_registered("R9999"));
+        assert_eq!(code_info(SYNTAX_ERROR).unwrap().code, "R0001");
+    }
+}

@@ -1,0 +1,225 @@
+//! The one diagnostic type every pipeline stage reports through.
+
+use crate::span::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A note or modeling remark; never fails a run.
+    Note,
+    /// A warning; the pipeline continues.
+    Warning,
+    /// An error; the pipeline stops or the verdict fails.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case label used in JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a [`Severity::label`] back.
+    pub fn from_label(label: &str) -> Option<Severity> {
+        Some(match label {
+            "note" => Severity::Note,
+            "warning" => Severity::Warning,
+            "error" => Severity::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A span with an explanatory message, anchored into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Label {
+    /// Where in the source.
+    pub span: Span,
+    /// What to say about that location (may be empty).
+    pub message: String,
+}
+
+impl Label {
+    /// Creates a label.
+    pub fn new(span: Span, message: impl Into<String>) -> Label {
+        Label {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// One finding: severity, stable code, message, source anchors, notes, and
+/// an optional structured payload for machine consumers.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_diag::{codes, Diagnostic, Pos, SourceMap, Span};
+///
+/// let source = "package { 'vim': ensure => present }\n";
+/// let map = SourceMap::single("site.pp", source);
+/// let d = Diagnostic::error(codes::NONDETERMINISTIC, "two resources race")
+///     .with_primary(
+///         Span::new(Pos::new(1, 1), Pos::new(1, 8)),
+///         "this resource races",
+///     )
+///     .with_note("add a dependency arrow to fix the order");
+/// let rendered = map.render(&d);
+/// assert!(rendered.contains("error[R3001]"));
+/// assert!(rendered.contains("site.pp:1:1"));
+/// assert!(rendered.contains("^^^^^^^"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The severity.
+    pub severity: Severity,
+    /// The stable code, from [`crate::codes`] (e.g. `R3001`).
+    pub code: String,
+    /// The headline message.
+    pub message: String,
+    /// The main source anchor, if the finding has one.
+    pub primary: Option<Label>,
+    /// Additional anchors (e.g. the *other* racing resource).
+    pub secondary: Vec<Label>,
+    /// Free-form notes rendered after the snippets.
+    pub notes: Vec<String>,
+    /// Structured key → value payload for machine consumers (stable keys,
+    /// serialized into the JSON error format verbatim).
+    pub payload: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the given severity.
+    pub fn new(severity: Severity, code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            code: code.into(),
+            message: message.into(),
+            primary: None,
+            secondary: Vec::new(),
+            notes: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// An error diagnostic.
+    pub fn error(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Error, code, message)
+    }
+
+    /// A warning diagnostic.
+    pub fn warning(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Warning, code, message)
+    }
+
+    /// A note diagnostic.
+    pub fn note(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Note, code, message)
+    }
+
+    /// Sets the primary label.
+    #[must_use]
+    pub fn with_primary(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.primary = Some(Label::new(span, message));
+        self
+    }
+
+    /// Adds a secondary label.
+    #[must_use]
+    pub fn with_secondary(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.secondary.push(Label::new(span, message));
+        self
+    }
+
+    /// Adds a note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Adds a payload entry.
+    #[must_use]
+    pub fn with_payload(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.payload.push((key.into(), value.into()));
+        self
+    }
+
+    /// The primary span (dummy when the diagnostic has no anchor).
+    pub fn span(&self) -> Span {
+        self.primary.as_ref().map(|l| l.span).unwrap_or(Span::DUMMY)
+    }
+
+    /// Whether at least one label carries a real (non-dummy) span.
+    pub fn has_resolvable_span(&self) -> bool {
+        self.primary.iter().any(|l| !l.span.is_dummy())
+            || self.secondary.iter().any(|l| !l.span.is_dummy())
+    }
+
+    /// Every label, primary first.
+    pub fn labels(&self) -> impl Iterator<Item = &Label> {
+        self.primary.iter().chain(self.secondary.iter())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// One-line rendering (no snippets): `error[R3001]: message at 3:1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(p) = &self.primary {
+            if !p.span.is_dummy() {
+                write!(f, " at {}", p.span.lo)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    #[test]
+    fn builder_and_display() {
+        let d = Diagnostic::error("R0001", "parse error: unexpected token")
+            .with_primary(Span::new(Pos::new(3, 7), Pos::new(3, 13)), "here")
+            .with_note("check the syntax")
+            .with_payload("stage", "parse");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.has_resolvable_span());
+        assert_eq!(d.labels().count(), 1);
+        assert_eq!(
+            d.to_string(),
+            "error[R0001]: parse error: unexpected token at 3:7"
+        );
+    }
+
+    #[test]
+    fn severity_labels_roundtrip() {
+        for s in [Severity::Note, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::from_label(s.label()), Some(s));
+        }
+        assert_eq!(Severity::from_label("fatal"), None);
+    }
+
+    #[test]
+    fn dummy_spans_are_not_resolvable() {
+        let d = Diagnostic::error("R0110", "boom");
+        assert!(!d.has_resolvable_span());
+        assert!(d.span().is_dummy());
+        assert_eq!(d.to_string(), "error[R0110]: boom");
+    }
+}

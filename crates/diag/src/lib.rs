@@ -1,0 +1,36 @@
+//! **rehearsal-diag** — the unified diagnostics surface of Rehearsal.
+//!
+//! Every stage of the pipeline (lexer, parser, evaluator, resource
+//! compiler, the determinacy/idempotence analyses) reports findings as one
+//! [`Diagnostic`] type: a severity, a stable code (see [`codes`]), a
+//! headline message, a primary source [`Span`] plus secondary labels, and
+//! free-form notes. A [`SourceMap`] owns file-id → text and renders
+//! rustc-style snippets with carets; machine consumers get the same data
+//! as a stable JSON encoding (serialized by `rehearsal-fleet`).
+//!
+//! This is what lets the analysis say not just *"Package\[ntp\] and
+//! File\[/etc/ntp.conf\] race"* but point at the two racing resource
+//! declarations in the manifest, with both snippets.
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_diag::{codes, Diagnostic, Pos, SourceMap, Span};
+//!
+//! let src = "file { '/etc/motd': content => 'hi' }\n";
+//! let map = SourceMap::single("motd.pp", src);
+//! let d = Diagnostic::error(codes::NONDETERMINISTIC, "resources race")
+//!     .with_primary(Span::new(Pos::new(1, 1), Pos::new(1, 5)), "races");
+//! assert!(map.render(&d).contains("--> motd.pp:1:1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codes;
+mod diagnostic;
+mod source_map;
+mod span;
+
+pub use diagnostic::{Diagnostic, Label, Severity};
+pub use source_map::{FileId, RenderOptions, SourceMap};
+pub use span::{Pos, Span};

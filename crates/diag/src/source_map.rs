@@ -1,0 +1,361 @@
+//! The source map: file-id → (name, text), plus the rustc-style snippet
+//! renderer for diagnostics.
+
+use crate::diagnostic::{Diagnostic, Label, Severity};
+use std::fmt::Write;
+
+/// Identifies a file registered in a [`SourceMap`]. Single-file pipelines
+/// (one manifest per analysis) use [`FileId::MAIN`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// The first (and, for single-manifest pipelines, only) file.
+    pub const MAIN: FileId = FileId(0);
+}
+
+#[derive(Debug, Clone)]
+struct SourceFile {
+    name: String,
+    lines: Vec<String>,
+}
+
+/// Owns registered source texts and renders diagnostics against them.
+///
+/// # Examples
+///
+/// ```
+/// use rehearsal_diag::{codes, Diagnostic, Pos, SourceMap, Span};
+///
+/// let map = SourceMap::single("site.pp", "file { '/x': }\n");
+/// let d = Diagnostic::warning(codes::LATEST_MODELING, "modeling note")
+///     .with_primary(Span::new(Pos::new(1, 1), Pos::new(1, 5)), "declared here");
+/// let text = map.render(&d);
+/// assert!(text.starts_with("warning[R1101]: modeling note"));
+/// assert!(text.contains("--> site.pp:1:1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+/// Rendering knobs for the human format.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderOptions {
+    /// Emit ANSI colors.
+    pub color: bool,
+}
+
+impl RenderOptions {
+    /// Plain (no color) rendering.
+    pub fn plain() -> RenderOptions {
+        RenderOptions { color: false }
+    }
+
+    /// Color on.
+    pub fn colored() -> RenderOptions {
+        RenderOptions { color: true }
+    }
+
+    /// Honors the `NO_COLOR` convention (and dumb/absent terminals):
+    /// color only when `NO_COLOR` is unset and `TERM` is set to something
+    /// other than `dumb`.
+    pub fn from_env() -> RenderOptions {
+        let no_color = std::env::var_os("NO_COLOR").is_some();
+        let term_ok = std::env::var("TERM")
+            .map(|t| !t.is_empty() && t != "dumb")
+            .unwrap_or(false);
+        RenderOptions {
+            color: !no_color && term_ok,
+        }
+    }
+}
+
+impl SourceMap {
+    /// An empty map.
+    pub fn new() -> SourceMap {
+        SourceMap::default()
+    }
+
+    /// A map holding exactly one file as [`FileId::MAIN`].
+    pub fn single(name: impl Into<String>, text: &str) -> SourceMap {
+        let mut map = SourceMap::new();
+        map.add(name, text);
+        map
+    }
+
+    /// Registers a file, returning its id.
+    pub fn add(&mut self, name: impl Into<String>, text: &str) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile {
+            name: name.into(),
+            lines: text.lines().map(str::to_string).collect(),
+        });
+        id
+    }
+
+    /// The registered name of a file (empty when unknown).
+    pub fn name(&self, file: FileId) -> &str {
+        self.files
+            .get(file.0 as usize)
+            .map(|f| f.name.as_str())
+            .unwrap_or("")
+    }
+
+    /// One line of a file's text (1-based), if it exists.
+    pub fn line(&self, file: FileId, line: u32) -> Option<&str> {
+        let f = self.files.get(file.0 as usize)?;
+        f.lines.get(line.checked_sub(1)? as usize).map(|s| &**s)
+    }
+
+    /// Number of lines in a file.
+    pub fn line_count(&self, file: FileId) -> usize {
+        self.files
+            .get(file.0 as usize)
+            .map(|f| f.lines.len())
+            .unwrap_or(0)
+    }
+
+    /// Renders a diagnostic with snippets, plain (no color).
+    pub fn render(&self, d: &Diagnostic) -> String {
+        self.render_with(d, RenderOptions::plain())
+    }
+
+    /// Renders a diagnostic with snippets against [`FileId::MAIN`].
+    pub fn render_with(&self, d: &Diagnostic, opts: RenderOptions) -> String {
+        self.render_in(d, FileId::MAIN, opts)
+    }
+
+    /// Renders a diagnostic whose spans point into `file`.
+    pub fn render_in(&self, d: &Diagnostic, file: FileId, opts: RenderOptions) -> String {
+        let mut out = String::new();
+        let paint = Paint::new(opts.color);
+
+        // Header: error[R3001]: message
+        let sev_color = match d.severity {
+            Severity::Error => paint.red_bold(),
+            Severity::Warning => paint.yellow_bold(),
+            Severity::Note => paint.cyan_bold(),
+        };
+        let _ = writeln!(
+            out,
+            "{sev_color}{}[{}]{rst}{bold}: {}{rst}",
+            d.severity,
+            d.code,
+            d.message,
+            rst = paint.reset(),
+            bold = paint.bold(),
+        );
+
+        // Gutter width across all labels.
+        let width = d
+            .labels()
+            .filter(|l| !l.span.is_dummy())
+            .map(|l| digits(l.span.lo.line))
+            .max()
+            .unwrap_or(1);
+
+        for (i, label) in d.labels().enumerate() {
+            let primary = i == 0 && d.primary.is_some();
+            self.render_label(&mut out, file, label, primary, width, &paint);
+        }
+        for note in &d.notes {
+            let _ = writeln!(
+                out,
+                "{pad} {blue}= note:{rst} {note}",
+                pad = " ".repeat(width),
+                blue = paint.blue_bold(),
+                rst = paint.reset(),
+            );
+        }
+        out
+    }
+
+    fn render_label(
+        &self,
+        out: &mut String,
+        file: FileId,
+        label: &Label,
+        primary: bool,
+        width: usize,
+        paint: &Paint,
+    ) {
+        let span = label.span;
+        if span.is_dummy() {
+            if !label.message.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{pad} {blue}= {rst}{}",
+                    label.message,
+                    pad = " ".repeat(width),
+                    blue = paint.blue_bold(),
+                    rst = paint.reset(),
+                );
+            }
+            return;
+        }
+        let blue = paint.blue_bold();
+        let rst = paint.reset();
+        let pad = " ".repeat(width);
+        let _ = writeln!(
+            out,
+            "{pad}{blue}-->{rst} {}:{}:{}",
+            self.name(file),
+            span.lo.line,
+            span.lo.col,
+        );
+        let Some(line_text) = self.line(file, span.lo.line) else {
+            return; // span beyond the registered text: location only
+        };
+        let _ = writeln!(out, "{pad} {blue}|{rst}");
+        let _ = writeln!(
+            out,
+            "{blue}{num:>width$} |{rst} {line_text}",
+            num = span.lo.line,
+        );
+        // Carets under the span: to hi.col on the same line, else to EOL.
+        let line_len = line_text.chars().count() as u32;
+        let start = span.lo.col.clamp(1, line_len.max(1) + 1);
+        let end = if span.hi.line == span.lo.line && span.hi.col > start {
+            span.hi.col.min(line_len + 1)
+        } else {
+            (line_len + 1).max(start + 1)
+        };
+        let marker = if primary { "^" } else { "-" };
+        let marker_color = if primary {
+            paint.red_bold()
+        } else {
+            paint.blue_bold()
+        };
+        let _ = writeln!(
+            out,
+            "{pad} {blue}|{rst} {space}{marker_color}{carets}{rst}{msg}",
+            space = " ".repeat(start as usize - 1),
+            carets = marker.repeat((end - start).max(1) as usize),
+            msg = if label.message.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", label.message)
+            },
+        );
+    }
+}
+
+fn digits(n: u32) -> usize {
+    (n.max(1)).ilog10() as usize + 1
+}
+
+/// Minimal ANSI paintbox.
+struct Paint {
+    on: bool,
+}
+
+impl Paint {
+    fn new(on: bool) -> Paint {
+        Paint { on }
+    }
+    fn code(&self, s: &'static str) -> &'static str {
+        if self.on {
+            s
+        } else {
+            ""
+        }
+    }
+    fn reset(&self) -> &'static str {
+        self.code("\x1b[0m")
+    }
+    fn bold(&self) -> &'static str {
+        self.code("\x1b[1m")
+    }
+    fn red_bold(&self) -> &'static str {
+        self.code("\x1b[1;31m")
+    }
+    fn yellow_bold(&self) -> &'static str {
+        self.code("\x1b[1;33m")
+    }
+    fn cyan_bold(&self) -> &'static str {
+        self.code("\x1b[1;36m")
+    }
+    fn blue_bold(&self) -> &'static str {
+        self.code("\x1b[1;34m")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    fn diag() -> Diagnostic {
+        Diagnostic::error("R0104", "duplicate declaration of Package[vim]")
+            .with_primary(
+                Span::new(Pos::new(2, 1), Pos::new(2, 8)),
+                "second declaration",
+            )
+            .with_secondary(
+                Span::new(Pos::new(1, 1), Pos::new(1, 8)),
+                "first declared here",
+            )
+            .with_note("remove one of the declarations")
+    }
+
+    const SRC: &str = "package { 'vim': }\npackage { 'vim': }\n";
+
+    #[test]
+    fn renders_snippets_with_carets_and_dashes() {
+        let map = SourceMap::single("dup.pp", SRC);
+        let text = map.render(&diag());
+        assert!(
+            text.contains("error[R0104]: duplicate declaration"),
+            "{text}"
+        );
+        assert!(text.contains("--> dup.pp:2:1"), "{text}");
+        assert!(text.contains("--> dup.pp:1:1"), "{text}");
+        assert!(text.contains("2 | package { 'vim': }"), "{text}");
+        assert!(text.contains("^^^^^^^ second declaration"), "{text}");
+        assert!(text.contains("------- first declared here"), "{text}");
+        assert!(text.contains("= note: remove one"), "{text}");
+        assert!(!text.contains('\x1b'), "plain render has no ANSI codes");
+    }
+
+    #[test]
+    fn color_render_wraps_with_ansi() {
+        let map = SourceMap::single("dup.pp", SRC);
+        let text = map.render_with(&diag(), RenderOptions::colored());
+        assert!(text.contains("\x1b[1;31m"), "red for errors: {text:?}");
+        assert!(text.contains("\x1b[0m"));
+    }
+
+    #[test]
+    fn spans_past_eof_degrade_to_location_only() {
+        let map = SourceMap::single("x.pp", "one line\n");
+        let d = Diagnostic::error("R0001", "boom").with_primary(Span::at(Pos::new(99, 1)), "here");
+        let text = map.render(&d);
+        assert!(text.contains("--> x.pp:99:1"), "{text}");
+        assert!(
+            !text.contains("99 |"),
+            "no snippet for missing line: {text}"
+        );
+    }
+
+    #[test]
+    fn caret_width_clamps_to_line() {
+        let map = SourceMap::single("x.pp", "ab\n");
+        let d = Diagnostic::error("R0001", "late")
+            .with_primary(Span::new(Pos::new(1, 1), Pos::new(1, 200)), "");
+        let text = map.render(&d);
+        assert!(text.contains("| ^^"), "{text}");
+        assert!(!text.contains("^^^^"), "{text}");
+    }
+
+    #[test]
+    fn multi_file_maps() {
+        let mut map = SourceMap::new();
+        let a = map.add("a.pp", "aaa\n");
+        let b = map.add("b.pp", "bbb\nccc\n");
+        assert_eq!(map.name(a), "a.pp");
+        assert_eq!(map.line(b, 2), Some("ccc"));
+        assert_eq!(map.line_count(b), 2);
+        assert_eq!(map.line(b, 3), None);
+    }
+}

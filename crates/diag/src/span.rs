@@ -1,0 +1,146 @@
+//! Source positions and spans.
+//!
+//! Every layer of the pipeline — lexer, parser, evaluator, resource
+//! compiler, analyses — annotates what it produces with [`Span`]s so a
+//! finding at the very end (a determinism race between two compiled FS
+//! programs) can still point back into the manifest text it came from.
+
+use std::fmt;
+
+/// A position in source text: 1-based line and column. The zero value
+/// (`line == 0`) is the *dummy* position of synthesized nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text: `lo` inclusive, `hi` exclusive.
+///
+/// Spans are *metadata*, not content: the derived `PartialEq`/`Hash` of
+/// every AST and catalog type that carries a span must not distinguish two
+/// otherwise-identical nodes parsed from differently-formatted sources
+/// (the printer round-trip property `parse ∘ print = id` depends on
+/// this). `Span` therefore implements `PartialEq`/`Ord`/`Hash` as if all
+/// spans were equal; use [`Span::same`] to compare actual locations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    /// Start (inclusive).
+    pub lo: Pos,
+    /// End (exclusive).
+    pub hi: Pos,
+}
+
+impl Span {
+    /// A span covering `lo..hi`.
+    pub fn new(lo: Pos, hi: Pos) -> Span {
+        Span { lo, hi }
+    }
+
+    /// A zero-width span at one position.
+    pub fn at(pos: Pos) -> Span {
+        Span { lo: pos, hi: pos }
+    }
+
+    /// The dummy span of synthesized nodes (no source location).
+    pub const DUMMY: Span = Span {
+        lo: Pos { line: 0, col: 0 },
+        hi: Pos { line: 0, col: 0 },
+    };
+
+    /// Whether this is the dummy span (no real source location).
+    pub fn is_dummy(&self) -> bool {
+        self.lo.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`; a dummy
+    /// operand yields the other span.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Location-aware equality (the `PartialEq` impl deliberately is not;
+    /// see the type docs).
+    pub fn same(&self, other: &Span) -> bool {
+        self.lo == other.lo && self.hi == other.hi
+    }
+}
+
+// Spans are metadata: all spans compare equal and hash identically so that
+// `#[derive(PartialEq, Hash)]` on span-carrying AST/catalog nodes keeps
+// comparing *content* (see the type documentation).
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true
+    }
+}
+impl Eq for Span {}
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
+}
+impl PartialOrd for Span {
+    fn partial_cmp(&self, other: &Span) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Span {
+    fn cmp(&self, _other: &Span) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_and_joins() {
+        assert!(Span::DUMMY.is_dummy());
+        let a = Span::new(Pos::new(1, 2), Pos::new(1, 5));
+        assert!(!a.is_dummy());
+        let b = Span::new(Pos::new(3, 1), Pos::new(3, 4));
+        let j = a.to(b);
+        assert_eq!(j.lo, Pos::new(1, 2));
+        assert_eq!(j.hi, Pos::new(3, 4));
+        assert!(Span::DUMMY.to(a).same(&a));
+        assert!(a.to(Span::DUMMY).same(&a));
+    }
+
+    #[test]
+    fn spans_compare_as_metadata() {
+        let a = Span::new(Pos::new(1, 1), Pos::new(1, 2));
+        let b = Span::new(Pos::new(9, 9), Pos::new(9, 10));
+        assert_eq!(a, b, "derived AST equality must ignore spans");
+        assert!(!a.same(&b), "same() sees the real locations");
+    }
+}

@@ -8,16 +8,17 @@
 //! greppable; loads tolerate and skip corrupt lines so a torn write can
 //! never poison a CI gate.
 
-use crate::json::{parse, Json};
+use crate::json::{diagnostic_from_json, diagnostic_json, parse, Json};
 use crate::report::Verdict;
 use rehearsal_core::AnalysisOptions;
+use rehearsal_diag::Diagnostic;
 use rehearsal_pkgdb::Platform;
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 /// A cached verdict (everything needed to reconstruct a report row).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CachedVerdict {
     /// The verdict.
     pub verdict: Verdict,
@@ -25,6 +26,9 @@ pub struct CachedVerdict {
     pub detail: String,
     /// Resources in the manifest's graph.
     pub resources: usize,
+    /// The source-anchored findings recorded at analysis time, so cache
+    /// hits can replay per-line annotations without re-analysis.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// An in-memory verdict cache with an optional JSONL backing file.
@@ -54,10 +58,12 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// early-exit SAT), and the version-3 bump for the metadata-aware model
 /// (a new `model_metadata` key dimension) plus the stage-assignment
 /// bugfix (stage edges for late-declared members changed, which can flip
-/// verdicts of stage-using manifests). The version is both mixed into
-/// every key *and* stored per entry, so caches written by an older
-/// analyzer are read back as all-miss rather than served stale.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// verdicts of stage-using manifests), and the version-4 bump for the
+/// unified diagnostics API (entries now carry the job's source-anchored
+/// `diagnostics`, which older entries cannot supply). The version is both
+/// mixed into every key *and* stored per entry, so caches written by an
+/// older analyzer are read back as all-miss rather than served stale.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// Salt mixed into every key so a persisted cache cannot serve verdicts
 /// produced by a different analyzer version or cache schema: any release
@@ -196,6 +202,10 @@ fn encode_entry(key: u64, cached: &CachedVerdict) -> Json {
         ("verdict", Json::str(cached.verdict.label())),
         ("detail", Json::str(&cached.detail)),
         ("resources", Json::num(cached.resources as u32)),
+        (
+            "diagnostics",
+            Json::Arr(cached.diagnostics.iter().map(diagnostic_json).collect()),
+        ),
     ])
 }
 
@@ -211,12 +221,19 @@ fn decode_entry(entry: &Json) -> Option<(u64, CachedVerdict)> {
     let verdict = Verdict::from_label(entry.get("verdict")?.as_str()?)?;
     let detail = entry.get("detail")?.as_str()?.to_string();
     let resources = entry.get("resources")?.as_u64()? as usize;
+    let diagnostics = entry
+        .get("diagnostics")?
+        .as_arr()?
+        .iter()
+        .map(diagnostic_from_json)
+        .collect::<Option<Vec<_>>>()?;
     Some((
         key,
         CachedVerdict {
             verdict,
             detail,
             resources,
+            diagnostics,
         },
     ))
 }
@@ -257,13 +274,27 @@ mod tests {
                 verdict: Verdict::Nondeterministic,
                 detail: "orders diverge".to_string(),
                 resources: 3,
+                diagnostics: vec![rehearsal_diag::Diagnostic::error("R3001", "orders diverge")
+                    .with_primary(
+                        rehearsal_diag::Span::new(
+                            rehearsal_diag::Pos::new(2, 1),
+                            rehearsal_diag::Pos::new(2, 10),
+                        ),
+                        "here",
+                    )],
             },
         );
         cache.save().unwrap();
 
         let reloaded = VerdictCache::open(&path).unwrap();
         assert_eq!(reloaded.len(), 1);
-        assert_eq!(reloaded.get(7).unwrap().verdict, Verdict::Nondeterministic);
+        let hit = reloaded.get(7).unwrap();
+        assert_eq!(hit.verdict, Verdict::Nondeterministic);
+        // Schema-4 entries restore source-anchored diagnostics, so warm
+        // runs can emit per-line annotations without re-analysis.
+        assert_eq!(hit.diagnostics.len(), 1);
+        assert_eq!(hit.diagnostics[0].code, "R3001");
+        assert_eq!(hit.diagnostics[0].span().lo.line, 2);
     }
 
     #[test]
@@ -275,6 +306,7 @@ mod tests {
                 verdict: Verdict::Timeout,
                 detail: String::new(),
                 resources: 0,
+                diagnostics: Vec::new(),
             },
         );
         assert!(cache.get(1).is_none());
@@ -290,7 +322,7 @@ mod tests {
             &path,
             format!(
                 "not json at all\n\
-                 {{\"schema\":{v},\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n\
+                 {{\"schema\":{v},\"key\":\"0000000000000002\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1,\"diagnostics\":[]}}\n\
                  {{\"schema\":{v},\"key\":\"zzz\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n"
             ),
         )
@@ -315,7 +347,7 @@ mod tests {
                 "{{\"key\":\"0000000000000007\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n\
                  {{\"schema\":1,\"key\":\"0000000000000008\",\"verdict\":\"nondeterministic\",\"detail\":\"\",\"resources\":1}}\n\
                  {{\"schema\":2,\"key\":\"000000000000000a\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n\
-                 {{\"schema\":{v},\"key\":\"0000000000000009\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1}}\n"
+                 {{\"schema\":{v},\"key\":\"0000000000000009\",\"verdict\":\"deterministic\",\"detail\":\"\",\"resources\":1,\"diagnostics\":[]}}\n"
             ),
         )
         .unwrap();
@@ -335,6 +367,7 @@ mod tests {
                 verdict: Verdict::Deterministic,
                 detail: String::new(),
                 resources: 2,
+                diagnostics: Vec::new(),
             },
         );
         let entry = encode_entry(3, cache.get(3).unwrap());

@@ -5,8 +5,10 @@ use crate::cache::{job_key, CachedVerdict, VerdictCache};
 use crate::report::{AnalysisCounters, FleetReport, JobResult, Verdict};
 use crate::scheduler::run_work_stealing;
 use rehearsal_core::{
-    check_determinism, check_idempotence, AnalysisOptions, CancelToken, Rehearsal,
+    aborted_diagnostic, check_determinism, check_idempotence, idempotence_diagnostics,
+    race_diagnostic, AnalysisOptions, CancelToken, Rehearsal,
 };
+use rehearsal_diag::Diagnostic;
 use rehearsal_pkgdb::Platform;
 use std::io;
 use std::path::Path;
@@ -151,6 +153,7 @@ impl FleetEngine {
                     millis: 0,
                     cached: false,
                     counters: AnalysisCounters::default(),
+                    diagnostics: Vec::new(),
                 })),
                 Ok(job) => {
                     let key = job_key(&job.source, job.platform, &self.options.analysis);
@@ -164,6 +167,7 @@ impl FleetEngine {
                             millis: 0,
                             cached: true,
                             counters: AnalysisCounters::default(),
+                            diagnostics: hit.diagnostics.clone(),
                         }));
                     } else {
                         rows.push(None);
@@ -182,18 +186,19 @@ impl FleetEngine {
         let cancel = self.options.cancel.clone();
         let outcomes = run_work_stealing(pending, workers, |_, (key, job)| {
             let job_start = Instant::now();
-            let (verdict, detail, resources, counters) = analyze(&job, &analysis, cancel.as_ref());
+            let outcome = analyze(&job, &analysis, cancel.as_ref());
             (
                 key,
                 JobResult {
                     manifest: job.name,
                     platform: job.platform,
-                    verdict,
-                    detail,
-                    resources,
+                    verdict: outcome.verdict,
+                    detail: outcome.detail,
+                    resources: outcome.resources,
                     millis: job_start.elapsed().as_millis() as u64,
                     cached: false,
-                    counters,
+                    counters: outcome.counters,
+                    diagnostics: outcome.diagnostics,
                 },
             )
         });
@@ -205,6 +210,7 @@ impl FleetEngine {
                     verdict: row.verdict.clone(),
                     detail: row.detail.clone(),
                     resources: row.resources,
+                    diagnostics: row.diagnostics.clone(),
                 },
             );
             for (slot, name, platform) in key_slots.remove(&key).expect("pending key has slots") {
@@ -224,20 +230,37 @@ impl FleetEngine {
     }
 }
 
+/// What one job's analysis produced.
+struct AnalyzeOutcome {
+    verdict: Verdict,
+    detail: String,
+    resources: usize,
+    counters: AnalysisCounters,
+    /// Source-anchored findings (race reports, pipeline errors, modeling
+    /// warnings) — the machine-readable stream behind `--annotations`.
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalyzeOutcome {
+    fn new(verdict: Verdict, detail: impl Into<String>) -> AnalyzeOutcome {
+        AnalyzeOutcome {
+            verdict,
+            detail: detail.into(),
+            resources: 0,
+            counters: AnalysisCounters::default(),
+            diagnostics: Vec::new(),
+        }
+    }
+}
+
 /// Runs the full determinism + idempotence pipeline for one job.
 fn analyze(
     job: &FleetJob,
     analysis: &AnalysisOptions,
     cancel: Option<&CancelToken>,
-) -> (Verdict, String, usize, AnalysisCounters) {
-    let none = AnalysisCounters::default();
+) -> AnalyzeOutcome {
     if cancel.is_some_and(CancelToken::is_cancelled) {
-        return (
-            Verdict::Timeout,
-            "cancelled before start".to_string(),
-            0,
-            none,
-        );
+        return AnalyzeOutcome::new(Verdict::Timeout, "cancelled before start");
     }
     let mut options = analysis.clone();
     if let Some(token) = cancel {
@@ -245,27 +268,40 @@ fn analyze(
     }
     let started = Instant::now();
     let tool = Rehearsal::new(job.platform).with_options(options.clone());
-    let graph = match tool.lower(&job.source) {
-        Ok(graph) => graph,
-        Err(e) => return (Verdict::Error, e.to_string(), 0, none),
+    let (graph, mut diagnostics) = match tool.lower_source(&job.source) {
+        Ok(ok) => ok,
+        Err(e) => {
+            let mut out = AnalyzeOutcome::new(Verdict::Error, e.to_string());
+            out.diagnostics = e.into_diagnostics();
+            return out;
+        }
     };
     let resources = graph.exprs.len();
 
     let determinism = match check_determinism(&graph, &options) {
         Ok(report) => report,
-        Err(aborted) => return (Verdict::Timeout, aborted.reason, resources, none),
+        Err(aborted) => {
+            let mut out = AnalyzeOutcome::new(Verdict::Timeout, aborted.reason.clone());
+            out.resources = resources;
+            out.diagnostics = vec![aborted_diagnostic(&aborted)];
+            return out;
+        }
     };
     let counters = AnalysisCounters::from(&determinism.stats());
-    if !determinism.is_deterministic() {
-        let detail = match &determinism {
-            rehearsal_core::DeterminismReport::NonDeterministic(cex, _) => format!(
-                "order A {}, order B {}",
-                outcome_word(cex.outcome_a.is_ok()),
-                outcome_word(cex.outcome_b.is_ok()),
-            ),
-            rehearsal_core::DeterminismReport::Deterministic(_) => unreachable!(),
+    if let rehearsal_core::DeterminismReport::NonDeterministic(cex, _) = &determinism {
+        let detail = format!(
+            "order A {}, order B {}",
+            outcome_word(cex.outcome_a.is_ok()),
+            outcome_word(cex.outcome_b.is_ok()),
+        );
+        diagnostics.push(race_diagnostic(cex, &graph));
+        return AnalyzeOutcome {
+            verdict: Verdict::Nondeterministic,
+            detail,
+            resources,
+            counters,
+            diagnostics,
         };
-        return (Verdict::Nondeterministic, detail, resources, counters);
     }
 
     // The idempotence stage runs under whatever deadline remains.
@@ -273,16 +309,33 @@ fn analyze(
         options.timeout = Some(total.saturating_sub(started.elapsed()));
     }
     match check_idempotence(&graph, &options) {
-        Ok(report) if report.is_idempotent() => {
-            (Verdict::Deterministic, String::new(), resources, counters)
-        }
-        Ok(_) => (
-            Verdict::Nonidempotent,
-            "applying twice differs from applying once".to_string(),
+        Ok(report) if report.is_idempotent() => AnalyzeOutcome {
+            verdict: Verdict::Deterministic,
+            detail: String::new(),
             resources,
             counters,
-        ),
-        Err(aborted) => (Verdict::Timeout, aborted.reason, resources, counters),
+            diagnostics,
+        },
+        Ok(report) => {
+            diagnostics.extend(idempotence_diagnostics(&report, &graph));
+            AnalyzeOutcome {
+                verdict: Verdict::Nonidempotent,
+                detail: "applying twice differs from applying once".to_string(),
+                resources,
+                counters,
+                diagnostics,
+            }
+        }
+        Err(aborted) => {
+            diagnostics.push(aborted_diagnostic(&aborted));
+            AnalyzeOutcome {
+                verdict: Verdict::Timeout,
+                detail: aborted.reason,
+                resources,
+                counters,
+                diagnostics,
+            }
+        }
     }
 }
 

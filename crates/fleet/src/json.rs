@@ -190,6 +190,121 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+// ---- diagnostics (the documented machine encoding of rehearsal-diag) ----
+
+use rehearsal_diag::{Diagnostic, Label, Pos, Severity, Span};
+
+fn pos_json(p: Pos) -> Json {
+    Json::obj([("line", Json::num(p.line)), ("col", Json::num(p.col))])
+}
+
+fn pos_from_json(j: &Json) -> Option<Pos> {
+    Some(Pos::new(
+        j.get("line")?.as_u64()? as u32,
+        j.get("col")?.as_u64()? as u32,
+    ))
+}
+
+fn span_json(s: Span) -> Json {
+    if s.is_dummy() {
+        return Json::Null;
+    }
+    Json::obj([("lo", pos_json(s.lo)), ("hi", pos_json(s.hi))])
+}
+
+fn span_from_json(j: &Json) -> Option<Span> {
+    match j {
+        Json::Null => Some(Span::DUMMY),
+        _ => Some(Span::new(
+            pos_from_json(j.get("lo")?)?,
+            pos_from_json(j.get("hi")?)?,
+        )),
+    }
+}
+
+fn label_json(l: &Label) -> Json {
+    Json::obj([
+        ("span", span_json(l.span)),
+        ("message", Json::str(&l.message)),
+    ])
+}
+
+fn label_from_json(j: &Json) -> Option<Label> {
+    Some(Label::new(
+        span_from_json(j.get("span")?)?,
+        j.get("message")?.as_str()?,
+    ))
+}
+
+/// Serializes one [`Diagnostic`] into the stable JSON encoding used by
+/// `check --json` (schema `rehearsal-check/4`), fleet report rows, the
+/// verdict cache, and `--error-format json`:
+///
+/// ```json
+/// {"severity": "error", "code": "R3001", "message": "…",
+///  "primary": {"span": {"lo": {"line": 1, "col": 1},
+///                       "hi": {"line": 1, "col": 8}}, "message": "…"},
+///  "secondary": [ … ], "notes": ["…"], "payload": {"key": "value"}}
+/// ```
+pub fn diagnostic_json(d: &Diagnostic) -> Json {
+    Json::obj([
+        ("severity", Json::str(d.severity.label())),
+        ("code", Json::str(&d.code)),
+        ("message", Json::str(&d.message)),
+        (
+            "primary",
+            match &d.primary {
+                Some(l) => label_json(l),
+                None => Json::Null,
+            },
+        ),
+        (
+            "secondary",
+            Json::Arr(d.secondary.iter().map(label_json).collect()),
+        ),
+        ("notes", Json::Arr(d.notes.iter().map(Json::str).collect())),
+        (
+            "payload",
+            Json::Obj(
+                d.payload
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::str(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a [`diagnostic_json`] document back (the round-trip inverse).
+pub fn diagnostic_from_json(j: &Json) -> Option<Diagnostic> {
+    let severity = Severity::from_label(j.get("severity")?.as_str()?)?;
+    let mut d = Diagnostic::new(
+        severity,
+        j.get("code")?.as_str()?,
+        j.get("message")?.as_str()?,
+    );
+    match j.get("primary")? {
+        Json::Null => {}
+        p => {
+            let l = label_from_json(p)?;
+            d = d.with_primary(l.span, l.message);
+        }
+    }
+    for l in j.get("secondary")?.as_arr()? {
+        let l = label_from_json(l)?;
+        d = d.with_secondary(l.span, l.message);
+    }
+    for n in j.get("notes")?.as_arr()? {
+        d = d.with_note(n.as_str()?);
+    }
+    if let Some(Json::Obj(pairs)) = j.get("payload") {
+        for (k, v) in pairs {
+            d = d.with_payload(k.clone(), v.as_str()?);
+        }
+    }
+    Some(d)
+}
+
 /// A parse failure with a byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -454,5 +569,40 @@ mod tests {
     fn unicode_survives() {
         let v = Json::str("path → vérité");
         assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn diagnostics_roundtrip_through_json() {
+        let d = Diagnostic::error("R3001", "two resources race")
+            .with_primary(
+                Span::new(Pos::new(3, 1), Pos::new(3, 40)),
+                "this resource races",
+            )
+            .with_secondary(Span::new(Pos::new(7, 1), Pos::new(7, 36)), "the other one")
+            .with_note("order A succeeds, order B errors")
+            .with_payload("resource_a", "File[/etc/ntp.conf]")
+            .with_payload("resource_b", "Package[ntp]");
+        let j = diagnostic_json(&d);
+        let back = diagnostic_from_json(&j).expect("decodes");
+        assert_eq!(back.code, d.code);
+        assert_eq!(back.message, d.message);
+        assert_eq!(back.severity, d.severity);
+        assert!(back.primary.as_ref().unwrap().span.same(&d.span()));
+        assert_eq!(back.secondary.len(), 1);
+        assert_eq!(back.notes, d.notes);
+        assert_eq!(back.payload, d.payload);
+        // And through the *text* encoding too.
+        let text = j.render();
+        let back2 = diagnostic_from_json(&parse(&text).unwrap()).unwrap();
+        assert!(back2.span().same(&d.span()));
+    }
+
+    #[test]
+    fn dummy_spans_encode_as_null() {
+        let d = Diagnostic::warning("R1101", "modeling note");
+        let j = diagnostic_json(&d);
+        assert_eq!(j.get("primary"), Some(&Json::Null));
+        let back = diagnostic_from_json(&j).unwrap();
+        assert!(back.primary.is_none());
     }
 }

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod annotations;
 pub mod cache;
 pub mod discover;
 pub mod engine;
@@ -42,9 +43,10 @@ pub mod json;
 pub mod report;
 pub mod scheduler;
 
+pub use annotations::{annotation_line, github_annotations, row_annotations};
 pub use cache::{job_key, CachedVerdict, VerdictCache, CACHE_SCHEMA_VERSION};
 pub use discover::{discover_manifests, read_manifest_list};
 pub use engine::{verify_directory, FleetEngine, FleetJob, FleetOptions};
-pub use json::{parse as parse_json, Json, JsonError};
+pub use json::{diagnostic_from_json, diagnostic_json, parse as parse_json, Json, JsonError};
 pub use report::{AnalysisCounters, FleetCounts, FleetReport, JobResult, Verdict};
 pub use scheduler::run_work_stealing;

@@ -1,7 +1,8 @@
 //! The fleet report: per-manifest verdict rows, aggregate counters, and
 //! renderers (human table + stable JSON for pipelines).
 
-use crate::json::Json;
+use crate::json::{diagnostic_json, Json};
+use rehearsal_diag::Diagnostic;
 use rehearsal_pkgdb::Platform;
 
 /// The verdict for one `(manifest, platform)` job.
@@ -125,6 +126,10 @@ pub struct JobResult {
     pub cached: bool,
     /// Explorer/solver work done for this job.
     pub counters: AnalysisCounters,
+    /// The job's source-anchored findings (the race report, pipeline
+    /// errors, modeling warnings); empty for clean manifests. Cache hits
+    /// restore the diagnostics recorded at analysis time.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Aggregate counters over a fleet run.
@@ -276,6 +281,10 @@ fn row_json(row: &JobResult) -> Json {
         ("millis", Json::num(row.millis as u32)),
         ("cached", Json::Bool(row.cached)),
         (
+            "diagnostics",
+            Json::Arr(row.diagnostics.iter().map(diagnostic_json).collect()),
+        ),
+        (
             "counters",
             Json::obj([
                 // Counters can exceed u32 on long solves (propagation
@@ -322,6 +331,7 @@ mod tests {
             millis: 5,
             cached,
             counters: AnalysisCounters::default(),
+            diagnostics: Vec::new(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! The process-global hash-consing arena backing the FS IR.
 //!
 //! [`Pred`](crate::Pred) and [`Expr`](crate::Expr) are `Copy`-able `u32`
-//! handles into this arena, in exactly the way [`crate::intern`] already
+//! handles into this arena, in exactly the way the path/content interner already
 //! makes paths and contents `Copy` handles. Interning a node first looks it
 //! up structurally: building the same tree twice yields the *same* handle,
 //! so `==` on handles is O(1) structural equality and common subtrees are

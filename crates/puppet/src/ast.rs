@@ -1,8 +1,16 @@
 //! Abstract syntax for the supported Puppet fragment (paper fig. 1, plus
 //! the conveniences real manifests use: classes, conditionals, selectors,
 //! collectors, stages, and resource defaults).
+//!
+//! Statements, resource declarations, and attributes carry [`Span`]s into
+//! the source (the µPuppet discipline), which is what lets every later
+//! stage — evaluation errors, cycle reports, determinism counterexamples —
+//! point back at the declaration that caused a finding. Spans are
+//! *metadata*: they do not participate in AST equality (see
+//! [`Span`]'s documentation), so `parse ∘ print = id` keeps holding.
 
 use crate::lexer::StrPart;
+use rehearsal_diag::Span;
 
 /// An expression (attribute values, titles, conditions).
 #[derive(Debug, Clone, PartialEq)]
@@ -75,13 +83,16 @@ pub enum ArithOp {
     Div,
 }
 
-/// One attribute `name => value`.
+/// One attribute `name => value`, with the span of `name => value` in the
+/// source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Attribute {
     /// Attribute name.
     pub name: String,
     /// Attribute value.
     pub value: Expression,
+    /// Source span of the attribute (name through value).
+    pub span: Span,
 }
 
 /// One body of a resource declaration: `title: attrs`.
@@ -91,6 +102,10 @@ pub struct ResourceBody {
     pub title: Expression,
     /// The attributes.
     pub attrs: Vec<Attribute>,
+    /// Source span of the whole body (title through last attribute).
+    pub span: Span,
+    /// Source span of just the title expression.
+    pub title_span: Span,
 }
 
 /// A resource declaration `type { title: attrs; title2: attrs2 }`.
@@ -104,6 +119,8 @@ pub struct ResourceDecl {
     /// Whether the resource is virtual (`@type { ... }`). Virtual resources
     /// are only realized by collectors. (Parsed for completeness.)
     pub virtual_: bool,
+    /// Source span of the whole declaration.
+    pub span: Span,
 }
 
 /// A parameter of a defined type or class, with optional default.
@@ -166,6 +183,9 @@ pub struct ChainStatement {
     pub operands: Vec<ChainOperand>,
     /// The arrows between consecutive operands (`operands.len() - 1`).
     pub arrows: Vec<ArrowKind>,
+    /// The source span of each arrow token (parallel to `arrows`); these
+    /// become the *origin* of the dependency edges the chain creates.
+    pub arrow_spans: Vec<Span>,
 }
 
 /// A collector query.
@@ -214,9 +234,35 @@ pub struct CaseArm {
     pub body: Vec<Statement>,
 }
 
-/// A top-level or nested statement.
+/// A top-level or nested statement: what it is plus where it is.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Statement {
+pub struct Statement {
+    /// The statement itself.
+    pub kind: StatementKind,
+    /// Its source span (first token through last).
+    pub span: Span,
+}
+
+impl Statement {
+    /// Creates a statement.
+    pub fn new(kind: StatementKind, span: Span) -> Statement {
+        Statement { kind, span }
+    }
+}
+
+impl From<StatementKind> for Statement {
+    /// Wraps a synthesized statement with a dummy span.
+    fn from(kind: StatementKind) -> Statement {
+        Statement {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// The kinds of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementKind {
     /// Resource declaration.
     Resource(ResourceDecl),
     /// Defined type declaration.

@@ -1,9 +1,14 @@
 //! Catalogs: the output of manifest evaluation.
 //!
 //! A catalog is the set of *primitive* resources (all abstractions
-//! eliminated, paper §3.1) plus explicit dependency edges.
+//! eliminated, paper §3.1) plus explicit dependency edges. Each resource
+//! remembers the [`Span`] of its declaration (and of each attribute), and
+//! each edge remembers the span of whatever declared it — a chain arrow, a
+//! metaparameter, a stage rule — so later stages can render
+//! source-anchored findings.
 
 use crate::value::{capitalize, Value};
+use rehearsal_diag::Span;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -14,15 +19,27 @@ pub type ResourceId = (String, String);
 ///
 /// Metaparameters (`before`, `require`, `notify`, `subscribe`, `stage`) are
 /// extracted into edges during evaluation and do not appear here.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CatalogResource {
     type_name: String,
     title: String,
     attrs: BTreeMap<String, Value>,
+    span: Span,
+    attr_spans: BTreeMap<String, Span>,
+}
+
+impl PartialEq for CatalogResource {
+    /// Content equality; spans (and the per-attribute span table, whose
+    /// *keys* would otherwise distinguish evaluator-built resources from
+    /// hand-built ones) are metadata and do not participate.
+    fn eq(&self, other: &CatalogResource) -> bool {
+        self.type_name == other.type_name && self.title == other.title && self.attrs == other.attrs
+    }
 }
 
 impl CatalogResource {
-    /// Creates a resource.
+    /// Creates a resource (no source location; see
+    /// [`CatalogResource::with_span`]).
     pub fn new(
         type_name: impl Into<String>,
         title: impl Into<String>,
@@ -32,7 +49,23 @@ impl CatalogResource {
             type_name: type_name.into(),
             title: title.into(),
             attrs,
+            span: Span::DUMMY,
+            attr_spans: BTreeMap::new(),
         }
+    }
+
+    /// Attaches the declaration span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> CatalogResource {
+        self.span = span;
+        self
+    }
+
+    /// Attaches per-attribute spans.
+    #[must_use]
+    pub fn with_attr_spans(mut self, spans: BTreeMap<String, Span>) -> CatalogResource {
+        self.attr_spans = spans;
+        self
     }
 
     /// Lower-cased resource type name (e.g. `file`).
@@ -43,6 +76,18 @@ impl CatalogResource {
     /// The resource title.
     pub fn title(&self) -> &str {
         &self.title
+    }
+
+    /// The span of the declaration this resource came from (dummy for
+    /// synthesized resources).
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The span of one attribute's `name => value` in the source, falling
+    /// back to the resource's declaration span.
+    pub fn attr_span(&self, name: &str) -> Span {
+        self.attr_spans.get(name).copied().unwrap_or(self.span)
     }
 
     /// The evaluated attributes.
@@ -88,6 +133,8 @@ impl fmt::Display for CatalogResource {
 pub struct Catalog {
     resources: Vec<CatalogResource>,
     edges: Vec<(usize, usize)>,
+    /// Where each edge was declared; parallel to `edges`.
+    origins: Vec<Span>,
 }
 
 impl Catalog {
@@ -96,16 +143,42 @@ impl Catalog {
     /// # Panics
     ///
     /// Panics if an edge endpoint is out of bounds.
-    pub fn new(resources: Vec<CatalogResource>, mut edges: Vec<(usize, usize)>) -> Catalog {
-        for &(a, b) in &edges {
+    pub fn new(resources: Vec<CatalogResource>, edges: Vec<(usize, usize)>) -> Catalog {
+        Catalog::new_with_origins(
+            resources,
+            edges
+                .into_iter()
+                .map(|(a, b)| (a, b, Span::DUMMY))
+                .collect(),
+        )
+    }
+
+    /// Creates a catalog whose edges carry the span of the declaration
+    /// that created them. Duplicate edges keep the first origin (in
+    /// `(from, to)` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of bounds.
+    pub fn new_with_origins(
+        resources: Vec<CatalogResource>,
+        mut edges: Vec<(usize, usize, Span)>,
+    ) -> Catalog {
+        for &(a, b, _) in &edges {
             assert!(
                 a < resources.len() && b < resources.len(),
                 "edge out of bounds"
             );
         }
-        edges.sort_unstable();
-        edges.dedup();
-        Catalog { resources, edges }
+        edges.sort_by_key(|&(a, b, _)| (a, b));
+        edges.dedup_by_key(|&mut (a, b, _)| (a, b));
+        let origins = edges.iter().map(|&(_, _, s)| s).collect();
+        let edges = edges.into_iter().map(|(a, b, _)| (a, b)).collect();
+        Catalog {
+            resources,
+            edges,
+            origins,
+        }
     }
 
     /// The resources, in declaration order.
@@ -117,6 +190,23 @@ impl Catalog {
     /// [`resources`](Catalog::resources).
     pub fn edges(&self) -> &[(usize, usize)] {
         &self.edges
+    }
+
+    /// Where edge `(a, b)` was declared (dummy when unknown).
+    pub fn edge_origin(&self, a: usize, b: usize) -> Span {
+        self.edges
+            .iter()
+            .position(|&e| e == (a, b))
+            .map(|i| self.origins[i])
+            .unwrap_or(Span::DUMMY)
+    }
+
+    /// Every edge with its declaration span.
+    pub fn edges_with_origins(&self) -> impl Iterator<Item = (usize, usize, Span)> + '_ {
+        self.edges
+            .iter()
+            .zip(&self.origins)
+            .map(|(&(a, b), &s)| (a, b, s))
     }
 
     /// Number of resources.
@@ -158,6 +248,7 @@ impl fmt::Display for Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rehearsal_diag::Pos;
 
     fn res(t: &str, title: &str) -> CatalogResource {
         CatalogResource::new(t, title, BTreeMap::new())
@@ -174,9 +265,16 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_edges_are_merged() {
-        let c = Catalog::new(vec![res("a", "1"), res("b", "2")], vec![(0, 1), (0, 1)]);
+    fn duplicate_edges_are_merged_keeping_first_origin() {
+        let s1 = Span::at(Pos::new(3, 1));
+        let s2 = Span::at(Pos::new(9, 1));
+        let c = Catalog::new_with_origins(
+            vec![res("a", "1"), res("b", "2")],
+            vec![(0, 1, s1), (0, 1, s2)],
+        );
         assert_eq!(c.edges().len(), 1);
+        assert!(c.edge_origin(0, 1).same(&s1));
+        assert!(c.edge_origin(1, 0).is_dummy(), "missing edge");
     }
 
     #[test]
@@ -189,9 +287,23 @@ mod tests {
     fn resource_accessors() {
         let mut attrs = BTreeMap::new();
         attrs.insert("ensure".to_string(), Value::Str("present".into()));
-        let r = CatalogResource::new("package", "vim", attrs);
+        let span = Span::at(Pos::new(2, 1));
+        let aspan = Span::at(Pos::new(2, 18));
+        let r = CatalogResource::new("package", "vim", attrs)
+            .with_span(span)
+            .with_attr_spans([("ensure".to_string(), aspan)].into_iter().collect());
         assert_eq!(r.attr_str("ensure").as_deref(), Some("present"));
         assert_eq!(r.display_name(), "Package[vim]");
         assert_eq!(r.id(), ("package".to_string(), "vim".to_string()));
+        assert!(r.span().same(&span));
+        assert!(r.attr_span("ensure").same(&aspan));
+        assert!(r.attr_span("missing").same(&span), "falls back to the decl");
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = res("package", "vim");
+        let b = res("package", "vim").with_span(Span::at(Pos::new(7, 1)));
+        assert_eq!(a, b);
     }
 }

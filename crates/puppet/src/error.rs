@@ -1,59 +1,73 @@
 //! Error types for the Puppet frontend.
+//!
+//! Every error carries a [`Span`] into the manifest source and converts to
+//! a [`Diagnostic`] with a stable code, so the CLI and the fleet engine
+//! can render source-anchored findings (snippet + carets) for any failure
+//! anywhere in the frontend.
 
+use rehearsal_diag::{codes, Diagnostic};
 use std::fmt;
 
-/// A position in manifest source (1-based line and column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Pos {
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
-}
-
-impl fmt::Display for Pos {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
+pub use rehearsal_diag::{Pos, Span};
 
 /// A lexing or parsing error with source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    pos: Pos,
+    span: Span,
     message: String,
 }
 
 impl ParseError {
     pub(crate) fn new(pos: Pos, message: impl Into<String>) -> ParseError {
         ParseError {
-            pos,
+            span: Span::at(pos),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn with_span(span: Span, message: impl Into<String>) -> ParseError {
+        ParseError {
+            span,
             message: message.into(),
         }
     }
 
     /// The position at which parsing failed.
     pub fn pos(&self) -> Pos {
-        self.pos
+        self.span.lo
+    }
+
+    /// The span of the offending token.
+    pub fn span(&self) -> Span {
+        self.span
     }
 
     /// The error message (without position).
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// This error as a [`Diagnostic`] (code `R0001`).
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::error(
+            codes::SYNTAX_ERROR,
+            format!("parse error: {}", self.message),
+        )
+        .with_primary(self.span, "here")
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}: {}", self.pos, self.message)
+        write!(f, "parse error at {}: {}", self.span.lo, self.message)
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// An error during manifest evaluation (catalog compilation).
+/// What went wrong during manifest evaluation (see [`EvalError`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EvalError {
+pub enum EvalErrorKind {
     /// A variable was referenced before assignment.
     UndefinedVariable(String),
     /// `include`/class reference to an unknown class.
@@ -78,40 +92,178 @@ pub enum EvalError {
     Message(String),
 }
 
-impl fmt::Display for EvalError {
+impl EvalErrorKind {
+    /// The stable diagnostic code for this kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EvalErrorKind::UndefinedVariable(_) => codes::UNDEFINED_VARIABLE,
+            EvalErrorKind::UnknownClass(_) => codes::UNKNOWN_CLASS,
+            EvalErrorKind::UnknownResourceType(_) => codes::UNKNOWN_RESOURCE_TYPE,
+            EvalErrorKind::DuplicateResource(_, _) => codes::DUPLICATE_RESOURCE,
+            EvalErrorKind::UnknownReference(_, _) => codes::UNKNOWN_REFERENCE,
+            EvalErrorKind::UnknownStage(_) => codes::UNKNOWN_STAGE,
+            EvalErrorKind::MissingParameter(_, _) => codes::MISSING_PARAMETER,
+            EvalErrorKind::UnexpectedParameter(_, _) => codes::UNEXPECTED_PARAMETER,
+            EvalErrorKind::DuplicateClassDeclaration(_) => codes::DUPLICATE_CLASS,
+            EvalErrorKind::Message(_) => codes::EVAL_ERROR,
+        }
+    }
+}
+
+impl fmt::Display for EvalErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EvalError::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
-            EvalError::UnknownClass(c) => write!(f, "unknown class {c:?}"),
-            EvalError::UnknownResourceType(t) => write!(f, "unknown resource type {t:?}"),
-            EvalError::DuplicateResource(t, title) => {
+            EvalErrorKind::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
+            EvalErrorKind::UnknownClass(c) => write!(f, "unknown class {c:?}"),
+            EvalErrorKind::UnknownResourceType(t) => write!(f, "unknown resource type {t:?}"),
+            EvalErrorKind::DuplicateResource(t, title) => {
                 write!(f, "duplicate declaration of {t}[{title}]")
             }
-            EvalError::UnknownReference(t, title) => {
+            EvalErrorKind::UnknownReference(t, title) => {
                 write!(f, "dependency references undeclared resource {t}[{title}]")
             }
-            EvalError::UnknownStage(s) => write!(f, "unknown stage {s:?}"),
-            EvalError::MissingParameter(ty, p) => {
+            EvalErrorKind::UnknownStage(s) => write!(f, "unknown stage {s:?}"),
+            EvalErrorKind::MissingParameter(ty, p) => {
                 write!(f, "missing required parameter {p:?} for {ty}")
             }
-            EvalError::UnexpectedParameter(ty, p) => {
+            EvalErrorKind::UnexpectedParameter(ty, p) => {
                 write!(f, "unexpected parameter {p:?} for {ty}")
             }
-            EvalError::DuplicateClassDeclaration(c) => {
+            EvalErrorKind::DuplicateClassDeclaration(c) => {
                 write!(f, "class {c:?} declared more than once")
             }
-            EvalError::Message(m) => write!(f, "{m}"),
+            EvalErrorKind::Message(m) => write!(f, "{m}"),
         }
+    }
+}
+
+/// An error during manifest evaluation (catalog compilation): a kind plus
+/// the span of the statement/declaration it arose from, and optionally
+/// related source locations (e.g. the *first* declaration of a duplicate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    kind: EvalErrorKind,
+    span: Span,
+    related: Vec<(String, Span)>,
+}
+
+impl EvalError {
+    /// Creates an error with no location yet (the evaluator attaches the
+    /// enclosing statement's span as it propagates).
+    pub fn new(kind: EvalErrorKind) -> EvalError {
+        EvalError {
+            kind,
+            span: Span::DUMMY,
+            related: Vec::new(),
+        }
+    }
+
+    /// Sets the span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> EvalError {
+        self.span = span;
+        self
+    }
+
+    /// Sets the span only when none was attached yet.
+    #[must_use]
+    pub fn with_span_if_missing(mut self, span: Span) -> EvalError {
+        if self.span.is_dummy() {
+            self.span = span;
+        }
+        self
+    }
+
+    /// Adds a related source location (rendered as a secondary label).
+    #[must_use]
+    pub fn with_related(mut self, message: impl Into<String>, span: Span) -> EvalError {
+        self.related.push((message.into(), span));
+        self
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &EvalErrorKind {
+        &self.kind
+    }
+
+    /// Where it went wrong (dummy when unlocated).
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The stable diagnostic code.
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// This error as a [`Diagnostic`].
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let mut d =
+            Diagnostic::error(self.code(), self.kind.to_string()).with_primary(self.span, "");
+        for (msg, span) in &self.related {
+            d = d.with_secondary(*span, msg.clone());
+        }
+        d
+    }
+}
+
+impl From<EvalErrorKind> for EvalError {
+    fn from(kind: EvalErrorKind) -> EvalError {
+        EvalError::new(kind)
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
     }
 }
 
 impl std::error::Error for EvalError {}
 
+/// One edge of a dependency cycle, with the source location where the
+/// edge was declared (a chain arrow, a metaparameter, or a stage rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleEdge {
+    /// The edge's source resource (display name).
+    pub from: String,
+    /// The edge's target resource (display name).
+    pub to: String,
+    /// Where the edge was declared.
+    pub origin: Span,
+}
+
 /// The resource graph contains a dependency cycle.
+///
+/// `members` lists the resources of one *actual* cycle in edge order
+/// (deterministically rotated so the smallest graph index comes first),
+/// and `edges` pairs each consecutive hop with the declaration site of
+/// that dependency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CycleError {
-    /// Human-readable names of resources on a cycle.
+    /// Human-readable names of the resources on the cycle, in cycle order.
     pub members: Vec<String>,
+    /// The cycle's edges (`members[i] → members[i+1]`, wrapping) with the
+    /// source location where each dependency was declared.
+    pub edges: Vec<CycleEdge>,
+}
+
+impl CycleError {
+    /// This error as a [`Diagnostic`] (code `R0201`): the first edge's
+    /// declaration site is the primary label, the remaining edges are
+    /// secondary labels.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let mut d = Diagnostic::error(codes::DEPENDENCY_CYCLE, self.to_string());
+        for (i, e) in self.edges.iter().enumerate() {
+            let msg = format!("{} -> {} declared here", e.from, e.to);
+            if i == 0 {
+                d = d.with_primary(e.origin, msg);
+            } else {
+                d = d.with_secondary(e.origin, msg);
+            }
+        }
+        d
+    }
 }
 
 impl fmt::Display for CycleError {
@@ -120,7 +272,13 @@ impl fmt::Display for CycleError {
             f,
             "dependency cycle involving: {}",
             self.members.join(" -> ")
-        )
+        )?;
+        if let Some(first) = self.members.first() {
+            if self.members.len() > 1 {
+                write!(f, " -> {first}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -135,12 +293,64 @@ mod tests {
         let e = ParseError::new(Pos { line: 3, col: 7 }, "unexpected token");
         assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
         assert_eq!(
-            EvalError::DuplicateResource("file".into(), "/a".into()).to_string(),
+            EvalError::new(EvalErrorKind::DuplicateResource("file".into(), "/a".into()))
+                .to_string(),
             "duplicate declaration of file[/a]"
         );
         let c = CycleError {
             members: vec!["Package[m4]".into(), "Package[make]".into()],
+            edges: Vec::new(),
         };
         assert!(c.to_string().contains("Package[m4] -> Package[make]"));
+        assert!(
+            c.to_string().ends_with("-> Package[m4]"),
+            "the cycle closes: {c}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_carry_codes_and_spans() {
+        let span = Span::new(Pos::new(2, 1), Pos::new(2, 8));
+        let d = ParseError::with_span(span, "oops").to_diagnostic();
+        assert_eq!(d.code, "R0001");
+        assert!(d.span().same(&span));
+
+        let d = EvalError::new(EvalErrorKind::UndefinedVariable("x".into()))
+            .with_span(span)
+            .with_related("first declared here", Span::at(Pos::new(1, 1)))
+            .to_diagnostic();
+        assert_eq!(d.code, "R0101");
+        assert_eq!(d.secondary.len(), 1);
+
+        let c = CycleError {
+            members: vec!["A[a]".into(), "B[b]".into()],
+            edges: vec![
+                CycleEdge {
+                    from: "A[a]".into(),
+                    to: "B[b]".into(),
+                    origin: span,
+                },
+                CycleEdge {
+                    from: "B[b]".into(),
+                    to: "A[a]".into(),
+                    origin: Span::at(Pos::new(4, 1)),
+                },
+            ],
+        };
+        let d = c.to_diagnostic();
+        assert_eq!(d.code, "R0201");
+        assert!(d.primary.is_some());
+        assert_eq!(d.secondary.len(), 1);
+    }
+
+    #[test]
+    fn span_attachment_rules() {
+        let span = Span::at(Pos::new(5, 1));
+        let e = EvalError::new(EvalErrorKind::Message("m".into()));
+        assert!(e.span().is_dummy());
+        let e = e.with_span_if_missing(span);
+        assert!(e.span().same(&span));
+        let e = e.with_span_if_missing(Span::at(Pos::new(9, 9)));
+        assert!(e.span().same(&span), "first attachment wins");
     }
 }

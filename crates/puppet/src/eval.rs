@@ -8,9 +8,10 @@
 
 use crate::ast::*;
 use crate::catalog::{Catalog, CatalogResource, ResourceId};
-use crate::error::EvalError;
+use crate::error::{EvalError, EvalErrorKind};
 use crate::lexer::StrPart;
 use crate::value::{capitalize, Value};
+use rehearsal_diag::Span;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Node facts visible to manifests as top-scope variables.
@@ -94,14 +95,21 @@ type CollectorSpec = (String, Query, Vec<(String, Value)>);
 pub fn evaluate(manifest: &Manifest, facts: &Facts) -> Result<Catalog, EvalError> {
     let mut ev = Evaluator::new(facts);
     ev.collect_declarations(&manifest.statements);
-    ev.exec_top_level(&manifest.statements)?;
-    ev.finalize()
+    if let Err(e) = ev.exec_top_level(&manifest.statements) {
+        let span = ev.current_span;
+        return Err(e.with_span_if_missing(span));
+    }
+    let span = ev.current_span;
+    ev.finalize().map_err(|e| e.with_span_if_missing(span))
 }
 
 #[derive(Debug, Clone)]
 struct PendingEdge {
     before: ResourceId,
     after: ResourceId,
+    /// Where the dependency was declared (a chain arrow, a metaparameter
+    /// attribute, or a resource default).
+    origin: Span,
 }
 
 #[derive(Debug, Clone)]
@@ -123,20 +131,26 @@ struct Evaluator {
     groups: HashMap<ResourceId, Vec<ResourceId>>,
     group_stack: Vec<ResourceId>,
     scopes: Vec<HashMap<String, Value>>,
-    defaults: Vec<(String, String, Value)>,
+    defaults: Vec<(String, String, Value, Span)>,
     collectors: Vec<CollectorSpec>,
     virtuals: Vec<VirtualResource>,
     realize_requests: Vec<ResourceId>,
     /// Stage ordering edges `(before, after)` between stage titles.
     stage_edges: BTreeSet<(String, String)>,
+    /// Where each stage ordering rule was declared.
+    stage_edge_origins: HashMap<(String, String), Span>,
     stage_titles: BTreeSet<String>,
     current_stage: Vec<String>,
     /// `class → stage` assignments from `class { …: stage => … }`,
     /// resolved in `finalize` once every declaration (including realized
     /// virtual resources) is known — resolving at declaration time made
     /// the assignment declaration-order-dependent and silently skipped
-    /// members that were not primitive resources yet.
-    pending_stage_assignments: Vec<(String, String)>,
+    /// members that were not primitive resources yet. The span is that of
+    /// the `stage => …` attribute, for diagnostics.
+    pending_stage_assignments: Vec<(String, String, Span)>,
+    /// The span of the innermost statement currently executing; errors
+    /// that bubble out without a more precise location get this one.
+    current_span: Span,
 }
 
 impl Evaluator {
@@ -161,9 +175,11 @@ impl Evaluator {
             virtuals: Vec::new(),
             realize_requests: Vec::new(),
             stage_edges: BTreeSet::new(),
+            stage_edge_origins: HashMap::new(),
             stage_titles: ["main".to_string()].into_iter().collect(),
             current_stage: vec!["main".to_string()],
             pending_stage_assignments: Vec::new(),
+            current_span: Span::DUMMY,
         }
     }
 
@@ -171,25 +187,25 @@ impl Evaluator {
     /// global regardless of nesting).
     fn collect_declarations(&mut self, statements: &[Statement]) {
         for s in statements {
-            match s {
-                Statement::Define(d) => {
+            match &s.kind {
+                StatementKind::Define(d) => {
                     self.defines.insert(d.name.clone(), d.clone());
                 }
-                Statement::Class(c) => {
+                StatementKind::Class(c) => {
                     self.classes.insert(c.name.clone(), c.clone());
                     self.collect_declarations(&c.body);
                 }
-                Statement::If(arms) => {
+                StatementKind::If(arms) => {
                     for (_, body) in arms {
                         self.collect_declarations(body);
                     }
                 }
-                Statement::Case(_, arms) => {
+                StatementKind::Case(_, arms) => {
                     for arm in arms {
                         self.collect_declarations(&arm.body);
                     }
                 }
-                Statement::Node(_, body) => self.collect_declarations(body),
+                StatementKind::Node(_, body) => self.collect_declarations(body),
                 _ => {}
             }
         }
@@ -197,7 +213,7 @@ impl Evaluator {
         let bodies: Vec<Vec<Statement>> = self.defines.values().map(|d| d.body.clone()).collect();
         for b in &bodies {
             for s in b {
-                if let Statement::Define(d) = s {
+                if let StatementKind::Define(d) = &s.kind {
                     self.defines
                         .entry(d.name.clone())
                         .or_insert_with(|| d.clone());
@@ -215,7 +231,7 @@ impl Evaluator {
         let mut default_node: Option<&[Statement]> = None;
         let mut matching_node: Option<&[Statement]> = None;
         for s in statements {
-            if let Statement::Node(names, body) = s {
+            if let StatementKind::Node(names, body) = &s.kind {
                 for n in names {
                     if n == "default" && default_node.is_none() {
                         default_node = Some(body);
@@ -244,40 +260,49 @@ impl Evaluator {
     }
 
     fn exec_statement(&mut self, s: &Statement) -> Result<(), EvalError> {
-        match s {
-            Statement::Define(_) | Statement::Class(_) => Ok(()), // hoisted
-            Statement::Node(_, _) => Ok(()),                      // handled at top level
-            Statement::Assign(name, expr) => {
+        // Every error that escapes a statement without a more precise
+        // location is anchored to the innermost enclosing statement.
+        self.current_span = s.span;
+        self.exec_statement_kind(&s.kind)
+            .map_err(|e| e.with_span_if_missing(s.span))
+    }
+
+    fn exec_statement_kind(&mut self, kind: &StatementKind) -> Result<(), EvalError> {
+        match kind {
+            StatementKind::Define(_) | StatementKind::Class(_) => Ok(()), // hoisted
+            StatementKind::Node(_, _) => Ok(()),                          // handled at top level
+            StatementKind::Assign(name, expr) => {
                 let v = self.eval_expr(expr)?;
                 let scope = self.scopes.last_mut().expect("scope stack non-empty");
                 if scope.contains_key(name) {
-                    return Err(EvalError::Message(format!(
+                    return Err(EvalError::new(EvalErrorKind::Message(format!(
                         "variable ${name} is already assigned in this scope"
-                    )));
+                    ))));
                 }
                 scope.insert(name.clone(), v);
                 Ok(())
             }
-            Statement::Include(names) => {
+            StatementKind::Include(names) => {
                 for n in names {
                     self.declare_class(n, &BTreeMap::new(), false)?;
                 }
                 Ok(())
             }
-            Statement::Resource(decl) => {
+            StatementKind::Resource(decl) => {
                 self.instantiate_resource_decl(decl)?;
                 Ok(())
             }
-            Statement::Chain(chain) => self.exec_chain(chain),
-            Statement::Collector(c) => self.exec_collector(c),
-            Statement::ResourceDefault(d) => {
+            StatementKind::Chain(chain) => self.exec_chain(chain),
+            StatementKind::Collector(c) => self.exec_collector(c),
+            StatementKind::ResourceDefault(d) => {
                 for a in &d.attrs {
                     let v = self.eval_expr(&a.value)?;
-                    self.defaults.push((d.type_name.clone(), a.name.clone(), v));
+                    self.defaults
+                        .push((d.type_name.clone(), a.name.clone(), v, a.span));
                 }
                 Ok(())
             }
-            Statement::If(arms) => {
+            StatementKind::If(arms) => {
                 for (cond, body) in arms {
                     if self.eval_expr(cond)?.truthy() {
                         return self.exec_statements(body);
@@ -285,7 +310,7 @@ impl Evaluator {
                 }
                 Ok(())
             }
-            Statement::Case(scrutinee, arms) => {
+            StatementKind::Case(scrutinee, arms) => {
                 let v = self.eval_expr(scrutinee)?;
                 let mut default_arm: Option<&CaseArm> = None;
                 for arm in arms {
@@ -306,19 +331,19 @@ impl Evaluator {
                 }
                 Ok(())
             }
-            Statement::Call(name, args) => {
+            StatementKind::Call(name, args) => {
                 let vals: Vec<Value> = args
                     .iter()
                     .map(|a| self.eval_expr(a))
                     .collect::<Result<_, _>>()?;
                 match name.as_str() {
-                    "fail" => Err(EvalError::Message(format!(
+                    "fail" => Err(EvalError::new(EvalErrorKind::Message(format!(
                         "fail(): {}",
                         vals.iter()
                             .map(Value::coerce_string)
                             .collect::<Vec<_>>()
                             .join(" ")
-                    ))),
+                    )))),
                     "notice" | "warning" | "info" | "debug" => Ok(()),
                     "realize" => {
                         for v in vals {
@@ -330,7 +355,9 @@ impl Evaluator {
                         }
                         Ok(())
                     }
-                    other => Err(EvalError::Message(format!("unknown function {other:?}"))),
+                    other => Err(EvalError::new(EvalErrorKind::Message(format!(
+                        "unknown function {other:?}"
+                    )))),
                 }
             }
         }
@@ -360,17 +387,16 @@ impl Evaluator {
             Expression::Var(name) => self
                 .lookup_var(name)
                 .cloned()
-                .ok_or_else(|| EvalError::UndefinedVariable(name.clone())),
+                .ok_or_else(|| EvalError::new(EvalErrorKind::UndefinedVariable(name.clone()))),
             Expression::Interp(parts) => {
                 let mut out = String::new();
                 for p in parts {
                     match p {
                         StrPart::Lit(l) => out.push_str(l),
                         StrPart::Var(v) => {
-                            let val = self
-                                .lookup_var(v)
-                                .cloned()
-                                .ok_or_else(|| EvalError::UndefinedVariable(v.clone()))?;
+                            let val = self.lookup_var(v).cloned().ok_or_else(|| {
+                                EvalError::new(EvalErrorKind::UndefinedVariable(v.clone()))
+                            })?;
                             out.push_str(&val.coerce_string());
                         }
                     }
@@ -426,7 +452,9 @@ impl Evaluator {
                         }
                         Ok(Value::Bool(all))
                     }
-                    other => Err(EvalError::Message(format!("unknown function {other:?}"))),
+                    other => Err(EvalError::new(EvalErrorKind::Message(format!(
+                        "unknown function {other:?}"
+                    )))),
                 }
             }
             Expression::Not(inner) => Ok(Value::Bool(!self.eval_expr(inner)?.truthy())),
@@ -477,7 +505,9 @@ impl Evaluator {
                     ArithOp::Mul => x * y,
                     ArithOp::Div => {
                         if y == 0 {
-                            return Err(EvalError::Message("division by zero".to_string()));
+                            return Err(EvalError::new(EvalErrorKind::Message(
+                                "division by zero".to_string(),
+                            )));
                         }
                         x / y
                     }
@@ -502,9 +532,9 @@ impl Evaluator {
                         let out = out.clone();
                         self.eval_expr(&out)
                     }
-                    None => Err(EvalError::Message(format!(
+                    None => Err(EvalError::new(EvalErrorKind::Message(format!(
                         "selector has no match for {v} and no default"
-                    ))),
+                    )))),
                 }
             }
         }
@@ -518,18 +548,27 @@ impl Evaluator {
     ) -> Result<Vec<ResourceId>, EvalError> {
         let mut created = Vec::new();
         for body in &decl.bodies {
+            // The span a catalog resource remembers: the whole declaration
+            // for the common one-body case, the body for multi-body decls.
+            let rspan = if decl.bodies.len() == 1 {
+                decl.span
+            } else {
+                body.span
+            };
             let title_value = self.eval_expr(&body.title)?;
             let titles: Vec<String> = match title_value {
                 Value::Array(items) => items.iter().map(Value::coerce_string).collect(),
                 other => vec![other.coerce_string()],
             };
             let mut attrs: BTreeMap<String, Value> = BTreeMap::new();
+            let mut attr_spans: BTreeMap<String, Span> = BTreeMap::new();
             for a in &body.attrs {
                 let v = self.eval_expr(&a.value)?;
                 attrs.insert(a.name.clone(), v);
+                attr_spans.insert(a.name.clone(), a.span);
             }
             for title in titles {
-                let id = self.instantiate_one(decl, &title, attrs.clone())?;
+                let id = self.instantiate_one(decl, &title, attrs.clone(), &attr_spans, rspan)?;
                 created.push(id);
             }
         }
@@ -541,24 +580,29 @@ impl Evaluator {
         decl: &ResourceDecl,
         title: &str,
         mut attrs: BTreeMap<String, Value>,
+        attr_spans: &BTreeMap<String, Span>,
+        rspan: Span,
     ) -> Result<ResourceId, EvalError> {
         let type_name = decl.type_name.to_lowercase();
+        let span_of = |name: &str| attr_spans.get(name).copied().unwrap_or(rspan);
         // Extract edge metaparameters.
-        let mut edges_out: Vec<(String, Value)> = Vec::new();
+        let mut edges_out: Vec<(String, Value, Span)> = Vec::new();
         for meta in META_EDGE_PARAMS {
             if let Some(v) = attrs.remove(meta) {
-                edges_out.push((meta.to_string(), v));
+                edges_out.push((meta.to_string(), v, span_of(meta)));
             }
         }
-        let stage_param = attrs.remove("stage").map(|v| v.coerce_string());
+        let stage_param = attrs
+            .remove("stage")
+            .map(|v| (v.coerce_string(), span_of("stage")));
 
         let id: ResourceId = (type_name.clone(), title.to_string());
 
         if type_name == "class" {
             let class_name = title.to_string();
             self.declare_class(&class_name, &attrs, true)?;
-            if let Some(stage) = &stage_param {
-                self.assign_class_stage(&class_name, stage);
+            if let Some((stage, sspan)) = &stage_param {
+                self.assign_class_stage(&class_name, stage, *sspan);
             }
             let gid = ("class".to_string(), class_name);
             self.record_meta_edges(&gid, &edges_out);
@@ -567,23 +611,24 @@ impl Evaluator {
 
         if type_name == "stage" {
             self.stage_titles.insert(title.to_string());
-            for (meta, v) in &edges_out {
+            for (meta, v, mspan) in &edges_out {
                 for (t, other) in ref_titles(v) {
                     if t != "stage" {
-                        return Err(EvalError::Message(format!(
+                        return Err(EvalError::new(EvalErrorKind::Message(format!(
                             "stage {title:?} has a non-stage dependency {}",
                             capitalize(&t)
-                        )));
+                        )))
+                        .with_span(*mspan));
                     }
                     self.stage_titles.insert(other.clone());
-                    match meta.as_str() {
-                        "before" | "notify" => {
-                            self.stage_edges.insert((title.to_string(), other));
-                        }
-                        _ => {
-                            self.stage_edges.insert((other, title.to_string()));
-                        }
-                    }
+                    let edge = match meta.as_str() {
+                        "before" | "notify" => (title.to_string(), other),
+                        _ => (other, title.to_string()),
+                    };
+                    self.stage_edge_origins
+                        .entry(edge.clone())
+                        .or_insert(*mspan);
+                    self.stage_edges.insert(edge);
                 }
             }
             return Ok(id);
@@ -599,10 +644,27 @@ impl Evaluator {
         }
 
         // A primitive resource.
-        if self.index.contains_key(&id) || self.virtuals.iter().any(|v| v.resource.id() == id) {
-            return Err(EvalError::DuplicateResource(type_name, title.to_string()));
+        let first_decl = self
+            .index
+            .get(&id)
+            .map(|&i| self.resources[i].span())
+            .or_else(|| {
+                self.virtuals
+                    .iter()
+                    .find(|v| v.resource.id() == id)
+                    .map(|v| v.resource.span())
+            });
+        if let Some(first) = first_decl {
+            return Err(EvalError::new(EvalErrorKind::DuplicateResource(
+                type_name,
+                title.to_string(),
+            ))
+            .with_span(rspan)
+            .with_related("first declared here", first));
         }
-        let resource = CatalogResource::new(type_name.clone(), title, attrs);
+        let resource = CatalogResource::new(type_name.clone(), title, attrs)
+            .with_span(rspan)
+            .with_attr_spans(attr_spans.clone());
         if decl.virtual_ {
             self.virtuals.push(VirtualResource {
                 resource,
@@ -629,17 +691,19 @@ impl Evaluator {
         }
     }
 
-    fn record_meta_edges(&mut self, id: &ResourceId, metas: &[(String, Value)]) {
-        for (meta, v) in metas {
+    fn record_meta_edges(&mut self, id: &ResourceId, metas: &[(String, Value, Span)]) {
+        for (meta, v, origin) in metas {
             for target in ref_titles(v) {
                 match meta.as_str() {
                     "before" | "notify" => self.pending_edges.push(PendingEdge {
                         before: id.clone(),
                         after: target,
+                        origin: *origin,
                     }),
                     _ => self.pending_edges.push(PendingEdge {
                         before: target,
                         after: id.clone(),
+                        origin: *origin,
                     }),
                 }
             }
@@ -659,10 +723,10 @@ impl Evaluator {
             .clone();
         let gid: ResourceId = (type_name.to_string(), title.to_string());
         if self.groups.contains_key(&gid) {
-            return Err(EvalError::DuplicateResource(
+            return Err(EvalError::new(EvalErrorKind::DuplicateResource(
                 type_name.to_string(),
                 title.to_string(),
-            ));
+            )));
         }
         self.groups.insert(gid.clone(), Vec::new());
         let scope = self.bind_params(type_name, &def.params, args, title)?;
@@ -682,7 +746,9 @@ impl Evaluator {
     ) -> Result<(), EvalError> {
         if self.declared_classes.contains(name) {
             if resource_style {
-                return Err(EvalError::DuplicateClassDeclaration(name.to_string()));
+                return Err(EvalError::new(EvalErrorKind::DuplicateClassDeclaration(
+                    name.to_string(),
+                )));
             }
             return Ok(()); // include is idempotent
         }
@@ -690,7 +756,7 @@ impl Evaluator {
             .classes
             .get(name)
             .cloned()
-            .ok_or_else(|| EvalError::UnknownClass(name.to_string()))?;
+            .ok_or_else(|| EvalError::new(EvalErrorKind::UnknownClass(name.to_string())))?;
         self.declared_classes.insert(name.to_string());
         // `inherits` parent is declared first.
         if let Some(parent) = &class.inherits {
@@ -710,7 +776,7 @@ impl Evaluator {
         result
     }
 
-    fn assign_class_stage(&mut self, class_name: &str, stage: &str) {
+    fn assign_class_stage(&mut self, class_name: &str, stage: &str, span: Span) {
         // Deferred: the class's members are only fully known once every
         // declaration has executed and virtual resources have been
         // realized, so the actual move happens in `finalize` (stage
@@ -720,26 +786,35 @@ impl Evaluator {
         // e.g. virtual resources realized later — leaving them in the
         // declaration-context stage.
         self.pending_stage_assignments
-            .push((class_name.to_string(), stage.to_string()));
+            .push((class_name.to_string(), stage.to_string(), span));
     }
 
     /// Applies the deferred `class → stage` assignments (see
     /// [`Evaluator::assign_class_stage`]).
     fn apply_stage_assignments(&mut self) -> Result<(), EvalError> {
         let pending = std::mem::take(&mut self.pending_stage_assignments);
-        for (class_name, stage) in &pending {
+        for (class_name, stage, span) in &pending {
             if !self.stage_titles.contains(stage) {
-                return Err(EvalError::UnknownStage(stage.clone()));
+                return Err(
+                    EvalError::new(EvalErrorKind::UnknownStage(stage.clone())).with_span(*span)
+                );
             }
             // Move every member of the class (recursively) into the stage.
             let gid = ("class".to_string(), class_name.clone());
-            for m in self.resolve_group(&gid)? {
+            for m in self
+                .resolve_group(&gid)
+                .map_err(|e| e.with_span_if_missing(*span))?
+            {
                 match self.index.get(&m) {
                     Some(&idx) => self.stage_of[idx] = stage.clone(),
                     None => {
                         // resolve_group only returns indexed ids; anything
                         // else is a bug worth surfacing, not skipping.
-                        return Err(EvalError::UnknownReference(m.0.clone(), m.1.clone()));
+                        return Err(EvalError::new(EvalErrorKind::UnknownReference(
+                            m.0.clone(),
+                            m.1.clone(),
+                        ))
+                        .with_span(*span));
                     }
                 }
             }
@@ -760,10 +835,10 @@ impl Evaluator {
         let param_names: HashSet<&str> = params.iter().map(|p| p.name.as_str()).collect();
         for given in args.keys() {
             if !param_names.contains(given.as_str()) && given != "title" && given != "name" {
-                return Err(EvalError::UnexpectedParameter(
+                return Err(EvalError::new(EvalErrorKind::UnexpectedParameter(
                     owner.to_string(),
                     given.clone(),
-                ));
+                )));
             }
         }
         for p in params {
@@ -777,10 +852,10 @@ impl Evaluator {
                 scope = self.scopes.pop().expect("pushed above");
                 scope.insert(p.name.clone(), v?);
             } else {
-                return Err(EvalError::MissingParameter(
+                return Err(EvalError::new(EvalErrorKind::MissingParameter(
                     owner.to_string(),
                     p.name.clone(),
-                ));
+                )));
             }
         }
         Ok(scope)
@@ -816,11 +891,17 @@ impl Evaluator {
             operand_ids.push(ids);
         }
         for (k, _arrow) in chain.arrows.iter().enumerate() {
+            let origin = chain
+                .arrow_spans
+                .get(k)
+                .copied()
+                .unwrap_or(self.current_span);
             for b in &operand_ids[k] {
                 for a in &operand_ids[k + 1] {
                     self.pending_edges.push(PendingEdge {
                         before: b.clone(),
                         after: a.clone(),
+                        origin,
                     });
                 }
             }
@@ -878,7 +959,10 @@ impl Evaluator {
             } else if cur.0 == "class" && self.declared_classes.contains(&cur.1) {
                 // An empty class: fine, no members.
             } else {
-                return Err(EvalError::UnknownReference(cur.0.clone(), cur.1.clone()));
+                return Err(EvalError::new(EvalErrorKind::UnknownReference(
+                    cur.0.clone(),
+                    cur.1.clone(),
+                )));
             }
         }
         Ok(out)
@@ -917,7 +1001,7 @@ impl Evaluator {
 
         // 2. Apply resource defaults (attributes only present if not set).
         let defaults = std::mem::take(&mut self.defaults);
-        for (ty, attr, v) in &defaults {
+        for (ty, attr, v, dspan) in &defaults {
             if META_EDGE_PARAMS.contains(&attr.as_str()) {
                 // Metaparameter default: becomes edges for every resource of
                 // the type.
@@ -928,7 +1012,7 @@ impl Evaluator {
                     .map(|r| r.id())
                     .collect();
                 for id in ids {
-                    self.record_meta_edges(&id, &[(attr.clone(), v.clone())]);
+                    self.record_meta_edges(&id, &[(attr.clone(), v.clone(), *dspan)]);
                 }
                 continue;
             }
@@ -981,16 +1065,18 @@ impl Evaluator {
             }
         }
 
-        // 4. Resolve pending edges to primitive-resource index pairs.
-        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        // 4. Resolve pending edges to primitive-resource index pairs,
+        //    keeping the span of the declaration that created each edge
+        //    (first declaration wins for duplicates).
+        let mut edges: BTreeMap<(usize, usize), Span> = BTreeMap::new();
         let pending = std::mem::take(&mut self.pending_edges);
         for e in &pending {
-            let before = self.resolve_edge_endpoint(&e.before, &collectors)?;
-            let after = self.resolve_edge_endpoint(&e.after, &collectors)?;
+            let before = self.resolve_edge_endpoint(&e.before, &collectors, e.origin)?;
+            let after = self.resolve_edge_endpoint(&e.after, &collectors, e.origin)?;
             for &b in &before {
                 for &a in &after {
                     if b != a {
-                        edges.insert((b, a));
+                        edges.entry((b, a)).or_insert(e.origin);
                     }
                 }
             }
@@ -1012,35 +1098,43 @@ impl Evaluator {
             if let Some(parent) = parent_path(path) {
                 if let Some(&j) = path_of.get(&parent) {
                     if i != j {
-                        edges.insert((j, i));
+                        // The auto-required child's declaration is the edge's
+                        // natural source anchor.
+                        edges.entry((j, i)).or_insert(self.resources[i].span());
                     }
                 }
             }
         }
 
         // 6. Stage elimination: expand stage ordering into resource edges
-        //    (paper §3.1). Uses the transitive closure of the stage DAG.
-        let stage_pairs = transitive_closure(&self.stage_edges);
-        for (s1, s2) in &stage_pairs {
+        //    (paper §3.1). Uses the transitive closure of the stage DAG;
+        //    composed pairs inherit the origin of their first hop.
+        let stage_pairs = transitive_closure(&self.stage_edges, &self.stage_edge_origins);
+        for ((s1, s2), origin) in &stage_pairs {
+            let origin = *origin;
             for i in 0..self.resources.len() {
                 if self.stage_of[i] != *s1 {
                     continue;
                 }
                 for j in 0..self.resources.len() {
                     if self.stage_of[j] == *s2 && i != j {
-                        edges.insert((i, j));
+                        edges.entry((i, j)).or_insert(origin);
                     }
                 }
             }
         }
 
-        Ok(Catalog::new(self.resources, edges.into_iter().collect()))
+        Ok(Catalog::new_with_origins(
+            self.resources,
+            edges.into_iter().map(|((a, b), s)| (a, b, s)).collect(),
+        ))
     }
 
     fn resolve_edge_endpoint(
         &self,
         id: &ResourceId,
         collectors: &[CollectorSpec],
+        origin: Span,
     ) -> Result<Vec<usize>, EvalError> {
         if id.0 == "\u{0}collector" {
             let k: usize = id.1.parse().expect("collector pseudo-id");
@@ -1053,7 +1147,9 @@ impl Evaluator {
                 .map(|(i, _)| i)
                 .collect());
         }
-        let ids = self.resolve_group(id)?;
+        let ids = self
+            .resolve_group(id)
+            .map_err(|e| e.with_span_if_missing(origin))?;
         Ok(ids
             .iter()
             .map(|rid| *self.index.get(rid).expect("resolved ids are primitive"))
@@ -1093,12 +1189,14 @@ fn literal_value(e: &Expression) -> Value {
 fn coerce_int(v: &Value) -> Result<i64, EvalError> {
     match v {
         Value::Int(n) => Ok(*n),
-        Value::Str(s) => s
-            .parse()
-            .map_err(|_| EvalError::Message(format!("cannot treat {s:?} as a number"))),
-        other => Err(EvalError::Message(format!(
+        Value::Str(s) => s.parse().map_err(|_| {
+            EvalError::new(EvalErrorKind::Message(format!(
+                "cannot treat {s:?} as a number"
+            )))
+        }),
+        other => Err(EvalError::new(EvalErrorKind::Message(format!(
             "cannot treat {other} as a number"
-        ))),
+        )))),
     }
 }
 
@@ -1114,15 +1212,32 @@ fn parent_path(path: &str) -> Option<String> {
     Some(trimmed[..idx].to_string())
 }
 
-fn transitive_closure(edges: &BTreeSet<(String, String)>) -> BTreeSet<(String, String)> {
-    let mut closure = edges.clone();
+/// The transitive closure of the stage DAG, carrying origins: a composed
+/// pair `(a, d)` built from `(a, b)` + `(b, d)` inherits the span of its
+/// first hop `(a, b)`, so even indirect stage-ordering edges stay
+/// source-anchored.
+fn transitive_closure(
+    edges: &BTreeSet<(String, String)>,
+    origins: &HashMap<(String, String), Span>,
+) -> BTreeMap<(String, String), Span> {
+    let mut closure: BTreeMap<(String, String), Span> = edges
+        .iter()
+        .map(|e| (e.clone(), origins.get(e).copied().unwrap_or(Span::DUMMY)))
+        .collect();
     loop {
         let mut added = false;
-        let snapshot: Vec<(String, String)> = closure.iter().cloned().collect();
-        for (a, b) in &snapshot {
-            for (c, d) in &snapshot {
-                if b == c && closure.insert((a.clone(), d.clone())) {
-                    added = true;
+        let snapshot: Vec<((String, String), Span)> =
+            closure.iter().map(|(e, &s)| (e.clone(), s)).collect();
+        for ((a, b), first_hop) in &snapshot {
+            for ((c, d), _) in &snapshot {
+                if b == c {
+                    let composed = (a.clone(), d.clone());
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        closure.entry(composed)
+                    {
+                        slot.insert(*first_hop);
+                        added = true;
+                    }
                 }
             }
         }
@@ -1241,7 +1356,10 @@ mod tests {
             "define d($x = 1) { }\n\
              d { 't': y => 2 }",
         );
-        assert!(matches!(err, EvalError::UnexpectedParameter(_, _)));
+        assert!(matches!(
+            err.kind(),
+            EvalErrorKind::UnexpectedParameter(_, _)
+        ));
     }
 
     #[test]
@@ -1250,7 +1368,7 @@ mod tests {
             "define d($x) { }\n\
              d { 't': }",
         );
-        assert!(matches!(err, EvalError::MissingParameter(_, _)));
+        assert!(matches!(err.kind(), EvalErrorKind::MissingParameter(_, _)));
     }
 
     #[test]
@@ -1267,7 +1385,7 @@ mod tests {
     #[test]
     fn duplicate_resource_rejected() {
         let err = eval_err("package { 'vim': }\npackage { 'vim': }");
-        assert!(matches!(err, EvalError::DuplicateResource(_, _)));
+        assert!(matches!(err.kind(), EvalErrorKind::DuplicateResource(_, _)));
     }
 
     #[test]
@@ -1441,6 +1559,32 @@ mod tests {
     }
 
     #[test]
+    fn composed_stage_edges_inherit_first_hop_origin() {
+        // pre -> main -> post: the (pre, post) ordering is transitive, so
+        // the resource edge base -> late must carry the origin of the
+        // first hop (the `before => Stage['main']` attribute).
+        let src = r#"
+            stage { 'pre': before => Stage['main'] }
+            stage { 'post': require => Stage['main'] }
+            class setup { package { 'base': } }
+            class teardown { package { 'late': } }
+            class { 'setup': stage => 'pre' }
+            class { 'teardown': stage => 'post' }
+            package { 'web': }
+        "#;
+        let c = eval_src(src);
+        let base = c.find("package", "base").unwrap();
+        let late = c.find("package", "late").unwrap();
+        assert!(c.edges().contains(&(base, late)), "transitive ordering");
+        let origin = c.edge_origin(base, late);
+        assert!(
+            !origin.is_dummy(),
+            "composed stage pairs must stay source-anchored"
+        );
+        assert_eq!(origin.lo.line, 2, "the pre -> main `before` attribute");
+    }
+
+    #[test]
     fn stage_declared_after_assignment_still_works() {
         // Declaration order of the stage resource itself no longer
         // matters: validation happens at finalize.
@@ -1464,19 +1608,22 @@ mod tests {
             class { 'setup': stage => 'nope' }
         "#,
         );
-        assert!(matches!(err, EvalError::UnknownStage(_)), "{err}");
+        assert!(
+            matches!(err.kind(), EvalErrorKind::UnknownStage(_)),
+            "{err}"
+        );
     }
 
     #[test]
     fn undefined_variable_errors() {
         let err = eval_err("file { '/x': content => $nope }");
-        assert!(matches!(err, EvalError::UndefinedVariable(_)));
+        assert!(matches!(err.kind(), EvalErrorKind::UndefinedVariable(_)));
     }
 
     #[test]
     fn unknown_reference_errors() {
         let err = eval_err("Package['ghost'] -> Package['also-ghost']");
-        assert!(matches!(err, EvalError::UnknownReference(_, _)));
+        assert!(matches!(err.kind(), EvalErrorKind::UnknownReference(_, _)));
     }
 
     #[test]
@@ -1540,7 +1687,7 @@ mod tests {
     #[test]
     fn unknown_class_errors() {
         let err = eval_err("include ghost");
-        assert!(matches!(err, EvalError::UnknownClass(_)));
+        assert!(matches!(err.kind(), EvalErrorKind::UnknownClass(_)));
     }
 
     #[test]

@@ -1,19 +1,22 @@
 //! Resource graphs (paper §3.1, fig. 4): DAGs of primitive resources.
 
 use crate::catalog::{Catalog, CatalogResource};
-use crate::error::CycleError;
-use std::collections::BTreeSet;
+use crate::error::{CycleEdge, CycleError, Span};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A directed acyclic graph of primitive resources. An edge `a → b` means
 /// `b` depends on `a` (`a` is applied first).
 ///
 /// Construction validates acyclicity, so holders of a `ResourceGraph` can
-/// rely on topological sorts existing.
+/// rely on topological sorts existing. Each edge remembers the span of the
+/// declaration that created it (see [`ResourceGraph::edge_origin`]), which
+/// is how cycle errors cite each hop's declaration site.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceGraph {
     resources: Vec<CatalogResource>,
     edges: BTreeSet<(usize, usize)>,
+    origins: HashMap<(usize, usize), Span>,
     succs: Vec<Vec<usize>>,
     preds: Vec<Vec<usize>>,
 }
@@ -23,7 +26,8 @@ impl ResourceGraph {
     ///
     /// # Errors
     ///
-    /// Returns [`CycleError`] naming resources on a cycle.
+    /// Returns [`CycleError`] naming the resources of one actual cycle in
+    /// deterministic order, with each edge's declaration site.
     pub fn from_catalog(catalog: &Catalog) -> Result<ResourceGraph, CycleError> {
         let resources = catalog.resources().to_vec();
         let edges: BTreeSet<(usize, usize)> = catalog
@@ -31,6 +35,11 @@ impl ResourceGraph {
             .iter()
             .copied()
             .filter(|(a, b)| a != b)
+            .collect();
+        let origins: HashMap<(usize, usize), Span> = catalog
+            .edges_with_origins()
+            .filter(|&(a, b, _)| a != b)
+            .map(|(a, b, s)| ((a, b), s))
             .collect();
         let n = resources.len();
         let mut succs = vec![Vec::new(); n];
@@ -42,6 +51,7 @@ impl ResourceGraph {
         let g = ResourceGraph {
             resources,
             edges,
+            origins,
             succs,
             preds,
         };
@@ -72,6 +82,11 @@ impl ResourceGraph {
     /// All edges `(before, after)`.
     pub fn edges(&self) -> &BTreeSet<(usize, usize)> {
         &self.edges
+    }
+
+    /// Where edge `(a, b)` was declared (dummy when unknown).
+    pub fn edge_origin(&self, a: usize, b: usize) -> Span {
+        self.origins.get(&(a, b)).copied().unwrap_or(Span::DUMMY)
     }
 
     /// Direct successors (dependents) of `i`.
@@ -108,12 +123,88 @@ impl ResourceGraph {
         if out.len() == n {
             Ok(out)
         } else {
-            let members = (0..n)
-                .filter(|&i| indeg[i] > 0)
-                .map(|i| self.resources[i].display_name())
-                .collect();
-            Err(CycleError { members })
+            Err(self.cycle_error())
         }
+    }
+
+    /// Extracts one actual cycle deterministically (DFS in ascending index
+    /// order; the reported cycle is rotated so its smallest index comes
+    /// first) and pairs each hop with the declaration site of that edge.
+    fn cycle_error(&self) -> CycleError {
+        let cycle = self.find_cycle().expect("called only when cyclic");
+        let members: Vec<String> = cycle
+            .iter()
+            .map(|&i| self.resources[i].display_name())
+            .collect();
+        let edges = cycle
+            .iter()
+            .enumerate()
+            .map(|(k, &from)| {
+                let to = cycle[(k + 1) % cycle.len()];
+                CycleEdge {
+                    from: self.resources[from].display_name(),
+                    to: self.resources[to].display_name(),
+                    origin: self.edge_origin(from, to),
+                }
+            })
+            .collect();
+        CycleError { members, edges }
+    }
+
+    /// Finds one cycle via iterative colored DFS (deterministic: nodes and
+    /// successors visited in ascending order). Returns the cycle's node
+    /// indices in edge order, rotated so the smallest index leads.
+    fn find_cycle(&self) -> Option<Vec<usize>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.resources.len();
+        let mut color = vec![WHITE; n];
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            // Stack of (node, next-successor-index); succs are sorted
+            // because edges iterate in BTreeSet order at construction.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = GRAY;
+            while let Some(frame) = stack.last_mut() {
+                let node = frame.0;
+                if frame.1 < self.succs[node].len() {
+                    let succ = self.succs[node][frame.1];
+                    frame.1 += 1;
+                    match color[succ] {
+                        WHITE => {
+                            color[succ] = GRAY;
+                            stack.push((succ, 0));
+                        }
+                        GRAY => {
+                            // Back edge: the stack suffix from `succ` is a
+                            // cycle.
+                            let pos = stack
+                                .iter()
+                                .position(|&(v, _)| v == succ)
+                                .expect("gray node is on the stack");
+                            let mut cycle: Vec<usize> =
+                                stack[pos..].iter().map(|&(v, _)| v).collect();
+                            let min_pos = cycle
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(_, &v)| v)
+                                .map(|(k, _)| k)
+                                .expect("non-empty cycle");
+                            cycle.rotate_left(min_pos);
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[node] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
     }
 
     /// All strict ancestors of `i` (everything that must run before it).
@@ -183,6 +274,7 @@ impl fmt::Display for ResourceGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rehearsal_diag::Pos;
     use std::collections::BTreeMap;
 
     fn res(t: &str, title: &str) -> CatalogResource {
@@ -215,6 +307,53 @@ mod tests {
         );
         let err = ResourceGraph::from_catalog(&c).unwrap_err();
         assert_eq!(err.members.len(), 2);
+        assert_eq!(err.members[0], "Package[m4]", "smallest index first");
+        assert_eq!(err.edges.len(), 2, "each hop reported");
+        assert_eq!(err.edges[0].from, "Package[m4]");
+        assert_eq!(err.edges[0].to, "Package[make]");
+        assert_eq!(err.edges[1].to, "Package[m4]", "the cycle closes");
+    }
+
+    #[test]
+    fn cycle_edges_carry_declaration_sites() {
+        let s01 = Span::at(Pos::new(3, 1));
+        let s10 = Span::at(Pos::new(7, 1));
+        let c = Catalog::new_with_origins(
+            vec![res("a", "x"), res("b", "y")],
+            vec![(0, 1, s01), (1, 0, s10)],
+        );
+        let err = ResourceGraph::from_catalog(&c).unwrap_err();
+        assert!(err.edges[0].origin.same(&s01));
+        assert!(err.edges[1].origin.same(&s10));
+        let d = err.to_diagnostic();
+        assert_eq!(d.code, "R0201");
+        assert_eq!(d.labels().count(), 2);
+    }
+
+    #[test]
+    fn cycle_is_minimal_not_everything_residual() {
+        // 0 -> 1 -> 0 is the cycle; 2 hangs off it (1 -> 2) and must not
+        // be reported as a member.
+        let c = Catalog::new(
+            vec![res("x", "a"), res("x", "b"), res("x", "c")],
+            vec![(0, 1), (1, 0), (1, 2)],
+        );
+        let err = ResourceGraph::from_catalog(&c).unwrap_err();
+        assert_eq!(err.members, vec!["X[a]".to_string(), "X[b]".to_string()]);
+    }
+
+    #[test]
+    fn cycle_order_is_deterministic() {
+        // 3 -> 1 -> 2 -> 3: reported rotated so index 1 leads.
+        let c = Catalog::new(
+            vec![res("x", "z"), res("x", "p"), res("x", "q"), res("x", "r")],
+            vec![(3, 1), (1, 2), (2, 3)],
+        );
+        let err = ResourceGraph::from_catalog(&c).unwrap_err();
+        assert_eq!(
+            err.members,
+            vec!["X[p]".to_string(), "X[q]".to_string(), "X[r]".to_string()]
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! variable parts), which is how Puppet manifests splice variables into
 //! paths and contents.
 
-use crate::error::{ParseError, Pos};
+use crate::error::{ParseError, Pos, Span};
 use std::fmt;
 
 /// One part of a double-quoted string.
@@ -144,6 +144,15 @@ pub struct Spanned {
     pub token: Token,
     /// Where it starts.
     pub pos: Pos,
+    /// Where it ends (exclusive).
+    pub end: Pos,
+}
+
+impl Spanned {
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        Span::new(self.pos, self.end)
+    }
 }
 
 struct Cursor<'a> {
@@ -279,6 +288,7 @@ pub fn lex(text: &str) -> Result<Vec<Spanned>, ParseError> {
             out.push(Spanned {
                 token: Token::Eof,
                 pos,
+                end: pos,
             });
             return Ok(out);
         };
@@ -497,7 +507,11 @@ pub fn lex(text: &str) -> Result<Vec<Spanned>, ParseError> {
                 return Err(cur.err(format!("unexpected character {:?}", other as char)));
             }
         };
-        out.push(Spanned { token, pos });
+        out.push(Spanned {
+            token,
+            pos,
+            end: cur.pos(),
+        });
     }
 }
 

@@ -39,7 +39,7 @@ mod printer;
 mod value;
 
 pub use catalog::{Catalog, CatalogResource, ResourceId};
-pub use error::{CycleError, EvalError, ParseError, Pos};
+pub use error::{CycleEdge, CycleError, EvalError, EvalErrorKind, ParseError, Pos, Span};
 pub use eval::{evaluate, Facts};
 pub use graph::ResourceGraph;
 pub use lexer::{lex, Spanned, StrPart, Token};

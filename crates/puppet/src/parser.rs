@@ -1,7 +1,11 @@
 //! Recursive-descent parser for the supported Puppet fragment.
+//!
+//! Every statement, resource declaration, and attribute is annotated with
+//! its source [`Span`] (start of its first token through end of its last),
+//! so downstream diagnostics can render snippets.
 
 use crate::ast::*;
-use crate::error::{ParseError, Pos};
+use crate::error::{ParseError, Pos, Span};
 use crate::lexer::{lex, Spanned, StrPart, Token};
 
 /// Parses a manifest from source text.
@@ -16,6 +20,7 @@ use crate::lexer::{lex, Spanned, StrPart, Token};
 /// use rehearsal_puppet::parse;
 /// let m = parse("package { 'vim': ensure => present }")?;
 /// assert_eq!(m.statements.len(), 1);
+/// assert_eq!(m.statements[0].span.lo.line, 1);
 /// # Ok::<(), rehearsal_puppet::ParseError>(())
 /// ```
 pub fn parse(text: &str) -> Result<Manifest, ParseError> {
@@ -43,6 +48,26 @@ impl Parser {
         self.tokens[self.i.min(self.tokens.len() - 1)].pos
     }
 
+    /// The end position of the most recently consumed token (falls back to
+    /// the current position at the start of input).
+    fn prev_end(&self) -> Pos {
+        if self.i == 0 {
+            self.pos()
+        } else {
+            self.tokens[(self.i - 1).min(self.tokens.len() - 1)].end
+        }
+    }
+
+    /// The span of the token about to be consumed.
+    fn cur_span(&self) -> Span {
+        self.tokens[self.i.min(self.tokens.len() - 1)].span()
+    }
+
+    /// A span from `lo` through the end of the last consumed token.
+    fn span_from(&self, lo: Pos) -> Span {
+        Span::new(lo, self.prev_end())
+    }
+
     fn next(&mut self) -> Token {
         let t = self.tokens[self.i.min(self.tokens.len() - 1)].token.clone();
         if self.i < self.tokens.len() - 1 {
@@ -52,7 +77,9 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError::new(self.pos(), message.into())
+        // Anchor on the offending token's full span so carets underline
+        // exactly it.
+        ParseError::with_span(self.cur_span(), message.into())
     }
 
     fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
@@ -106,6 +133,12 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        let lo = self.pos();
+        let kind = self.parse_statement_kind()?;
+        Ok(Statement::new(kind, self.span_from(lo)))
+    }
+
+    fn parse_statement_kind(&mut self) -> Result<StatementKind, ParseError> {
         match self.peek().clone() {
             Token::Ident(kw) if kw == "define" => self.parse_define(),
             Token::Ident(kw) if kw == "class" && matches!(self.peek2(), Token::Ident(_)) => {
@@ -120,28 +153,29 @@ impl Parser {
                 self.next();
                 self.expect(&Token::Assign)?;
                 let value = self.parse_expr()?;
-                Ok(Statement::Assign(name, value))
+                Ok(StatementKind::Assign(name, value))
             }
             Token::Ident(name) if matches!(self.peek2(), Token::LParen) => {
                 self.next();
                 let args = self.parse_call_args()?;
-                Ok(Statement::Call(name, args))
+                Ok(StatementKind::Call(name, args))
             }
             Token::At => {
+                let lo = self.pos();
                 self.next();
-                let decl = self.parse_resource_decl(true)?;
-                Ok(Statement::Resource(decl))
+                let decl = self.parse_resource_decl(true, lo)?;
+                Ok(StatementKind::Resource(decl))
             }
             Token::TypeName(_) if *self.peek2() == Token::LBrace => {
                 let d = self.parse_resource_default()?;
-                Ok(Statement::ResourceDefault(d))
+                Ok(StatementKind::ResourceDefault(d))
             }
             Token::Ident(_) | Token::TypeName(_) | Token::LBracket => self.parse_chain(),
             other => Err(self.err(format!("unexpected token '{other}'"))),
         }
     }
 
-    fn parse_define(&mut self) -> Result<Statement, ParseError> {
+    fn parse_define(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // define
         let name = self.expect_ident()?;
         let params = if *self.peek() == Token::LParen {
@@ -150,10 +184,10 @@ impl Parser {
             Vec::new()
         };
         let body = self.parse_block()?;
-        Ok(Statement::Define(DefineDecl { name, params, body }))
+        Ok(StatementKind::Define(DefineDecl { name, params, body }))
     }
 
-    fn parse_class_decl(&mut self) -> Result<Statement, ParseError> {
+    fn parse_class_decl(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // class
         let name = self.expect_ident()?;
         let params = if *self.peek() == Token::LParen {
@@ -168,7 +202,7 @@ impl Parser {
             None
         };
         let body = self.parse_block()?;
-        Ok(Statement::Class(ClassDecl {
+        Ok(StatementKind::Class(ClassDecl {
             name,
             params,
             inherits,
@@ -198,7 +232,7 @@ impl Parser {
         Ok(params)
     }
 
-    fn parse_if(&mut self) -> Result<Statement, ParseError> {
+    fn parse_if(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // if
         let mut arms = Vec::new();
         let cond = self.parse_expr()?;
@@ -219,10 +253,10 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::If(arms))
+        Ok(StatementKind::If(arms))
     }
 
-    fn parse_unless(&mut self) -> Result<Statement, ParseError> {
+    fn parse_unless(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // unless
         let cond = self.parse_expr()?;
         let body = self.parse_block()?;
@@ -232,10 +266,10 @@ impl Parser {
             let body = self.parse_block()?;
             arms.push((Expression::Bool(true), body));
         }
-        Ok(Statement::If(arms))
+        Ok(StatementKind::If(arms))
     }
 
-    fn parse_case(&mut self) -> Result<Statement, ParseError> {
+    fn parse_case(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // case
         let scrutinee = self.parse_expr()?;
         self.expect(&Token::LBrace)?;
@@ -250,7 +284,7 @@ impl Parser {
             arms.push(CaseArm { values, body });
         }
         self.expect(&Token::RBrace)?;
-        Ok(Statement::Case(scrutinee, arms))
+        Ok(StatementKind::Case(scrutinee, arms))
     }
 
     fn parse_case_value(&mut self) -> Result<Expression, ParseError> {
@@ -262,14 +296,14 @@ impl Parser {
         }
     }
 
-    fn parse_node(&mut self) -> Result<Statement, ParseError> {
+    fn parse_node(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // node
         let mut names = vec![self.parse_node_name()?];
         while self.eat(&Token::Comma) {
             names.push(self.parse_node_name()?);
         }
         let body = self.parse_block()?;
-        Ok(Statement::Node(names, body))
+        Ok(StatementKind::Node(names, body))
     }
 
     fn parse_node_name(&mut self) -> Result<String, ParseError> {
@@ -292,13 +326,13 @@ impl Parser {
         }
     }
 
-    fn parse_include(&mut self) -> Result<Statement, ParseError> {
+    fn parse_include(&mut self) -> Result<StatementKind, ParseError> {
         self.next(); // include
         let mut names = vec![self.parse_class_name()?];
         while self.eat(&Token::Comma) {
             names.push(self.parse_class_name()?);
         }
-        Ok(Statement::Include(names))
+        Ok(StatementKind::Include(names))
     }
 
     fn parse_class_name(&mut self) -> Result<String, ParseError> {
@@ -311,16 +345,18 @@ impl Parser {
 
     /// Parses a chain statement; single operands degrade to their natural
     /// statement form.
-    fn parse_chain(&mut self) -> Result<Statement, ParseError> {
+    fn parse_chain(&mut self) -> Result<StatementKind, ParseError> {
         let first = self.parse_chain_operand()?;
         let mut operands = vec![first];
         let mut arrows = Vec::new();
+        let mut arrow_spans = Vec::new();
         loop {
             let kind = match self.peek() {
                 Token::Arrow => ArrowKind::Before,
                 Token::TildeArrow => ArrowKind::Notify,
                 _ => break,
             };
+            arrow_spans.push(self.cur_span());
             self.next();
             arrows.push(kind);
             operands.push(self.parse_chain_operand()?);
@@ -328,20 +364,25 @@ impl Parser {
         if operands.len() == 1 {
             // Not actually a chain.
             return Ok(match operands.pop().expect("one operand") {
-                ChainOperand::Resource(r) => Statement::Resource(r),
-                ChainOperand::Collector(c) => Statement::Collector(c),
+                ChainOperand::Resource(r) => StatementKind::Resource(r),
+                ChainOperand::Collector(c) => StatementKind::Collector(c),
                 ChainOperand::Refs(_) => {
                     return Err(self.err("dangling resource reference is not a statement"))
                 }
             });
         }
-        Ok(Statement::Chain(ChainStatement { operands, arrows }))
+        Ok(StatementKind::Chain(ChainStatement {
+            operands,
+            arrows,
+            arrow_spans,
+        }))
     }
 
     fn parse_chain_operand(&mut self) -> Result<ChainOperand, ParseError> {
         match self.peek().clone() {
             Token::Ident(_) => {
-                let decl = self.parse_resource_decl(false)?;
+                let lo = self.pos();
+                let decl = self.parse_resource_decl(false, lo)?;
                 Ok(ChainOperand::Resource(decl))
             }
             Token::LBracket => {
@@ -461,15 +502,22 @@ impl Parser {
         Ok(ResourceDefault { type_name, attrs })
     }
 
-    fn parse_resource_decl(&mut self, virtual_: bool) -> Result<ResourceDecl, ParseError> {
+    fn parse_resource_decl(&mut self, virtual_: bool, lo: Pos) -> Result<ResourceDecl, ParseError> {
         let type_name = self.expect_ident()?;
         self.expect(&Token::LBrace)?;
         let mut bodies = Vec::new();
         loop {
+            let title_lo = self.pos();
             let title = self.parse_expr()?;
+            let title_span = self.span_from(title_lo);
             self.expect(&Token::Colon)?;
             let attrs = self.parse_attributes()?;
-            bodies.push(ResourceBody { title, attrs });
+            bodies.push(ResourceBody {
+                title,
+                attrs,
+                span: self.span_from(title_lo),
+                title_span,
+            });
             if self.eat(&Token::Semi) {
                 if *self.peek() == Token::RBrace {
                     break;
@@ -483,6 +531,7 @@ impl Parser {
             type_name,
             bodies,
             virtual_,
+            span: self.span_from(lo),
         })
     }
 
@@ -493,10 +542,15 @@ impl Parser {
             if *self.peek2() != Token::FatArrow {
                 break;
             }
+            let lo = self.pos();
             self.next();
             self.next();
             let value = self.parse_expr()?;
-            attrs.push(Attribute { name, value });
+            attrs.push(Attribute {
+                name,
+                value,
+                span: self.span_from(lo),
+            });
             if !self.eat(&Token::Comma) {
                 break;
             }
@@ -725,8 +779,8 @@ mod tests {
     #[test]
     fn simple_resource() {
         let m = parse("package { 'vim': ensure => present }").unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => {
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => {
                 assert_eq!(r.type_name, "package");
                 assert_eq!(r.bodies.len(), 1);
                 assert_eq!(r.bodies[0].title, Expression::Str("vim".into()));
@@ -741,10 +795,36 @@ mod tests {
     }
 
     #[test]
+    fn spans_cover_declarations() {
+        let src = "package { 'vim': ensure => present }\nfile { '/x': content => 'c' }";
+        let m = parse(src).unwrap();
+        let s0 = m.statements[0].span;
+        assert_eq!((s0.lo.line, s0.lo.col), (1, 1));
+        assert_eq!(s0.hi.line, 1);
+        assert_eq!(s0.hi.col as usize, src.lines().next().unwrap().len() + 1);
+        let s1 = m.statements[1].span;
+        assert_eq!((s1.lo.line, s1.lo.col), (2, 1));
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => {
+                assert!(r.span.same(&s0));
+                let a = &r.bodies[0].attrs[0];
+                assert_eq!((a.span.lo.line, a.span.lo.col), (1, 18));
+                assert_eq!(a.span.hi.col, 35); // end of `present`
+                let t = r.bodies[0].title_span;
+                assert_eq!((t.lo.line, t.lo.col), (1, 11));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn multi_body_resource() {
         let m = parse("file { '/a': ensure => file; '/b': ensure => directory }").unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => assert_eq!(r.bodies.len(), 2),
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => {
+                assert_eq!(r.bodies.len(), 2);
+                assert_eq!(r.bodies[1].span.lo.col, 30);
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -752,8 +832,8 @@ mod tests {
     #[test]
     fn array_title() {
         let m = parse("package { ['m4', 'make']: ensure => present }").unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => {
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => {
                 assert!(matches!(r.bodies[0].title, Expression::Array(_)))
             }
             other => panic!("{other:?}"),
@@ -763,10 +843,12 @@ mod tests {
     #[test]
     fn dependency_chain() {
         let m = parse("User['carol'] -> File['/home/carol/.vimrc']").unwrap();
-        match &m.statements[0] {
-            Statement::Chain(c) => {
+        match &m.statements[0].kind {
+            StatementKind::Chain(c) => {
                 assert_eq!(c.operands.len(), 2);
                 assert_eq!(c.arrows, vec![ArrowKind::Before]);
+                assert_eq!(c.arrow_spans.len(), 1);
+                assert_eq!((c.arrow_spans[0].lo.line, c.arrow_spans[0].lo.col), (1, 15));
             }
             other => panic!("{other:?}"),
         }
@@ -775,8 +857,8 @@ mod tests {
     #[test]
     fn chain_of_declarations() {
         let m = parse("package { 'a': } -> file { '/b': }").unwrap();
-        match &m.statements[0] {
-            Statement::Chain(c) => {
+        match &m.statements[0].kind {
+            StatementKind::Chain(c) => {
                 assert!(matches!(c.operands[0], ChainOperand::Resource(_)));
                 assert!(matches!(c.operands[1], ChainOperand::Resource(_)));
             }
@@ -787,8 +869,8 @@ mod tests {
     #[test]
     fn notify_chain() {
         let m = parse("Package['nginx'] ~> Service['nginx']").unwrap();
-        match &m.statements[0] {
-            Statement::Chain(c) => assert_eq!(c.arrows, vec![ArrowKind::Notify]),
+        match &m.statements[0].kind {
+            StatementKind::Chain(c) => assert_eq!(c.arrows, vec![ArrowKind::Notify]),
             other => panic!("{other:?}"),
         }
     }
@@ -802,8 +884,8 @@ mod tests {
             myuser { 'alice': }
         "#;
         let m = parse(src).unwrap();
-        match &m.statements[0] {
-            Statement::Define(d) => {
+        match &m.statements[0].kind {
+            StatementKind::Define(d) => {
                 assert_eq!(d.name, "myuser");
                 assert_eq!(d.params.len(), 2);
                 assert!(d.params[1].default.is_some());
@@ -811,22 +893,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(matches!(&m.statements[1], Statement::Resource(_)));
+        assert!(matches!(&m.statements[1].kind, StatementKind::Resource(_)));
     }
 
     #[test]
     fn class_and_include() {
         let src = "class web { package { 'nginx': } }\ninclude web";
         let m = parse(src).unwrap();
-        assert!(matches!(&m.statements[0], Statement::Class(_)));
-        assert_eq!(m.statements[1], Statement::Include(vec!["web".to_string()]));
+        assert!(matches!(&m.statements[0].kind, StatementKind::Class(_)));
+        assert_eq!(
+            m.statements[1].kind,
+            StatementKind::Include(vec!["web".to_string()])
+        );
     }
 
     #[test]
     fn resource_style_class_decl() {
         let m = parse("class { 'web': port => 80 }").unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => assert_eq!(r.type_name, "class"),
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => assert_eq!(r.type_name, "class"),
             other => panic!("{other:?}"),
         }
     }
@@ -843,8 +928,8 @@ mod tests {
             }
         "#;
         let m = parse(src).unwrap();
-        match &m.statements[0] {
-            Statement::If(arms) => {
+        match &m.statements[0].kind {
+            StatementKind::If(arms) => {
                 assert_eq!(arms.len(), 3);
                 assert_eq!(arms[2].0, Expression::Bool(true));
             }
@@ -861,8 +946,8 @@ mod tests {
             }
         "#;
         let m = parse(src).unwrap();
-        match &m.statements[0] {
-            Statement::Case(_, arms) => {
+        match &m.statements[0].kind {
+            StatementKind::Case(_, arms) => {
                 assert_eq!(arms.len(), 2);
                 assert_eq!(arms[0].values.len(), 2);
                 assert_eq!(arms[1].values[0], Expression::Default);
@@ -875,8 +960,8 @@ mod tests {
     fn selector_expression() {
         let src = "$pkg = $osfamily ? { 'Debian' => 'apache2', default => 'httpd' }";
         let m = parse(src).unwrap();
-        match &m.statements[0] {
-            Statement::Assign(name, Expression::Selector(_, arms)) => {
+        match &m.statements[0].kind {
+            StatementKind::Assign(name, Expression::Selector(_, arms)) => {
                 assert_eq!(name, "pkg");
                 assert_eq!(arms.len(), 2);
             }
@@ -887,8 +972,8 @@ mod tests {
     #[test]
     fn collector_with_override() {
         let m = parse("File <| owner == 'carol' |> { mode => 'go-rwx' }").unwrap();
-        match &m.statements[0] {
-            Statement::Collector(c) => {
+        match &m.statements[0].kind {
+            StatementKind::Collector(c) => {
                 assert_eq!(c.type_name, "file");
                 assert_eq!(
                     c.query,
@@ -903,8 +988,8 @@ mod tests {
     #[test]
     fn bare_collector() {
         let m = parse("User <| |>").unwrap();
-        match &m.statements[0] {
-            Statement::Collector(c) => assert_eq!(c.query, Query::All),
+        match &m.statements[0].kind {
+            StatementKind::Collector(c) => assert_eq!(c.query, Query::All),
             other => panic!("{other:?}"),
         }
     }
@@ -912,8 +997,11 @@ mod tests {
     #[test]
     fn virtual_resource() {
         let m = parse("@user { 'carol': ensure => present }").unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => assert!(r.virtual_),
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => {
+                assert!(r.virtual_);
+                assert_eq!(r.span.lo.col, 1, "span starts at the '@'");
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -923,8 +1011,8 @@ mod tests {
         let src =
             "file { '/x': require => Package['apache2'], before => [File['/y'], File['/z']] }";
         let m = parse(src).unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => {
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => {
                 assert_eq!(r.bodies[0].attrs.len(), 2);
                 assert!(matches!(
                     r.bodies[0].attrs[0].value,
@@ -938,16 +1026,16 @@ mod tests {
     #[test]
     fn function_call_statement_and_expression() {
         let m = parse("if defined(Package['m4']) { } else { package { 'm4': } }").unwrap();
-        assert!(matches!(&m.statements[0], Statement::If(_)));
+        assert!(matches!(&m.statements[0].kind, StatementKind::If(_)));
         let m2 = parse("fail('bad')").unwrap();
-        assert!(matches!(&m2.statements[0], Statement::Call(_, _)));
+        assert!(matches!(&m2.statements[0].kind, StatementKind::Call(_, _)));
     }
 
     #[test]
     fn chain_with_ref_arrays() {
         let m = parse("[Package['a'], Package['b']] -> File['/c']").unwrap();
-        match &m.statements[0] {
-            Statement::Chain(c) => match &c.operands[0] {
+        match &m.statements[0].kind {
+            StatementKind::Chain(c) => match &c.operands[0] {
                 ChainOperand::Refs(refs) => assert_eq!(refs.len(), 2),
                 other => panic!("{other:?}"),
             },
@@ -958,8 +1046,8 @@ mod tests {
     #[test]
     fn node_blocks() {
         let m = parse("node default { package { 'ntp': } }").unwrap();
-        match &m.statements[0] {
-            Statement::Node(names, body) => {
+        match &m.statements[0].kind {
+            StatementKind::Node(names, body) => {
                 assert_eq!(names, &vec!["default".to_string()]);
                 assert_eq!(body.len(), 1);
             }
@@ -977,8 +1065,8 @@ mod tests {
     #[test]
     fn empty_attribute_list_ok() {
         let m = parse("package { 'vim': }").unwrap();
-        match &m.statements[0] {
-            Statement::Resource(r) => assert!(r.bodies[0].attrs.is_empty()),
+        match &m.statements[0].kind {
+            StatementKind::Resource(r) => assert!(r.bodies[0].attrs.is_empty()),
             other => panic!("{other:?}"),
         }
     }
@@ -991,8 +1079,8 @@ mod tests {
     #[test]
     fn resource_default_statement() {
         let m = parse("File { owner => 'root' }").unwrap();
-        match &m.statements[0] {
-            Statement::ResourceDefault(d) => {
+        match &m.statements[0].kind {
+            StatementKind::ResourceDefault(d) => {
                 assert_eq!(d.type_name, "file");
                 assert_eq!(d.attrs.len(), 1);
             }

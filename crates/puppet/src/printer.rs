@@ -32,12 +32,12 @@ fn print_statements(body: &[Statement], level: usize, out: &mut String) {
 
 fn print_statement(s: &Statement, level: usize, out: &mut String) {
     indent(level, out);
-    match s {
-        Statement::Resource(decl) => {
+    match &s.kind {
+        StatementKind::Resource(decl) => {
             print_resource(decl, level, out);
             out.push('\n');
         }
-        Statement::Define(d) => {
+        StatementKind::Define(d) => {
             write!(out, "define {}", d.name).expect("write to string");
             print_params(&d.params, out);
             out.push_str(" {\n");
@@ -45,7 +45,7 @@ fn print_statement(s: &Statement, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Statement::Class(c) => {
+        StatementKind::Class(c) => {
             write!(out, "class {}", c.name).expect("write to string");
             if !c.params.is_empty() {
                 print_params(&c.params, out);
@@ -58,13 +58,13 @@ fn print_statement(s: &Statement, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Statement::Include(names) => {
+        StatementKind::Include(names) => {
             writeln!(out, "include {}", names.join(", ")).expect("write to string");
         }
-        Statement::Assign(name, e) => {
+        StatementKind::Assign(name, e) => {
             writeln!(out, "${name} = {}", print_expr(e)).expect("write to string");
         }
-        Statement::Chain(chain) => {
+        StatementKind::Chain(chain) => {
             for (i, op) in chain.operands.iter().enumerate() {
                 if i > 0 {
                     out.push_str(match chain.arrows[i - 1] {
@@ -89,16 +89,16 @@ fn print_statement(s: &Statement, level: usize, out: &mut String) {
             }
             out.push('\n');
         }
-        Statement::Collector(c) => {
+        StatementKind::Collector(c) => {
             print_collector(c, out);
             out.push('\n');
         }
-        Statement::ResourceDefault(d) => {
+        StatementKind::ResourceDefault(d) => {
             write!(out, "{} {{ ", capitalize_type(&d.type_name)).expect("write to string");
             print_attrs_inline(&d.attrs, out);
             out.push_str(" }\n");
         }
-        Statement::If(arms) => {
+        StatementKind::If(arms) => {
             for (i, (cond, body)) in arms.iter().enumerate() {
                 let is_else = i + 1 == arms.len() && *cond == Expression::Bool(true) && i > 0;
                 if i == 0 {
@@ -115,7 +115,7 @@ fn print_statement(s: &Statement, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Statement::Case(scrutinee, arms) => {
+        StatementKind::Case(scrutinee, arms) => {
             writeln!(out, "case {} {{", print_expr(scrutinee)).expect("write to string");
             for arm in arms {
                 indent(level + 1, out);
@@ -128,7 +128,7 @@ fn print_statement(s: &Statement, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Statement::Node(names, body) => {
+        StatementKind::Node(names, body) => {
             let rendered: Vec<String> = names
                 .iter()
                 .map(|n| {
@@ -144,7 +144,7 @@ fn print_statement(s: &Statement, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Statement::Call(name, args) => {
+        StatementKind::Call(name, args) => {
             let rendered: Vec<String> = args.iter().map(print_expr).collect();
             writeln!(out, "{name}({})", rendered.join(", ")).expect("write to string");
         }

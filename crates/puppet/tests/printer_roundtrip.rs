@@ -15,7 +15,7 @@
 //! so every run covers the same seeded case set.
 
 use rehearsal_puppet::ast::*;
-use rehearsal_puppet::{parse, print_manifest, StrPart};
+use rehearsal_puppet::{parse, print_manifest, Span, StrPart};
 
 /// Deterministic splitmix64 generator for test-case sampling.
 struct Prng(u64);
@@ -196,6 +196,7 @@ fn random_attrs(rng: &mut Prng, max: usize) -> Vec<Attribute> {
         .map(|i| Attribute {
             name: IDENTS[(rng.usize(IDENTS.len()) + i) % IDENTS.len()].to_string(),
             value: random_value(rng, 2),
+            span: Span::DUMMY,
         })
         .collect()
 }
@@ -215,6 +216,8 @@ fn random_resource(rng: &mut Prng, virtual_allowed: bool) -> ResourceDecl {
             ResourceBody {
                 title,
                 attrs: random_attrs(rng, 3),
+                span: Span::DUMMY,
+                title_span: Span::DUMMY,
             }
         })
         .collect();
@@ -222,6 +225,7 @@ fn random_resource(rng: &mut Prng, virtual_allowed: bool) -> ResourceDecl {
         type_name: (*rng.pick(RES_TYPES)).to_string(),
         bodies,
         virtual_: virtual_allowed && rng.usize(4) == 0,
+        span: Span::DUMMY,
     }
 }
 
@@ -277,21 +281,30 @@ fn random_chain(rng: &mut Prng) -> ChainStatement {
             }
         })
         .collect();
-    ChainStatement { operands, arrows }
+    let arrow_spans = vec![Span::DUMMY; n - 1];
+    ChainStatement {
+        operands,
+        arrows,
+        arrow_spans,
+    }
 }
 
 fn random_statement(rng: &mut Prng, depth: usize) -> Statement {
+    random_statement_kind(rng, depth).into()
+}
+
+fn random_statement_kind(rng: &mut Prng, depth: usize) -> StatementKind {
     match rng.usize(if depth == 0 { 7 } else { 9 }) {
-        0 => Statement::Resource(random_resource(rng, true)),
-        1 => Statement::Chain(random_chain(rng)),
-        2 => Statement::Collector(random_collector(rng)),
-        3 => Statement::ResourceDefault(ResourceDefault {
+        0 => StatementKind::Resource(random_resource(rng, true)),
+        1 => StatementKind::Chain(random_chain(rng)),
+        2 => StatementKind::Collector(random_collector(rng)),
+        3 => StatementKind::ResourceDefault(ResourceDefault {
             type_name: (*rng.pick(RES_TYPES)).to_string(),
             attrs: random_attrs(rng, 2),
         }),
-        4 => Statement::Assign((*rng.pick(VARS)).to_string(), random_value(rng, 3)),
-        5 => Statement::Include(vec!["base".to_string(), "web".to_string()]),
-        6 => Statement::Call("fail".to_string(), vec![Expression::Str(random_str(rng))]),
+        4 => StatementKind::Assign((*rng.pick(VARS)).to_string(), random_value(rng, 3)),
+        5 => StatementKind::Include(vec!["base".to_string(), "web".to_string()]),
+        6 => StatementKind::Call("fail".to_string(), vec![Expression::Str(random_str(rng))]),
         7 => {
             let mut arms: Vec<(Expression, Vec<Statement>)> = (0..1 + rng.usize(2))
                 .map(|_| {
@@ -308,7 +321,7 @@ fn random_statement(rng: &mut Prng, depth: usize) -> Statement {
             if rng.bool() {
                 arms.push((Expression::Bool(true), random_body(rng, depth - 1)));
             }
-            Statement::If(arms)
+            StatementKind::If(arms)
         }
         _ => {
             let scrutinee = Expression::Var((*rng.pick(VARS)).to_string());
@@ -326,7 +339,7 @@ fn random_statement(rng: &mut Prng, depth: usize) -> Statement {
                     body: random_body(rng, depth - 1),
                 });
             }
-            Statement::Case(scrutinee, arms)
+            StatementKind::Case(scrutinee, arms)
         }
     }
 }
@@ -407,8 +420,8 @@ fn resource_ref_casing_roundtrips() {
 fn negative_int_roundtrips() {
     let m = parse("$x = -5").unwrap();
     assert_eq!(
-        m.statements[0],
-        Statement::Assign("x".to_string(), Expression::Int(-5))
+        m.statements[0].kind,
+        StatementKind::Assign("x".to_string(), Expression::Int(-5))
     );
     assert_roundtrip(&m);
     // Unary minus on non-literals keeps the explicit subtraction shape.
@@ -421,17 +434,22 @@ fn negative_int_roundtrips() {
 fn tricky_strings_roundtrip_in_attributes() {
     for s in TRICKY {
         let m = Manifest {
-            statements: vec![Statement::Resource(ResourceDecl {
+            statements: vec![StatementKind::Resource(ResourceDecl {
                 type_name: "file".to_string(),
                 bodies: vec![ResourceBody {
                     title: Expression::Str("/t".to_string()),
                     attrs: vec![Attribute {
                         name: "content".to_string(),
                         value: Expression::Str((*s).to_string()),
+                        span: Span::DUMMY,
                     }],
+                    span: Span::DUMMY,
+                    title_span: Span::DUMMY,
                 }],
                 virtual_: false,
-            })],
+                span: Span::DUMMY,
+            })
+            .into()],
         };
         assert_roundtrip(&m);
     }

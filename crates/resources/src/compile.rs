@@ -7,10 +7,11 @@
 //! mostly idempotent" is what makes the commutativity check of §4.3
 //! effective).
 
-use crate::error::CompileError;
+use crate::error::{CompileError, CompileErrorKind};
 use crate::helpers::{
     create_if_absent, ensure_dir, ensure_parent_dirs, overwrite, remove_file_if_present,
 };
+use rehearsal_diag::{codes, Diagnostic};
 use rehearsal_fs::{Content, Expr, FsPath, MetaField, Pred};
 use rehearsal_pkgdb::{PackageDb, PackageSpec};
 use rehearsal_puppet::{CatalogResource, Value};
@@ -58,7 +59,7 @@ pub struct CompileCtx<'a> {
     model_latest: bool,
     /// Non-fatal modeling diagnostics accumulated during compilation
     /// (shared across clones so per-resource compiles all feed one list).
-    diagnostics: Arc<Mutex<Vec<String>>>,
+    diagnostics: Arc<Mutex<Vec<Diagnostic>>>,
 }
 
 impl<'a> CompileCtx<'a> {
@@ -108,16 +109,26 @@ impl<'a> CompileCtx<'a> {
     }
 
     /// Records a non-fatal modeling diagnostic.
-    fn diag(&self, message: String) {
-        self.diagnostics
-            .lock()
-            .expect("diagnostics lock")
-            .push(message);
+    fn diag(&self, d: Diagnostic) {
+        self.diagnostics.lock().expect("diagnostics lock").push(d);
     }
 
-    /// Drains the diagnostics accumulated so far.
-    pub fn take_diagnostics(&self) -> Vec<String> {
+    /// Drains the structured diagnostics accumulated so far (warnings and
+    /// notes with stable codes and source spans).
+    pub fn drain_diagnostics(&self) -> Vec<Diagnostic> {
         std::mem::take(&mut *self.diagnostics.lock().expect("diagnostics lock"))
+    }
+
+    /// Drains the diagnostics as plain rendered strings.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `drain_diagnostics` for structured, source-anchored diagnostics"
+    )]
+    pub fn take_diagnostics(&self) -> Vec<String> {
+        self.drain_diagnostics()
+            .into_iter()
+            .map(|d| d.message)
+            .collect()
     }
 }
 
@@ -146,6 +157,12 @@ impl<'a> CompileCtx<'a> {
 /// # Ok::<(), rehearsal_resources::CompileError>(())
 /// ```
 pub fn compile(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
+    // Anchor every error into the resource's declaration (or the precise
+    // offending attribute) before it leaves the compiler.
+    compile_inner(resource, ctx).map_err(|e| e.anchored(resource))
+}
+
+fn compile_inner(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
     match resource.type_name() {
         "file" => compile_file(resource, ctx),
         "package" => compile_package(resource, ctx),
@@ -156,8 +173,12 @@ pub fn compile(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr,
         "cron" => compile_cron(resource),
         "host" => compile_host(resource),
         "notify" => compile_notify(resource),
-        "exec" => Err(CompileError::ExecUnsupported(resource.title().to_string())),
-        other => Err(CompileError::UnknownResourceType(other.to_string())),
+        "exec" => Err(CompileError::new(CompileErrorKind::ExecUnsupported(
+            resource.title().to_string(),
+        ))),
+        other => Err(CompileError::new(CompileErrorKind::UnknownResourceType(
+            other.to_string(),
+        ))),
     }
 }
 
@@ -191,11 +212,12 @@ impl<'a> Attrs<'a> {
     }
 
     fn required_str(&mut self, name: &'static str) -> Result<String, CompileError> {
-        self.opt_str(name)
-            .ok_or_else(|| CompileError::MissingAttribute {
+        self.opt_str(name).ok_or_else(|| {
+            CompileError::new(CompileErrorKind::MissingAttribute {
                 resource: self.display(),
                 attribute: name.to_string(),
             })
+        })
     }
 
     fn bool_or(&mut self, name: &'static str, default: bool) -> Result<bool, CompileError> {
@@ -205,11 +227,11 @@ impl<'a> Attrs<'a> {
             Some(Value::Bool(b)) => Ok(*b),
             Some(Value::Str(s)) if s.eq_ignore_ascii_case("true") => Ok(true),
             Some(Value::Str(s)) if s.eq_ignore_ascii_case("false") => Ok(false),
-            Some(other) => Err(CompileError::InvalidAttribute {
+            Some(other) => Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: self.display(),
                 attribute: name.to_string(),
                 reason: format!("expected a boolean, got {other}"),
-            }),
+            })),
         }
     }
 
@@ -226,11 +248,11 @@ impl<'a> Attrs<'a> {
         self.ignore(&["alias", "loglevel", "noop", "schedule", "tag", "audit"]);
         for name in self.resource.attrs().keys() {
             if !self.used.contains(name.as_str()) {
-                return Err(CompileError::InvalidAttribute {
+                return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                     resource: self.resource.display_name(),
                     attribute: name.clone(),
                     reason: "unknown attribute for this resource type".to_string(),
-                });
+                }));
             }
         }
         Ok(())
@@ -238,21 +260,23 @@ impl<'a> Attrs<'a> {
 }
 
 fn parse_path(resource: &CatalogResource, text: &str) -> Result<FsPath, CompileError> {
-    FsPath::parse(text).map_err(|e| CompileError::BadPath {
-        resource: resource.display_name(),
-        path: text.to_string(),
-        reason: e.to_string(),
+    FsPath::parse(text).map_err(|e| {
+        CompileError::new(CompileErrorKind::BadPath {
+            resource: resource.display_name(),
+            path: text.to_string(),
+            reason: e.to_string(),
+        })
     })
 }
 
 /// Validates that a title can be used as a single path component.
 fn path_component(resource: &CatalogResource, text: &str) -> Result<String, CompileError> {
     if text.is_empty() || text.contains('/') {
-        return Err(CompileError::InvalidAttribute {
+        return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
             resource: resource.display_name(),
             attribute: "title".to_string(),
             reason: format!("{text:?} cannot be used as a path component"),
-        });
+        }));
     }
     Ok(text.to_string())
 }
@@ -281,11 +305,11 @@ fn meta_steps(
                 continue;
             }
             if value.is_empty() {
-                return Err(CompileError::InvalidAttribute {
+                return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                     resource: attrs.display(),
                     attribute: name.to_string(),
                     reason: "empty metadata value".to_string(),
-                });
+                }));
             }
             steps.push(Expr::chmeta(path, field, Content::intern(&value)));
         }
@@ -314,11 +338,11 @@ fn compile_file(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr
         meta_steps(&mut attrs, ctx, path)?
     };
     if content.is_some() && source.is_some() {
-        return Err(CompileError::InvalidAttribute {
+        return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
             resource: resource.display_name(),
             attribute: "content".to_string(),
             reason: "content and source are mutually exclusive".to_string(),
-        });
+        }));
     }
 
     let expr = match ensure.as_str() {
@@ -379,19 +403,19 @@ fn compile_file(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr
             ),
         ),
         "link" => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: "symlinks are not modeled (Puppet hides platform link semantics)"
                     .to_string(),
-            })
+            }))
         }
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -461,19 +485,29 @@ fn compile_package(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<E
         "present" | "installed" | "latest" => {
             let latest = ensure == "latest";
             if latest {
+                let span = resource.attr_span("ensure");
                 ctx.diag(if ctx.model_latest {
-                    format!(
-                        "{}: ensure => latest modeled as a version-bumping \
-                         re-overwrite of the package's files",
-                        resource.display_name()
+                    Diagnostic::note(
+                        codes::LATEST_MODELING,
+                        format!(
+                            "{}: ensure => latest modeled as a version-bumping \
+                             re-overwrite of the package's files",
+                            resource.display_name()
+                        ),
                     )
+                    .with_primary(span, "declared here")
                 } else {
-                    format!(
-                        "{}: ensure => latest treated as ensure => present \
-                         (version bumps are not modeled; enable distinct \
-                         `latest` modeling to track the upgrade overwrite)",
-                        resource.display_name()
+                    Diagnostic::warning(
+                        codes::LATEST_MODELING,
+                        format!(
+                            "{}: ensure => latest treated as ensure => present \
+                             (version bumps are not modeled; enable distinct \
+                             `latest` modeling to track the upgrade overwrite)",
+                            resource.display_name()
+                        ),
                     )
+                    .with_primary(span, "declared here")
+                    .with_note("run with --model-latest to model the upgrade distinctly")
                 });
             }
             let specs: Vec<&PackageSpec> = if ctx.dependency_closures {
@@ -502,11 +536,11 @@ fn compile_package(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<E
             Expr::seq_all(specs.into_iter().map(remove_one))
         }
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -567,11 +601,11 @@ fn compile_user(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr
             ])
         }
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -601,11 +635,11 @@ fn compile_group(resource: &CatalogResource) -> Result<Expr, CompileError> {
             remove_file_if_present(record),
         ]),
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -655,11 +689,11 @@ fn compile_ssh_key(resource: &CatalogResource) -> Result<Expr, CompileError> {
             remove_file_if_present(logical),
         ]),
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -718,11 +752,11 @@ fn compile_service(resource: &CatalogResource) -> Result<Expr, CompileError> {
             steps.push(remove_file_if_present(run_file));
         }
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     }
     if enable {
@@ -776,11 +810,11 @@ fn compile_cron(resource: &CatalogResource) -> Result<Expr, CompileError> {
             remove_file_if_present(entry),
         ]),
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -824,11 +858,11 @@ fn compile_host(resource: &CatalogResource) -> Result<Expr, CompileError> {
             overwrite(hosts_file, hosts_content),
         ]),
         other => {
-            return Err(CompileError::InvalidAttribute {
+            return Err(CompileError::new(CompileErrorKind::InvalidAttribute {
                 resource: resource.display_name(),
                 attribute: "ensure".to_string(),
                 reason: format!("unsupported value {other:?}"),
-            })
+            }))
         }
     };
     attrs.finish()?;
@@ -965,7 +999,10 @@ mod tests {
     #[test]
     fn file_rejects_content_plus_source() {
         let err = compile_err(&res("file", "/x", &[("content", "a"), ("source", "/s")]));
-        assert!(matches!(err, CompileError::InvalidAttribute { .. }));
+        assert!(matches!(
+            err.kind(),
+            CompileErrorKind::InvalidAttribute { .. }
+        ));
     }
 
     #[test]
@@ -977,7 +1014,7 @@ mod tests {
     #[test]
     fn file_rejects_relative_path() {
         let err = compile_err(&res("file", "etc/motd", &[("content", "x")]));
-        assert!(matches!(err, CompileError::BadPath { .. }));
+        assert!(matches!(err.kind(), CompileErrorKind::BadPath { .. }));
     }
 
     #[test]
@@ -1044,7 +1081,7 @@ mod tests {
     #[test]
     fn unknown_package_errors() {
         let err = compile_err(&res("package", "no-such-pkg", &[]));
-        assert!(matches!(err, CompileError::UnknownPackage(_)));
+        assert!(matches!(err.kind(), CompileErrorKind::UnknownPackage(_)));
     }
 
     #[test]
@@ -1121,7 +1158,10 @@ mod tests {
     #[test]
     fn ssh_key_missing_user_attr() {
         let err = compile_err(&res("ssh_authorized_key", "k", &[("key", "A")]));
-        assert!(matches!(err, CompileError::MissingAttribute { .. }));
+        assert!(matches!(
+            err.kind(),
+            CompileErrorKind::MissingAttribute { .. }
+        ));
     }
 
     #[test]
@@ -1163,7 +1203,10 @@ mod tests {
     #[test]
     fn cron_requires_command() {
         let err = compile_err(&res("cron", "x", &[]));
-        assert!(matches!(err, CompileError::MissingAttribute { .. }));
+        assert!(matches!(
+            err.kind(),
+            CompileErrorKind::MissingAttribute { .. }
+        ));
     }
 
     #[test]
@@ -1184,13 +1227,16 @@ mod tests {
     #[test]
     fn exec_is_rejected() {
         let err = compile_err(&res("exec", "apt-get update", &[]));
-        assert!(matches!(err, CompileError::ExecUnsupported(_)));
+        assert!(matches!(err.kind(), CompileErrorKind::ExecUnsupported(_)));
     }
 
     #[test]
     fn unknown_type_is_rejected() {
         let err = compile_err(&res("mount", "/mnt", &[]));
-        assert!(matches!(err, CompileError::UnknownResourceType(_)));
+        assert!(matches!(
+            err.kind(),
+            CompileErrorKind::UnknownResourceType(_)
+        ));
     }
 
     fn compile_with_metadata(r: &CatalogResource) -> Expr {
@@ -1262,7 +1308,10 @@ mod tests {
         let db = PackageDb::builtin(Platform::Ubuntu);
         let ctx = CompileCtx::new(&db).with_model_metadata(true);
         let err = compile(&res("file", "/x", &[("owner", "")]), &ctx).unwrap_err();
-        assert!(matches!(err, CompileError::InvalidAttribute { .. }));
+        assert!(matches!(
+            err.kind(),
+            CompileErrorKind::InvalidAttribute { .. }
+        ));
         // With the model off the same resource compiles (seed behavior:
         // the attribute is consumed and ignored, value unvalidated).
         let plain = compile_one(&res("file", "/x", &[("owner", "")]));
@@ -1293,12 +1342,24 @@ mod tests {
         let db = PackageDb::builtin(Platform::Ubuntu);
         let ctx = CompileCtx::new(&db);
         let latest = compile(&res("package", "vim", &[("ensure", "latest")]), &ctx).unwrap();
-        let diags = ctx.take_diagnostics();
+        let diags = ctx.drain_diagnostics();
         assert_eq!(diags.len(), 1, "aliasing is no longer silent");
-        assert!(diags[0].contains("latest"), "{diags:?}");
+        assert!(diags[0].message.contains("latest"), "{diags:?}");
+        assert_eq!(diags[0].code, "R1101");
         let present = compile(&res("package", "vim", &[("ensure", "present")]), &ctx).unwrap();
         assert_eq!(latest, present, "default behavior unchanged");
-        assert!(ctx.take_diagnostics().is_empty(), "drained");
+        assert!(ctx.drain_diagnostics().is_empty(), "drained");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn take_diagnostics_shim_still_returns_strings() {
+        let db = PackageDb::builtin(Platform::Ubuntu);
+        let ctx = CompileCtx::new(&db);
+        compile(&res("package", "vim", &[("ensure", "latest")]), &ctx).unwrap();
+        let diags = ctx.take_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].contains("latest"));
     }
 
     #[test]
@@ -1308,7 +1369,7 @@ mod tests {
         let latest = compile(&res("package", "vim", &[("ensure", "latest")]), &ctx).unwrap();
         let present = compile(&res("package", "vim", &[("ensure", "present")]), &ctx).unwrap();
         assert_ne!(latest, present, "the upgrade is modeled distinctly");
-        assert_eq!(ctx.take_diagnostics().len(), 1);
+        assert_eq!(ctx.drain_diagnostics().len(), 1);
         // The upgrade re-overwrites an installed file with bumped content:
         // applying `latest` over a `present` install changes the state.
         let installed = eval(present, &FileSystem::with_root()).unwrap();

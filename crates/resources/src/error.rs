@@ -1,10 +1,17 @@
 //! Errors from the resource compiler.
+//!
+//! A [`CompileError`] is a kind plus a [`Span`]: the declaration (or the
+//! precise attribute) in the manifest that the offending resource came
+//! from. [`compile`](crate::compile) anchors every error it returns, so
+//! callers can always render a source snippet.
 
+use rehearsal_diag::{codes, Diagnostic, Span};
+use rehearsal_puppet::CatalogResource;
 use std::fmt;
 
-/// An error compiling a catalog resource to an FS program.
+/// What went wrong compiling a resource (see [`CompileError`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CompileError {
+pub enum CompileErrorKind {
     /// The resource type is not modeled.
     UnknownResourceType(String),
     /// `exec` resources embed shell scripts with arbitrary effects; the
@@ -39,28 +46,42 @@ pub enum CompileError {
     },
 }
 
-impl fmt::Display for CompileError {
+impl CompileErrorKind {
+    /// The stable diagnostic code for this kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CompileErrorKind::UnknownResourceType(_) => codes::UNMODELED_TYPE,
+            CompileErrorKind::ExecUnsupported(_) => codes::EXEC_UNSUPPORTED,
+            CompileErrorKind::MissingAttribute { .. } => codes::MISSING_ATTRIBUTE,
+            CompileErrorKind::InvalidAttribute { .. } => codes::INVALID_ATTRIBUTE,
+            CompileErrorKind::UnknownPackage(_) => codes::UNKNOWN_PACKAGE,
+            CompileErrorKind::BadPath { .. } => codes::BAD_PATH,
+        }
+    }
+}
+
+impl fmt::Display for CompileErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompileError::UnknownResourceType(t) => {
+            CompileErrorKind::UnknownResourceType(t) => {
                 write!(f, "resource type {t:?} is not modeled")
             }
-            CompileError::ExecUnsupported(title) => write!(
+            CompileErrorKind::ExecUnsupported(title) => write!(
                 f,
                 "exec[{title}]: exec resources run arbitrary shell and cannot be verified (paper §8)"
             ),
-            CompileError::MissingAttribute { resource, attribute } => {
+            CompileErrorKind::MissingAttribute { resource, attribute } => {
                 write!(f, "{resource}: missing required attribute {attribute:?}")
             }
-            CompileError::InvalidAttribute {
+            CompileErrorKind::InvalidAttribute {
                 resource,
                 attribute,
                 reason,
             } => write!(f, "{resource}: invalid attribute {attribute:?}: {reason}"),
-            CompileError::UnknownPackage(name) => {
+            CompileErrorKind::UnknownPackage(name) => {
                 write!(f, "package {name:?} is not in the package database")
             }
-            CompileError::BadPath {
+            CompileErrorKind::BadPath {
                 resource,
                 path,
                 reason,
@@ -69,10 +90,113 @@ impl fmt::Display for CompileError {
     }
 }
 
+/// An error compiling a catalog resource to an FS program, with the span
+/// of the declaration (or attribute) it arose from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    kind: CompileErrorKind,
+    span: Span,
+}
+
+impl CompileError {
+    /// Creates an error with no location yet (the compiler anchors it to
+    /// the resource's declaration before returning).
+    pub fn new(kind: CompileErrorKind) -> CompileError {
+        CompileError {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &CompileErrorKind {
+        &self.kind
+    }
+
+    /// Where it went wrong (dummy when unlocated).
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The stable diagnostic code.
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// Sets the span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> CompileError {
+        self.span = span;
+        self
+    }
+
+    /// Anchors the error into the offending resource's declaration: the
+    /// precise attribute span when the kind names an attribute, the
+    /// declaration span otherwise. Already-anchored errors are unchanged.
+    #[must_use]
+    pub fn anchored(mut self, resource: &CatalogResource) -> CompileError {
+        if !self.span.is_dummy() {
+            return self;
+        }
+        self.span = match &self.kind {
+            CompileErrorKind::InvalidAttribute { attribute, .. } => resource.attr_span(attribute),
+            CompileErrorKind::BadPath { .. } => resource.attr_span("path"),
+            CompileErrorKind::UnknownPackage(_) => resource.attr_span("name"),
+            _ => resource.span(),
+        };
+        self
+    }
+
+    /// This error as a [`Diagnostic`].
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::error(self.code(), self.kind.to_string()).with_primary(self.span, "")
+    }
+}
+
+impl From<CompileErrorKind> for CompileError {
+    fn from(kind: CompileErrorKind) -> CompileError {
+        CompileError::new(kind)
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
 impl std::error::Error for CompileError {}
 
 impl From<rehearsal_pkgdb::UnknownPackageError> for CompileError {
     fn from(e: rehearsal_pkgdb::UnknownPackageError) -> CompileError {
-        CompileError::UnknownPackage(e.name().to_string())
+        CompileError::new(CompileErrorKind::UnknownPackage(e.name().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_diag::Pos;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn anchoring_prefers_attribute_spans() {
+        let rspan = Span::new(Pos::new(1, 1), Pos::new(1, 30));
+        let aspan = Span::new(Pos::new(1, 10), Pos::new(1, 20));
+        let r = CatalogResource::new("file", "/x", BTreeMap::new())
+            .with_span(rspan)
+            .with_attr_spans([("ensure".to_string(), aspan)].into_iter().collect());
+        let e = CompileError::new(CompileErrorKind::InvalidAttribute {
+            resource: "File[/x]".into(),
+            attribute: "ensure".into(),
+            reason: "bad".into(),
+        })
+        .anchored(&r);
+        assert!(e.span().same(&aspan));
+        assert_eq!(e.code(), "R1004");
+
+        let e = CompileError::new(CompileErrorKind::ExecUnsupported("x".into())).anchored(&r);
+        assert!(e.span().same(&rspan));
+        assert_eq!(e.to_diagnostic().code, "R1002");
     }
 }

@@ -33,4 +33,4 @@ mod error;
 pub mod helpers;
 
 pub use compile::{compile, CompileCtx, SUPPORTED_TYPES};
-pub use error::CompileError;
+pub use error::{CompileError, CompileErrorKind};

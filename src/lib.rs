@@ -42,12 +42,20 @@ pub use rehearsal_core::{
     check_determinism, check_expr_equivalence, check_expr_idempotence, check_idempotence,
     check_invariant, AnalysisAborted, AnalysisOptions, CancelToken, Counterexample,
     DeterminismReport, DeterminismStats, EquivalenceReport, FsGraph, IdempotenceReport, Invariant,
-    InvariantReport, Rehearsal, RehearsalError, VerificationReport,
+    InvariantReport, Rehearsal, RehearsalError, RehearsalErrorKind, SourceAnalysis,
+    VerificationReport,
 };
-pub use rehearsal_core::{render_counterexample, render_determinism, render_idempotence};
+pub use rehearsal_core::{
+    determinism_diagnostics, idempotence_diagnostics, race_diagnostic, render_counterexample,
+    render_determinism, render_idempotence,
+};
 pub use rehearsal_core::{suggest_repair, RepairReport};
+pub use rehearsal_diag::{
+    codes, Diagnostic, FileId, Label, Pos, RenderOptions, Severity, SourceMap, Span,
+};
 pub use rehearsal_fleet::{
-    FleetCounts, FleetEngine, FleetJob, FleetOptions, FleetReport, Verdict, VerdictCache,
+    github_annotations, FleetCounts, FleetEngine, FleetJob, FleetOptions, FleetReport, Verdict,
+    VerdictCache,
 };
 pub use rehearsal_pkgdb::Platform;
 pub use rehearsal_puppet::Facts;
@@ -55,6 +63,11 @@ pub use rehearsal_puppet::Facts;
 /// The analysis core (re-export of `rehearsal-core`).
 pub mod core {
     pub use rehearsal_core::*;
+}
+
+/// The unified diagnostics surface (re-export of `rehearsal-diag`).
+pub mod diag {
+    pub use rehearsal_diag::*;
 }
 
 /// The batch-verification engine (re-export of `rehearsal-fleet`).

@@ -9,9 +9,12 @@
 //! ```
 
 use rehearsal::fleet::{
-    discover_manifests, read_manifest_list, FleetEngine, FleetOptions, Json, VerdictCache,
+    diagnostic_json, discover_manifests, github_annotations, read_manifest_list, FleetEngine,
+    FleetOptions, Json, VerdictCache,
 };
-use rehearsal::{AnalysisOptions, Platform, Rehearsal};
+use rehearsal::{
+    AnalysisOptions, Diagnostic, Platform, Rehearsal, RenderOptions, Severity, SourceMap,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -35,6 +38,10 @@ OPTIONS:
     --state <FILE>               initial machine state for `apply` (default: /)
     --timeout <SECONDS>          per-analysis time budget [default: 600]
     --json                       machine-readable output (check/benchmarks/fleet)
+    --error-format <human|json>  how errors and findings are printed to
+                                 stderr: rustc-style snippets with carets
+                                 (NO_COLOR-aware), or one JSON diagnostic
+                                 per line                [default: human]
     --model-metadata             honor owner/group/mode attributes (the
                                  metadata-aware FS model; permission races
                                  become checkable)
@@ -48,10 +55,22 @@ FLEET OPTIONS:
     --jobs <N>                   worker threads         [default: one per CPU]
     --cache <FILE>               JSONL verdict cache, reused across runs
     --list <FILE>                read manifest paths from FILE (one per line)
+    --annotations                print GitHub Actions ::error/::warning
+                                 annotations from the diagnostics stream
+                                 (only when GITHUB_ACTIONS is set)
 
 `rehearsal fleet` exits non-zero iff any manifest fails verification,
 making it usable directly as a CI gate.
 ";
+
+/// How errors and findings are encoded on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorFormat {
+    /// Rustc-style snippets with carets (NO_COLOR-aware).
+    Human,
+    /// One JSON diagnostic object per line.
+    Json,
+}
 
 struct Args {
     command: String,
@@ -63,6 +82,8 @@ struct Args {
     jobs: usize,
     cache: Option<String>,
     list: Option<String>,
+    error_format: ErrorFormat,
+    annotations: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = 0;
     let mut cache = None;
     let mut list = None;
+    let mut error_format = ErrorFormat::Human;
+    let mut annotations = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--state" => {
@@ -101,6 +124,15 @@ fn parse_args() -> Result<Args, String> {
                 list = Some(argv.next().ok_or("--list needs a value")?);
             }
             "--json" => json = true,
+            "--error-format" => {
+                let v = argv.next().ok_or("--error-format needs a value")?;
+                error_format = match v.as_str() {
+                    "human" => ErrorFormat::Human,
+                    "json" => ErrorFormat::Json,
+                    other => return Err(format!("unknown error format {other:?}\n\n{USAGE}")),
+                };
+            }
+            "--annotations" => annotations = true,
             "--model-metadata" => options.model_metadata = true,
             "--model-latest" => options.model_latest = true,
             "--no-commutativity" => options.commutativity = false,
@@ -122,7 +154,37 @@ fn parse_args() -> Result<Args, String> {
         jobs,
         cache,
         list,
+        error_format,
+        annotations,
     })
+}
+
+/// Encodes diagnostics for stderr per `--error-format`: rustc-style
+/// snippets (color per `NO_COLOR`/`TERM`) or one compact JSON object per
+/// line.
+fn format_diagnostics(args: &Args, map: &SourceMap, diagnostics: &[Diagnostic]) -> String {
+    match args.error_format {
+        ErrorFormat::Human => {
+            let opts = RenderOptions::from_env();
+            diagnostics
+                .iter()
+                .map(|d| map.render_with(d, opts))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        ErrorFormat::Json => diagnostics
+            .iter()
+            .map(|d| diagnostic_json(d).render())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+/// Renders a pipeline error (for commands that still use the `Result`
+/// API) with source snippets.
+fn format_error(args: &Args, name: &str, source: &str, e: &rehearsal::RehearsalError) -> String {
+    let map = SourceMap::single(name, source);
+    format_diagnostics(args, &map, e.diagnostics())
 }
 
 /// The tool configured from the command line. Both modeling flags ride
@@ -157,35 +219,47 @@ fn print_determinism(report: &rehearsal::DeterminismReport, graph: &rehearsal::F
     print!("{mark}{}", rehearsal::render_determinism(report, graph));
 }
 
-/// The `check --json` document, sharing the fleet serializer.
+/// The `check --json` document (schema `rehearsal-check/4`), sharing the
+/// fleet serializer. `report` is `None` when the pipeline failed before a
+/// verdict; the error then lives in `diagnostics`.
 fn check_json(
     path: &str,
     platform: Platform,
     model_metadata: bool,
-    report: &rehearsal::DeterminismReport,
+    report: Option<&rehearsal::DeterminismReport>,
     idempotence: Option<&rehearsal::IdempotenceReport>,
+    diagnostics: &[Diagnostic],
 ) -> Json {
-    let stats = report.stats();
-    let verdict = if !report.is_deterministic() {
-        "nondeterministic"
-    } else if idempotence.is_some_and(|i| !i.is_idempotent()) {
-        "nonidempotent"
-    } else {
-        "deterministic"
+    let stats = report.map(|r| r.stats()).unwrap_or_default();
+    let verdict = match report {
+        None => "error",
+        Some(r) if !r.is_deterministic() => "nondeterministic",
+        Some(_) if idempotence.is_some_and(|i| !i.is_idempotent()) => "nonidempotent",
+        Some(_) => "deterministic",
     };
     Json::obj([
-        ("schema", Json::str("rehearsal-check/3")),
+        ("schema", Json::str("rehearsal-check/4")),
         ("manifest", Json::str(path)),
         ("platform", Json::str(platform.to_string())),
         ("model_metadata", Json::Bool(model_metadata)),
         ("verdict", Json::str(verdict)),
-        ("deterministic", Json::Bool(report.is_deterministic())),
+        (
+            "deterministic",
+            match report {
+                Some(r) => Json::Bool(r.is_deterministic()),
+                None => Json::Null,
+            },
+        ),
         (
             "idempotent",
             match idempotence {
                 Some(i) => Json::Bool(i.is_idempotent()),
                 None => Json::Null,
             },
+        ),
+        (
+            "diagnostics",
+            Json::Arr(diagnostics.iter().map(diagnostic_json).collect()),
         ),
         (
             "stats",
@@ -236,38 +310,76 @@ fn run_check(args: &Args) -> Result<bool, String> {
     let path = args.paths.first().cloned().unwrap_or_default();
     let source = read_manifest(args)?;
     let tool = tool_for(args);
-    let (graph, diagnostics) = tool
-        .lower_with_diagnostics(&source)
-        .map_err(|e| e.to_string())?;
-    for d in &diagnostics {
-        eprintln!("note: {d}");
+    let analysis = tool.verify_source(&path, &source);
+
+    // Non-fatal findings (modeling warnings/notes) always go to stderr.
+    let warnings: Vec<Diagnostic> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity != Severity::Error)
+        .cloned()
+        .collect();
+    if !warnings.is_empty() {
+        eprintln!(
+            "{}",
+            format_diagnostics(args, &analysis.source_map, &warnings)
+        );
     }
-    let report = rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
-    let idem = if report.is_deterministic() {
-        Some(rehearsal::check_idempotence(&graph, &args.options).map_err(|e| e.to_string())?)
-    } else {
-        None
-    };
+
     if args.json {
+        let (det, idem) = match &analysis.report {
+            Some(r) => (Some(&r.determinism), r.idempotence.as_ref()),
+            None => (None, None),
+        };
         println!(
             "{}",
             check_json(
                 &path,
                 args.platform,
                 args.options.model_metadata,
-                &report,
-                idem.as_ref()
+                det,
+                idem,
+                &analysis.diagnostics,
             )
             .render_pretty()
         );
-    } else {
-        print_determinism(&report, &graph);
-        if let Some(idem) = &idem {
+    }
+
+    let Some(report) = &analysis.report else {
+        // Pipeline error (or aborted analysis): the error diagnostics are
+        // the message; exit code 2 either way.
+        let errors: Vec<Diagnostic> = analysis.errors().cloned().collect();
+        return Err(format_diagnostics(args, &analysis.source_map, &errors));
+    };
+    let graph = analysis.graph.as_ref().expect("report implies graph");
+
+    if !args.json {
+        print_determinism(&report.determinism, graph);
+        if let Some(idem) = &report.idempotence {
             let mark = if idem.is_idempotent() { "✔ " } else { "✘ " };
             print!("{mark}{}", rehearsal::render_idempotence(idem));
         }
+        // The source-anchored findings (the two-snippet race report, the
+        // non-idempotent culprit) follow the classic counterexample dump —
+        // on stderr, like every other diagnostic (`--error-format`
+        // documents the stderr stream, so machine consumers can split
+        // verdict output from findings).
+        let findings: Vec<Diagnostic> = analysis
+            .errors()
+            .filter(|d| {
+                d.code == rehearsal::codes::NONDETERMINISTIC
+                    || d.code == rehearsal::codes::NONIDEMPOTENT
+            })
+            .cloned()
+            .collect();
+        if !findings.is_empty() {
+            eprintln!(
+                "{}",
+                format_diagnostics(args, &analysis.source_map, &findings)
+            );
+        }
     }
-    Ok(report.is_deterministic() && idem.as_ref().map(|i| i.is_idempotent()).unwrap_or(false))
+    Ok(analysis.is_correct())
 }
 
 fn run_benchmarks(args: &Args) -> Result<bool, String> {
@@ -376,6 +488,11 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
     } else {
         print!("{}", report.render_table());
     }
+    // GitHub Actions inline annotations from the diagnostics stream, only
+    // on an actual Actions runner.
+    if args.annotations && std::env::var_os("GITHUB_ACTIONS").is_some() {
+        print!("{}", github_annotations(&report));
+    }
     Ok(report.all_clean())
 }
 
@@ -384,9 +501,12 @@ fn run() -> Result<bool, String> {
     match args.command.as_str() {
         "check" => run_check(&args),
         "idempotence" => {
+            let path = args.paths.first().cloned().unwrap_or_default();
             let source = read_manifest(&args)?;
             let tool = tool_for(&args);
-            let report = tool.check_idempotence(&source).map_err(|e| e.to_string())?;
+            let report = tool
+                .check_idempotence(&source)
+                .map_err(|e| format_error(&args, &path, &source, &e))?;
             let mark = if report.is_idempotent() {
                 "✔ "
             } else {
@@ -396,9 +516,12 @@ fn run() -> Result<bool, String> {
             Ok(report.is_idempotent())
         }
         "repair" => {
+            let path = args.paths.first().cloned().unwrap_or_default();
             let source = read_manifest(&args)?;
             let tool = tool_for(&args);
-            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            let graph = tool
+                .lower(&source)
+                .map_err(|e| format_error(&args, &path, &source, &e))?;
             match rehearsal::suggest_repair(&graph, &args.options).map_err(|e| e.to_string())? {
                 rehearsal::RepairReport::AlreadyDeterministic => {
                     println!("✔ already deterministic — nothing to repair");
@@ -422,9 +545,12 @@ fn run() -> Result<bool, String> {
             }
         }
         "apply" => {
+            let path = args.paths.first().cloned().unwrap_or_default();
             let source = read_manifest(&args)?;
             let tool = tool_for(&args);
-            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            let graph = tool
+                .lower(&source)
+                .map_err(|e| format_error(&args, &path, &source, &e))?;
             // Warn loudly when simulating a nondeterministic manifest.
             let report =
                 rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
@@ -461,9 +587,12 @@ final machine state:"
             Ok(true)
         }
         "graph" => {
+            let path = args.paths.first().cloned().unwrap_or_default();
             let source = read_manifest(&args)?;
             let tool = tool_for(&args);
-            let graph = tool.lower(&source).map_err(|e| e.to_string())?;
+            let graph = tool
+                .lower(&source)
+                .map_err(|e| format_error(&args, &path, &source, &e))?;
             println!("{} resources:", graph.names.len());
             for (i, name) in graph.names.iter().enumerate() {
                 println!("  [{i}] {name} ({} FS ops)", graph.exprs[i].size());

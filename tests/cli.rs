@@ -31,9 +31,11 @@ fn check_deterministic_manifest_exits_zero() {
 fn check_nondeterministic_manifest_exits_nonzero() {
     let out = rehearsal()
         .args(["check", &manifest("ntp-nondet.pp")])
+        .env("NO_COLOR", "1")
         .output()
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(!out.status.success());
     assert!(stdout.contains("NON-DETERMINISTIC"), "{stdout}");
     assert!(
@@ -41,6 +43,49 @@ fn check_nondeterministic_manifest_exits_nonzero() {
         "counterexample printed: {stdout}"
     );
     assert!(stdout.contains("counterexample initial state"), "{stdout}");
+    // The acceptance shape: a two-snippet race report pointing at both
+    // racing resource declarations (findings go to stderr, like every
+    // other diagnostic).
+    assert!(stderr.contains("error[R3001]"), "{stderr}");
+    assert_eq!(
+        stderr.matches("-->").count(),
+        2,
+        "both declarations rendered: {stderr}"
+    );
+    assert!(stderr.contains("this resource races with"), "{stderr}");
+    assert!(
+        !stdout.contains('\x1b') && !stderr.contains('\x1b'),
+        "NO_COLOR suppresses ANSI: {stdout:?} {stderr:?}"
+    );
+}
+
+#[test]
+fn check_error_format_json_emits_machine_diagnostics() {
+    let out = rehearsal()
+        .args([
+            "check",
+            &manifest("ntp-nondet.pp"),
+            "--error-format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The race finding is one compact JSON object on its own stderr line;
+    // the classic verdict output on stdout stays parseable.
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with('{') && l.contains("\"R3001\""))
+        .unwrap_or_else(|| panic!("no JSON diagnostic line in {stderr}"));
+    assert!(line.contains("\"severity\":\"error\""), "{line}");
+    assert!(line.contains("\"primary\""), "{line}");
+    assert!(line.contains("\"line\":"), "{line}");
+    assert!(
+        !stdout.lines().any(|l| l.starts_with('{')),
+        "no JSON interleaved into the stdout dump: {stdout}"
+    );
 }
 
 #[test]
@@ -196,9 +241,64 @@ fn parse_error_is_reported_with_position() {
     std::fs::write(&bad, "package { 'x' ensure => present }").unwrap();
     let out = rehearsal()
         .args(["check", bad.to_str().unwrap()])
+        .env("NO_COLOR", "1")
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("parse error"), "{err}");
+    // The error renders as a snippet with carets under the bad token.
+    assert!(err.contains("error[R0001]"), "{err}");
+    assert!(err.contains("bad.pp:1:15"), "{err}");
+    assert!(err.contains("^^^^^^"), "{err}");
+}
+
+#[test]
+fn fleet_annotations_print_under_github_actions() {
+    let dir = std::env::temp_dir().join("rehearsal-cli-annotations");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("race.pp"),
+        "package { 'vim': }\nfile { '/home/carol/.vimrc': content => 'x' }\n\
+         user { 'carol': ensure => present, managehome => true }\n",
+    )
+    .unwrap();
+
+    // With GITHUB_ACTIONS set, --annotations emits ::error lines with
+    // file + line anchors from the diagnostics stream.
+    let out = rehearsal()
+        .args([
+            "fleet",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--annotations",
+        ])
+        .env("GITHUB_ACTIONS", "true")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "race fails the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let annotation = stdout
+        .lines()
+        .find(|l| l.starts_with("::error file="))
+        .unwrap_or_else(|| panic!("no annotation line in {stdout}"));
+    assert!(annotation.contains("race.pp"), "{annotation}");
+    assert!(annotation.contains(",line="), "{annotation}");
+    assert!(annotation.contains("R3001"), "{annotation}");
+
+    // Without GITHUB_ACTIONS, the flag is inert.
+    let out = rehearsal()
+        .args([
+            "fleet",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--annotations",
+        ])
+        .env_remove("GITHUB_ACTIONS")
+        .output()
+        .expect("binary runs");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("::error"));
 }

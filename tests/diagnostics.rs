@@ -1,0 +1,425 @@
+//! Integration tests for the unified diagnostics API: golden-file tests
+//! for the rendered human output (snippet + carets, multi-label race
+//! report), a seeded property test that every emitted span lies within the
+//! source and every code is registered, and round-trips through the
+//! documented JSON encoding.
+//!
+//! Regenerate the golden files with
+//! `REGENERATE_GOLDEN=1 cargo test --test diagnostics`.
+
+use rehearsal::fleet::{diagnostic_from_json, diagnostic_json, parse_json};
+use rehearsal::{codes, Diagnostic, Platform, Rehearsal, SourceMap};
+use std::path::PathBuf;
+
+fn tool() -> Rehearsal {
+    Rehearsal::new(Platform::Ubuntu)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares rendered text against a committed golden file (or rewrites it
+/// under `REGENERATE_GOLDEN=1`).
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("REGENERATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "rendered output diverged from {} (set REGENERATE_GOLDEN=1 to update)",
+        path.display()
+    );
+}
+
+/// Renders every diagnostic of a manifest (plain, no color) for golden
+/// comparison.
+fn render_all(name: &str, source: &str) -> String {
+    let analysis = tool().verify_source(name, source);
+    analysis
+        .diagnostics
+        .iter()
+        .map(|d| analysis.source_map.render(d))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---- golden-file tests (satellite: rendered human diagnostics) ----
+
+#[test]
+fn golden_parse_error_snippet() {
+    let out = render_all("bad.pp", "package { 'x'\n  oops => true }\n");
+    assert_golden("parse_error.txt", &out);
+}
+
+#[test]
+fn golden_duplicate_resource_two_labels() {
+    let src = "package { 'vim': ensure => present }\n\
+               package { 'vim': ensure => absent }\n";
+    let out = render_all("dup.pp", src);
+    assert!(out.contains("first declared here"), "{out}");
+    assert_golden("duplicate_resource.txt", &out);
+}
+
+#[test]
+fn golden_race_report_two_snippets() {
+    let src = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("benchmarks/ntp-nondet.pp"),
+    )
+    .unwrap();
+    let out = render_all("benchmarks/ntp-nondet.pp", &src);
+    // The acceptance shape: a two-snippet R3001 report pointing at both
+    // racing resource declarations.
+    assert!(out.contains("error[R3001]"), "{out}");
+    assert_eq!(
+        out.matches("--> benchmarks/ntp-nondet.pp:").count(),
+        2,
+        "both declarations rendered: {out}"
+    );
+    assert!(out.contains('^'), "primary carets: {out}");
+    assert!(out.contains('-'), "secondary underline: {out}");
+    assert_golden("race_ntp_nondet.txt", &out);
+}
+
+#[test]
+fn golden_cycle_report_cites_edges() {
+    let src = "package { 'm4': require => Package['make'] }\n\
+               package { 'make': require => Package['m4'] }\n";
+    let out = render_all("cycle.pp", src);
+    assert!(out.contains("error[R0201]"), "{out}");
+    assert!(out.contains("declared here"), "{out}");
+    assert_golden("cycle.txt", &out);
+}
+
+#[test]
+fn golden_nonidempotent_report() {
+    let src = "file { '/dst': source => '/src' }\n\
+               file { '/src': ensure => absent }\n\
+               File['/dst'] -> File['/src']\n";
+    let out = render_all("fig3d.pp", src);
+    assert!(out.contains("error[R3002]"), "{out}");
+    assert_golden("nonidempotent.txt", &out);
+}
+
+// ---- span/code well-formedness (satellite: seeded property test) ----
+
+/// Deterministic splitmix64 generator (the workspace's offline stand-in
+/// for a property-testing crate).
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Every label's span must lie within the source text (1-based lines;
+/// columns within the line plus one past the end).
+fn assert_spans_within(d: &Diagnostic, name: &str, source: &str) {
+    let lines: Vec<&str> = source.lines().collect();
+    for label in d.labels() {
+        let s = label.span;
+        if s.is_dummy() {
+            continue;
+        }
+        assert!(s.lo.line >= 1 && s.hi.line >= s.lo.line, "{name}: {d}");
+        // End-of-input errors may point one line past the last newline.
+        assert!(
+            (s.lo.line as usize) <= lines.len().max(1) + 1,
+            "{name}: span line {} beyond {} lines ({d})",
+            s.lo.line,
+            lines.len()
+        );
+        assert!(
+            (s.hi.line as usize) <= lines.len().max(1) + 1,
+            "{name}: span end {} beyond source ({d})",
+            s.hi.line,
+        );
+        if let Some(line) = lines.get(s.lo.line as usize - 1) {
+            assert!(
+                (s.lo.col as usize) <= line.chars().count() + 1,
+                "{name}: col {} beyond line {:?} ({d})",
+                s.lo.col,
+                line
+            );
+        }
+        if s.hi.line == s.lo.line {
+            assert!(s.hi.col >= s.lo.col, "{name}: inverted span ({d})");
+        }
+    }
+    assert!(
+        codes::is_registered(&d.code),
+        "{name}: code {} not in the registry ({d})",
+        d.code
+    );
+}
+
+/// One manifest per error code plus the analysis findings: every
+/// `RehearsalError`-producing input and every NONDET/non-idempotent
+/// verdict must emit registered codes with in-source spans — and every
+/// *error* must carry at least one resolvable span (the acceptance bar).
+#[test]
+fn every_failure_mode_is_anchored_and_registered() {
+    let cases: &[(&str, &str, &str)] = &[
+        ("syntax", "package { 'x' oops }", codes::SYNTAX_ERROR),
+        (
+            "undef-var",
+            "file { '/x': content => $nope }",
+            codes::UNDEFINED_VARIABLE,
+        ),
+        ("unknown-class", "include ghost", codes::UNKNOWN_CLASS),
+        (
+            "dup-resource",
+            "package { 'v': }\npackage { 'v': }",
+            codes::DUPLICATE_RESOURCE,
+        ),
+        (
+            "unknown-ref",
+            "Package['ghost'] -> Package['ghost2']",
+            codes::UNKNOWN_REFERENCE,
+        ),
+        (
+            "unknown-stage",
+            "class s { package { 'p': } }\nclass { 's': stage => 'nope' }",
+            codes::UNKNOWN_STAGE,
+        ),
+        (
+            "missing-param",
+            "define d($x) { }\nd { 't': }",
+            codes::MISSING_PARAMETER,
+        ),
+        (
+            "unexpected-param",
+            "define d() { }\nd { 't': y => 2 }",
+            codes::UNEXPECTED_PARAMETER,
+        ),
+        (
+            "dup-class",
+            "class c { }\nclass { 'c': }\nclass { 'c': }",
+            codes::DUPLICATE_CLASS,
+        ),
+        ("fail", "fail('boom')", codes::EVAL_ERROR),
+        (
+            "cycle",
+            "package { 'a': require => Package['b'] }\npackage { 'b': require => Package['a'] }",
+            codes::DEPENDENCY_CYCLE,
+        ),
+        ("unmodeled", "mount { '/mnt': }", codes::UNMODELED_TYPE),
+        (
+            "exec",
+            "exec { 'apt-get update': }",
+            codes::EXEC_UNSUPPORTED,
+        ),
+        ("missing-attr", "cron { 'x': }", codes::MISSING_ATTRIBUTE),
+        (
+            "invalid-attr",
+            "file { '/x': frobnicate => 1 }",
+            codes::INVALID_ATTRIBUTE,
+        ),
+        (
+            "unknown-pkg",
+            "package { 'no-such-pkg-xyz': }",
+            codes::UNKNOWN_PACKAGE,
+        ),
+        ("bad-path", "file { 'not/absolute': }", codes::BAD_PATH),
+        (
+            "race",
+            "package { 'vim': }\nfile { '/home/carol/.vimrc': content => 'x' }\n\
+             user { 'carol': ensure => present, managehome => true }",
+            codes::NONDETERMINISTIC,
+        ),
+        (
+            "nonidempotent",
+            "file { '/dst': source => '/src' }\nfile { '/src': ensure => absent }\n\
+             File['/dst'] -> File['/src']",
+            codes::NONIDEMPOTENT,
+        ),
+        (
+            "latest-warning",
+            "package { 'vim': ensure => latest }",
+            codes::LATEST_MODELING,
+        ),
+    ];
+    for (name, src, want_code) in cases {
+        let analysis = tool().verify_source(name, src);
+        let hit = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == *want_code)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{name}: expected a {want_code} diagnostic, got {:?}",
+                    analysis
+                        .diagnostics
+                        .iter()
+                        .map(|d| d.code.clone())
+                        .collect::<Vec<_>>()
+                )
+            });
+        assert!(
+            hit.has_resolvable_span(),
+            "{name}: {want_code} must point into the source ({hit})"
+        );
+        for d in &analysis.diagnostics {
+            assert_spans_within(d, name, src);
+        }
+    }
+}
+
+/// Every bundled benchmark (both suites, both metadata configurations):
+/// all emitted diagnostics are registered and in-source, and every NONDET
+/// verdict is anchored.
+#[test]
+fn bundled_suites_emit_anchored_findings() {
+    let mut checked = 0;
+    for b in rehearsal::benchmarks::SUITE
+        .iter()
+        .chain(rehearsal::benchmarks::FIXED_SUITE)
+    {
+        let analysis = tool().verify_source(b.name, b.source);
+        for d in &analysis.diagnostics {
+            assert_spans_within(d, b.name, b.source);
+        }
+        if !b.deterministic {
+            let race = analysis
+                .diagnostics
+                .iter()
+                .find(|d| d.code == codes::NONDETERMINISTIC)
+                .unwrap_or_else(|| panic!("{}: no race diagnostic", b.name));
+            assert!(race.has_resolvable_span(), "{}", b.name);
+            assert!(
+                !race.secondary.is_empty(),
+                "{}: both resources cited",
+                b.name
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 6, "all six NONDET benchmarks verified");
+    for b in rehearsal::benchmarks::METADATA_SUITE {
+        let analysis = tool()
+            .with_model_metadata(true)
+            .verify_source(b.name, b.source);
+        for d in &analysis.diagnostics {
+            assert_spans_within(d, b.name, b.source);
+        }
+        if !b.deterministic_with_metadata {
+            assert!(
+                analysis
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == codes::NONDETERMINISTIC && d.has_resolvable_span()),
+                "{}: metadata race must be anchored",
+                b.name
+            );
+        }
+    }
+}
+
+/// Seeded mutations of the bundled sources (truncations and single-byte
+/// edits): whatever the pipeline reports, spans stay inside the mutated
+/// source and codes stay registered.
+#[test]
+fn mutated_sources_never_emit_out_of_range_spans() {
+    let mut rng = Prng::new(42);
+    let pool: Vec<&str> = rehearsal::benchmarks::SUITE
+        .iter()
+        .map(|b| b.source)
+        .collect();
+    for case in 0..128 {
+        let base = pool[rng.usize(pool.len())];
+        let mut src: String = match rng.usize(3) {
+            0 => {
+                // Truncate at a char boundary.
+                let cut = rng.usize(base.len() + 1);
+                let mut cut = cut.min(base.len());
+                while !base.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                base[..cut].to_string()
+            }
+            1 => {
+                // Flip one byte to punctuation.
+                let mut bytes = base.as_bytes().to_vec();
+                if !bytes.is_empty() {
+                    let i = rng.usize(bytes.len());
+                    bytes[i] = b"{}[]'\"$,:>"[rng.usize(10)];
+                }
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            _ => {
+                // Duplicate a random line (often a duplicate resource).
+                let lines: Vec<&str> = base.lines().collect();
+                let i = rng.usize(lines.len());
+                let mut out: Vec<&str> = lines.clone();
+                out.insert(i, lines[i]);
+                out.join("\n")
+            }
+        };
+        src.push('\n');
+        let analysis = tool().verify_source("mutated.pp", &src);
+        for d in &analysis.diagnostics {
+            assert_spans_within(d, &format!("case {case}"), &src);
+        }
+    }
+}
+
+// ---- JSON round-trips (the documented machine encoding) ----
+
+/// Every diagnostic the pipeline emits survives the documented JSON
+/// encoding byte-for-byte (structure, spans, payload).
+#[test]
+fn pipeline_diagnostics_roundtrip_through_json() {
+    let sources = [
+        "package { 'x' oops }",
+        "package { 'vim': }\nfile { '/home/carol/.vimrc': content => 'x' }\n\
+         user { 'carol': ensure => present, managehome => true }",
+        "package { 'vim': ensure => latest }",
+    ];
+    let mut total = 0;
+    for src in sources {
+        let analysis = tool().verify_source("roundtrip.pp", src);
+        for d in &analysis.diagnostics {
+            let text = diagnostic_json(d).render();
+            let back = diagnostic_from_json(&parse_json(&text).unwrap())
+                .unwrap_or_else(|| panic!("decode failed for {text}"));
+            assert_eq!(&back, d, "round-trip changed the diagnostic");
+            assert!(back.span().same(&d.span()), "span survived");
+            total += 1;
+        }
+    }
+    assert!(total >= 3, "exercised {total} diagnostics");
+}
+
+/// Rendering against a `SourceMap` never panics, whatever the span (a
+/// fuzz-ish guard for the renderer's clamping).
+#[test]
+fn renderer_clamps_arbitrary_spans() {
+    use rehearsal::{Pos, Span};
+    let map = SourceMap::single("clamp.pp", "line one\nline two\n");
+    let mut rng = Prng::new(7);
+    for _ in 0..256 {
+        let lo = Pos::new(rng.usize(6) as u32, rng.usize(30) as u32);
+        let hi = Pos::new(rng.usize(6) as u32, rng.usize(30) as u32);
+        let d = Diagnostic::error("R0001", "x").with_primary(Span::new(lo, hi), "y");
+        let _ = map.render(&d);
+    }
+}

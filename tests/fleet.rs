@@ -125,6 +125,27 @@ fn cli_fleet_gates_and_caches() {
     assert_eq!(cold.get("clean").and_then(Json::as_bool), Some(false));
     assert!(cache.exists(), "cache file written");
 
+    // Nondeterministic rows carry their source-anchored diagnostics.
+    let nondet_has_race = |doc: &Json| {
+        doc.get("manifests")
+            .and_then(Json::as_arr)
+            .expect("rows")
+            .iter()
+            .filter(|r| r.get("verdict").and_then(Json::as_str) == Some("nondeterministic"))
+            .all(|r| {
+                r.get("diagnostics")
+                    .and_then(Json::as_arr)
+                    .is_some_and(|ds| {
+                        ds.iter()
+                            .any(|d| d.get("code").and_then(Json::as_str) == Some("R3001"))
+                    })
+            })
+    };
+    assert!(
+        nondet_has_race(&cold),
+        "cold rows carry the race diagnostic"
+    );
+
     let warm = run("warm");
     let counts = warm.get("counts").and_then(|c| c.get("cached"));
     assert_eq!(counts.and_then(Json::as_u64), Some(13), "13/13 cache hits");
@@ -132,6 +153,11 @@ fn cli_fleet_gates_and_caches() {
         assert_eq!(row.get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(row.get("millis").and_then(Json::as_u64), Some(0));
     }
+    // Cache schema 4 restores the diagnostics without re-analysis.
+    assert!(
+        nondet_has_race(&warm),
+        "warm rows replay cached diagnostics"
+    );
 }
 
 /// The gate passes (exit 0) on a clean fleet.
@@ -209,10 +235,28 @@ fn cli_check_json() {
     assert!(!out.status.success());
     let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("rehearsal-check/4")
+    );
+    assert_eq!(
         doc.get("verdict").and_then(Json::as_str),
         Some("nondeterministic")
     );
     assert_eq!(doc.get("idempotent"), Some(&Json::Null));
+    // Schema 4: the race is also in the diagnostics array, source-anchored
+    // and round-trippable through the documented encoding.
+    let diags = doc
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("diagnostics array");
+    let race = diags
+        .iter()
+        .find(|d| d.get("code").and_then(Json::as_str) == Some("R3001"))
+        .expect("race diagnostic");
+    let decoded = rehearsal::fleet::diagnostic_from_json(race).expect("decodes");
+    assert!(decoded.has_resolvable_span());
+    assert_eq!(decoded.severity, rehearsal::Severity::Error);
+    assert!(!decoded.secondary.is_empty(), "both declarations cited");
 }
 
 /// `benchmarks --json --timeout` emits one row per benchmark with the
@@ -329,7 +373,7 @@ fn cli_fleet_model_metadata_gate() {
     );
 }
 
-/// `check --json --model-metadata` reports schema 3 with the metadata
+/// `check --json --model-metadata` reports schema 4 with the metadata
 /// counters, and the counterexample replays as two succeeding orders.
 #[test]
 fn cli_check_json_metadata_schema() {
@@ -358,7 +402,7 @@ fn cli_check_json_metadata_schema() {
     let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("rehearsal-check/3")
+        Some("rehearsal-check/4")
     );
     assert_eq!(
         doc.get("model_metadata").and_then(Json::as_bool),
@@ -379,7 +423,7 @@ fn cli_check_json_metadata_schema() {
     );
 
     // Without the flag the same manifest is clean and reports zero
-    // metadata counters (the model is off, schema stays 3).
+    // metadata counters (the model is off, schema stays 4).
     let out = rehearsal()
         .args(["check", path.to_str().unwrap(), "--json"])
         .output()

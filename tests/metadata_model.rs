@@ -167,11 +167,16 @@ fn latest_vs_present_through_the_pipeline() {
     let latest_src = "package { 'vim': ensure => latest }";
     let present_src = "package { 'vim': ensure => present }";
 
-    // Default: same graph, plus a diagnostic.
-    let (latest_graph, diags) = tool().lower_with_diagnostics(latest_src).unwrap();
+    // Default: same graph, plus a source-anchored diagnostic.
+    let (latest_graph, diags) = tool().lower_source(latest_src).unwrap();
     assert_eq!(diags.len(), 1);
-    assert!(diags[0].contains("latest"), "{diags:?}");
-    let (present_graph, no_diags) = tool().lower_with_diagnostics(present_src).unwrap();
+    assert_eq!(diags[0].code, "R1101");
+    assert!(diags[0].message.contains("latest"), "{diags:?}");
+    assert!(
+        diags[0].has_resolvable_span(),
+        "points at `ensure => latest`"
+    );
+    let (present_graph, no_diags) = tool().lower_source(present_src).unwrap();
     assert!(no_diags.is_empty());
     assert_eq!(
         latest_graph.exprs, present_graph.exprs,
@@ -180,7 +185,7 @@ fn latest_vs_present_through_the_pipeline() {
 
     // Distinct modeling: the compiled programs are observably different.
     let t = tool().with_model_latest(true);
-    let (latest_graph, _) = t.lower_with_diagnostics(latest_src).unwrap();
+    let (latest_graph, _) = t.lower_source(latest_src).unwrap();
     assert_ne!(latest_graph.exprs, present_graph.exprs);
     let report = rehearsal::check_expr_equivalence(
         latest_graph.exprs[0],

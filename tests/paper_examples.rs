@@ -1,6 +1,6 @@
 //! End-to-end tests for every example manifest in the paper (§1–§2).
 
-use rehearsal::{DeterminismReport, Platform, Rehearsal, RehearsalError};
+use rehearsal::{DeterminismReport, Platform, Rehearsal};
 
 fn tool() -> Rehearsal {
     Rehearsal::new(Platform::Ubuntu)
@@ -109,13 +109,18 @@ fn fig3b_composition_cycle() {
             "#,
         )
         .unwrap_err();
-    match err {
-        RehearsalError::Cycle(c) => {
-            let joined = c.members.join(" ");
-            assert!(joined.contains("Package[m4]") || joined.contains("Package[make]"));
-        }
-        other => panic!("expected a cycle, got {other}"),
-    }
+    assert_eq!(err.kind(), rehearsal::RehearsalErrorKind::Cycle, "{err}");
+    assert_eq!(err.code(), "R0201");
+    let cycle = &err.diagnostics()[0];
+    assert!(
+        cycle.message.contains("Package[m4]") || cycle.message.contains("Package[make]"),
+        "{}",
+        cycle.message
+    );
+    assert!(
+        cycle.has_resolvable_span(),
+        "the cycle cites its edges' declaration sites"
+    );
 }
 
 /// Fig. 3b, composable version: each module orders only what it must.
@@ -246,7 +251,7 @@ fn exec_rejected() {
     let err = tool()
         .check_determinism("exec { '/usr/bin/make install': }")
         .unwrap_err();
-    assert!(matches!(err, RehearsalError::Compile(_)));
+    assert_eq!(err.kind(), rehearsal::RehearsalErrorKind::Compile);
     assert!(err.to_string().contains("exec"));
 }
 
