@@ -10,6 +10,7 @@ use rehearsal::core::determinism::{
     check_determinism, AnalysisAborted, AnalysisOptions, DeterminismReport, FsGraph,
 };
 use rehearsal::fs::{ArenaStats, Content, Expr, FsPath, Pred};
+use rehearsal::trace::{Session, TraceSnapshot};
 use rehearsal::{Platform, Rehearsal};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -404,6 +405,197 @@ pub fn write_explorer_json(generated_by: &str, rows: &[ExplorerBenchRow]) {
     let json = explorer_rows_to_json(generated_by, rows);
     std::fs::write(&path, json).expect("write REHEARSAL_BENCH_JSON");
     println!("wrote explorer bench report to {}", path.to_string_lossy());
+}
+
+/// One row of the observability-overhead study (`obs_overhead`), for
+/// `BENCH_obs.json`: the same workload measured with tracing *disabled*
+/// (no session installed, so every instrumentation site reduces to one
+/// relaxed atomic load) and *enabled* (session installed: spans, the
+/// metrics registry, and sampled hot-path events all live), with the
+/// verdict and work fingerprint pinned identical between the two
+/// configurations.
+#[derive(Debug, Clone)]
+pub struct ObsBenchRow {
+    /// Workload name.
+    pub workload: String,
+    /// Scale parameter (graph count for composite workloads).
+    pub n: usize,
+    /// Interleaved sample pairs behind each median.
+    pub samples: usize,
+    /// Median wall time with no session installed, ms.
+    pub disabled_ms: f64,
+    /// Median wall time with a session installed, ms.
+    pub enabled_ms: f64,
+    /// `(enabled − disabled) / disabled`, percent. The *enabling* cost;
+    /// the disabled-mode cost over uninstrumented code is smaller still
+    /// (disabled mode runs a strict subset of the enabled-mode
+    /// instrumentation: the activity check alone). Medians of
+    /// interleaved samples, so small negative values are timing noise.
+    pub overhead_pct: f64,
+    /// Verdict summary (`deterministic`, `nondeterministic`, or
+    /// `<d> det / <n> nondet` for composite workloads).
+    pub verdict: String,
+    /// Total sequences covered per pass (identical in both configs).
+    pub sequences_explored: u64,
+    /// Per-phase wall times from one traced pass, ms — the registry's
+    /// own attribution of where the workload spends its time.
+    pub phases: Vec<(String, f64)>,
+}
+
+/// Measures one workload (a list of graphs with pinned verdicts) with
+/// tracing disabled and enabled, interleaving the two configurations so
+/// machine drift hits both medians equally. Panics if the verdict or the
+/// work fingerprint (sequences, cache skips, outputs, conflicts) differs
+/// between configurations — observability must be read-only.
+pub fn measure_obs_row(
+    workload: &str,
+    n: usize,
+    graphs: &[(FsGraph, bool)],
+    options: &AnalysisOptions,
+    samples: usize,
+) -> ObsBenchRow {
+    let mut options = options.clone();
+    if options.timeout.is_none() {
+        options.timeout = Some(Duration::from_secs(600));
+    }
+    let run = |traced: bool| {
+        let session = traced.then(Session::new);
+        let guard = session.as_ref().map(Session::install);
+        let start = Instant::now();
+        let mut fingerprint = Vec::with_capacity(graphs.len());
+        for (graph, expected) in graphs {
+            let report =
+                check_determinism(graph, &options).expect("obs workloads are sized to complete");
+            assert_eq!(
+                report.is_deterministic(),
+                *expected,
+                "verdict drift on obs workload {workload}"
+            );
+            let s = report.stats();
+            fingerprint.push((
+                report.is_deterministic(),
+                s.sequences_explored,
+                s.sequences_skipped,
+                s.distinct_outputs,
+                s.solver_conflicts,
+            ));
+        }
+        let wall = start.elapsed();
+        drop(guard);
+        (wall, fingerprint, session.map(|s| s.snapshot()))
+    };
+    // Warm both configurations up front: the interning arena, the
+    // structural memos, and the package DB are process-global and
+    // append-only, so after warmup every measured pass sees the same
+    // world.
+    run(false);
+    run(true);
+    let samples = samples.max(1);
+    let mut disabled = Vec::with_capacity(samples);
+    let mut enabled = Vec::with_capacity(samples);
+    let mut snapshot: Option<TraceSnapshot> = None;
+    let mut fingerprint = Vec::new();
+    for _ in 0..samples {
+        let (d, fd, _) = run(false);
+        let (e, fe, snap) = run(true);
+        assert_eq!(
+            fd, fe,
+            "work fingerprint drift between untraced and traced runs on {workload}"
+        );
+        disabled.push(d);
+        enabled.push(e);
+        if snapshot.is_none() {
+            snapshot = snap;
+            fingerprint = fd;
+        }
+    }
+    disabled.sort();
+    enabled.sort();
+    let disabled_ms = disabled[samples / 2].as_secs_f64() * 1000.0;
+    let enabled_ms = enabled[samples / 2].as_secs_f64() * 1000.0;
+    let det = fingerprint.iter().filter(|f| f.0).count();
+    let verdict = match (graphs.len(), det) {
+        (1, 1) => "deterministic".to_string(),
+        (1, 0) => "nondeterministic".to_string(),
+        (total, det) => format!("{det} det / {} nondet", total - det),
+    };
+    ObsBenchRow {
+        workload: workload.to_string(),
+        n,
+        samples,
+        disabled_ms,
+        enabled_ms,
+        overhead_pct: if disabled_ms > 0.0 {
+            (enabled_ms - disabled_ms) / disabled_ms * 100.0
+        } else {
+            0.0
+        },
+        verdict,
+        sequences_explored: fingerprint.iter().map(|f| f.1 as u64).sum(),
+        phases: snapshot
+            .map(|s| {
+                s.phase_totals()
+                    .into_iter()
+                    .map(|p| (p.name, p.total_us as f64 / 1000.0))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+/// Serializes obs rows via the shared `fleet::json` value model.
+pub fn obs_rows_to_json(generated_by: &str, rows: &[ObsBenchRow]) -> String {
+    use rehearsal::fleet::json::Json;
+    let round = |v: f64| (v * 1000.0).round() / 1000.0;
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("workload", Json::str(&r.workload)),
+                ("n", Json::num(r.n as u32)),
+                ("samples", Json::num(r.samples as u32)),
+                ("disabled_ms", Json::Num(round(r.disabled_ms))),
+                ("enabled_ms", Json::Num(round(r.enabled_ms))),
+                ("overhead_pct", Json::Num(round(r.overhead_pct))),
+                ("verdict", Json::str(&r.verdict)),
+                ("sequences_explored", Json::Num(r.sequences_explored as f64)),
+                (
+                    "phases_ms",
+                    Json::Obj(
+                        r.phases
+                            .iter()
+                            .map(|(name, ms)| (name.clone(), Json::Num(round(*ms))))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("generated_by", Json::str(generated_by)),
+        (
+            "method",
+            Json::str(
+                "median of interleaved untraced/traced sample pairs after a warmup pass; \
+                 verdicts and work fingerprints pinned identical between configurations \
+                 (drift panics); phases_ms is the trace registry's own per-phase attribution \
+                 from one traced pass",
+            ),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    doc.render_pretty()
+}
+
+/// Writes the obs report to the path named by `REHEARSAL_BENCH_JSON`,
+/// when set (CI uploads it as the `BENCH_obs.json` artifact).
+pub fn write_obs_json(generated_by: &str, rows: &[ObsBenchRow]) {
+    let Some(path) = std::env::var_os("REHEARSAL_BENCH_JSON") else {
+        return;
+    };
+    let json = obs_rows_to_json(generated_by, rows);
+    std::fs::write(&path, json).expect("write REHEARSAL_BENCH_JSON");
+    println!("wrote obs bench report to {}", path.to_string_lossy());
 }
 
 #[cfg(test)]

@@ -385,7 +385,8 @@ fn expr_accesses(e: Expr, out: &mut AccessSummary, block: Option<BlockTag>) {
 /// the same (sub)program — across the commutativity pass, elimination,
 /// pruning, and repair — are answered by a shared `Arc` in O(1).
 pub fn accesses(e: Expr) -> Arc<AccessSummary> {
-    static MEMO: ExprMemo<AccessSummary> = ExprMemo::new();
+    static MEMO: ExprMemo<AccessSummary> =
+        ExprMemo::new("memo.accesses.hits", "memo.accesses.misses");
     MEMO.get_or_compute(e, || {
         let mut out = AccessSummary::default();
         expr_accesses(e, &mut out, None);

@@ -235,6 +235,27 @@ impl DeterminismStats {
     pub fn grounding_reuse_ratio(&self) -> f64 {
         self.grounding().reuse_ratio()
     }
+
+    /// Publishes the check's explorer counters into the current trace
+    /// session's registry (no-op when tracing is inactive). The solver's
+    /// own counters are published by
+    /// [`rehearsal_solver::Ctx::publish_trace_metrics`], not here.
+    pub fn publish_trace_metrics(&self) {
+        if !rehearsal_trace::is_active() {
+            return;
+        }
+        rehearsal_trace::counter_add("explore.sequences", self.sequences_explored as u64);
+        rehearsal_trace::counter_add("explore.sequences_skipped", self.sequences_skipped as u64);
+        rehearsal_trace::counter_add("explore.cache_hits", self.state_cache_hits as u64);
+        rehearsal_trace::counter_add("explore.distinct_outputs", self.distinct_outputs as u64);
+        rehearsal_trace::gauge_max("domain.paths", self.paths as i64);
+        rehearsal_trace::gauge_max("domain.tracked_paths", self.tracked_paths as i64);
+        rehearsal_trace::gauge_max("graph.resources", self.resources as i64);
+        rehearsal_trace::gauge_max(
+            "graph.resources_after_elimination",
+            self.resources_after_elimination as i64,
+        );
+    }
 }
 
 /// A counterexample to determinism: one initial state, two valid orders,
@@ -660,6 +681,10 @@ impl<'a> Explorer<'a> {
         let mut prefix: Vec<usize> = Vec::with_capacity(n);
         let mut stack: Vec<Frame> = Vec::with_capacity(n + 1);
         stack.push(Frame::unentered(Bits::full(n), initial));
+        // Sampled trace events: one per 4096 loop iterations, so a hot DFS
+        // costs a local increment + branch when tracing is off and a
+        // bounded number of records when it is on.
+        let mut iterations: u64 = 0;
 
         // One closure-free helper: after popping a child, un-push the
         // parent's prefix element.
@@ -673,6 +698,10 @@ impl<'a> Explorer<'a> {
         }
 
         while !stack.is_empty() {
+            iterations += 1;
+            if iterations & 0xFFF == 0 {
+                rehearsal_trace::event("explore.frames.4k", "core");
+            }
             // Entry work for a frame seen for the first time.
             let top = stack.last_mut().expect("non-empty stack");
             if !top.entered {
@@ -746,22 +775,29 @@ pub fn check_determinism(
 
     // 1. Resource elimination (§4.4). Elimination is justified by the
     //    commutativity check, so disabling commutativity disables it too.
-    let alive: BTreeSet<usize> = if options.elimination && options.commutativity {
-        surviving_nodes(&summaries, &graph.successors(), &graph.ancestor_sets())
-    } else {
-        (0..n).collect()
+    let alive: BTreeSet<usize> = {
+        let _span = rehearsal_trace::span_cat("eliminate", "core");
+        if options.elimination && options.commutativity {
+            surviving_nodes(&summaries, &graph.successors(), &graph.ancestor_sets())
+        } else {
+            (0..n).collect()
+        }
     };
     let sub = subgraph(graph, &alive);
 
     // 2. Path pruning (§4.4): definitive writes by exactly one resource,
     //    unobserved by the rest, become read-only residues.
-    let (pruned, read_only) = if options.pruning {
-        prune_graph(&sub)
-    } else {
-        (sub.clone(), BTreeSet::new())
+    let (pruned, read_only) = {
+        let _span = rehearsal_trace::span_cat("prune", "core");
+        if options.pruning {
+            prune_graph(&sub)
+        } else {
+            (sub.clone(), BTreeSet::new())
+        }
     };
 
     // 3. Encode and explore (bitset POR + state cache + early exit).
+    let explore_span = rehearsal_trace::span_cat("explore", "core");
     let domain = Domain::of_exprs(pruned.exprs.iter().copied());
     let mut enc = Encoder::new(domain);
     for &p in &read_only {
@@ -771,6 +807,7 @@ pub fn check_determinism(
     let mut explorer = Explorer::new(&pruned, options, deadline);
     let early = explorer.run(&mut enc, initial.clone())?;
     let outputs = explorer.outputs;
+    drop(explore_span);
 
     let mut stats = DeterminismStats {
         resources: n,
@@ -794,6 +831,7 @@ pub fn check_determinism(
         Some(exit) => Some((exit.which, exit.model)),
         None if options.early_exit || outputs.len() <= 1 => None,
         None => {
+            let _span = rehearsal_trace::span_cat("solve.final", "core");
             let first_state = &outputs[0].1;
             let mut disjuncts = Vec::new();
             for (_, other_state) in &outputs[1..] {
@@ -827,6 +865,11 @@ pub fn check_determinism(
     stats.grounded_clauses = grounding.grounded_clauses;
     stats.grounded_nodes = grounding.grounded_nodes;
     stats.grounded_reused = grounding.reused_nodes;
+    // Phase boundary: the hot loops above kept local counters; the
+    // registry sees them exactly once, here.
+    enc.ctx.publish_trace_metrics();
+    stats.publish_trace_metrics();
+    rehearsal_fs::publish_arena_metrics();
 
     match divergence {
         None => Ok(DeterminismReport::Deterministic(stats)),

@@ -49,6 +49,7 @@ pub fn check_expr_idempotence(
     e: Expr,
     options: &AnalysisOptions,
 ) -> Result<IdempotenceReport, AnalysisAborted> {
+    let _span = rehearsal_trace::span_cat("idempotence", "core");
     let deadline = options.timeout.map(|t| Instant::now() + t);
     let domain = Domain::of_exprs([e]);
     let mut enc = Encoder::new(domain);
@@ -60,6 +61,7 @@ pub fn check_expr_idempotence(
         .ctx
         .solve_with_budget(diff, deadline, crate::determinism::interrupt_flag(options))
         .map_err(|_| crate::determinism::solve_abort_reason(options))?;
+    enc.ctx.publish_trace_metrics();
     match solved {
         None => Ok(IdempotenceReport::Idempotent),
         Some(model) => {

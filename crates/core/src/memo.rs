@@ -17,15 +17,24 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A lazily-initialized, thread-safe `Expr → Arc<T>` memo table.
+///
+/// Each table carries the trace-counter names its hits and misses are
+/// recorded under (e.g. `memo.accesses.hits`), so the registry shows
+/// how much structural analysis was shared vs. computed.
 pub(crate) struct ExprMemo<T> {
     table: OnceLock<Mutex<HashMap<Expr, Arc<T>>>>,
+    hit_metric: &'static str,
+    miss_metric: &'static str,
 }
 
 impl<T> ExprMemo<T> {
-    /// An empty table (usable in `static` position).
-    pub(crate) const fn new() -> ExprMemo<T> {
+    /// An empty table (usable in `static` position) whose lookups are
+    /// counted under the two given trace-counter names.
+    pub(crate) const fn new(hit_metric: &'static str, miss_metric: &'static str) -> ExprMemo<T> {
         ExprMemo {
             table: OnceLock::new(),
+            hit_metric,
+            miss_metric,
         }
     }
 
@@ -37,8 +46,10 @@ impl<T> ExprMemo<T> {
     pub(crate) fn get_or_compute(&self, e: Expr, compute: impl FnOnce() -> T) -> Arc<T> {
         let table = self.table.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(cached) = table.lock().expect("memo poisoned").get(&e) {
+            rehearsal_trace::counter_add(self.hit_metric, 1);
             return Arc::clone(cached);
         }
+        rehearsal_trace::counter_add(self.miss_metric, 1);
         let value = Arc::new(compute());
         table
             .lock()

@@ -304,6 +304,7 @@ impl Rehearsal {
         &self,
         catalog: &Catalog,
     ) -> Result<(FsGraph, Vec<Diagnostic>), RehearsalError> {
+        let _span = rehearsal_trace::span_cat("lower", "core");
         let graph = ResourceGraph::from_catalog(catalog)?;
         let ctx = CompileCtx::new(&self.db)
             .with_dependency_closures(self.dependency_closures)

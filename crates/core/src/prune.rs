@@ -109,7 +109,10 @@ type DefMap = BTreeMap<FsPath, DefValue>;
 /// The definitive-write map of an expression (fig. 10b), memoized
 /// process-wide by hash-consed id.
 pub fn definitive_writes(e: Expr) -> Arc<DefMap> {
-    static MEMO: ExprMemo<DefMap> = ExprMemo::new();
+    static MEMO: ExprMemo<DefMap> = ExprMemo::new(
+        "memo.definitive_writes.hits",
+        "memo.definitive_writes.misses",
+    );
     MEMO.get_or_compute(e, || {
         let mut state = BTreeMap::new();
         dw(e, &mut state);

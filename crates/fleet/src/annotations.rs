@@ -104,6 +104,9 @@ mod tests {
             detail: String::new(),
             resources: 3,
             millis: 1,
+            queue_ms: 0,
+            run_ms: 1,
+            phases: Vec::new(),
             cached: false,
             counters: AnalysisCounters::default(),
             diagnostics,
@@ -144,6 +147,9 @@ mod tests {
             rows: vec![row(vec![race_diag()]), row(Vec::new())],
             wall_millis: 1,
             jobs: 1,
+            steals: 0,
+            max_queue_depth: 1,
+            metrics: rehearsal_trace::MetricsSnapshot::default(),
         };
         let stream = github_annotations(&report);
         assert_eq!(stream.lines().count(), 1);
@@ -152,6 +158,9 @@ mod tests {
             rows: vec![row(Vec::new())],
             wall_millis: 1,
             jobs: 1,
+            steals: 0,
+            max_queue_depth: 1,
+            metrics: rehearsal_trace::MetricsSnapshot::default(),
         };
         assert_eq!(github_annotations(&clean), "");
     }

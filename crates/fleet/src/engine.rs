@@ -3,7 +3,7 @@
 
 use crate::cache::{job_key, CachedVerdict, VerdictCache};
 use crate::report::{AnalysisCounters, FleetReport, JobResult, Verdict};
-use crate::scheduler::run_work_stealing;
+use crate::scheduler::run_work_stealing_with_stats;
 use rehearsal_core::{
     aborted_diagnostic, check_determinism, check_idempotence, idempotence_diagnostics,
     race_diagnostic, AnalysisOptions, CancelToken, Rehearsal,
@@ -139,7 +139,7 @@ impl FleetEngine {
         // Identical (source, platform, options) jobs dedupe onto one
         // analysis whose result fans out to every requesting slot.
         let mut rows: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
-        let mut pending: Vec<(u64, FleetJob)> = Vec::new();
+        let mut pending: Vec<(u64, FleetJob, Instant)> = Vec::new();
         let mut key_slots: std::collections::HashMap<u64, Vec<(usize, String, Platform)>> =
             std::collections::HashMap::new();
         for (i, job) in jobs.into_iter().enumerate() {
@@ -151,6 +151,9 @@ impl FleetEngine {
                     detail: msg,
                     resources: 0,
                     millis: 0,
+                    queue_ms: 0,
+                    run_ms: 0,
+                    phases: Vec::new(),
                     cached: false,
                     counters: AnalysisCounters::default(),
                     diagnostics: Vec::new(),
@@ -165,6 +168,9 @@ impl FleetEngine {
                             detail: hit.detail.clone(),
                             resources: hit.resources,
                             millis: 0,
+                            queue_ms: 0,
+                            run_ms: 0,
+                            phases: Vec::new(),
                             cached: true,
                             counters: AnalysisCounters::default(),
                             diagnostics: hit.diagnostics.clone(),
@@ -173,7 +179,7 @@ impl FleetEngine {
                         rows.push(None);
                         let slots = key_slots.entry(key).or_default();
                         if slots.is_empty() {
-                            pending.push((key, job.clone()));
+                            pending.push((key, job.clone(), Instant::now()));
                         }
                         slots.push((i, job.name, job.platform));
                     }
@@ -181,29 +187,58 @@ impl FleetEngine {
             }
         }
 
-        // Analyze the misses in parallel.
+        // Analyze the misses in parallel. When the caller has a trace
+        // session installed, each job gets its *own* session (installed
+        // thread-locally on the worker, so concurrent jobs never
+        // interleave), and the per-job snapshots are folded back into the
+        // caller's registry afterwards.
         let analysis = self.options.analysis.clone();
         let cancel = self.options.cancel.clone();
-        let outcomes = run_work_stealing(pending, workers, |_, (key, job)| {
-            let job_start = Instant::now();
-            let outcome = analyze(&job, &analysis, cancel.as_ref());
-            (
-                key,
-                JobResult {
-                    manifest: job.name,
-                    platform: job.platform,
-                    verdict: outcome.verdict,
-                    detail: outcome.detail,
-                    resources: outcome.resources,
-                    millis: job_start.elapsed().as_millis() as u64,
-                    cached: false,
-                    counters: outcome.counters,
-                    diagnostics: outcome.diagnostics,
-                },
-            )
-        });
+        let trace_jobs = rehearsal_trace::current().is_some();
+        let (outcomes, sched) =
+            run_work_stealing_with_stats(pending, workers, |_, (key, job, enqueued)| {
+                let queue_ms = enqueued.elapsed().as_millis() as u64;
+                let session = trace_jobs.then(rehearsal_trace::Session::new);
+                let guard = session.as_ref().map(rehearsal_trace::Session::install);
+                let job_start = Instant::now();
+                let outcome = analyze(&job, &analysis, cancel.as_ref());
+                let run_ms = job_start.elapsed().as_millis() as u64;
+                drop(guard);
+                let (phases, metrics) = match session {
+                    Some(s) => {
+                        let snap = s.snapshot();
+                        let phases = snap
+                            .phase_totals()
+                            .into_iter()
+                            .map(|p| (p.name, p.total_us))
+                            .collect();
+                        (phases, snap.metrics)
+                    }
+                    None => (Vec::new(), rehearsal_trace::MetricsSnapshot::default()),
+                };
+                (
+                    key,
+                    JobResult {
+                        manifest: job.name,
+                        platform: job.platform,
+                        verdict: outcome.verdict,
+                        detail: outcome.detail,
+                        resources: outcome.resources,
+                        millis: run_ms,
+                        queue_ms,
+                        run_ms,
+                        phases,
+                        cached: false,
+                        counters: outcome.counters,
+                        diagnostics: outcome.diagnostics,
+                    },
+                    metrics,
+                )
+            });
 
-        for (key, row) in outcomes {
+        let mut metrics = rehearsal_trace::MetricsSnapshot::default();
+        for (key, row, job_metrics) in outcomes {
+            metrics.merge(&job_metrics);
             self.cache.put(
                 key,
                 CachedVerdict {
@@ -222,10 +257,36 @@ impl FleetEngine {
             }
         }
 
+        let rows: Vec<JobResult> = rows.into_iter().map(|r| r.expect("row filled")).collect();
+
+        // Fleet-level metrics ride the same registry namespace as the
+        // per-job ones, so one Prometheus scrape sees the whole picture.
+        let fleet_reg = rehearsal_trace::Registry::new();
+        let cached = rows.iter().filter(|r| r.cached).count();
+        fleet_reg.counter_add("fleet.jobs", rows.len() as u64);
+        fleet_reg.counter_add("fleet.cache_hits", cached as u64);
+        fleet_reg.counter_add("fleet.steals", sched.steals);
+        fleet_reg.gauge_max("fleet.queue_depth_max", sched.max_queue_depth as i64);
+        fleet_reg.gauge_max("fleet.workers", workers as i64);
+        for row in rows.iter().filter(|r| !r.cached && !r.phases.is_empty()) {
+            fleet_reg.observe("fleet.job_queue_ms", row.queue_ms);
+            fleet_reg.observe("fleet.job_run_ms", row.run_ms);
+        }
+        let mut fleet_metrics = fleet_reg.snapshot();
+        fleet_metrics.merge(&metrics);
+        // Make the run visible to the caller's own session too (e.g. the
+        // CLI's `--trace` export).
+        if let Some(session) = rehearsal_trace::current() {
+            session.metrics().merge_snapshot(&fleet_metrics);
+        }
+
         FleetReport {
-            rows: rows.into_iter().map(|r| r.expect("row filled")).collect(),
+            rows,
             wall_millis: start.elapsed().as_millis() as u64,
             jobs: workers,
+            steals: sched.steals,
+            max_queue_depth: sched.max_queue_depth,
+            metrics: fleet_metrics,
         }
     }
 }

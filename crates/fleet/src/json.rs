@@ -237,7 +237,7 @@ fn label_from_json(j: &Json) -> Option<Label> {
 }
 
 /// Serializes one [`Diagnostic`] into the stable JSON encoding used by
-/// `check --json` (schema `rehearsal-check/4`), fleet report rows, the
+/// `check --json` (schema `rehearsal-check/5`), fleet report rows, the
 /// verdict cache, and `--error-format json`:
 ///
 /// ```json

@@ -48,5 +48,5 @@ pub use cache::{job_key, CachedVerdict, VerdictCache, CACHE_SCHEMA_VERSION};
 pub use discover::{discover_manifests, read_manifest_list};
 pub use engine::{verify_directory, FleetEngine, FleetJob, FleetOptions};
 pub use json::{diagnostic_from_json, diagnostic_json, parse as parse_json, Json, JsonError};
-pub use report::{AnalysisCounters, FleetCounts, FleetReport, JobResult, Verdict};
-pub use scheduler::run_work_stealing;
+pub use report::{metrics_json, AnalysisCounters, FleetCounts, FleetReport, JobResult, Verdict};
+pub use scheduler::{run_work_stealing, run_work_stealing_with_stats, SchedulerStats};

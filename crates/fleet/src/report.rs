@@ -120,8 +120,22 @@ pub struct JobResult {
     pub detail: String,
     /// Resources in the manifest's graph (0 when unknown).
     pub resources: usize,
-    /// Wall-clock the job took, in milliseconds (0 for cache hits).
+    /// Wall-clock the analysis took, in milliseconds (0 for cache hits).
+    /// Equal to [`JobResult::run_ms`]; kept for report back-compat.
     pub millis: u64,
+    /// Time the job sat in the scheduler queue before a worker picked it
+    /// up, in milliseconds (0 for cache hits, which never enqueue).
+    /// Reported separately from [`JobResult::run_ms`] so queue wait under
+    /// a saturated worker pool is visible instead of inflating the
+    /// analysis time.
+    pub queue_ms: u64,
+    /// Time a worker actually spent analyzing, in milliseconds (0 for
+    /// cache hits).
+    pub run_ms: u64,
+    /// Per-phase wall-clock for this job as `(phase, micros)`, in
+    /// first-appearance order; empty when tracing was off or the row is a
+    /// cache hit.
+    pub phases: Vec<(String, u64)>,
     /// Whether the verdict came from the cache without re-analysis.
     pub cached: bool,
     /// Explorer/solver work done for this job.
@@ -170,6 +184,15 @@ pub struct FleetReport {
     pub wall_millis: u64,
     /// Worker threads used.
     pub jobs: usize,
+    /// Successful work steals between workers during the run.
+    pub steals: u64,
+    /// Deepest any worker's queue got (right after deal-out).
+    pub max_queue_depth: usize,
+    /// Fleet-level metrics: scheduler counters (always present) plus
+    /// every per-job session's registry merged in (counters add, gauges
+    /// keep the max). Per-job pipeline metrics appear only when the
+    /// caller had a trace session installed during the run.
+    pub metrics: rehearsal_trace::MetricsSnapshot,
 }
 
 impl FleetReport {
@@ -200,21 +223,22 @@ impl FleetReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<34} {:<8} {:<17} {:>6} {:>9}  detail\n",
-            "manifest", "platform", "verdict", "res", "time"
+            "{:<34} {:<8} {:<17} {:>6} {:>8} {:>9}  detail\n",
+            "manifest", "platform", "verdict", "res", "queue", "time"
         ));
         for row in &self.rows {
-            let time = if row.cached {
-                "cached".to_string()
+            let (queue, time) = if row.cached {
+                ("-".to_string(), "cached".to_string())
             } else {
-                format!("{}ms", row.millis)
+                (format!("{}ms", row.queue_ms), format!("{}ms", row.run_ms))
             };
             out.push_str(&format!(
-                "{:<34} {:<8} {:<17} {:>6} {:>9}  {}\n",
+                "{:<34} {:<8} {:<17} {:>6} {:>8} {:>9}  {}\n",
                 truncate(&row.manifest, 34),
                 row.platform,
                 row.verdict.label(),
                 row.resources,
+                queue,
                 time,
                 truncate(&row.detail, 60),
             ));
@@ -246,7 +270,7 @@ impl FleetReport {
     pub fn to_json(&self) -> Json {
         let c = self.counts();
         Json::obj([
-            ("schema", Json::str("rehearsal-fleet-report/1")),
+            ("schema", Json::str("rehearsal-fleet-report/2")),
             (
                 "manifests",
                 Json::Arr(self.rows.iter().map(row_json).collect()),
@@ -265,9 +289,63 @@ impl FleetReport {
             ),
             ("wall_millis", Json::num(self.wall_millis as u32)),
             ("jobs", Json::num(self.jobs as u32)),
+            (
+                "scheduler",
+                Json::obj([
+                    ("steals", Json::Num(self.steals as f64)),
+                    ("max_queue_depth", Json::num(self.max_queue_depth as u32)),
+                ]),
+            ),
+            ("metrics", metrics_json(&self.metrics)),
             ("clean", Json::Bool(self.all_clean())),
         ])
     }
+}
+
+/// Serializes a metrics snapshot: counters and gauges verbatim,
+/// histograms as `{count, sum, max}` summaries (per-bucket detail stays in
+/// the Prometheus export, where `le` labels are idiomatic). Shared with
+/// the CLI's `check --json` document.
+pub fn metrics_json(m: &rehearsal_trace::MetricsSnapshot) -> Json {
+    Json::obj([
+        (
+            "counters",
+            Json::Obj(
+                m.counters()
+                    .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                m.gauges()
+                    .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                m.histogram_names()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|k| {
+                        let h = m.histogram(&k).expect("name came from the snapshot");
+                        (
+                            k,
+                            Json::obj([
+                                ("count", Json::Num(h.count as f64)),
+                                ("sum", Json::Num(h.sum as f64)),
+                                ("max", Json::Num(h.max as f64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn row_json(row: &JobResult) -> Json {
@@ -279,6 +357,17 @@ fn row_json(row: &JobResult) -> Json {
         ("detail", Json::str(&row.detail)),
         ("resources", Json::num(row.resources as u32)),
         ("millis", Json::num(row.millis as u32)),
+        ("queue_ms", Json::num(row.queue_ms as u32)),
+        ("run_ms", Json::num(row.run_ms as u32)),
+        (
+            "phases",
+            Json::Obj(
+                row.phases
+                    .iter()
+                    .map(|(name, us)| (name.clone(), Json::Num(*us as f64 / 1000.0)))
+                    .collect(),
+            ),
+        ),
         ("cached", Json::Bool(row.cached)),
         (
             "diagnostics",
@@ -329,6 +418,9 @@ mod tests {
             detail: String::new(),
             resources: 3,
             millis: 5,
+            queue_ms: 1,
+            run_ms: 5,
+            phases: Vec::new(),
             cached,
             counters: AnalysisCounters::default(),
             diagnostics: Vec::new(),
@@ -345,6 +437,9 @@ mod tests {
             ],
             wall_millis: 12,
             jobs: 2,
+            steals: 0,
+            max_queue_depth: 2,
+            metrics: rehearsal_trace::MetricsSnapshot::default(),
         };
         let c = report.counts();
         assert_eq!(c.total(), 3);
@@ -376,11 +471,14 @@ mod tests {
             rows: vec![row(Verdict::Deterministic, false)],
             wall_millis: 7,
             jobs: 1,
+            steals: 2,
+            max_queue_depth: 1,
+            metrics: rehearsal_trace::MetricsSnapshot::default(),
         };
         let j = report.to_json();
         assert_eq!(
             j.get("schema").and_then(Json::as_str),
-            Some("rehearsal-fleet-report/1")
+            Some("rehearsal-fleet-report/2")
         );
         let counts = j.get("counts").expect("counts");
         assert_eq!(counts.get("total").and_then(Json::as_u64), Some(1));
@@ -399,6 +497,13 @@ mod tests {
             counters.get("solver_conflicts").and_then(Json::as_u64),
             Some(0)
         );
+        assert_eq!(rows[0].get("queue_ms").and_then(Json::as_u64), Some(1));
+        assert_eq!(rows[0].get("run_ms").and_then(Json::as_u64), Some(5));
+        let sched = j.get("scheduler").expect("scheduler object");
+        assert_eq!(sched.get("steals").and_then(Json::as_u64), Some(2));
+        assert_eq!(sched.get("max_queue_depth").and_then(Json::as_u64), Some(1));
+        let metrics = j.get("metrics").expect("metrics object");
+        assert!(metrics.get("counters").is_some());
     }
 
     #[test]

@@ -8,7 +8,20 @@
 //! while spreading the stragglers.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// What the scheduler saw during one run: how unbalanced the deal-out was
+/// and how often workers had to steal to stay busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Successful steals (a worker ran dry and took a job from another
+    /// worker's deque).
+    pub steals: u64,
+    /// Deepest any worker's deque got (measured right after deal-out,
+    /// which is the high-water mark: deques only shrink afterwards).
+    pub max_queue_depth: usize,
+}
 
 /// Runs `f` over `items` on `workers` scoped threads with work stealing.
 /// Results come back in input order. `f` receives `(worker_id, item)`.
@@ -18,6 +31,20 @@ use std::sync::Mutex;
 /// Propagates a panic from any worker (the scope joins all threads
 /// first).
 pub fn run_work_stealing<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_work_stealing_with_stats(items, workers, f).0
+}
+
+/// Like [`run_work_stealing`], but also reports [`SchedulerStats`].
+pub fn run_work_stealing_with_stats<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    f: F,
+) -> (Vec<R>, SchedulerStats)
 where
     T: Send,
     R: Send,
@@ -34,15 +61,22 @@ where
             .expect("queue poisoned")
             .push_back((i, item));
     }
+    let max_queue_depth = queues
+        .iter()
+        .map(|q| q.lock().expect("queue poisoned").len())
+        .max()
+        .unwrap_or(0);
+    let steals = AtomicU64::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
             let results = &results;
+            let steals = &steals;
             let f = &f;
             scope.spawn(move || loop {
-                let job = next_job(queues, me);
+                let job = next_job(queues, me, steals);
                 let Some((index, item)) = job else { break };
                 let out = f(me, item);
                 *results[index].lock().expect("result poisoned") = Some(out);
@@ -50,18 +84,27 @@ where
         }
     });
 
-    results
+    let results = results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result poisoned")
                 .expect("every job ran")
         })
-        .collect()
+        .collect();
+    let stats = SchedulerStats {
+        steals: steals.load(Ordering::Relaxed),
+        max_queue_depth,
+    };
+    (results, stats)
 }
 
 /// Pops local work, or steals from the longest other queue.
-fn next_job<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+fn next_job<T>(
+    queues: &[Mutex<VecDeque<(usize, T)>>],
+    me: usize,
+    steals: &AtomicU64,
+) -> Option<(usize, T)> {
     if let Some(job) = queues[me].lock().expect("queue poisoned").pop_front() {
         return Some(job);
     }
@@ -69,7 +112,11 @@ fn next_job<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usi
     let victim = (0..queues.len())
         .filter(|&v| v != me)
         .max_by_key(|&v| queues[v].lock().expect("queue poisoned").len())?;
-    queues[victim].lock().expect("queue poisoned").pop_back()
+    let stolen = queues[victim].lock().expect("queue poisoned").pop_back();
+    if stolen.is_some() {
+        steals.fetch_add(1, Ordering::Relaxed);
+    }
+    stolen
 }
 
 #[cfg(test)]
@@ -110,6 +157,24 @@ mod tests {
         });
         assert_eq!(ran.load(Ordering::Relaxed), 32);
         assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn stats_report_depth_and_steals() {
+        // 10 jobs over 4 workers: round-robin gives 3/3/2/2.
+        let (out, stats) = run_work_stealing_with_stats((0..10).collect::<Vec<_>>(), 4, |_, x| x);
+        assert_eq!(out.len(), 10);
+        assert_eq!(stats.max_queue_depth, 3);
+
+        // Single worker never steals.
+        let (_, solo) = run_work_stealing_with_stats((0..10).collect::<Vec<_>>(), 1, |_, x| x);
+        assert_eq!(solo.steals, 0);
+        assert_eq!(solo.max_queue_depth, 10);
+
+        // Empty input: nothing queued, nothing stolen.
+        let (empty, stats) = run_work_stealing_with_stats(Vec::<usize>::new(), 4, |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(stats, SchedulerStats::default());
     }
 
     #[test]

@@ -411,3 +411,48 @@ pub(crate) fn read_ir<R>(f: impl FnOnce(&IrStore) -> R) -> R {
 pub fn arena_stats() -> ArenaStats {
     with_ir(|ir| ir.stats())
 }
+
+/// Publishes the arena's size and sharing counters into the current trace
+/// session's registry. The arena is process-global and append-only, so
+/// these land as high-water gauges (cumulative sizes), not per-run deltas;
+/// per-workload deltas still come from [`ArenaStats::since`].
+pub fn publish_arena_metrics() {
+    if !rehearsal_trace::is_active() {
+        return;
+    }
+    let s = arena_stats();
+    rehearsal_trace::gauge_max("arena.pred_nodes", s.pred_nodes as i64);
+    rehearsal_trace::gauge_max("arena.expr_nodes", s.expr_nodes as i64);
+    rehearsal_trace::gauge_max("arena.pred_dedup_hits", s.pred_dedup_hits as i64);
+    rehearsal_trace::gauge_max("arena.expr_dedup_hits", s.expr_dedup_hits as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_ratio_is_zero_on_empty_stats() {
+        // A fresh (all-zero) snapshot must not divide by zero.
+        let empty = ArenaStats::default();
+        assert_eq!(empty.requests(), 0);
+        assert_eq!(empty.dedup_ratio(), 0.0);
+
+        // Same for a diff of identical snapshots — the common way to get
+        // an all-zero value in practice.
+        let now = arena_stats();
+        assert_eq!(now.since(&now).dedup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn dedup_ratio_counts_hits_over_requests() {
+        let s = ArenaStats {
+            pred_nodes: 2,
+            expr_nodes: 3,
+            pred_dedup_hits: 10,
+            expr_dedup_hits: 5,
+        };
+        assert_eq!(s.requests(), 20);
+        assert!((s.dedup_ratio() - 0.75).abs() < 1e-9);
+    }
+}

@@ -190,10 +190,17 @@ impl PackageDb {
     ///
     /// Returns [`UnknownPackageError`] if the package is not listed.
     pub fn package(&self, name: &str) -> Result<&PackageSpec, UnknownPackageError> {
-        self.packages.get(name).ok_or_else(|| UnknownPackageError {
-            name: name.to_string(),
-            platform: self.platform,
-        })
+        rehearsal_trace::counter_add("pkgdb.lookups", 1);
+        match self.packages.get(name) {
+            Some(spec) => Ok(spec),
+            None => {
+                rehearsal_trace::counter_add("pkgdb.misses", 1);
+                Err(UnknownPackageError {
+                    name: name.to_string(),
+                    platform: self.platform,
+                })
+            }
+        }
     }
 
     /// Whether the package is listed.

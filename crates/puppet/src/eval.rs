@@ -93,6 +93,7 @@ type CollectorSpec = (String, Query, Vec<(String, Value)>);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn evaluate(manifest: &Manifest, facts: &Facts) -> Result<Catalog, EvalError> {
+    let _span = rehearsal_trace::span_cat("eval", "puppet");
     let mut ev = Evaluator::new(facts);
     ev.collect_declarations(&manifest.statements);
     if let Err(e) = ev.exec_top_level(&manifest.statements) {
@@ -100,7 +101,9 @@ pub fn evaluate(manifest: &Manifest, facts: &Facts) -> Result<Catalog, EvalError
         return Err(e.with_span_if_missing(span));
     }
     let span = ev.current_span;
-    ev.finalize().map_err(|e| e.with_span_if_missing(span))
+    let catalog = ev.finalize().map_err(|e| e.with_span_if_missing(span))?;
+    rehearsal_trace::counter_add("eval.resources", catalog.len() as u64);
+    Ok(catalog)
 }
 
 #[derive(Debug, Clone)]

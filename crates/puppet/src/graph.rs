@@ -29,6 +29,7 @@ impl ResourceGraph {
     /// Returns [`CycleError`] naming the resources of one actual cycle in
     /// deterministic order, with each edge's declaration site.
     pub fn from_catalog(catalog: &Catalog) -> Result<ResourceGraph, CycleError> {
+        let _span = rehearsal_trace::span_cat("graph", "puppet");
         let resources = catalog.resources().to_vec();
         let edges: BTreeSet<(usize, usize)> = catalog
             .edges()

@@ -24,9 +24,11 @@ use crate::lexer::{lex, Spanned, StrPart, Token};
 /// # Ok::<(), rehearsal_puppet::ParseError>(())
 /// ```
 pub fn parse(text: &str) -> Result<Manifest, ParseError> {
+    let _span = rehearsal_trace::span_cat("parse", "puppet");
     let tokens = lex(text)?;
     let mut p = Parser { tokens, i: 0 };
     let statements = p.parse_statements_until_eof()?;
+    rehearsal_trace::counter_add("parse.statements", statements.len() as u64);
     Ok(Manifest { statements })
 }
 

@@ -157,6 +157,8 @@ impl<'a> CompileCtx<'a> {
 /// # Ok::<(), rehearsal_resources::CompileError>(())
 /// ```
 pub fn compile(resource: &CatalogResource, ctx: &CompileCtx<'_>) -> Result<Expr, CompileError> {
+    let _span = rehearsal_trace::span_cat("compile", "resources");
+    rehearsal_trace::counter_add("compile.resources", 1);
     // Anchor every error into the resource's declaration (or the precise
     // offending attribute) before it leaves the compiler.
     compile_inner(resource, ctx).map_err(|e| e.anchored(resource))

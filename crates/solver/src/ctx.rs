@@ -742,6 +742,8 @@ impl Ctx {
         deadline: Option<std::time::Instant>,
         interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     ) -> Result<Option<ModelView>, SolveTimeout> {
+        let _span = rehearsal_trace::span_cat("solve", "solver");
+        rehearsal_trace::counter_add("sat.queries", 1);
         let cnf = self.to_cnf(root);
         let mut solver = Solver::new();
         solver.set_deadline(deadline);
@@ -932,6 +934,8 @@ impl Ctx {
         deadline: Option<std::time::Instant>,
         interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     ) -> Result<Option<ModelView>, SolveTimeout> {
+        let _span = rehearsal_trace::span_cat("solve", "solver");
+        rehearsal_trace::counter_add("sat.queries_incremental", 1);
         self.ground_side_constraints();
         if self.is_false(root) || self.inc.unsat {
             return Ok(None);
@@ -962,6 +966,31 @@ impl Ctx {
     /// Grounding-reuse statistics for the incremental path.
     pub fn grounding_stats(&self) -> GroundingStats {
         self.inc.stats
+    }
+
+    /// Publishes the context's size, sharing, and search counters into the
+    /// current trace session's registry (no-op when tracing is inactive).
+    /// Called at phase boundaries — solving hot loops never touch the
+    /// registry directly.
+    pub fn publish_trace_metrics(&self) {
+        if !rehearsal_trace::is_active() {
+            return;
+        }
+        let s = self.stats();
+        rehearsal_trace::gauge_max("ctx.formula_nodes", s.formula_nodes as i64);
+        rehearsal_trace::gauge_max("ctx.term_nodes", s.term_nodes as i64);
+        rehearsal_trace::gauge_max(
+            "ctx.dedup_hits",
+            (s.formula_dedup_hits + s.term_dedup_hits) as i64,
+        );
+        let solver = self.solver_stats();
+        rehearsal_trace::counter_add("sat.conflicts", solver.conflicts);
+        rehearsal_trace::counter_add("sat.decisions", solver.decisions);
+        rehearsal_trace::counter_add("sat.propagations", solver.propagations);
+        let g = self.grounding_stats();
+        rehearsal_trace::counter_add("sat.grounded_nodes", g.grounded_nodes);
+        rehearsal_trace::counter_add("sat.grounded_clauses", g.grounded_clauses);
+        rehearsal_trace::counter_add("sat.grounding_reused", g.reused_nodes);
     }
 
     /// Evaluates a formula under a boolean assignment function (testing aid).
@@ -1083,6 +1112,29 @@ impl ModelView {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ratios_are_zero_on_empty_stats() {
+        // Both ratio helpers must survive all-zero denominators (a Ctx
+        // that never interned or grounded anything).
+        assert_eq!(CtxStats::default().dedup_ratio(), 0.0);
+        assert_eq!(GroundingStats::default().reuse_ratio(), 0.0);
+
+        let half = CtxStats {
+            formula_nodes: 3,
+            term_nodes: 1,
+            formula_dedup_hits: 2,
+            term_dedup_hits: 2,
+            ..CtxStats::default()
+        };
+        assert!((half.dedup_ratio() - 0.5).abs() < 1e-9);
+        let reuse = GroundingStats {
+            grounded_nodes: 1,
+            reused_nodes: 3,
+            grounded_clauses: 0,
+        };
+        assert!((reuse.reuse_ratio() - 0.75).abs() < 1e-9);
+    }
 
     #[test]
     fn constants() {

@@ -788,9 +788,13 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 conflicts += 1;
                 self.stats.conflicts += 1;
-                // Deadline/interrupt check with bounded overhead.
-                if conflicts & 0x3FF == 0 && self.should_stop() {
-                    return SearchResult::Restart;
+                // Deadline/interrupt check with bounded overhead; the same
+                // cadence bounds the sampled trace events.
+                if conflicts & 0x3FF == 0 {
+                    rehearsal_trace::event("sat.conflicts.1k", "solver");
+                    if self.should_stop() {
+                        return SearchResult::Restart;
+                    }
                 }
                 if self.decision_level() <= assumption_level {
                     return SearchResult::Unsat;

@@ -1,0 +1,345 @@
+//! Renderers: Chrome trace-event JSON, the `--timings` tree, Prometheus
+//! textfile export, and per-phase totals for the JSON schemas.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::session::{SpanRecord, TraceSnapshot, NO_PARENT};
+
+/// Aggregated wall time of one top-level phase, for `check --json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Phase (root span) name.
+    pub name: String,
+    /// Total wall time across all same-named root spans, µs.
+    pub total_us: u64,
+    /// Number of same-named root spans merged into this row.
+    pub count: u64,
+}
+
+impl TraceSnapshot {
+    /// Aggregates root spans by name, in first-appearance order — the
+    /// `phases` object of `rehearsal-check/5` and fleet rows.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            if s.parent != NO_PARENT {
+                continue;
+            }
+            if !totals.contains_key(s.name) {
+                order.push(s.name);
+            }
+            let e = totals.entry(s.name).or_insert((0, 0));
+            e.0 += s.dur_us;
+            e.1 += 1;
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let (total_us, count) = totals[name];
+                PhaseTotal {
+                    name: name.to_string(),
+                    total_us,
+                    count,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders Chrome trace-event JSON (the `--trace <file>` payload),
+    /// loadable in `chrome://tracing` and Perfetto. Spans become complete
+    /// (`"ph":"X"`) events, sampled events become instants (`"ph":"i"`),
+    /// and the metrics snapshot rides along under `"rehearsalMetrics"`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                json_str(s.name),
+                json_str(s.cat),
+                s.start_us,
+                s.dur_us,
+                s.tid
+            );
+        }
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\"}}",
+                json_str(e.name),
+                json_str(e.cat),
+                e.ts_us,
+                e.tid
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"rehearsalMetrics\":{");
+        let mut first = true;
+        for (k, v) in self.metrics.counters() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json_str(k), v);
+        }
+        for (k, v) in self.metrics.gauges() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json_str(k), v);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the human `--timings` tree. Same-named siblings merge into
+    /// one line with a `×count`; durations are right-aligned milliseconds.
+    pub fn render_tree(&self) -> String {
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &self.spans {
+            children.entry(s.parent).or_default().push(s);
+        }
+        let mut out = String::new();
+        render_level(&children, NO_PARENT, 0, &mut out);
+        if !self.events.is_empty() {
+            let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+            for e in &self.events {
+                *counts.entry(e.name).or_insert(0) += 1;
+            }
+            let _ = writeln!(out, "sampled events:");
+            for (name, n) in counts {
+                let _ = writeln!(out, "  {name} ×{n}");
+            }
+        }
+        out
+    }
+}
+
+/// Merges same-named siblings and renders one indentation level.
+fn render_level(
+    children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    parent: u64,
+    depth: usize,
+    out: &mut String,
+) {
+    let Some(kids) = children.get(&parent) else {
+        return;
+    };
+    // Merge same-named siblings, preserving first-appearance order.
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut merged: BTreeMap<&'static str, (u64, u64, Vec<u64>)> = BTreeMap::new();
+    for s in kids {
+        if !merged.contains_key(s.name) {
+            order.push(s.name);
+        }
+        let e = merged.entry(s.name).or_insert((0, 0, Vec::new()));
+        e.0 += s.dur_us;
+        e.1 += 1;
+        e.2.push(s.id);
+    }
+    for name in order {
+        let (total_us, count, ids) = &merged[name];
+        let indent = "  ".repeat(depth);
+        let label = if *count > 1 {
+            format!("{name} ×{count}")
+        } else {
+            name.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{indent}{label:<width$} {:>9.3} ms",
+            *total_us as f64 / 1000.0,
+            width = 28usize.saturating_sub(indent.len()),
+        );
+        for id in ids {
+            render_level(children, *id, depth + 1, out);
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the registry in the Prometheus text exposition format
+    /// (the `fleet --metrics <file>` payload; the seam a future
+    /// `rehearsal serve` will expose over HTTP). Metric names are
+    /// prefixed `rehearsal_` and dots become underscores.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE rehearsal_{n}_total counter");
+            let _ = writeln!(out, "rehearsal_{n}_total {v}");
+        }
+        for (name, v) in self.gauges() {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE rehearsal_{n} gauge");
+            let _ = writeln!(out, "rehearsal_{n} {v}");
+        }
+        for name in self.histogram_names().collect::<Vec<_>>() {
+            let h = self.histogram(name).expect("listed histogram exists");
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE rehearsal_{n} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                if *b == 0 {
+                    continue;
+                }
+                cumulative += b;
+                let le = if i == 0 { 1u64 } else { 1u64 << i };
+                let _ = writeln!(out, "rehearsal_{n}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "rehearsal_{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "rehearsal_{n}_sum {}", h.sum);
+            let _ = writeln!(out, "rehearsal_{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Rewrites a dotted metric name into a Prometheus-safe one: dots and
+/// dashes become underscores, anything else non-alphanumeric is dropped.
+pub fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '.' | '-' | ' ' => '_',
+            c if c.is_ascii_alphanumeric() || c == '_' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Escapes a string for JSON (the trace file is hand-rolled — the
+/// workspace is dependency-free by design).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use crate::span;
+
+    fn sample_session() -> TraceSnapshot {
+        let session = Session::new();
+        let _scope = session.install();
+        {
+            let _check = span("check");
+            {
+                let _parse = span("parse");
+            }
+            {
+                let _explore = span("explore");
+                crate::event("explore.frame", "core");
+            }
+        }
+        session.metrics().counter_add("arena.nodes", 10);
+        session.metrics().gauge_set("fleet.queue_depth_max", 3);
+        session.metrics().observe("sat.decisions", 100);
+        session.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let snap = sample_session();
+        let json = snap.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"explore\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"rehearsalMetrics\":{"));
+        assert!(json.contains("\"arena.nodes\":10"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn phase_totals_merge_roots_in_order() {
+        let session = Session::new();
+        let _scope = session.install();
+        {
+            let _a = span("parse");
+        }
+        {
+            let _b = span("explore");
+        }
+        {
+            let _c = span("parse");
+        }
+        let totals = session.snapshot().phase_totals();
+        let names: Vec<_> = totals.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["parse", "explore"]);
+        assert_eq!(totals[0].count, 2);
+        assert_eq!(totals[1].count, 1);
+    }
+
+    #[test]
+    fn tree_render_merges_and_indents() {
+        let snap = sample_session();
+        let tree = snap.render_tree();
+        assert!(tree.contains("check"));
+        assert!(tree.contains("  parse"));
+        assert!(tree.contains("  explore"));
+        assert!(tree.contains("sampled events:"));
+        assert!(tree.contains("explore.frame ×1"));
+    }
+
+    #[test]
+    fn prometheus_format() {
+        let snap = sample_session();
+        let text = snap.metrics.to_prometheus();
+        assert!(text.contains("# TYPE rehearsal_arena_nodes_total counter"));
+        assert!(text.contains("rehearsal_arena_nodes_total 10"));
+        assert!(text.contains("# TYPE rehearsal_fleet_queue_depth_max gauge"));
+        assert!(text.contains("rehearsal_fleet_queue_depth_max 3"));
+        assert!(text.contains("# TYPE rehearsal_sat_decisions histogram"));
+        assert!(text.contains("rehearsal_sat_decisions_bucket{le=\"128\"} 1"));
+        assert!(text.contains("rehearsal_sat_decisions_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("rehearsal_sat_decisions_sum 100"));
+        assert!(text.contains("rehearsal_sat_decisions_count 1"));
+    }
+
+    #[test]
+    fn sanitizer() {
+        assert_eq!(sanitize_metric_name("a.b-c d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("solve.final"), "solve_final");
+        assert_eq!(sanitize_metric_name("ok_name9"), "ok_name9");
+        assert_eq!(sanitize_metric_name("weird!ché"), "weird_ch_");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

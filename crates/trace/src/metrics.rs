@@ -1,0 +1,308 @@
+//! The typed metrics registry: counters, gauges, histograms.
+//!
+//! Names are dotted, lowercase, `layer.metric` (e.g. `arena.dedup_hits`,
+//! `explore.cache_hits`, `sat.conflicts`, `fleet.steals`) — the
+//! Prometheus exporter later rewrites dots to underscores. Hot loops do
+//! **not** hammer this registry per event; the pipeline's existing local
+//! stats structs are *published* into it at phase boundaries, so a locked
+//! `BTreeMap` is plenty fast and keeps snapshots deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Power-of-two histogram buckets: bucket `i` counts values in
+/// `(2^(i-1), 2^i]`, with bucket 0 counting zeros and ones.
+pub const HIST_BUCKETS: usize = 32;
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Hist {
+    fn observe(&mut self, value: u64) {
+        let idx = if value <= 1 {
+            0
+        } else {
+            ((64 - (value - 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+/// `entry()` without allocating when the key already exists (the steady
+/// state: every metric allocates its name exactly once per registry).
+fn bump(map: &mut BTreeMap<String, u64>, name: &str, delta: u64) {
+    if let Some(v) = map.get_mut(name) {
+        *v += delta;
+    } else {
+        map.insert(name.to_string(), delta);
+    }
+}
+
+/// A session-scoped metrics registry.
+///
+/// All mutation goes through one mutex; instrumentation sites publish at
+/// phase boundaries (not per hot-loop event), so contention is nil.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at 0 on first touch).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        bump(&mut inner.counters, name, delta);
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(v) = inner.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            inner.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Raises gauge `name` to `value` if higher (high-water mark).
+    pub fn gauge_max(&self, name: &str, value: i64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(v) = inner.gauges.get_mut(name) {
+            *v = (*v).max(value);
+        } else {
+            inner.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(h) = inner.hists.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Hist::default();
+            h.observe(value);
+            inner.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Folds a finished snapshot (e.g. from a completed per-job session)
+    /// into this registry, with [`MetricsSnapshot::merge`] semantics:
+    /// counters and histograms add, gauges keep the maximum.
+    pub fn merge_snapshot(&self, other: &MetricsSnapshot) {
+        let mut inner = self.inner.lock().unwrap();
+        for (k, v) in &other.counters {
+            bump(&mut inner.counters, k, *v);
+        }
+        for (k, v) in &other.gauges {
+            if let Some(slot) = inner.gauges.get_mut(k) {
+                *slot = (*slot).max(*v);
+            } else {
+                inner.gauges.insert(k.clone(), *v);
+            }
+        }
+        for (k, v) in &other.hists {
+            if let Some(h) = inner.hists.get_mut(k) {
+                h.merge(v);
+            } else {
+                inner.hists.insert(k.clone(), v.clone());
+            }
+        }
+    }
+
+    /// Takes an immutable, owned copy of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            hists: inner.hists.clone(),
+        }
+    }
+}
+
+/// A histogram's summary, as exposed by [`MetricsSnapshot::histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts; bucket `i` covers `(2^(i-1), 2^i]` (bucket 0:
+    /// values ≤ 1).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// An immutable copy of a [`Registry`], mergeable across sessions (the
+/// fleet aggregates per-job snapshots into one report-level view).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The value of gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The summary of histogram `name`, if it ever observed a value.
+    pub fn histogram(&self, name: &str) -> Option<HistSnapshot> {
+        self.hists.get(name).map(|h| HistSnapshot {
+            buckets: h.buckets.to_vec(),
+            count: h.count,
+            sum: h.sum,
+            max: h.max,
+        })
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histogram names, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.hists.keys().map(|k| k.as_str())
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters and histogram buckets add,
+    /// gauges keep the maximum (they are high-water marks across jobs).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(i64::MIN);
+            *slot = (*slot).max(*v);
+        }
+        for (k, v) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter_add("a.x", 1);
+        r.counter_add("a.x", 2);
+        r.counter_add("b.y", 5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.x"), Some(3));
+        assert_eq!(s.counter("b.y"), Some(5));
+        assert_eq!(s.counter("missing"), None);
+        let names: Vec<_> = s.counters().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, ["a.x", "b.y"]); // sorted
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let r = Registry::new();
+        r.gauge_set("q.depth", 3);
+        r.gauge_max("q.depth", 1); // lower, ignored
+        r.gauge_max("q.depth", 9);
+        r.gauge_max("fresh", -2); // max on untouched gauge
+        let s = r.snapshot();
+        assert_eq!(s.gauge("q.depth"), Some(9));
+        assert_eq!(s.gauge("fresh"), Some(-2));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let r = Registry::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            r.observe("h", v);
+        }
+        let h = r.snapshot().histogram("h").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 2); // 0, 1
+        assert_eq!(h.buckets[1], 1); // 2
+        assert_eq!(h.buckets[2], 2); // 3, 4
+        assert_eq!(h.buckets[10], 1); // 1000 ∈ (512, 1024]
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let a = Registry::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 4);
+        a.observe("h", 8);
+        let b = Registry::new();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", 2);
+        b.observe("h", 16);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("c"), Some(5));
+        assert_eq!(m.counter("only_b"), Some(1));
+        assert_eq!(m.gauge("g"), Some(4)); // max, not last
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 24);
+        assert_eq!(h.max, 16);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        assert!(Registry::new().snapshot().is_empty());
+        let r = Registry::new();
+        r.counter_add("x", 0);
+        assert!(!r.snapshot().is_empty());
+    }
+}

@@ -41,7 +41,7 @@ fn main() {
     assert_eq!(race.secondary.len(), 1, "the other declaration is cited");
 
     // 2. The same finding as the documented machine encoding (what
-    //    `--error-format json`, `check --json` schema rehearsal-check/4,
+    //    `--error-format json`, `check --json` schema rehearsal-check/5,
     //    and fleet rows carry).
     println!("\n== machine encoding ==");
     println!("{}", diagnostic_json(race).render_pretty());

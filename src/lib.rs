@@ -34,7 +34,9 @@
 //! * [`fs`] — the FS language and its concrete semantics;
 //! * [`pkgdb`] — package listings (the `apt-file`/`repoquery` substitute);
 //! * [`solver`] — CDCL SAT + finite-domain formulas (the Z3 substitute);
-//! * [`core`] — the determinacy/idempotency analyses.
+//! * [`core`] — the determinacy/idempotency analyses;
+//! * [`trace`] — phase-scoped tracing, the metrics registry, and profile
+//!   export (`--timings`, `--trace`, `--metrics`).
 
 #![warn(missing_docs)]
 
@@ -98,6 +100,12 @@ pub mod resources {
 /// The SAT/finite-domain solver (re-export of `rehearsal-solver`).
 pub mod solver {
     pub use rehearsal_solver::*;
+}
+
+/// Phase tracing, the metrics registry, and profile export (re-export of
+/// `rehearsal-trace`).
+pub mod trace {
+    pub use rehearsal_trace::*;
 }
 
 /// The reconstructed benchmark suite from the paper's evaluation (§6).

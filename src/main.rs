@@ -9,9 +9,10 @@
 //! ```
 
 use rehearsal::fleet::{
-    diagnostic_json, discover_manifests, github_annotations, read_manifest_list, FleetEngine,
-    FleetOptions, Json, VerdictCache,
+    diagnostic_json, discover_manifests, github_annotations, metrics_json, read_manifest_list,
+    FleetEngine, FleetOptions, Json, VerdictCache,
 };
+use rehearsal::trace::{Session, TraceSnapshot};
 use rehearsal::{
     AnalysisOptions, Diagnostic, Platform, Rehearsal, RenderOptions, Severity, SourceMap,
 };
@@ -51,6 +52,13 @@ OPTIONS:
     --no-pruning                 disable path pruning (fig. 11b)
     --no-elimination             disable resource elimination
 
+OBSERVABILITY:
+    --timings                    print the per-phase timing tree to stderr
+    --trace <FILE>               write a Chrome trace-event JSON profile
+                                 (load in chrome://tracing or Perfetto)
+    --metrics <FILE>             write the metrics registry in Prometheus
+                                 textfile format
+
 FLEET OPTIONS:
     --jobs <N>                   worker threads         [default: one per CPU]
     --cache <FILE>               JSONL verdict cache, reused across runs
@@ -84,6 +92,9 @@ struct Args {
     list: Option<String>,
     error_format: ErrorFormat,
     annotations: bool,
+    timings: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -99,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
     let mut list = None;
     let mut error_format = ErrorFormat::Human;
     let mut annotations = false;
+    let mut timings = false;
+    let mut trace = None;
+    let mut metrics = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--state" => {
@@ -133,6 +147,13 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--annotations" => annotations = true,
+            "--timings" => timings = true,
+            "--trace" => {
+                trace = Some(argv.next().ok_or("--trace needs a value")?);
+            }
+            "--metrics" => {
+                metrics = Some(argv.next().ok_or("--metrics needs a value")?);
+            }
             "--model-metadata" => options.model_metadata = true,
             "--model-latest" => options.model_latest = true,
             "--no-commutativity" => options.commutativity = false,
@@ -156,6 +177,9 @@ fn parse_args() -> Result<Args, String> {
         list,
         error_format,
         annotations,
+        timings,
+        trace,
+        metrics,
     })
 }
 
@@ -219,9 +243,11 @@ fn print_determinism(report: &rehearsal::DeterminismReport, graph: &rehearsal::F
     print!("{mark}{}", rehearsal::render_determinism(report, graph));
 }
 
-/// The `check --json` document (schema `rehearsal-check/4`), sharing the
+/// The `check --json` document (schema `rehearsal-check/5`), sharing the
 /// fleet serializer. `report` is `None` when the pipeline failed before a
-/// verdict; the error then lives in `diagnostics`.
+/// verdict; the error then lives in `diagnostics`. `obs` is the run's
+/// trace snapshot (always present under `--json`: the session is
+/// installed by `run`), feeding the `phases` and `metrics` objects.
 fn check_json(
     path: &str,
     platform: Platform,
@@ -229,6 +255,7 @@ fn check_json(
     report: Option<&rehearsal::DeterminismReport>,
     idempotence: Option<&rehearsal::IdempotenceReport>,
     diagnostics: &[Diagnostic],
+    obs: Option<&TraceSnapshot>,
 ) -> Json {
     let stats = report.map(|r| r.stats()).unwrap_or_default();
     let verdict = match report {
@@ -237,8 +264,9 @@ fn check_json(
         Some(_) if idempotence.is_some_and(|i| !i.is_idempotent()) => "nonidempotent",
         Some(_) => "deterministic",
     };
+    let phases = obs.map(TraceSnapshot::phase_totals).unwrap_or_default();
     Json::obj([
-        ("schema", Json::str("rehearsal-check/4")),
+        ("schema", Json::str("rehearsal-check/5")),
         ("manifest", Json::str(path)),
         ("platform", Json::str(platform.to_string())),
         ("model_metadata", Json::Bool(model_metadata)),
@@ -303,6 +331,22 @@ fn check_json(
                 ),
             ]),
         ),
+        (
+            "phases",
+            Json::Obj(
+                phases
+                    .iter()
+                    .map(|p| (p.name.clone(), Json::Num(p.total_us as f64 / 1000.0)))
+                    .collect(),
+            ),
+        ),
+        (
+            "metrics",
+            match obs {
+                Some(snap) => metrics_json(&snap.metrics),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -331,6 +375,9 @@ fn run_check(args: &Args) -> Result<bool, String> {
             Some(r) => (Some(&r.determinism), r.idempotence.as_ref()),
             None => (None, None),
         };
+        // The analysis is done, so every phase span has closed; the
+        // snapshot taken here is the run's complete profile.
+        let obs = rehearsal::trace::current().map(|s| s.snapshot());
         println!(
             "{}",
             check_json(
@@ -340,6 +387,7 @@ fn run_check(args: &Args) -> Result<bool, String> {
                 det,
                 idem,
                 &analysis.diagnostics,
+                obs.as_ref(),
             )
             .render_pretty()
         );
@@ -498,15 +546,45 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+
+    // One trace session covers the whole command when any observability
+    // surface wants it: `--timings`/`--trace`/`--metrics` explicitly, and
+    // `--json` because the check document embeds phases and metrics.
+    // Everywhere else tracing stays disabled (a single atomic load per
+    // instrumentation site).
+    let observing = args.timings || args.trace.is_some() || args.metrics.is_some() || args.json;
+    let session = observing.then(Session::new);
+    let _guard = session.as_ref().map(Session::install);
+
+    let result = dispatch(&args);
+
+    if let Some(session) = &session {
+        let snap = session.snapshot();
+        if args.timings {
+            eprint!("{}", snap.render_tree());
+        }
+        if let Some(path) = &args.trace {
+            std::fs::write(path, snap.to_chrome_trace())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &args.metrics {
+            std::fs::write(path, snap.metrics.to_prometheus())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<bool, String> {
     match args.command.as_str() {
-        "check" => run_check(&args),
+        "check" => run_check(args),
         "idempotence" => {
             let path = args.paths.first().cloned().unwrap_or_default();
-            let source = read_manifest(&args)?;
-            let tool = tool_for(&args);
+            let source = read_manifest(args)?;
+            let tool = tool_for(args);
             let report = tool
                 .check_idempotence(&source)
-                .map_err(|e| format_error(&args, &path, &source, &e))?;
+                .map_err(|e| format_error(args, &path, &source, &e))?;
             let mark = if report.is_idempotent() {
                 "✔ "
             } else {
@@ -517,11 +595,11 @@ fn run() -> Result<bool, String> {
         }
         "repair" => {
             let path = args.paths.first().cloned().unwrap_or_default();
-            let source = read_manifest(&args)?;
-            let tool = tool_for(&args);
+            let source = read_manifest(args)?;
+            let tool = tool_for(args);
             let graph = tool
                 .lower(&source)
-                .map_err(|e| format_error(&args, &path, &source, &e))?;
+                .map_err(|e| format_error(args, &path, &source, &e))?;
             match rehearsal::suggest_repair(&graph, &args.options).map_err(|e| e.to_string())? {
                 rehearsal::RepairReport::AlreadyDeterministic => {
                     println!("✔ already deterministic — nothing to repair");
@@ -546,11 +624,11 @@ fn run() -> Result<bool, String> {
         }
         "apply" => {
             let path = args.paths.first().cloned().unwrap_or_default();
-            let source = read_manifest(&args)?;
-            let tool = tool_for(&args);
+            let source = read_manifest(args)?;
+            let tool = tool_for(args);
             let graph = tool
                 .lower(&source)
-                .map_err(|e| format_error(&args, &path, &source, &e))?;
+                .map_err(|e| format_error(args, &path, &source, &e))?;
             // Warn loudly when simulating a nondeterministic manifest.
             let report =
                 rehearsal::check_determinism(&graph, &args.options).map_err(|e| e.to_string())?;
@@ -588,11 +666,11 @@ final machine state:"
         }
         "graph" => {
             let path = args.paths.first().cloned().unwrap_or_default();
-            let source = read_manifest(&args)?;
-            let tool = tool_for(&args);
+            let source = read_manifest(args)?;
+            let tool = tool_for(args);
             let graph = tool
                 .lower(&source)
-                .map_err(|e| format_error(&args, &path, &source, &e))?;
+                .map_err(|e| format_error(args, &path, &source, &e))?;
             println!("{} resources:", graph.names.len());
             for (i, name) in graph.names.iter().enumerate() {
                 println!("  [{i}] {name} ({} FS ops)", graph.exprs[i].size());
@@ -602,8 +680,8 @@ final machine state:"
             }
             Ok(true)
         }
-        "benchmarks" => run_benchmarks(&args),
-        "fleet" => run_fleet(&args),
+        "benchmarks" => run_benchmarks(args),
+        "fleet" => run_fleet(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(true)

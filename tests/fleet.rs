@@ -236,14 +236,14 @@ fn cli_check_json() {
     let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("rehearsal-check/4")
+        Some("rehearsal-check/5")
     );
     assert_eq!(
         doc.get("verdict").and_then(Json::as_str),
         Some("nondeterministic")
     );
     assert_eq!(doc.get("idempotent"), Some(&Json::Null));
-    // Schema 4: the race is also in the diagnostics array, source-anchored
+    // Schema 5: the race is also in the diagnostics array, source-anchored
     // and round-trippable through the documented encoding.
     let diags = doc
         .get("diagnostics")
@@ -373,7 +373,7 @@ fn cli_fleet_model_metadata_gate() {
     );
 }
 
-/// `check --json --model-metadata` reports schema 4 with the metadata
+/// `check --json --model-metadata` reports schema 5 with the metadata
 /// counters, and the counterexample replays as two succeeding orders.
 #[test]
 fn cli_check_json_metadata_schema() {
@@ -402,7 +402,7 @@ fn cli_check_json_metadata_schema() {
     let doc = parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("rehearsal-check/4")
+        Some("rehearsal-check/5")
     );
     assert_eq!(
         doc.get("model_metadata").and_then(Json::as_bool),
@@ -423,7 +423,7 @@ fn cli_check_json_metadata_schema() {
     );
 
     // Without the flag the same manifest is clean and reports zero
-    // metadata counters (the model is off, schema stays 4).
+    // metadata counters (the model is off, schema stays 5).
     let out = rehearsal()
         .args(["check", path.to_str().unwrap(), "--json"])
         .output()
