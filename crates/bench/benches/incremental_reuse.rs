@@ -1,0 +1,291 @@
+//! Differential verification: cold fleet vs. warm cache vs. baseline
+//! replay vs. a sliced single-resource edit.
+//!
+//! This is the acceptance benchmark for the incremental layer: it shows
+//! a formatting-only edit answered entirely from the baseline (100%
+//! replay), and a single attribute edit re-analyzed only inside its
+//! dirty cone with the clean pairs' commutativity verdicts reused. The
+//! verdicts of every scenario are compared row-by-row against the cold
+//! run — any drift panics, so reuse can only ever change wall time.
+
+use rehearsal::benchmarks::{METADATA_SUITE, SUITE};
+use rehearsal::fleet::{BaselineStore, FleetEngine, FleetJob, FleetOptions, FleetReport, Verdict};
+use rehearsal::Platform;
+use rehearsal_bench::harness::Criterion;
+use rehearsal_bench::{
+    criterion_group, criterion_main, write_incremental_json, IncrementalBenchRow,
+};
+use std::time::Instant;
+
+fn suite_jobs() -> Vec<FleetJob> {
+    SUITE
+        .iter()
+        .map(|b| FleetJob {
+            name: format!("{}.pp", b.name),
+            source: b.source.to_string(),
+            platform: Platform::Ubuntu,
+        })
+        .collect()
+}
+
+/// The suite with a semantics-preserving edit applied to every manifest:
+/// a leading comment and extra blank lines. Digests are structural, so
+/// every manifest must still replay from the baseline.
+fn formatted_jobs() -> Vec<FleetJob> {
+    suite_jobs()
+        .into_iter()
+        .map(|mut j| {
+            j.source = format!(
+                "# reflowed by tooling\n\n{}\n",
+                j.source.replace('\n', "\n\n")
+            );
+            j
+        })
+        .collect()
+}
+
+/// The suite with one real edit: the content of hosting.pp's index.html
+/// resource changes, dirtying only that resource's cone.
+fn edited_jobs() -> Vec<FleetJob> {
+    suite_jobs()
+        .into_iter()
+        .map(|mut j| {
+            if j.name == "hosting.pp" {
+                j.source = j.source.replace(
+                    "Welcome to example hosting",
+                    "Welcome to EXAMPLE hosting v2",
+                );
+                assert!(j.source.contains("EXAMPLE"), "edit must apply");
+            }
+            j
+        })
+        .collect()
+}
+
+fn metadata_jobs() -> Vec<FleetJob> {
+    METADATA_SUITE
+        .iter()
+        .map(|b| FleetJob {
+            name: format!("{}.pp", b.name),
+            source: b.source.to_string(),
+            platform: Platform::Ubuntu,
+        })
+        .collect()
+}
+
+/// Sums the per-row reuse accounting across a report.
+fn reuse_totals(report: &FleetReport) -> (u64, u64, u64) {
+    let mut totals = (0, 0, 0);
+    for row in &report.rows {
+        if let Some(r) = &row.reuse {
+            totals.0 += r.resources_clean as u64;
+            totals.1 += r.resources_dirty as u64;
+            totals.2 += r.pairs_reused;
+        }
+    }
+    totals
+}
+
+/// Panics unless the report's verdicts match the cold run row-by-row.
+/// `except` names manifests whose verdict may legitimately differ (none
+/// do in practice — edits here are verdict-preserving — but the message
+/// names the row either way).
+fn assert_verdicts_match(scenario: &str, cold: &FleetReport, report: &FleetReport) {
+    assert_eq!(
+        cold.rows.len(),
+        report.rows.len(),
+        "{scenario}: row count drifted"
+    );
+    for (a, b) in cold.rows.iter().zip(&report.rows) {
+        assert_eq!(
+            a.verdict, b.verdict,
+            "{scenario}: verdict drift on {} (cold {:?}, reused {:?})",
+            a.manifest, a.verdict, b.verdict
+        );
+    }
+}
+
+fn row(scenario: &str, wall_ms: f64, report: &FleetReport) -> IncrementalBenchRow {
+    let c = report.counts();
+    let (clean, dirty, pairs) = reuse_totals(report);
+    IncrementalBenchRow {
+        scenario: scenario.to_string(),
+        wall_ms,
+        manifests: report.rows.len(),
+        cached: c.cached,
+        deterministic: c.deterministic,
+        nondeterministic: c.nondeterministic,
+        resources_clean: clean,
+        resources_dirty: dirty,
+        pairs_reused: pairs,
+    }
+}
+
+fn print_table() {
+    println!("\n=== Differential verification: reuse across edits (13-benchmark suite) ===");
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>8} {:>8} {:>14}",
+        "scenario", "wall", "cached", "clean", "dirty", "pairs", "verdicts"
+    );
+    let mut rows = Vec::new();
+    let mut emit = |scenario: &str, wall_ms: f64, report: &FleetReport| {
+        let r = row(scenario, wall_ms, report);
+        println!(
+            "{:<16} {:>8.1}ms {:>8} {:>8} {:>8} {:>8} {:>14}",
+            r.scenario,
+            r.wall_ms,
+            r.cached,
+            r.resources_clean,
+            r.resources_dirty,
+            r.pairs_reused,
+            format!("{}det/{}nondet", r.deterministic, r.nondeterministic),
+        );
+        rows.push(r);
+    };
+
+    // Cold: full analysis, recording a baseline as it goes.
+    let mut cold_engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
+        .with_baseline(BaselineStore::in_memory());
+    let start = Instant::now();
+    let cold = cold_engine.run(suite_jobs());
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let c = cold.counts();
+    assert_eq!(
+        (c.deterministic, c.nondeterministic),
+        (7, 6),
+        "cold run must reproduce the paper's verdicts"
+    );
+    emit("cold", cold_ms, &cold);
+
+    // Warm cache: same engine, same sources — pure verdict-cache hits.
+    let start = Instant::now();
+    let warm = cold_engine.run(suite_jobs());
+    emit("warm-cache", start.elapsed().as_secs_f64() * 1e3, &warm);
+    assert_eq!(warm.counts().cached, 13, "warm run must be pure cache hits");
+    assert_verdicts_match("warm-cache", &cold, &warm);
+    let baseline = std::mem::take(cold_engine.baseline_mut().expect("baseline installed"));
+
+    // Formatting-only edit on a fresh engine: every manifest lowers to a
+    // digest-identical graph and replays from the baseline.
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+    let start = Instant::now();
+    let formatted = engine.run(formatted_jobs());
+    emit(
+        "format-edit",
+        start.elapsed().as_secs_f64() * 1e3,
+        &formatted,
+    );
+    assert_eq!(
+        formatted.counts().cached,
+        13,
+        "a formatting-only edit must be a 100% baseline hit"
+    );
+    assert_verdicts_match("format-edit", &cold, &formatted);
+    let baseline = std::mem::take(engine.baseline_mut().expect("baseline installed"));
+
+    // Single-attribute edit on a fresh engine: only hosting.pp's dirty
+    // cone is re-analyzed; everything else replays, and the clean pairs'
+    // commutativity verdicts are reused inside the re-analysis.
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+    let start = Instant::now();
+    let edited = engine.run(edited_jobs());
+    let edited_ms = start.elapsed().as_secs_f64() * 1e3;
+    emit("attr-edit", edited_ms, &edited);
+    assert_eq!(
+        edited.counts().cached,
+        12,
+        "all unedited manifests must replay from the baseline"
+    );
+    let hosting = edited
+        .rows
+        .iter()
+        .find(|r| r.manifest == "hosting.pp")
+        .expect("hosting row");
+    assert_eq!(hosting.verdict, Verdict::Deterministic);
+    let reuse = hosting
+        .reuse
+        .as_ref()
+        .expect("edited row carries reuse accounting");
+    assert!(
+        reuse.resources_dirty < hosting.resources,
+        "the edit must be sliced to its cone ({} dirty of {})",
+        reuse.resources_dirty,
+        hosting.resources
+    );
+    assert!(reuse.resources_clean > 0, "clean remainder must be reused");
+    let (_, _, fleet_pairs) = reuse_totals(&edited);
+    assert!(fleet_pairs > 0, "baseline pair verdicts must be reused");
+    assert_verdicts_match("attr-edit", &cold, &edited);
+    println!(
+        "  (attr-edit wall {:.1}ms vs cold {:.1}ms; hosting cone: {} dirty / {} clean, {} pairs reused)",
+        edited_ms, cold_ms, reuse.resources_dirty, reuse.resources_clean, reuse.pairs_reused
+    );
+
+    // Metadata suite: the same replay guarantee holds under
+    // --model-metadata (its own options fingerprint, its own baseline).
+    let mut options = FleetOptions::default().with_jobs(1);
+    options.analysis.model_metadata = true;
+    let mut engine = FleetEngine::new(options.clone()).with_baseline(BaselineStore::in_memory());
+    let start = Instant::now();
+    let meta_cold = engine.run(metadata_jobs());
+    emit(
+        "metadata-cold",
+        start.elapsed().as_secs_f64() * 1e3,
+        &meta_cold,
+    );
+    let c = meta_cold.counts();
+    assert_eq!(
+        (c.deterministic, c.nondeterministic),
+        (3, 3),
+        "metadata suite verdicts must hold under the baseline recorder"
+    );
+    let baseline = std::mem::take(engine.baseline_mut().expect("baseline installed"));
+    let mut engine = FleetEngine::new(options).with_baseline(baseline);
+    let start = Instant::now();
+    let meta_warm = engine.run(metadata_jobs());
+    emit(
+        "metadata-replay",
+        start.elapsed().as_secs_f64() * 1e3,
+        &meta_warm,
+    );
+    assert_eq!(meta_warm.counts().cached, 6, "metadata replay must be hits");
+    assert_verdicts_match("metadata-replay", &meta_cold, &meta_warm);
+
+    write_incremental_json("rehearsal-bench incremental_reuse", &rows);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("incremental_reuse");
+    group.sample_size(10);
+    group.bench_function("suite/cold", |b| {
+        b.iter(|| {
+            let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
+                .with_baseline(BaselineStore::in_memory());
+            engine.run(suite_jobs())
+        })
+    });
+    group.bench_function("suite/baseline-replay", |b| {
+        let mut seed = FleetEngine::new(FleetOptions::default().with_jobs(1))
+            .with_baseline(BaselineStore::in_memory());
+        seed.run(suite_jobs());
+        let baseline = std::mem::take(seed.baseline_mut().expect("baseline installed"));
+        let mut engine =
+            FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+        b.iter(|| engine.run(formatted_jobs()))
+    });
+    group.bench_function("suite/sliced-edit", |b| {
+        let mut seed = FleetEngine::new(FleetOptions::default().with_jobs(1))
+            .with_baseline(BaselineStore::in_memory());
+        seed.run(suite_jobs());
+        let baseline = std::mem::take(seed.baseline_mut().expect("baseline installed"));
+        let mut engine =
+            FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+        b.iter(|| engine.run(edited_jobs()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,9 +3,8 @@
 //! formulas, and decide determinism with one SAT query (Theorem 1).
 
 use crate::bitset::Bits;
-use crate::commutativity::{accesses, commutes, AccessSummary};
+use crate::commutativity::{accesses, AccessSummary};
 use crate::domain::Domain;
-use crate::elimination::surviving_nodes;
 use crate::encoder::{Encoder, StateKey, SymState};
 use crate::prune::prune_graph;
 use rehearsal_fs::{eval as concrete_eval, Expr, FileSystem};
@@ -512,7 +511,12 @@ struct Explorer<'a> {
 }
 
 impl<'a> Explorer<'a> {
-    fn new(graph: &'a FsGraph, options: &'a AnalysisOptions, deadline: Option<Instant>) -> Self {
+    fn new(
+        graph: &'a FsGraph,
+        options: &'a AnalysisOptions,
+        deadline: Option<Instant>,
+        oracle: Option<&crate::footprint::CommuteOracle>,
+    ) -> Self {
         let n = graph.exprs.len();
         let to_bits = |sets: Vec<BTreeSet<usize>>| -> Vec<Bits> {
             sets.iter()
@@ -539,7 +543,15 @@ impl<'a> Explorer<'a> {
             for i in 0..n {
                 for j in (i + 1)..n {
                     // `commutes` is symmetric (Lemma 4's conditions are).
-                    if commutes(&summaries[i], &summaries[j]) {
+                    // A baseline-seeded oracle short-circuits pairs whose
+                    // digests it has seen; answers are identical either way.
+                    if crate::footprint::commutes_with_oracle(
+                        oracle,
+                        graph.exprs[i],
+                        graph.exprs[j],
+                        &summaries[i],
+                        &summaries[j],
+                    ) {
                         masks[i].insert(j);
                         masks[j].insert(i);
                     }
@@ -769,6 +781,25 @@ pub fn check_determinism(
     graph: &FsGraph,
     options: &AnalysisOptions,
 ) -> Result<DeterminismReport, AnalysisAborted> {
+    check_determinism_with_oracle(graph, options, None)
+}
+
+/// [`check_determinism`] with an optional
+/// [`CommuteOracle`](crate::footprint::CommuteOracle) that
+/// short-circuits pairwise commutativity checks (both in elimination and
+/// in the explorer's partial-order-reduction mask) with digest-keyed
+/// results from a prior run. Because the oracle only memoizes a pure
+/// structural function, the verdict is bit-identical to an oracle-free
+/// run; only wall time and the oracle's reuse counters change.
+///
+/// # Errors
+///
+/// Returns [`AnalysisAborted`] on timeout or sequence explosion.
+pub fn check_determinism_with_oracle(
+    graph: &FsGraph,
+    options: &AnalysisOptions,
+    oracle: Option<&crate::footprint::CommuteOracle>,
+) -> Result<DeterminismReport, AnalysisAborted> {
     let deadline = options.timeout.map(|t| Instant::now() + t);
     let n = graph.exprs.len();
     let summaries: Vec<Arc<AccessSummary>> = graph.exprs.iter().map(|&e| accesses(e)).collect();
@@ -778,7 +809,13 @@ pub fn check_determinism(
     let alive: BTreeSet<usize> = {
         let _span = rehearsal_trace::span_cat("eliminate", "core");
         if options.elimination && options.commutativity {
-            surviving_nodes(&summaries, &graph.successors(), &graph.ancestor_sets())
+            crate::elimination::surviving_nodes_with(
+                &graph.exprs,
+                &summaries,
+                &graph.successors(),
+                &graph.ancestor_sets(),
+                oracle,
+            )
         } else {
             (0..n).collect()
         }
@@ -804,7 +841,7 @@ pub fn check_determinism(
         enc.mark_read_only(p);
     }
     let initial = enc.initial_state();
-    let mut explorer = Explorer::new(&pruned, options, deadline);
+    let mut explorer = Explorer::new(&pruned, options, deadline, oracle);
     let early = explorer.run(&mut enc, initial.clone())?;
     let outputs = explorer.outputs;
     drop(explore_span);
@@ -901,7 +938,7 @@ pub fn check_determinism(
                 if let Some(d) = deadline {
                     exact.timeout = Some(d.saturating_duration_since(Instant::now()));
                 }
-                return check_determinism(graph, &exact);
+                return check_determinism_with_oracle(graph, &exact, oracle);
             }
             let cex = Counterexample {
                 initial: init_fs,

@@ -1,0 +1,187 @@
+//! Seeded property tests for the differential-verification layer.
+//!
+//! Two claims carry the whole incremental design, so both are tested
+//! against the concrete semantics with seeded random programs:
+//!
+//! 1. **Disjoint footprints commute** — when two programs' footprint
+//!    summaries are disjoint, running `a; b` and `b; a` is equivalent on
+//!    every input (the summaries soundly overapproximate the programs'
+//!    effects).
+//! 2. **Oracle reuse never changes verdicts** — seeding a
+//!    [`CommuteOracle`] with pair verdicts exported from a previous run
+//!    (of the *unedited* graph) and re-analyzing an edited graph yields a
+//!    result bit-identical to a cold run of the same edited graph: same
+//!    verdict, same exploration statistics.
+
+use rehearsal_core::{
+    check_determinism, check_determinism_with_oracle, check_expr_equivalence, footprint,
+    AnalysisOptions, CommuteOracle, FsGraph,
+};
+use rehearsal_fs::{Content, Expr, FsPath, MetaField, Pred};
+use std::collections::BTreeSet;
+
+/// A tiny splitmix-style generator: deterministic, seed-printable, no
+/// dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let z = self.0 ^ (self.0 >> 31);
+        z.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const PATHS: &[&str] = &[
+    "/a",
+    "/a/x",
+    "/a/y",
+    "/b",
+    "/b/x",
+    "/etc",
+    "/etc/app.conf",
+    "/etc/motd",
+    "/srv",
+    "/srv/data",
+];
+
+const CONTENTS: &[&str] = &["alpha", "beta", "gamma"];
+
+fn path(rng: &mut Rng) -> FsPath {
+    FsPath::parse(PATHS[rng.pick(PATHS.len())]).unwrap()
+}
+
+fn content(rng: &mut Rng) -> Content {
+    Content::intern(CONTENTS[rng.pick(CONTENTS.len())])
+}
+
+/// One random primitive operation.
+fn op(rng: &mut Rng) -> Expr {
+    match rng.pick(6) {
+        0 => Expr::mkdir(path(rng)),
+        1 => Expr::create_file(path(rng), content(rng)),
+        2 => Expr::rm(path(rng)),
+        3 => Expr::chmeta(path(rng), MetaField::Mode, content(rng)),
+        4 => {
+            let p = path(rng);
+            Expr::if_(
+                Pred::is_dir(p),
+                Expr::create_file(path(rng), content(rng)),
+                Expr::SKIP,
+            )
+        }
+        _ => {
+            let p = path(rng);
+            Expr::if_(Pred::is_file(p), Expr::rm(p), Expr::mkdir(path(rng)))
+        }
+    }
+}
+
+/// A random resource program: one to three primitive ops in sequence.
+fn program(rng: &mut Rng) -> Expr {
+    let mut e = op(rng);
+    for _ in 0..rng.pick(3) {
+        e = e.seq(op(rng));
+    }
+    e
+}
+
+/// A random resource graph: `n` programs plus random forward edges.
+fn graph(rng: &mut Rng, n: usize) -> FsGraph {
+    let exprs: Vec<Expr> = (0..n).map(|_| program(rng)).collect();
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.pick(4) == 0 {
+                edges.insert((i, j));
+            }
+        }
+    }
+    let names = (0..n).map(|i| format!("r{i}")).collect();
+    FsGraph::new(exprs, edges, names)
+}
+
+#[test]
+fn disjoint_footprints_commute_concretely() {
+    let mut rng = Rng(0x5eed_0001);
+    let options = AnalysisOptions::default();
+    let mut checked = 0;
+    for _ in 0..300 {
+        let a = program(&mut rng);
+        let b = program(&mut rng);
+        if !footprint(a).disjoint(&footprint(b)) {
+            continue;
+        }
+        checked += 1;
+        let report = check_expr_equivalence(a.seq(b), b.seq(a), &options)
+            .expect("equivalence check must not abort");
+        assert!(
+            report.is_equivalent(),
+            "disjoint footprints must commute on every input:\n  a = {a:?}\n  b = {b:?}"
+        );
+    }
+    assert!(
+        checked >= 20,
+        "generator produced too few disjoint pairs ({checked})"
+    );
+}
+
+#[test]
+fn oracle_reuse_is_bit_identical_to_cold_runs() {
+    let mut rng = Rng(0x5eed_0002);
+    let options = AnalysisOptions::default();
+    for round in 0..30 {
+        let n = 3 + rng.pick(2);
+        let base = graph(&mut rng, n);
+
+        // Analyze the base graph with a recording oracle; its exported
+        // pairs play the role of a baseline file.
+        let recorder = CommuteOracle::new();
+        let with_recorder = check_determinism_with_oracle(&base, &options, Some(&recorder))
+            .expect("analysis must not abort");
+        let cold_base = check_determinism(&base, &options).expect("analysis must not abort");
+        assert_eq!(
+            with_recorder.is_deterministic(),
+            cold_base.is_deterministic(),
+            "round {round}: an empty oracle changed the base verdict"
+        );
+        assert_eq!(
+            with_recorder.stats(),
+            cold_base.stats(),
+            "round {round}: an empty oracle changed base exploration stats"
+        );
+
+        // Random edit: replace one resource's program.
+        let mut exprs = base.exprs.clone();
+        let victim = rng.pick(exprs.len());
+        exprs[victim] = program(&mut rng);
+        let names = (0..exprs.len()).map(|i| format!("r{i}")).collect();
+        let edited = FsGraph::new(exprs, base.edges.clone(), names);
+
+        // Re-analyze the edited graph cold and with the seeded oracle.
+        let cold = check_determinism(&edited, &options).expect("analysis must not abort");
+        let seeded = CommuteOracle::new();
+        for (a, b, bit) in recorder.export() {
+            seeded.seed(a, b, bit);
+        }
+        let warm = check_determinism_with_oracle(&edited, &options, Some(&seeded))
+            .expect("analysis must not abort");
+        assert_eq!(
+            warm.is_deterministic(),
+            cold.is_deterministic(),
+            "round {round}: oracle reuse flipped the verdict"
+        );
+        assert_eq!(
+            warm.stats(),
+            cold.stats(),
+            "round {round}: oracle reuse changed exploration stats"
+        );
+    }
+}

@@ -110,6 +110,7 @@ mod tests {
             cached: false,
             counters: AnalysisCounters::default(),
             diagnostics,
+            reuse: None,
         }
     }
 

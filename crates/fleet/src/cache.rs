@@ -1,9 +1,13 @@
 //! The content-addressed verdict cache.
 //!
-//! Each completed job is stored under
-//! `hash(source, platform, AnalysisOptions)`, so an unchanged manifest is
-//! answered instantly on re-runs while any edit — to the manifest, the
-//! target platform, or the analysis configuration — misses and re-runs.
+//! Analyzed jobs are stored under the *semantic* key
+//! `hash(graph_digest, platform, AnalysisOptions)` ([`graph_key`]), where
+//! the digest is the canonical structural digest of the lowered resource
+//! graph — so a rerun after a formatting, comment, or resource-reorder
+//! edit still hits warm, and renaming or moving a manifest file never
+//! misses (the key embeds no path). Only jobs that fail to *lower* fall
+//! back to the raw-source key ([`job_key`]): a formatting edit can change
+//! a parse error, so source text is exactly the right identity there.
 //! The on-disk format is JSONL (one entry per line), append-friendly and
 //! greppable; loads tolerate and skip corrupt lines so a torn write can
 //! never poison a CI gate.
@@ -51,6 +55,11 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// FNV-1a over one byte string from the standard offset basis.
+pub(crate) fn fnv1a_digest(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
 /// The cache schema version. Bump whenever the analyzer can produce a
 /// different verdict (or different verdict-bearing detail) for the same
 /// `(source, platform, options)` input — e.g. the version-2 bump when the
@@ -60,10 +69,14 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// bugfix (stage edges for late-declared members changed, which can flip
 /// verdicts of stage-using manifests), and the version-4 bump for the
 /// unified diagnostics API (entries now carry the job's source-anchored
-/// `diagnostics`, which older entries cannot supply). The version is both
-/// mixed into every key *and* stored per entry, so caches written by an
-/// older analyzer are read back as all-miss rather than served stale.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// `diagnostics`, which older entries cannot supply), and the version-5
+/// bump for semantic cache keys (analyzed jobs are keyed on the canonical
+/// digest of the lowered graph instead of raw source bytes, a different
+/// key space entirely — schema-4 source-keyed entries must read as
+/// misses). The version is both mixed into every key *and* stored per
+/// entry, so caches written by an older analyzer are read back as
+/// all-miss rather than served stale.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// Salt mixed into every key so a persisted cache cannot serve verdicts
 /// produced by a different analyzer version or cache schema: any release
@@ -78,12 +91,41 @@ fn key_salt() -> String {
     )
 }
 
-/// The cache key for one job: analyzer version, source text, platform,
-/// and every analysis option that can change the verdict.
+/// The source-text cache key for one job: analyzer version, source
+/// bytes, platform, and every analysis option that can change the
+/// verdict. Since schema 5 this keys only jobs that fail to lower (parse
+/// and evaluation errors are functions of the exact source text);
+/// analyzed verdicts use the semantic [`graph_key`].
 pub fn job_key(source: &str, platform: Platform, options: &AnalysisOptions) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, key_salt().as_bytes());
-    h = fnv1a(h, source.as_bytes());
-    h = fnv1a(h, platform.to_string().as_bytes());
+    let h = fnv1a(FNV_OFFSET, key_salt().as_bytes());
+    let h = fnv1a(h, b"source");
+    let h = fnv1a(h, source.as_bytes());
+    finish_key(h, platform, options)
+}
+
+/// The semantic cache key for one analyzed job: analyzer version, the
+/// canonical structural digest of the lowered resource graph
+/// (`rehearsal_core::footprint::graph_digest`), platform, and every
+/// analysis option that can change the verdict. Manifests that lower to
+/// the same graph — formatting, comments, resource reordering, or a file
+/// rename — share a key.
+pub fn graph_key(graph_digest: u64, platform: Platform, options: &AnalysisOptions) -> u64 {
+    let h = fnv1a(FNV_OFFSET, key_salt().as_bytes());
+    let h = fnv1a(h, b"graph");
+    let h = fnv1a(h, &graph_digest.to_le_bytes());
+    finish_key(h, platform, options)
+}
+
+/// A fingerprint of everything *except* the manifest content that can
+/// change a verdict: analyzer version, cache schema, platform, and
+/// analysis options. Baseline entries are scoped by it so a baseline
+/// recorded under one configuration is never consulted under another.
+pub(crate) fn options_fingerprint(platform: Platform, options: &AnalysisOptions) -> u64 {
+    finish_key(fnv1a(FNV_OFFSET, key_salt().as_bytes()), platform, options)
+}
+
+fn finish_key(state: u64, platform: Platform, options: &AnalysisOptions) -> u64 {
+    let mut h = fnv1a(state, platform.to_string().as_bytes());
     h = fnv1a(
         h,
         &[
@@ -257,6 +299,28 @@ mod tests {
         assert_ne!(base, job_key("file { '/x': }", Platform::Ubuntu, &other));
         let timed = opts().with_timeout(std::time::Duration::from_secs(60));
         assert_ne!(base, job_key("file { '/x': }", Platform::Ubuntu, &timed));
+    }
+
+    #[test]
+    fn graph_key_depends_on_digest_platform_and_options() {
+        let base = graph_key(0xfeed, Platform::Ubuntu, &opts());
+        assert_eq!(base, graph_key(0xfeed, Platform::Ubuntu, &opts()));
+        assert_ne!(base, graph_key(0xbeef, Platform::Ubuntu, &opts()));
+        assert_ne!(base, graph_key(0xfeed, Platform::Centos, &opts()));
+        let mut other = opts();
+        other.model_metadata = true;
+        assert_ne!(base, graph_key(0xfeed, Platform::Ubuntu, &other));
+    }
+
+    #[test]
+    fn graph_and_source_key_spaces_are_disjoint() {
+        // A lowering-error entry must never answer a semantic lookup
+        // (or vice versa), even on a contrived hash-input collision.
+        let digest = 0x736f_7572_6365u64; // "source" as bytes
+        assert_ne!(
+            graph_key(digest, Platform::Ubuntu, &opts()),
+            job_key("source", Platform::Ubuntu, &opts())
+        );
     }
 
     #[test]

@@ -1,15 +1,32 @@
-//! The batch-verification engine: per-job pipeline, cache consultation,
-//! and the parallel run loop.
+//! The batch-verification engine: per-job pipeline, semantic cache
+//! consultation, baseline-driven differential reuse, and the parallel
+//! run loop.
+//!
+//! Since cache schema 5 the engine lowers every readable job *serially*
+//! (lowering is microseconds; analysis is the expensive part) so it can
+//! key the verdict cache on the canonical digest of the lowered graph
+//! ([`graph_key`]) instead of raw source bytes. A formatting, comment,
+//! reorder, or rename edit therefore hits warm. When a [`BaselineStore`]
+//! is attached (`--baseline FILE`), a digest match replays the recorded
+//! verdict outright, and a *mismatch* computes the edit's dirty cone and
+//! seeds a [`CommuteOracle`] with the baseline's pair verdicts for the
+//! clean remainder — re-verification in time proportional to the diff,
+//! with verdicts bit-identical to a cold run by construction (the oracle
+//! only memoizes the pure structural `commutes` function).
 
-use crate::cache::{job_key, CachedVerdict, VerdictCache};
-use crate::report::{AnalysisCounters, FleetReport, JobResult, Verdict};
+use crate::baseline::{BaselineEntry, BaselineStore, ResourceSummary};
+use crate::cache::{graph_key, job_key, options_fingerprint, CachedVerdict, VerdictCache};
+use crate::report::{AnalysisCounters, FleetReport, JobResult, ReuseCounts, Verdict};
 use crate::scheduler::run_work_stealing_with_stats;
 use rehearsal_core::{
-    aborted_diagnostic, check_determinism, check_idempotence, idempotence_diagnostics,
-    race_diagnostic, AnalysisOptions, CancelToken, Rehearsal,
+    aborted_diagnostic, check_determinism_with_oracle, check_idempotence, dirty_cone, expr_digest,
+    footprint, graph_digest, idempotence_diagnostics, race_diagnostic, AnalysisOptions,
+    CancelToken, CommuteOracle, Footprint, FsGraph, Rehearsal,
 };
 use rehearsal_diag::Diagnostic;
+use rehearsal_fs::FsPath;
 use rehearsal_pkgdb::Platform;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::io;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -60,7 +77,9 @@ impl FleetOptions {
         self
     }
 
-    fn effective_workers(&self) -> usize {
+    /// The worker count a run will actually use: `jobs`, or one per
+    /// available CPU when `jobs` is `0` (the default).
+    pub fn effective_workers(&self) -> usize {
         if self.jobs > 0 {
             self.jobs
         } else {
@@ -71,19 +90,23 @@ impl FleetOptions {
     }
 }
 
-/// The batch engine: options plus a verdict cache.
+/// The batch engine: options, a verdict cache, and (optionally) a
+/// differential-verification baseline.
 #[derive(Debug, Default)]
 pub struct FleetEngine {
     options: FleetOptions,
     cache: VerdictCache,
+    baseline: Option<BaselineStore>,
 }
 
 impl FleetEngine {
-    /// An engine with an in-memory (non-persistent) cache.
+    /// An engine with an in-memory (non-persistent) cache and no
+    /// baseline.
     pub fn new(options: FleetOptions) -> FleetEngine {
         FleetEngine {
             options,
             cache: VerdictCache::in_memory(),
+            baseline: None,
         }
     }
 
@@ -94,9 +117,24 @@ impl FleetEngine {
         self
     }
 
+    /// Attaches a baseline store. Runs will consult it for differential
+    /// reuse and record fresh entries into it (save it afterwards to
+    /// persist them).
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: BaselineStore) -> FleetEngine {
+        self.baseline = Some(baseline);
+        self
+    }
+
     /// The engine's cache (save it after a run to persist verdicts).
     pub fn cache_mut(&mut self) -> &mut VerdictCache {
         &mut self.cache
+    }
+
+    /// The engine's baseline store, when one is attached (save it after
+    /// a run to persist recorded entries).
+    pub fn baseline_mut(&mut self) -> Option<&mut BaselineStore> {
+        self.baseline.as_mut()
     }
 
     /// Reads manifests from `paths` and runs every `(path, platform)`
@@ -122,7 +160,8 @@ impl FleetEngine {
         self.run_mixed(jobs)
     }
 
-    /// Runs a batch of jobs, consulting and feeding the verdict cache.
+    /// Runs a batch of jobs, consulting and feeding the verdict cache
+    /// (and the baseline, when one is attached).
     pub fn run(&mut self, jobs: Vec<FleetJob>) -> FleetReport {
         self.run_mixed(jobs.into_iter().map(Ok).collect())
     }
@@ -134,57 +173,182 @@ impl FleetEngine {
     ) -> FleetReport {
         let start = Instant::now();
         let workers = self.options.effective_workers();
+        let analysis = self.options.analysis.clone();
+        let cancel = self.options.cancel.clone();
+        let trace_jobs = rehearsal_trace::current().is_some();
 
-        // Resolve cache hits and pre-failed rows serially; queue the rest.
-        // Identical (source, platform, options) jobs dedupe onto one
-        // analysis whose result fans out to every requesting slot.
+        // Lower every readable job serially (microseconds each) so cache
+        // and baseline lookups can use the semantic graph key; resolve
+        // hits, replays, and pre-failed rows in place; queue the rest.
+        // Jobs that lower to the same graph under the same options dedupe
+        // onto one analysis whose result fans out to every slot.
         let mut rows: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
-        let mut pending: Vec<(u64, FleetJob, Instant)> = Vec::new();
-        let mut key_slots: std::collections::HashMap<u64, Vec<(usize, String, Platform)>> =
-            std::collections::HashMap::new();
+        let mut pending: Vec<PendingJob> = Vec::new();
+        let mut key_slots: HashMap<u64, Vec<(usize, String, Platform)>> = HashMap::new();
+        let mut serial_metrics = rehearsal_trace::MetricsSnapshot::default();
+        let mut graph_hits: u64 = 0;
+        let mut baseline_hits: u64 = 0;
         for (i, job) in jobs.into_iter().enumerate() {
-            match job {
-                Err((name, platform, msg)) => rows.push(Some(JobResult {
-                    manifest: name,
-                    platform,
-                    verdict: Verdict::Error,
-                    detail: msg,
-                    resources: 0,
+            let job = match job {
+                Err((name, platform, msg)) => {
+                    rows.push(Some(error_row(name, platform, msg, Vec::new())));
+                    continue;
+                }
+                Ok(job) => job,
+            };
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                let mut row = error_row(
+                    job.name,
+                    job.platform,
+                    "cancelled before start".to_string(),
+                    Vec::new(),
+                );
+                row.verdict = Verdict::Timeout;
+                rows.push(Some(row));
+                continue;
+            }
+            // Sources that previously failed to lower are cached under
+            // the raw-source key; check it before re-parsing.
+            let src_key = job_key(&job.source, job.platform, &analysis);
+            if let Some(hit) = self.cache.get(src_key) {
+                rows.push(Some(cached_row(job.name, job.platform, hit, None)));
+                continue;
+            }
+            let lower_start = Instant::now();
+            let mut lower_opts = analysis.clone();
+            if let Some(token) = &cancel {
+                lower_opts = lower_opts.with_cancel(token.clone());
+            }
+            let (lowered, lower_phases, lower_metrics) = traced(trace_jobs, || {
+                Rehearsal::new(job.platform)
+                    .with_options(lower_opts)
+                    .lower_source(&job.source)
+            });
+            let lower_ms = lower_start.elapsed().as_millis() as u64;
+            serial_metrics.merge(&lower_metrics);
+            let (graph, diagnostics) = match lowered {
+                Ok(ok) => ok,
+                Err(e) => {
+                    let mut row =
+                        error_row(job.name, job.platform, e.to_string(), e.into_diagnostics());
+                    row.millis = lower_ms;
+                    row.run_ms = lower_ms;
+                    row.phases = lower_phases;
+                    self.cache.put(src_key, verdict_of(&row));
+                    rows.push(Some(row));
+                    continue;
+                }
+            };
+
+            let digest = graph_digest(&graph);
+            let key = graph_key(digest, job.platform, &analysis);
+            let fp = options_fingerprint(job.platform, &analysis);
+            if let Some(hit) = self.cache.get(key) {
+                // Semantic cache hit: same lowered graph, platform, and
+                // options — formatting/comment/reorder/rename edits land
+                // here.
+                graph_hits += 1;
+                let reuse = ReuseCounts {
+                    resources_clean: hit.resources,
+                    resources_dirty: 0,
+                    pairs_reused: 0,
+                };
+                let mut row = cached_row(job.name.clone(), job.platform, hit, Some(reuse));
+                row.phases = lower_phases;
+                // Keep the baseline fresh for manifests it has never
+                // seen (pair verdicts are unknown on a pure cache hit,
+                // so never overwrite a richer recorded entry).
+                if let Some(store) = self.baseline.as_mut() {
+                    if store.get(&job.name, fp).is_none() {
+                        store.put(baseline_entry(
+                            &graph,
+                            &analysis,
+                            job.name.clone(),
+                            job.platform,
+                            fp,
+                            digest,
+                            Vec::new(),
+                            &hit.verdict,
+                            &hit.detail,
+                            &hit.diagnostics,
+                        ));
+                    }
+                }
+                rows.push(Some(row));
+                continue;
+            }
+            let replay = self.baseline.as_ref().and_then(|store| {
+                store
+                    .get(&job.name, fp)
+                    .filter(|e| e.graph_digest == digest)
+                    .or_else(|| store.find_by_digest(digest, fp))
+                    .cloned()
+            });
+            if let Some(entry) = replay {
+                // Baseline digest match: the manifest lowers to exactly
+                // the graph the baseline analyzed — replay its verdict
+                // with zero re-analysis.
+                baseline_hits += 1;
+                let n = graph.exprs.len();
+                let mut row = JobResult {
+                    manifest: job.name.clone(),
+                    platform: job.platform,
+                    verdict: entry.verdict.clone(),
+                    detail: entry.detail.clone(),
+                    resources: n,
                     millis: 0,
                     queue_ms: 0,
                     run_ms: 0,
-                    phases: Vec::new(),
-                    cached: false,
+                    phases: lower_phases,
+                    cached: true,
                     counters: AnalysisCounters::default(),
-                    diagnostics: Vec::new(),
-                })),
-                Ok(job) => {
-                    let key = job_key(&job.source, job.platform, &self.options.analysis);
-                    if let Some(hit) = self.cache.get(key) {
-                        rows.push(Some(JobResult {
-                            manifest: job.name,
-                            platform: job.platform,
-                            verdict: hit.verdict.clone(),
-                            detail: hit.detail.clone(),
-                            resources: hit.resources,
-                            millis: 0,
-                            queue_ms: 0,
-                            run_ms: 0,
-                            phases: Vec::new(),
-                            cached: true,
-                            counters: AnalysisCounters::default(),
-                            diagnostics: hit.diagnostics.clone(),
-                        }));
-                    } else {
-                        rows.push(None);
-                        let slots = key_slots.entry(key).or_default();
-                        if slots.is_empty() {
-                            pending.push((key, job.clone(), Instant::now()));
-                        }
-                        slots.push((i, job.name, job.platform));
+                    diagnostics: entry.diagnostics.clone(),
+                    reuse: Some(ReuseCounts {
+                        resources_clean: n,
+                        resources_dirty: 0,
+                        pairs_reused: entry.pairs.len() as u64,
+                    }),
+                };
+                row.resources = n;
+                self.cache.put(key, verdict_of(&row));
+                if entry.manifest != job.name {
+                    // A renamed (or moved) manifest found by digest:
+                    // re-key the entry so the next lookup is direct.
+                    let mut renamed = entry;
+                    renamed.manifest = job.name.clone();
+                    if let Some(store) = self.baseline.as_mut() {
+                        store.put(renamed);
                     }
                 }
+                rows.push(Some(row));
+                continue;
             }
+
+            rows.push(None);
+            let slots = key_slots.entry(key).or_default();
+            if slots.is_empty() {
+                // A baseline *name* match with a different digest is an
+                // edit: slice it. No baseline entry at all still gets a
+                // plan (an empty oracle) so the run records pairs for
+                // the next baseline.
+                let plan = self
+                    .baseline
+                    .as_ref()
+                    .map(|store| build_reuse_plan(store.get(&job.name, fp), &graph));
+                pending.push(PendingJob {
+                    key,
+                    name: job.name.clone(),
+                    platform: job.platform,
+                    graph,
+                    diagnostics,
+                    graph_digest: digest,
+                    options_fp: fp,
+                    plan,
+                    lower_phases,
+                    enqueued: Instant::now(),
+                });
+            }
+            slots.push((i, job.name, job.platform));
         }
 
         // Analyze the misses in parallel. When the caller has a trace
@@ -192,63 +356,89 @@ impl FleetEngine {
         // thread-locally on the worker, so concurrent jobs never
         // interleave), and the per-job snapshots are folded back into the
         // caller's registry afterwards.
-        let analysis = self.options.analysis.clone();
-        let cancel = self.options.cancel.clone();
-        let trace_jobs = rehearsal_trace::current().is_some();
-        let (outcomes, sched) =
-            run_work_stealing_with_stats(pending, workers, |_, (key, job, enqueued)| {
-                let queue_ms = enqueued.elapsed().as_millis() as u64;
-                let session = trace_jobs.then(rehearsal_trace::Session::new);
-                let guard = session.as_ref().map(rehearsal_trace::Session::install);
-                let job_start = Instant::now();
-                let outcome = analyze(&job, &analysis, cancel.as_ref());
-                let run_ms = job_start.elapsed().as_millis() as u64;
-                drop(guard);
-                let (phases, metrics) = match session {
-                    Some(s) => {
-                        let snap = s.snapshot();
-                        let phases = snap
-                            .phase_totals()
-                            .into_iter()
-                            .map(|p| (p.name, p.total_us))
-                            .collect();
-                        (phases, snap.metrics)
-                    }
-                    None => (Vec::new(), rehearsal_trace::MetricsSnapshot::default()),
-                };
-                (
-                    key,
-                    JobResult {
-                        manifest: job.name,
-                        platform: job.platform,
-                        verdict: outcome.verdict,
-                        detail: outcome.detail,
-                        resources: outcome.resources,
-                        millis: run_ms,
-                        queue_ms,
-                        run_ms,
-                        phases,
-                        cached: false,
-                        counters: outcome.counters,
-                        diagnostics: outcome.diagnostics,
-                    },
-                    metrics,
+        let (outcomes, sched) = run_work_stealing_with_stats(pending, workers, |_, pj| {
+            let PendingJob {
+                key,
+                name,
+                platform,
+                graph,
+                diagnostics,
+                graph_digest,
+                options_fp,
+                plan,
+                lower_phases,
+                enqueued,
+            } = pj;
+            let queue_ms = enqueued.elapsed().as_millis() as u64;
+            let job_start = Instant::now();
+            let (outcome, phases, metrics) = traced(trace_jobs, || {
+                analyze_lowered(
+                    &graph,
+                    diagnostics,
+                    &analysis,
+                    cancel.as_ref(),
+                    plan.as_ref().map(|p| &p.oracle),
                 )
             });
-
-        let mut metrics = rehearsal_trace::MetricsSnapshot::default();
-        for (key, row, job_metrics) in outcomes {
-            metrics.merge(&job_metrics);
-            self.cache.put(
+            let run_ms = job_start.elapsed().as_millis() as u64;
+            let mut all_phases = lower_phases;
+            all_phases.extend(phases);
+            let reuse = plan.as_ref().map(|p| ReuseCounts {
+                resources_clean: p.resources_clean,
+                resources_dirty: p.resources_dirty,
+                pairs_reused: p.oracle.pairs_reused(),
+            });
+            // Timeouts are not recorded: a later healthy run must not
+            // replay an aborted verdict.
+            let update = plan
+                .filter(|_| !matches!(outcome.verdict, Verdict::Timeout))
+                .map(|p| {
+                    baseline_entry(
+                        &graph,
+                        &analysis,
+                        String::new(), // filled in per fan-out slot
+                        platform,
+                        options_fp,
+                        graph_digest,
+                        p.oracle.export(),
+                        &outcome.verdict,
+                        &outcome.detail,
+                        &outcome.diagnostics,
+                    )
+                });
+            (
                 key,
-                CachedVerdict {
-                    verdict: row.verdict.clone(),
-                    detail: row.detail.clone(),
-                    resources: row.resources,
-                    diagnostics: row.diagnostics.clone(),
+                JobResult {
+                    manifest: name,
+                    platform,
+                    verdict: outcome.verdict,
+                    detail: outcome.detail,
+                    resources: outcome.resources,
+                    millis: run_ms,
+                    queue_ms,
+                    run_ms,
+                    phases: all_phases,
+                    cached: false,
+                    counters: outcome.counters,
+                    diagnostics: outcome.diagnostics,
+                    reuse,
                 },
-            );
+                metrics,
+                update,
+            )
+        });
+
+        let mut metrics = serial_metrics;
+        for (key, row, job_metrics, update) in outcomes {
+            metrics.merge(&job_metrics);
+            self.cache.put(key, verdict_of(&row));
             for (slot, name, platform) in key_slots.remove(&key).expect("pending key has slots") {
+                if let (Some(store), Some(template)) = (self.baseline.as_mut(), update.as_ref()) {
+                    let mut entry = template.clone();
+                    entry.manifest = name.clone();
+                    entry.platform = platform;
+                    store.put(entry);
+                }
                 rows[slot] = Some(JobResult {
                     manifest: name,
                     platform,
@@ -272,6 +462,19 @@ impl FleetEngine {
             fleet_reg.observe("fleet.job_queue_ms", row.queue_ms);
             fleet_reg.observe("fleet.job_run_ms", row.run_ms);
         }
+        // The differential-verification scorecard: how much of this run
+        // was answered without re-analysis.
+        let (mut clean, mut dirty, mut pairs) = (0u64, 0u64, 0u64);
+        for reuse in rows.iter().filter_map(|r| r.reuse) {
+            clean += reuse.resources_clean as u64;
+            dirty += reuse.resources_dirty as u64;
+            pairs += reuse.pairs_reused;
+        }
+        fleet_reg.counter_add("incremental.graph_hits", graph_hits);
+        fleet_reg.counter_add("incremental.baseline_hits", baseline_hits);
+        fleet_reg.counter_add("incremental.resources_clean", clean);
+        fleet_reg.counter_add("incremental.resources_dirty", dirty);
+        fleet_reg.counter_add("incremental.pairs_reused", pairs);
         let mut fleet_metrics = fleet_reg.snapshot();
         fleet_metrics.merge(&metrics);
         // Make the run visible to the caller's own session too (e.g. the
@@ -289,6 +492,251 @@ impl FleetEngine {
             metrics: fleet_metrics,
         }
     }
+}
+
+/// A lowered job queued for parallel analysis.
+struct PendingJob {
+    key: u64,
+    name: String,
+    platform: Platform,
+    graph: FsGraph,
+    diagnostics: Vec<Diagnostic>,
+    graph_digest: u64,
+    options_fp: u64,
+    plan: Option<ReusePlan>,
+    lower_phases: Vec<(String, u64)>,
+    enqueued: Instant,
+}
+
+/// The differential plan for one edited manifest: which resources are
+/// clean vs dirty, and the oracle seeded with the baseline's pair
+/// verdicts for the clean remainder.
+struct ReusePlan {
+    oracle: CommuteOracle,
+    resources_clean: usize,
+    resources_dirty: usize,
+}
+
+/// Runs `f` under a fresh per-job trace session (when tracing is on) and
+/// returns its result plus the session's phase totals and metrics.
+fn traced<R>(
+    trace_jobs: bool,
+    f: impl FnOnce() -> R,
+) -> (R, Vec<(String, u64)>, rehearsal_trace::MetricsSnapshot) {
+    let session = trace_jobs.then(rehearsal_trace::Session::new);
+    let guard = session.as_ref().map(rehearsal_trace::Session::install);
+    let out = f();
+    drop(guard);
+    match session {
+        Some(s) => {
+            let snap = s.snapshot();
+            let phases = snap
+                .phase_totals()
+                .into_iter()
+                .map(|p| (p.name, p.total_us))
+                .collect();
+            (out, phases, snap.metrics)
+        }
+        None => (out, Vec::new(), rehearsal_trace::MetricsSnapshot::default()),
+    }
+}
+
+fn error_row(
+    manifest: String,
+    platform: Platform,
+    detail: String,
+    diagnostics: Vec<Diagnostic>,
+) -> JobResult {
+    JobResult {
+        manifest,
+        platform,
+        verdict: Verdict::Error,
+        detail,
+        resources: 0,
+        millis: 0,
+        queue_ms: 0,
+        run_ms: 0,
+        phases: Vec::new(),
+        cached: false,
+        counters: AnalysisCounters::default(),
+        diagnostics,
+        reuse: None,
+    }
+}
+
+fn cached_row(
+    manifest: String,
+    platform: Platform,
+    hit: &CachedVerdict,
+    reuse: Option<ReuseCounts>,
+) -> JobResult {
+    JobResult {
+        manifest,
+        platform,
+        verdict: hit.verdict.clone(),
+        detail: hit.detail.clone(),
+        resources: hit.resources,
+        millis: 0,
+        queue_ms: 0,
+        run_ms: 0,
+        phases: Vec::new(),
+        cached: true,
+        counters: AnalysisCounters::default(),
+        diagnostics: hit.diagnostics.clone(),
+        reuse,
+    }
+}
+
+fn verdict_of(row: &JobResult) -> CachedVerdict {
+    CachedVerdict {
+        verdict: row.verdict.clone(),
+        detail: row.detail.clone(),
+        resources: row.resources,
+        diagnostics: row.diagnostics.clone(),
+    }
+}
+
+/// Builds the baseline entry for an analyzed graph: per-resource
+/// footprint summaries, edges, pair verdicts, and (when pruning is on)
+/// the pruning decisions — everything a later differential run consults.
+#[allow(clippy::too_many_arguments)]
+fn baseline_entry(
+    graph: &FsGraph,
+    analysis: &AnalysisOptions,
+    manifest: String,
+    platform: Platform,
+    options_fp: u64,
+    graph_digest: u64,
+    pairs: Vec<(u64, u64, bool)>,
+    verdict: &Verdict,
+    detail: &str,
+    diagnostics: &[Diagnostic],
+) -> BaselineEntry {
+    fn strings(paths: &BTreeSet<FsPath>) -> Vec<String> {
+        paths.iter().map(|p| p.to_string()).collect()
+    }
+    let resources = graph
+        .exprs
+        .iter()
+        .map(|&e| {
+            let f = footprint(e);
+            ResourceSummary {
+                digest: f.digest,
+                reads: strings(&f.reads),
+                writes: strings(&f.writes),
+                ensured: strings(&f.ensured),
+                meta: strings(&f.meta),
+                observed: strings(&f.observed_dirs),
+            }
+        })
+        .collect();
+    // Pruning decisions are recorded for inspection but *revalidated*
+    // (recomputed — it is linear-time) on replay, never trusted.
+    let pruned = if analysis.pruning {
+        rehearsal_core::prune::prune_graph(graph)
+            .1
+            .iter()
+            .map(|p| p.to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    BaselineEntry {
+        manifest,
+        platform,
+        options: options_fp,
+        graph_digest,
+        resources,
+        edges: graph.edges.iter().copied().collect(),
+        pairs,
+        pruned,
+        verdict: verdict.clone(),
+        detail: detail.to_string(),
+        diagnostics: diagnostics.to_vec(),
+    }
+}
+
+/// Computes the differential plan for an edited manifest against its
+/// baseline entry (or a cold plan when there is none): multiset-match
+/// resource digests to find the edit's seeds and removals, take the
+/// [`dirty_cone`], and seed the oracle with baseline pair verdicts whose
+/// endpoints are both clean. Any ambiguity (an unparseable persisted
+/// footprint) falls back to a fully dirty graph — everything re-analyzed
+/// fresh, which is always sound.
+fn build_reuse_plan(entry: Option<&BaselineEntry>, graph: &FsGraph) -> ReusePlan {
+    let n = graph.exprs.len();
+    let cold = || ReusePlan {
+        oracle: CommuteOracle::new(),
+        resources_clean: 0,
+        resources_dirty: n,
+    };
+    let Some(entry) = entry else {
+        return cold();
+    };
+    let digests: Vec<u64> = graph.exprs.iter().map(|&e| expr_digest(e)).collect();
+    // Multiset-match current resources against the baseline's summaries;
+    // unmatched current resources are the edit's seeds.
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for r in &entry.resources {
+        *counts.entry(r.digest).or_insert(0) += 1;
+    }
+    let mut seed: BTreeSet<usize> = BTreeSet::new();
+    for (i, d) in digests.iter().enumerate() {
+        match counts.get_mut(d) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => {
+                seed.insert(i);
+            }
+        }
+    }
+    // Summaries left unmatched describe resources the edit removed;
+    // their serialized footprints dirty whatever they may overlap.
+    let mut removed: Vec<Footprint> = Vec::new();
+    for r in &entry.resources {
+        let Some(c) = counts.get_mut(&r.digest) else {
+            continue;
+        };
+        if *c == 0 {
+            continue;
+        }
+        *c -= 1;
+        match parse_summary(r) {
+            Some(f) => removed.push(f),
+            None => return cold(),
+        }
+    }
+    let cone = dirty_cone(graph, &seed, &removed);
+    let oracle = CommuteOracle::new();
+    let clean: HashSet<u64> = (0..n)
+        .filter(|i| !cone.contains(i))
+        .map(|i| digests[i])
+        .collect();
+    for &(a, b, bit) in &entry.pairs {
+        if clean.contains(&a) && clean.contains(&b) {
+            oracle.seed(a, b, bit);
+        }
+    }
+    ReusePlan {
+        oracle,
+        resources_clean: n - cone.len(),
+        resources_dirty: cone.len(),
+    }
+}
+
+/// Reparses a persisted footprint summary; `None` means ambiguity (the
+/// caller falls back to a fully dirty graph).
+fn parse_summary(r: &ResourceSummary) -> Option<Footprint> {
+    fn set(paths: &[String]) -> Option<BTreeSet<FsPath>> {
+        paths.iter().map(|s| FsPath::parse(s).ok()).collect()
+    }
+    Some(Footprint {
+        digest: r.digest,
+        reads: set(&r.reads)?,
+        writes: set(&r.writes)?,
+        ensured: set(&r.ensured)?,
+        meta: set(&r.meta)?,
+        observed_dirs: set(&r.observed)?,
+    })
 }
 
 /// What one job's analysis produced.
@@ -314,11 +762,15 @@ impl AnalyzeOutcome {
     }
 }
 
-/// Runs the full determinism + idempotence pipeline for one job.
-fn analyze(
-    job: &FleetJob,
+/// Runs the determinism + idempotence pipeline on an already-lowered
+/// graph, routing pairwise commutativity through `oracle` when one is
+/// supplied.
+fn analyze_lowered(
+    graph: &FsGraph,
+    mut diagnostics: Vec<Diagnostic>,
     analysis: &AnalysisOptions,
     cancel: Option<&CancelToken>,
+    oracle: Option<&CommuteOracle>,
 ) -> AnalyzeOutcome {
     if cancel.is_some_and(CancelToken::is_cancelled) {
         return AnalyzeOutcome::new(Verdict::Timeout, "cancelled before start");
@@ -328,18 +780,9 @@ fn analyze(
         options = options.with_cancel(token.clone());
     }
     let started = Instant::now();
-    let tool = Rehearsal::new(job.platform).with_options(options.clone());
-    let (graph, mut diagnostics) = match tool.lower_source(&job.source) {
-        Ok(ok) => ok,
-        Err(e) => {
-            let mut out = AnalyzeOutcome::new(Verdict::Error, e.to_string());
-            out.diagnostics = e.into_diagnostics();
-            return out;
-        }
-    };
     let resources = graph.exprs.len();
 
-    let determinism = match check_determinism(&graph, &options) {
+    let determinism = match check_determinism_with_oracle(graph, &options, oracle) {
         Ok(report) => report,
         Err(aborted) => {
             let mut out = AnalyzeOutcome::new(Verdict::Timeout, aborted.reason.clone());
@@ -355,7 +798,7 @@ fn analyze(
             outcome_word(cex.outcome_a.is_ok()),
             outcome_word(cex.outcome_b.is_ok()),
         );
-        diagnostics.push(race_diagnostic(cex, &graph));
+        diagnostics.push(race_diagnostic(cex, graph));
         return AnalyzeOutcome {
             verdict: Verdict::Nondeterministic,
             detail,
@@ -369,7 +812,7 @@ fn analyze(
     if let Some(total) = options.timeout {
         options.timeout = Some(total.saturating_sub(started.elapsed()));
     }
-    match check_idempotence(&graph, &options) {
+    match check_idempotence(graph, &options) {
         Ok(report) if report.is_idempotent() => AnalyzeOutcome {
             verdict: Verdict::Deterministic,
             detail: String::new(),
@@ -378,7 +821,7 @@ fn analyze(
             diagnostics,
         },
         Ok(report) => {
-            diagnostics.extend(idempotence_diagnostics(&report, &graph));
+            diagnostics.extend(idempotence_diagnostics(&report, graph));
             AnalyzeOutcome {
                 verdict: Verdict::Nonidempotent,
                 detail: "applying twice differs from applying once".to_string(),
@@ -506,6 +949,44 @@ mod tests {
     }
 
     #[test]
+    fn formatting_edit_hits_the_semantic_cache() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        engine.run(vec![job("a.pp", "file { '/etc/motd': content => 'a' }")]);
+        // Same resources, different whitespace, a comment, and reordered
+        // declarations — the lowered graph (and hence the key) is equal.
+        let report = engine.run(vec![job(
+            "a.pp",
+            "# motd\nfile { '/etc/motd':\n  content => 'a',\n}",
+        )]);
+        assert_eq!(report.counts().cached, 1);
+        assert_eq!(
+            report.rows[0].reuse,
+            Some(ReuseCounts {
+                resources_clean: 1,
+                resources_dirty: 0,
+                pairs_reused: 0
+            })
+        );
+    }
+
+    #[test]
+    fn renamed_manifest_hits_the_semantic_cache() {
+        // The regression for path-sensitive cache keys: the key embeds no
+        // manifest name or path, so a rename/move is a hit.
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        engine.run(vec![job(
+            "modules/motd/init.pp",
+            "file { '/etc/motd': content => 'a' }",
+        )]);
+        let report = engine.run(vec![job(
+            "site/motd.pp",
+            "file { '/etc/motd': content => 'a' }",
+        )]);
+        assert_eq!(report.counts().cached, 1);
+        assert_eq!(report.rows[0].manifest, "site/motd.pp");
+    }
+
+    #[test]
     fn cancelled_token_times_jobs_out() {
         let token = CancelToken::new();
         token.cancel();
@@ -525,5 +1006,84 @@ mod tests {
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.rows[0].verdict, Verdict::Error);
         assert!(report.rows[0].detail.contains("cannot read"));
+    }
+
+    const TWO_DISJOINT: &str = "file { '/etc/motd': content => 'a' }\n\
+                                file { '/srv/app.conf': content => 'b' }\n\
+                                file { '/var/banner': content => 'c' }";
+
+    #[test]
+    fn baseline_cold_run_records_entries() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
+            .with_baseline(BaselineStore::in_memory());
+        let report = engine.run(vec![job("trio.pp", TWO_DISJOINT)]);
+        assert_eq!(report.rows[0].verdict, Verdict::Deterministic);
+        // A cold run with a baseline attached reports everything dirty…
+        assert_eq!(
+            report.rows[0].reuse,
+            Some(ReuseCounts {
+                resources_clean: 0,
+                resources_dirty: 3,
+                pairs_reused: 0
+            })
+        );
+        // …and records an entry with footprints and pair verdicts.
+        let store = engine.baseline_mut().unwrap();
+        assert_eq!(store.len(), 1);
+        let entry = store
+            .find_by_digest(
+                {
+                    let (graph, _) = Rehearsal::new(Platform::Ubuntu)
+                        .lower_source(TWO_DISJOINT)
+                        .unwrap();
+                    graph_digest(&graph)
+                },
+                options_fingerprint(Platform::Ubuntu, &AnalysisOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(entry.manifest, "trio.pp");
+        assert_eq!(entry.resources.len(), 3);
+        assert!(!entry.pairs.is_empty(), "pair verdicts are recorded");
+    }
+
+    #[test]
+    fn baseline_replays_unedited_manifest_without_analysis() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
+            .with_baseline(BaselineStore::in_memory());
+        let first = engine.run(vec![job("trio.pp", TWO_DISJOINT)]);
+        // Drop the verdict cache but keep the baseline: the digest match
+        // replays the verdict (the second run is "another process").
+        let baseline = std::mem::take(engine.baseline_mut().unwrap());
+        let mut engine2 =
+            FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+        let second = engine2.run(vec![job("trio.pp", TWO_DISJOINT)]);
+        assert_eq!(second.rows[0].verdict, first.rows[0].verdict);
+        assert!(second.rows[0].cached);
+        let reuse = second.rows[0].reuse.unwrap();
+        assert_eq!(reuse.resources_clean, 3);
+        assert_eq!(reuse.resources_dirty, 0);
+    }
+
+    #[test]
+    fn baseline_slices_an_edit_to_its_dirty_cone() {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
+            .with_baseline(BaselineStore::in_memory());
+        let cold = engine.run(vec![job("trio.pp", TWO_DISJOINT)]);
+        let baseline = std::mem::take(engine.baseline_mut().unwrap());
+        // Edit one attribute of one resource; the other two are disjoint
+        // from it, so the cone is exactly the edited resource.
+        let edited = TWO_DISJOINT.replace("content => 'c'", "content => 'changed'");
+        let mut engine2 =
+            FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+        let sliced = engine2.run(vec![job("trio.pp", &edited)]);
+        assert_eq!(sliced.rows[0].verdict, cold.rows[0].verdict);
+        assert!(!sliced.rows[0].cached);
+        let reuse = sliced.rows[0].reuse.unwrap();
+        assert_eq!(
+            reuse.resources_dirty, 1,
+            "only the edited resource is dirty"
+        );
+        assert_eq!(reuse.resources_clean, 2);
+        assert!(reuse.pairs_reused > 0, "clean pair verdicts were reused");
     }
 }

@@ -11,8 +11,14 @@
 //!   `(manifest, platform)` job, with per-job deadlines and cooperative
 //!   cancellation ([`rehearsal_core::CancelToken`]);
 //! * [`VerdictCache`] — a content-addressed verdict cache keyed by
-//!   `hash(source, platform, AnalysisOptions)` with an on-disk JSONL
-//!   store, so unchanged manifests are instant on re-runs;
+//!   `hash(graph_digest, platform, AnalysisOptions)` — the canonical
+//!   structural digest of the lowered graph, so formatting, comment,
+//!   reorder, and rename edits still hit warm — with an on-disk JSONL
+//!   store;
+//! * [`BaselineStore`] — the differential-verification baseline
+//!   (`--baseline FILE`): per-manifest graph digests, footprint
+//!   summaries, and pair commutativity verdicts, so a rerun after an
+//!   edit re-analyzes only the dirty cone and reuses the rest;
 //! * [`FleetReport`] — per-manifest verdict rows plus aggregate counters,
 //!   rendered as a human table or stable JSON for pipelines (the
 //!   `rehearsal fleet` CLI gates on [`FleetReport::all_clean`]).
@@ -36,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod annotations;
+pub mod baseline;
 pub mod cache;
 pub mod discover;
 pub mod engine;
@@ -44,9 +51,12 @@ pub mod report;
 pub mod scheduler;
 
 pub use annotations::{annotation_line, github_annotations, row_annotations};
-pub use cache::{job_key, CachedVerdict, VerdictCache, CACHE_SCHEMA_VERSION};
+pub use baseline::{BaselineEntry, BaselineStore, ResourceSummary, BASELINE_SCHEMA_VERSION};
+pub use cache::{graph_key, job_key, CachedVerdict, VerdictCache, CACHE_SCHEMA_VERSION};
 pub use discover::{discover_manifests, read_manifest_list};
 pub use engine::{verify_directory, FleetEngine, FleetJob, FleetOptions};
 pub use json::{diagnostic_from_json, diagnostic_json, parse as parse_json, Json, JsonError};
-pub use report::{metrics_json, AnalysisCounters, FleetCounts, FleetReport, JobResult, Verdict};
+pub use report::{
+    metrics_json, AnalysisCounters, FleetCounts, FleetReport, JobResult, ReuseCounts, Verdict,
+};
 pub use scheduler::{run_work_stealing, run_work_stealing_with_stats, SchedulerStats};

@@ -144,6 +144,26 @@ pub struct JobResult {
     /// errors, modeling warnings); empty for clean manifests. Cache hits
     /// restore the diagnostics recorded at analysis time.
     pub diagnostics: Vec<Diagnostic>,
+    /// Differential-verification accounting (`None` when the run had no
+    /// incremental context — no cache or baseline consulted this row).
+    pub reuse: Option<ReuseCounts>,
+}
+
+/// How much of a job's analysis was reused from incremental context (the
+/// semantic verdict cache and the `--baseline` store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseCounts {
+    /// Resources outside the edit's dirty cone: their baseline pair
+    /// verdicts were eligible for reuse. Equal to the resource count on a
+    /// full cache or baseline hit.
+    pub resources_clean: usize,
+    /// Resources inside the dirty cone (edited, overlapping an edit, or
+    /// ordered relative to one): re-analyzed from scratch. Equal to the
+    /// resource count on a cold run.
+    pub resources_dirty: usize,
+    /// Pairwise commutativity checks answered from the baseline instead
+    /// of recomputed.
+    pub pairs_reused: u64,
 }
 
 /// Aggregate counters over a fleet run.
@@ -222,6 +242,7 @@ impl FleetReport {
     /// Renders the human-readable table.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!("workers: {}\n", self.jobs));
         out.push_str(&format!(
             "{:<34} {:<8} {:<17} {:>6} {:>8} {:>9}  detail\n",
             "manifest", "platform", "verdict", "res", "queue", "time"
@@ -270,7 +291,7 @@ impl FleetReport {
     pub fn to_json(&self) -> Json {
         let c = self.counts();
         Json::obj([
-            ("schema", Json::str("rehearsal-fleet-report/2")),
+            ("schema", Json::str("rehearsal-fleet-report/3")),
             (
                 "manifests",
                 Json::Arr(self.rows.iter().map(row_json).collect()),
@@ -370,6 +391,17 @@ fn row_json(row: &JobResult) -> Json {
         ),
         ("cached", Json::Bool(row.cached)),
         (
+            "reuse",
+            match &row.reuse {
+                None => Json::Null,
+                Some(r) => Json::obj([
+                    ("resources_clean", Json::num(r.resources_clean as u32)),
+                    ("resources_dirty", Json::num(r.resources_dirty as u32)),
+                    ("pairs_reused", Json::Num(r.pairs_reused as f64)),
+                ]),
+            },
+        ),
+        (
             "diagnostics",
             Json::Arr(row.diagnostics.iter().map(diagnostic_json).collect()),
         ),
@@ -424,6 +456,7 @@ mod tests {
             cached,
             counters: AnalysisCounters::default(),
             diagnostics: Vec::new(),
+            reuse: None,
         }
     }
 
@@ -478,7 +511,7 @@ mod tests {
         let j = report.to_json();
         assert_eq!(
             j.get("schema").and_then(Json::as_str),
-            Some("rehearsal-fleet-report/2")
+            Some("rehearsal-fleet-report/3")
         );
         let counts = j.get("counts").expect("counts");
         assert_eq!(counts.get("total").and_then(Json::as_u64), Some(1));
@@ -499,11 +532,43 @@ mod tests {
         );
         assert_eq!(rows[0].get("queue_ms").and_then(Json::as_u64), Some(1));
         assert_eq!(rows[0].get("run_ms").and_then(Json::as_u64), Some(5));
+        assert!(
+            matches!(rows[0].get("reuse"), Some(Json::Null)),
+            "no incremental context → explicit null"
+        );
         let sched = j.get("scheduler").expect("scheduler object");
         assert_eq!(sched.get("steals").and_then(Json::as_u64), Some(2));
         assert_eq!(sched.get("max_queue_depth").and_then(Json::as_u64), Some(1));
         let metrics = j.get("metrics").expect("metrics object");
         assert!(metrics.get("counters").is_some());
+    }
+
+    #[test]
+    fn reuse_counts_serialize_when_present() {
+        let mut r = row(Verdict::Deterministic, false);
+        r.reuse = Some(ReuseCounts {
+            resources_clean: 7,
+            resources_dirty: 1,
+            pairs_reused: 21,
+        });
+        let j = row_json(&r);
+        let reuse = j.get("reuse").expect("reuse object");
+        assert_eq!(reuse.get("resources_clean").and_then(Json::as_u64), Some(7));
+        assert_eq!(reuse.get("resources_dirty").and_then(Json::as_u64), Some(1));
+        assert_eq!(reuse.get("pairs_reused").and_then(Json::as_u64), Some(21));
+    }
+
+    #[test]
+    fn table_header_echoes_worker_count() {
+        let report = FleetReport {
+            rows: vec![row(Verdict::Deterministic, false)],
+            wall_millis: 7,
+            jobs: 6,
+            steals: 0,
+            max_queue_depth: 1,
+            metrics: rehearsal_trace::MetricsSnapshot::default(),
+        };
+        assert!(report.render_table().starts_with("workers: 6\n"));
     }
 
     #[test]

@@ -5,12 +5,12 @@
 //! rehearsal idempotence <manifest.pp> [...]
 //! rehearsal graph <manifest.pp> [...]
 //! rehearsal benchmarks [--json] [--timeout SECONDS]
-//! rehearsal fleet <DIR|FILE...> [--jobs N] [--json] [--cache FILE] [...]
+//! rehearsal fleet <DIR|FILE...> [--jobs N] [--json] [--cache FILE] [--baseline FILE] [...]
 //! ```
 
 use rehearsal::fleet::{
     diagnostic_json, discover_manifests, github_annotations, metrics_json, read_manifest_list,
-    FleetEngine, FleetOptions, Json, VerdictCache,
+    BaselineStore, FleetEngine, FleetOptions, Json, VerdictCache,
 };
 use rehearsal::trace::{Session, TraceSnapshot};
 use rehearsal::{
@@ -62,6 +62,10 @@ OBSERVABILITY:
 FLEET OPTIONS:
     --jobs <N>                   worker threads         [default: one per CPU]
     --cache <FILE>               JSONL verdict cache, reused across runs
+    --baseline <FILE>            differential-verification baseline: persists
+                                 graph digests, footprint summaries, and pair
+                                 commutativity verdicts so a rerun after an
+                                 edit re-analyzes only the dirty cone
     --list <FILE>                read manifest paths from FILE (one per line)
     --annotations                print GitHub Actions ::error/::warning
                                  annotations from the diagnostics stream
@@ -89,6 +93,7 @@ struct Args {
     json: bool,
     jobs: usize,
     cache: Option<String>,
+    baseline: Option<String>,
     list: Option<String>,
     error_format: ErrorFormat,
     annotations: bool,
@@ -107,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json = false;
     let mut jobs = 0;
     let mut cache = None;
+    let mut baseline = None;
     let mut list = None;
     let mut error_format = ErrorFormat::Human;
     let mut annotations = false;
@@ -133,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--cache" => {
                 cache = Some(argv.next().ok_or("--cache needs a value")?);
+            }
+            "--baseline" => {
+                baseline = Some(argv.next().ok_or("--baseline needs a value")?);
             }
             "--list" => {
                 list = Some(argv.next().ok_or("--list needs a value")?);
@@ -174,6 +183,7 @@ fn parse_args() -> Result<Args, String> {
         json,
         jobs,
         cache,
+        baseline,
         list,
         error_format,
         annotations,
@@ -527,9 +537,18 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
         let cache = VerdictCache::open(path).map_err(|e| format!("{path}: {e}"))?;
         engine = engine.with_cache(cache);
     }
+    if let Some(path) = &args.baseline {
+        let store = BaselineStore::open(path).map_err(|e| format!("{path}: {e}"))?;
+        engine = engine.with_baseline(store);
+    }
     let report = engine.run_paths(&manifests, &[args.platform]);
     if args.cache.is_some() {
         engine.cache_mut().save().map_err(|e| format!("{e}"))?;
+    }
+    if args.baseline.is_some() {
+        if let Some(store) = engine.baseline_mut() {
+            store.save().map_err(|e| format!("{e}"))?;
+        }
     }
     if args.json {
         println!("{}", report.to_json().render_pretty());

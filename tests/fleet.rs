@@ -153,11 +153,162 @@ fn cli_fleet_gates_and_caches() {
         assert_eq!(row.get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(row.get("millis").and_then(Json::as_u64), Some(0));
     }
-    // Cache schema 4 restores the diagnostics without re-analysis.
+    // Cached entries (schema 5) restore the diagnostics without
+    // re-analysis.
     assert!(
         nondet_has_race(&warm),
         "warm rows replay cached diagnostics"
     );
+}
+
+/// Regression for path-sensitive cache keys: the semantic key embeds no
+/// manifest path, so renaming *and* moving a manifest between runs (in
+/// separate processes) still hits the on-disk cache.
+#[test]
+fn cli_fleet_cache_survives_rename_and_move() {
+    let dir = std::env::temp_dir()
+        .join("rehearsal-fleet-it")
+        .join("rename");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("manifests")).unwrap();
+    let cache = dir.join("verdicts.jsonl");
+    let source = "file { '/etc/motd': content => 'hello' }\n";
+    std::fs::write(dir.join("manifests/motd.pp"), source).unwrap();
+
+    let run = || -> Json {
+        let out = rehearsal()
+            .args([
+                "fleet",
+                dir.join("manifests").to_str().unwrap(),
+                "--json",
+                "--cache",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report")
+    };
+
+    let cold = run();
+    assert_eq!(
+        cold.get("counts")
+            .and_then(|c| c.get("cached"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // Rename the file and move it into a subdirectory.
+    std::fs::create_dir_all(dir.join("manifests/site")).unwrap();
+    std::fs::remove_file(dir.join("manifests/motd.pp")).unwrap();
+    std::fs::write(dir.join("manifests/site/renamed.pp"), source).unwrap();
+
+    let warm = run();
+    assert_eq!(
+        warm.get("counts")
+            .and_then(|c| c.get("cached"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "renamed + moved manifest must hit the content-identity cache"
+    );
+}
+
+/// End-to-end differential verification: a cold `--baseline` run records
+/// footprints and pair verdicts; an attribute edit re-analyzes only the
+/// dirty cone (here exactly one resource) while the untouched manifest
+/// replays without analysis — with verdicts identical to the cold run.
+#[test]
+fn cli_fleet_baseline_edit_replay() {
+    let dir = std::env::temp_dir()
+        .join("rehearsal-fleet-it")
+        .join("baseline");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.jsonl");
+    let trio = "file { '/etc/motd': content => 'a' }\n\
+                file { '/srv/app.conf': content => 'b' }\n\
+                file { '/var/banner': content => 'c' }\n";
+    std::fs::write(dir.join("trio.pp"), trio).unwrap();
+    let ntp = rehearsal::benchmarks::by_name("ntp").unwrap();
+    std::fs::write(dir.join("ntp.pp"), ntp.source).unwrap();
+
+    let run = || -> Json {
+        let out = rehearsal()
+            .args([
+                "fleet",
+                dir.to_str().unwrap(),
+                "--json",
+                "--baseline",
+                baseline.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        parse_json(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report")
+    };
+    let row = |doc: &Json, name: &str| -> Json {
+        doc.get("manifests")
+            .and_then(Json::as_arr)
+            .expect("rows")
+            .iter()
+            .find(|r| {
+                r.get("manifest")
+                    .and_then(Json::as_str)
+                    .is_some_and(|m| m.ends_with(name))
+            })
+            .expect("row present")
+            .clone()
+    };
+    let reuse = |row: &Json, field: &str| -> u64 {
+        row.get("reuse")
+            .and_then(|r| r.get(field))
+            .and_then(Json::as_u64)
+            .expect("reuse counters present")
+    };
+
+    let cold = run();
+    assert!(baseline.exists(), "baseline file written");
+    let trio_cold = row(&cold, "trio.pp");
+    assert_eq!(
+        trio_cold.get("verdict").and_then(Json::as_str),
+        Some("deterministic")
+    );
+    assert_eq!(reuse(&trio_cold, "resources_dirty"), 3, "cold = all dirty");
+
+    // Mutate one attribute of one (footprint-disjoint, unordered)
+    // resource.
+    std::fs::write(
+        dir.join("trio.pp"),
+        trio.replace("content => 'c'", "content => 'changed'"),
+    )
+    .unwrap();
+
+    let warm = run();
+    let trio_warm = row(&warm, "trio.pp");
+    assert_eq!(
+        trio_warm.get("verdict").and_then(Json::as_str),
+        Some("deterministic"),
+        "verdict identical to a cold run"
+    );
+    assert_eq!(trio_warm.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        reuse(&trio_warm, "resources_dirty"),
+        1,
+        "only the edited resource re-analyzes"
+    );
+    assert_eq!(reuse(&trio_warm, "resources_clean"), 2);
+    assert!(
+        reuse(&trio_warm, "pairs_reused") >= 1,
+        "clean pair verdicts are reused"
+    );
+    // The untouched manifest replays wholesale from the baseline.
+    let ntp_warm = row(&warm, "ntp.pp");
+    assert_eq!(ntp_warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        ntp_warm.get("verdict").and_then(Json::as_str),
+        Some("deterministic")
+    );
+    assert_eq!(reuse(&ntp_warm, "resources_dirty"), 0);
 }
 
 /// The gate passes (exit 0) on a clean fleet.

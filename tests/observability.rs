@@ -3,7 +3,9 @@
 //! output is deterministic modulo timestamps.
 
 use rehearsal::benchmarks::{by_name, METADATA_SUITE, SUITE};
-use rehearsal::fleet::{parse_json, FleetEngine, FleetJob, FleetOptions, Json, Verdict};
+use rehearsal::fleet::{
+    parse_json, BaselineStore, FleetEngine, FleetJob, FleetOptions, Json, Verdict,
+};
 use rehearsal::trace::{Session, TraceSnapshot};
 use rehearsal::{Platform, Rehearsal};
 use std::time::{Duration, Instant};
@@ -166,6 +168,45 @@ fn verdicts_are_identical_under_tracing() {
     );
     let c = meta.counts();
     assert_eq!((c.deterministic, c.nondeterministic), (3, 3));
+}
+
+/// Differential runs surface their reuse accounting as `incremental.*`
+/// counters in the fleet report's metrics (and therefore in any
+/// installed trace session's registry).
+#[test]
+fn incremental_metrics_ride_the_fleet_report() {
+    let trio = "file { '/etc/motd': content => 'a' }\n\
+                file { '/srv/app.conf': content => 'b' }\n\
+                file { '/var/banner': content => 'c' }";
+    let job = |source: &str| FleetJob {
+        name: "trio.pp".to_string(),
+        source: source.to_string(),
+        platform: Platform::Ubuntu,
+    };
+    let mut cold_engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
+        .with_baseline(BaselineStore::in_memory());
+    cold_engine.run(vec![job(trio)]);
+    let baseline = std::mem::take(cold_engine.baseline_mut().unwrap());
+
+    let edited = trio.replace("content => 'c'", "content => 'changed'");
+    let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
+    let report = engine.run(vec![job(&edited)]);
+    assert_eq!(
+        report.metrics.counter("incremental.resources_dirty"),
+        Some(1)
+    );
+    assert_eq!(
+        report.metrics.counter("incremental.resources_clean"),
+        Some(2)
+    );
+    assert!(
+        report
+            .metrics
+            .counter("incremental.pairs_reused")
+            .unwrap_or(0)
+            > 0,
+        "clean pair verdicts reused"
+    );
 }
 
 /// Disabled tracing (no session installed) must cost nothing measurable:
