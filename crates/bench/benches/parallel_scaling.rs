@@ -1,0 +1,105 @@
+//! Multi-core scaling study for the parallel POR explorer: the
+//! `fig13_scaling` workloads re-measured at 1, 2, and 4 explorer
+//! threads, with the verdict pinned per row (drift panics — wall time
+//! never fails the bench) and the thread-count-invariant counters
+//! compared against the sequential row.
+//!
+//! Rows are exported as JSON via the shared `fleet::json` serializer
+//! when `REHEARSAL_BENCH_JSON` is set; CI uploads them as the
+//! `BENCH_parallel.json` artifact. On many-core machines the wall-time
+//! column is the speedup figure; on the 1–2 core CI runners the value
+//! of this bench is the invariance pin, not the speedup.
+
+use rehearsal::core::determinism::check_determinism;
+use rehearsal_bench::harness::{is_quick, BenchmarkId, Criterion};
+use rehearsal_bench::{
+    conflicting_writers, measure_explorer_row, options_full, scaling_chain, write_explorer_json,
+    ExplorerBenchRow,
+};
+use rehearsal_bench::{criterion_group, criterion_main};
+
+fn print_table() {
+    println!("\n=== Parallel explorer scaling: fig13 workloads × threads ===");
+    println!(
+        "{:<16} {:<4} {:<14} {:>10} {:>10} {:>8} {:>8}  verdict",
+        "workload", "n", "config", "wall", "seqs", "skipped", "outputs"
+    );
+    let max_n = if is_quick() { 5 } else { 8 };
+    let mut rows: Vec<ExplorerBenchRow> = Vec::new();
+    let mut push = |row: ExplorerBenchRow| {
+        println!(
+            "{:<16} {:<4} {:<14} {:>8.2}ms {:>10} {:>8} {:>8}  {}",
+            row.workload,
+            row.n,
+            row.config,
+            row.wall_ms,
+            row.sequences_explored,
+            row.sequences_skipped,
+            row.distinct_outputs,
+            row.verdict
+        );
+        rows.push(row);
+    };
+
+    for n in 2..=max_n {
+        // n independent + n dependent resources, deterministic: the POR
+        // frontier genuinely forks, so subtrees spread across workers.
+        let chain = scaling_chain(n);
+        // n unordered writers to one path, nondeterministic: exercises
+        // the racy early-exit/cancellation path at every thread count.
+        let writers = conflicting_writers(n);
+        let mut baseline: Option<(usize, usize)> = None;
+        for threads in [1usize, 2, 4] {
+            let options = options_full().with_threads(threads);
+            let row = measure_explorer_row(
+                "mixed-chain",
+                n,
+                &format!("threads-{threads}"),
+                &chain,
+                &options,
+                true,
+            );
+            // The invariance pin: logical coverage and the canonical
+            // output set must not depend on the thread count.
+            let key = (row.sequences_explored, row.distinct_outputs);
+            match baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(
+                    key, b,
+                    "thread-count-dependent counters on mixed-chain/n={n}/threads={threads}"
+                ),
+            }
+            push(row);
+            push(measure_explorer_row(
+                "writers",
+                n,
+                &format!("threads-{threads}"),
+                &writers,
+                &options,
+                false,
+            ));
+        }
+    }
+    write_explorer_json("parallel_scaling", &rows);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let n = if is_quick() { 5 } else { 8 };
+    let g = scaling_chain(n);
+    let mut group = c.benchmark_group("parallel_scaling_mixed_chain");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let options = options_full().with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &options,
+            |bench, options| bench.iter(|| check_determinism(&g, options).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -113,6 +113,16 @@ pub struct AnalysisOptions {
     /// must see it. Off by default; a compiler diagnostic is recorded for
     /// every `latest` either way.
     pub model_latest: bool,
+    /// Worker threads for permutation exploration. `1` (the default) runs
+    /// the exact sequential traversal, preserving its exploration
+    /// statistics bit-for-bit; larger values split the interleaving tree
+    /// into prefix subtrees explored by work-stealing workers with a
+    /// shared state cache and per-worker solver contexts. The verdict is
+    /// identical for every value (see [`crate::parallel`]); *scheduling*
+    /// counters (`sequences_skipped`, `state_cache_hits`, solver work)
+    /// may vary run-to-run when `threads > 1`. Deliberately **excluded**
+    /// from the fleet verdict-cache key: it cannot change verdicts.
+    pub threads: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -128,6 +138,7 @@ impl Default for AnalysisOptions {
             early_exit: true,
             model_metadata: false,
             model_latest: false,
+            threads: 1,
         }
     }
 }
@@ -154,6 +165,13 @@ impl AnalysisOptions {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> AnalysisOptions {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the explorer's worker-thread count (`0` is clamped to `1`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> AnalysisOptions {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -485,8 +503,11 @@ struct EarlyExit {
     model: ModelView,
 }
 
-struct Explorer<'a> {
-    graph: &'a FsGraph,
+/// The purely structural part of the POR explorer: predecessor masks,
+/// descendant cones, and the pairwise commutativity mask. Depends only on
+/// the graph (never on an encoder), so it is computed once and shared by
+/// reference across every parallel worker.
+pub(crate) struct ExploreShape {
     /// Per-node predecessor mask (for the word-parallel fringe test).
     preds: Vec<Bits>,
     /// Per-node descendant cone.
@@ -494,29 +515,16 @@ struct Explorer<'a> {
     /// `commute_mask[e]`: the nodes whose access summaries commute with
     /// `e`'s (empty masks when the commutativity reduction is off).
     commute_mask: Vec<Bits>,
-    options: &'a AnalysisOptions,
-    deadline: Option<Instant>,
-    /// One representative (sequence, final state) per *distinct* symbolic
-    /// output state (content-hash dedup: structurally identical outputs
-    /// collapse before any `states_differ` disjunct exists).
-    outputs: Vec<(Vec<usize>, SymState)>,
-    seen_outputs: HashMap<StateKey, usize>,
-    /// Completed subtrees: `(remaining, state)` → sequences covered.
-    visited: HashMap<VisitKey, u64>,
-    /// Sequences covered, including cache-hit skips.
-    explored: u64,
-    /// Of `explored`, sequences covered via cache hits.
-    skipped: u64,
-    cache_hits: u64,
+    /// Whether the partial-order reduction is on.
+    commutativity: bool,
 }
 
-impl<'a> Explorer<'a> {
-    fn new(
-        graph: &'a FsGraph,
-        options: &'a AnalysisOptions,
-        deadline: Option<Instant>,
+impl ExploreShape {
+    pub(crate) fn new(
+        graph: &FsGraph,
+        commutativity: bool,
         oracle: Option<&crate::footprint::CommuteOracle>,
-    ) -> Self {
+    ) -> ExploreShape {
         let n = graph.exprs.len();
         let to_bits = |sets: Vec<BTreeSet<usize>>| -> Vec<Bits> {
             sets.iter()
@@ -536,7 +544,7 @@ impl<'a> Explorer<'a> {
             }
             out
         };
-        let commute_mask = if options.commutativity {
+        let commute_mask = if commutativity {
             let summaries: Vec<Arc<AccessSummary>> =
                 graph.exprs.iter().map(|&e| accesses(e)).collect();
             let mut masks = vec![Bits::new(n); n];
@@ -561,11 +569,81 @@ impl<'a> Explorer<'a> {
         } else {
             vec![Bits::new(n); n]
         };
-        Explorer {
-            graph,
+        ExploreShape {
             preds,
             descendants: to_bits(graph.descendant_sets()),
             commute_mask,
+            commutativity,
+        }
+    }
+
+    /// Whether fringe node `e` commutes with every remaining node that may
+    /// run concurrently with it — every remaining node that is not `e`
+    /// itself and not one of `e`'s descendants (its ancestors are gone:
+    /// `e` is on the fringe). Word-parallel over the bitset words.
+    fn all_concurrent_commute(&self, remaining: &Bits, e: usize) -> bool {
+        let desc = self.descendants[e].words();
+        let comm = self.commute_mask[e].words();
+        for (w, &r) in remaining.words().iter().enumerate() {
+            let mut concurrent = r & !desc[w] & !comm[w];
+            if w == e / 64 {
+                concurrent &= !(1u64 << (e % 64));
+            }
+            if concurrent != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The fringe of `remaining` (fig. 9a), reduced to a single committed
+    /// node when partial-order reduction applies.
+    pub(crate) fn branch_candidates(&self, remaining: &Bits) -> Vec<usize> {
+        let fringe: Vec<usize> = remaining
+            .iter()
+            .filter(|&i| !self.preds[i].intersects(remaining))
+            .collect();
+        debug_assert!(!fringe.is_empty(), "acyclic graph always has a fringe");
+        if self.commutativity {
+            for &e in &fringe {
+                if self.all_concurrent_commute(remaining, e) {
+                    return vec![e];
+                }
+            }
+        }
+        fringe
+    }
+}
+
+struct Explorer<'a> {
+    graph: &'a FsGraph,
+    shape: ExploreShape,
+    options: &'a AnalysisOptions,
+    deadline: Option<Instant>,
+    /// One representative (sequence, final state) per *distinct* symbolic
+    /// output state (content-hash dedup: structurally identical outputs
+    /// collapse before any `states_differ` disjunct exists).
+    outputs: Vec<(Vec<usize>, SymState)>,
+    seen_outputs: HashMap<StateKey, usize>,
+    /// Completed subtrees: `(remaining, state)` → sequences covered.
+    visited: HashMap<VisitKey, u64>,
+    /// Sequences covered, including cache-hit skips.
+    explored: u64,
+    /// Of `explored`, sequences covered via cache hits.
+    skipped: u64,
+    cache_hits: u64,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(
+        graph: &'a FsGraph,
+        options: &'a AnalysisOptions,
+        deadline: Option<Instant>,
+        oracle: Option<&crate::footprint::CommuteOracle>,
+    ) -> Self {
+        Explorer {
+            graph,
+            shape: ExploreShape::new(graph, options.commutativity, oracle),
             options,
             deadline,
             outputs: Vec::new(),
@@ -605,43 +683,6 @@ impl<'a> Explorer<'a> {
             });
         }
         Ok(())
-    }
-
-    /// Whether fringe node `e` commutes with every remaining node that may
-    /// run concurrently with it — every remaining node that is not `e`
-    /// itself and not one of `e`'s descendants (its ancestors are gone:
-    /// `e` is on the fringe). Word-parallel over the bitset words.
-    fn all_concurrent_commute(&self, remaining: &Bits, e: usize) -> bool {
-        let desc = self.descendants[e].words();
-        let comm = self.commute_mask[e].words();
-        for (w, &r) in remaining.words().iter().enumerate() {
-            let mut concurrent = r & !desc[w] & !comm[w];
-            if w == e / 64 {
-                concurrent &= !(1u64 << (e % 64));
-            }
-            if concurrent != 0 {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// The fringe of `remaining` (fig. 9a), reduced to a single committed
-    /// node when partial-order reduction applies.
-    fn branch_candidates(&self, remaining: &Bits) -> Vec<usize> {
-        let fringe: Vec<usize> = remaining
-            .iter()
-            .filter(|&i| !self.preds[i].intersects(remaining))
-            .collect();
-        debug_assert!(!fringe.is_empty(), "acyclic graph always has a fringe");
-        if self.options.commutativity {
-            for &e in &fringe {
-                if self.all_concurrent_commute(remaining, e) {
-                    return vec![e];
-                }
-            }
-        }
-        fringe
     }
 
     /// Records a completed sequence. New distinct outputs are immediately
@@ -744,7 +785,7 @@ impl<'a> Explorer<'a> {
                     top.key = Some(key);
                 }
                 top.explored_at_entry = self.explored;
-                let candidates = self.branch_candidates(&top.remaining);
+                let candidates = self.shape.branch_candidates(&top.remaining);
                 let top = stack.last_mut().expect("non-empty stack");
                 top.candidates = candidates;
             }
@@ -833,85 +874,119 @@ pub fn check_determinism_with_oracle(
         }
     };
 
-    // 3. Encode and explore (bitset POR + state cache + early exit).
+    // 3+4. Encode, explore (bitset POR + state cache + early exit), and
+    //    decide. `--threads 1` runs the exact historical sequential loop
+    //    (identical traversal order and statistics); `--threads N` splits
+    //    the interleaving tree into prefix subtrees explored by
+    //    work-stealing workers (see [`crate::parallel`]) with a shared
+    //    state cache and per-worker solver contexts. Both paths reduce a
+    //    divergence to the same evidence: a concrete initial filesystem
+    //    plus two pruned-graph orders.
     let explore_span = rehearsal_trace::span_cat("explore", "core");
     let domain = Domain::of_exprs(pruned.exprs.iter().copied());
-    let mut enc = Encoder::new(domain);
-    for &p in &read_only {
-        enc.mark_read_only(p);
-    }
-    let initial = enc.initial_state();
-    let mut explorer = Explorer::new(&pruned, options, deadline, oracle);
-    let early = explorer.run(&mut enc, initial.clone())?;
-    let outputs = explorer.outputs;
-    drop(explore_span);
-
+    let paths = domain.len();
+    let meta_tracked_paths = domain.meta_paths.len();
     let mut stats = DeterminismStats {
         resources: n,
         resources_after_elimination: alive.len(),
-        paths: enc.domain.len(),
-        tracked_paths: enc.tracked_paths(),
+        paths,
         meta_ops: pruned.exprs.iter().map(|&e| count_meta_ops(e)).sum(),
-        meta_tracked_paths: enc.domain.meta_paths.len(),
-        sequences_explored: explorer.explored as usize,
-        sequences_skipped: explorer.skipped as usize,
-        state_cache_hits: explorer.cache_hits as usize,
-        distinct_outputs: outputs.len(),
-        formula_nodes: 0,
+        meta_tracked_paths,
         ..DeterminismStats::default()
     };
 
-    // 4. All outputs equal to the first ⟺ deterministic. With early exit
-    //    on, every distinct output was already checked incrementally as it
-    //    was found; otherwise fall back to one monolithic query.
-    let divergence: Option<(usize, ModelView)> = match early {
-        Some(exit) => Some((exit.which, exit.model)),
-        None if options.early_exit || outputs.len() <= 1 => None,
-        None => {
-            let _span = rehearsal_trace::span_cat("solve.final", "core");
-            let first_state = &outputs[0].1;
-            let mut disjuncts = Vec::new();
-            for (_, other_state) in &outputs[1..] {
-                let d = enc.states_differ(first_state, other_state);
-                disjuncts.push(d);
-            }
-            let any_diff = enc.ctx.or(disjuncts.clone());
-            let solved = enc
-                .ctx
-                .solve_with_budget(any_diff, deadline, interrupt_flag(options))
-                .map_err(|_| solve_abort_reason(options))?;
-            solved.map(|model| {
-                // Find which alternative differed.
-                let mut which = 1;
-                for (k, d) in disjuncts.iter().enumerate() {
-                    if model.formula_value_in(&enc.ctx, *d) {
-                        which = k + 1;
-                        break;
-                    }
-                }
-                (which, model)
-            })
+    let divergence: Option<(FileSystem, Vec<usize>, Vec<usize>)> = if options.threads <= 1 {
+        let mut enc = Encoder::new(domain);
+        for &p in &read_only {
+            enc.mark_read_only(p);
         }
-    };
+        let initial = enc.initial_state();
+        let mut explorer = Explorer::new(&pruned, options, deadline, oracle);
+        let early = explorer.run(&mut enc, initial.clone())?;
+        let outputs = explorer.outputs;
 
-    stats.formula_nodes = enc.ctx.stats().formula_nodes;
-    let solver = enc.ctx.solver_stats();
-    stats.solver_conflicts = solver.conflicts;
-    stats.solver_propagations = solver.propagations;
-    let grounding = enc.ctx.grounding_stats();
-    stats.grounded_clauses = grounding.grounded_clauses;
-    stats.grounded_nodes = grounding.grounded_nodes;
-    stats.grounded_reused = grounding.reused_nodes;
-    // Phase boundary: the hot loops above kept local counters; the
-    // registry sees them exactly once, here.
-    enc.ctx.publish_trace_metrics();
+        stats.tracked_paths = enc.tracked_paths();
+        stats.sequences_explored = explorer.explored as usize;
+        stats.sequences_skipped = explorer.skipped as usize;
+        stats.state_cache_hits = explorer.cache_hits as usize;
+        stats.distinct_outputs = outputs.len();
+
+        // All outputs equal to the first ⟺ deterministic. With early exit
+        // on, every distinct output was already checked incrementally as
+        // it was found; otherwise fall back to one monolithic query.
+        let divergence: Option<(usize, ModelView)> = match early {
+            Some(exit) => Some((exit.which, exit.model)),
+            None if options.early_exit || outputs.len() <= 1 => None,
+            None => {
+                let _span = rehearsal_trace::span_cat("solve.final", "core");
+                let first_state = &outputs[0].1;
+                let mut disjuncts = Vec::new();
+                for (_, other_state) in &outputs[1..] {
+                    let d = enc.states_differ(first_state, other_state);
+                    disjuncts.push(d);
+                }
+                let any_diff = enc.ctx.or(disjuncts.clone());
+                let solved = enc
+                    .ctx
+                    .solve_with_budget(any_diff, deadline, interrupt_flag(options))
+                    .map_err(|_| solve_abort_reason(options))?;
+                solved.map(|model| {
+                    // Find which alternative differed.
+                    let mut which = 1;
+                    for (k, d) in disjuncts.iter().enumerate() {
+                        if model.formula_value_in(&enc.ctx, *d) {
+                            which = k + 1;
+                            break;
+                        }
+                    }
+                    (which, model)
+                })
+            }
+        };
+
+        stats.formula_nodes = enc.ctx.stats().formula_nodes;
+        let solver = enc.ctx.solver_stats();
+        stats.solver_conflicts = solver.conflicts;
+        stats.solver_propagations = solver.propagations;
+        let grounding = enc.ctx.grounding_stats();
+        stats.grounded_clauses = grounding.grounded_clauses;
+        stats.grounded_nodes = grounding.grounded_nodes;
+        stats.grounded_reused = grounding.reused_nodes;
+        // Phase boundary: the hot loops above kept local counters; the
+        // registry sees them exactly once, here.
+        enc.ctx.publish_trace_metrics();
+
+        divergence.map(|(which, model)| {
+            let init_fs = enc.decode_state(&model, &initial);
+            (init_fs, outputs[0].0.clone(), outputs[which].0.clone())
+        })
+    } else {
+        let shape = ExploreShape::new(&pruned, options.commutativity, oracle);
+        let outcome = crate::parallel::explore_parallel(
+            &pruned, options, deadline, &shape, &domain, &read_only,
+        )?;
+        stats.tracked_paths = outcome.tracked_paths;
+        stats.sequences_explored = outcome.explored as usize;
+        stats.sequences_skipped = outcome.skipped as usize;
+        stats.state_cache_hits = outcome.cache_hits as usize;
+        stats.distinct_outputs = outcome.distinct_outputs;
+        stats.formula_nodes = outcome.ctx.formula_nodes;
+        stats.solver_conflicts = outcome.solver_conflicts;
+        stats.solver_propagations = outcome.solver_propagations;
+        stats.grounded_clauses = outcome.grounding.grounded_clauses;
+        stats.grounded_nodes = outcome.grounding.grounded_nodes;
+        stats.grounded_reused = outcome.grounding.reused_nodes;
+        outcome.publish_trace_metrics();
+        outcome.divergence
+    };
+    drop(explore_span);
+
     stats.publish_trace_metrics();
     rehearsal_fs::publish_arena_metrics();
 
     match divergence {
         None => Ok(DeterminismReport::Deterministic(stats)),
-        Some((which, model)) => {
-            let init_fs = enc.decode_state(&model, &initial);
+        Some((init_fs, seq_a, seq_b)) => {
             // Map pruned-graph indices back to original indices and append
             // the eliminated resources (which form an upward-closed set of
             // sinks) in one fixed topological order. Elimination's
@@ -926,8 +1001,8 @@ pub fn check_determinism_with_oracle(
                     .chain(eliminated.iter().copied())
                     .collect()
             };
-            let order_a = full_order(&outputs[0].0);
-            let order_b = full_order(&outputs[which].0);
+            let order_a = full_order(&seq_a);
+            let order_b = full_order(&seq_b);
             let outcome_a = replay(graph, &order_a, &init_fs);
             let outcome_b = replay(graph, &order_b, &init_fs);
             if outcome_a == outcome_b && alive.len() != n {
@@ -1231,6 +1306,84 @@ mod tests {
         let g2 = graph(vec![res("0644"), res("0755")], &[(0, 1)]);
         let r2 = check_determinism(&g2, &AnalysisOptions::default()).unwrap();
         assert!(r2.is_deterministic());
+    }
+
+    #[test]
+    fn parallel_verdict_and_invariant_counters_match_sequential() {
+        // A deterministic graph with a genuinely branching interleaving
+        // space: naive mode keeps all 4! = 24 orders live.
+        let g = graph(
+            vec![
+                file("/a", "1"),
+                file("/b", "2"),
+                file("/c", "3"),
+                file("/d", "4"),
+            ],
+            &[],
+        );
+        let seq = check_determinism(&g, &AnalysisOptions::naive()).unwrap();
+        assert!(seq.is_deterministic());
+        let s1 = seq.stats();
+        assert_eq!(s1.sequences_explored, 24);
+        for threads in [2, 4, 8] {
+            let par =
+                check_determinism(&g, &AnalysisOptions::naive().with_threads(threads)).unwrap();
+            assert!(
+                par.is_deterministic(),
+                "verdict invariant at {threads} threads"
+            );
+            let sp = par.stats();
+            // The exact counters: every leaf is accounted exactly once no
+            // matter how the subtrees were scheduled.
+            assert_eq!(sp.sequences_explored, s1.sequences_explored);
+            assert_eq!(sp.distinct_outputs, s1.distinct_outputs);
+            assert_eq!(sp.resources, s1.resources);
+            assert_eq!(
+                sp.resources_after_elimination,
+                s1.resources_after_elimination
+            );
+            assert_eq!(sp.paths, s1.paths);
+            assert_eq!(sp.tracked_paths, s1.tracked_paths);
+        }
+    }
+
+    #[test]
+    fn parallel_nondeterminism_yields_replayable_counterexample() {
+        let a = Expr::mkdir(p("/dir"));
+        let b = file("/dir/f", "x");
+        let g = graph(vec![a, b], &[]);
+        for threads in [2, 4] {
+            let opts = AnalysisOptions::default().with_threads(threads);
+            match check_determinism(&g, &opts).unwrap() {
+                DeterminismReport::NonDeterministic(cex, _) => {
+                    assert_ne!(cex.outcome_a, cex.outcome_b, "replay confirms divergence");
+                }
+                DeterminismReport::Deterministic(_) => {
+                    panic!("parallel explorer must find the race at {threads} threads")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sequence_cap_aborts() {
+        let exprs: Vec<Expr> = (0..6)
+            .map(|i| {
+                Expr::if_(
+                    Pred::does_not_exist(p("/f")),
+                    Expr::create_file(p("/f"), Content::intern(&format!("w{i}"))),
+                    Expr::SKIP,
+                )
+            })
+            .collect();
+        let g = graph(exprs, &[]);
+        let opts = AnalysisOptions {
+            max_sequences: 10,
+            ..AnalysisOptions::naive()
+        }
+        .with_threads(4);
+        let err = check_determinism(&g, &opts).unwrap_err();
+        assert!(err.reason.contains("sequences"));
     }
 
     #[test]

@@ -29,9 +29,10 @@ use crate::commutativity::{accesses, commutes, Access};
 use crate::determinism::FsGraph;
 use crate::memo::ExprMemo;
 use rehearsal_fs::{Expr, ExprNode, FsPath, Pred, PredNode};
-use std::collections::{BTreeSet, HashMap};
+use rehearsal_sync::ShardedMap;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -57,17 +58,16 @@ fn mix_path(state: u64, p: FsPath) -> u64 {
     mix_str(state, &p.to_string())
 }
 
-static PRED_DIGESTS: OnceLock<Mutex<HashMap<Pred, u64>>> = OnceLock::new();
+static PRED_DIGESTS: OnceLock<ShardedMap<Pred, u64>> = OnceLock::new();
 static EXPR_DIGESTS: ExprMemo<u64> = ExprMemo::new("memo.digest.hits", "memo.digest.misses");
 
 /// The structural digest of a predicate (see [`expr_digest`]).
+///
+/// Memoized in a lock-striped [`ShardedMap`], so digest probes from many
+/// fleet workers and explorer threads stop serializing on one lock.
 pub fn pred_digest(p: Pred) -> u64 {
-    let table = PRED_DIGESTS.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(&d) = table.lock().expect("digest memo poisoned").get(&p) {
-        return d;
-    }
-    let d = compute_pred_digest(p);
-    table.lock().expect("digest memo poisoned").insert(p, d);
+    let table = PRED_DIGESTS.get_or_init(ShardedMap::new);
+    let (d, _) = table.get_or_insert_with(p, || compute_pred_digest(p));
     d
 }
 
@@ -349,10 +349,12 @@ fn collect_pred_meta_paths(p: Pred, out: &mut BTreeSet<FsPath>) {
 /// always identical to what recomputation would produce — the oracle
 /// affects wall time and the `pairs_reused` counter, never verdicts.
 ///
-/// Thread-safe: one oracle is shared across a job's analysis stages.
+/// Thread-safe: one oracle is shared across a job's analysis stages, and
+/// the pair store is lock-striped so parallel explorer threads probing
+/// different pairs do not contend.
 #[derive(Debug, Default)]
 pub struct CommuteOracle {
-    pairs: Mutex<HashMap<(u64, u64), bool>>,
+    pairs: ShardedMap<(u64, u64), bool>,
     reused: AtomicU64,
     computed: AtomicU64,
 }
@@ -372,23 +374,21 @@ impl CommuteOracle {
     /// same pure `commutes` over structurally identical programs.
     pub fn seed(&self, a: u64, b: u64, commute: bool) {
         self.pairs
-            .lock()
-            .expect("oracle poisoned")
-            .insert(CommuteOracle::key(a, b), commute);
+            .insert_if_absent(CommuteOracle::key(a, b), commute);
     }
 
     /// The commutativity verdict for the digest pair, consulting the
     /// store first and computing (then recording) on a miss.
     pub fn commutes_pair(&self, a: u64, b: u64, compute: impl FnOnce() -> bool) -> bool {
         let key = CommuteOracle::key(a, b);
-        if let Some(&bit) = self.pairs.lock().expect("oracle poisoned").get(&key) {
+        if let Some(bit) = self.pairs.get(&key) {
             self.reused.fetch_add(1, Ordering::Relaxed);
             return bit;
         }
         let bit = compute();
         self.computed.fetch_add(1, Ordering::Relaxed);
-        self.pairs.lock().expect("oracle poisoned").insert(key, bit);
-        bit
+        let (stored, _) = self.pairs.insert_if_absent(key, bit);
+        stored
     }
 
     /// How many pair lookups were answered from the store.
@@ -406,10 +406,9 @@ impl CommuteOracle {
     pub fn export(&self) -> Vec<(u64, u64, bool)> {
         let mut out: Vec<(u64, u64, bool)> = self
             .pairs
-            .lock()
-            .expect("oracle poisoned")
-            .iter()
-            .map(|(&(a, b), &bit)| (a, b, bit))
+            .snapshot()
+            .into_iter()
+            .map(|((a, b), bit)| (a, b, bit))
             .collect();
         out.sort_unstable();
         out

@@ -47,6 +47,7 @@ pub mod footprint;
 pub mod idempotence;
 pub mod invariants;
 mod memo;
+pub mod parallel;
 pub mod pipeline;
 pub mod prune;
 pub mod repair;

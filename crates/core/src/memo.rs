@@ -11,10 +11,14 @@
 //! while a very long-lived service processing an unbounded stream of novel
 //! manifests should recycle its process (or grow an eviction policy here
 //! and in the arena together).
+//!
+//! Tables are backed by [`rehearsal_sync::ShardedMap`], so concurrent
+//! probes from explorer threads and fleet workers stripe across
+//! independent locks instead of serializing on one `Mutex`.
 
 use rehearsal_fs::Expr;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use rehearsal_sync::ShardedMap;
+use std::sync::{Arc, OnceLock};
 
 /// A lazily-initialized, thread-safe `Expr → Arc<T>` memo table.
 ///
@@ -22,7 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// recorded under (e.g. `memo.accesses.hits`), so the registry shows
 /// how much structural analysis was shared vs. computed.
 pub(crate) struct ExprMemo<T> {
-    table: OnceLock<Mutex<HashMap<Expr, Arc<T>>>>,
+    table: OnceLock<ShardedMap<Expr, Arc<T>>>,
     hit_metric: &'static str,
     miss_metric: &'static str,
 }
@@ -40,21 +44,17 @@ impl<T> ExprMemo<T> {
 
     /// The memoized value for `e`, computing and caching it on first use.
     ///
-    /// The lock is not held during `compute`, so two threads may race to
-    /// fill the same entry; both compute the same structural fact and the
-    /// second insert is a harmless overwrite.
+    /// No lock is held during `compute`, so two threads may race to fill
+    /// the same entry; both compute the same structural fact and the
+    /// first insert wins.
     pub(crate) fn get_or_compute(&self, e: Expr, compute: impl FnOnce() -> T) -> Arc<T> {
-        let table = self.table.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(cached) = table.lock().expect("memo poisoned").get(&e) {
+        let table = self.table.get_or_init(ShardedMap::new);
+        let (value, hit) = table.get_or_insert_with(e, || Arc::new(compute()));
+        if hit {
             rehearsal_trace::counter_add(self.hit_metric, 1);
-            return Arc::clone(cached);
+        } else {
+            rehearsal_trace::counter_add(self.miss_metric, 1);
         }
-        rehearsal_trace::counter_add(self.miss_metric, 1);
-        let value = Arc::new(compute());
-        table
-            .lock()
-            .expect("memo poisoned")
-            .insert(e, Arc::clone(&value));
         value
     }
 }

@@ -1,0 +1,263 @@
+//! Property tests for the parallel POR explorer: on seeded-PRNG random
+//! graphs, thread count must be invisible to the verdict. Every thread
+//! configuration agrees with the sequential explorer, the canonical
+//! output-set cardinality (with early exit off, so exploration always
+//! runs to completion) is bit-identical, and every NONDET counterexample
+//! replays to genuinely divergent outcomes through the concrete
+//! evaluator. A final test hammers the sharded interning arena from
+//! eight raw threads and checks ids stay canonical.
+
+use rehearsal_core::{check_determinism, AnalysisOptions, DeterminismReport, FsGraph};
+use rehearsal_fs::{eval as concrete_eval, Content, Expr, FsPath, Pred};
+use std::collections::BTreeSet;
+
+/// The classic 64-bit splitmix PRNG (dependency-free, stable across
+/// platforms, same as the fast-explorer property suite uses).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn ensure_dir(d: FsPath) -> Expr {
+    Expr::if_then(Pred::is_dir(d).not(), Expr::mkdir(d))
+}
+
+/// One random resource: a small FS program over a shared path pool,
+/// shaped so programs are well-formed but conflict often enough to
+/// exercise the NONDET paths in every thread configuration.
+fn random_resource(rng: &mut SplitMix64) -> Expr {
+    let dir = p("/d");
+    let pool = ["/d/f0", "/d/f1", "/d/f2", "/d/f3", "/g"];
+    let path = p(pool[rng.below(pool.len() as u64) as usize]);
+    let content = Content::intern(&format!("c{}", rng.below(3)));
+    let base = match rng.below(5) {
+        // Guarded create: first writer wins.
+        0 => Expr::if_(
+            Pred::does_not_exist(path),
+            Expr::create_file(path, content),
+            Expr::SKIP,
+        ),
+        // Overwrite: last writer wins (errs on a directory).
+        1 => Expr::if_(
+            Pred::is_file(path),
+            Expr::rm(path).seq(Expr::create_file(path, content)),
+            Expr::if_(
+                Pred::does_not_exist(path),
+                Expr::create_file(path, content),
+                Expr::ERROR,
+            ),
+        ),
+        // Remove if present as a file.
+        2 => Expr::if_(Pred::is_file(path), Expr::rm(path), Expr::SKIP),
+        // Reader: errs unless the path exists.
+        3 => Expr::if_(Pred::does_not_exist(path), Expr::ERROR, Expr::SKIP),
+        // Pure directory management.
+        _ => Expr::SKIP,
+    };
+    ensure_dir(dir).seq(base)
+}
+
+/// A random graph of 3–7 resources with sparse acyclic `i < j` edges —
+/// wide enough that the parallel frontier actually splits into multiple
+/// independent subtrees.
+fn random_graph(rng: &mut SplitMix64) -> FsGraph {
+    let n = 3 + rng.below(5) as usize; // 3..=7 resources
+    let exprs: Vec<Expr> = (0..n).map(|_| random_resource(rng)).collect();
+    let mut edges = BTreeSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(15) {
+                edges.insert((i, j)); // i < j keeps the graph acyclic
+            }
+        }
+    }
+    let names = (0..n).map(|i| format!("r{i}")).collect();
+    FsGraph::new(exprs, edges, names)
+}
+
+/// Replays `order` through the concrete evaluator from `initial`.
+fn replay(
+    graph: &FsGraph,
+    initial: &rehearsal_fs::FileSystem,
+    order: &[usize],
+) -> Result<rehearsal_fs::FileSystem, rehearsal_fs::ExecError> {
+    let mut fs = initial.clone();
+    for &i in order {
+        fs = concrete_eval(graph.exprs[i], &fs)?;
+    }
+    Ok(fs)
+}
+
+/// A NONDET report must carry an honest counterexample: both orders
+/// replay concretely to the reported outcomes, and the outcomes differ.
+fn assert_honest(graph: &FsGraph, report: &DeterminismReport, tag: &str) {
+    if let DeterminismReport::NonDeterministic(cex, _) = report {
+        assert_eq!(
+            replay(graph, &cex.initial, &cex.order_a),
+            cex.outcome_a,
+            "{tag}: outcome_a is honest"
+        );
+        assert_eq!(
+            replay(graph, &cex.initial, &cex.order_b),
+            cex.outcome_b,
+            "{tag}: outcome_b is honest"
+        );
+        assert_ne!(
+            cex.outcome_a, cex.outcome_b,
+            "{tag}: divergence must be real"
+        );
+    }
+}
+
+#[test]
+fn parallel_verdicts_match_sequential_on_random_programs() {
+    // ~300 random programs × {2, 4, 8} threads, all compared against the
+    // sequential explorer under the default (fast-path) options.
+    let mut rng = SplitMix64(0x5eed_9a4a_0001);
+    let mut nondet_seen = 0;
+    for case in 0..300 {
+        let graph = random_graph(&mut rng);
+        let sequential = check_determinism(&graph, &AnalysisOptions::default())
+            .unwrap_or_else(|e| panic!("case {case}: sequential aborted: {e}"));
+        assert_honest(&graph, &sequential, &format!("case {case} seq"));
+        if !sequential.is_deterministic() {
+            nondet_seen += 1;
+        }
+        for threads in [2, 4, 8] {
+            let options = AnalysisOptions::default().with_threads(threads);
+            let parallel = check_determinism(&graph, &options)
+                .unwrap_or_else(|e| panic!("case {case}: {threads}-thread aborted: {e}"));
+            assert_eq!(
+                parallel.is_deterministic(),
+                sequential.is_deterministic(),
+                "case {case}: {threads}-thread verdict diverges from sequential"
+            );
+            assert_honest(&graph, &parallel, &format!("case {case} t{threads}"));
+        }
+    }
+    assert!(
+        nondet_seen >= 20,
+        "the generator must exercise the NONDET path (saw {nondet_seen})"
+    );
+}
+
+#[test]
+fn parallel_output_sets_match_sequential() {
+    // With early exit off the explorer always runs to completion, so the
+    // canonical output-set cardinality and the logical sequence count are
+    // exact across thread counts — not merely the boolean verdict.
+    let mut rng = SplitMix64(0x5eed_9a4a_0002);
+    for case in 0..100 {
+        let graph = random_graph(&mut rng);
+        let base_options = AnalysisOptions {
+            early_exit: false,
+            ..AnalysisOptions::default()
+        };
+        let sequential = check_determinism(&graph, &base_options)
+            .unwrap_or_else(|e| panic!("case {case}: sequential aborted: {e}"));
+        let seq_stats = sequential.stats();
+        for threads in [2, 4, 8] {
+            let options = AnalysisOptions {
+                early_exit: false,
+                ..AnalysisOptions::default()
+            }
+            .with_threads(threads);
+            let parallel = check_determinism(&graph, &options)
+                .unwrap_or_else(|e| panic!("case {case}: {threads}-thread aborted: {e}"));
+            let par_stats = parallel.stats();
+            assert_eq!(
+                parallel.is_deterministic(),
+                sequential.is_deterministic(),
+                "case {case}: {threads}-thread verdict diverges"
+            );
+            assert_eq!(
+                par_stats.sequences_explored, seq_stats.sequences_explored,
+                "case {case}: {threads}-thread logical sequence count diverges"
+            );
+            assert_eq!(
+                par_stats.distinct_outputs, seq_stats.distinct_outputs,
+                "case {case}: {threads}-thread canonical output set diverges"
+            );
+            assert_eq!(
+                par_stats.resources, seq_stats.resources,
+                "case {case}: resource count must not depend on threads"
+            );
+            assert_eq!(
+                par_stats.paths, seq_stats.paths,
+                "case {case}: tracked path count must not depend on threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_arena_survives_concurrent_interning() {
+    // Eight raw threads intern overlapping paths, contents, and composite
+    // expressions into the global sharded arena. Interning is canonical:
+    // equal data must yield the same Copy id on every thread, and ids
+    // handed out during the race must still resolve to structurally equal
+    // programs afterwards.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 200;
+    let results: Vec<Vec<Expr>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut exprs = Vec::with_capacity(ROUNDS);
+                    for r in 0..ROUNDS {
+                        // Every thread builds the same program for round
+                        // `r`; only the interning order races.
+                        let path = p(&format!("/stress/d{}/f{}", r % 7, r % 13));
+                        let content = Content::intern(&format!("payload-{}", r % 11));
+                        let e = Expr::if_(
+                            Pred::does_not_exist(path),
+                            Expr::create_file(path, content),
+                            Expr::rm(path).seq(Expr::SKIP),
+                        );
+                        // Touch thread-distinct data too, so shards see
+                        // genuinely concurrent inserts, not just lookups.
+                        let _ = Content::intern(&format!("thread-{t}-round-{r}"));
+                        exprs.push(e);
+                    }
+                    exprs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Canonical interning: the same program from every thread is the same
+    // Copy id, so plain `==` agreement across all eight is exact.
+    for r in 0..ROUNDS {
+        let first = results[0][r];
+        for (t, per_thread) in results.iter().enumerate() {
+            assert_eq!(
+                per_thread[r], first,
+                "round {r}: thread {t} interned a different id for equal data"
+            );
+        }
+    }
+    // Distinct programs still get distinct ids.
+    let unique: BTreeSet<_> = (0..ROUNDS)
+        .map(|r| format!("{:?}", results[0][r]))
+        .collect();
+    assert!(unique.len() > 1, "stress programs must not all collapse");
+}

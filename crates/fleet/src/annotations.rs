@@ -148,6 +148,7 @@ mod tests {
             rows: vec![row(vec![race_diag()]), row(Vec::new())],
             wall_millis: 1,
             jobs: 1,
+            threads: 1,
             steals: 0,
             max_queue_depth: 1,
             metrics: rehearsal_trace::MetricsSnapshot::default(),
@@ -159,6 +160,7 @@ mod tests {
             rows: vec![row(Vec::new())],
             wall_millis: 1,
             jobs: 1,
+            threads: 1,
             steals: 0,
             max_queue_depth: 1,
             metrics: rehearsal_trace::MetricsSnapshot::default(),

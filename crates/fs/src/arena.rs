@@ -21,25 +21,36 @@
 //! depends on a solver context (symbolic states, formulas) is memoized
 //! per-`Encoder` in `rehearsal-core` instead, keyed by these ids.
 //!
-//! Nodes hold only `Copy` data (interned paths/contents and child ids), so
-//! lookups copy nodes out of the store and no lock is held during
-//! recursion. Reads take a shared `RwLock` guard, so fleet worker threads
-//! traverse the arena in parallel; the remaining per-node cost under heavy
-//! multi-core load is the readers' shared lock word (entries are immutable
-//! once published, so a lock-free read path over the append-only store is
-//! the natural next step if that ever shows up in profiles).
+//! # Sharding
+//!
+//! The store is lock-striped: nodes are hash-routed across `N_SHARDS`
+//! independently locked shards, and a handle encodes its shard in the
+//! low `SHARD_BITS` bits (`id = local << SHARD_BITS | shard`). Ids remain process-stable and `Copy`; explorer threads and
+//! fleet workers touching different subtrees intern and probe without
+//! contending on a single lock word. Lock acquisitions that find their
+//! shard held are counted and surfaced as the `arena.shard_contention`
+//! trace gauge, so profiles show whether the stripe count is adequate.
+//! The four IR constants (`Pred::TRUE`/`FALSE`, `Expr::SKIP`/`ERROR`)
+//! keep their historical ids 0 and 1 by seeding shards 0 and 1 and
+//! special-casing their interning before hash routing.
 
 use crate::ast::{ExprNode, PredNode};
 use crate::path::{Content, FsPath};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+
+/// Number of low handle bits that encode the owning shard.
+pub(crate) const SHARD_BITS: u32 = 4;
+/// Number of lock stripes in the arena.
+pub(crate) const N_SHARDS: usize = 1 << SHARD_BITS;
 
 /// One interned predicate with its memoized structural facts.
 #[derive(Debug)]
 struct PredEntry {
     node: PredNode,
     /// Number of AST nodes (children are interned first, so this is
-    /// computed eagerly in O(1) at interning time).
+    /// computed eagerly at interning time).
     size: u64,
     /// Lazily computed, shared set of mentioned paths.
     paths: Option<Arc<BTreeSet<FsPath>>>,
@@ -97,36 +108,135 @@ impl ArenaStats {
     }
 }
 
-#[derive(Debug, Default)]
-pub(crate) struct IrStore {
-    preds: Vec<PredEntry>,
-    pred_lookup: HashMap<PredNode, u32>,
-    exprs: Vec<ExprEntry>,
-    expr_lookup: HashMap<ExprNode, u32>,
-    pred_hits: u64,
-    expr_hits: u64,
+#[derive(Debug)]
+struct Shard<N, E> {
+    entries: Vec<E>,
+    /// Node → full (shard-encoded) id.
+    lookup: HashMap<N, u32>,
 }
 
-impl IrStore {
-    fn new() -> IrStore {
-        let mut s = IrStore::default();
+impl<N, E> Default for Shard<N, E> {
+    fn default() -> Self {
+        Shard {
+            entries: Vec::new(),
+            lookup: HashMap::new(),
+        }
+    }
+}
+
+type PredShard = Shard<PredNode, PredEntry>;
+type ExprShard = Shard<ExprNode, ExprEntry>;
+
+struct IrArena {
+    preds: Vec<RwLock<PredShard>>,
+    exprs: Vec<RwLock<ExprShard>>,
+    pred_hits: AtomicU64,
+    expr_hits: AtomicU64,
+    /// Lock acquisitions that found their shard held and had to block.
+    contention: AtomicU64,
+}
+
+/// Packs a shard number and a shard-local index into a handle.
+fn compose(shard: usize, local: usize) -> u32 {
+    ((local as u32) << SHARD_BITS) | shard as u32
+}
+
+/// The shard number encoded in a handle.
+fn shard_of(id: u32) -> usize {
+    (id as usize) & (N_SHARDS - 1)
+}
+
+/// The shard-local index encoded in a handle.
+fn local_of(id: u32) -> usize {
+    (id >> SHARD_BITS) as usize
+}
+
+impl IrArena {
+    fn new() -> IrArena {
+        let arena = IrArena {
+            preds: (0..N_SHARDS)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            exprs: (0..N_SHARDS)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            pred_hits: AtomicU64::new(0),
+            expr_hits: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+        };
         // Fixed ids for the constants, mirroring the solver's `Ctx`:
         // `Pred::TRUE`/`Pred::FALSE` and `Expr::SKIP`/`Expr::ERROR` are
-        // `const` handles relying on this seeding order.
-        s.intern_pred(PredNode::True); // 0
-        s.intern_pred(PredNode::False); // 1
-        s.intern_expr(ExprNode::Skip); // 0
-        s.intern_expr(ExprNode::Error); // 1
-        s.pred_hits = 0;
-        s.expr_hits = 0;
-        s
+        // `const` handles with ids 0 and 1, i.e. local index 0 of shards
+        // 0 and 1. `intern_pred`/`intern_expr` special-case them before
+        // hash routing, so the seeded positions are authoritative.
+        for (shard, node) in [(0, PredNode::True), (1, PredNode::False)] {
+            let mut guard = arena.preds[shard].write().expect("IR arena poisoned");
+            guard.entries.push(PredEntry {
+                node,
+                size: 1,
+                paths: None,
+            });
+            guard.lookup.insert(node, compose(shard, 0));
+        }
+        for (shard, node) in [(0, ExprNode::Skip), (1, ExprNode::Error)] {
+            let mut guard = arena.exprs[shard].write().expect("IR arena poisoned");
+            guard.entries.push(ExprEntry {
+                node,
+                size: 1,
+                paths: None,
+                contents: None,
+            });
+            guard.lookup.insert(node, compose(shard, 0));
+        }
+        arena
     }
 
-    pub(crate) fn intern_pred(&mut self, node: PredNode) -> u32 {
-        if let Some(&id) = self.pred_lookup.get(&node) {
-            self.pred_hits += 1;
+    fn read<'a, N, E>(&'a self, lock: &'a RwLock<Shard<N, E>>) -> RwLockReadGuard<'a, Shard<N, E>> {
+        match lock.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                lock.read().expect("IR arena poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("IR arena poisoned"),
+        }
+    }
+
+    fn write<'a, N, E>(
+        &'a self,
+        lock: &'a RwLock<Shard<N, E>>,
+    ) -> RwLockWriteGuard<'a, Shard<N, E>> {
+        match lock.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                lock.write().expect("IR arena poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("IR arena poisoned"),
+        }
+    }
+
+    fn intern_pred(&self, node: PredNode) -> u32 {
+        // The constants keep their seeded ids regardless of hash routing.
+        match node {
+            PredNode::True => {
+                self.pred_hits.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
+            PredNode::False => {
+                self.pred_hits.fetch_add(1, Ordering::Relaxed);
+                return 1;
+            }
+            _ => {}
+        }
+        let shard = rehearsal_sync::shard_index(&node, N_SHARDS);
+        let lock = &self.preds[shard];
+        if let Some(&id) = self.read(lock).lookup.get(&node) {
+            self.pred_hits.fetch_add(1, Ordering::Relaxed);
             return id;
         }
+        // Children are already interned, so their sizes are readable from
+        // their own shards; no lock is held while we gather them.
         let size = match node {
             PredNode::True
             | PredNode::False
@@ -136,23 +246,41 @@ impl IrStore {
             | PredNode::IsEmptyDir(_)
             | PredNode::MetaIs(_, _, _) => 1,
             PredNode::And(a, b) | PredNode::Or(a, b) => {
-                1 + self.preds[a.index() as usize].size + self.preds[b.index() as usize].size
+                1 + self.pred_size(a.index()) + self.pred_size(b.index())
             }
-            PredNode::Not(a) => 1 + self.preds[a.index() as usize].size,
+            PredNode::Not(a) => 1 + self.pred_size(a.index()),
         };
-        let id = self.preds.len() as u32;
-        self.preds.push(PredEntry {
+        let mut guard = self.write(lock);
+        if let Some(&id) = guard.lookup.get(&node) {
+            self.pred_hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        let id = compose(shard, guard.entries.len());
+        guard.entries.push(PredEntry {
             node,
             size,
             paths: None,
         });
-        self.pred_lookup.insert(node, id);
+        guard.lookup.insert(node, id);
         id
     }
 
-    pub(crate) fn intern_expr(&mut self, node: ExprNode) -> u32 {
-        if let Some(&id) = self.expr_lookup.get(&node) {
-            self.expr_hits += 1;
+    fn intern_expr(&self, node: ExprNode) -> u32 {
+        match node {
+            ExprNode::Skip => {
+                self.expr_hits.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
+            ExprNode::Error => {
+                self.expr_hits.fetch_add(1, Ordering::Relaxed);
+                return 1;
+            }
+            _ => {}
+        }
+        let shard = rehearsal_sync::shard_index(&node, N_SHARDS);
+        let lock = &self.exprs[shard];
+        if let Some(&id) = self.read(lock).lookup.get(&node) {
+            self.expr_hits.fetch_add(1, Ordering::Relaxed);
             return id;
         }
         let size = match node {
@@ -163,72 +291,124 @@ impl IrStore {
             | ExprNode::Rm(_)
             | ExprNode::Cp(_, _)
             | ExprNode::ChMeta(_, _, _) => 1,
-            ExprNode::Seq(a, b) => {
-                1 + self.exprs[a.index() as usize].size + self.exprs[b.index() as usize].size
-            }
+            ExprNode::Seq(a, b) => 1 + self.expr_size(a.index()) + self.expr_size(b.index()),
             ExprNode::If(p, a, b) => {
-                1 + self.preds[p.index() as usize].size
-                    + self.exprs[a.index() as usize].size
-                    + self.exprs[b.index() as usize].size
+                1 + self.pred_size(p.index())
+                    + self.expr_size(a.index())
+                    + self.expr_size(b.index())
             }
         };
-        let id = self.exprs.len() as u32;
-        self.exprs.push(ExprEntry {
+        let mut guard = self.write(lock);
+        if let Some(&id) = guard.lookup.get(&node) {
+            self.expr_hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        let id = compose(shard, guard.entries.len());
+        guard.entries.push(ExprEntry {
             node,
             size,
             paths: None,
             contents: None,
         });
-        self.expr_lookup.insert(node, id);
+        guard.lookup.insert(node, id);
         id
     }
 
-    pub(crate) fn pred_node(&self, id: u32) -> PredNode {
-        self.preds[id as usize].node
+    fn pred_node(&self, id: u32) -> PredNode {
+        self.read(&self.preds[shard_of(id)]).entries[local_of(id)].node
     }
 
-    pub(crate) fn expr_node(&self, id: u32) -> ExprNode {
-        self.exprs[id as usize].node
+    fn expr_node(&self, id: u32) -> ExprNode {
+        self.read(&self.exprs[shard_of(id)]).entries[local_of(id)].node
     }
 
-    pub(crate) fn pred_size(&self, id: u32) -> u64 {
-        self.preds[id as usize].size
+    fn pred_size(&self, id: u32) -> u64 {
+        self.read(&self.preds[shard_of(id)]).entries[local_of(id)].size
     }
 
-    pub(crate) fn expr_size(&self, id: u32) -> u64 {
-        self.exprs[id as usize].size
+    fn expr_size(&self, id: u32) -> u64 {
+        self.read(&self.exprs[shard_of(id)]).entries[local_of(id)].size
     }
 
     /// Already-computed path set of a predicate, if any (read-only probe
     /// so the common cached case needs no exclusive lock).
-    pub(crate) fn try_pred_paths(&self, id: u32) -> Option<Arc<BTreeSet<FsPath>>> {
-        self.preds[id as usize].paths.as_ref().map(Arc::clone)
+    fn try_pred_paths(&self, id: u32) -> Option<Arc<BTreeSet<FsPath>>> {
+        self.read(&self.preds[shard_of(id)]).entries[local_of(id)]
+            .paths
+            .as_ref()
+            .map(Arc::clone)
     }
 
     /// Already-computed path set of an expression, if any.
-    pub(crate) fn try_expr_paths(&self, id: u32) -> Option<Arc<BTreeSet<FsPath>>> {
-        self.exprs[id as usize].paths.as_ref().map(Arc::clone)
+    fn try_expr_paths(&self, id: u32) -> Option<Arc<BTreeSet<FsPath>>> {
+        self.read(&self.exprs[shard_of(id)]).entries[local_of(id)]
+            .paths
+            .as_ref()
+            .map(Arc::clone)
     }
 
     /// Already-computed content set of an expression, if any.
-    pub(crate) fn try_expr_contents(&self, id: u32) -> Option<Arc<BTreeSet<Content>>> {
-        self.exprs[id as usize].contents.as_ref().map(Arc::clone)
+    fn try_expr_contents(&self, id: u32) -> Option<Arc<BTreeSet<Content>>> {
+        self.read(&self.exprs[shard_of(id)]).entries[local_of(id)]
+            .contents
+            .as_ref()
+            .map(Arc::clone)
+    }
+
+    /// Publishes a computed path set; first writer wins, so repeated
+    /// calls on the same node keep returning the same shared allocation.
+    fn store_pred_paths(&self, id: u32, set: Arc<BTreeSet<FsPath>>) -> Arc<BTreeSet<FsPath>> {
+        let mut guard = self.write(&self.preds[shard_of(id)]);
+        let slot = &mut guard.entries[local_of(id)].paths;
+        match slot {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                *slot = Some(Arc::clone(&set));
+                set
+            }
+        }
+    }
+
+    fn store_expr_paths(&self, id: u32, set: Arc<BTreeSet<FsPath>>) -> Arc<BTreeSet<FsPath>> {
+        let mut guard = self.write(&self.exprs[shard_of(id)]);
+        let slot = &mut guard.entries[local_of(id)].paths;
+        match slot {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                *slot = Some(Arc::clone(&set));
+                set
+            }
+        }
+    }
+
+    fn store_expr_contents(&self, id: u32, set: Arc<BTreeSet<Content>>) -> Arc<BTreeSet<Content>> {
+        let mut guard = self.write(&self.exprs[shard_of(id)]);
+        let slot = &mut guard.entries[local_of(id)].contents;
+        match slot {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                *slot = Some(Arc::clone(&set));
+                set
+            }
+        }
     }
 
     /// Memoized path set of a predicate, computed with an explicit stack
-    /// (two-phase DFS) so the single lock acquisition covers the whole
-    /// computation without recursion.
-    pub(crate) fn pred_paths(&mut self, root: u32) -> Arc<BTreeSet<FsPath>> {
-        if let Some(cached) = &self.preds[root as usize].paths {
-            return Arc::clone(cached);
+    /// (two-phase DFS). Each per-node probe and store is a brief
+    /// single-shard lock, so no lock is held across the traversal and
+    /// concurrent computations of shared subtrees are harmless (both
+    /// compute the same structural fact; the first store wins).
+    fn pred_paths(&self, root: u32) -> Arc<BTreeSet<FsPath>> {
+        if let Some(cached) = self.try_pred_paths(root) {
+            return cached;
         }
         // (id, children_visited)
         let mut stack: Vec<(u32, bool)> = vec![(root, false)];
         while let Some((id, expanded)) = stack.pop() {
-            if self.preds[id as usize].paths.is_some() {
+            if self.try_pred_paths(id).is_some() {
                 continue;
             }
-            let node = self.preds[id as usize].node;
+            let node = self.pred_node(id);
             if !expanded {
                 stack.push((id, true));
                 match node {
@@ -241,6 +421,7 @@ impl IrStore {
                 }
                 continue;
             }
+            let cached = |i: u32| self.try_pred_paths(i).expect("computed");
             let set = match node {
                 PredNode::True | PredNode::False => Arc::new(BTreeSet::new()),
                 PredNode::DoesNotExist(p)
@@ -248,87 +429,27 @@ impl IrStore {
                 | PredNode::IsDir(p)
                 | PredNode::IsEmptyDir(p)
                 | PredNode::MetaIs(p, _, _) => Arc::new(BTreeSet::from([p])),
-                PredNode::And(a, b) | PredNode::Or(a, b) => merge_sets(
-                    self.cached_pred_paths(a.index()),
-                    self.cached_pred_paths(b.index()),
-                ),
-                PredNode::Not(a) => self.cached_pred_paths(a.index()),
+                PredNode::And(a, b) | PredNode::Or(a, b) => {
+                    merge_sets(cached(a.index()), cached(b.index()))
+                }
+                PredNode::Not(a) => cached(a.index()),
             };
-            self.preds[id as usize].paths = Some(set);
+            self.store_pred_paths(id, set);
         }
-        self.cached_pred_paths(root)
-    }
-
-    fn cached_pred_paths(&self, id: u32) -> Arc<BTreeSet<FsPath>> {
-        Arc::clone(self.preds[id as usize].paths.as_ref().expect("computed"))
-    }
-
-    fn cached_expr_paths(&self, id: u32) -> Arc<BTreeSet<FsPath>> {
-        Arc::clone(self.exprs[id as usize].paths.as_ref().expect("computed"))
+        self.try_pred_paths(root).expect("computed")
     }
 
     /// Memoized path set of an expression (includes guard predicates).
-    pub(crate) fn expr_paths(&mut self, root: u32) -> Arc<BTreeSet<FsPath>> {
-        if let Some(cached) = &self.exprs[root as usize].paths {
-            return Arc::clone(cached);
+    fn expr_paths(&self, root: u32) -> Arc<BTreeSet<FsPath>> {
+        if let Some(cached) = self.try_expr_paths(root) {
+            return cached;
         }
         let mut stack: Vec<(u32, bool)> = vec![(root, false)];
         while let Some((id, expanded)) = stack.pop() {
-            if self.exprs[id as usize].paths.is_some() {
+            if self.try_expr_paths(id).is_some() {
                 continue;
             }
-            let node = self.exprs[id as usize].node;
-            if !expanded {
-                stack.push((id, true));
-                match node {
-                    ExprNode::Seq(a, b) => {
-                        stack.push((a.index(), false));
-                        stack.push((b.index(), false));
-                    }
-                    ExprNode::If(_, a, b) => {
-                        stack.push((a.index(), false));
-                        stack.push((b.index(), false));
-                    }
-                    _ => {}
-                }
-                continue;
-            }
-            let set = match node {
-                ExprNode::Skip | ExprNode::Error => Arc::new(BTreeSet::new()),
-                ExprNode::Mkdir(p)
-                | ExprNode::CreateFile(p, _)
-                | ExprNode::Rm(p)
-                | ExprNode::ChMeta(p, _, _) => Arc::new(BTreeSet::from([p])),
-                ExprNode::Cp(a, b) => Arc::new(BTreeSet::from([a, b])),
-                ExprNode::Seq(a, b) => merge_sets(
-                    self.cached_expr_paths(a.index()),
-                    self.cached_expr_paths(b.index()),
-                ),
-                ExprNode::If(p, a, b) => {
-                    let guard = self.pred_paths(p.index());
-                    let branches = merge_sets(
-                        self.cached_expr_paths(a.index()),
-                        self.cached_expr_paths(b.index()),
-                    );
-                    merge_sets(guard, branches)
-                }
-            };
-            self.exprs[id as usize].paths = Some(set);
-        }
-        self.cached_expr_paths(root)
-    }
-
-    /// Memoized content set of an expression.
-    pub(crate) fn expr_contents(&mut self, root: u32) -> Arc<BTreeSet<Content>> {
-        if let Some(cached) = &self.exprs[root as usize].contents {
-            return Arc::clone(cached);
-        }
-        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
-        while let Some((id, expanded)) = stack.pop() {
-            if self.exprs[id as usize].contents.is_some() {
-                continue;
-            }
-            let node = self.exprs[id as usize].node;
+            let node = self.expr_node(id);
             if !expanded {
                 stack.push((id, true));
                 match node {
@@ -340,9 +461,49 @@ impl IrStore {
                 }
                 continue;
             }
-            let cached = |i: u32| -> Arc<BTreeSet<Content>> {
-                Arc::clone(self.exprs[i as usize].contents.as_ref().expect("computed"))
+            let cached = |i: u32| self.try_expr_paths(i).expect("computed");
+            let set = match node {
+                ExprNode::Skip | ExprNode::Error => Arc::new(BTreeSet::new()),
+                ExprNode::Mkdir(p)
+                | ExprNode::CreateFile(p, _)
+                | ExprNode::Rm(p)
+                | ExprNode::ChMeta(p, _, _) => Arc::new(BTreeSet::from([p])),
+                ExprNode::Cp(a, b) => Arc::new(BTreeSet::from([a, b])),
+                ExprNode::Seq(a, b) => merge_sets(cached(a.index()), cached(b.index())),
+                ExprNode::If(p, a, b) => {
+                    let guard = self.pred_paths(p.index());
+                    let branches = merge_sets(cached(a.index()), cached(b.index()));
+                    merge_sets(guard, branches)
+                }
             };
+            self.store_expr_paths(id, set);
+        }
+        self.try_expr_paths(root).expect("computed")
+    }
+
+    /// Memoized content set of an expression.
+    fn expr_contents(&self, root: u32) -> Arc<BTreeSet<Content>> {
+        if let Some(cached) = self.try_expr_contents(root) {
+            return cached;
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.try_expr_contents(id).is_some() {
+                continue;
+            }
+            let node = self.expr_node(id);
+            if !expanded {
+                stack.push((id, true));
+                match node {
+                    ExprNode::Seq(a, b) | ExprNode::If(_, a, b) => {
+                        stack.push((a.index(), false));
+                        stack.push((b.index(), false));
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let cached = |i: u32| self.try_expr_contents(i).expect("computed");
             let set = match node {
                 ExprNode::CreateFile(_, c) => Arc::new(BTreeSet::from([c])),
                 ExprNode::Seq(a, b) | ExprNode::If(_, a, b) => {
@@ -350,22 +511,17 @@ impl IrStore {
                 }
                 _ => Arc::new(BTreeSet::new()),
             };
-            self.exprs[id as usize].contents = Some(set);
+            self.store_expr_contents(id, set);
         }
-        Arc::clone(
-            self.exprs[root as usize]
-                .contents
-                .as_ref()
-                .expect("computed"),
-        )
+        self.try_expr_contents(root).expect("computed")
     }
 
     fn stats(&self) -> ArenaStats {
         ArenaStats {
-            pred_nodes: self.preds.len(),
-            expr_nodes: self.exprs.len(),
-            pred_dedup_hits: self.pred_hits,
-            expr_dedup_hits: self.expr_hits,
+            pred_nodes: self.preds.iter().map(|s| self.read(s).entries.len()).sum(),
+            expr_nodes: self.exprs.iter().map(|s| self.read(s).entries.len()).sum(),
+            pred_dedup_hits: self.pred_hits.load(Ordering::Relaxed),
+            expr_dedup_hits: self.expr_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -385,23 +541,54 @@ fn merge_sets<T: Ord + Copy>(a: Arc<BTreeSet<T>>, b: Arc<BTreeSet<T>>) -> Arc<BT
     Arc::new(out)
 }
 
-fn ir() -> &'static RwLock<IrStore> {
-    static IR: OnceLock<RwLock<IrStore>> = OnceLock::new();
-    IR.get_or_init(|| RwLock::new(IrStore::new()))
+fn ir() -> &'static IrArena {
+    static IR: OnceLock<IrArena> = OnceLock::new();
+    IR.get_or_init(IrArena::new)
 }
 
-/// Mutating access (interning, filling memo caches): exclusive lock.
-pub(crate) fn with_ir<R>(f: impl FnOnce(&mut IrStore) -> R) -> R {
-    let mut guard = ir().write().expect("IR arena poisoned");
-    f(&mut guard)
+/// Interns a predicate node, returning its process-stable id.
+pub(crate) fn intern_pred(node: PredNode) -> u32 {
+    ir().intern_pred(node)
 }
 
-/// Read-only access (node/size lookups — the per-node hot path of every
-/// evaluator and analysis): shared lock, so fleet worker threads running
-/// independent analyses read the arena in parallel.
-pub(crate) fn read_ir<R>(f: impl FnOnce(&IrStore) -> R) -> R {
-    let guard = ir().read().expect("IR arena poisoned");
-    f(&guard)
+/// Interns an expression node, returning its process-stable id.
+pub(crate) fn intern_expr(node: ExprNode) -> u32 {
+    ir().intern_expr(node)
+}
+
+/// The node a predicate id denotes, one level deep.
+pub(crate) fn pred_node(id: u32) -> PredNode {
+    ir().pred_node(id)
+}
+
+/// The node an expression id denotes, one level deep.
+pub(crate) fn expr_node(id: u32) -> ExprNode {
+    ir().expr_node(id)
+}
+
+/// Memoized AST node count of a predicate.
+pub(crate) fn pred_size(id: u32) -> u64 {
+    ir().pred_size(id)
+}
+
+/// Memoized AST node count of an expression.
+pub(crate) fn expr_size(id: u32) -> u64 {
+    ir().expr_size(id)
+}
+
+/// Memoized path set of a predicate.
+pub(crate) fn pred_paths(id: u32) -> Arc<BTreeSet<FsPath>> {
+    ir().pred_paths(id)
+}
+
+/// Memoized path set of an expression (includes guard predicates).
+pub(crate) fn expr_paths(id: u32) -> Arc<BTreeSet<FsPath>> {
+    ir().expr_paths(id)
+}
+
+/// Memoized content set of an expression.
+pub(crate) fn expr_contents(id: u32) -> Arc<BTreeSet<Content>> {
+    ir().expr_contents(id)
 }
 
 /// A snapshot of the arena's size and sharing counters.
@@ -409,7 +596,13 @@ pub(crate) fn read_ir<R>(f: impl FnOnce(&IrStore) -> R) -> R {
 /// The arena is process-global and append-only, so meaningful per-workload
 /// numbers come from diffing two snapshots with [`ArenaStats::since`].
 pub fn arena_stats() -> ArenaStats {
-    with_ir(|ir| ir.stats())
+    ir().stats()
+}
+
+/// Number of shard-lock acquisitions that found their stripe held by
+/// another thread and had to block (cumulative for the process).
+pub fn arena_shard_contention() -> u64 {
+    ir().contention.load(Ordering::Relaxed)
 }
 
 /// Publishes the arena's size and sharing counters into the current trace
@@ -425,6 +618,7 @@ pub fn publish_arena_metrics() {
     rehearsal_trace::gauge_max("arena.expr_nodes", s.expr_nodes as i64);
     rehearsal_trace::gauge_max("arena.pred_dedup_hits", s.pred_dedup_hits as i64);
     rehearsal_trace::gauge_max("arena.expr_dedup_hits", s.expr_dedup_hits as i64);
+    rehearsal_trace::gauge_max("arena.shard_contention", arena_shard_contention() as i64);
 }
 
 #[cfg(test)]
@@ -454,5 +648,29 @@ mod tests {
         };
         assert_eq!(s.requests(), 20);
         assert!((s.dedup_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_keep_their_seeded_ids() {
+        assert_eq!(intern_pred(PredNode::True), 0);
+        assert_eq!(intern_pred(PredNode::False), 1);
+        assert_eq!(intern_expr(ExprNode::Skip), 0);
+        assert_eq!(intern_expr(ExprNode::Error), 1);
+        assert!(matches!(pred_node(0), PredNode::True));
+        assert!(matches!(pred_node(1), PredNode::False));
+        assert!(matches!(expr_node(0), ExprNode::Skip));
+        assert!(matches!(expr_node(1), ExprNode::Error));
+    }
+
+    #[test]
+    fn handles_encode_their_shard() {
+        let p = crate::FsPath::parse("/arena-shard-test").unwrap();
+        let id = intern_expr(ExprNode::Mkdir(p));
+        assert_eq!(
+            shard_of(id),
+            rehearsal_sync::shard_index(&ExprNode::Mkdir(p), N_SHARDS)
+        );
+        // Interning again returns the same handle.
+        assert_eq!(intern_expr(ExprNode::Mkdir(p)), id);
     }
 }

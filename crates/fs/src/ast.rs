@@ -16,7 +16,7 @@
 //! [`Expr::node`], which return the [`PredNode`] / [`ExprNode`] one level
 //! deep with child *handles* in place of the old boxed subtrees.
 
-use crate::arena::{read_ir, with_ir};
+use crate::arena;
 use crate::meta::MetaField;
 use crate::path::{Content, FsPath};
 use std::collections::BTreeSet;
@@ -126,7 +126,7 @@ impl PredId {
     /// [`PredId::not`]); raw interning exists for tests and for callers
     /// that must keep a specific shape.
     pub fn intern(node: PredNode) -> Pred {
-        PredId(with_ir(|ir| ir.intern_pred(node)))
+        PredId(arena::intern_pred(node))
     }
 
     /// `none?(p)`.
@@ -185,24 +185,22 @@ impl PredId {
 
     /// The node this handle denotes, one level deep.
     pub fn node(self) -> PredNode {
-        read_ir(|ir| ir.pred_node(self.0))
+        arena::pred_node(self.0)
     }
 
     /// All paths mentioned by this predicate (memoized and shared: repeated
     /// calls on the same node return the same allocation).
     pub fn paths(self) -> Arc<BTreeSet<FsPath>> {
-        if let Some(cached) = read_ir(|ir| ir.try_pred_paths(self.0)) {
-            return cached;
-        }
-        with_ir(|ir| ir.pred_paths(self.0))
+        arena::pred_paths(self.0)
     }
 
     /// Number of AST nodes (memoized).
     pub fn size(self) -> usize {
-        read_ir(|ir| ir.pred_size(self.0)) as usize
+        arena::pred_size(self.0) as usize
     }
 
-    /// The raw arena index (stable for the process lifetime).
+    /// The raw arena id (stable for the process lifetime; encodes the
+    /// owning shard in its low bits, so ids are not dense).
     pub fn index(self) -> u32 {
         self.0
     }
@@ -236,7 +234,7 @@ impl ExprId {
     /// Interns a node verbatim, *without* smart-constructor folding (see
     /// [`PredId::intern`]).
     pub fn intern(node: ExprNode) -> Expr {
-        ExprId(with_ir(|ir| ir.intern_expr(node)))
+        ExprId(arena::intern_expr(node))
     }
 
     /// `mkdir(p)`.
@@ -316,32 +314,27 @@ impl ExprId {
 
     /// The node this handle denotes, one level deep.
     pub fn node(self) -> ExprNode {
-        read_ir(|ir| ir.expr_node(self.0))
+        arena::expr_node(self.0)
     }
 
     /// All paths that appear in the program text, including guard
     /// predicates (memoized and shared across callers).
     pub fn paths(self) -> Arc<BTreeSet<FsPath>> {
-        if let Some(cached) = read_ir(|ir| ir.try_expr_paths(self.0)) {
-            return cached;
-        }
-        with_ir(|ir| ir.expr_paths(self.0))
+        arena::expr_paths(self.0)
     }
 
     /// All file contents that appear in the program text (memoized).
     pub fn contents(self) -> Arc<BTreeSet<Content>> {
-        if let Some(cached) = read_ir(|ir| ir.try_expr_contents(self.0)) {
-            return cached;
-        }
-        with_ir(|ir| ir.expr_contents(self.0))
+        arena::expr_contents(self.0)
     }
 
     /// Number of AST nodes (memoized).
     pub fn size(self) -> usize {
-        read_ir(|ir| ir.expr_size(self.0)) as usize
+        arena::expr_size(self.0) as usize
     }
 
-    /// The raw arena index (stable for the process lifetime).
+    /// The raw arena id (stable for the process lifetime; encodes the
+    /// owning shard in its low bits, so ids are not dense).
     pub fn index(self) -> u32 {
         self.0
     }

@@ -55,7 +55,7 @@ mod path;
 mod state;
 mod statefile;
 
-pub use arena::{arena_stats, publish_arena_metrics, ArenaStats};
+pub use arena::{arena_shard_contention, arena_stats, publish_arena_metrics, ArenaStats};
 pub use ast::{Expr, ExprId, ExprNode, Pred, PredId, PredNode};
 pub use enumerate::{check_equiv_brute_force, enumerate_filesystems, observe, Outcome};
 pub use eval::{eval, eval_pred, ExecError};

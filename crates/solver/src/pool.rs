@@ -1,0 +1,155 @@
+//! A bounded shared pool of learnt clauses.
+//!
+//! Parallel explorer workers each own a persistent incremental solver
+//! (see [`crate::ctx::Ctx::solve_assuming`]). Their permanent clause
+//! databases agree on a shared variable prefix — the finite-domain
+//! one-hot bits and background assertions created before exploration
+//! starts — so short learnt clauses over that prefix proved by one worker
+//! hold for every worker. The pool is the exchange point: workers
+//! [`publish`](ClausePool::publish) their exportable clauses periodically
+//! and [`fetch_since`](ClausePool::fetch_since) everything published by
+//! siblings since their last visit, tracked by a per-worker generation
+//! cursor.
+//!
+//! The pool is append-only and bounded: once `capacity` clauses are
+//! stored, further publishes are dropped (sharing is an optimization;
+//! losing a clause never affects verdicts). Duplicate clauses are
+//! filtered so a popular clause is shipped once.
+
+use crate::lit::Lit;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Default clause capacity for explorer pools.
+pub const DEFAULT_POOL_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    clauses: Vec<Vec<Lit>>,
+    seen: HashSet<Vec<Lit>>,
+    dropped: u64,
+}
+
+/// A bounded, append-only exchange of learnt clauses between sibling
+/// solvers (see the [module documentation](self)).
+#[derive(Debug)]
+pub struct ClausePool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+}
+
+impl Default for ClausePool {
+    fn default() -> Self {
+        ClausePool::new(DEFAULT_POOL_CAPACITY)
+    }
+}
+
+impl ClausePool {
+    /// An empty pool holding at most `capacity` clauses.
+    pub fn new(capacity: usize) -> ClausePool {
+        ClausePool {
+            inner: Mutex::new(PoolInner::default()),
+            capacity,
+        }
+    }
+
+    /// Publishes clauses into the pool; returns how many were accepted
+    /// (duplicates and over-capacity clauses are dropped). Literals are
+    /// sorted for canonical duplicate detection — order within a clause
+    /// is semantically irrelevant.
+    pub fn publish(&self, clauses: impl IntoIterator<Item = Vec<Lit>>) -> usize {
+        let mut inner = self.inner.lock().expect("clause pool poisoned");
+        let mut accepted = 0;
+        for mut c in clauses {
+            if c.is_empty() {
+                continue;
+            }
+            c.sort_unstable();
+            c.dedup();
+            if inner.clauses.len() >= self.capacity {
+                inner.dropped += 1;
+                continue;
+            }
+            if inner.seen.insert(c.clone()) {
+                inner.clauses.push(c);
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// Everything published since generation `cursor` (a value previously
+    /// returned by this method, or 0 for "from the beginning"), plus the
+    /// new cursor. The pool is append-only, so cursors stay valid.
+    pub fn fetch_since(&self, cursor: usize) -> (Vec<Vec<Lit>>, usize) {
+        let inner = self.inner.lock().expect("clause pool poisoned");
+        let fresh = inner.clauses[cursor.min(inner.clauses.len())..].to_vec();
+        (fresh, inner.clauses.len())
+    }
+
+    /// Number of clauses currently stored.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("clause pool poisoned")
+            .clauses
+            .len()
+    }
+
+    /// Whether the pool holds no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of publishes dropped because the pool was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("clause pool poisoned").dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+
+    #[test]
+    fn publish_and_fetch_with_cursors() {
+        let pool = ClausePool::new(16);
+        assert!(pool.is_empty());
+        assert_eq!(pool.publish([vec![lit(0), lit(1)]]), 1);
+        let (batch, cur) = pool.fetch_since(0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(cur, 1);
+        // Nothing new since the cursor.
+        let (batch, cur2) = pool.fetch_since(cur);
+        assert!(batch.is_empty());
+        assert_eq!(cur2, 1);
+        // A later publish shows up from the old cursor only.
+        assert_eq!(pool.publish([vec![lit(2)]]), 1);
+        let (batch, _) = pool.fetch_since(cur);
+        assert_eq!(batch, vec![vec![lit(2)]]);
+    }
+
+    #[test]
+    fn duplicates_are_filtered() {
+        let pool = ClausePool::new(16);
+        assert_eq!(pool.publish([vec![lit(0), lit(1)]]), 1);
+        // Same clause, different literal order: canonicalized away.
+        assert_eq!(pool.publish([vec![lit(1), lit(0)]]), 0);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_the_pool() {
+        let pool = ClausePool::new(2);
+        assert_eq!(pool.publish([vec![lit(0)], vec![lit(1)], vec![lit(2)]]), 2);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.dropped(), 1);
+        // Empty clauses are never stored.
+        assert_eq!(pool.publish([vec![]]), 0);
+    }
+}

@@ -5,7 +5,7 @@
 //! rehearsal idempotence <manifest.pp> [...]
 //! rehearsal graph <manifest.pp> [...]
 //! rehearsal benchmarks [--json] [--timeout SECONDS]
-//! rehearsal fleet <DIR|FILE...> [--jobs N] [--json] [--cache FILE] [--baseline FILE] [...]
+//! rehearsal fleet <DIR|FILE...> [--jobs N] [--threads N] [--json] [--cache FILE] [--baseline FILE] [...]
 //! ```
 
 use rehearsal::fleet::{
@@ -51,6 +51,9 @@ OPTIONS:
     --no-commutativity           disable the commutativity check (fig. 11c)
     --no-pruning                 disable path pruning (fig. 11b)
     --no-elimination             disable resource elimination
+    --threads <N>                explorer threads per analysis; 0 = auto
+                                 (one per CPU), 1 = exact sequential
+                                 traversal            [default: auto]
 
 OBSERVABILITY:
     --timings                    print the per-phase timing tree to stderr
@@ -60,7 +63,11 @@ OBSERVABILITY:
                                  textfile format
 
 FLEET OPTIONS:
-    --jobs <N>                   worker threads         [default: one per CPU]
+    --jobs <N>                   manifest workers; cores left over become
+                                 explorer threads       [default: auto]
+                                 (with --threads, jobs × threads is capped
+                                 at the core count; the report header
+                                 echoes the resolved split)
     --cache <FILE>               JSONL verdict cache, reused across runs
     --baseline <FILE>            differential-verification baseline: persists
                                  graph digests, footprint summaries, and pair
@@ -92,6 +99,7 @@ struct Args {
     state: Option<String>,
     json: bool,
     jobs: usize,
+    threads: usize,
     cache: Option<String>,
     baseline: Option<String>,
     list: Option<String>,
@@ -111,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
     let mut state = None;
     let mut json = false;
     let mut jobs = 0;
+    let mut threads = 0;
     let mut cache = None;
     let mut baseline = None;
     let mut list = None;
@@ -136,6 +145,10 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => {
                 let v = argv.next().ok_or("--jobs needs a value")?;
                 jobs = v.parse().map_err(|_| "bad --jobs value")?;
+            }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| "bad --threads value")?;
             }
             "--cache" => {
                 cache = Some(argv.next().ok_or("--cache needs a value")?);
@@ -174,6 +187,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
+    // Single-manifest commands get the resolved thread count directly;
+    // `fleet` keeps the raw request (0 = auto) so the engine can divide
+    // cores between manifest jobs and per-manifest threads itself.
+    options.threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
     Ok(Args {
         command,
         paths,
@@ -182,6 +205,7 @@ fn parse_args() -> Result<Args, String> {
         state,
         json,
         jobs,
+        threads,
         cache,
         baseline,
         list,
@@ -529,6 +553,7 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
 
     let options = FleetOptions {
         jobs: args.jobs,
+        threads: args.threads,
         analysis: args.options.clone(),
         cancel: None,
     };
