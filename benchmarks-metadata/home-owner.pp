@@ -5,6 +5,7 @@ file { '/home': ensure => directory }
 user { 'deploy':
   ensure     => present,
   managehome => true,
+  require    => File['/home'],
 }
 
 file { '/home/deploy':

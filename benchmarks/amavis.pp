@@ -20,5 +20,6 @@ file { '/etc/amavis/conf.d/50-user':
 
 service { 'amavis':
   ensure  => running,
-  require => [Package['amavisd-new'], File['/etc/amavis/conf.d/50-user']],
+  require   => Package['amavisd-new'],
+  subscribe => File['/etc/amavis/conf.d/50-user'],
 }

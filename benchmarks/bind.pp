@@ -9,5 +9,6 @@ file { '/etc/bind/named.conf.local':
 
 service { 'bind9':
   ensure  => running,
-  require => [Package['bind9'], File['/etc/bind/named.conf.local']],
+  require   => Package['bind9'],
+  subscribe => File['/etc/bind/named.conf.local'],
 }

@@ -20,5 +20,6 @@ file { '/etc/clamav/clamd.conf':
 
 service { 'clamav-daemon':
   ensure  => running,
-  require => [Package['clamav-daemon'], File['/etc/clamav/clamd.conf']],
+  require   => Package['clamav-daemon'],
+  subscribe => File['/etc/clamav/clamd.conf'],
 }

@@ -23,7 +23,8 @@ file { '/var/www/html/index.html':
 service { 'apache2':
   ensure  => running,
   enable  => true,
-  require => [Package['php5'], File['/etc/apache2/sites-available/000-default.conf']],
+  require   => Package['php5'],
+  subscribe => File['/etc/apache2/sites-available/000-default.conf'],
 }
 
 service { 'mysql':

@@ -30,5 +30,6 @@ file { '/etc/maven/settings.xml':
 
 service { 'tomcat7':
   ensure  => running,
-  require => [Package['tomcat7'], File['/etc/tomcat7/tomcat-users.xml']],
+  require   => Package['tomcat7'],
+  subscribe => File['/etc/tomcat7/tomcat-users.xml'],
 }

@@ -10,5 +10,6 @@ file { '/etc/monit/monitrc':
 service { 'monit':
   ensure  => running,
   enable  => true,
-  require => [Package['monit'], File['/etc/monit/monitrc']],
+  require   => Package['monit'],
+  subscribe => File['/etc/monit/monitrc'],
 }

@@ -11,5 +11,6 @@ file { '/etc/ntp.conf':
 
 service { 'ntp':
   ensure  => running,
-  require => [Package['ntp'], File['/etc/ntp.conf']],
+  require   => Package['ntp'],
+  subscribe => File['/etc/ntp.conf'],
 }

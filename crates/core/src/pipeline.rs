@@ -336,38 +336,6 @@ impl Rehearsal {
         ))
     }
 
-    /// Deprecated shim for the pre-unified-diagnostics API: diagnostics as
-    /// plain strings.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Rehearsal::lower_source`].
-    #[deprecated(since = "0.2.0", note = "use `lower_source` (structured diagnostics)")]
-    pub fn lower_with_diagnostics(
-        &self,
-        source: &str,
-    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
-        let (graph, diags) = self.lower_source(source)?;
-        Ok((graph, diags.into_iter().map(|d| d.message).collect()))
-    }
-
-    /// Deprecated shim for the pre-unified-diagnostics API.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Rehearsal::lower_catalog_source`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `lower_catalog_source` (structured diagnostics)"
-    )]
-    pub fn lower_catalog_with_diagnostics(
-        &self,
-        catalog: &Catalog,
-    ) -> Result<(FsGraph, Vec<String>), RehearsalError> {
-        let (graph, diags) = self.lower_catalog_source(catalog)?;
-        Ok((graph, diags.into_iter().map(|d| d.message).collect()))
-    }
-
     /// Runs the determinacy analysis on a manifest.
     ///
     /// # Errors

@@ -4,6 +4,8 @@
 //!
 //! * `R0xxx` — frontend (lexing, parsing, evaluation, graph construction);
 //! * `R1xxx` — resource compilation and modeling;
+//! * `R2xxx` — static-analysis (lint) findings — solver-free rules over
+//!   the AST, catalog, resource graph, and footprints;
 //! * `R3xxx` — analysis findings (determinism, idempotence, budgets).
 //!
 //! Every [`Diagnostic`](crate::Diagnostic) the pipeline emits must use a
@@ -57,6 +59,29 @@ pub const UNKNOWN_PACKAGE: &str = "R1005";
 pub const BAD_PATH: &str = "R1006";
 /// `ensure => latest` modeling note (aliased or version-bumped).
 pub const LATEST_MODELING: &str = "R1101";
+/// Lint: two resources whose footprints may overlap have no ordering
+/// between them (a sound solver-free race pre-screen).
+pub const LINT_RACE_CANDIDATE: &str = "R2001";
+/// Lint: a service depends on a file it plausibly consumes but is not
+/// notified of changes (`require` instead of `subscribe`/`~>`).
+pub const LINT_MISSING_NOTIFIER: &str = "R2002";
+/// Lint: a resource reference never declared anywhere in the manifest
+/// (including dead branches evaluation never reached).
+pub const LINT_UNDECLARED_REFERENCE: &str = "R2003";
+/// Lint: two `file` resources manage the same path.
+pub const LINT_DUPLICATE_PATH: &str = "R2004";
+/// Lint: a variable is assigned but never used.
+pub const LINT_UNUSED_VARIABLE: &str = "R2005";
+/// Lint: a class or defined-type parameter is never used in its body.
+pub const LINT_UNUSED_PARAMETER: &str = "R2006";
+/// Lint: a resource reads a path an earlier-declared resource writes,
+/// relying on declaration order with no explicit dependency.
+pub const LINT_IMPLICIT_ORDERING: &str = "R2007";
+/// Lint: a `mode` attribute is not a 3–4 digit octal string.
+pub const LINT_INVALID_MODE: &str = "R2008";
+/// Lint: a resource declares a dependency on itself (silently dropped by
+/// the evaluator).
+pub const LINT_SELF_DEPENDENCY: &str = "R2009";
 /// The manifest is non-deterministic: two resources race.
 pub const NONDETERMINISTIC: &str = "R3001";
 /// The manifest is not idempotent.
@@ -142,6 +167,42 @@ pub const REGISTRY: &[CodeInfo] = &[
     CodeInfo {
         code: LATEST_MODELING,
         summary: "`ensure => latest` modeling note",
+    },
+    CodeInfo {
+        code: LINT_RACE_CANDIDATE,
+        summary: "overlapping footprints with no ordering (race candidate)",
+    },
+    CodeInfo {
+        code: LINT_MISSING_NOTIFIER,
+        summary: "service depends on a file without subscribing to it",
+    },
+    CodeInfo {
+        code: LINT_UNDECLARED_REFERENCE,
+        summary: "reference to a resource never declared in the manifest",
+    },
+    CodeInfo {
+        code: LINT_DUPLICATE_PATH,
+        summary: "multiple file resources manage the same path",
+    },
+    CodeInfo {
+        code: LINT_UNUSED_VARIABLE,
+        summary: "variable assigned but never used",
+    },
+    CodeInfo {
+        code: LINT_UNUSED_PARAMETER,
+        summary: "class or define parameter never used",
+    },
+    CodeInfo {
+        code: LINT_IMPLICIT_ORDERING,
+        summary: "read-after-write relies on declaration order",
+    },
+    CodeInfo {
+        code: LINT_INVALID_MODE,
+        summary: "mode is not a 3-4 digit octal string",
+    },
+    CodeInfo {
+        code: LINT_SELF_DEPENDENCY,
+        summary: "resource depends on itself",
     },
     CodeInfo {
         code: NONDETERMINISTIC,

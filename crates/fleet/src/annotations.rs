@@ -143,6 +143,41 @@ mod tests {
     }
 
     #[test]
+    fn report_stream_emits_warning_commands_for_warning_severity() {
+        // A row can mix severities (e.g. an R3001 race plus R2xxx lint
+        // findings); the stream must keep each diagnostic's own command
+        // instead of flattening everything to `::error`.
+        let warn = Diagnostic::warning("R2002", "Service[ntp] not notified of File[/etc/ntp.conf]")
+            .with_primary(Span::at(Pos::new(12, 3)), "ordering-only dependency");
+        let note = Diagnostic::note("R2007", "reads rely on declaration order");
+        let report = FleetReport {
+            rows: vec![row(vec![race_diag(), warn, note])],
+            wall_millis: 1,
+            jobs: 1,
+            threads: 1,
+            steals: 0,
+            max_queue_depth: 1,
+            metrics: rehearsal_trace::MetricsSnapshot::default(),
+        };
+        let stream = github_annotations(&report);
+        let lines: Vec<&str> = stream.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].starts_with("::error file=benchmarks/ntp-nondet.pp"),
+            "{stream}"
+        );
+        assert!(
+            lines[1].starts_with("::warning file=benchmarks/ntp-nondet.pp,line=12,col=3"),
+            "{stream}"
+        );
+        assert!(lines[1].contains("R2002"), "{stream}");
+        assert!(
+            lines[2].starts_with("::notice file=benchmarks/ntp-nondet.pp"),
+            "{stream}"
+        );
+    }
+
+    #[test]
     fn report_stream_is_one_line_per_diagnostic() {
         let report = FleetReport {
             rows: vec![row(vec![race_diag()]), row(Vec::new())],

@@ -58,6 +58,11 @@ pub struct FleetOptions {
     /// Cancelling this token aborts in-flight analyses and skips the
     /// rest (they report as timeouts).
     pub cancel: Option<CancelToken>,
+    /// Run the solver-free lint pass over every readable manifest and
+    /// attach its `R2xxx` findings to the job's row diagnostics (they
+    /// flow into `--annotations` and the JSON rows, and never affect
+    /// verdicts or the verdict cache).
+    pub lint: bool,
 }
 
 impl FleetOptions {
@@ -86,6 +91,13 @@ impl FleetOptions {
     #[must_use]
     pub fn with_analysis(mut self, analysis: AnalysisOptions) -> FleetOptions {
         self.analysis = analysis;
+        self
+    }
+
+    /// Enables the lint pass on every job (see [`FleetOptions::lint`]).
+    #[must_use]
+    pub fn with_lint(mut self, lint: bool) -> FleetOptions {
+        self.lint = lint;
         self
     }
 
@@ -225,6 +237,7 @@ impl FleetEngine {
         // Jobs that lower to the same graph under the same options dedupe
         // onto one analysis whose result fans out to every slot.
         let mut rows: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
+        let mut lint_by_slot: HashMap<usize, Vec<Diagnostic>> = HashMap::new();
         let mut pending: Vec<PendingJob> = Vec::new();
         let mut key_slots: HashMap<u64, Vec<(usize, String, Platform)>> = HashMap::new();
         let mut serial_metrics = rehearsal_trace::MetricsSnapshot::default();
@@ -248,6 +261,23 @@ impl FleetEngine {
                 row.verdict = Verdict::Timeout;
                 rows.push(Some(row));
                 continue;
+            }
+            if self.options.lint {
+                // Lint is source-derived and solver-free: it runs even for
+                // rows the verdict cache answers, and its findings stay
+                // out of the cache so cached verdicts are never polluted.
+                let lint_opts = rehearsal_lint::LintOptions {
+                    platform: job.platform,
+                    ..rehearsal_lint::LintOptions::default()
+                };
+                let lint = rehearsal_lint::lint_source(&job.name, &job.source, &lint_opts);
+                lint_by_slot.insert(
+                    i,
+                    lint.findings
+                        .into_iter()
+                        .filter(|d| d.code.starts_with("R2"))
+                        .collect(),
+                );
             }
             // Sources that previously failed to lower are cached under
             // the raw-source key; check it before re-parsing.
@@ -507,7 +537,11 @@ impl FleetEngine {
             }
         }
 
-        let rows: Vec<JobResult> = rows.into_iter().map(|r| r.expect("row filled")).collect();
+        let mut rows: Vec<JobResult> = rows.into_iter().map(|r| r.expect("row filled")).collect();
+        for (slot, findings) in lint_by_slot {
+            rows[slot].diagnostics.extend(findings);
+        }
+        let rows = rows;
 
         // Fleet-level metrics ride the same registry namespace as the
         // per-job ones, so one Prometheus scrape sees the whole picture.
@@ -990,6 +1024,33 @@ mod tests {
         assert_eq!(c.total(), 4);
         assert_eq!(c.failures(), 3);
         assert_eq!(c.cached, 0);
+    }
+
+    #[test]
+    fn lint_findings_ride_rows_without_changing_verdicts() {
+        let src = "$unused = 1\nfile { '/etc/motd': content => 'hi' }";
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1).with_lint(true));
+        let report = engine.run(vec![job("lint.pp", src)]);
+        assert_eq!(report.rows[0].verdict, Verdict::Deterministic);
+        let codes: Vec<&str> = report.rows[0]
+            .diagnostics
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect();
+        assert!(codes.contains(&"R2005"), "{codes:?}");
+        assert!(report.all_clean(), "lint findings never fail the gate");
+        // A cached second run still re-attaches lint findings (they are
+        // source-derived and deliberately not stored in the cache).
+        let second = engine.run(vec![job("lint.pp", src)]);
+        assert!(second.rows[0].cached);
+        assert!(second.rows[0].diagnostics.iter().any(|d| d.code == "R2005"));
+        // Lint off: no R2xxx diagnostics on the row.
+        let mut plain = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        let report = plain.run(vec![job("lint.pp", src)]);
+        assert!(report.rows[0]
+            .diagnostics
+            .iter()
+            .all(|d| !d.code.starts_with("R2")));
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! Syntactic rules that run on the parsed [`Manifest`] alone — before (and
+//! regardless of whether) evaluation succeeds, so they see dead branches
+//! the evaluator never reaches.
+//!
+//! Rules: undeclared reference (R2003), unused variable (R2005), unused
+//! class/define parameter (R2006), self-dependency (R2009).
+
+use rehearsal_diag::{codes, Diagnostic, Span};
+use rehearsal_puppet::ast::{
+    ChainOperand, Expression, Manifest, Param, Query, ResourceDecl, Statement, StatementKind,
+};
+use rehearsal_puppet::{capitalize, StrPart};
+use std::collections::BTreeSet;
+
+/// Metaparameters whose values are dependency references.
+const EDGE_METAPARAMS: &[&str] = &["before", "require", "notify", "subscribe"];
+
+/// Runs every AST rule, appending findings; returns the number of rules
+/// run.
+pub fn run(manifest: &Manifest, findings: &mut Vec<Diagnostic>) -> usize {
+    let mut facts = AstFacts::default();
+    collect_stmts(&manifest.statements, &mut facts);
+    undeclared_references(&facts, findings);
+    unused_variables(&facts, findings);
+    unused_parameters(&facts, findings);
+    self_dependencies(&facts, findings);
+    4
+}
+
+/// Everything the AST rules need, gathered in one walk over the whole
+/// manifest (dead branches included).
+#[derive(Default)]
+struct AstFacts {
+    /// `(lower-case type, literal title)` pairs declared anywhere.
+    declared: BTreeSet<(String, String)>,
+    /// Types with at least one non-literal title — references to these
+    /// cannot be checked statically.
+    dynamic_types: BTreeSet<String>,
+    /// Class and defined-type names (lower-case).
+    classes: BTreeSet<String>,
+    defines: BTreeSet<String>,
+    /// Variable assignments in source order.
+    assigns: Vec<(String, Span)>,
+    /// Final-segment names of every variable referenced anywhere.
+    uses: BTreeSet<String>,
+    /// Literal resource references: `(lower-case type, title, anchor)`.
+    refs: Vec<(String, String, Span)>,
+    /// Self-dependencies: `(display name, anchor)`.
+    self_deps: Vec<(String, Span)>,
+    /// Classes/defines with parameters, for the unused-parameter rule.
+    param_decls: Vec<ParamDecl>,
+}
+
+struct ParamDecl {
+    kind: &'static str,
+    name: String,
+    params: Vec<String>,
+    /// Variables the body (and other parameter defaults) reference.
+    uses: BTreeSet<String>,
+    span: Span,
+}
+
+/// `$::x` and `$scope::x` both count as uses of `x`.
+fn norm_var(name: &str) -> String {
+    name.rsplit("::").next().unwrap_or(name).to_string()
+}
+
+fn collect_stmts(stmts: &[Statement], facts: &mut AstFacts) {
+    for stmt in stmts {
+        let anchor = stmt.span;
+        match &stmt.kind {
+            StatementKind::Resource(decl) => collect_resource_decl(decl, facts, anchor),
+            StatementKind::Define(d) => {
+                facts.defines.insert(d.name.to_lowercase());
+                let uses = decl_uses(&d.params, &d.body);
+                facts.param_decls.push(ParamDecl {
+                    kind: "defined type",
+                    name: d.name.clone(),
+                    params: d.params.iter().map(|p| p.name.clone()).collect(),
+                    uses,
+                    span: anchor,
+                });
+                for p in &d.params {
+                    if let Some(e) = &p.default {
+                        walk_expr(e, anchor, facts);
+                    }
+                }
+                collect_stmts(&d.body, facts);
+            }
+            StatementKind::Class(c) => {
+                facts.classes.insert(c.name.to_lowercase());
+                let uses = decl_uses(&c.params, &c.body);
+                facts.param_decls.push(ParamDecl {
+                    kind: "class",
+                    name: c.name.clone(),
+                    params: c.params.iter().map(|p| p.name.clone()).collect(),
+                    uses,
+                    span: anchor,
+                });
+                for p in &c.params {
+                    if let Some(e) = &p.default {
+                        walk_expr(e, anchor, facts);
+                    }
+                }
+                collect_stmts(&c.body, facts);
+            }
+            StatementKind::Include(names) => {
+                for n in names {
+                    facts
+                        .refs
+                        .push(("class".to_string(), n.to_lowercase(), anchor));
+                }
+            }
+            StatementKind::Assign(name, e) => {
+                facts.assigns.push((name.clone(), anchor));
+                walk_expr(e, anchor, facts);
+            }
+            StatementKind::Chain(ch) => {
+                let mut operand_refs: Vec<BTreeSet<(String, String)>> = Vec::new();
+                for op in &ch.operands {
+                    operand_refs.push(chain_operand_refs(op));
+                    match op {
+                        ChainOperand::Refs(exprs) => {
+                            for e in exprs {
+                                walk_expr(e, anchor, facts);
+                            }
+                        }
+                        ChainOperand::Resource(decl) => collect_resource_decl(decl, facts, anchor),
+                        ChainOperand::Collector(c) => {
+                            walk_query(&c.query, anchor, facts);
+                            for a in &c.overrides {
+                                walk_expr(&a.value, a.span, facts);
+                            }
+                        }
+                    }
+                }
+                for (k, pair) in operand_refs.windows(2).enumerate() {
+                    for id in pair[0].intersection(&pair[1]) {
+                        let arrow = ch.arrow_spans.get(k).copied().unwrap_or(anchor);
+                        facts.self_deps.push((display_id(id), arrow));
+                    }
+                }
+            }
+            StatementKind::Collector(c) => {
+                walk_query(&c.query, anchor, facts);
+                for a in &c.overrides {
+                    walk_expr(&a.value, a.span, facts);
+                }
+            }
+            StatementKind::ResourceDefault(rd) => {
+                for a in &rd.attrs {
+                    walk_expr(&a.value, a.span, facts);
+                }
+            }
+            StatementKind::If(arms) => {
+                for (cond, body) in arms {
+                    walk_expr(cond, anchor, facts);
+                    collect_stmts(body, facts);
+                }
+            }
+            StatementKind::Case(scrutinee, arms) => {
+                walk_expr(scrutinee, anchor, facts);
+                for arm in arms {
+                    for v in &arm.values {
+                        walk_expr(v, anchor, facts);
+                    }
+                    collect_stmts(&arm.body, facts);
+                }
+            }
+            StatementKind::Node(_, body) => collect_stmts(body, facts),
+            StatementKind::Call(_, args) => {
+                for a in args {
+                    walk_expr(a, anchor, facts);
+                }
+            }
+        }
+    }
+}
+
+/// Variables a class/define body and its parameter defaults reference.
+fn decl_uses(params: &[Param], body: &[Statement]) -> BTreeSet<String> {
+    let mut uses = BTreeSet::new();
+    for p in params {
+        if let Some(e) = &p.default {
+            expr_var_uses(e, &mut uses);
+        }
+    }
+    stmt_var_uses(body, &mut uses);
+    uses
+}
+
+fn collect_resource_decl(decl: &ResourceDecl, facts: &mut AstFacts, _anchor: Span) {
+    for body in &decl.bodies {
+        match literal_titles(&body.title) {
+            Some(titles) => {
+                if decl.type_name == "class" {
+                    // `class { 'x': }` *references* class x.
+                    for t in titles {
+                        facts
+                            .refs
+                            .push(("class".to_string(), t.to_lowercase(), body.title_span));
+                    }
+                } else {
+                    for t in titles {
+                        facts.declared.insert((decl.type_name.clone(), t));
+                    }
+                }
+            }
+            None => {
+                facts.dynamic_types.insert(decl.type_name.clone());
+                walk_expr(&body.title, body.title_span, facts);
+            }
+        }
+        let own: BTreeSet<(String, String)> = literal_titles(&body.title)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|t| (decl.type_name.clone(), t))
+            .collect();
+        for a in &body.attrs {
+            walk_expr(&a.value, a.span, facts);
+            if EDGE_METAPARAMS.contains(&a.name.as_str()) {
+                for id in expr_literal_refs(&a.value) {
+                    if own.contains(&id) {
+                        facts.self_deps.push((display_id(&id), a.span));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Literal `(type, title)` references an entire chain operand mentions.
+fn chain_operand_refs(op: &ChainOperand) -> BTreeSet<(String, String)> {
+    match op {
+        ChainOperand::Refs(exprs) => exprs.iter().flat_map(expr_literal_refs).collect(),
+        ChainOperand::Resource(decl) => decl
+            .bodies
+            .iter()
+            .filter_map(|b| literal_titles(&b.title))
+            .flatten()
+            .map(|t| (decl.type_name.clone(), t))
+            .collect(),
+        ChainOperand::Collector(_) => BTreeSet::new(),
+    }
+}
+
+/// All literal `(lower-case type, title)` references inside an expression.
+fn expr_literal_refs(e: &Expression) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    fn go(e: &Expression, out: &mut Vec<(String, String)>) {
+        match e {
+            Expression::ResourceRef(t, args) => {
+                let tl = t.to_lowercase();
+                for a in args {
+                    if let Expression::Str(s) = a {
+                        out.push((tl.clone(), s.clone()));
+                    }
+                }
+            }
+            Expression::Array(es) => es.iter().for_each(|e| go(e, out)),
+            Expression::Hash(kvs) => kvs.iter().for_each(|(k, v)| {
+                go(k, out);
+                go(v, out);
+            }),
+            Expression::Selector(s, arms) => {
+                go(s, out);
+                arms.iter().for_each(|(m, v)| {
+                    go(m, out);
+                    go(v, out);
+                });
+            }
+            _ => {}
+        }
+    }
+    go(e, &mut out);
+    out
+}
+
+/// Titles of a declaration body when they are all literal.
+fn literal_titles(title: &Expression) -> Option<Vec<String>> {
+    match title {
+        Expression::Str(s) => Some(vec![s.clone()]),
+        Expression::Array(es) => es
+            .iter()
+            .map(|e| match e {
+                Expression::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+fn display_id(id: &(String, String)) -> String {
+    format!("{}[{}]", capitalize(&id.0), id.1)
+}
+
+/// Records variable uses and literal references from one expression.
+fn walk_expr(e: &Expression, anchor: Span, facts: &mut AstFacts) {
+    expr_var_uses(e, &mut facts.uses);
+    for (t, title, _) in expr_literal_refs(e)
+        .into_iter()
+        .map(|(t, s)| (t, s, anchor))
+    {
+        facts.refs.push((t, title, anchor));
+    }
+}
+
+fn walk_query(q: &Query, anchor: Span, facts: &mut AstFacts) {
+    match q {
+        Query::All => {}
+        Query::Eq(_, e) | Query::Ne(_, e) => walk_expr(e, anchor, facts),
+        Query::And(a, b) | Query::Or(a, b) => {
+            walk_query(a, anchor, facts);
+            walk_query(b, anchor, facts);
+        }
+    }
+}
+
+/// Collects final-segment variable names an expression references.
+fn expr_var_uses(e: &Expression, uses: &mut BTreeSet<String>) {
+    match e {
+        Expression::Var(v) => {
+            uses.insert(norm_var(v));
+        }
+        Expression::Interp(parts) => {
+            for p in parts {
+                if let StrPart::Var(v) = p {
+                    uses.insert(norm_var(v));
+                }
+            }
+        }
+        Expression::Str(_)
+        | Expression::Int(_)
+        | Expression::Bool(_)
+        | Expression::Undef
+        | Expression::Default => {}
+        Expression::Array(es) => es.iter().for_each(|e| expr_var_uses(e, uses)),
+        Expression::Hash(kvs) => kvs.iter().for_each(|(k, v)| {
+            expr_var_uses(k, uses);
+            expr_var_uses(v, uses);
+        }),
+        Expression::ResourceRef(_, args) | Expression::Call(_, args) => {
+            args.iter().for_each(|e| expr_var_uses(e, uses))
+        }
+        Expression::Not(a) => expr_var_uses(a, uses),
+        Expression::And(a, b)
+        | Expression::Or(a, b)
+        | Expression::Cmp(_, a, b)
+        | Expression::In(a, b)
+        | Expression::Arith(_, a, b) => {
+            expr_var_uses(a, uses);
+            expr_var_uses(b, uses);
+        }
+        Expression::Selector(s, arms) => {
+            expr_var_uses(s, uses);
+            arms.iter().for_each(|(m, v)| {
+                expr_var_uses(m, uses);
+                expr_var_uses(v, uses);
+            });
+        }
+    }
+}
+
+/// Variable uses across a statement list (conditions, titles, attributes,
+/// nested bodies).
+fn stmt_var_uses(stmts: &[Statement], uses: &mut BTreeSet<String>) {
+    for stmt in stmts {
+        match &stmt.kind {
+            StatementKind::Resource(decl) => {
+                for b in &decl.bodies {
+                    expr_var_uses(&b.title, uses);
+                    for a in &b.attrs {
+                        expr_var_uses(&a.value, uses);
+                    }
+                }
+            }
+            StatementKind::Define(d) => {
+                for p in &d.params {
+                    if let Some(e) = &p.default {
+                        expr_var_uses(e, uses);
+                    }
+                }
+                stmt_var_uses(&d.body, uses);
+            }
+            StatementKind::Class(c) => {
+                for p in &c.params {
+                    if let Some(e) = &p.default {
+                        expr_var_uses(e, uses);
+                    }
+                }
+                stmt_var_uses(&c.body, uses);
+            }
+            StatementKind::Include(_) => {}
+            StatementKind::Assign(_, e) => expr_var_uses(e, uses),
+            StatementKind::Chain(ch) => {
+                for op in &ch.operands {
+                    match op {
+                        ChainOperand::Refs(exprs) => {
+                            exprs.iter().for_each(|e| expr_var_uses(e, uses))
+                        }
+                        ChainOperand::Resource(decl) => {
+                            for b in &decl.bodies {
+                                expr_var_uses(&b.title, uses);
+                                for a in &b.attrs {
+                                    expr_var_uses(&a.value, uses);
+                                }
+                            }
+                        }
+                        ChainOperand::Collector(c) => {
+                            query_var_uses(&c.query, uses);
+                            c.overrides
+                                .iter()
+                                .for_each(|a| expr_var_uses(&a.value, uses));
+                        }
+                    }
+                }
+            }
+            StatementKind::Collector(c) => {
+                query_var_uses(&c.query, uses);
+                c.overrides
+                    .iter()
+                    .for_each(|a| expr_var_uses(&a.value, uses));
+            }
+            StatementKind::ResourceDefault(rd) => {
+                rd.attrs.iter().for_each(|a| expr_var_uses(&a.value, uses))
+            }
+            StatementKind::If(arms) => {
+                for (cond, body) in arms {
+                    expr_var_uses(cond, uses);
+                    stmt_var_uses(body, uses);
+                }
+            }
+            StatementKind::Case(scrutinee, arms) => {
+                expr_var_uses(scrutinee, uses);
+                for arm in arms {
+                    arm.values.iter().for_each(|v| expr_var_uses(v, uses));
+                    stmt_var_uses(&arm.body, uses);
+                }
+            }
+            StatementKind::Node(_, body) => stmt_var_uses(body, uses),
+            StatementKind::Call(_, args) => args.iter().for_each(|e| expr_var_uses(e, uses)),
+        }
+    }
+}
+
+fn query_var_uses(q: &Query, uses: &mut BTreeSet<String>) {
+    match q {
+        Query::All => {}
+        Query::Eq(_, e) | Query::Ne(_, e) => expr_var_uses(e, uses),
+        Query::And(a, b) | Query::Or(a, b) => {
+            query_var_uses(a, uses);
+            query_var_uses(b, uses);
+        }
+    }
+}
+
+// ---- the rules ----
+
+/// R2003: a literal reference with no matching declaration anywhere.
+fn undeclared_references(facts: &AstFacts, findings: &mut Vec<Diagnostic>) {
+    let mut reported = BTreeSet::new();
+    for (t, title, anchor) in &facts.refs {
+        // Stages are synthesized by the evaluator (R0106 covers typos).
+        if t == "stage" {
+            continue;
+        }
+        let missing = if t == "class" {
+            let name = title.trim_start_matches("::");
+            !facts.classes.contains(name)
+        } else {
+            !facts.dynamic_types.contains(t)
+                && !facts.declared.contains(&(t.clone(), title.clone()))
+        };
+        if missing && reported.insert((t.clone(), title.clone())) {
+            let display = if t == "class" {
+                format!("class `{title}`")
+            } else {
+                format!("`{}`", display_id(&(t.clone(), title.clone())))
+            };
+            findings.push(
+                Diagnostic::warning(
+                    codes::LINT_UNDECLARED_REFERENCE,
+                    format!("{display} is referenced but never declared"),
+                )
+                .with_primary(*anchor, "referenced here")
+                .with_note(
+                    "the reference matches no declaration anywhere in the \
+                     manifest, including branches evaluation does not reach",
+                ),
+            );
+        }
+    }
+}
+
+/// R2005: an assigned variable nothing reads.
+fn unused_variables(facts: &AstFacts, findings: &mut Vec<Diagnostic>) {
+    for (name, span) in &facts.assigns {
+        if !facts.uses.contains(&norm_var(name)) {
+            findings.push(
+                Diagnostic::warning(
+                    codes::LINT_UNUSED_VARIABLE,
+                    format!("variable `${name}` is assigned but never used"),
+                )
+                .with_primary(*span, "assigned here"),
+            );
+        }
+    }
+}
+
+/// R2006: a class/define parameter its body ignores.
+fn unused_parameters(facts: &AstFacts, findings: &mut Vec<Diagnostic>) {
+    for decl in &facts.param_decls {
+        for p in &decl.params {
+            if !decl.uses.contains(p) {
+                findings.push(
+                    Diagnostic::warning(
+                        codes::LINT_UNUSED_PARAMETER,
+                        format!(
+                            "parameter `${p}` of {} `{}` is never used",
+                            decl.kind, decl.name
+                        ),
+                    )
+                    .with_primary(decl.span, format!("`${p}` declared here")),
+                );
+            }
+        }
+    }
+}
+
+/// R2009: a resource depending on itself.
+fn self_dependencies(facts: &AstFacts, findings: &mut Vec<Diagnostic>) {
+    let mut reported = BTreeSet::new();
+    for (display, span) in &facts.self_deps {
+        if reported.insert((display.clone(), (span.lo.line, span.lo.col))) {
+            findings.push(
+                Diagnostic::warning(
+                    codes::LINT_SELF_DEPENDENCY,
+                    format!("`{display}` declares a dependency on itself"),
+                )
+                .with_primary(*span, "self-dependency declared here")
+                .with_note("the evaluator silently drops self-edges, so this has no effect"),
+            );
+        }
+    }
+}

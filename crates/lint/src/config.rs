@@ -1,0 +1,90 @@
+//! Per-rule severity configuration, mirroring the CLI's
+//! `--allow/--warn/--deny RULE` flags.
+
+use crate::rules::find_rule;
+use rehearsal_pkgdb::Platform;
+
+/// What to do with a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Drop the rule's findings entirely.
+    Allow,
+    /// Force the rule's findings to warning severity.
+    Warn,
+    /// Force the rule's findings to error severity (fails the run).
+    Deny,
+}
+
+/// Options for a lint run: target platform and per-rule severity
+/// overrides. The later of two overrides for the same rule wins, matching
+/// command-line flag order.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Platform whose package database and facts ground the footprint
+    /// rules.
+    pub platform: Platform,
+    /// Per-rule overrides as `(rule key, level)`; keys are codes or
+    /// kebab-case names, resolved via [`find_rule`].
+    pub overrides: Vec<(String, LintLevel)>,
+    /// Promote every surviving warning to an error (the CLI's
+    /// `--deny warnings`). Notes are unaffected.
+    pub deny_warnings: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions {
+            platform: Platform::Ubuntu,
+            overrides: Vec::new(),
+            deny_warnings: false,
+        }
+    }
+}
+
+impl LintOptions {
+    /// Adds an [`LintLevel::Allow`] override for a rule.
+    #[must_use]
+    pub fn allow(mut self, rule: impl Into<String>) -> LintOptions {
+        self.overrides.push((rule.into(), LintLevel::Allow));
+        self
+    }
+
+    /// Adds an [`LintLevel::Warn`] override for a rule.
+    #[must_use]
+    pub fn warn(mut self, rule: impl Into<String>) -> LintOptions {
+        self.overrides.push((rule.into(), LintLevel::Warn));
+        self
+    }
+
+    /// Adds an [`LintLevel::Deny`] override for a rule.
+    #[must_use]
+    pub fn deny(mut self, rule: impl Into<String>) -> LintOptions {
+        self.overrides.push((rule.into(), LintLevel::Deny));
+        self
+    }
+
+    /// The effective override for a rule code, if any (last one wins).
+    pub fn level_for(&self, code: &str) -> Option<LintLevel> {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(key, _)| find_rule(key).is_some_and(|r| r.code == code))
+            .map(|&(_, level)| level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_resolve_names_and_codes_last_wins() {
+        let o = LintOptions::default()
+            .allow("race-candidate")
+            .deny("R2001")
+            .warn("R2005");
+        assert_eq!(o.level_for("R2001"), Some(LintLevel::Deny));
+        assert_eq!(o.level_for("R2005"), Some(LintLevel::Warn));
+        assert_eq!(o.level_for("R2002"), None);
+    }
+}

@@ -1,0 +1,286 @@
+//! **rehearsal-lint** — a solver-free static analysis pass for Puppet
+//! manifests.
+//!
+//! Rehearsal proves determinism by symbolic exploration, but most
+//! real-world manifest defects — missing `require`/`notify` edges,
+//! resources that statically overlap with no ordering between them — are
+//! detectable without ever invoking the solver (cf. Sotiropoulos et al.,
+//! "Detecting Missing Dependencies and Notifiers in Puppet Programs").
+//! This crate runs a registry of rules (see [`RULES`]) over the parsed
+//! AST, the evaluated catalog, the resource graph, and the per-resource
+//! [`Footprint`](rehearsal_core::footprint::Footprint) summaries, emitting
+//! [`Diagnostic`]s with stable `R2xxx` codes and source-anchored spans —
+//! milliseconds per manifest, so fleets can screen millions of manifests
+//! before the expensive explorer runs.
+//!
+//! The headline rule (R2001, `race-candidate`) is a *sound* pre-screen
+//! for the explorer: a NONDET verdict requires an unordered
+//! non-commuting pair, and disjoint footprints commute (Lemma 4,
+//! property-tested in `rehearsal-core`), so every manifest the explorer
+//! proves non-deterministic contains an unordered `may_overlap` pair this
+//! rule flags.
+//!
+//! # Examples
+//!
+//! ```
+//! use rehearsal_lint::{lint_source, LintOptions};
+//!
+//! let source = "$unused = 1\nfile { '/x': require => File['/typo'] }\n";
+//! let report = lint_source("site.pp", source, &LintOptions::default());
+//! let codes: Vec<&str> = report.findings.iter().map(|d| d.code.as_str()).collect();
+//! assert!(codes.contains(&"R2005"), "unused variable");
+//! assert!(codes.contains(&"R2003"), "undeclared reference");
+//! assert!(report.render().contains("site.pp"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast_pass;
+mod config;
+mod report;
+mod rules;
+
+pub use config::{LintLevel, LintOptions};
+pub use report::LintReport;
+pub use rules::{find_rule, RuleInfo, RULES};
+
+mod semantic_pass;
+
+use rehearsal_diag::{Diagnostic, Severity, SourceMap};
+use rehearsal_pkgdb::Platform;
+use rehearsal_puppet::{evaluate, parse, Facts, ResourceGraph};
+
+/// Lints one manifest: parses, evaluates, builds the graph, compiles
+/// footprints, and runs every rule each successfully-built stage
+/// supports. Pipeline failures (parse/eval/cycle errors) become
+/// error-severity findings and the rules that needed the failed stage are
+/// skipped; the pass never invokes the SAT solver.
+///
+/// Emits `lint.rules_run` and `lint.findings` trace counters and a
+/// `lint` span, so the pass shows up in `--timings`.
+pub fn lint_source(name: &str, source: &str, options: &LintOptions) -> LintReport {
+    let _span = rehearsal_trace::span_cat("lint", "lint");
+    let source_map = SourceMap::single(name, source);
+    let mut findings = Vec::new();
+    let mut rules_run = 0;
+    match parse(source) {
+        Err(e) => findings.push(e.to_diagnostic()),
+        Ok(manifest) => {
+            rules_run += ast_pass::run(&manifest, &mut findings);
+            let facts = match options.platform {
+                Platform::Ubuntu => Facts::ubuntu(),
+                Platform::Centos => Facts::centos(),
+            };
+            match evaluate(&manifest, &facts) {
+                Err(e) => findings.push(e.to_diagnostic()),
+                Ok(catalog) => {
+                    rules_run += semantic_pass::run_catalog(&catalog, &mut findings);
+                    match ResourceGraph::from_catalog(&catalog) {
+                        Err(e) => findings.push(e.to_diagnostic()),
+                        Ok(graph) => {
+                            rules_run += semantic_pass::run_graph(
+                                &catalog,
+                                &graph,
+                                options.platform,
+                                &mut findings,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let findings = configure(findings, options);
+    rehearsal_trace::counter_add("lint.rules_run", rules_run as u64);
+    rehearsal_trace::counter_add("lint.findings", findings.len() as u64);
+    LintReport {
+        findings,
+        rules_run,
+        source_map,
+    }
+}
+
+/// Applies per-rule overrides and `--deny warnings`, then orders findings
+/// by source position (dummy spans last), severity, and code.
+fn configure(findings: Vec<Diagnostic>, options: &LintOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::with_capacity(findings.len());
+    for mut d in findings {
+        match options.level_for(&d.code) {
+            Some(LintLevel::Allow) => continue,
+            Some(LintLevel::Warn) => d.severity = Severity::Warning,
+            Some(LintLevel::Deny) => d.severity = Severity::Error,
+            None => {}
+        }
+        if options.deny_warnings && d.severity == Severity::Warning {
+            d.severity = Severity::Error;
+        }
+        out.push(d);
+    }
+    out.sort_by_key(|d| {
+        let pos = d
+            .primary
+            .as_ref()
+            .map(|l| (l.span.lo.line, l.span.lo.col))
+            .filter(|&(line, _)| line != 0)
+            .unwrap_or((u32::MAX, u32::MAX));
+        (
+            pos,
+            std::cmp::Reverse(d.severity),
+            d.code.clone(),
+            d.message.clone(),
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_of(report: &LintReport) -> Vec<String> {
+        report.findings.iter().map(|d| d.code.clone()).collect()
+    }
+
+    #[test]
+    fn clean_manifest_has_no_findings_and_runs_all_rules() {
+        let src = "file { '/a': content => 'x' }\n";
+        let report = lint_source("clean.pp", src, &LintOptions::default());
+        assert_eq!(report.findings, vec![], "{}", report.render());
+        assert_eq!(report.rules_run, RULES.len());
+    }
+
+    #[test]
+    fn race_candidate_flags_unordered_overlap() {
+        let src = "file { '/x': content => 'a' }\n\
+                   file { 'dup': path => '/x', content => 'b' }\n";
+        let report = lint_source("race.pp", src, &LintOptions::default());
+        assert!(codes_of(&report).contains(&"R2001".to_string()));
+        assert!(codes_of(&report).contains(&"R2004".to_string()));
+    }
+
+    #[test]
+    fn ordered_overlap_is_not_a_race() {
+        let src = "file { '/x': content => 'a' }\n\
+                   -> file { 'dup': path => '/x', content => 'b' }\n";
+        let report = lint_source("ordered.pp", src, &LintOptions::default());
+        assert!(!codes_of(&report).contains(&"R2001".to_string()));
+    }
+
+    #[test]
+    fn missing_notifier_fires_on_require_not_on_subscribe() {
+        let req = "file { '/etc/app.conf': content => 'x' }\n\
+                   service { 'app': ensure => running, require => File['/etc/app.conf'] }\n";
+        let report = lint_source("req.pp", req, &LintOptions::default());
+        assert!(codes_of(&report).contains(&"R2002".to_string()));
+        let sub = req.replace("require =>", "subscribe =>");
+        let report = lint_source("sub.pp", &sub, &LintOptions::default());
+        assert!(!codes_of(&report).contains(&"R2002".to_string()));
+    }
+
+    #[test]
+    fn undeclared_reference_sees_dead_branches() {
+        let src = "if false {\n  file { '/dead': require => File['/nowhere'] }\n}\n";
+        let report = lint_source("dead.pp", src, &LintOptions::default());
+        assert!(codes_of(&report).contains(&"R2003".to_string()));
+        // The declaration in the dead branch still counts as declared.
+        let ok = "if false {\n  file { '/nowhere': }\n}\nfile { '/live': require => File['/nowhere'] }\n";
+        let report = lint_source("deadok.pp", ok, &LintOptions::default());
+        assert!(
+            !codes_of(&report).contains(&"R2003".to_string()),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn unused_variable_and_parameter() {
+        let src = "$unused = 1\n$used = '/p'\nfile { $used: }\n\
+                   define app($port, $doc) { file { \"/a-${doc}\": } }\n";
+        let report = lint_source("unused.pp", src, &LintOptions::default());
+        let codes = codes_of(&report);
+        assert!(codes.contains(&"R2005".to_string()));
+        assert!(codes.contains(&"R2006".to_string()));
+        let messages: Vec<&str> = report.findings.iter().map(|d| d.message.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("$unused")));
+        assert!(messages.iter().any(|m| m.contains("$port")));
+        assert!(!messages.iter().any(|m| m.contains("`$doc`")));
+    }
+
+    #[test]
+    fn self_dependency_via_metaparam_and_chain() {
+        let src = "file { '/x': require => File['/x'] }\n";
+        let report = lint_source("selfdep.pp", src, &LintOptions::default());
+        assert!(codes_of(&report).contains(&"R2009".to_string()));
+        let chain = "file { '/y': }\nFile['/y'] -> File['/y']\n";
+        let report = lint_source("selfchain.pp", chain, &LintOptions::default());
+        assert!(codes_of(&report).contains(&"R2009".to_string()));
+    }
+
+    #[test]
+    fn invalid_mode_fires_only_on_bad_strings() {
+        let src = "file { '/x': mode => '999' }\nfile { '/y': mode => '0644' }\n";
+        let report = lint_source("mode.pp", src, &LintOptions::default());
+        let modes: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|d| d.code == "R2008")
+            .collect();
+        assert_eq!(modes.len(), 1);
+        assert!(modes[0].message.contains("999"));
+    }
+
+    #[test]
+    fn implicit_ordering_is_a_note_on_read_after_write() {
+        // The service's init-script check reads a file the package writes.
+        let src = "package { 'nginx': ensure => present }\n\
+                   service { 'nginx': ensure => running }\n";
+        let report = lint_source("implicit.pp", src, &LintOptions::default());
+        let implicit: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|d| d.code == "R2007")
+            .collect();
+        assert!(!implicit.is_empty());
+        assert!(implicit.iter().all(|d| d.severity == Severity::Note));
+    }
+
+    #[test]
+    fn parse_and_eval_errors_become_findings() {
+        let report = lint_source("bad.pp", "file { ", &LintOptions::default());
+        assert!(report.has_errors());
+        assert_eq!(report.rules_run, 0);
+        let report = lint_source("evalbad.pp", "file { $nope: }", &LintOptions::default());
+        assert!(report.has_errors());
+        assert_eq!(report.rules_run, 4, "AST rules still ran");
+    }
+
+    #[test]
+    fn severity_configuration_allows_warns_and_denies() {
+        let src = "$unused = 1\n";
+        let allow = LintOptions::default().allow("unused-variable");
+        assert_eq!(lint_source("a.pp", src, &allow).findings.len(), 0);
+        let deny = LintOptions::default().deny("R2005");
+        let report = lint_source("d.pp", src, &deny);
+        assert!(report.has_errors());
+        let dw = LintOptions {
+            deny_warnings: true,
+            ..LintOptions::default()
+        };
+        assert!(lint_source("w.pp", src, &dw).has_errors());
+    }
+
+    #[test]
+    fn findings_are_ordered_by_position() {
+        let src = "$z = 1\n$a = 2\nfile { '/x': mode => '99' }\n";
+        let report = lint_source("order.pp", src, &LintOptions::default());
+        let lines: Vec<u32> = report
+            .findings
+            .iter()
+            .filter_map(|d| d.primary.as_ref())
+            .map(|l| l.span.lo.line)
+            .collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

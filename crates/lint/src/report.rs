@@ -1,0 +1,47 @@
+//! The result of a lint run.
+
+use rehearsal_diag::{Diagnostic, Severity, SourceMap};
+
+/// Everything one lint run produced: findings (already filtered and
+/// re-levelled per the [`LintOptions`](crate::LintOptions)), the number of
+/// rules that ran, and the source map to render snippets with.
+#[derive(Debug)]
+pub struct LintReport {
+    /// The findings, ordered by source position.
+    pub findings: Vec<Diagnostic>,
+    /// How many lint rules actually ran (pipeline-stage failures skip the
+    /// rules that needed that stage).
+    pub rules_run: usize,
+    /// Source map for rendering the findings.
+    pub source_map: SourceMap,
+}
+
+impl LintReport {
+    /// `(errors, warnings, notes)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.findings {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Note => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Whether any finding is error-severity (the run should fail).
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders every finding as a rustc-style snippet, separated by blank
+    /// lines.
+    pub fn render(&self) -> String {
+        self.findings
+            .iter()
+            .map(|d| self.source_map.render(d))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

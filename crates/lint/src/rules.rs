@@ -1,0 +1,133 @@
+//! The rule registry: every lint rule's stable code, kebab-case name,
+//! default severity, and a one-line example of what it catches.
+//!
+//! The registry is the single source of truth for the CLI's
+//! `--allow/--warn/--deny RULE` flags (which accept either the code or the
+//! name) and for the README's rule table.
+
+use rehearsal_diag::{codes, Severity};
+
+/// One registered lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// The stable diagnostic code (`R2xxx`, registered in
+    /// [`rehearsal_diag::codes`]).
+    pub code: &'static str,
+    /// Kebab-case rule name accepted by severity flags (e.g.
+    /// `race-candidate`).
+    pub name: &'static str,
+    /// One-line summary of what the rule detects.
+    pub summary: &'static str,
+    /// Severity the rule emits at unless overridden.
+    pub default_severity: Severity,
+    /// A terse example of a manifest fragment that triggers the rule.
+    pub example: &'static str,
+}
+
+/// Every lint rule, in code order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: codes::LINT_RACE_CANDIDATE,
+        name: "race-candidate",
+        summary: "two resources whose footprints may overlap have no \
+                  ordering between them (sound pre-screen for the explorer)",
+        default_severity: Severity::Warning,
+        example: "package { 'ntp': } file { '/etc/ntp.conf': content => 'x' }",
+    },
+    RuleInfo {
+        code: codes::LINT_MISSING_NOTIFIER,
+        name: "missing-notifier",
+        summary: "a service depends on a file it consumes but is not \
+                  notified when the file changes",
+        default_severity: Severity::Warning,
+        example: "service { 'ntp': require => File['/etc/ntp.conf'] }",
+    },
+    RuleInfo {
+        code: codes::LINT_UNDECLARED_REFERENCE,
+        name: "undeclared-reference",
+        summary: "a resource reference with no matching declaration \
+                  anywhere in the manifest, dead branches included",
+        default_severity: Severity::Warning,
+        example: "file { '/a': require => File['/typo'] }",
+    },
+    RuleInfo {
+        code: codes::LINT_DUPLICATE_PATH,
+        name: "duplicate-path",
+        summary: "two file resources manage the same effective path",
+        default_severity: Severity::Warning,
+        example: "file { 'a': path => '/x' } file { 'b': path => '/x' }",
+    },
+    RuleInfo {
+        code: codes::LINT_UNUSED_VARIABLE,
+        name: "unused-variable",
+        summary: "a variable is assigned but never referenced",
+        default_severity: Severity::Warning,
+        example: "$port = 123",
+    },
+    RuleInfo {
+        code: codes::LINT_UNUSED_PARAMETER,
+        name: "unused-parameter",
+        summary: "a class or defined-type parameter is never used in its \
+                  body",
+        default_severity: Severity::Warning,
+        example: "define app($unused) { file { '/a': } }",
+    },
+    RuleInfo {
+        code: codes::LINT_IMPLICIT_ORDERING,
+        name: "implicit-ordering",
+        summary: "a resource reads paths an earlier-declared resource \
+                  writes, with no explicit dependency between them",
+        default_severity: Severity::Note,
+        example: "file { '/d': } file { '/d/f': }",
+    },
+    RuleInfo {
+        code: codes::LINT_INVALID_MODE,
+        name: "invalid-mode",
+        summary: "a file `mode` is not a 3-4 digit octal string",
+        default_severity: Severity::Warning,
+        example: "file { '/x': mode => '999' }",
+    },
+    RuleInfo {
+        code: codes::LINT_SELF_DEPENDENCY,
+        name: "self-dependency",
+        summary: "a resource declares a dependency on itself (the \
+                  evaluator silently drops self-edges)",
+        default_severity: Severity::Warning,
+        example: "file { '/x': require => File['/x'] }",
+    },
+];
+
+/// Looks up a rule by stable code (`R2001`) or kebab-case name
+/// (`race-candidate`); codes are matched case-insensitively.
+pub fn find_rule(key: &str) -> Option<&'static RuleInfo> {
+    RULES
+        .iter()
+        .find(|r| r.code.eq_ignore_ascii_case(key) || r.name == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rehearsal_diag::codes::is_registered;
+
+    #[test]
+    fn every_rule_has_a_registered_unique_code_and_name() {
+        let mut codes_seen = std::collections::BTreeSet::new();
+        let mut names_seen = std::collections::BTreeSet::new();
+        for r in RULES {
+            assert!(is_registered(r.code), "{} not in diag registry", r.code);
+            assert!(r.code.starts_with("R2"), "{} is not an R2xxx code", r.code);
+            assert!(codes_seen.insert(r.code), "duplicate code {}", r.code);
+            assert!(names_seen.insert(r.name), "duplicate name {}", r.name);
+            assert!(!r.summary.is_empty() && !r.example.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        assert_eq!(find_rule("R2001").unwrap().name, "race-candidate");
+        assert_eq!(find_rule("r2001").unwrap().name, "race-candidate");
+        assert_eq!(find_rule("race-candidate").unwrap().code, "R2001");
+        assert!(find_rule("no-such-rule").is_none());
+    }
+}

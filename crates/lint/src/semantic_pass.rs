@@ -1,0 +1,199 @@
+//! Semantic rules over the evaluated catalog, the resource graph, and the
+//! per-resource footprint summaries.
+//!
+//! Catalog rules: missing notifier (R2002), duplicate path (R2004),
+//! invalid mode (R2008). Graph + footprint rules: race candidate (R2001)
+//! and implicit ordering (R2007) — the solver-free pre-screen: a NONDET
+//! verdict requires an unordered non-commuting pair, disjoint footprints
+//! commute (Lemma 4, property-tested in `rehearsal-core`), so every
+//! explorer-provable race shows up as an unordered `may_overlap` pair.
+
+use rehearsal_core::footprint::{footprint, Footprint};
+use rehearsal_diag::{codes, Diagnostic};
+use rehearsal_pkgdb::{PackageDb, Platform};
+use rehearsal_puppet::{Catalog, ResourceGraph};
+use rehearsal_resources::{compile, CompileCtx};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Runs the catalog-only rules, appending findings; returns the number of
+/// rules run.
+pub fn run_catalog(catalog: &Catalog, findings: &mut Vec<Diagnostic>) -> usize {
+    missing_notifiers(catalog, findings);
+    duplicate_paths(catalog, findings);
+    invalid_modes(catalog, findings);
+    3
+}
+
+/// Runs the graph + footprint rules, appending findings; returns the
+/// number of rules run. Resources that fail to compile (unmodeled types,
+/// bad attributes) simply have no footprint and are skipped — lint stays
+/// advisory.
+pub fn run_graph(
+    catalog: &Catalog,
+    graph: &ResourceGraph,
+    platform: Platform,
+    findings: &mut Vec<Diagnostic>,
+) -> usize {
+    let db = PackageDb::builtin(platform);
+    // Metadata modeling is always on for lint: permission/ownership
+    // effects only *add* to footprints, so the race pre-screen stays
+    // sound for both the plain and the metadata-aware pipelines.
+    let ctx = CompileCtx::new(&db).with_model_metadata(true);
+    let fps: Vec<Option<Arc<Footprint>>> = catalog
+        .resources()
+        .iter()
+        .map(|r| compile(r, &ctx).ok().map(footprint))
+        .collect();
+    let n = catalog.resources().len();
+    let reach: Vec<_> = (0..n).map(|i| graph.descendants(i)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if reach[i].contains(&j) || reach[j].contains(&i) {
+                continue;
+            }
+            let (Some(fi), Some(fj)) = (&fps[i], &fps[j]) else {
+                continue;
+            };
+            if !fi.may_overlap(fj) {
+                continue;
+            }
+            let (a, b) = (&catalog.resources()[i], &catalog.resources()[j]);
+            findings.push(
+                Diagnostic::warning(
+                    codes::LINT_RACE_CANDIDATE,
+                    format!(
+                        "`{}` and `{}` may touch the same state with no \
+                         ordering between them",
+                        a.display_name(),
+                        b.display_name()
+                    ),
+                )
+                .with_primary(a.span(), "this resource")
+                .with_secondary(b.span(), "may race with this one")
+                .with_note(
+                    "their footprints overlap but no dependency path orders \
+                     them; add `->`, `require`, or `before` (or run `check` \
+                     to prove whether the orders really diverge)",
+                ),
+            );
+            // The read-after-write flavour: the later declaration consumes
+            // what the earlier one produces, relying on declaration order
+            // the tool does not honour.
+            if !fj.reads.is_disjoint(&fi.writes) {
+                findings.push(
+                    Diagnostic::note(
+                        codes::LINT_IMPLICIT_ORDERING,
+                        format!(
+                            "`{}` reads paths `{}` writes but only \
+                             declaration order relates them",
+                            b.display_name(),
+                            a.display_name()
+                        ),
+                    )
+                    .with_primary(b.span(), "reads here")
+                    .with_secondary(a.span(), "written by this resource")
+                    .with_note(
+                        "declaration order is not execution order; make the \
+                         data flow explicit with `require` or `->`",
+                    ),
+                );
+            }
+        }
+    }
+    2
+}
+
+/// R2002: an ordering-only edge from a file into a service (or exec).
+fn missing_notifiers(catalog: &Catalog, findings: &mut Vec<Diagnostic>) {
+    for (a, b, origin) in catalog.edges_with_origins() {
+        let (file, svc) = (&catalog.resources()[a], &catalog.resources()[b]);
+        if file.type_name() != "file" || !matches!(svc.type_name(), "service" | "exec") {
+            continue;
+        }
+        if catalog.edge_is_refresh(a, b) {
+            continue;
+        }
+        let primary = if origin.is_dummy() {
+            svc.span()
+        } else {
+            origin
+        };
+        findings.push(
+            Diagnostic::warning(
+                codes::LINT_MISSING_NOTIFIER,
+                format!(
+                    "`{}` depends on `{}` but is not notified when it changes",
+                    svc.display_name(),
+                    file.display_name()
+                ),
+            )
+            .with_primary(primary, "ordering-only dependency declared here")
+            .with_secondary(file.span(), "the file it consumes")
+            .with_note(
+                "use `subscribe` or `~>` instead of `require`/`->` so the \
+                 service restarts when the file content changes",
+            ),
+        );
+    }
+}
+
+/// R2004: two file resources managing the same effective path.
+fn duplicate_paths(catalog: &Catalog, findings: &mut Vec<Diagnostic>) {
+    let mut by_path: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, r) in catalog.resources().iter().enumerate() {
+        if r.type_name() == "file" {
+            let path = r.attr_str("path").unwrap_or_else(|| r.title().to_string());
+            by_path.entry(path).or_default().push(i);
+        }
+    }
+    for (path, group) in by_path {
+        let Some((&first, rest)) = group.split_first() else {
+            continue;
+        };
+        for &dup in rest {
+            let (a, b) = (&catalog.resources()[first], &catalog.resources()[dup]);
+            findings.push(
+                Diagnostic::warning(
+                    codes::LINT_DUPLICATE_PATH,
+                    format!(
+                        "`{}` manages `{path}`, already managed by `{}`",
+                        b.display_name(),
+                        a.display_name()
+                    ),
+                )
+                .with_primary(b.span(), "second declaration of this path")
+                .with_secondary(a.span(), "first declared here")
+                .with_note("whichever applies last wins; merge the two declarations"),
+            );
+        }
+    }
+}
+
+/// R2008: a file `mode` that is not a 3-4 digit octal string.
+fn invalid_modes(catalog: &Catalog, findings: &mut Vec<Diagnostic>) {
+    for r in catalog.resources() {
+        if r.type_name() != "file" {
+            continue;
+        }
+        let Some(mode) = r.attr_str("mode") else {
+            continue;
+        };
+        let octal =
+            (3..=4).contains(&mode.len()) && mode.bytes().all(|b| (b'0'..=b'7').contains(&b));
+        if !octal {
+            findings.push(
+                Diagnostic::warning(
+                    codes::LINT_INVALID_MODE,
+                    format!(
+                        "`{}` has mode `{mode}`, which is not a 3-4 digit \
+                         octal string",
+                        r.display_name()
+                    ),
+                )
+                .with_primary(r.attr_span("mode"), "invalid mode")
+                .with_note("use an octal string like `0644`"),
+            );
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Seeded property tests for the lint pass: 256 random mutations of a
+//! template pool must never panic the linter, every emitted span must lie
+//! within the (mutated) source, and every finding's code must be
+//! registered in the diagnostics registry.
+
+use rehearsal_diag::{codes, Diagnostic};
+use rehearsal_lint::{lint_source, LintOptions, RULES};
+
+/// Deterministic splitmix64 generator (the workspace's offline stand-in
+/// for a property-testing crate).
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Template manifests covering every rule's trigger shape — the mutation
+/// pool starts from sources the rules actually react to.
+const POOL: &[&str] = &[
+    "file { '/x': content => 'a' }\nfile { 'dup': path => '/x', content => 'b' }\n",
+    "file { '/etc/app.conf': content => 'x' }\n\
+     service { 'app': ensure => running, require => File['/etc/app.conf'] }\n",
+    "$unused = 1\n$used = '/p'\nfile { $used: }\n\
+     define app($port, $doc) { file { \"/a-${doc}\": } }\n",
+    "if false {\n  file { '/dead': require => File['/nowhere'] }\n}\n",
+    "file { '/x': require => File['/x'] }\nfile { '/y': mode => '999' }\n",
+    "package { 'nginx': ensure => present }\nservice { 'nginx': ensure => running }\n",
+    "class web { file { '/var/www': ensure => directory } }\ninclude web\n\
+     File['/var/www'] -> File['/var/www']\n",
+    "user { 'carol': ensure => present, managehome => true }\n\
+     file { '/home/carol/.vimrc': content => 'syntax on' }\n",
+];
+
+/// Every label's span must lie within the source text (1-based lines;
+/// columns within the line plus one past the end).
+fn assert_spans_within(d: &Diagnostic, name: &str, source: &str) {
+    let lines: Vec<&str> = source.lines().collect();
+    for label in d.labels() {
+        let s = label.span;
+        if s.is_dummy() {
+            continue;
+        }
+        assert!(s.lo.line >= 1 && s.hi.line >= s.lo.line, "{name}: {d}");
+        // End-of-input errors may point one line past the last newline.
+        assert!(
+            (s.lo.line as usize) <= lines.len().max(1) + 1,
+            "{name}: span line {} beyond {} lines ({d})",
+            s.lo.line,
+            lines.len()
+        );
+        assert!(
+            (s.hi.line as usize) <= lines.len().max(1) + 1,
+            "{name}: span end {} beyond source ({d})",
+            s.hi.line,
+        );
+        if let Some(line) = lines.get(s.lo.line as usize - 1) {
+            assert!(
+                (s.lo.col as usize) <= line.chars().count() + 1,
+                "{name}: col {} beyond line {:?} ({d})",
+                s.lo.col,
+                line
+            );
+        }
+        if s.hi.line == s.lo.line {
+            assert!(s.hi.col >= s.lo.col, "{name}: inverted span ({d})");
+        }
+    }
+    assert!(
+        codes::is_registered(&d.code),
+        "{name}: code {} not in the registry ({d})",
+        d.code
+    );
+}
+
+/// 256 seeded mutations (truncations, byte flips, line duplications) of
+/// the template pool: whatever the linter reports, it never panics, every
+/// span stays inside the mutated source, and every code is registered.
+#[test]
+fn mutated_sources_never_panic_or_emit_out_of_range_spans() {
+    let mut rng = Prng::new(0x51_4e7);
+    let options = LintOptions::default();
+    for case in 0..256 {
+        let base = POOL[rng.usize(POOL.len())];
+        let mut src: String = match rng.usize(4) {
+            0 => {
+                // Truncate at a char boundary.
+                let cut = rng.usize(base.len() + 1);
+                let mut cut = cut.min(base.len());
+                while !base.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                base[..cut].to_string()
+            }
+            1 => {
+                // Flip one byte to punctuation.
+                let mut bytes = base.as_bytes().to_vec();
+                if !bytes.is_empty() {
+                    let i = rng.usize(bytes.len());
+                    bytes[i] = b"{}[]'\"$,:>"[rng.usize(10)];
+                }
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            2 => {
+                // Duplicate a random line (often a duplicate resource).
+                let lines: Vec<&str> = base.lines().collect();
+                let i = rng.usize(lines.len());
+                let mut out: Vec<&str> = lines.clone();
+                out.insert(i, lines[i]);
+                out.join("\n")
+            }
+            _ => {
+                // Splice two templates (cross-manifest interactions).
+                let other = POOL[rng.usize(POOL.len())];
+                format!("{base}{other}")
+            }
+        };
+        src.push('\n');
+        let report = lint_source("mutated.pp", &src, &options);
+        for d in &report.findings {
+            assert_spans_within(d, &format!("case {case}"), &src);
+        }
+    }
+}
+
+/// The rule registry itself is well-formed from the outside: codes are
+/// unique, registered in the diagnostics registry, and named in
+/// kebab-case.
+#[test]
+fn rule_codes_are_unique_and_registered() {
+    let mut seen = std::collections::BTreeSet::new();
+    for rule in RULES {
+        assert!(seen.insert(rule.code), "duplicate code {}", rule.code);
+        assert!(
+            codes::is_registered(rule.code),
+            "{} not in the diagnostics registry",
+            rule.code
+        );
+        assert!(
+            rule.name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-'),
+            "{} is not kebab-case",
+            rule.name
+        );
+    }
+    assert_eq!(seen.len(), RULES.len());
+}

@@ -135,6 +135,9 @@ pub struct Catalog {
     edges: Vec<(usize, usize)>,
     /// Where each edge was declared; parallel to `edges`.
     origins: Vec<Span>,
+    /// Whether each edge carries refresh semantics (`notify`, `subscribe`,
+    /// or `~>`) in addition to ordering; parallel to `edges`.
+    refresh: Vec<bool>,
 }
 
 impl Catalog {
@@ -162,22 +165,51 @@ impl Catalog {
     /// Panics if an edge endpoint is out of bounds.
     pub fn new_with_origins(
         resources: Vec<CatalogResource>,
-        mut edges: Vec<(usize, usize, Span)>,
+        edges: Vec<(usize, usize, Span)>,
     ) -> Catalog {
-        for &(a, b, _) in &edges {
+        Catalog::new_with_refresh(
+            resources,
+            edges
+                .into_iter()
+                .map(|(a, b, s)| (a, b, s, false))
+                .collect(),
+        )
+    }
+
+    /// Creates a catalog whose edges carry both their declaration span and
+    /// a refresh flag (`notify`/`subscribe`/`~>`). Duplicate edges keep
+    /// the first origin; a duplicate is a refresh edge if *any* of its
+    /// declarations was.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of bounds.
+    pub fn new_with_refresh(
+        resources: Vec<CatalogResource>,
+        mut edges: Vec<(usize, usize, Span, bool)>,
+    ) -> Catalog {
+        for &(a, b, _, _) in &edges {
             assert!(
                 a < resources.len() && b < resources.len(),
                 "edge out of bounds"
             );
         }
-        edges.sort_by_key(|&(a, b, _)| (a, b));
-        edges.dedup_by_key(|&mut (a, b, _)| (a, b));
-        let origins = edges.iter().map(|&(_, _, s)| s).collect();
-        let edges = edges.into_iter().map(|(a, b, _)| (a, b)).collect();
+        edges.sort_by_key(|&(a, b, _, _)| (a, b));
+        let mut merged: Vec<(usize, usize, Span, bool)> = Vec::with_capacity(edges.len());
+        for (a, b, s, r) in edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == a && last.1 == b => last.3 |= r,
+                _ => merged.push((a, b, s, r)),
+            }
+        }
+        let origins = merged.iter().map(|&(_, _, s, _)| s).collect();
+        let refresh = merged.iter().map(|&(_, _, _, r)| r).collect();
+        let edges = merged.into_iter().map(|(a, b, _, _)| (a, b)).collect();
         Catalog {
             resources,
             edges,
             origins,
+            refresh,
         }
     }
 
@@ -207,6 +239,17 @@ impl Catalog {
             .iter()
             .zip(&self.origins)
             .map(|(&(a, b), &s)| (a, b, s))
+    }
+
+    /// Whether edge `(a, b)` carries refresh semantics — it was declared
+    /// via `notify`, `subscribe`, or a `~>` arrow (false for missing
+    /// edges and plain ordering).
+    pub fn edge_is_refresh(&self, a: usize, b: usize) -> bool {
+        self.edges
+            .iter()
+            .position(|&e| e == (a, b))
+            .map(|i| self.refresh[i])
+            .unwrap_or(false)
     }
 
     /// Number of resources.
@@ -275,6 +318,20 @@ mod tests {
         assert_eq!(c.edges().len(), 1);
         assert!(c.edge_origin(0, 1).same(&s1));
         assert!(c.edge_origin(1, 0).is_dummy(), "missing edge");
+    }
+
+    #[test]
+    fn refresh_flag_merges_by_or_and_defaults_false() {
+        let s = Span::at(Pos::new(1, 1));
+        let c = Catalog::new_with_refresh(
+            vec![res("a", "1"), res("b", "2"), res("c", "3")],
+            vec![(0, 1, s, false), (0, 1, s, true), (1, 2, s, false)],
+        );
+        assert!(c.edge_is_refresh(0, 1), "any refresh declaration wins");
+        assert!(!c.edge_is_refresh(1, 2));
+        assert!(!c.edge_is_refresh(2, 0), "missing edge is not refresh");
+        let plain = Catalog::new(vec![res("a", "1"), res("b", "2")], vec![(0, 1)]);
+        assert!(!plain.edge_is_refresh(0, 1));
     }
 
     #[test]

@@ -113,6 +113,9 @@ struct PendingEdge {
     /// Where the dependency was declared (a chain arrow, a metaparameter
     /// attribute, or a resource default).
     origin: Span,
+    /// Whether the declaration carries refresh semantics (`notify`,
+    /// `subscribe`, or a `~>` arrow).
+    refresh: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -696,17 +699,20 @@ impl Evaluator {
 
     fn record_meta_edges(&mut self, id: &ResourceId, metas: &[(String, Value, Span)]) {
         for (meta, v, origin) in metas {
+            let refresh = matches!(meta.as_str(), "notify" | "subscribe");
             for target in ref_titles(v) {
                 match meta.as_str() {
                     "before" | "notify" => self.pending_edges.push(PendingEdge {
                         before: id.clone(),
                         after: target,
                         origin: *origin,
+                        refresh,
                     }),
                     _ => self.pending_edges.push(PendingEdge {
                         before: target,
                         after: id.clone(),
                         origin: *origin,
+                        refresh,
                     }),
                 }
             }
@@ -893,18 +899,20 @@ impl Evaluator {
             };
             operand_ids.push(ids);
         }
-        for (k, _arrow) in chain.arrows.iter().enumerate() {
+        for (k, arrow) in chain.arrows.iter().enumerate() {
             let origin = chain
                 .arrow_spans
                 .get(k)
                 .copied()
                 .unwrap_or(self.current_span);
+            let refresh = matches!(arrow, ArrowKind::Notify);
             for b in &operand_ids[k] {
                 for a in &operand_ids[k + 1] {
                     self.pending_edges.push(PendingEdge {
                         before: b.clone(),
                         after: a.clone(),
                         origin,
+                        refresh,
                     });
                 }
             }
@@ -1071,7 +1079,7 @@ impl Evaluator {
         // 4. Resolve pending edges to primitive-resource index pairs,
         //    keeping the span of the declaration that created each edge
         //    (first declaration wins for duplicates).
-        let mut edges: BTreeMap<(usize, usize), Span> = BTreeMap::new();
+        let mut edges: BTreeMap<(usize, usize), (Span, bool)> = BTreeMap::new();
         let pending = std::mem::take(&mut self.pending_edges);
         for e in &pending {
             let before = self.resolve_edge_endpoint(&e.before, &collectors, e.origin)?;
@@ -1079,7 +1087,11 @@ impl Evaluator {
             for &b in &before {
                 for &a in &after {
                     if b != a {
-                        edges.entry((b, a)).or_insert(e.origin);
+                        // First declaration's span wins; refresh semantics
+                        // accumulate (any notify/subscribe declaration makes
+                        // the merged edge a refresh edge).
+                        let entry = edges.entry((b, a)).or_insert((e.origin, false));
+                        entry.1 |= e.refresh;
                     }
                 }
             }
@@ -1103,7 +1115,9 @@ impl Evaluator {
                     if i != j {
                         // The auto-required child's declaration is the edge's
                         // natural source anchor.
-                        edges.entry((j, i)).or_insert(self.resources[i].span());
+                        edges
+                            .entry((j, i))
+                            .or_insert((self.resources[i].span(), false));
                     }
                 }
             }
@@ -1121,15 +1135,18 @@ impl Evaluator {
                 }
                 for j in 0..self.resources.len() {
                     if self.stage_of[j] == *s2 && i != j {
-                        edges.entry((i, j)).or_insert(origin);
+                        edges.entry((i, j)).or_insert((origin, false));
                     }
                 }
             }
         }
 
-        Ok(Catalog::new_with_origins(
+        Ok(Catalog::new_with_refresh(
             self.resources,
-            edges.into_iter().map(|((a, b), s)| (a, b, s)).collect(),
+            edges
+                .into_iter()
+                .map(|((a, b), (s, r))| (a, b, s, r))
+                .collect(),
         ))
     }
 
@@ -1710,5 +1727,33 @@ mod tests {
         assert_eq!(parent_path("/a/b"), Some("/a".to_string()));
         assert_eq!(parent_path("/a"), Some("/".to_string()));
         assert_eq!(parent_path("/"), None);
+    }
+
+    #[test]
+    fn notify_subscribe_and_tilde_arrows_mark_refresh_edges() {
+        let src = r#"
+            package { 'ntp': ensure => present }
+            file { '/etc/ntp.conf': content => 'c', require => Package['ntp'] }
+            service { 'ntp': ensure => running, subscribe => File['/etc/ntp.conf'] }
+            file { '/etc/motd': content => 'm', notify => Service['ntp'] }
+            file { '/srv/a': content => 'a' }
+            File['/srv/a'] ~> Service['ntp']
+            file { '/srv/b': content => 'b' }
+            File['/srv/b'] -> Service['ntp']
+        "#;
+        let c = eval_src(src);
+        let pkg = c.find("package", "ntp").unwrap();
+        let conf = c.find("file", "/etc/ntp.conf").unwrap();
+        let svc = c.find("service", "ntp").unwrap();
+        let motd = c.find("file", "/etc/motd").unwrap();
+        let a = c.find("file", "/srv/a").unwrap();
+        let b = c.find("file", "/srv/b").unwrap();
+        // Direction is unchanged; only the refresh flag distinguishes them.
+        assert!(c.edges().contains(&(conf, svc)));
+        assert!(!c.edge_is_refresh(pkg, conf), "require is plain ordering");
+        assert!(c.edge_is_refresh(conf, svc), "subscribe refreshes");
+        assert!(c.edge_is_refresh(motd, svc), "notify refreshes");
+        assert!(c.edge_is_refresh(a, svc), "~> refreshes");
+        assert!(!c.edge_is_refresh(b, svc), "-> is plain ordering");
     }
 }

@@ -118,18 +118,6 @@ impl<'a> CompileCtx<'a> {
     pub fn drain_diagnostics(&self) -> Vec<Diagnostic> {
         std::mem::take(&mut *self.diagnostics.lock().expect("diagnostics lock"))
     }
-
-    /// Drains the diagnostics as plain rendered strings.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `drain_diagnostics` for structured, source-anchored diagnostics"
-    )]
-    pub fn take_diagnostics(&self) -> Vec<String> {
-        self.drain_diagnostics()
-            .into_iter()
-            .map(|d| d.message)
-            .collect()
-    }
 }
 
 /// Compiles one catalog resource into an FS program.
@@ -1351,17 +1339,6 @@ mod tests {
         let present = compile(&res("package", "vim", &[("ensure", "present")]), &ctx).unwrap();
         assert_eq!(latest, present, "default behavior unchanged");
         assert!(ctx.drain_diagnostics().is_empty(), "drained");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn take_diagnostics_shim_still_returns_strings() {
-        let db = PackageDb::builtin(Platform::Ubuntu);
-        let ctx = CompileCtx::new(&db);
-        compile(&res("package", "vim", &[("ensure", "latest")]), &ctx).unwrap();
-        let diags = ctx.take_diagnostics();
-        assert_eq!(diags.len(), 1);
-        assert!(diags[0].contains("latest"));
     }
 
     #[test]

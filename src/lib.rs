@@ -35,6 +35,7 @@
 //! * [`pkgdb`] — package listings (the `apt-file`/`repoquery` substitute);
 //! * [`solver`] — CDCL SAT + finite-domain formulas (the Z3 substitute);
 //! * [`core`] — the determinacy/idempotency analyses;
+//! * [`lint`] — the solver-free static analyzer (`rehearsal lint`);
 //! * [`trace`] — phase-scoped tracing, the metrics registry, and profile
 //!   export (`--timings`, `--trace`, `--metrics`).
 
@@ -59,6 +60,7 @@ pub use rehearsal_fleet::{
     github_annotations, FleetCounts, FleetEngine, FleetJob, FleetOptions, FleetReport, Verdict,
     VerdictCache,
 };
+pub use rehearsal_lint::{lint_source, LintLevel, LintOptions, LintReport, RuleInfo, RULES};
 pub use rehearsal_pkgdb::Platform;
 pub use rehearsal_puppet::Facts;
 
@@ -80,6 +82,11 @@ pub mod fleet {
 /// The FS language (re-export of `rehearsal-fs`).
 pub mod fs {
     pub use rehearsal_fs::*;
+}
+
+/// The solver-free static analyzer (re-export of `rehearsal-lint`).
+pub mod lint {
+    pub use rehearsal_lint::*;
 }
 
 /// Package listings (re-export of `rehearsal-pkgdb`).

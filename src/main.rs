@@ -5,6 +5,7 @@
 //! rehearsal idempotence <manifest.pp> [...]
 //! rehearsal graph <manifest.pp> [...]
 //! rehearsal benchmarks [--json] [--timeout SECONDS]
+//! rehearsal lint <DIR|FILE...> [--allow RULE] [--warn RULE] [--deny RULE|warnings] [...]
 //! rehearsal fleet <DIR|FILE...> [--jobs N] [--threads N] [--json] [--cache FILE] [--baseline FILE] [...]
 //! ```
 
@@ -14,7 +15,8 @@ use rehearsal::fleet::{
 };
 use rehearsal::trace::{Session, TraceSnapshot};
 use rehearsal::{
-    AnalysisOptions, Diagnostic, Platform, Rehearsal, RenderOptions, Severity, SourceMap,
+    AnalysisOptions, Diagnostic, LintLevel, LintOptions, Platform, Rehearsal, RenderOptions,
+    Severity, SourceMap,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,6 +34,7 @@ COMMANDS:
     apply <FILE>         simulate applying the manifest to a machine state
     graph <FILE>         print the compiled resource graph
     benchmarks           run the paper's 13-benchmark suite
+    lint <DIR|FILE...>   run the solver-free static analyzer (R2xxx rules)
     fleet <DIR|FILE...>  batch-verify every .pp manifest (the CI gate)
 
 OPTIONS:
@@ -62,6 +65,20 @@ OBSERVABILITY:
     --metrics <FILE>             write the metrics registry in Prometheus
                                  textfile format
 
+LINT OPTIONS:
+    --allow <RULE>               drop a rule's findings (rule code like
+                                 R2001 or kebab-case name like
+                                 race-candidate; repeatable, last wins)
+    --warn <RULE>                report a rule at warning severity
+    --deny <RULE>                report a rule at error severity; the
+                                 special value `warnings` promotes every
+                                 surviving warning to an error
+
+`rehearsal lint` exits non-zero iff any finding lands at error severity,
+and tolerates directories containing no manifests. `rehearsal check`
+prints the same findings to stderr as advisories. `rehearsal fleet
+--lint` attaches them to report rows and `--annotations`.
+
 FLEET OPTIONS:
     --jobs <N>                   manifest workers; cores left over become
                                  explorer threads       [default: auto]
@@ -77,6 +94,9 @@ FLEET OPTIONS:
     --annotations                print GitHub Actions ::error/::warning
                                  annotations from the diagnostics stream
                                  (only when GITHUB_ACTIONS is set)
+    --lint                       also run the lint pass per manifest and
+                                 attach R2xxx findings to the report rows
+                                 (advisory: never affects the gate verdict)
 
 `rehearsal fleet` exits non-zero iff any manifest fails verification,
 making it usable directly as a CI gate.
@@ -108,6 +128,21 @@ struct Args {
     timings: bool,
     trace: Option<String>,
     metrics: Option<String>,
+    lint: bool,
+    lint_overrides: Vec<(String, LintLevel)>,
+    lint_deny_warnings: bool,
+}
+
+/// Validates a `--allow/--warn/--deny` operand: rule codes (`R2001`) and
+/// kebab-case names (`race-candidate`) both work.
+fn check_rule_key(flag: &str, key: &str) -> Result<(), String> {
+    if rehearsal::lint::find_rule(key).is_some() {
+        return Ok(());
+    }
+    Err(format!(
+        "{flag} {key:?}: unknown lint rule (codes R2001..R2009 or names \
+         like `race-candidate`; see the README rule table)"
+    ))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -128,6 +163,9 @@ fn parse_args() -> Result<Args, String> {
     let mut timings = false;
     let mut trace = None;
     let mut metrics = None;
+    let mut lint = false;
+    let mut lint_overrides = Vec::new();
+    let mut lint_deny_warnings = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--state" => {
@@ -169,6 +207,26 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--annotations" => annotations = true,
+            "--lint" => lint = true,
+            "--allow" => {
+                let v = argv.next().ok_or("--allow needs a rule")?;
+                check_rule_key("--allow", &v)?;
+                lint_overrides.push((v, LintLevel::Allow));
+            }
+            "--warn" => {
+                let v = argv.next().ok_or("--warn needs a rule")?;
+                check_rule_key("--warn", &v)?;
+                lint_overrides.push((v, LintLevel::Warn));
+            }
+            "--deny" => {
+                let v = argv.next().ok_or("--deny needs a rule")?;
+                if v == "warnings" {
+                    lint_deny_warnings = true;
+                } else {
+                    check_rule_key("--deny", &v)?;
+                    lint_overrides.push((v, LintLevel::Deny));
+                }
+            }
             "--timings" => timings = true,
             "--trace" => {
                 trace = Some(argv.next().ok_or("--trace needs a value")?);
@@ -214,7 +272,20 @@ fn parse_args() -> Result<Args, String> {
         timings,
         trace,
         metrics,
+        lint,
+        lint_overrides,
+        lint_deny_warnings,
     })
+}
+
+/// The lint configuration from the command line (platform plus
+/// `--allow/--warn/--deny` overrides).
+fn lint_options_for(args: &Args) -> LintOptions {
+    LintOptions {
+        platform: args.platform,
+        overrides: args.lint_overrides.clone(),
+        deny_warnings: args.lint_deny_warnings,
+    }
 }
 
 /// Encodes diagnostics for stderr per `--error-format`: rustc-style
@@ -390,6 +461,24 @@ fn run_check(args: &Args) -> Result<bool, String> {
     let tool = tool_for(args);
     let analysis = tool.verify_source(&path, &source);
 
+    // Lint advisories ride along on stderr: the solver-free rules are
+    // cheap next to the verification itself, and a missing notifier or
+    // race candidate is exactly the context a failing check needs. Only
+    // R2xxx findings print (pipeline errors already surface below), and
+    // they never touch the verdict or the exit code.
+    let lint = rehearsal::lint_source(&path, &source, &lint_options_for(args));
+    let advisories: Vec<Diagnostic> = lint
+        .findings
+        .into_iter()
+        .filter(|d| d.code.starts_with("R2"))
+        .collect();
+    if !advisories.is_empty() {
+        eprintln!(
+            "{}",
+            format_diagnostics(args, &lint.source_map, &advisories)
+        );
+    }
+
     // Non-fatal findings (modeling warnings/notes) always go to stderr.
     let warnings: Vec<Diagnostic> = analysis
         .diagnostics
@@ -533,6 +622,75 @@ fn run_benchmarks(args: &Args) -> Result<bool, String> {
     Ok(all_ok)
 }
 
+/// `rehearsal lint`: run the solver-free analyzer over every manifest
+/// under the given paths. Findings go to stderr (per `--error-format`);
+/// the summary (or the `rehearsal-lint/1` JSON report) goes to stdout.
+/// Exits non-zero iff any finding lands at error severity.
+fn run_lint(args: &Args) -> Result<bool, String> {
+    if args.paths.is_empty() {
+        return Err(format!(
+            "lint needs a manifest file or directory\n\n{USAGE}"
+        ));
+    }
+    let mut manifests = Vec::new();
+    for root in &args.paths {
+        // Unlike `fleet`, a directory with zero manifests is fine: linting
+        // a module tree that happens to hold no .pp files reports clean.
+        manifests.extend(discover_manifests(root).map_err(|e| format!("{root}: {e}"))?);
+    }
+    let lint_opts = lint_options_for(args);
+    let mut rows = Vec::new();
+    let (mut errors, mut warnings, mut notes) = (0usize, 0usize, 0usize);
+    for path in &manifests {
+        let display = path.display().to_string();
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {display}: {e}"))?;
+        let report = rehearsal::lint_source(&display, &source, &lint_opts);
+        let (e, w, n) = report.counts();
+        errors += e;
+        warnings += w;
+        notes += n;
+        if !report.findings.is_empty() {
+            eprintln!(
+                "{}",
+                format_diagnostics(args, &report.source_map, &report.findings)
+            );
+        }
+        if args.json {
+            rows.push(Json::obj([
+                ("manifest", Json::str(&display)),
+                ("rules_run", Json::num(report.rules_run as u32)),
+                (
+                    "findings",
+                    Json::Arr(report.findings.iter().map(diagnostic_json).collect()),
+                ),
+            ]));
+        }
+    }
+    if args.json {
+        let doc = Json::obj([
+            ("schema", Json::str("rehearsal-lint/1")),
+            ("platform", Json::str(args.platform.to_string())),
+            ("manifests", Json::Arr(rows)),
+            ("errors", Json::num(errors as u32)),
+            ("warnings", Json::num(warnings as u32)),
+            ("notes", Json::num(notes as u32)),
+        ]);
+        println!("{}", doc.render_pretty());
+    } else {
+        let mark = if errors == 0 { "✔" } else { "✘" };
+        println!(
+            "{mark} linted {} manifest{}: {errors} error{}, {warnings} warning{}, {notes} note{}",
+            manifests.len(),
+            if manifests.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if notes == 1 { "" } else { "s" },
+        );
+    }
+    Ok(errors == 0)
+}
+
 fn run_fleet(args: &Args) -> Result<bool, String> {
     // Collect manifests: every positional path (directory or file),
     // plus an optional explicit list.
@@ -556,6 +714,7 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
         threads: args.threads,
         analysis: args.options.clone(),
         cancel: None,
+        lint: args.lint,
     };
     let mut engine = FleetEngine::new(options);
     if let Some(path) = &args.cache {
@@ -725,6 +884,7 @@ final machine state:"
             Ok(true)
         }
         "benchmarks" => run_benchmarks(args),
+        "lint" => run_lint(args),
         "fleet" => run_fleet(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

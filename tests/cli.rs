@@ -45,12 +45,14 @@ fn check_nondeterministic_manifest_exits_nonzero() {
     assert!(stdout.contains("counterexample initial state"), "{stdout}");
     // The acceptance shape: a two-snippet race report pointing at both
     // racing resource declarations (findings go to stderr, like every
-    // other diagnostic).
+    // other diagnostic), preceded by the lint pass's R2001 advisory for
+    // the same pair — two snippets each.
     assert!(stderr.contains("error[R3001]"), "{stderr}");
+    assert!(stderr.contains("warning[R2001]"), "lint advisory: {stderr}");
     assert_eq!(
         stderr.matches("-->").count(),
-        2,
-        "both declarations rendered: {stderr}"
+        4,
+        "both declarations rendered by both reports: {stderr}"
     );
     assert!(stderr.contains("this resource races with"), "{stderr}");
     assert!(
