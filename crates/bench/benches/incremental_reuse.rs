@@ -163,7 +163,10 @@ fn print_table() {
     emit("warm-cache", start.elapsed().as_secs_f64() * 1e3, &warm);
     assert_eq!(warm.counts().cached, 13, "warm run must be pure cache hits");
     assert_verdicts_match("warm-cache", &cold, &warm);
-    let baseline = std::mem::take(cold_engine.baseline_mut().expect("baseline installed"));
+    let baseline = cold_engine
+        .state()
+        .take_baseline()
+        .expect("baseline installed");
 
     // Formatting-only edit on a fresh engine: every manifest lowers to a
     // digest-identical graph and replays from the baseline.
@@ -181,7 +184,7 @@ fn print_table() {
         "a formatting-only edit must be a 100% baseline hit"
     );
     assert_verdicts_match("format-edit", &cold, &formatted);
-    let baseline = std::mem::take(engine.baseline_mut().expect("baseline installed"));
+    let baseline = engine.state().take_baseline().expect("baseline installed");
 
     // Single-attribute edit on a fresh engine: only hosting.pp's dirty
     // cone is re-analyzed; everything else replays, and the clean pairs'
@@ -239,7 +242,7 @@ fn print_table() {
         (3, 3),
         "metadata suite verdicts must hold under the baseline recorder"
     );
-    let baseline = std::mem::take(engine.baseline_mut().expect("baseline installed"));
+    let baseline = engine.state().take_baseline().expect("baseline installed");
     let mut engine = FleetEngine::new(options).with_baseline(baseline);
     let start = Instant::now();
     let meta_warm = engine.run(metadata_jobs());
@@ -270,7 +273,7 @@ fn bench(c: &mut Criterion) {
         let mut seed = FleetEngine::new(FleetOptions::default().with_jobs(1))
             .with_baseline(BaselineStore::in_memory());
         seed.run(suite_jobs());
-        let baseline = std::mem::take(seed.baseline_mut().expect("baseline installed"));
+        let baseline = seed.state().take_baseline().expect("baseline installed");
         let mut engine =
             FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
         b.iter(|| engine.run(formatted_jobs()))
@@ -279,7 +282,7 @@ fn bench(c: &mut Criterion) {
         let mut seed = FleetEngine::new(FleetOptions::default().with_jobs(1))
             .with_baseline(BaselineStore::in_memory());
         seed.run(suite_jobs());
-        let baseline = std::mem::take(seed.baseline_mut().expect("baseline installed"));
+        let baseline = seed.state().take_baseline().expect("baseline installed");
         let mut engine =
             FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
         b.iter(|| engine.run(edited_jobs()))

@@ -1,0 +1,197 @@
+//! Daemon throughput: `/v1/check` requests per second against the warm
+//! core, versus the process-per-check cost floor.
+//!
+//! This is the acceptance benchmark for `rehearsal serve`: the bundled
+//! 13-benchmark suite is sent as HTTP requests to an in-process daemon —
+//! cold (first sighting, full analysis), warm (resident memo, no
+//! re-lowering), and warm from four concurrent clients — and compared to
+//! constructing a fresh engine for every check, which is what a
+//! process-per-check CLI loop pays even before exec overhead. Every
+//! response's verdict is pinned against the paper's (7 det / 6 nondet);
+//! any drift panics, so the warm core can only ever change wall time.
+
+use rehearsal::benchmarks::SUITE;
+use rehearsal::fleet::{parse_json, FleetEngine, FleetJob, FleetOptions, Json};
+use rehearsal::serve::http::http_request;
+use rehearsal::serve::{ServeOptions, Server};
+use rehearsal::Platform;
+use rehearsal_bench::harness::{is_quick, Criterion};
+use rehearsal_bench::{criterion_group, criterion_main, write_serve_json, ServeBenchRow};
+use std::time::Instant;
+
+fn suite_bodies() -> Vec<(&'static str, bool, String)> {
+    SUITE
+        .iter()
+        .map(|b| {
+            let body = Json::obj([
+                ("manifest", Json::str(format!("{}.pp", b.name))),
+                ("source", Json::str(b.source)),
+            ])
+            .render();
+            (b.name, b.deterministic, body)
+        })
+        .collect()
+}
+
+/// Sends one check and returns whether the daemon's memo answered it,
+/// panicking on any verdict drift from the paper's pins.
+fn checked_request(addr: &str, name: &str, deterministic: bool, body: &str) -> bool {
+    let (status, response) = http_request(addr, "POST", "/v1/check", body).expect("daemon check");
+    assert_eq!(status, 200, "{name}: daemon refused the check");
+    let doc = parse_json(&response).expect("check response is JSON");
+    let expected = if deterministic {
+        "deterministic"
+    } else {
+        "nondeterministic"
+    };
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some(expected),
+        "{name}: verdict drift against the paper's pins"
+    );
+    doc.get("serve")
+        .and_then(|s| s.get("cache_hit"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+}
+
+/// One pass of the suite over HTTP; returns (wall_ms, memo hits).
+fn http_pass(addr: &str, bodies: &[(&'static str, bool, String)]) -> (f64, usize) {
+    let start = Instant::now();
+    let mut hits = 0;
+    for (name, det, body) in bodies {
+        if checked_request(addr, name, *det, body) {
+            hits += 1;
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e3, hits)
+}
+
+/// The process-per-check cost floor: a fresh engine (empty caches, cold
+/// arenas) for every single manifest, as a CLI loop would pay.
+fn engine_per_check_pass() -> f64 {
+    let start = Instant::now();
+    for b in SUITE {
+        let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1));
+        let report = engine.run(vec![FleetJob {
+            name: format!("{}.pp", b.name),
+            source: b.source.to_string(),
+            platform: Platform::Ubuntu,
+        }]);
+        let row = &report.rows[0];
+        let deterministic = row.verdict == rehearsal::fleet::Verdict::Deterministic;
+        assert_eq!(
+            deterministic, b.deterministic,
+            "{}: verdict drift against the paper's pins",
+            b.name
+        );
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn print_table() {
+    println!("\n=== Daemon throughput: /v1/check over the 13-benchmark suite ===");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>10}",
+        "scenario", "wall", "requests", "req/s", "memo hits"
+    );
+    let mut rows = Vec::new();
+    let mut emit = |scenario: &str, wall_ms: f64, requests: usize, memo_hits: usize| {
+        let r = ServeBenchRow {
+            scenario: scenario.to_string(),
+            wall_ms,
+            requests,
+            req_per_s: requests as f64 / (wall_ms / 1e3),
+            memo_hits,
+        };
+        println!(
+            "{:<22} {:>8.1}ms {:>10} {:>12.1} {:>10}",
+            r.scenario, r.wall_ms, r.requests, r.req_per_s, r.memo_hits
+        );
+        rows.push(r);
+    };
+
+    let bodies = suite_bodies();
+    emit("engine-per-check", engine_per_check_pass(), SUITE.len(), 0);
+
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeOptions::default()
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().expect("daemon addr").to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Cold: the daemon's first sighting of each manifest — full analysis,
+    // but the process, arenas, and caches are already resident.
+    let (cold_ms, cold_hits) = http_pass(&addr, &bodies);
+    assert_eq!(cold_hits, 0, "a cold pass cannot hit the memo");
+    emit("daemon-cold", cold_ms, bodies.len(), cold_hits);
+
+    // Warm: byte-identical repeats answered from the resident memo.
+    let (warm_ms, warm_hits) = http_pass(&addr, &bodies);
+    assert_eq!(warm_hits, bodies.len(), "a warm pass must be pure memo");
+    emit("daemon-warm", warm_ms, bodies.len(), warm_hits);
+    assert!(
+        warm_ms < cold_ms,
+        "the warm core must beat its own cold pass ({warm_ms:.1}ms vs {cold_ms:.1}ms)"
+    );
+
+    // Warm under concurrency: four clients splitting the suite.
+    let start = Instant::now();
+    let workers: Vec<_> = (0..4)
+        .map(|lane| {
+            let addr = addr.clone();
+            let bodies = bodies.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0;
+                for (name, det, body) in bodies.iter().skip(lane).step_by(4) {
+                    if checked_request(&addr, name, *det, body) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let concurrent_hits: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    emit(
+        "daemon-warm-4-clients",
+        start.elapsed().as_secs_f64() * 1e3,
+        bodies.len(),
+        concurrent_hits,
+    );
+
+    let _ = http_request(&addr, "POST", "/v1/shutdown", "").expect("daemon shutdown");
+    daemon.join().unwrap().expect("daemon exits cleanly");
+
+    write_serve_json("rehearsal-bench serve_throughput", &rows);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(if is_quick() { 2 } else { 10 });
+
+    group.bench_function("engine-per-check/suite", |b| b.iter(engine_per_check_pass));
+
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeOptions::default()
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().expect("daemon addr").to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let bodies = suite_bodies();
+    http_pass(&addr, &bodies); // prime the memo
+    group.bench_function("daemon-warm/suite", |b| {
+        b.iter(|| http_pass(&addr, &bodies))
+    });
+    group.finish();
+    let _ = http_request(&addr, "POST", "/v1/shutdown", "").expect("daemon shutdown");
+    daemon.join().unwrap().expect("daemon exits cleanly");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

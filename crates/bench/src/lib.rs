@@ -674,6 +674,68 @@ pub fn write_incremental_json(generated_by: &str, rows: &[IncrementalBenchRow]) 
     );
 }
 
+/// One measured scenario of the daemon-throughput bench
+/// (`serve_throughput`), for `BENCH_serve.json` and the CI bench-smoke
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRow {
+    /// Scenario label (`engine-per-check`, `daemon-cold`, `daemon-warm`,
+    /// `daemon-warm-4-clients`).
+    pub scenario: String,
+    /// Wall time for the whole scenario, milliseconds.
+    pub wall_ms: f64,
+    /// Check requests answered in the scenario.
+    pub requests: usize,
+    /// Throughput, requests per second.
+    pub req_per_s: f64,
+    /// Requests answered from the daemon's resident memo (no lowering).
+    pub memo_hits: usize,
+}
+
+/// Serializes serve rows via the shared `fleet::json` value model.
+pub fn serve_rows_to_json(generated_by: &str, rows: &[ServeBenchRow]) -> String {
+    use rehearsal::fleet::json::Json;
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("scenario", Json::str(&r.scenario)),
+                ("wall_ms", Json::Num((r.wall_ms * 1000.0).round() / 1000.0)),
+                ("requests", Json::num(r.requests as u32)),
+                ("req_per_s", Json::Num((r.req_per_s * 10.0).round() / 10.0)),
+                ("memo_hits", Json::num(r.memo_hits as u32)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("generated_by", Json::str(generated_by)),
+        (
+            "method",
+            Json::str(
+                "the bundled 13-benchmark suite sent as HTTP /v1/check requests against an \
+                 in-process daemon (ephemeral port), cold then warm then warm from 4 \
+                 concurrent clients, versus a fresh engine per check (the process-per-check \
+                 cost floor, minus exec overhead); every response's verdict is pinned \
+                 against the paper's (7 det / 6 nondet) — drift panics, so the warm core \
+                 can only change wall time",
+            ),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    doc.render_pretty()
+}
+
+/// Writes the serve report to the path named by `REHEARSAL_BENCH_JSON`,
+/// when set (CI uploads it as the `BENCH_serve.json` artifact).
+pub fn write_serve_json(generated_by: &str, rows: &[ServeBenchRow]) {
+    let Some(path) = std::env::var_os("REHEARSAL_BENCH_JSON") else {
+        return;
+    };
+    let json = serve_rows_to_json(generated_by, rows);
+    std::fs::write(&path, json).expect("write REHEARSAL_BENCH_JSON");
+    println!("wrote serve bench report to {}", path.to_string_lossy());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

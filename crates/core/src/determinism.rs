@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 /// The per-analysis evaluation budget: deadline plus cancellation, threaded
 /// down into the SAT solver so a fleet scheduler can interrupt mid-solve.
 pub(crate) fn interrupt_flag(options: &AnalysisOptions) -> Option<Arc<AtomicBool>> {
-    options.cancel.as_ref().map(|t| Arc::clone(&t.0))
+    options.cancel.as_ref().map(|t| Arc::clone(&t.flag))
 }
 
 /// The abort reason for a failed solve, distinguishing cooperative
@@ -45,8 +45,18 @@ pub(crate) fn solve_abort_reason(options: &AnalysisOptions) -> AnalysisAborted {
 /// time budget early (e.g. when a fleet run is aborted). The analysis
 /// polls the token at the same points it polls its deadline and returns
 /// [`AnalysisAborted`] once cancelled.
+///
+/// Tokens form a tree: [`CancelToken::child`] derives a token that is
+/// cancelled whenever its parent is, while cancelling the child leaves
+/// the parent (and its other children) untouched. A request-serving
+/// daemon hands each request a child of one global drain token: the
+/// request can be cancelled individually (its deadline), and draining
+/// the daemon revokes every in-flight request at once.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -54,15 +64,35 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation; every analysis sharing this token aborts at
-    /// its next budget check.
+    /// Requests cancellation; every analysis sharing this token (and
+    /// every descendant token) aborts at its next budget check.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested, on this token or any
+    /// ancestor. An observed ancestor cancellation is propagated into
+    /// this token's own flag so low-level pollers holding only the flag
+    /// (the SAT solver's interrupt check) trip on the next poll too.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.parent.as_ref().is_some_and(|p| p.is_cancelled()) {
+            self.flag.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Derives a linked child token: cancelling the parent cancels the
+    /// child (propagated at the child's next poll), cancelling the child
+    /// does not affect the parent.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 }
 
@@ -1384,6 +1414,27 @@ mod tests {
         .with_threads(4);
         let err = check_determinism(&g, &opts).unwrap_err();
         assert!(err.reason.contains("sequences"));
+    }
+
+    #[test]
+    fn child_tokens_observe_the_parent_but_not_vice_versa() {
+        let drain = CancelToken::new();
+        let request = drain.child();
+        assert!(!request.is_cancelled());
+        // Child cancellation stays local: the drain token (and a sibling
+        // request) keep running.
+        request.cancel();
+        assert!(request.is_cancelled());
+        assert!(!drain.is_cancelled());
+        let sibling = drain.child();
+        assert!(!sibling.is_cancelled());
+        // Parent cancellation reaches every descendant, and propagates
+        // into the child's own flag (the one the solver polls).
+        drain.cancel();
+        assert!(sibling.is_cancelled());
+        assert!(sibling.is_cancelled(), "sticky after propagation");
+        let grandchild = sibling.child();
+        assert!(grandchild.is_cancelled());
     }
 
     #[test]

@@ -157,6 +157,23 @@ impl BaselineStore {
             .min_by(|a, b| a.manifest.cmp(&b.manifest))
     }
 
+    /// Iterates every entry (order unspecified) — the raw material for
+    /// coverage/drift rollups, which snapshot pinned verdicts before a
+    /// run re-records them.
+    pub fn entries(&self) -> impl Iterator<Item = &BaselineEntry> {
+        self.entries.values()
+    }
+
+    /// Consumes the store and returns an identical one with no backing
+    /// file: saves become no-ops. A coverage gate reads pins through a
+    /// detached store so inspecting drift never silently re-pins.
+    #[must_use]
+    pub fn detached(mut self) -> BaselineStore {
+        self.path = None;
+        self.dirty = false;
+        self
+    }
+
     /// Records (or replaces) the entry for `(entry.manifest,
     /// entry.options)`.
     pub fn put(&mut self, entry: BaselineEntry) {

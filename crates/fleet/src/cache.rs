@@ -55,8 +55,11 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// FNV-1a over one byte string from the standard offset basis.
-pub(crate) fn fnv1a_digest(bytes: &[u8]) -> u64 {
+/// FNV-1a over one byte string from the standard offset basis — the
+/// workspace's dependency-free content hash, shared by the baseline
+/// store, the serve daemon's request memo, and the tamper-evident
+/// history chain.
+pub fn fnv1a_digest(bytes: &[u8]) -> u64 {
     fnv1a(FNV_OFFSET, bytes)
 }
 
@@ -120,7 +123,7 @@ pub fn graph_key(graph_digest: u64, platform: Platform, options: &AnalysisOption
 /// change a verdict: analyzer version, cache schema, platform, and
 /// analysis options. Baseline entries are scoped by it so a baseline
 /// recorded under one configuration is never consulted under another.
-pub(crate) fn options_fingerprint(platform: Platform, options: &AnalysisOptions) -> u64 {
+pub fn options_fingerprint(platform: Platform, options: &AnalysisOptions) -> u64 {
     finish_key(fnv1a(FNV_OFFSET, key_salt().as_bytes()), platform, options)
 }
 

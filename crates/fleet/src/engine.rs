@@ -18,6 +18,7 @@ use crate::baseline::{BaselineEntry, BaselineStore, ResourceSummary};
 use crate::cache::{graph_key, job_key, options_fingerprint, CachedVerdict, VerdictCache};
 use crate::report::{AnalysisCounters, FleetReport, JobResult, ReuseCounts, Verdict};
 use crate::scheduler::run_work_stealing_with_stats;
+use crate::state::StateDir;
 use rehearsal_core::{
     aborted_diagnostic, check_determinism_with_oracle, check_idempotence, dirty_cone, expr_digest,
     footprint, graph_digest, idempotence_diagnostics, race_diagnostic, AnalysisOptions,
@@ -29,6 +30,7 @@ use rehearsal_pkgdb::Platform;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One unit of fleet work: a manifest source targeted at a platform.
@@ -145,51 +147,56 @@ pub fn resolve_core_split(
     }
 }
 
-/// The batch engine: options, a verdict cache, and (optionally) a
-/// differential-verification baseline.
+/// The batch engine: options plus a shared [`StateDir`] holding the
+/// verdict cache and (optionally) the differential-verification
+/// baseline. Any number of engines — CLI runs, daemon request workers —
+/// can share one `Arc<StateDir>`; the handle's locks keep their cache
+/// and baseline traffic from interleaving, and flushing happens once,
+/// through the handle, instead of per run.
 #[derive(Debug, Default)]
 pub struct FleetEngine {
     options: FleetOptions,
-    cache: VerdictCache,
-    baseline: Option<BaselineStore>,
+    state: Arc<StateDir>,
 }
 
 impl FleetEngine {
-    /// An engine with an in-memory (non-persistent) cache and no
-    /// baseline.
+    /// An engine with a fresh in-memory (non-persistent) state handle.
     pub fn new(options: FleetOptions) -> FleetEngine {
         FleetEngine {
             options,
-            cache: VerdictCache::in_memory(),
-            baseline: None,
+            state: Arc::new(StateDir::in_memory()),
         }
     }
 
-    /// Replaces the verdict cache (e.g. one opened from disk).
+    /// Shares an existing state handle (the open-once `--cache` /
+    /// `--baseline` / `--state-dir` stores) with this engine.
     #[must_use]
-    pub fn with_cache(mut self, cache: VerdictCache) -> FleetEngine {
-        self.cache = cache;
+    pub fn with_state(mut self, state: Arc<StateDir>) -> FleetEngine {
+        self.state = state;
         self
     }
 
-    /// Attaches a baseline store. Runs will consult it for differential
-    /// reuse and record fresh entries into it (save it afterwards to
-    /// persist them).
+    /// Replaces the verdict cache on this engine's state handle (e.g.
+    /// one opened from disk).
     #[must_use]
-    pub fn with_baseline(mut self, baseline: BaselineStore) -> FleetEngine {
-        self.baseline = Some(baseline);
+    pub fn with_cache(self, cache: VerdictCache) -> FleetEngine {
+        self.state.set_cache(cache);
         self
     }
 
-    /// The engine's cache (save it after a run to persist verdicts).
-    pub fn cache_mut(&mut self) -> &mut VerdictCache {
-        &mut self.cache
+    /// Attaches a baseline store to this engine's state handle. Runs
+    /// will consult it for differential reuse and record fresh entries
+    /// into it (flush the state to persist them).
+    #[must_use]
+    pub fn with_baseline(self, baseline: BaselineStore) -> FleetEngine {
+        self.state.set_baseline(baseline);
+        self
     }
 
-    /// The engine's baseline store, when one is attached (save it after
-    /// a run to persist recorded entries).
-    pub fn baseline_mut(&mut self) -> Option<&mut BaselineStore> {
-        self.baseline.as_mut()
+    /// The engine's shared state handle (cache + baseline). Flush it
+    /// after a run to persist verdicts and recorded entries.
+    pub fn state(&self) -> &Arc<StateDir> {
+        &self.state
     }
 
     /// Reads manifests from `paths` and runs every `(path, platform)`
@@ -282,8 +289,8 @@ impl FleetEngine {
             // Sources that previously failed to lower are cached under
             // the raw-source key; check it before re-parsing.
             let src_key = job_key(&job.source, job.platform, &analysis);
-            if let Some(hit) = self.cache.get(src_key) {
-                rows.push(Some(cached_row(job.name, job.platform, hit, None)));
+            if let Some(hit) = self.state.cache_get(src_key) {
+                rows.push(Some(cached_row(job.name, job.platform, &hit, None)));
                 continue;
             }
             let lower_start = Instant::now();
@@ -306,7 +313,7 @@ impl FleetEngine {
                     row.millis = lower_ms;
                     row.run_ms = lower_ms;
                     row.phases = lower_phases;
-                    self.cache.put(src_key, verdict_of(&row));
+                    self.state.cache_put(src_key, verdict_of(&row));
                     rows.push(Some(row));
                     continue;
                 }
@@ -315,7 +322,7 @@ impl FleetEngine {
             let digest = graph_digest(&graph);
             let key = graph_key(digest, job.platform, &analysis);
             let fp = options_fingerprint(job.platform, &analysis);
-            if let Some(hit) = self.cache.get(key) {
+            if let Some(hit) = self.state.cache_get(key) {
                 // Semantic cache hit: same lowered graph, platform, and
                 // options — formatting/comment/reorder/rename edits land
                 // here.
@@ -325,37 +332,29 @@ impl FleetEngine {
                     resources_dirty: 0,
                     pairs_reused: 0,
                 };
-                let mut row = cached_row(job.name.clone(), job.platform, hit, Some(reuse));
+                let mut row = cached_row(job.name.clone(), job.platform, &hit, Some(reuse));
                 row.phases = lower_phases;
                 // Keep the baseline fresh for manifests it has never
                 // seen (pair verdicts are unknown on a pure cache hit,
                 // so never overwrite a richer recorded entry).
-                if let Some(store) = self.baseline.as_mut() {
-                    if store.get(&job.name, fp).is_none() {
-                        store.put(baseline_entry(
-                            &graph,
-                            &analysis,
-                            job.name.clone(),
-                            job.platform,
-                            fp,
-                            digest,
-                            Vec::new(),
-                            &hit.verdict,
-                            &hit.detail,
-                            &hit.diagnostics,
-                        ));
-                    }
+                if self.state.has_baseline() && self.state.baseline_get(&job.name, fp).is_none() {
+                    self.state.baseline_put(baseline_entry(
+                        &graph,
+                        &analysis,
+                        job.name.clone(),
+                        job.platform,
+                        fp,
+                        digest,
+                        Vec::new(),
+                        &hit.verdict,
+                        &hit.detail,
+                        &hit.diagnostics,
+                    ));
                 }
                 rows.push(Some(row));
                 continue;
             }
-            let replay = self.baseline.as_ref().and_then(|store| {
-                store
-                    .get(&job.name, fp)
-                    .filter(|e| e.graph_digest == digest)
-                    .or_else(|| store.find_by_digest(digest, fp))
-                    .cloned()
-            });
+            let replay = self.state.baseline_replay(&job.name, fp, digest);
             if let Some(entry) = replay {
                 // Baseline digest match: the manifest lowers to exactly
                 // the graph the baseline analyzed — replay its verdict
@@ -382,15 +381,13 @@ impl FleetEngine {
                     }),
                 };
                 row.resources = n;
-                self.cache.put(key, verdict_of(&row));
+                self.state.cache_put(key, verdict_of(&row));
                 if entry.manifest != job.name {
                     // A renamed (or moved) manifest found by digest:
                     // re-key the entry so the next lookup is direct.
                     let mut renamed = entry;
                     renamed.manifest = job.name.clone();
-                    if let Some(store) = self.baseline.as_mut() {
-                        store.put(renamed);
-                    }
+                    self.state.baseline_put(renamed);
                 }
                 rows.push(Some(row));
                 continue;
@@ -403,10 +400,9 @@ impl FleetEngine {
                 // edit: slice it. No baseline entry at all still gets a
                 // plan (an empty oracle) so the run records pairs for
                 // the next baseline.
-                let plan = self
-                    .baseline
-                    .as_ref()
-                    .map(|store| build_reuse_plan(store.get(&job.name, fp), &graph));
+                let plan = self.state.has_baseline().then(|| {
+                    build_reuse_plan(self.state.baseline_get(&job.name, fp).as_ref(), &graph)
+                });
                 pending.push(PendingJob {
                     key,
                     name: job.name.clone(),
@@ -521,13 +517,13 @@ impl FleetEngine {
         let mut metrics = serial_metrics;
         for (key, row, job_metrics, update) in outcomes {
             metrics.merge(&job_metrics);
-            self.cache.put(key, verdict_of(&row));
+            self.state.cache_put(key, verdict_of(&row));
             for (slot, name, platform) in key_slots.remove(&key).expect("pending key has slots") {
-                if let (Some(store), Some(template)) = (self.baseline.as_mut(), update.as_ref()) {
+                if let Some(template) = update.as_ref() {
                     let mut entry = template.clone();
                     entry.manifest = name.clone();
                     entry.platform = platform;
-                    store.put(entry);
+                    self.state.baseline_put(entry);
                 }
                 rows[slot] = Some(JobResult {
                     manifest: name,
@@ -1081,7 +1077,7 @@ mod tests {
         assert_eq!(report.rows[1].manifest, "copy-b.pp");
         assert_eq!(report.rows[0].verdict, Verdict::Deterministic);
         assert_eq!(report.rows[1].verdict, Verdict::Deterministic);
-        assert_eq!(engine.cache_mut().len(), 1, "one key for both jobs");
+        assert_eq!(engine.state().cache_len(), 1, "one key for both jobs");
     }
 
     #[test]
@@ -1140,7 +1136,7 @@ mod tests {
         let report = engine.run(vec![job("a.pp", "file { '/etc/motd': content => 'a' }")]);
         assert_eq!(report.rows[0].verdict, Verdict::Timeout);
         // Timeouts are not cached, so a healthy rerun re-analyzes.
-        assert_eq!(engine.cache_mut().len(), 0);
+        assert_eq!(engine.state().cache_len(), 0);
     }
 
     #[test]
@@ -1172,10 +1168,10 @@ mod tests {
             })
         );
         // …and records an entry with footprints and pair verdicts.
-        let store = engine.baseline_mut().unwrap();
-        assert_eq!(store.len(), 1);
-        let entry = store
-            .find_by_digest(
+        assert_eq!(engine.state().baseline_len(), 1);
+        let entry = engine
+            .state()
+            .baseline_find_by_digest(
                 {
                     let (graph, _) = Rehearsal::new(Platform::Ubuntu)
                         .lower_source(TWO_DISJOINT)
@@ -1197,7 +1193,7 @@ mod tests {
         let first = engine.run(vec![job("trio.pp", TWO_DISJOINT)]);
         // Drop the verdict cache but keep the baseline: the digest match
         // replays the verdict (the second run is "another process").
-        let baseline = std::mem::take(engine.baseline_mut().unwrap());
+        let baseline = engine.state().take_baseline().unwrap();
         let mut engine2 =
             FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
         let second = engine2.run(vec![job("trio.pp", TWO_DISJOINT)]);
@@ -1213,7 +1209,7 @@ mod tests {
         let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
             .with_baseline(BaselineStore::in_memory());
         let cold = engine.run(vec![job("trio.pp", TWO_DISJOINT)]);
-        let baseline = std::mem::take(engine.baseline_mut().unwrap());
+        let baseline = engine.state().take_baseline().unwrap();
         // Edit one attribute of one resource; the other two are disjoint
         // from it, so the cone is exactly the edited resource.
         let edited = TWO_DISJOINT.replace("content => 'c'", "content => 'changed'");

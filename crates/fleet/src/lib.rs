@@ -49,14 +49,20 @@ pub mod engine;
 pub mod json;
 pub mod report;
 pub mod scheduler;
+pub mod state;
 
 pub use annotations::{annotation_line, github_annotations, row_annotations};
 pub use baseline::{BaselineEntry, BaselineStore, ResourceSummary, BASELINE_SCHEMA_VERSION};
-pub use cache::{graph_key, job_key, CachedVerdict, VerdictCache, CACHE_SCHEMA_VERSION};
+pub use cache::{
+    fnv1a_digest, graph_key, job_key, options_fingerprint, CachedVerdict, VerdictCache,
+    CACHE_SCHEMA_VERSION,
+};
 pub use discover::{discover_manifests, read_manifest_list};
 pub use engine::{verify_directory, FleetEngine, FleetJob, FleetOptions};
 pub use json::{diagnostic_from_json, diagnostic_json, parse as parse_json, Json, JsonError};
 pub use report::{
-    metrics_json, AnalysisCounters, FleetCounts, FleetReport, JobResult, ReuseCounts, Verdict,
+    check_document, check_document_from_row, metrics_json, AnalysisCounters, FleetCounts,
+    FleetReport, JobResult, ReuseCounts, Verdict,
 };
 pub use scheduler::{run_work_stealing, run_work_stealing_with_stats, SchedulerStats};
+pub use state::{StateDir, STATE_BASELINE_FILE, STATE_CACHE_FILE};

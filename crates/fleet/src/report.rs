@@ -376,6 +376,196 @@ pub fn metrics_json(m: &rehearsal_trace::MetricsSnapshot) -> Json {
     ])
 }
 
+/// The `check --json` document (schema `rehearsal-check/5`), shared by
+/// the CLI and the daemon so the two can never drift apart field by
+/// field. `report` is `None` when the pipeline failed before a verdict;
+/// the error then lives in `diagnostics`. `obs` is the run's trace
+/// snapshot, feeding the `phases` and `metrics` objects.
+pub fn check_document(
+    manifest: &str,
+    platform: Platform,
+    model_metadata: bool,
+    report: Option<&rehearsal_core::DeterminismReport>,
+    idempotence: Option<&rehearsal_core::IdempotenceReport>,
+    diagnostics: &[Diagnostic],
+    obs: Option<&rehearsal_trace::TraceSnapshot>,
+) -> Json {
+    let stats = report.map(|r| r.stats()).unwrap_or_default();
+    let verdict = match report {
+        None => "error",
+        Some(r) if !r.is_deterministic() => "nondeterministic",
+        Some(_) if idempotence.is_some_and(|i| !i.is_idempotent()) => "nonidempotent",
+        Some(_) => "deterministic",
+    };
+    let phases = obs
+        .map(rehearsal_trace::TraceSnapshot::phase_totals)
+        .unwrap_or_default();
+    Json::obj([
+        ("schema", Json::str("rehearsal-check/5")),
+        ("manifest", Json::str(manifest)),
+        ("platform", Json::str(platform.to_string())),
+        ("model_metadata", Json::Bool(model_metadata)),
+        ("verdict", Json::str(verdict)),
+        (
+            "deterministic",
+            match report {
+                Some(r) => Json::Bool(r.is_deterministic()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "idempotent",
+            match idempotence {
+                Some(i) => Json::Bool(i.is_idempotent()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "diagnostics",
+            Json::Arr(diagnostics.iter().map(diagnostic_json).collect()),
+        ),
+        (
+            "stats",
+            Json::obj([
+                ("resources", Json::num(stats.resources as u32)),
+                (
+                    "resources_after_elimination",
+                    Json::num(stats.resources_after_elimination as u32),
+                ),
+                ("paths", Json::num(stats.paths as u32)),
+                ("tracked_paths", Json::num(stats.tracked_paths as u32)),
+                ("meta_ops", Json::num(stats.meta_ops as u32)),
+                (
+                    "meta_tracked_paths",
+                    Json::num(stats.meta_tracked_paths as u32),
+                ),
+                // Sequence and solver counters can exceed u32 (the state
+                // cache accounts factorial spaces; propagations run tens
+                // of millions/second) — serialize as f64 to keep the
+                // magnitude honest.
+                (
+                    "sequences_explored",
+                    Json::Num(stats.sequences_explored as f64),
+                ),
+                (
+                    "sequences_skipped",
+                    Json::Num(stats.sequences_skipped as f64),
+                ),
+                ("state_cache_hits", Json::num(stats.state_cache_hits as u32)),
+                ("distinct_outputs", Json::num(stats.distinct_outputs as u32)),
+                ("formula_nodes", Json::num(stats.formula_nodes as u32)),
+                ("solver_conflicts", Json::Num(stats.solver_conflicts as f64)),
+                (
+                    "solver_propagations",
+                    Json::Num(stats.solver_propagations as f64),
+                ),
+                ("grounded_clauses", Json::Num(stats.grounded_clauses as f64)),
+                (
+                    "grounding_reuse_ratio",
+                    Json::Num((stats.grounding_reuse_ratio() * 10000.0).round() / 10000.0),
+                ),
+            ]),
+        ),
+        (
+            "phases",
+            Json::Obj(
+                phases
+                    .iter()
+                    .map(|p| (p.name.clone(), Json::Num(p.total_us as f64 / 1000.0)))
+                    .collect(),
+            ),
+        ),
+        (
+            "metrics",
+            match obs {
+                Some(snap) => metrics_json(&snap.metrics),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// The `rehearsal-check/5` document rebuilt from a fleet [`JobResult`]
+/// row — the daemon's `/v1/check` response body. The verdict, detail,
+/// diagnostics, phases, and the counters a row carries are identical to
+/// what the batch CLI would report for the same job; stats the row does
+/// not record (formula nodes, distinct outputs, …) serialize as zero,
+/// exactly as they do for a cache hit.
+pub fn check_document_from_row(
+    row: &JobResult,
+    model_metadata: bool,
+    metrics: Option<&rehearsal_trace::MetricsSnapshot>,
+) -> Json {
+    let c = &row.counters;
+    let (deterministic, idempotent) = match row.verdict {
+        Verdict::Deterministic => (Json::Bool(true), Json::Bool(true)),
+        Verdict::Nondeterministic => (Json::Bool(false), Json::Null),
+        Verdict::Nonidempotent => (Json::Bool(true), Json::Bool(false)),
+        Verdict::Error | Verdict::Timeout => (Json::Null, Json::Null),
+    };
+    Json::obj([
+        ("schema", Json::str("rehearsal-check/5")),
+        ("manifest", Json::str(&row.manifest)),
+        ("platform", Json::str(row.platform.to_string())),
+        ("model_metadata", Json::Bool(model_metadata)),
+        ("verdict", Json::str(row.verdict.label())),
+        ("deterministic", deterministic),
+        ("idempotent", idempotent),
+        ("detail", Json::str(&row.detail)),
+        (
+            "diagnostics",
+            Json::Arr(row.diagnostics.iter().map(diagnostic_json).collect()),
+        ),
+        (
+            "stats",
+            Json::obj([
+                ("resources", Json::num(row.resources as u32)),
+                ("meta_ops", Json::num(c.meta_ops as u32)),
+                ("meta_tracked_paths", Json::num(c.meta_tracked_paths as u32)),
+                ("sequences_explored", Json::Num(c.sequences_explored as f64)),
+                ("sequences_skipped", Json::Num(c.sequences_skipped as f64)),
+                ("solver_conflicts", Json::Num(c.solver_conflicts as f64)),
+                (
+                    "solver_propagations",
+                    Json::Num(c.solver_propagations as f64),
+                ),
+                (
+                    "grounding_reuse_ratio",
+                    Json::Num((c.grounding_reuse_ratio() * 10000.0).round() / 10000.0),
+                ),
+            ]),
+        ),
+        (
+            "phases",
+            Json::Obj(
+                row.phases
+                    .iter()
+                    .map(|(name, us)| (name.clone(), Json::Num(*us as f64 / 1000.0)))
+                    .collect(),
+            ),
+        ),
+        ("cached", Json::Bool(row.cached)),
+        (
+            "reuse",
+            match &row.reuse {
+                None => Json::Null,
+                Some(r) => Json::obj([
+                    ("resources_clean", Json::num(r.resources_clean as u32)),
+                    ("resources_dirty", Json::num(r.resources_dirty as u32)),
+                    ("pairs_reused", Json::Num(r.pairs_reused as f64)),
+                ]),
+            },
+        ),
+        (
+            "metrics",
+            match metrics {
+                Some(m) => metrics_json(m),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
 fn row_json(row: &JobResult) -> Json {
     let c = &row.counters;
     Json::obj([

@@ -1,0 +1,249 @@
+//! The daemon's run history: an append-only JSONL log
+//! (schema `rehearsal-history/1`) whose records form a hash chain —
+//! each record carries the FNV-1a digest of its own rendering and the
+//! previous record's digest, so any in-place edit, reorder, or deletion
+//! below the tail is detectable by replaying the chain. A *torn tail*
+//! (the final line cut short by a crash mid-write) is expected rather
+//! than fatal: [`HistoryLog::open`] truncates the file back to its
+//! longest valid prefix and resumes the chain from there, mirroring the
+//! corrupt-line policy of the verdict-cache and baseline stores.
+
+use rehearsal_fleet::{fnv1a_digest, parse_json, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Schema tag every history record carries.
+pub const HISTORY_SCHEMA: &str = "rehearsal-history/1";
+/// File name of the history log inside a `--state-dir`.
+pub const HISTORY_FILE: &str = "history.jsonl";
+
+/// The digest a chain starts from (before any record exists).
+const GENESIS: u64 = 0;
+
+fn hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// The result of replaying a history file's hash chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainReport {
+    /// Records whose hash and back-link verified, from the start.
+    pub valid: u64,
+    /// Bytes those valid records occupy (the truncation point).
+    pub valid_bytes: u64,
+    /// Whether anything followed the valid prefix (a torn or tampered
+    /// tail).
+    pub torn: bool,
+}
+
+/// Replays `text` and returns the longest valid prefix plus the chain
+/// state needed to resume appending after it.
+fn scan(text: &str) -> (ChainReport, u64, u64) {
+    let mut valid = 0u64;
+    let mut valid_bytes = 0u64;
+    let mut prev = GENESIS;
+    let mut seq = 0u64;
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        let record = line.trim_end();
+        offset += line.len();
+        if record.is_empty() {
+            // A blank line can only be trailing whitespace from a torn
+            // write; stop the valid prefix before it.
+            break;
+        }
+        let Ok(Json::Obj(pairs)) = parse_json(record) else {
+            break;
+        };
+        let Some((hash_key, Json::Str(stored))) = pairs.last() else {
+            break;
+        };
+        if hash_key != "hash" {
+            break;
+        }
+        let body = Json::Obj(pairs[..pairs.len() - 1].to_vec()).render();
+        if *stored != hex(fnv1a_digest(body.as_bytes())) {
+            break;
+        }
+        let parsed = Json::Obj(pairs.clone());
+        if parsed.get("schema").and_then(Json::as_str) != Some(HISTORY_SCHEMA)
+            || parsed.get("seq").and_then(Json::as_u64) != Some(seq + 1)
+            || parsed.get("prev").and_then(Json::as_str) != Some(hex(prev).as_str())
+        {
+            break;
+        }
+        prev = u64::from_str_radix(stored, 16).expect("hex just validated");
+        seq += 1;
+        valid += 1;
+        valid_bytes = offset as u64;
+    }
+    let torn = (text.len() as u64) > valid_bytes;
+    (
+        ChainReport {
+            valid,
+            valid_bytes,
+            torn,
+        },
+        prev,
+        seq,
+    )
+}
+
+/// Replays the chain in `path` without modifying the file. A missing
+/// file is an empty, untorn chain.
+///
+/// # Errors
+///
+/// I/O errors reading the file.
+pub fn verify_chain(path: impl AsRef<Path>) -> io::Result<ChainReport> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    Ok(scan(&text).0)
+}
+
+/// The open, append-only history log. One record per
+/// [`HistoryLog::append`], written as a single line plus flush, so
+/// concurrent readers only ever observe whole records (the daemon
+/// serializes appends behind a mutex).
+#[derive(Debug)]
+pub struct HistoryLog {
+    file: File,
+    prev: u64,
+    seq: u64,
+    recovered: bool,
+}
+
+impl HistoryLog {
+    /// Opens (or creates) the log at `path`, replays its chain, and
+    /// truncates any torn tail back to the longest valid prefix —
+    /// degrading to a shorter history instead of refusing to start.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or truncating the file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<HistoryLog> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let (report, prev, seq) = scan(&text);
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if report.torn {
+            file.set_len(report.valid_bytes)?;
+        }
+        Ok(HistoryLog {
+            file,
+            prev,
+            seq,
+            recovered: report.torn,
+        })
+    }
+
+    /// Number of records in the chain so far.
+    pub fn entries(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether opening truncated a torn tail.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// Appends one record: `event` plus the caller's fields, wrapped
+    /// with the schema tag, sequence number, back-link, and the
+    /// record's own hash, then flushed as a single line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the file.
+    pub fn append(&mut self, event: &str, fields: Vec<(&str, Json)>) -> io::Result<()> {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("schema".to_string(), Json::str(HISTORY_SCHEMA)),
+            ("seq".to_string(), Json::Num((self.seq + 1) as f64)),
+            ("prev".to_string(), Json::Str(hex(self.prev))),
+            ("event".to_string(), Json::str(event)),
+        ];
+        pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        let body = Json::Obj(pairs.clone()).render();
+        let hash = fnv1a_digest(body.as_bytes());
+        pairs.push(("hash".to_string(), Json::Str(hex(hash))));
+        let line = format!("{}\n", Json::Obj(pairs).render());
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.prev = hash;
+        self.seq += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("rehearsal-history-{name}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn chain_appends_and_verifies() {
+        let path = temp("roundtrip");
+        let mut log = HistoryLog::open(&path).unwrap();
+        log.append("start", vec![("addr", Json::str("127.0.0.1:0"))])
+            .unwrap();
+        log.append("check", vec![("manifest", Json::str("site.pp"))])
+            .unwrap();
+        drop(log);
+        let report = verify_chain(&path).unwrap();
+        assert_eq!(report.valid, 2);
+        assert!(!report.torn);
+        let reopened = HistoryLog::open(&path).unwrap();
+        assert_eq!(reopened.entries(), 2);
+        assert!(!reopened.recovered());
+    }
+
+    #[test]
+    fn tampered_record_breaks_the_chain() {
+        let path = temp("tamper");
+        let mut log = HistoryLog::open(&path).unwrap();
+        log.append("start", vec![]).unwrap();
+        log.append("check", vec![("manifest", Json::str("a.pp"))])
+            .unwrap();
+        drop(log);
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("a.pp", "b.pp");
+        std::fs::write(&path, tampered).unwrap();
+        let report = verify_chain(&path).unwrap();
+        assert_eq!(report.valid, 1, "edit invalidates the second record");
+        assert!(report.torn);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp("torn");
+        let mut log = HistoryLog::open(&path).unwrap();
+        log.append("start", vec![]).unwrap();
+        log.append("check", vec![]).unwrap();
+        drop(log);
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":\"rehearsal-history/1\",\"seq\":3,\"pr");
+        std::fs::write(&path, &text).unwrap();
+        let mut log = HistoryLog::open(&path).unwrap();
+        assert_eq!(log.entries(), 2, "valid prefix survives");
+        assert!(log.recovered(), "the torn tail was dropped");
+        log.append("shutdown", vec![]).unwrap();
+        drop(log);
+        let report = verify_chain(&path).unwrap();
+        assert_eq!(report.valid, 3, "chain resumes cleanly after recovery");
+        assert!(!report.torn);
+    }
+}

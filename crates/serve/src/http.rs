@@ -1,0 +1,218 @@
+//! A minimal HTTP/1.1 layer over [`std::net::TcpStream`]: enough to
+//! parse one request, write one response, and close — the daemon speaks
+//! `Connection: close` exclusively, so there is no keep-alive state
+//! machine, no chunked encoding, and no dependency outside `std`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, in bytes (manifests are small; 10 MB
+/// is orders of magnitude above any real catalog source).
+pub const MAX_BODY_BYTES: usize = 10 * 1024 * 1024;
+
+/// One parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, query string included, verbatim.
+    pub path: String,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// One response ready to serialize: status code plus a typed body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads and parses one request from the stream. Enforces
+/// [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`]; anything malformed (no
+/// request line, oversized head, bad `Content-Length`) is an
+/// `InvalidData` error the caller turns into a `400`.
+///
+/// # Errors
+///
+/// I/O errors from the socket, or `InvalidData` for malformed requests.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: requests are tiny and the daemon
+    // reads each exactly once, so simplicity beats a buffered reader
+    // that would over-read into the body.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(bad("connection closed mid-request")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("missing request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("missing request target"))?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serializes a response (with `Content-Length` and
+/// `Connection: close`) onto the stream and flushes it.
+///
+/// # Errors
+///
+/// I/O errors from the socket.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// A one-shot HTTP client: connects, sends `method path` with the given
+/// body, and returns `(status, body)`. Shared by the `rehearsal
+/// coverage --addr` gate and the integration tests, so the daemon is
+/// exercised by the same client code the CLI ships.
+///
+/// # Errors
+///
+/// Connection or protocol errors.
+pub fn http_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let raw = String::from_utf8(raw).map_err(|_| bad("response is not UTF-8"))?;
+    let (head, response_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("malformed response"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok((status, response_body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/echo");
+            assert_eq!(req.body, b"{\"x\":1}");
+            write_response(
+                &mut stream,
+                &Response::json(200, "{\"ok\":true}".to_string()),
+            )
+            .unwrap();
+        });
+        let (status, body) = http_request(&addr, "POST", "/v1/echo", "{\"x\":1}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /v1/check HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+            .unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -109,6 +109,13 @@ pub mod solver {
     pub use rehearsal_solver::*;
 }
 
+/// The warm-core verification daemon: HTTP endpoints, watch-mode drift
+/// detection, hash-chained run history, and the coverage gate
+/// (re-export of `rehearsal-serve`).
+pub mod serve {
+    pub use rehearsal_serve::*;
+}
+
 /// Phase tracing, the metrics registry, and profile export (re-export of
 /// `rehearsal-trace`).
 pub mod trace {

@@ -10,10 +10,10 @@
 //! ```
 
 use rehearsal::fleet::{
-    diagnostic_json, discover_manifests, github_annotations, metrics_json, read_manifest_list,
-    BaselineStore, FleetEngine, FleetOptions, Json, VerdictCache,
+    check_document, diagnostic_json, discover_manifests, github_annotations, read_manifest_list,
+    BaselineStore, FleetEngine, FleetOptions, Json, StateDir, VerdictCache,
 };
-use rehearsal::trace::{Session, TraceSnapshot};
+use rehearsal::trace::Session;
 use rehearsal::{
     AnalysisOptions, Diagnostic, LintLevel, LintOptions, Platform, Rehearsal, RenderOptions,
     Severity, SourceMap,
@@ -36,6 +36,8 @@ COMMANDS:
     benchmarks           run the paper's 13-benchmark suite
     lint <DIR|FILE...>   run the solver-free static analyzer (R2xxx rules)
     fleet <DIR|FILE...>  batch-verify every .pp manifest (the CI gate)
+    serve                run the warm-core verification daemon (HTTP/JSON)
+    coverage <DIR...>    gate on verdict drift / coverage vs a pinned baseline
 
 OPTIONS:
     --platform <ubuntu|centos>   target platform        [default: ubuntu]
@@ -100,6 +102,24 @@ FLEET OPTIONS:
 
 `rehearsal fleet` exits non-zero iff any manifest fails verification,
 making it usable directly as a CI gate.
+
+SERVE / COVERAGE OPTIONS:
+    --addr <HOST:PORT>           serve: listen address [default: 127.0.0.1:7777]
+                                 coverage: gate against a running daemon's
+                                 /v1/coverage instead of verifying locally
+    --watch <DIR>                serve: poll DIR for manifest changes and
+                                 re-verify through the differential path
+    --poll-ms <N>                watch poll interval   [default: 1000]
+    --workers <N>                request worker threads; 0 = max(2, cores)
+    --state-dir <DIR>            persistent daemon state: verdict cache,
+                                 baseline, and the hash-chained history.jsonl
+    --threshold <PCT>            coverage: minimum pinned coverage [default: 100]
+    --pin                        coverage: record current verdicts as the new
+                                 baseline and exit 0
+
+`rehearsal serve` drains in-flight requests on SIGINT/SIGTERM, flushes
+its caches, and appends a final history record. `rehearsal coverage`
+exits 0 when clean, 1 on drift or below-threshold coverage, 2 on errors.
 ";
 
 /// How errors and findings are encoded on stderr.
@@ -131,6 +151,13 @@ struct Args {
     lint: bool,
     lint_overrides: Vec<(String, LintLevel)>,
     lint_deny_warnings: bool,
+    addr: Option<String>,
+    watch: Option<String>,
+    state_dir: Option<String>,
+    poll_ms: u64,
+    workers: usize,
+    threshold: f64,
+    pin: bool,
 }
 
 /// Validates a `--allow/--warn/--deny` operand: rule codes (`R2001`) and
@@ -166,6 +193,13 @@ fn parse_args() -> Result<Args, String> {
     let mut lint = false;
     let mut lint_overrides = Vec::new();
     let mut lint_deny_warnings = false;
+    let mut addr = None;
+    let mut watch = None;
+    let mut state_dir = None;
+    let mut poll_ms = 1000u64;
+    let mut workers = 0usize;
+    let mut threshold = 100.0f64;
+    let mut pin = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--state" => {
@@ -234,6 +268,28 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => {
                 metrics = Some(argv.next().ok_or("--metrics needs a value")?);
             }
+            "--addr" => {
+                addr = Some(argv.next().ok_or("--addr needs a value")?);
+            }
+            "--watch" => {
+                watch = Some(argv.next().ok_or("--watch needs a value")?);
+            }
+            "--state-dir" => {
+                state_dir = Some(argv.next().ok_or("--state-dir needs a value")?);
+            }
+            "--poll-ms" => {
+                let v = argv.next().ok_or("--poll-ms needs a value")?;
+                poll_ms = v.parse().map_err(|_| "bad --poll-ms value")?;
+            }
+            "--workers" => {
+                let v = argv.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|_| "bad --workers value")?;
+            }
+            "--threshold" => {
+                let v = argv.next().ok_or("--threshold needs a value")?;
+                threshold = v.parse().map_err(|_| "bad --threshold value")?;
+            }
+            "--pin" => pin = true,
             "--model-metadata" => options.model_metadata = true,
             "--model-latest" => options.model_latest = true,
             "--no-commutativity" => options.commutativity = false,
@@ -275,6 +331,13 @@ fn parse_args() -> Result<Args, String> {
         lint,
         lint_overrides,
         lint_deny_warnings,
+        addr,
+        watch,
+        state_dir,
+        poll_ms,
+        workers,
+        threshold,
+        pin,
     })
 }
 
@@ -348,113 +411,6 @@ fn print_determinism(report: &rehearsal::DeterminismReport, graph: &rehearsal::F
     print!("{mark}{}", rehearsal::render_determinism(report, graph));
 }
 
-/// The `check --json` document (schema `rehearsal-check/5`), sharing the
-/// fleet serializer. `report` is `None` when the pipeline failed before a
-/// verdict; the error then lives in `diagnostics`. `obs` is the run's
-/// trace snapshot (always present under `--json`: the session is
-/// installed by `run`), feeding the `phases` and `metrics` objects.
-fn check_json(
-    path: &str,
-    platform: Platform,
-    model_metadata: bool,
-    report: Option<&rehearsal::DeterminismReport>,
-    idempotence: Option<&rehearsal::IdempotenceReport>,
-    diagnostics: &[Diagnostic],
-    obs: Option<&TraceSnapshot>,
-) -> Json {
-    let stats = report.map(|r| r.stats()).unwrap_or_default();
-    let verdict = match report {
-        None => "error",
-        Some(r) if !r.is_deterministic() => "nondeterministic",
-        Some(_) if idempotence.is_some_and(|i| !i.is_idempotent()) => "nonidempotent",
-        Some(_) => "deterministic",
-    };
-    let phases = obs.map(TraceSnapshot::phase_totals).unwrap_or_default();
-    Json::obj([
-        ("schema", Json::str("rehearsal-check/5")),
-        ("manifest", Json::str(path)),
-        ("platform", Json::str(platform.to_string())),
-        ("model_metadata", Json::Bool(model_metadata)),
-        ("verdict", Json::str(verdict)),
-        (
-            "deterministic",
-            match report {
-                Some(r) => Json::Bool(r.is_deterministic()),
-                None => Json::Null,
-            },
-        ),
-        (
-            "idempotent",
-            match idempotence {
-                Some(i) => Json::Bool(i.is_idempotent()),
-                None => Json::Null,
-            },
-        ),
-        (
-            "diagnostics",
-            Json::Arr(diagnostics.iter().map(diagnostic_json).collect()),
-        ),
-        (
-            "stats",
-            Json::obj([
-                ("resources", Json::num(stats.resources as u32)),
-                (
-                    "resources_after_elimination",
-                    Json::num(stats.resources_after_elimination as u32),
-                ),
-                ("paths", Json::num(stats.paths as u32)),
-                ("tracked_paths", Json::num(stats.tracked_paths as u32)),
-                ("meta_ops", Json::num(stats.meta_ops as u32)),
-                (
-                    "meta_tracked_paths",
-                    Json::num(stats.meta_tracked_paths as u32),
-                ),
-                // Sequence and solver counters can exceed u32 (the state
-                // cache accounts factorial spaces; propagations run tens
-                // of millions/second) — serialize as f64 to keep the
-                // magnitude honest.
-                (
-                    "sequences_explored",
-                    Json::Num(stats.sequences_explored as f64),
-                ),
-                (
-                    "sequences_skipped",
-                    Json::Num(stats.sequences_skipped as f64),
-                ),
-                ("state_cache_hits", Json::num(stats.state_cache_hits as u32)),
-                ("distinct_outputs", Json::num(stats.distinct_outputs as u32)),
-                ("formula_nodes", Json::num(stats.formula_nodes as u32)),
-                ("solver_conflicts", Json::Num(stats.solver_conflicts as f64)),
-                (
-                    "solver_propagations",
-                    Json::Num(stats.solver_propagations as f64),
-                ),
-                ("grounded_clauses", Json::Num(stats.grounded_clauses as f64)),
-                (
-                    "grounding_reuse_ratio",
-                    Json::Num((stats.grounding_reuse_ratio() * 10000.0).round() / 10000.0),
-                ),
-            ]),
-        ),
-        (
-            "phases",
-            Json::Obj(
-                phases
-                    .iter()
-                    .map(|p| (p.name.clone(), Json::Num(p.total_us as f64 / 1000.0)))
-                    .collect(),
-            ),
-        ),
-        (
-            "metrics",
-            match obs {
-                Some(snap) => metrics_json(&snap.metrics),
-                None => Json::Null,
-            },
-        ),
-    ])
-}
-
 fn run_check(args: &Args) -> Result<bool, String> {
     let path = args.paths.first().cloned().unwrap_or_default();
     let source = read_manifest(args)?;
@@ -503,7 +459,7 @@ fn run_check(args: &Args) -> Result<bool, String> {
         let obs = rehearsal::trace::current().map(|s| s.snapshot());
         println!(
             "{}",
-            check_json(
+            check_document(
                 &path,
                 args.platform,
                 args.options.model_metadata,
@@ -716,24 +672,21 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
         cancel: None,
         lint: args.lint,
     };
-    let mut engine = FleetEngine::new(options);
+    // One open-once state handle for the run: `--cache`/`--baseline`
+    // files are read here, shared with the engine by reference, and
+    // written back exactly once below — the same code path the daemon
+    // uses, so batch and serve can never diverge on persistence.
+    let state = StateDir::in_memory();
     if let Some(path) = &args.cache {
-        let cache = VerdictCache::open(path).map_err(|e| format!("{path}: {e}"))?;
-        engine = engine.with_cache(cache);
+        state.set_cache(VerdictCache::open(path).map_err(|e| format!("{path}: {e}"))?);
     }
     if let Some(path) = &args.baseline {
-        let store = BaselineStore::open(path).map_err(|e| format!("{path}: {e}"))?;
-        engine = engine.with_baseline(store);
+        state.set_baseline(BaselineStore::open(path).map_err(|e| format!("{path}: {e}"))?);
     }
+    let state = std::sync::Arc::new(state);
+    let mut engine = FleetEngine::new(options).with_state(state.clone());
     let report = engine.run_paths(&manifests, &[args.platform]);
-    if args.cache.is_some() {
-        engine.cache_mut().save().map_err(|e| format!("{e}"))?;
-    }
-    if args.baseline.is_some() {
-        if let Some(store) = engine.baseline_mut() {
-            store.save().map_err(|e| format!("{e}"))?;
-        }
-    }
+    state.flush().map_err(|e| format!("{e}"))?;
     if args.json {
         println!("{}", report.to_json().render_pretty());
     } else {
@@ -745,6 +698,79 @@ fn run_fleet(args: &Args) -> Result<bool, String> {
         print!("{}", github_annotations(&report));
     }
     Ok(report.all_clean())
+}
+
+/// `rehearsal serve`: bind the warm-core daemon and run its accept loop
+/// until SIGINT/SIGTERM (or `POST /v1/shutdown`) triggers the graceful
+/// drain.
+fn run_serve(args: &Args) -> Result<bool, String> {
+    use rehearsal::serve::{ServeOptions, Server};
+    let options = ServeOptions {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7777".to_string()),
+        platform: args.platform,
+        analysis: args.options.clone(),
+        workers: args.workers,
+        watch: args.watch.as_ref().map(std::path::PathBuf::from),
+        poll_ms: args.poll_ms,
+        state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
+        baseline: args.baseline.as_ref().map(std::path::PathBuf::from),
+    };
+    let server = Server::bind(options).map_err(|e| format!("serve: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("serve: {e}"))?;
+    server.install_signal_handlers();
+    eprintln!("rehearsal serve: listening on http://{addr} (SIGINT/SIGTERM to drain)");
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    Ok(true)
+}
+
+/// `rehearsal coverage`: the drift/coverage CI gate (exit 0 clean, 1 on
+/// drift or below-threshold coverage, 2 on errors).
+fn run_coverage(args: &Args) -> Result<bool, String> {
+    let options = rehearsal::serve::CoverageOptions {
+        paths: args.paths.clone(),
+        baseline: args.baseline.clone(),
+        addr: args.addr.clone(),
+        platform: args.platform,
+        analysis: args.options.clone(),
+        jobs: args.jobs,
+        threads: args.threads,
+        threshold: args.threshold,
+        pin: args.pin,
+    };
+    let outcome = rehearsal::serve::run_coverage(&options)?;
+    if args.json {
+        println!("{}", outcome.doc.render_pretty());
+    } else {
+        let get = |key: &str| {
+            outcome
+                .doc
+                .get(key)
+                .and_then(Json::as_u64)
+                .unwrap_or_default()
+        };
+        let coverage = match outcome.doc.get("coverage") {
+            Some(Json::Num(f)) => *f * 100.0,
+            _ => 0.0,
+        };
+        println!(
+            "{} {} manifest(s): {} pinned, {} drifted, \
+             coverage {coverage:.1}% (threshold {:.1}%){}",
+            if outcome.pass { "✔" } else { "✘" },
+            get("manifests"),
+            get("pinned"),
+            get("drifted"),
+            args.threshold,
+            if args.pin {
+                " — baseline re-pinned"
+            } else {
+                ""
+            },
+        );
+    }
+    Ok(outcome.pass)
 }
 
 fn run() -> Result<bool, String> {
@@ -886,6 +912,8 @@ final machine state:"
         "benchmarks" => run_benchmarks(args),
         "lint" => run_lint(args),
         "fleet" => run_fleet(args),
+        "serve" => run_serve(args),
+        "coverage" => run_coverage(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(true)

@@ -186,7 +186,7 @@ fn incremental_metrics_ride_the_fleet_report() {
     let mut cold_engine = FleetEngine::new(FleetOptions::default().with_jobs(1))
         .with_baseline(BaselineStore::in_memory());
     cold_engine.run(vec![job(trio)]);
-    let baseline = std::mem::take(cold_engine.baseline_mut().unwrap());
+    let baseline = cold_engine.state().take_baseline().unwrap();
 
     let edited = trio.replace("content => 'c'", "content => 'changed'");
     let mut engine = FleetEngine::new(FleetOptions::default().with_jobs(1)).with_baseline(baseline);
